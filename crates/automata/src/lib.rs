@@ -1,0 +1,100 @@
+//! Finite automata machinery for FSM predictor design.
+//!
+//! Implements the back half of Sherwood & Calder's design flow (ISCA 2001,
+//! §4.5–4.7): regular expressions over the binary alphabet, Thompson NFA
+//! construction, subset construction to a DFA, Hopcroft minimization,
+//! start-state (steady-state) reduction, and a runnable Moore-machine
+//! predictor.
+//!
+//! # Examples
+//!
+//! Reproducing Figure 1 of the paper end to end — the language "anything
+//! ending in `1x` or `x1`" becomes a 5-state minimal DFA whose start-up
+//! states are then removed, leaving the 3-state steady predictor:
+//!
+//! ```
+//! use fsmgen_automata::{Dfa, MoorePredictor, Nfa, Regex};
+//!
+//! let lang = Regex::ending_in(vec![
+//!     Regex::pattern(&[Some(true), None]),  // 1x
+//!     Regex::pattern(&[None, Some(true)]),  // x1
+//! ]);
+//! let with_startup = Dfa::from_nfa(&Nfa::from_regex(&lang)).minimized();
+//! assert_eq!(with_startup.num_states(), 5);
+//! let steady = with_startup.steady_state_reduced();
+//! assert_eq!(steady.num_states(), 3);
+//!
+//! let mut predictor = MoorePredictor::new(steady);
+//! predictor.update(true);
+//! predictor.update(true);
+//! assert!(predictor.predict()); // history 11 is in the predict-1 set
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dfa;
+mod moore;
+mod nfa;
+mod ops;
+mod patterns;
+mod regex;
+mod serial;
+
+pub use dfa::Dfa;
+pub use moore::MoorePredictor;
+pub use nfa::Nfa;
+pub use patterns::{parse_pattern, parse_pattern_list, pattern_to_string, ParsePatternError};
+pub use regex::Regex;
+pub use serial::{machine_from_table, machine_to_table, ParseMachineError};
+
+/// One-call convenience running the whole §4.5–4.7 pipeline: patterns →
+/// regex → NFA → DFA → Hopcroft minimization → start-state reduction.
+///
+/// Each pattern is a fixed-length history template, oldest bit first, with
+/// `None` meaning "either bit" (the `x` of the paper's figures).
+///
+/// Returns the steady-state Moore machine. An empty pattern list produces
+/// the one-state always-predict-0 machine.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::compile_patterns;
+///
+/// // Figure 6's machine: predict 1 on histories matching 1x.
+/// let fsm = compile_patterns(&[vec![Some(true), None]]);
+/// assert_eq!(fsm.num_states(), 4);
+/// ```
+#[must_use]
+pub fn compile_patterns(patterns: &[Vec<Option<bool>>]) -> Dfa {
+    if patterns.is_empty() {
+        return Dfa::from_parts(vec![[0, 0]], vec![false], 0);
+    }
+    let alts: Vec<Regex> = patterns.iter().map(|p| Regex::pattern(p)).collect();
+    let lang = Regex::ending_in(alts);
+    Dfa::from_nfa(&Nfa::from_regex(&lang))
+        .minimized()
+        .steady_state_reduced()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_patterns_empty_is_constant_zero() {
+        let fsm = compile_patterns(&[]);
+        assert_eq!(fsm.num_states(), 1);
+        assert!(!fsm.output(0));
+    }
+
+    #[test]
+    fn compile_patterns_figure7() {
+        let fsm = compile_patterns(&[
+            vec![Some(false), None, Some(true), None],
+            vec![Some(false), None, None, Some(true), None],
+        ]);
+        assert_eq!(fsm.num_states(), 11);
+    }
+}

@@ -1,0 +1,165 @@
+//! Runnable Moore-machine predictors: a shared immutable [`Dfa`] plus a
+//! per-instance current state.
+//!
+//! In the paper's custom branch architecture many predictor *instances* can
+//! reference the same synthesized state machine (and all custom FSMs are
+//! updated in parallel on every branch), so the machine description is
+//! shared behind an [`Arc`] while each [`MoorePredictor`] carries only its
+//! own current-state cursor.
+
+use crate::dfa::Dfa;
+use std::sync::Arc;
+
+/// A running instance of a Moore predictor machine.
+///
+/// The prediction for the next input is the output of the current state;
+/// feeding the actual outcome with [`MoorePredictor::update`] advances the
+/// machine.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::{Dfa, MoorePredictor, Nfa, Regex};
+///
+/// // Predict 1 whenever the previous-but-one input was 1 (Figure 6).
+/// let re = Regex::ending_in(vec![Regex::pattern(&[Some(true), None])]);
+/// let dfa = Dfa::from_nfa(&Nfa::from_regex(&re)).minimized().steady_state_reduced();
+/// let mut p = MoorePredictor::new(dfa);
+/// p.update(true);
+/// p.update(false);
+/// assert!(p.predict()); // history "10" matches 1x
+/// p.update(false);
+/// assert!(!p.predict()); // history "00" does not
+/// ```
+#[derive(Debug, Clone)]
+pub struct MoorePredictor {
+    machine: Arc<Dfa>,
+    state: u32,
+}
+
+impl MoorePredictor {
+    /// Creates a predictor instance positioned at the machine's start state.
+    #[must_use]
+    pub fn new(machine: impl Into<Arc<Dfa>>) -> Self {
+        let machine = machine.into();
+        let state = machine.start();
+        MoorePredictor { machine, state }
+    }
+
+    /// Creates another instance sharing the same machine, reset to the
+    /// start state.
+    #[must_use]
+    pub fn fresh_instance(&self) -> Self {
+        MoorePredictor {
+            machine: Arc::clone(&self.machine),
+            state: self.machine.start(),
+        }
+    }
+
+    /// The prediction produced by the current state.
+    #[must_use]
+    pub fn predict(&self) -> bool {
+        self.machine.output(self.state)
+    }
+
+    /// Feeds the actual outcome, advancing to the next state.
+    pub fn update(&mut self, outcome: bool) {
+        self.state = self.machine.step(self.state, outcome);
+    }
+
+    /// Convenience: predict, then update with the outcome; returns whether
+    /// the prediction was correct.
+    pub fn predict_and_update(&mut self, outcome: bool) -> bool {
+        let correct = self.predict() == outcome;
+        self.update(outcome);
+        correct
+    }
+
+    /// Resets to the machine's start state.
+    pub fn reset(&mut self) {
+        self.state = self.machine.start();
+    }
+
+    /// The current state id.
+    #[must_use]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// The shared machine description.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<Dfa> {
+        &self.machine
+    }
+
+    /// Number of states in the underlying machine.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.machine.num_states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+
+    fn fig6_machine() -> Dfa {
+        let re = Regex::ending_in(vec![Regex::pattern(&[Some(true), None])]);
+        Dfa::from_nfa(&Nfa::from_regex(&re))
+            .minimized()
+            .steady_state_reduced()
+    }
+
+    #[test]
+    fn predict_tracks_history() {
+        let mut p = MoorePredictor::new(fig6_machine());
+        let stream = [true, true, false, false, true, false, true, true];
+        for (i, &bit) in stream.iter().enumerate() {
+            p.update(bit);
+            if i >= 1 {
+                // Prediction equals "bit two back was 1" per the 1x pattern.
+                assert_eq!(p.predict(), stream[i - 1], "at step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn instances_share_machine_but_not_state() {
+        let a = MoorePredictor::new(fig6_machine());
+        let mut b = a.fresh_instance();
+        assert!(Arc::ptr_eq(a.machine(), b.machine()));
+        b.update(true);
+        b.update(true);
+        assert_ne!(a.state(), b.state());
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let mut p = MoorePredictor::new(fig6_machine());
+        p.update(true);
+        p.update(true);
+        p.reset();
+        assert_eq!(p.state(), p.machine().start());
+    }
+
+    #[test]
+    fn predict_and_update_reports_correctness() {
+        let mut p = MoorePredictor::new(fig6_machine());
+        p.update(true);
+        p.update(false); // history 1x -> predicts 1
+        assert!(p.predict_and_update(true));
+        // Now history is 01 -> the "x" position is 0... pattern 1x looks at
+        // two back which is 0 -> predicts 0.
+        assert!(p.predict_and_update(false));
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<MoorePredictor>();
+        assert_sync::<MoorePredictor>();
+    }
+}

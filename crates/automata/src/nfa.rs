@@ -1,0 +1,258 @@
+//! Thompson construction: [`Regex`] → non-deterministic finite automaton.
+//!
+//! "The first step in building a FSM from a regular expression is the
+//! construction of a non-deterministic finite state machine, which is a
+//! fairly straight forward process of enumerating paths" (§4.6).
+
+use crate::regex::Regex;
+use std::collections::BTreeSet;
+
+/// A non-deterministic finite automaton over the binary alphabet with
+/// ε-transitions, as produced by Thompson's construction.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::{Nfa, Regex};
+///
+/// let re = Regex::ending_in(vec![Regex::pattern(&[Some(true), None])]);
+/// let nfa = Nfa::from_regex(&re);
+/// assert!(nfa.accepts(&[false, true, false])); // ...10 ends in 1x
+/// assert!(!nfa.accepts(&[false, false]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `transitions[s][b]` = states reachable from `s` on input bit `b`.
+    transitions: Vec<[Vec<u32>; 2]>,
+    /// `epsilon[s]` = states reachable from `s` on ε.
+    epsilon: Vec<Vec<u32>>,
+    start: u32,
+    accept: u32,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA for `regex`. Each operator adds a constant
+    /// number of states, so the NFA has `O(|regex|)` states.
+    #[must_use]
+    pub fn from_regex(regex: &Regex) -> Self {
+        let mut nfa = Nfa {
+            transitions: Vec::new(),
+            epsilon: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (start, accept) = nfa.build(regex);
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa
+    }
+
+    fn add_state(&mut self) -> u32 {
+        self.transitions.push([Vec::new(), Vec::new()]);
+        self.epsilon.push(Vec::new());
+        (self.transitions.len() - 1) as u32
+    }
+
+    fn add_edge(&mut self, from: u32, bit: bool, to: u32) {
+        self.transitions[from as usize][usize::from(bit)].push(to);
+    }
+
+    fn add_eps(&mut self, from: u32, to: u32) {
+        self.epsilon[from as usize].push(to);
+    }
+
+    /// Recursive Thompson construction; returns `(start, accept)` for the
+    /// sub-automaton.
+    fn build(&mut self, regex: &Regex) -> (u32, u32) {
+        match regex {
+            Regex::Epsilon => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_eps(s, a);
+                (s, a)
+            }
+            Regex::Literal(b) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_edge(s, *b, a);
+                (s, a)
+            }
+            Regex::AnyBit => {
+                let s = self.add_state();
+                let a = self.add_state();
+                self.add_edge(s, false, a);
+                self.add_edge(s, true, a);
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                debug_assert!(!parts.is_empty());
+                let mut iter = parts.iter();
+                let (start, mut accept) = self.build(iter.next().expect("concat is never empty"));
+                for p in iter {
+                    let (s, a) = self.build(p);
+                    self.add_eps(accept, s);
+                    accept = a;
+                }
+                (start, accept)
+            }
+            Regex::Alt(parts) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.add_eps(s, ps);
+                    self.add_eps(pa, a);
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.add_state();
+                let a = self.add_state();
+                let (is, ia) = self.build(inner);
+                self.add_eps(s, is);
+                self.add_eps(s, a);
+                self.add_eps(ia, is);
+                self.add_eps(ia, a);
+                (s, a)
+            }
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The (single, Thompson-style) accepting state.
+    #[must_use]
+    pub fn accept(&self) -> u32 {
+        self.accept
+    }
+
+    /// ε-closure of a set of states.
+    #[must_use]
+    pub fn epsilon_closure(&self, states: &BTreeSet<u32>) -> BTreeSet<u32> {
+        let mut closure = states.clone();
+        let mut stack: Vec<u32> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.epsilon[s as usize] {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One subset-construction step: all states reachable from `states` on
+    /// `bit`, before taking the ε-closure.
+    #[must_use]
+    pub fn step(&self, states: &BTreeSet<u32>, bit: bool) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        for &s in states {
+            out.extend(
+                self.transitions[s as usize][usize::from(bit)]
+                    .iter()
+                    .copied(),
+            );
+        }
+        out
+    }
+
+    /// Reference acceptance check by direct subset simulation.
+    #[must_use]
+    pub fn accepts(&self, input: &[bool]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for &b in input {
+            current = self.epsilon_closure(&self.step(&current, b));
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn literal_nfa() {
+        let nfa = Nfa::from_regex(&Regex::one());
+        assert!(nfa.accepts(&bits("1")));
+        assert!(!nfa.accepts(&bits("0")));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&bits("11")));
+    }
+
+    #[test]
+    fn epsilon_nfa() {
+        let nfa = Nfa::from_regex(&Regex::Epsilon);
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&bits("0")));
+    }
+
+    #[test]
+    fn alt_and_concat() {
+        // (01)|(10)
+        let re = Regex::alt(vec![
+            Regex::concat(vec![Regex::zero(), Regex::one()]),
+            Regex::concat(vec![Regex::one(), Regex::zero()]),
+        ]);
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&bits("01")));
+        assert!(nfa.accepts(&bits("10")));
+        assert!(!nfa.accepts(&bits("00")));
+        assert!(!nfa.accepts(&bits("11")));
+    }
+
+    #[test]
+    fn star() {
+        let re = Regex::star(Regex::concat(vec![Regex::one(), Regex::zero()]));
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&bits("10")));
+        assert!(nfa.accepts(&bits("1010")));
+        assert!(!nfa.accepts(&bits("101")));
+    }
+
+    #[test]
+    fn agrees_with_regex_matcher_on_short_strings() {
+        let res = [
+            Regex::ending_in(vec![Regex::pattern(&[Some(true), None])]),
+            Regex::ending_in(vec![
+                Regex::pattern(&[Some(false), None, Some(true), None]),
+                Regex::pattern(&[Some(false), None, None, Some(true), None]),
+            ]),
+            Regex::star(Regex::alt(vec![
+                Regex::one(),
+                Regex::concat(vec![Regex::zero(), Regex::zero()]),
+            ])),
+        ];
+        for re in &res {
+            let nfa = Nfa::from_regex(re);
+            for len in 0..=8usize {
+                for v in 0..(1u32 << len) {
+                    let input: Vec<bool> = (0..len).map(|i| v >> i & 1 == 1).collect();
+                    assert_eq!(
+                        nfa.accepts(&input),
+                        re.matches(&input),
+                        "regex {re} input {input:?}"
+                    );
+                }
+            }
+        }
+    }
+}

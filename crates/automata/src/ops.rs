@@ -1,0 +1,134 @@
+//! Boolean operations on Moore machines: complement, union and
+//! intersection via the product construction.
+//!
+//! These make machine-level reasoning possible: Figure 7's machine, for
+//! example, is exactly the union of the two single-pattern machines, and
+//! the tests verify that identity.
+
+use crate::dfa::Dfa;
+use std::collections::{BTreeMap, VecDeque};
+
+impl Dfa {
+    /// The machine recognizing the complement language: same transitions,
+    /// outputs flipped.
+    #[must_use]
+    pub fn complemented(&self) -> Dfa {
+        Dfa::from_parts(
+            self.transitions().to_vec(),
+            self.outputs().iter().map(|&o| !o).collect(),
+            self.start(),
+        )
+    }
+
+    /// Product construction with an arbitrary output combiner; only the
+    /// reachable part of the product is built.
+    fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        let mut index: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        let start = (self.start(), other.start());
+        index.insert(start, 0);
+        order.push(start);
+        let mut queue = VecDeque::from([start]);
+        let mut transitions: Vec<[u32; 2]> = Vec::new();
+        let mut outputs: Vec<bool> = Vec::new();
+        while let Some((a, b)) = queue.pop_front() {
+            let mut row = [0u32; 2];
+            for bit in [false, true] {
+                let next = (self.step(a, bit), other.step(b, bit));
+                let id = *index.entry(next).or_insert_with(|| {
+                    order.push(next);
+                    queue.push_back(next);
+                    (order.len() - 1) as u32
+                });
+                row[usize::from(bit)] = id;
+            }
+            transitions.push(row);
+            outputs.push(combine(self.output(a), other.output(b)));
+        }
+        Dfa::from_parts(transitions, outputs, 0)
+    }
+
+    /// The machine whose output is the OR of the two machines' outputs
+    /// (language union), minimized.
+    #[must_use]
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b).minimized()
+    }
+
+    /// The machine whose output is the AND of the two machines' outputs
+    /// (language intersection), minimized.
+    #[must_use]
+    pub fn intersection(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b).minimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::compile_patterns;
+
+    #[test]
+    fn figure7_is_the_union_of_its_patterns() {
+        let p1 = compile_patterns(&[vec![Some(false), None, Some(true), None]]);
+        let p2 = compile_patterns(&[vec![Some(false), None, None, Some(true), None]]);
+        let joint = compile_patterns(&[
+            vec![Some(false), None, Some(true), None],
+            vec![Some(false), None, None, Some(true), None],
+        ]);
+        let union = p1.union(&p2);
+        assert!(union.equivalent(&joint));
+        assert_eq!(union.num_states(), joint.minimized().num_states());
+    }
+
+    #[test]
+    fn complement_is_involutive_and_disjoint() {
+        let fsm = compile_patterns(&[vec![Some(true), None]]);
+        let comp = fsm.complemented();
+        assert!(fsm.complemented().complemented().equivalent(&fsm));
+        // Intersection of a language and its complement is empty: every
+        // state of the (minimized) intersection outputs 0.
+        let empty = fsm.intersection(&comp);
+        for s in 0..empty.num_states() as u32 {
+            assert!(!empty.output(s));
+        }
+        assert_eq!(
+            empty.num_states(),
+            1,
+            "constant-false minimizes to one state"
+        );
+    }
+
+    #[test]
+    fn union_with_complement_is_everything() {
+        let fsm = compile_patterns(&[vec![Some(false), None, Some(true), None]]);
+        let all = fsm.union(&fsm.complemented());
+        assert_eq!(all.num_states(), 1);
+        assert!(all.output(0));
+    }
+
+    #[test]
+    fn intersection_requires_both_patterns() {
+        // Histories ending in 1x AND x1 means last two bits were 1,1...
+        // no wait: 1x fixes two-back = 1; x1 fixes one-back = 1; both
+        // together fix the last two bits to 1,1.
+        let a = compile_patterns(&[vec![Some(true), None]]);
+        let b = compile_patterns(&[vec![None, Some(true)]]);
+        let both = a.intersection(&b);
+        let direct = compile_patterns(&[vec![Some(true), Some(true)]]);
+        assert!(both.equivalent(&direct));
+    }
+
+    #[test]
+    fn operations_preserve_determinism_and_totality() {
+        let a = compile_patterns(&[vec![Some(true), None, Some(false)]]);
+        let b = compile_patterns(&[vec![Some(false), Some(false)]]);
+        for m in [a.union(&b), a.intersection(&b), a.complemented()] {
+            for s in 0..m.num_states() as u32 {
+                // from_parts already validates ranges; just exercise.
+                let _ = m.step(s, false);
+                let _ = m.step(s, true);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Parsing of the paper's pattern notation (`1x`, `0x1x`, `0xx1x`, …).
+//!
+//! Figures 6 and 7 describe machines by the history patterns they
+//! capture, written oldest bit first with `x` as "don't care". This
+//! module parses that notation so machines can be specified the way the
+//! paper writes them — including from the command line.
+
+use std::fmt;
+
+/// Error produced when parsing a history pattern fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    kind: ParsePatternErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParsePatternErrorKind {
+    Empty,
+    BadChar(char),
+    NoPatterns,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParsePatternErrorKind::Empty => write!(f, "empty pattern"),
+            ParsePatternErrorKind::BadChar(c) => {
+                write!(
+                    f,
+                    "invalid pattern character {c:?}, expected '0', '1' or 'x'"
+                )
+            }
+            ParsePatternErrorKind::NoPatterns => write!(f, "no patterns given"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+/// Parses one pattern in the paper's notation: `0`, `1`, and `x`/`X`/`-`
+/// for don't-care, oldest bit first.
+///
+/// # Errors
+///
+/// Returns [`ParsePatternError`] for an empty string or a character
+/// outside the alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::parse_pattern;
+///
+/// let p = parse_pattern("0x1x")?;
+/// assert_eq!(p, vec![Some(false), None, Some(true), None]);
+/// # Ok::<(), fsmgen_automata::ParsePatternError>(())
+/// ```
+pub fn parse_pattern(text: &str) -> Result<Vec<Option<bool>>, ParsePatternError> {
+    if text.is_empty() {
+        return Err(ParsePatternError {
+            kind: ParsePatternErrorKind::Empty,
+        });
+    }
+    text.chars()
+        .map(|c| match c {
+            '0' => Ok(Some(false)),
+            '1' => Ok(Some(true)),
+            'x' | 'X' | '-' => Ok(None),
+            other => Err(ParsePatternError {
+                kind: ParsePatternErrorKind::BadChar(other),
+            }),
+        })
+        .collect()
+}
+
+/// Parses a pattern list separated by `|` or `,` (whitespace tolerated),
+/// e.g. `"0x1x | 0xx1x"` — exactly how Figure 7's machine is described.
+///
+/// # Errors
+///
+/// Returns [`ParsePatternError`] when the list is empty or any pattern is
+/// malformed.
+pub fn parse_pattern_list(text: &str) -> Result<Vec<Vec<Option<bool>>>, ParsePatternError> {
+    let patterns: Vec<Vec<Option<bool>>> = text
+        .split(['|', ','])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_pattern)
+        .collect::<Result<_, _>>()?;
+    if patterns.is_empty() {
+        return Err(ParsePatternError {
+            kind: ParsePatternErrorKind::NoPatterns,
+        });
+    }
+    Ok(patterns)
+}
+
+/// Renders a pattern back into the paper's notation.
+#[must_use]
+pub fn pattern_to_string(pattern: &[Option<bool>]) -> String {
+    pattern
+        .iter()
+        .map(|b| match b {
+            Some(true) => '1',
+            Some(false) => '0',
+            None => 'x',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_patterns;
+
+    #[test]
+    fn figure7_notation_compiles_to_11_states() {
+        let patterns = parse_pattern_list("0x1x | 0xx1x").unwrap();
+        assert_eq!(compile_patterns(&patterns).num_states(), 11);
+    }
+
+    #[test]
+    fn separators_and_whitespace() {
+        let a = parse_pattern_list("1x,x1").unwrap();
+        let b = parse_pattern_list(" 1x |  x1 ").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        for text in ["1x", "0x1x", "0xx1x", "000", "111", "xxx"] {
+            let p = parse_pattern(text).unwrap();
+            assert_eq!(pattern_to_string(&p), text);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("1y0").is_err());
+        assert!(parse_pattern_list("").is_err());
+        assert!(parse_pattern_list(" | , ").is_err());
+        assert!(parse_pattern_list("1x | 2x").is_err());
+    }
+
+    #[test]
+    fn dash_alias() {
+        assert_eq!(parse_pattern("1-0").unwrap(), parse_pattern("1x0").unwrap());
+    }
+}

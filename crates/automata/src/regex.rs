@@ -1,0 +1,354 @@
+//! Regular expressions over the binary alphabet `{0, 1}`.
+//!
+//! The design flow builds one of these from a minimized sum-of-products
+//! cover (§4.5 of the paper): each cube becomes a concatenation of `0`, `1`
+//! and "either" symbols, the cubes are alternated, and the whole thing is
+//! prefixed with `{0|1}*` so the language contains every string that *ends*
+//! in a pattern.
+
+use std::fmt;
+
+/// A regular expression over the binary alphabet.
+///
+/// # Examples
+///
+/// Building the paper's expression `{0|1}* { 1{0|1} | {0|1}1 }` by hand:
+///
+/// ```
+/// use fsmgen_automata::Regex;
+///
+/// let pattern = Regex::alt(vec![
+///     Regex::concat(vec![Regex::one(), Regex::any_bit()]),
+///     Regex::concat(vec![Regex::any_bit(), Regex::one()]),
+/// ]);
+/// let lang = Regex::concat(vec![Regex::any_prefix(), pattern]);
+/// assert_eq!(lang.to_string(), "{0|1}*{{1{0|1}}|{{0|1}1}}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty string ε.
+    Epsilon,
+    /// A single literal bit.
+    Literal(bool),
+    /// Either bit: `{0|1}`.
+    AnyBit,
+    /// Concatenation of sub-expressions, in order.
+    Concat(Vec<Regex>),
+    /// Alternation (union) of sub-expressions.
+    Alt(Vec<Regex>),
+    /// Kleene star of a sub-expression.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// The literal bit `0`.
+    #[must_use]
+    pub fn zero() -> Self {
+        Regex::Literal(false)
+    }
+
+    /// The literal bit `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Regex::Literal(true)
+    }
+
+    /// The "either bit" expression `{0|1}`.
+    #[must_use]
+    pub fn any_bit() -> Self {
+        Regex::AnyBit
+    }
+
+    /// `{0|1}*` — any string, used as the prefix that lets a pattern match
+    /// at the end of an arbitrarily long input (§4.5).
+    #[must_use]
+    pub fn any_prefix() -> Self {
+        Regex::Star(Box::new(Regex::AnyBit))
+    }
+
+    /// Concatenation, flattening nested concatenations and dropping ε.
+    #[must_use]
+    pub fn concat(parts: Vec<Regex>) -> Self {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Concat(flat),
+        }
+    }
+
+    /// Alternation, flattening nested alternations and deduplicating.
+    #[must_use]
+    pub fn alt(parts: Vec<Regex>) -> Self {
+        let mut flat: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Alt(inner) => {
+                    for i in inner {
+                        if !flat.contains(&i) {
+                            flat.push(i);
+                        }
+                    }
+                }
+                other => {
+                    if !flat.contains(&other) {
+                        flat.push(other);
+                    }
+                }
+            }
+        }
+        match flat.len() {
+            0 => Regex::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Alt(flat),
+        }
+    }
+
+    /// Kleene star.
+    #[must_use]
+    pub fn star(inner: Regex) -> Self {
+        match inner {
+            s @ Regex::Star(_) => s,
+            Regex::Epsilon => Regex::Epsilon,
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// A fixed-length pattern from literals and don't-cares: `Some(bit)`
+    /// positions are literal, `None` positions match either bit. The slice
+    /// is read left-to-right in input order (oldest bit first).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsmgen_automata::Regex;
+    ///
+    /// // The Figure 6 pattern "1x": a 1 followed by anything.
+    /// let p = Regex::pattern(&[Some(true), None]);
+    /// assert_eq!(p.to_string(), "1{0|1}");
+    /// ```
+    #[must_use]
+    pub fn pattern(bits: &[Option<bool>]) -> Self {
+        Regex::concat(
+            bits.iter()
+                .map(|b| match b {
+                    Some(bit) => Regex::Literal(*bit),
+                    None => Regex::AnyBit,
+                })
+                .collect(),
+        )
+    }
+
+    /// The language of "any input ending in one of these patterns":
+    /// `{0|1}* (p1 | p2 | ...)`. This is the exact §4.5 construction.
+    ///
+    /// Returns `Regex::Epsilon`-prefixed nothing (just the empty language
+    /// wrapper) if `patterns` is empty — callers should treat an empty
+    /// pattern list before calling (an all-zero predictor).
+    #[must_use]
+    pub fn ending_in(patterns: Vec<Regex>) -> Self {
+        Regex::concat(vec![Regex::any_prefix(), Regex::alt(patterns)])
+    }
+
+    /// `true` when the expression matches the empty string.
+    #[must_use]
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Literal(_) | Regex::AnyBit => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+            Regex::Star(_) => true,
+        }
+    }
+
+    /// Reference semantics used by the tests: does the expression match the
+    /// whole bit string? Implemented by naive backtracking; exponential in
+    /// the worst case, so only suitable for short strings in tests.
+    #[must_use]
+    pub fn matches(&self, input: &[bool]) -> bool {
+        fn go(re: &Regex, input: &[bool], k: &mut dyn FnMut(usize) -> bool, from: usize) -> bool {
+            match re {
+                Regex::Epsilon => k(from),
+                Regex::Literal(b) => from < input.len() && input[from] == *b && k(from + 1),
+                Regex::AnyBit => from < input.len() && k(from + 1),
+                Regex::Alt(parts) => parts.iter().any(|p| go(p, input, k, from)),
+                Regex::Concat(parts) => {
+                    fn chain(
+                        parts: &[Regex],
+                        input: &[bool],
+                        k: &mut dyn FnMut(usize) -> bool,
+                        from: usize,
+                    ) -> bool {
+                        match parts.split_first() {
+                            None => k(from),
+                            Some((head, rest)) => {
+                                go(head, input, &mut |next| chain(rest, input, k, next), from)
+                            }
+                        }
+                    }
+                    chain(parts, input, k, from)
+                }
+                Regex::Star(inner) => {
+                    fn star(
+                        inner: &Regex,
+                        input: &[bool],
+                        k: &mut dyn FnMut(usize) -> bool,
+                        from: usize,
+                    ) -> bool {
+                        if k(from) {
+                            return true;
+                        }
+                        go(
+                            inner,
+                            input,
+                            &mut |next| next > from && star(inner, input, k, next),
+                            from,
+                        )
+                    }
+                    star(inner, input, k, from)
+                }
+            }
+        }
+        go(self, input, &mut |end| end == input.len(), 0)
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Renders in the paper's `{a|b}` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Literal(false) => write!(f, "0"),
+            Regex::Literal(true) => write!(f, "1"),
+            Regex::AnyBit => write!(f, "{{0|1}}"),
+            Regex::Concat(parts) => {
+                for p in parts {
+                    match p {
+                        Regex::Alt(_) => write!(f, "{{{p}}}")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Regex::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    match p {
+                        Regex::Concat(_) | Regex::Alt(_) => write!(f, "{{{p}}}")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Regex::Star(inner) => match **inner {
+                Regex::Literal(_) | Regex::AnyBit => write!(f, "{inner}*"),
+                _ => write!(f, "{{{inner}}}*"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn literal_matching() {
+        let re = Regex::concat(vec![Regex::one(), Regex::zero()]);
+        assert!(re.matches(&bits("10")));
+        assert!(!re.matches(&bits("11")));
+        assert!(!re.matches(&bits("1")));
+        assert!(!re.matches(&bits("100")));
+    }
+
+    #[test]
+    fn any_prefix_language() {
+        // {0|1}* 1 {0|1} : anything ending in 1x.
+        let re = Regex::ending_in(vec![Regex::pattern(&[Some(true), None])]);
+        assert!(re.matches(&bits("10")));
+        assert!(re.matches(&bits("11")));
+        assert!(re.matches(&bits("00010")));
+        assert!(!re.matches(&bits("00")));
+        assert!(!re.matches(&bits("01")));
+        assert!(!re.matches(&bits("1")));
+        assert!(!re.matches(&[]));
+    }
+
+    #[test]
+    fn paper_expression_matches_section_4_5() {
+        // {0|1}* { 1{0|1} | {0|1}1 } — ends in 1x or x1.
+        let re = Regex::ending_in(vec![
+            Regex::pattern(&[Some(true), None]),
+            Regex::pattern(&[None, Some(true)]),
+        ]);
+        for (s, expect) in [("00", false), ("01", true), ("10", true), ("11", true)] {
+            assert_eq!(re.matches(&bits(s)), expect, "suffix {s}");
+            // Same with arbitrary prefixes.
+            let with_prefix = format!("0110{s}");
+            assert_eq!(
+                re.matches(&bits(&with_prefix)),
+                expect,
+                "string {with_prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(Regex::any_prefix().nullable());
+        assert!(!Regex::one().nullable());
+        assert!(Regex::alt(vec![Regex::one(), Regex::Epsilon]).nullable());
+        assert!(!Regex::concat(vec![Regex::any_prefix(), Regex::one()]).nullable());
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        let c = Regex::concat(vec![
+            Regex::concat(vec![Regex::one(), Regex::zero()]),
+            Regex::Epsilon,
+            Regex::one(),
+        ]);
+        assert_eq!(
+            c,
+            Regex::Concat(vec![Regex::one(), Regex::zero(), Regex::one()])
+        );
+        let a = Regex::alt(vec![Regex::one(), Regex::one(), Regex::zero()]);
+        assert_eq!(a, Regex::Alt(vec![Regex::one(), Regex::zero()]));
+        assert_eq!(
+            Regex::star(Regex::star(Regex::one())),
+            Regex::star(Regex::one())
+        );
+    }
+
+    #[test]
+    fn display_notation() {
+        let re = Regex::ending_in(vec![
+            Regex::pattern(&[Some(true), None]),
+            Regex::pattern(&[None, Some(true)]),
+        ]);
+        assert_eq!(re.to_string(), "{0|1}*{{1{0|1}}|{{0|1}1}}");
+    }
+
+    #[test]
+    fn star_matching() {
+        let re = Regex::star(Regex::one());
+        assert!(re.matches(&[]));
+        assert!(re.matches(&bits("111")));
+        assert!(!re.matches(&bits("110")));
+    }
+}

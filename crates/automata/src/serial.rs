@@ -1,0 +1,230 @@
+//! Plain-text serialization of Moore machines.
+//!
+//! The format mirrors classic FSM table files (one state per line) so
+//! machines survive a round trip through files, version control and
+//! hand-editing:
+//!
+//! ```text
+//! # fsmgen moore machine
+//! states 3
+//! start 0
+//! 0 1 2 0   # state, next-on-0, next-on-1, output
+//! 1 1 2 1
+//! 2 1 2 1
+//! ```
+
+use crate::dfa::Dfa;
+use std::fmt;
+
+/// Error produced when parsing a machine table fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMachineError {
+    line: usize,
+    message: String,
+}
+
+impl ParseMachineError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseMachineError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending input line (0 for
+    /// whole-document problems).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseMachineError {}
+
+/// Renders a machine in the text table format accepted by
+/// [`machine_from_table`].
+#[must_use]
+pub fn machine_to_table(dfa: &Dfa) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# fsmgen moore machine");
+    let _ = writeln!(out, "states {}", dfa.num_states());
+    let _ = writeln!(out, "start {}", dfa.start());
+    for s in 0..dfa.num_states() as u32 {
+        let _ = writeln!(
+            out,
+            "{s} {} {} {}",
+            dfa.step(s, false),
+            dfa.step(s, true),
+            u8::from(dfa.output(s))
+        );
+    }
+    out
+}
+
+/// Parses a machine from its text table form.
+///
+/// # Errors
+///
+/// Returns [`ParseMachineError`] with the offending line for malformed
+/// headers, rows, out-of-range transitions, duplicate or missing states.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::{compile_patterns, machine_from_table, machine_to_table};
+///
+/// let fsm = compile_patterns(&[vec![Some(true), None]]);
+/// let text = machine_to_table(&fsm);
+/// let back = machine_from_table(&text)?;
+/// assert_eq!(back, fsm);
+/// # Ok::<(), fsmgen_automata::ParseMachineError>(())
+/// ```
+pub fn machine_from_table(text: &str) -> Result<Dfa, ParseMachineError> {
+    let mut states: Option<usize> = None;
+    let mut start: Option<u32> = None;
+    let mut rows: Vec<Option<([u32; 2], bool)>> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["states", n] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| ParseMachineError::new(line, "invalid state count"))?;
+                if n == 0 {
+                    return Err(ParseMachineError::new(line, "a machine needs >= 1 state"));
+                }
+                states = Some(n);
+                rows = vec![None; n];
+            }
+            ["start", s] => {
+                start = Some(
+                    s.parse()
+                        .map_err(|_| ParseMachineError::new(line, "invalid start state"))?,
+                );
+            }
+            [s, t0, t1, out] => {
+                let n = states.ok_or_else(|| {
+                    ParseMachineError::new(line, "row before the 'states N' header")
+                })?;
+                let parse = |tok: &str, what: &str| -> Result<u32, ParseMachineError> {
+                    tok.parse().map_err(|_| {
+                        ParseMachineError::new(line, format!("invalid {what} {tok:?}"))
+                    })
+                };
+                let s = parse(s, "state id")? as usize;
+                if s >= n {
+                    return Err(ParseMachineError::new(
+                        line,
+                        format!("state {s} out of range"),
+                    ));
+                }
+                if rows[s].is_some() {
+                    return Err(ParseMachineError::new(line, format!("duplicate state {s}")));
+                }
+                let t0 = parse(t0, "transition")?;
+                let t1 = parse(t1, "transition")?;
+                if t0 as usize >= n || t1 as usize >= n {
+                    return Err(ParseMachineError::new(
+                        line,
+                        "transition target out of range",
+                    ));
+                }
+                let output = match *out {
+                    "0" => false,
+                    "1" => true,
+                    other => {
+                        return Err(ParseMachineError::new(
+                            line,
+                            format!("invalid output {other:?}, expected 0 or 1"),
+                        ))
+                    }
+                };
+                rows[s] = Some(([t0, t1], output));
+            }
+            _ => return Err(ParseMachineError::new(line, "unrecognized line")),
+        }
+    }
+
+    let n = states.ok_or_else(|| ParseMachineError::new(0, "missing 'states N' header"))?;
+    let start = start.unwrap_or(0);
+    if start as usize >= n {
+        return Err(ParseMachineError::new(0, "start state out of range"));
+    }
+    let mut transitions = Vec::with_capacity(n);
+    let mut outputs = Vec::with_capacity(n);
+    for (s, row) in rows.into_iter().enumerate() {
+        let (t, o) =
+            row.ok_or_else(|| ParseMachineError::new(0, format!("state {s} has no row")))?;
+        transitions.push(t);
+        outputs.push(o);
+    }
+    Ok(Dfa::from_parts(transitions, outputs, start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_patterns;
+
+    #[test]
+    fn round_trip_paper_machines() {
+        for patterns in [
+            vec![vec![Some(true), None]],
+            vec![
+                vec![Some(false), None, Some(true), None],
+                vec![Some(false), None, None, Some(true), None],
+            ],
+        ] {
+            let fsm = compile_patterns(&patterns);
+            let back = machine_from_table(&machine_to_table(&fsm)).unwrap();
+            assert_eq!(back, fsm);
+        }
+    }
+
+    #[test]
+    fn tolerates_comments_and_order() {
+        let text = "# hand-written\nstates 2\n1 0 1 1\n0 0 1 0 # flip\nstart 1\n";
+        let m = machine_from_table(text).unwrap();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.start(), 1);
+        assert!(m.output(1));
+        assert!(!m.output(0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (text, needle) in [
+            ("", "missing 'states"),
+            ("states 0\n", ">= 1 state"),
+            ("states x\n", "invalid state count"),
+            ("0 0 0 0\n", "before the 'states"),
+            ("states 1\n0 0 0 0\n0 0 0 0\n", "duplicate"),
+            ("states 1\n5 0 0 0\n", "out of range"),
+            ("states 1\n0 7 0 0\n", "target out of range"),
+            ("states 1\n0 0 0 2\n", "invalid output"),
+            ("states 2\n0 0 1 0\n", "state 1 has no row"),
+            ("states 1\nstart 9\n0 0 0 1\n", "start state out of range"),
+            ("states 1\nbogus line with five tokens\n", "unrecognized"),
+            ("states 1\nbogus line here extra2\n", "invalid state id"),
+        ] {
+            let err = machine_from_table(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?} gave {err}, expected {needle:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * don't-care fraction vs machine size and training-trace accuracy
+//!   (§4.3's "1% least seen histories" claim);
+//! * exact Quine–McCluskey vs the Espresso-style heuristic;
+//! * history-length sweep (design cost vs machine size);
+//! * update-all-on-every-branch vs update-on-tag-match-only (§7.3/§7.6);
+//! * state encoding (binary / Gray / one-hot) area impact.
+//!
+//! Each section prints its measured table, then registers Criterion
+//! benchmarks for the costly kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsmgen::{Designer, PatternConfig};
+use fsmgen_bench::banner;
+use fsmgen_bpred::{simulate, CustomTrainer};
+use fsmgen_experiments::fig2::correctness_bits;
+use fsmgen_logicmin::{minimize, Algorithm};
+use fsmgen_synth::{synthesize_area, Encoding};
+use fsmgen_traces::BitTrace;
+use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
+use std::hint::black_box;
+
+/// The global taken/not-taken bit stream of a branch benchmark — a rich,
+/// noisy history source for the design-flow ablations.
+fn branch_bits(bench: BranchBenchmark, len: usize) -> BitTrace {
+    bench
+        .trace(Input::TRAIN, len)
+        .iter()
+        .map(|e| e.taken)
+        .collect()
+}
+
+/// Accuracy of a designed predictor replayed over a trace.
+fn replay_accuracy(design: &fsmgen::Design, bits: &BitTrace, warmup: usize) -> f64 {
+    let mut p = design.predictor();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (i, b) in bits.iter().enumerate() {
+        if i >= warmup {
+            total += 1;
+            if p.predict() == b {
+                correct += 1;
+            }
+        }
+        p.update(b);
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+fn ablate_dont_care() {
+    banner("Ablation: don't-care fraction (paper: 1% halves size, negligible accuracy cost)");
+    let bits = branch_bits(BranchBenchmark::Gs, 40_000);
+    println!("{:<10} {:>8} {:>10}", "dc-frac", "states", "accuracy");
+    for frac in [0.0, 0.01, 0.05, 0.10] {
+        let design = Designer::new(8)
+            .pattern_config(PatternConfig {
+                prob_threshold: 0.5,
+                dont_care_fraction: frac,
+            })
+            .design_from_trace(&bits)
+            .expect("trace long enough");
+        println!(
+            "{:<10} {:>8} {:>9.2}%",
+            format!("{:.0}%", frac * 100.0),
+            design.fsm().num_states(),
+            100.0 * replay_accuracy(&design, &bits, 8)
+        );
+    }
+}
+
+fn ablate_minimizer() {
+    banner("Ablation: exact Quine-McCluskey vs Espresso-style heuristic");
+    let bits = branch_bits(BranchBenchmark::Vortex, 40_000);
+    println!(
+        "{:<12} {:>7} {:>7} {:>9}",
+        "algorithm", "cubes", "lits", "states"
+    );
+    for (name, alg) in [
+        ("exact", Algorithm::Exact),
+        ("heuristic", Algorithm::Heuristic),
+    ] {
+        let design = Designer::new(8)
+            .algorithm(alg)
+            .design_from_trace(&bits)
+            .expect("trace long enough");
+        println!(
+            "{:<12} {:>7} {:>7} {:>9}",
+            name,
+            design.cover().len(),
+            design.cover().literal_count(),
+            design.fsm().num_states()
+        );
+    }
+}
+
+fn ablate_short_window() {
+    banner("Ablation: plain exact vs shortest-window minimization (extension)");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12}",
+        "trace", "N", "exact-states", "short-states"
+    );
+    let row = |name: &str, n: usize, bits: &BitTrace| {
+        let exact = Designer::new(n)
+            .design_from_trace(bits)
+            .expect("long enough");
+        let short = Designer::new(n)
+            .algorithm(Algorithm::ShortWindow)
+            .design_from_trace(bits)
+            .expect("long enough");
+        println!(
+            "{:<12} {:>6} {:>12} {:>12}",
+            name,
+            n,
+            exact.fsm().num_states(),
+            short.fsm().num_states()
+        );
+    };
+    // Periodic behaviours are where window choice matters most: the plain
+    // minimizer may anchor on an old bit when recent bits suffice.
+    for (name, pattern) in [("period-3", "110"), ("period-5", "11010")] {
+        let bits: BitTrace = pattern.repeat(60).parse().expect("literal");
+        for n in [4usize, 8] {
+            row(name, n, &bits);
+        }
+    }
+    for bench in [
+        BranchBenchmark::Gs,
+        BranchBenchmark::Vortex,
+        BranchBenchmark::Compress,
+    ] {
+        let bits = branch_bits(bench, 40_000);
+        for n in [6usize, 8] {
+            row(bench.name(), n, &bits);
+        }
+    }
+}
+
+fn ablate_history() {
+    banner("Ablation: history length vs machine size (paper: no need beyond N=10)");
+    let bits = correctness_bits(ValueBenchmark::Li, Input::TRAIN, 40_000);
+    println!("{:<6} {:>8} {:>10}", "N", "states", "accuracy");
+    for n in [2usize, 4, 6, 8, 10] {
+        let design = Designer::new(n)
+            .design_from_trace(&bits)
+            .expect("long enough");
+        println!(
+            "{:<6} {:>8} {:>9.2}%",
+            n,
+            design.fsm().num_states(),
+            100.0 * replay_accuracy(&design, &bits, n)
+        );
+    }
+}
+
+fn ablate_update_policy() {
+    banner("Ablation: update-all-on-every-branch vs update-on-tag-match (§7.3)");
+    let train = BranchBenchmark::Ijpeg.trace(Input::TRAIN, 40_000);
+    let eval = BranchBenchmark::Ijpeg.trace(Input::EVAL, 40_000);
+    let designs = CustomTrainer::paper_default().train(&train, 6);
+    let mut all = designs.architecture(6);
+    let mut matched = designs.architecture(6).with_update_on_match_only();
+    let r_all = simulate(&mut all, &eval);
+    let r_match = simulate(&mut matched, &eval);
+    println!(
+        "update-all:      {:>6.2}% miss rate",
+        100.0 * r_all.miss_rate()
+    );
+    println!(
+        "update-on-match: {:>6.2}% miss rate",
+        100.0 * r_match.miss_rate()
+    );
+}
+
+fn ablate_encoding() {
+    banner("Ablation: state encoding area impact (binary / gray / one-hot)");
+    let train = BranchBenchmark::Gsm.trace(Input::TRAIN, 40_000);
+    let designs = CustomTrainer::paper_default().train(&train, 4);
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>8}",
+        "branch", "states", "binary", "gray", "onehot"
+    );
+    for (pc, design) in designs.designs() {
+        let fsm = design.fsm();
+        let areas: Vec<f64> = [Encoding::Binary, Encoding::Gray, Encoding::OneHot]
+            .iter()
+            .map(|&e| synthesize_area(fsm, e).area)
+            .collect();
+        println!(
+            "{:<#10x} {:>7} {:>8.0} {:>8.0} {:>8.0}",
+            pc,
+            fsm.num_states(),
+            areas[0],
+            areas[1],
+            areas[2]
+        );
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let bits = correctness_bits(ValueBenchmark::Gcc, Input::TRAIN, 30_000);
+    let model = fsmgen::MarkovModel::from_bit_trace(8, &bits).unwrap();
+    let sets = fsmgen::PatternSets::from_model(&model, &PatternConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("ablate/minimizer_h8");
+    for (name, alg) in [
+        ("exact", Algorithm::Exact),
+        ("heuristic", Algorithm::Heuristic),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &alg, |b, &alg| {
+            b.iter(|| black_box(minimize(black_box(sets.spec()), alg)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablate/design_by_history");
+    group.sample_size(20);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    Designer::new(n)
+                        .design_from_trace(black_box(&bits))
+                        .unwrap()
+                        .fsm()
+                        .num_states(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    ablate_dont_care();
+    ablate_minimizer();
+    ablate_short_window();
+    ablate_history();
+    ablate_update_policy();
+    ablate_encoding();
+    bench_kernels(c);
+}
+
+criterion_group!(ablation_benches, benches);
+criterion_main!(ablation_benches);

@@ -1,0 +1,98 @@
+//! Benchmarks the automated design flow itself, stage by stage — the
+//! paper reports "generating all of the FSM predictors for each program
+//! ... took from 20 seconds to 2 minutes on a 500 MHZ Alpha 21264"; this
+//! harness shows where the modern reimplementation spends its time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsmgen::{Designer, MarkovModel};
+use fsmgen_automata::{Dfa, Nfa, Regex};
+use fsmgen_logicmin::{minimize, Algorithm, FunctionSpec};
+use fsmgen_traces::BitTrace;
+use fsmgen_workloads::{BranchBenchmark, Input};
+use std::hint::black_box;
+
+/// A behaviour trace with learnable structure for flow benchmarks.
+fn training_bits(len: usize) -> BitTrace {
+    let mut state = 0xACE1_u32;
+    (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            // Mostly periodic with some noise.
+            (i % 7 < 4) ^ (state >> 24 & 0x1f == 0)
+        })
+        .collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let bits = training_bits(50_000);
+
+    // Stage 1: Markov modeling.
+    let mut group = c.benchmark_group("flow/markov_model_50k");
+    for n in [4usize, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(MarkovModel::from_bit_trace(n, black_box(&bits)).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Stage 2+3: pattern definition + logic minimization on a dense spec.
+    let model = MarkovModel::from_bit_trace(9, &bits).unwrap();
+    let sets = fsmgen::PatternSets::from_model(&model, &fsmgen::PatternConfig::default()).unwrap();
+    let spec: &FunctionSpec = sets.spec();
+    let mut group = c.benchmark_group("flow/minimize_h9_spec");
+    group.bench_function("exact_qm", |b| {
+        b.iter(|| black_box(minimize(black_box(spec), Algorithm::Exact)))
+    });
+    group.bench_function("espresso_heuristic", |b| {
+        b.iter(|| black_box(minimize(black_box(spec), Algorithm::Heuristic)))
+    });
+    group.finish();
+
+    // Stage 4+5: regex -> NFA -> DFA -> minimized -> reduced.
+    let cover = minimize(spec, Algorithm::Exact);
+    let patterns: Vec<Regex> = cover
+        .cubes()
+        .iter()
+        .map(|cube| {
+            Regex::pattern(
+                &(0..9usize)
+                    .rev()
+                    .map(|v| cube.var(v))
+                    .collect::<Vec<Option<bool>>>(),
+            )
+        })
+        .collect();
+    let lang = Regex::ending_in(patterns);
+    c.bench_function("flow/regex_to_reduced_fsm", |b| {
+        b.iter(|| {
+            let dfa = Dfa::from_nfa(&Nfa::from_regex(black_box(&lang)));
+            black_box(dfa.minimized().steady_state_reduced().num_states())
+        })
+    });
+
+    // Whole flow at the paper's history lengths.
+    let mut group = c.benchmark_group("flow/end_to_end_50k_trace");
+    group.sample_size(20);
+    for n in [2usize, 6, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    Designer::new(n)
+                        .design_from_trace(black_box(&bits))
+                        .unwrap()
+                        .fsm()
+                        .num_states(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Workload generation throughput (the substrate cost).
+    c.bench_function("flow/generate_vortex_trace_50k", |b| {
+        b.iter(|| black_box(BranchBenchmark::Vortex.trace(Input::TRAIN, 50_000).len()))
+    });
+}
+
+criterion_group!(flow_benches, bench_stages);
+criterion_main!(flow_benches);

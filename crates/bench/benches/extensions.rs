@@ -1,0 +1,389 @@
+//! Extension studies beyond the paper's evaluation, each anchored to a
+//! passage of the paper:
+//!
+//! * **loop termination prediction** (§7.5 names it as the fix for
+//!   `compress`'s dominant branch);
+//! * **PPM** (§3.2 prior work, Chen et al.) as an idealized comparator;
+//! * **evolutionary search vs the constructive flow** (§3.2, Emer & Gloy);
+//! * **pipeline gating with FSM confidence** (§2.5, Manne et al.);
+//! * **suite-customized counter FSMs for general purpose tables** (§1);
+//! * **cache exclusion with designed FSMs** (§2.4, McFarling/Tyson);
+//! * **net speculation benefit under squash vs re-execution recovery**
+//!   (§6.2, Calder et al.).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsmgen::Designer;
+use fsmgen_bench::banner;
+use fsmgen_bpred::{
+    design_suite_counter, simulate, simulate_gating, two_bit_counter_machine, BranchPredictor,
+    Combining, CustomTrainer, FsmBranchConfidence, FsmTable, Gshare, LocalGlobalChooser,
+    LoopAssisted, Ppm, ResettingConfidence, XScaleBtb,
+};
+use fsmgen_evolve::{evolve, replay_accuracy, EvolveConfig};
+use fsmgen_traces::{BitTrace, BranchTrace, HistoryRegister};
+use fsmgen_workloads::{BranchBenchmark, Input};
+use std::hint::black_box;
+
+const LEN: usize = 40_000;
+
+fn loop_termination() {
+    banner("Extension: loop termination prediction on compress (§7.5)");
+    let eval = BranchBenchmark::Compress.trace(Input::EVAL, LEN);
+    println!("{:<24} {:>10}", "predictor", "miss rate");
+    let row = |p: &mut dyn BranchPredictor| {
+        let r = simulate(p, &eval);
+        println!("{:<24} {:>9.2}%", p.describe(), 100.0 * r.miss_rate());
+    };
+    row(&mut XScaleBtb::xscale());
+    row(&mut LoopAssisted::new(XScaleBtb::xscale()));
+    let train = BranchBenchmark::Compress.trace(Input::TRAIN, LEN);
+    let designs = CustomTrainer::paper_default().train(&train, 4);
+    row(&mut designs.architecture(4));
+    // The paper's suggestion: customs for correlation + loop hardware for
+    // the trip-count branch.
+    row(&mut LoopAssisted::new(designs.architecture(4)));
+}
+
+fn ppm_comparison() {
+    banner("Extension: idealized PPM (Chen et al., §3.2) vs tables and customs");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "xscale", "gshare4k", "combin.", "ppm-o8", "custom-6"
+    );
+    for bench in BranchBenchmark::ALL {
+        let train = bench.trace(Input::TRAIN, LEN);
+        let eval = bench.trace(Input::EVAL, LEN);
+        let designs = CustomTrainer::paper_default().train(&train, 6);
+        let rates = [
+            simulate(&mut XScaleBtb::xscale(), &eval).miss_rate(),
+            simulate(&mut Gshare::new(4096), &eval).miss_rate(),
+            simulate(&mut Combining::new(1024, 4096, 1024), &eval).miss_rate(),
+            simulate(&mut Ppm::new(8), &eval).miss_rate(),
+            simulate(&mut designs.architecture(6), &eval).miss_rate(),
+        ];
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            bench.name(),
+            100.0 * rates[0],
+            100.0 * rates[1],
+            100.0 * rates[2],
+            100.0 * rates[3],
+            100.0 * rates[4]
+        );
+    }
+}
+
+fn evolution_comparison() {
+    banner("Extension: genetic search (Emer & Gloy style, §3.2) vs the design flow");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "trace", "designed acc", "evolved acc"
+    );
+    for bench in [BranchBenchmark::Ijpeg, BranchBenchmark::Compress] {
+        let bits: BitTrace = bench
+            .trace(Input::TRAIN, 20_000)
+            .iter()
+            .map(|e| e.taken)
+            .collect();
+        let design = Designer::new(6)
+            .design_from_trace(&bits)
+            .expect("long trace");
+        let evolved = evolve(
+            &bits,
+            &EvolveConfig {
+                states: design.fsm().num_states().max(2),
+                generations: 80,
+                ..EvolveConfig::default()
+            },
+        )
+        .expect("valid config");
+        println!(
+            "{:<10} {:>13.1}% ({:>2}st) {:>10.1}% ({:>2}st)",
+            bench.name(),
+            100.0 * replay_accuracy(design.fsm(), &bits),
+            design.fsm().num_states(),
+            100.0 * evolved.accuracy,
+            evolved.machine.num_states()
+        );
+    }
+}
+
+fn gating_study() {
+    banner("Extension: pipeline gating with FSM confidence (§2.5)");
+    let train = BranchBenchmark::Vortex.trace(Input::TRAIN, LEN);
+    let eval = BranchBenchmark::Vortex.trace(Input::EVAL, LEN);
+
+    // Train the FSM on the baseline's per-branch correctness stream.
+    let mut predictor = XScaleBtb::xscale();
+    let mut model = fsmgen::MarkovModel::new(6);
+    let mut hists: std::collections::BTreeMap<u64, HistoryRegister> =
+        std::collections::BTreeMap::new();
+    for e in &train {
+        let correct = predictor.predict(e.pc) == e.taken;
+        let h = hists.entry(e.pc).or_insert_with(|| HistoryRegister::new(6));
+        if h.is_full() {
+            model.observe(h.value(), correct);
+        }
+        h.push(correct);
+        predictor.update(e.pc, e.taken);
+    }
+    let design = Designer::new(6)
+        .prob_threshold(0.8)
+        .design_from_model(model)
+        .expect("non-empty model");
+
+    println!(
+        "{:<26} {:>10} {:>11} {:>13}",
+        "estimator", "coverage", "precision", "slots/branch"
+    );
+    let mut jrs = ResettingConfidence::new(256, 8, 4);
+    let s1 = simulate_gating(&mut XScaleBtb::xscale(), &mut jrs, &eval);
+    println!(
+        "{:<26} {:>9.1}% {:>10.1}% {:>13.3}",
+        "resetting(m8,t4)",
+        100.0 * s1.flush_coverage(),
+        100.0 * s1.gating_precision(),
+        s1.net_savings(8.0, 2.0)
+    );
+    let mut fsm = FsmBranchConfidence::new(256, design.into_fsm(), "fsm-h6-t0.80");
+    let s2 = simulate_gating(&mut XScaleBtb::xscale(), &mut fsm, &eval);
+    println!(
+        "{:<26} {:>9.1}% {:>10.1}% {:>13.3}",
+        "fsm-h6-t0.80",
+        100.0 * s2.flush_coverage(),
+        100.0 * s2.gating_precision(),
+        s2.net_savings(8.0, 2.0)
+    );
+}
+
+fn suite_counter() {
+    banner("Extension: suite-customized counter FSM in a general table (§1)");
+    println!("{:<12} {:>10} {:>12}", "held-out", "2-bit", "suite FSM");
+    for held_out in BranchBenchmark::ALL {
+        let training: Vec<BranchTrace> = BranchBenchmark::ALL
+            .into_iter()
+            .filter(|b| *b != held_out)
+            .map(|b| b.trace(Input::TRAIN, 15_000))
+            .collect();
+        let refs: Vec<&BranchTrace> = training.iter().collect();
+        let Ok(design) = design_suite_counter(&refs, 4, &Designer::new(4)) else {
+            continue;
+        };
+        let eval = held_out.trace(Input::EVAL, 20_000);
+        let base = simulate(
+            &mut FsmTable::new(1024, two_bit_counter_machine(), "2bit"),
+            &eval,
+        )
+        .miss_rate();
+        let custom = simulate(
+            &mut FsmTable::new(1024, design.into_fsm(), "suite-h4"),
+            &eval,
+        )
+        .miss_rate();
+        println!(
+            "{:<12} {:>9.2}% {:>11.2}%",
+            held_out.name(),
+            100.0 * base,
+            100.0 * custom
+        );
+    }
+}
+
+fn recovery_speedup() {
+    banner("Extension: net speculation benefit under squash vs re-execution recovery (§6.2)");
+    use fsmgen_experiments::fig2::cross_training_model;
+    use fsmgen_vpred::{
+        run_confidence, FsmConfidence, RecoveryModel, SudConfidence, SudConfig, TwoDeltaStride,
+    };
+    use fsmgen_workloads::ValueBenchmark;
+    println!(
+        "{:<10} {:<22} {:>14} {:>14}",
+        "benchmark", "estimator", "squash cyc/pred", "reexec cyc/pred"
+    );
+    for bench in [ValueBenchmark::Gcc, ValueBenchmark::Li] {
+        let eval = bench.trace(Input::EVAL, LEN);
+        let mut rows: Vec<(String, fsmgen_vpred::ConfidenceStats)> = Vec::new();
+        for thr in [0.5, 0.95] {
+            let model = cross_training_model(bench, 8, LEN);
+            let design = Designer::new(8)
+                .prob_threshold(thr)
+                .design_from_model(model)
+                .expect("non-empty model");
+            let mut table = TwoDeltaStride::paper_default();
+            let mut est = FsmConfidence::per_entry(
+                table.len(),
+                design.into_fsm(),
+                format!("fsm-h8-t{thr:.2}"),
+            );
+            let stats = run_confidence(&mut table, &mut est, &eval);
+            rows.push((format!("fsm-h8-t{thr:.2}"), stats));
+        }
+        let mut table = TwoDeltaStride::paper_default();
+        let mut sud = SudConfidence::new(
+            table.len(),
+            SudConfig {
+                max: 10,
+                penalty: u32::MAX,
+                threshold_pct: 80,
+            },
+        );
+        let stats = run_confidence(&mut table, &mut sud, &eval);
+        rows.push(("sud-m10-pfull-t80".to_string(), stats));
+        for (label, stats) in rows {
+            println!(
+                "{:<10} {:<22} {:>14.4} {:>14.4}",
+                bench.name(),
+                label,
+                RecoveryModel::squash().net_cycles_per_prediction(&stats),
+                RecoveryModel::reexecute().net_cycles_per_prediction(&stats)
+            );
+        }
+    }
+}
+
+fn cache_exclusion() {
+    banner("Extension: cache exclusion with designed FSMs (§2.4)");
+    use fsmgen_cache::{
+        design_exclusion_fsm, run_cache, AllocationPolicy, AlwaysAllocate, Cache, CounterExclusion,
+        FsmExclusion, MemoryWorkload,
+    };
+    let w = MemoryWorkload::pollution_mix();
+    let train = w.generate(60_000, 1);
+    let eval = w.generate(60_000, 2);
+    let design =
+        design_exclusion_fsm(&train, &Cache::embedded_8k(), 4).expect("reuse stream long enough");
+    let fsm_states = design.fsm().num_states();
+    println!("{:<26} {:>10} {:>10}", "policy", "hit rate", "bypasses");
+    let report = |name: &str, policy: &mut dyn AllocationPolicy| {
+        let stats = run_cache(&mut Cache::embedded_8k(), policy, &eval);
+        println!(
+            "{:<26} {:>9.1}% {:>10}",
+            name,
+            100.0 * stats.hit_rate(),
+            stats.bypasses
+        );
+    };
+    report("always-allocate", &mut AlwaysAllocate);
+    report("counter-excl(m3,t0)", &mut CounterExclusion::new(3, 0));
+    let label = format!("fsm-excl-h4 ({fsm_states}st)");
+    report(
+        &label,
+        &mut FsmExclusion::new(design.into_fsm(), label.clone()),
+    );
+}
+
+fn dual_path() {
+    banner("Extension: selective dual-path execution (§2.3, Heil & Smith / PolyPath)");
+    use fsmgen_bpred::{simulate_dual_path, DualPathModel};
+    let eval = BranchBenchmark::Gsm.trace(Input::EVAL, LEN);
+    let model = DualPathModel::small_smt();
+    println!(
+        "{:<22} {:>10} {:>11} {:>13}",
+        "fork policy", "coverage", "precision", "slots/branch"
+    );
+    let mut selective = ResettingConfidence::new(256, 8, 4);
+    let s = simulate_dual_path(&mut XScaleBtb::xscale(), &mut selective, &eval, &model);
+    println!(
+        "{:<22} {:>9.1}% {:>10.1}% {:>13.3}",
+        "low-confidence only",
+        100.0 * s.flush_coverage(),
+        100.0 * s.fork_precision(),
+        s.net_savings(8.0, 2.0)
+    );
+}
+
+fn stream_buffers() {
+    banner("Extension: predictor-guided stream buffer allocation (§2.4, [39])");
+    use fsmgen_cache::{AllocateAlways, AllocationFilter, CounterFilter, StreamBufferUnit};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    // Two sequential loads and two random loads compete for two buffers.
+    let run = |filter: &mut dyn AllocationFilter, label: &str| {
+        let mut unit = StreamBufferUnit::new(2, 8, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..10_000u64 {
+            unit.miss(0x40, 0x10_0000 + i * 32, filter);
+            unit.miss(0x44, 0x20_0000 + i * 64, filter);
+            unit.miss(
+                0x80,
+                0x4000_0000 + (rng.random::<u32>() as u64 & !31),
+                filter,
+            );
+            unit.miss(
+                0x84,
+                0x8000_0000 + (rng.random::<u32>() as u64 & !31),
+                filter,
+            );
+        }
+        let s = unit.stats();
+        println!(
+            "{:<22} {:>9.1}% {:>11.1}%",
+            label,
+            100.0 * s.coverage(),
+            100.0 * s.usefulness()
+        );
+    };
+    println!("{:<22} {:>10} {:>12}", "filter", "coverage", "usefulness");
+    run(&mut AllocateAlways, "allocate-always");
+    run(&mut CounterFilter::two_bit(), "counter-filter");
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let eval = BranchBenchmark::Compress.trace(Input::EVAL, 20_000);
+    c.bench_function("ext/loop_assisted_xscale_20k", |b| {
+        b.iter(|| {
+            let mut p = LoopAssisted::new(XScaleBtb::xscale());
+            black_box(simulate(&mut p, black_box(&eval)))
+        })
+    });
+    c.bench_function("ext/ppm_o8_20k", |b| {
+        b.iter(|| {
+            let mut p = Ppm::new(8);
+            black_box(simulate(&mut p, black_box(&eval)))
+        })
+    });
+    c.bench_function("ext/lgc_20k", |b| {
+        b.iter(|| {
+            let mut p = LocalGlobalChooser::new(512, 10, 4096);
+            black_box(simulate(&mut p, black_box(&eval)))
+        })
+    });
+
+    let bits: BitTrace = eval.iter().map(|e| e.taken).collect();
+    let mut group = c.benchmark_group("ext/evolve_20k_trace");
+    group.sample_size(10);
+    group.bench_function("pop32_gen40", |b| {
+        b.iter(|| {
+            black_box(
+                evolve(
+                    black_box(&bits),
+                    &EvolveConfig {
+                        states: 8,
+                        population: 32,
+                        generations: 40,
+                        ..EvolveConfig::default()
+                    },
+                )
+                .expect("valid config")
+                .accuracy,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    loop_termination();
+    ppm_comparison();
+    evolution_comparison();
+    gating_study();
+    suite_counter();
+    recovery_speedup();
+    cache_exclusion();
+    dual_path();
+    stream_buffers();
+    bench_kernels(c);
+}
+
+criterion_group!(extension_benches, benches);
+criterion_main!(extension_benches);

@@ -1,0 +1,78 @@
+//! Regenerates Figure 2 (value-prediction confidence: coverage vs
+//! accuracy, SUD counters vs cross-trained custom FSMs) and benchmarks the
+//! confidence-evaluation kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsmgen::Designer;
+use fsmgen_bench::{banner, quick_mode};
+use fsmgen_experiments::fig2::{self, Fig2Config};
+use fsmgen_experiments::report::{fig2_csv, fig2_table};
+use fsmgen_vpred::{
+    per_entry_correctness_model, run_confidence, FsmConfidence, SudConfidence, SudConfig,
+    TwoDeltaStride,
+};
+use fsmgen_workloads::{Input, ValueBenchmark};
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Figure 2: value prediction confidence (coverage vs accuracy)");
+    let config = if quick_mode() {
+        Fig2Config::quick()
+    } else {
+        Fig2Config::default()
+    };
+    for panel in fig2::run(&config) {
+        println!("{}", fig2_table(&panel));
+        fsmgen_bench::write_artifact(&format!("fig2_{}.csv", panel.benchmark), &fig2_csv(&panel));
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let trace = ValueBenchmark::Li.trace(Input::EVAL, 20_000);
+    let model = per_entry_correctness_model(&mut TwoDeltaStride::paper_default(), &trace, 6);
+
+    c.bench_function("fig2/design_confidence_fsm_h6", |b| {
+        b.iter(|| {
+            let design = Designer::new(6)
+                .prob_threshold(0.8)
+                .design_from_model(black_box(model.clone()))
+                .expect("model is non-empty");
+            black_box(design.fsm().num_states())
+        })
+    });
+
+    let design = Designer::new(6)
+        .prob_threshold(0.8)
+        .design_from_model(model)
+        .expect("model is non-empty");
+    c.bench_function("fig2/evaluate_fsm_confidence_20k_loads", |b| {
+        b.iter(|| {
+            let mut table = TwoDeltaStride::paper_default();
+            let mut est = FsmConfidence::per_entry(table.len(), design.fsm().clone(), "bench");
+            black_box(run_confidence(&mut table, &mut est, black_box(&trace)))
+        })
+    });
+
+    c.bench_function("fig2/evaluate_sud_confidence_20k_loads", |b| {
+        b.iter(|| {
+            let mut table = TwoDeltaStride::paper_default();
+            let mut est = SudConfidence::new(
+                table.len(),
+                SudConfig {
+                    max: 10,
+                    penalty: 2,
+                    threshold_pct: 80,
+                },
+            );
+            black_box(run_confidence(&mut table, &mut est, black_box(&trace)))
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    bench_kernels(c);
+}
+
+criterion_group!(fig2_benches, benches);
+criterion_main!(fig2_benches);

@@ -1,0 +1,52 @@
+//! Regenerates Figure 4 (area vs number of states for a sample of custom
+//! FSM predictors, with the fitted linear bound) and benchmarks the
+//! structural synthesis kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsmgen_automata::compile_patterns;
+use fsmgen_bench::{banner, quick_mode};
+use fsmgen_experiments::fig4::{self, Fig4Config};
+use fsmgen_experiments::report::{fig4_csv, fig4_table};
+use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Figure 4: synthesized area vs number of states");
+    let config = if quick_mode() {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::default()
+    };
+    let result = fig4::run(&config);
+    println!("{}", fig4_table(&result));
+    fsmgen_bench::write_artifact("fig4_area.csv", &fig4_csv(&result));
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let small = compile_patterns(&[vec![Some(true), None]]);
+    let large = compile_patterns(&[
+        vec![Some(false), None, Some(true), None],
+        vec![Some(false), None, None, Some(true), None],
+        vec![Some(true), Some(true), None, None, Some(false)],
+    ]);
+
+    let mut group = c.benchmark_group("fig4/synthesize_area");
+    for (name, fsm) in [("4_states", &small), ("large", &large)] {
+        group.bench_function(format!("{name}_{}st", fsm.num_states()), |b| {
+            b.iter(|| black_box(synthesize_area(black_box(fsm), Encoding::Binary)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig4/emit_vhdl_large", |b| {
+        b.iter(|| black_box(to_vhdl(black_box(&large), &VhdlOptions::default())))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    bench_kernels(c);
+}
+
+criterion_group!(fig4_benches, benches);
+criterion_main!(fig4_benches);

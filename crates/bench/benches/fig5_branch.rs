@@ -1,0 +1,99 @@
+//! Regenerates Figure 5 (misprediction rate vs estimated area: XScale,
+//! gshare, LGC, custom-same and custom-diff on six benchmarks) and
+//! benchmarks the predictor simulation kernels.
+//!
+//! The custom-FSM areas are priced with the linear model fitted by the
+//! Figure 4 experiment, exactly as §7.4 prescribes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsmgen_bench::{banner, quick_mode};
+use fsmgen_bpred::{simulate, CustomTrainer, Gshare, LocalGlobalChooser, XScaleBtb};
+use fsmgen_experiments::fig4::{self, Fig4Config};
+use fsmgen_experiments::fig5::{self, Fig5Config};
+use fsmgen_experiments::headlines;
+use fsmgen_experiments::report::{fig5_csv, fig5_table};
+use fsmgen_workloads::{BranchBenchmark, Input};
+use std::hint::black_box;
+
+fn regenerate() {
+    banner("Figure 5: misprediction rate vs estimated area");
+    let quick = quick_mode();
+    // First fit the area line from the Figure 4 population.
+    let fig4_cfg = if quick {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::default()
+    };
+    let area = fig4::run(&fig4_cfg);
+    println!(
+        "using area model from Figure 4: area = {:.2} * states + {:.2}\n",
+        area.slope, area.intercept
+    );
+    let mut config = if quick {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::default()
+    };
+    config.area_model = area.model();
+    for panel in fig5::run(&config) {
+        println!("{}", fig5_table(&panel));
+        fsmgen_bench::write_artifact(&format!("fig5_{}.csv", panel.benchmark), &fig5_csv(&panel));
+    }
+
+    banner("Headline claims (§6.4 / §7.5) verified on this substrate");
+    let claims = headlines::run(&headlines::HeadlineConfig {
+        trace_len: config.trace_len,
+    });
+    println!("{}", headlines::table(&claims));
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let trace = BranchBenchmark::Vortex.trace(Input::EVAL, 30_000);
+
+    let mut group = c.benchmark_group("fig5/simulate_30k_branches");
+    group.bench_function("xscale", |b| {
+        b.iter(|| {
+            let mut p = XScaleBtb::xscale();
+            black_box(simulate(&mut p, black_box(&trace)))
+        })
+    });
+    group.bench_function("gshare_4096", |b| {
+        b.iter(|| {
+            let mut p = Gshare::new(4096);
+            black_box(simulate(&mut p, black_box(&trace)))
+        })
+    });
+    group.bench_function("lgc_512", |b| {
+        b.iter(|| {
+            let mut p = LocalGlobalChooser::new(512, 10, 4096);
+            black_box(simulate(&mut p, black_box(&trace)))
+        })
+    });
+
+    let designs = CustomTrainer::paper_default().train(&trace, 4);
+    group.bench_function("custom_4fsm", |b| {
+        b.iter(|| {
+            let mut p = designs.architecture(4);
+            black_box(simulate(&mut p, black_box(&trace)))
+        })
+    });
+    group.finish();
+
+    c.bench_function("fig5/train_4_custom_fsms_h9", |b| {
+        b.iter(|| {
+            black_box(
+                CustomTrainer::paper_default()
+                    .train(black_box(&trace), 4)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    bench_kernels(c);
+}
+
+criterion_group!(fig5_benches, benches);
+criterion_main!(fig5_benches);

@@ -1,0 +1,44 @@
+//! Shared helpers for the `fsmgen` benchmark harness.
+//!
+//! Each Criterion bench in `benches/` does two jobs: it *regenerates the
+//! paper artifact* (printing the figure's rows/series to stdout, captured
+//! into `bench_output.txt` by the top-level run), and it *benchmarks the
+//! kernels* involved so performance regressions in the design flow and
+//! simulators are visible.
+
+#![forbid(unsafe_code)]
+
+/// Prints a banner separating regenerated-figure output from Criterion's
+/// own reporting.
+pub fn banner(title: &str) {
+    println!("\n{:=^72}\n", format!(" {title} "));
+}
+
+/// Environment-tunable experiment scale: set `FSMGEN_BENCH_SCALE=quick`
+/// for a fast smoke run, anything else (or unset) for the full default
+/// configuration.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("FSMGEN_BENCH_SCALE").is_ok_and(|v| v == "quick")
+}
+
+/// Writes a regenerated-figure artifact (e.g. CSV) under
+/// `target/figures/`, creating the directory as needed, and prints where
+/// it went. Failures are reported but never abort a bench run.
+pub fn write_artifact(name: &str, contents: &str) {
+    // Benches run with the bench crate as CWD; anchor on the workspace
+    // root so artifacts land in the top-level target/ directory.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("figures");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,175 @@
+//! McFarling's combining predictor (DEC WRL TN-36, the paper's reference
+//! [26] for gshare): a bimodal predictor and a gshare predictor run in
+//! parallel, with a table of 2-bit chooser counters — indexed by PC —
+//! picking which component to trust per branch.
+//!
+//! The LGC of §7.5 is the local/global instance of this idea; this is the
+//! bimodal/gshare instance, completing the classic combining family for
+//! the Figure 5 comparisons.
+
+use crate::counter::SaturatingCounter;
+use crate::sim::BranchPredictor;
+use crate::tables::{Bimodal, Gshare};
+
+/// A bimodal + gshare combining predictor with a per-PC chooser.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_bpred::{BranchPredictor, Combining};
+///
+/// let mut p = Combining::new(1024, 4096, 1024);
+/// let _ = p.predict(0x40);
+/// p.update(0x40, true);
+/// assert!(p.storage_bits() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Combining {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    /// Predict-true means "use gshare".
+    chooser: Vec<SaturatingCounter>,
+}
+
+impl Combining {
+    /// Creates the predictor with the given component table sizes and
+    /// chooser entries (all powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is not a power of two (propagated from the
+    /// component constructors) or `chooser_entries` is zero.
+    #[must_use]
+    pub fn new(bimodal_entries: usize, gshare_entries: usize, chooser_entries: usize) -> Self {
+        assert!(
+            chooser_entries.is_power_of_two(),
+            "chooser size must be a power of two"
+        );
+        Combining {
+            bimodal: Bimodal::new(bimodal_entries),
+            gshare: Gshare::new(gshare_entries),
+            chooser: vec![SaturatingCounter::two_bit().with_value(1); chooser_entries],
+        }
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.chooser.len() - 1)
+    }
+}
+
+impl BranchPredictor for Combining {
+    fn predict(&mut self, pc: u64) -> bool {
+        if self.chooser[self.chooser_index(pc)].predict() {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let bim = self.bimodal.predict(pc);
+        let gsh = self.gshare.predict(pc);
+        // Train the chooser toward the component that was right, only on
+        // disagreement (McFarling's rule).
+        if bim != gsh {
+            let i = self.chooser_index(pc);
+            self.chooser[i].update(gsh == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.bimodal.storage_bits() + self.gshare.storage_bits() + self.chooser.len() * 2
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "combining({}+{})",
+            self.bimodal.describe(),
+            self.gshare.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use fsmgen_traces::{BranchEvent, BranchTrace};
+    use fsmgen_workloads::{BranchBenchmark, Input};
+
+    /// A workload with one biased branch (bimodal's strength) and one
+    /// globally-correlated branch (gshare's strength).
+    fn mixed_trace(n: usize) -> BranchTrace {
+        let mut t = BranchTrace::new();
+        let mut state = 3u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let coin = state >> 62 & 1 == 1;
+            t.push(BranchEvent {
+                pc: 0x100,
+                target: 0,
+                taken: coin,
+            }); // driver
+            t.push(BranchEvent {
+                pc: 0x104,
+                target: 0,
+                taken: coin,
+            }); // copies driver
+            t.push(BranchEvent {
+                pc: 0x108,
+                target: 0,
+                taken: true,
+            }); // biased
+        }
+        t
+    }
+
+    #[test]
+    fn beats_both_components_on_mixed_work() {
+        let trace = mixed_trace(3_000);
+        let combined = simulate(&mut Combining::new(1024, 1024, 1024), &trace);
+        let bimodal = simulate(&mut Bimodal::new(1024), &trace);
+        let gshare = simulate(&mut Gshare::new(1024), &trace);
+        assert!(
+            combined.miss_rate() <= bimodal.miss_rate() + 0.01
+                && combined.miss_rate() <= gshare.miss_rate() + 0.01,
+            "combined {:.3} vs bimodal {:.3} / gshare {:.3}",
+            combined.miss_rate(),
+            bimodal.miss_rate(),
+            gshare.miss_rate()
+        );
+        // The correlated branch must be captured (gshare side).
+        let (execs, misses) = combined.per_branch[&0x104];
+        assert!((misses as f64) < 0.1 * execs as f64);
+    }
+
+    #[test]
+    fn competitive_on_the_benchmark_suite() {
+        for bench in [BranchBenchmark::Gsm, BranchBenchmark::G721] {
+            let trace = bench.trace(Input::TRAIN, 20_000);
+            let combined = simulate(&mut Combining::new(1024, 4096, 1024), &trace);
+            let gshare = simulate(&mut Gshare::new(4096), &trace);
+            assert!(
+                combined.miss_rate() <= gshare.miss_rate() + 0.005,
+                "{bench}: combined {:.3} vs gshare {:.3}",
+                combined.miss_rate(),
+                gshare.miss_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn storage_and_describe() {
+        let p = Combining::new(256, 512, 128);
+        assert_eq!(p.storage_bits(), 256 * 2 + (512 * 2 + 9) + 128 * 2);
+        assert_eq!(p.describe(), "combining(bimodal-256+gshare-512)");
+    }
+
+    #[test]
+    #[should_panic(expected = "chooser size")]
+    fn bad_chooser_size_rejected() {
+        let _ = Combining::new(256, 256, 100);
+    }
+}

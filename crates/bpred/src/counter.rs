@@ -1,0 +1,186 @@
+//! Saturating up/down counters — "the majority of FSM predictors used in
+//! prior research" (§3.1) and the baseline the paper's custom FSMs are
+//! measured against.
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating up/down (SUD) counter.
+///
+/// Four values define it (§3.1): the saturation threshold (maximum value),
+/// the increment applied on one kind of event, the decrement applied on the
+/// other, and the prediction threshold. The counter predicts "yes" when its
+/// value exceeds the prediction threshold.
+///
+/// For branch prediction the events are taken/not-taken; for confidence
+/// estimation they are correct/incorrect.
+///
+/// # Examples
+///
+/// The classic 2-bit branch counter:
+///
+/// ```
+/// use fsmgen_bpred::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::two_bit();
+/// assert!(!c.predict()); // starts at 0: predict not-taken
+/// c.update(true);
+/// c.update(true);
+/// assert!(c.predict()); // two takens push it past the threshold
+/// c.update(true);       // saturate at 3 (strongly taken)
+/// c.update(false);
+/// assert!(c.predict()); // hysteresis: one not-taken is tolerated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+    inc: u32,
+    dec: u32,
+    threshold: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with the four defining parameters, starting at 0.
+    ///
+    /// `dec == u32::MAX` is interpreted as a *full* penalty: any down event
+    /// resets the counter to zero (the paper's "full" miss penalty and the
+    /// resetting counters of Jacobsen et al.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero or `threshold > max`.
+    #[must_use]
+    pub fn new(max: u32, inc: u32, dec: u32, threshold: u32) -> Self {
+        assert!(max > 0, "saturation threshold must be positive");
+        assert!(threshold <= max, "prediction threshold must not exceed max");
+        SaturatingCounter {
+            value: 0,
+            max,
+            inc,
+            dec,
+            threshold,
+        }
+    }
+
+    /// The standard 2-bit counter: max 3, ±1, predict when value > 1.
+    #[must_use]
+    pub fn two_bit() -> Self {
+        SaturatingCounter::new(3, 1, 1, 1)
+    }
+
+    /// A resetting counter (Jacobsen et al.): increments by 1, resets to 0
+    /// on a down event, predicts above `threshold`.
+    #[must_use]
+    pub fn resetting(max: u32, threshold: u32) -> Self {
+        SaturatingCounter::new(max, 1, u32::MAX, threshold)
+    }
+
+    /// Starts the counter at `value` (clamped to the saturation range).
+    #[must_use]
+    pub fn with_value(mut self, value: u32) -> Self {
+        self.value = value.min(self.max);
+        self
+    }
+
+    /// Current prediction: `true` when the value exceeds the threshold.
+    #[must_use]
+    pub fn predict(&self) -> bool {
+        self.value > self.threshold
+    }
+
+    /// Applies an event: `up == true` increments, else decrements, both
+    /// saturating.
+    pub fn update(&mut self, up: bool) {
+        if up {
+            self.value = self.value.saturating_add(self.inc).min(self.max);
+        } else if self.dec == u32::MAX {
+            self.value = 0;
+        } else {
+            self.value = self.value.saturating_sub(self.dec);
+        }
+    }
+
+    /// The current counter value.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// The saturation threshold (maximum value).
+    #[must_use]
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Storage cost in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        (32 - self.max.leading_zeros()) as usize
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// The 2-bit counter, the field's default assumption.
+    fn default() -> Self {
+        SaturatingCounter::two_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_state_machine() {
+        let mut c = SaturatingCounter::two_bit();
+        // Classic sequence: 0 -> 1 -> 2 -> 3 -> saturate.
+        let mut values = vec![c.value()];
+        for _ in 0..4 {
+            c.update(true);
+            values.push(c.value());
+        }
+        assert_eq!(values, vec![0, 1, 2, 3, 3]);
+        c.update(false);
+        assert_eq!(c.value(), 2);
+        assert!(c.predict());
+        c.update(false);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    fn full_penalty_resets() {
+        let mut c = SaturatingCounter::resetting(10, 5);
+        for _ in 0..8 {
+            c.update(true);
+        }
+        assert!(c.predict());
+        c.update(false);
+        assert_eq!(c.value(), 0);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    fn asymmetric_penalty() {
+        let mut c = SaturatingCounter::new(10, 1, 5, 7);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.value(), 10);
+        c.update(false);
+        assert_eq!(c.value(), 5);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    fn bits_accounting() {
+        assert_eq!(SaturatingCounter::two_bit().bits(), 2);
+        assert_eq!(SaturatingCounter::new(15, 1, 1, 7).bits(), 4);
+        assert_eq!(SaturatingCounter::new(1, 1, 1, 0).bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction threshold")]
+    fn threshold_above_max_rejected() {
+        let _ = SaturatingCounter::new(3, 1, 1, 4);
+    }
+}

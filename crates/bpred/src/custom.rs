@@ -1,0 +1,380 @@
+//! The customized branch prediction architecture (§7.2, Figure 3): an
+//! XScale-style BTB extended with per-branch custom FSM predictors that
+//! are tag-matched, hard-wired to specific branches, and updated in
+//! parallel on every branch.
+
+use crate::sim::{simulate, BranchPredictor};
+use crate::xscale::XScaleBtb;
+use fsmgen::{Design, Designer, MarkovModel};
+use fsmgen_automata::MoorePredictor;
+use fsmgen_traces::{BranchTrace, HistoryRegister};
+
+/// Bits charged per custom entry for its tag and target fields (the FSM
+/// logic itself is costed through the synthesized area model).
+pub const CUSTOM_ENTRY_TAG_BITS: usize = 62;
+
+/// One hard-wired custom predictor: the branch address it is locked to and
+/// its running FSM instance.
+#[derive(Debug, Clone)]
+pub struct CustomEntry {
+    /// The branch PC this FSM was built for ("locked down by the system
+    /// software").
+    pub pc: u64,
+    /// The running predictor instance.
+    pub predictor: MoorePredictor,
+}
+
+/// The custom architecture: baseline BTB plus fully-associative custom
+/// entries.
+///
+/// Prediction: a custom tag match wins; otherwise the BTB predicts.
+/// Update: the BTB updates as usual and *every* custom FSM transitions on
+/// *every* branch outcome — the paper's update-all policy, which
+/// guarantees each FSM is in the state determined by the last H global
+/// outcomes whenever its branch is fetched (§7.6).
+#[derive(Debug, Clone)]
+pub struct CustomArchitecture {
+    btb: XScaleBtb,
+    customs: Vec<CustomEntry>,
+    /// When `false`, custom FSMs update only on their own branch — the
+    /// ablation mode contrasted with the paper's policy.
+    update_all: bool,
+}
+
+impl CustomArchitecture {
+    /// Creates the architecture from a baseline BTB and custom entries.
+    #[must_use]
+    pub fn new(btb: XScaleBtb, customs: Vec<CustomEntry>) -> Self {
+        CustomArchitecture {
+            btb,
+            customs,
+            update_all: true,
+        }
+    }
+
+    /// Switches to updating each custom FSM only on its own branch
+    /// (ablation of the paper's update-all-on-every-branch policy).
+    #[must_use]
+    pub fn with_update_on_match_only(mut self) -> Self {
+        self.update_all = false;
+        self
+    }
+
+    /// The custom entries.
+    #[must_use]
+    pub fn customs(&self) -> &[CustomEntry] {
+        &self.customs
+    }
+
+    /// Total states across all custom FSMs (the area driver of §7.4).
+    #[must_use]
+    pub fn total_custom_states(&self) -> usize {
+        self.customs.iter().map(|c| c.predictor.num_states()).sum()
+    }
+}
+
+impl BranchPredictor for CustomArchitecture {
+    fn predict(&mut self, pc: u64) -> bool {
+        if let Some(entry) = self.customs.iter().find(|c| c.pc == pc) {
+            entry.predictor.predict()
+        } else {
+            self.btb.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.btb.update(pc, taken);
+        if self.update_all {
+            for entry in &mut self.customs {
+                entry.predictor.update(taken);
+            }
+        } else if let Some(entry) = self.customs.iter_mut().find(|c| c.pc == pc) {
+            entry.predictor.update(taken);
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.btb.storage_bits() + self.customs.len() * CUSTOM_ENTRY_TAG_BITS
+    }
+
+    fn describe(&self) -> String {
+        format!("custom-{}fsm", self.customs.len())
+    }
+}
+
+/// The §7.3 training flow: profile with the baseline, pick the worst
+/// branches, build per-branch Markov models over *global* history, and
+/// design one FSM per branch.
+#[derive(Debug, Clone)]
+pub struct CustomTrainer {
+    history: usize,
+    designer: Designer,
+    btb_entries: usize,
+}
+
+impl CustomTrainer {
+    /// Creates a trainer with the paper's parameters: global history
+    /// length 9 and the default design flow.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CustomTrainer::new(9)
+    }
+
+    /// Creates a trainer with the given global-history length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is out of the designer's supported range.
+    #[must_use]
+    pub fn new(history: usize) -> Self {
+        CustomTrainer {
+            history,
+            designer: Designer::new(history),
+            btb_entries: 128,
+        }
+    }
+
+    /// Replaces the design-flow configuration (keeps the history length in
+    /// sync with this trainer).
+    #[must_use]
+    pub fn designer(mut self, designer: Designer) -> Self {
+        assert_eq!(
+            designer.history(),
+            self.history,
+            "designer history must match trainer history"
+        );
+        self.designer = designer;
+        self
+    }
+
+    /// Sets the baseline BTB size (default 128, the XScale value).
+    #[must_use]
+    pub fn btb_entries(mut self, entries: usize) -> Self {
+        self.btb_entries = entries;
+        self
+    }
+
+    /// Trains custom FSMs for the `max_customs` worst branches of
+    /// `training`, returning the per-branch designs ordered worst-first.
+    ///
+    /// Branches whose design fails (e.g. a branch never executed with a
+    /// full history) are skipped.
+    #[must_use]
+    pub fn train(&self, training: &BranchTrace, max_customs: usize) -> CustomDesigns {
+        // Step 1: profile with the baseline predictor.
+        let mut baseline = XScaleBtb::new(self.btb_entries);
+        let profile = simulate(&mut baseline, training);
+        let targets: Vec<u64> = profile
+            .worst_branches()
+            .into_iter()
+            .take(max_customs)
+            .filter(|&(_, misses)| misses > 0)
+            .map(|(pc, _)| pc)
+            .collect();
+
+        // Step 2: per-branch Markov models keyed on global history.
+        let mut models: std::collections::BTreeMap<u64, MarkovModel> = targets
+            .iter()
+            .map(|&pc| (pc, MarkovModel::new(self.history)))
+            .collect();
+        let mut global = HistoryRegister::new(self.history);
+        for event in training {
+            if global.is_full() {
+                if let Some(model) = models.get_mut(&event.pc) {
+                    model.observe(global.value(), event.taken);
+                }
+            }
+            global.push(event.taken);
+        }
+
+        // Step 3: design one FSM per branch.
+        let designs: Vec<(u64, Design)> = targets
+            .into_iter()
+            .filter_map(|pc| {
+                let model = models.remove(&pc)?;
+                self.designer.design_from_model(model).ok().map(|d| (pc, d))
+            })
+            .collect();
+        CustomDesigns {
+            designs,
+            btb_entries: self.btb_entries,
+        }
+    }
+}
+
+/// The result of training: per-branch designs, worst branch first, from
+/// which architectures with any number of custom predictors can be
+/// instantiated.
+#[derive(Debug, Clone)]
+pub struct CustomDesigns {
+    designs: Vec<(u64, Design)>,
+    btb_entries: usize,
+}
+
+impl CustomDesigns {
+    /// The per-branch designs, worst branch first.
+    #[must_use]
+    pub fn designs(&self) -> &[(u64, Design)] {
+        &self.designs
+    }
+
+    /// Number of branches a design was produced for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// `true` when no designs were produced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.designs.is_empty()
+    }
+
+    /// Instantiates the architecture using the first `num_customs` designs
+    /// (clamped to the available count) — the Figure 5 curve is generated
+    /// by sweeping this parameter.
+    #[must_use]
+    pub fn architecture(&self, num_customs: usize) -> CustomArchitecture {
+        let customs: Vec<CustomEntry> = self
+            .designs
+            .iter()
+            .take(num_customs)
+            .map(|(pc, design)| CustomEntry {
+                pc: *pc,
+                predictor: design.predictor(),
+            })
+            .collect();
+        CustomArchitecture::new(XScaleBtb::new(self.btb_entries), customs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_traces::BranchEvent;
+
+    /// A two-branch trace where the second branch copies the first's
+    /// outcome and the first alternates — hard for 2-bit counters, trivial
+    /// for a global-history FSM.
+    fn correlated_trace(n: usize) -> BranchTrace {
+        let mut t = BranchTrace::new();
+        let mut a = false;
+        for _ in 0..n {
+            a = !a;
+            t.push(BranchEvent {
+                pc: 0x100,
+                target: 0,
+                taken: a,
+            });
+            t.push(BranchEvent {
+                pc: 0x200,
+                target: 0,
+                taken: a,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn trainer_targets_worst_branches_first() {
+        let trace = correlated_trace(1000);
+        let designs = CustomTrainer::new(4).train(&trace, 2);
+        assert_eq!(designs.len(), 2);
+        // Both branches alternate so both are ~50% under 2-bit counters.
+        let pcs: Vec<u64> = designs.designs().iter().map(|&(pc, _)| pc).collect();
+        assert!(pcs.contains(&0x100) && pcs.contains(&0x200));
+    }
+
+    #[test]
+    fn custom_fsm_fixes_correlated_branch() {
+        let trace = correlated_trace(2000);
+        let designs = CustomTrainer::new(4).train(&trace, 2);
+        let mut baseline = XScaleBtb::xscale();
+        let base = simulate(&mut baseline, &trace);
+        let mut custom = designs.architecture(2);
+        let with = simulate(&mut custom, &trace);
+        assert!(
+            with.miss_rate() < 0.05,
+            "customs should nearly eliminate misses, got {}",
+            with.miss_rate()
+        );
+        assert!(
+            base.miss_rate() > 0.4,
+            "baseline must thrash, got {}",
+            base.miss_rate()
+        );
+    }
+
+    #[test]
+    fn architecture_curve_is_incremental() {
+        let trace = correlated_trace(500);
+        let designs = CustomTrainer::new(4).train(&trace, 2);
+        assert_eq!(designs.architecture(0).customs().len(), 0);
+        assert_eq!(designs.architecture(1).customs().len(), 1);
+        assert_eq!(designs.architecture(5).customs().len(), 2); // clamped
+    }
+
+    #[test]
+    fn update_all_policy_keeps_fsm_in_sync() {
+        // The FSM for branch B (copies A two back) must be correct even
+        // though B is predicted only at its own slots — because every
+        // branch updates it (§7.6).
+        let trace = correlated_trace(1000);
+        let designs = CustomTrainer::new(4).train(&trace, 1);
+        let target_pc = designs.designs()[0].0;
+        let mut arch = designs.architecture(1);
+        let r = simulate(&mut arch, &trace);
+        let (execs, misses) = r.per_branch[&target_pc];
+        assert!(
+            (misses as f64) < 0.05 * execs as f64,
+            "custom branch missed {misses}/{execs}"
+        );
+    }
+
+    /// Like `correlated_trace` but the leader branch is pseudo-random, so
+    /// the follower's outcome is unknowable without observing the leader.
+    fn random_leader_trace(n: usize) -> BranchTrace {
+        let mut t = BranchTrace::new();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state >> 62 & 1 == 1;
+            t.push(BranchEvent {
+                pc: 0x100,
+                target: 0,
+                taken: a,
+            });
+            t.push(BranchEvent {
+                pc: 0x200,
+                target: 0,
+                taken: a,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn match_only_ablation_changes_behaviour() {
+        let trace = random_leader_trace(1500);
+        let designs = CustomTrainer::new(4).train(&trace, 1);
+        let mut all = designs.architecture(1);
+        let mut only = designs.architecture(1).with_update_on_match_only();
+        let r_all = simulate(&mut all, &trace);
+        let r_only = simulate(&mut only, &trace);
+        // With match-only updates the FSM sees its own history, not the
+        // global one it was trained on — accuracy must degrade here.
+        assert!(r_all.miss_rate() < r_only.miss_rate());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let trace = correlated_trace(200);
+        let designs = CustomTrainer::new(3).train(&trace, 2);
+        let arch = designs.architecture(2);
+        assert_eq!(
+            arch.storage_bits(),
+            XScaleBtb::xscale().storage_bits() + 2 * CUSTOM_ENTRY_TAG_BITS
+        );
+        assert!(arch.total_custom_states() >= 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Branch predictor simulators for the FSM-predictor reproduction.
+//!
+//! Implements every predictor of the paper's §7 evaluation: the XScale
+//! BTB baseline ([`XScaleBtb`]), McFarling's [`Gshare`], the 21264-style
+//! [`LocalGlobalChooser`], a plain [`Bimodal`] table, and the customized
+//! architecture ([`CustomArchitecture`]) that extends the BTB with
+//! hard-wired per-branch FSM predictors. [`CustomTrainer`] runs the §7.3
+//! flow: profile with the baseline, pick the worst branches, build
+//! per-branch Markov models over global history, and design one FSM per
+//! branch with the [`fsmgen`] design flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_bpred::{simulate, BranchPredictor, CustomTrainer, XScaleBtb};
+//! use fsmgen_workloads::{BranchBenchmark, Input};
+//!
+//! let train = BranchBenchmark::Ijpeg.trace(Input::TRAIN, 20_000);
+//! let eval = BranchBenchmark::Ijpeg.trace(Input::EVAL, 20_000);
+//!
+//! let mut baseline = XScaleBtb::xscale();
+//! let base = simulate(&mut baseline, &eval);
+//!
+//! let designs = CustomTrainer::paper_default().train(&train, 4);
+//! let mut custom = designs.architecture(4);
+//! let with = simulate(&mut custom, &eval);
+//! assert!(with.miss_rate() < base.miss_rate());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod combining;
+mod counter;
+mod custom;
+mod gating;
+mod general;
+mod loop_pred;
+mod pipeline;
+mod ppm;
+mod sim;
+mod tables;
+mod threads;
+mod xscale;
+
+pub use combining::Combining;
+pub use counter::SaturatingCounter;
+pub use custom::{
+    CustomArchitecture, CustomDesigns, CustomEntry, CustomTrainer, CUSTOM_ENTRY_TAG_BITS,
+};
+pub use gating::{
+    simulate_gating, BranchConfidence, FsmBranchConfidence, GatingStats, ResettingConfidence,
+};
+pub use general::{aggregate_local_model, design_suite_counter, two_bit_counter_machine, FsmTable};
+pub use loop_pred::{LoopAssisted, LoopTermination};
+pub use pipeline::{simulate_cycles, PipelineModel, PipelineStats};
+pub use ppm::Ppm;
+pub use sim::{simulate, BranchPredictor, SimResult};
+pub use tables::{Bimodal, Gshare, LocalGlobalChooser};
+pub use threads::{simulate_dual_path, DualPathModel, DualPathStats};
+pub use xscale::{XScaleBtb, BTB_ENTRY_BITS};

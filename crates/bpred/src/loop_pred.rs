@@ -1,0 +1,282 @@
+//! Loop termination prediction (Sherwood & Calder, HPC 2000 — cited in
+//! §7.5 as the mechanism that would fix `compress`'s dominant branch:
+//! "This branch would benefit from having a loop count instruction in a
+//! embedded processor, or could easily be captured via customizing the
+//! branch predictor to perform loop termination prediction").
+//!
+//! Each tracked branch carries a trip-count detector: the predictor
+//! counts consecutive taken outcomes, learns the iteration count at which
+//! the branch falls through, and once the same trip count has been
+//! confirmed twice predicts not-taken exactly at the learned boundary.
+
+use crate::sim::BranchPredictor;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Default)]
+struct LoopEntry {
+    /// Taken outcomes seen since the last not-taken.
+    current_run: u32,
+    /// Learned trip count (taken run length before the exit).
+    trip: Option<u32>,
+    /// Confidence that `trip` is stable (saturates at 3).
+    confidence: u8,
+}
+
+impl LoopEntry {
+    fn predict(&self) -> bool {
+        match self.trip {
+            // Predict not-taken only at the learned boundary and only
+            // once the trip count has been confirmed.
+            Some(t) if self.confidence >= 2 => self.current_run < t,
+            // Learning: fall back to taken (the loop heuristic).
+            _ => true,
+        }
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.current_run = self.current_run.saturating_add(1);
+            return;
+        }
+        // Exit observed: the completed run is a trip-count sample.
+        let run = self.current_run;
+        self.current_run = 0;
+        match self.trip {
+            Some(t) if t == run => {
+                self.confidence = (self.confidence + 1).min(3);
+            }
+            _ => {
+                self.trip = Some(run);
+                self.confidence = 1;
+            }
+        }
+    }
+}
+
+/// A loop termination predictor covering every static branch it sees,
+/// with a fallback "predict taken" policy while trip counts are being
+/// learned.
+///
+/// This is an *extension* predictor: the paper does not evaluate it, but
+/// names it as the right tool for `compress`'s dominant branch, and the
+/// `loop_termination` test below demonstrates exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_bpred::{BranchPredictor, LoopTermination};
+///
+/// let mut p = LoopTermination::new();
+/// // A trip-count-3 loop: T T N repeating. After two confirmations the
+/// // exit is predicted exactly.
+/// for _ in 0..4 {
+///     for taken in [true, true, false] {
+///         p.update(0x40, taken);
+///     }
+/// }
+/// assert!(p.predict(0x40));   // iteration 1: taken
+/// p.update(0x40, true);
+/// assert!(p.predict(0x40));   // iteration 2: taken
+/// p.update(0x40, true);
+/// assert!(!p.predict(0x40));  // boundary: exit predicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoopTermination {
+    entries: BTreeMap<u64, LoopEntry>,
+}
+
+impl LoopTermination {
+    /// Creates an empty loop predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        LoopTermination::default()
+    }
+
+    /// Number of static branches currently tracked.
+    #[must_use]
+    pub fn tracked_branches(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The learned trip count for a branch, if confirmed.
+    #[must_use]
+    pub fn trip_count(&self, pc: u64) -> Option<u32> {
+        self.entries
+            .get(&pc)
+            .and_then(|e| (e.confidence >= 2).then_some(e.trip).flatten())
+    }
+}
+
+impl BranchPredictor for LoopTermination {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.entries.entry(pc).or_default().predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.entries.entry(pc).or_default().update(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        // Per entry: 30-bit tag + two 16-bit counters + 2-bit confidence.
+        self.entries.len() * (30 + 16 + 16 + 2)
+    }
+
+    fn describe(&self) -> String {
+        format!("loop-term-{}", self.entries.len())
+    }
+}
+
+/// A hybrid that overlays loop termination prediction on another
+/// predictor: branches with a confirmed trip count use the loop
+/// predictor, everything else falls through to the base. This is the
+/// "loop count instruction in an embedded processor" design point of
+/// §7.5.
+#[derive(Debug, Clone)]
+pub struct LoopAssisted<P> {
+    base: P,
+    loops: LoopTermination,
+}
+
+impl<P: BranchPredictor> LoopAssisted<P> {
+    /// Wraps a base predictor with loop termination assistance.
+    #[must_use]
+    pub fn new(base: P) -> Self {
+        LoopAssisted {
+            base,
+            loops: LoopTermination::new(),
+        }
+    }
+
+    /// The wrapped base predictor.
+    #[must_use]
+    pub fn base(&self) -> &P {
+        &self.base
+    }
+}
+
+impl<P: BranchPredictor> BranchPredictor for LoopAssisted<P> {
+    fn predict(&mut self, pc: u64) -> bool {
+        if self.loops.trip_count(pc).is_some() {
+            self.loops.predict(pc)
+        } else {
+            self.base.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.loops.update(pc, taken);
+        self.base.update(pc, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.base.storage_bits() + self.loops.storage_bits()
+    }
+
+    fn describe(&self) -> String {
+        format!("loop+{}", self.base.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::xscale::XScaleBtb;
+    use fsmgen_traces::{BranchEvent, BranchTrace};
+
+    fn loop_trace(trip: u32, loops: usize) -> BranchTrace {
+        let mut t = BranchTrace::new();
+        for _ in 0..loops {
+            for i in 0..trip {
+                t.push(BranchEvent {
+                    pc: 0x100,
+                    target: 0,
+                    taken: i != trip - 1,
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn learns_trip_count() {
+        let mut p = LoopTermination::new();
+        let trace = loop_trace(8, 3);
+        for e in &trace {
+            p.update(e.pc, e.taken);
+        }
+        assert_eq!(p.trip_count(0x100), Some(7)); // 7 takens then exit
+    }
+
+    #[test]
+    fn perfect_after_warmup() {
+        let trace = loop_trace(12, 50);
+        let mut p = LoopTermination::new();
+        let r = simulate(&mut p, &trace);
+        // Only the first couple of loops may miss.
+        assert!(
+            r.mispredictions <= 4,
+            "expected near-perfect loop prediction, got {} misses",
+            r.mispredictions
+        );
+    }
+
+    #[test]
+    fn two_bit_counter_always_misses_exits() {
+        let trace = loop_trace(12, 50);
+        let mut base = XScaleBtb::xscale();
+        let r = simulate(&mut base, &trace);
+        // A 2-bit counter mispredicts every exit (1 in 12).
+        assert!(r.mispredictions >= 45, "got {}", r.mispredictions);
+    }
+
+    #[test]
+    fn trip_count_change_relearned() {
+        let mut p = LoopTermination::new();
+        for e in &loop_trace(5, 10) {
+            p.update(e.pc, e.taken);
+        }
+        assert_eq!(p.trip_count(0x100), Some(4));
+        for e in &loop_trace(9, 10) {
+            p.update(e.pc, e.taken);
+        }
+        assert_eq!(p.trip_count(0x100), Some(8));
+    }
+
+    #[test]
+    fn loop_assisted_fixes_compress_style_latch() {
+        // A benchmark-style trace: loop latch + biased branch.
+        let mut t = BranchTrace::new();
+        for i in 0..4000usize {
+            t.push(BranchEvent {
+                pc: 0x40,
+                target: 0,
+                taken: i % 16 != 15,
+            });
+            t.push(BranchEvent {
+                pc: 0x44,
+                target: 0,
+                taken: true,
+            });
+        }
+        let mut plain = XScaleBtb::xscale();
+        let r_plain = simulate(&mut plain, &t);
+        let mut assisted = LoopAssisted::new(XScaleBtb::xscale());
+        let r_assisted = simulate(&mut assisted, &t);
+        assert!(r_assisted.miss_rate() < r_plain.miss_rate() / 2.0);
+        assert!(assisted.describe().starts_with("loop+"));
+    }
+
+    #[test]
+    fn irregular_branch_stays_on_base() {
+        let mut p = LoopAssisted::new(XScaleBtb::xscale());
+        // Alternating branch never confirms a stable trip count of use;
+        // trip=0 (no takens before exit) may be learned, meaning predict
+        // not-taken at run 0 — which for pure alternation is right half
+        // the time; the point is it must not panic or diverge.
+        for i in 0..100 {
+            let _ = p.predict(0x80);
+            p.update(0x80, i % 2 == 0);
+        }
+    }
+}

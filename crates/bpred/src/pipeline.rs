@@ -1,0 +1,190 @@
+//! A compact in-order pipeline timing model: turns branch prediction
+//! behaviour into cycles, the currency the customized-processor
+//! motivation of §7.1 actually cares about ("the rapidly growing embedded
+//! electronics industry demands high performance, low cost systems").
+//!
+//! The model is deliberately simple — an XScale-class single-issue
+//! pipeline — because the paper's argument only needs the translation
+//! from misprediction rate to performance: each dynamic branch costs one
+//! cycle, plus a flush penalty when mispredicted, plus a taken-branch
+//! fetch bubble; non-branch work is summarised as a fixed number of
+//! instructions per branch at base CPI 1.
+
+use crate::sim::BranchPredictor;
+use fsmgen_traces::BranchTrace;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the modelled pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineModel {
+    /// Non-branch instructions executed per dynamic branch (work that
+    /// proceeds at CPI 1).
+    pub insts_per_branch: f64,
+    /// Flush penalty in cycles for a mispredicted branch.
+    pub misprediction_penalty: f64,
+    /// Fetch-bubble cycles for a correctly predicted *taken* branch
+    /// (redirect cost on a simple front end).
+    pub taken_bubble: f64,
+}
+
+impl PipelineModel {
+    /// An XScale-class 7-stage pipeline: ~5 instructions per branch,
+    /// 4-cycle branch resolution, 1-cycle taken-redirect bubble.
+    #[must_use]
+    pub fn xscale_class() -> Self {
+        PipelineModel {
+            insts_per_branch: 5.0,
+            misprediction_penalty: 4.0,
+            taken_bubble: 1.0,
+        }
+    }
+
+    /// A deeper high-frequency pipeline where mispredictions hurt more.
+    #[must_use]
+    pub fn deep_pipeline() -> Self {
+        PipelineModel {
+            insts_per_branch: 5.0,
+            misprediction_penalty: 12.0,
+            taken_bubble: 1.0,
+        }
+    }
+}
+
+/// Cycle accounting for one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Instructions executed (branches plus modelled non-branch work).
+    pub instructions: f64,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Cycles lost to misprediction flushes.
+    pub flush_cycles: f64,
+    /// Cycles lost to taken-branch fetch bubbles.
+    pub bubble_cycles: f64,
+}
+
+impl PipelineStats {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        self.cycles / self.instructions.max(1.0)
+    }
+
+    /// Speedup of this run relative to another (`other.cycles / cycles`).
+    #[must_use]
+    pub fn speedup_over(&self, other: &PipelineStats) -> f64 {
+        other.cycles / self.cycles.max(1.0)
+    }
+}
+
+/// Runs `predictor` over `trace` under the timing model.
+pub fn simulate_cycles<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &BranchTrace,
+    model: &PipelineModel,
+) -> PipelineStats {
+    let mut flush_cycles = 0.0;
+    let mut bubble_cycles = 0.0;
+    for e in trace {
+        let prediction = predictor.predict(e.pc);
+        if prediction != e.taken {
+            flush_cycles += model.misprediction_penalty;
+        } else if e.taken {
+            bubble_cycles += model.taken_bubble;
+        }
+        predictor.update(e.pc, e.taken);
+    }
+    let branches = trace.len() as f64;
+    let instructions = branches * (1.0 + model.insts_per_branch);
+    PipelineStats {
+        instructions,
+        cycles: instructions + flush_cycles + bubble_cycles,
+        flush_cycles,
+        bubble_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::CustomTrainer;
+    use crate::xscale::XScaleBtb;
+    use fsmgen_traces::BranchEvent;
+    use fsmgen_workloads::{BranchBenchmark, Input};
+
+    #[test]
+    fn perfect_prediction_costs_only_bubbles() {
+        // A predictor that is always right on a never-taken branch: CPI 1.
+        struct Oracle;
+        impl BranchPredictor for Oracle {
+            fn predict(&mut self, _pc: u64) -> bool {
+                false
+            }
+            fn update(&mut self, _pc: u64, _taken: bool) {}
+            fn storage_bits(&self) -> usize {
+                0
+            }
+            fn describe(&self) -> String {
+                "oracle-nt".to_string()
+            }
+        }
+        let trace: BranchTrace = (0..100)
+            .map(|i| BranchEvent {
+                pc: 0x40 + i,
+                target: 0,
+                taken: false,
+            })
+            .collect();
+        let stats = simulate_cycles(&mut Oracle, &trace, &PipelineModel::xscale_class());
+        assert_eq!(stats.flush_cycles, 0.0);
+        assert_eq!(stats.bubble_cycles, 0.0);
+        assert!((stats.cpi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_translate_to_cpi() {
+        let trace = BranchBenchmark::Vortex.trace(Input::EVAL, 20_000);
+        let model = PipelineModel::xscale_class();
+        let base = simulate_cycles(&mut XScaleBtb::xscale(), &trace, &model);
+        // Better prediction -> fewer cycles.
+        let train = BranchBenchmark::Vortex.trace(Input::TRAIN, 20_000);
+        let designs = CustomTrainer::paper_default().train(&train, 6);
+        let custom = simulate_cycles(&mut designs.architecture(6), &trace, &model);
+        assert!(custom.cycles < base.cycles);
+        let speedup = custom.speedup_over(&base);
+        assert!(
+            speedup > 1.01 && speedup < 1.5,
+            "expected a modest but real speedup, got {speedup:.3}"
+        );
+    }
+
+    #[test]
+    fn deeper_pipelines_amplify_the_win() {
+        let eval = BranchBenchmark::Gsm.trace(Input::EVAL, 20_000);
+        let train = BranchBenchmark::Gsm.trace(Input::TRAIN, 20_000);
+        let designs = CustomTrainer::paper_default().train(&train, 6);
+        let speedup_at = |model: PipelineModel| {
+            let base = simulate_cycles(&mut XScaleBtb::xscale(), &eval, &model);
+            let custom = simulate_cycles(&mut designs.architecture(6), &eval, &model);
+            custom.speedup_over(&base)
+        };
+        let shallow = speedup_at(PipelineModel::xscale_class());
+        let deep = speedup_at(PipelineModel::deep_pipeline());
+        assert!(
+            deep > shallow,
+            "deep-pipeline speedup {deep:.3} must exceed shallow {shallow:.3}"
+        );
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let trace = BranchBenchmark::Gs.trace(Input::TRAIN, 5_000);
+        let model = PipelineModel::xscale_class();
+        let stats = simulate_cycles(&mut XScaleBtb::xscale(), &trace, &model);
+        assert!(
+            (stats.cycles - (stats.instructions + stats.flush_cycles + stats.bubble_cycles)).abs()
+                < 1e-9
+        );
+        assert!(stats.cpi() >= 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The branch-predictor interface and simulation harness.
+
+use fsmgen_traces::BranchTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dynamic branch predictor that can be driven by a [`BranchTrace`].
+///
+/// The protocol per dynamic branch is: the simulator calls
+/// [`BranchPredictor::predict`] with the branch PC, compares the answer to
+/// the actual outcome, then calls [`BranchPredictor::update`] with that
+/// outcome.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Informs the predictor of the resolved outcome of the branch at
+    /// `pc`. Implementations update internal tables, histories and (for the
+    /// custom architecture) every custom FSM.
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Storage cost of the predictor's tables in bits (excluding any
+    /// custom FSM logic, which is costed through the synthesized area
+    /// model).
+    fn storage_bits(&self) -> usize;
+
+    /// Short human-readable description, e.g. `"gshare-4096"`.
+    fn describe(&self) -> String;
+}
+
+/// Aggregate results of simulating one predictor over one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Dynamic branches simulated.
+    pub branches: usize,
+    /// Mispredicted branches.
+    pub mispredictions: usize,
+    /// Per-static-branch `(executions, mispredictions)`.
+    pub per_branch: BTreeMap<u64, (usize, usize)>,
+}
+
+impl SimResult {
+    /// The overall misprediction rate, 0.0 for an empty run.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Static branches sorted by descending misprediction count — the
+    /// profile used to choose which branches get custom FSMs (§7.3: "this
+    /// identifies those branches that are causing the greatest amount of
+    /// mispredictions").
+    #[must_use]
+    pub fn worst_branches(&self) -> Vec<(u64, usize)> {
+        let mut v: Vec<(u64, usize)> = self
+            .per_branch
+            .iter()
+            .map(|(&pc, &(_, misses))| (pc, misses))
+            .collect();
+        v.sort_by_key(|&(pc, misses)| (std::cmp::Reverse(misses), pc));
+        v
+    }
+}
+
+/// Runs `predictor` over `trace`, returning aggregate and per-branch
+/// statistics.
+pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &BranchTrace) -> SimResult {
+    let mut result = SimResult::default();
+    for event in trace {
+        let prediction = predictor.predict(event.pc);
+        let miss = prediction != event.taken;
+        result.branches += 1;
+        if miss {
+            result.mispredictions += 1;
+        }
+        let entry = result.per_branch.entry(event.pc).or_insert((0, 0));
+        entry.0 += 1;
+        if miss {
+            entry.1 += 1;
+        }
+        predictor.update(event.pc, event.taken);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_traces::BranchEvent;
+
+    /// A predictor that always says "taken".
+    struct AlwaysTaken;
+
+    impl BranchPredictor for AlwaysTaken {
+        fn predict(&mut self, _pc: u64) -> bool {
+            true
+        }
+        fn update(&mut self, _pc: u64, _taken: bool) {}
+        fn storage_bits(&self) -> usize {
+            0
+        }
+        fn describe(&self) -> String {
+            "always-taken".to_string()
+        }
+    }
+
+    #[test]
+    fn simulate_counts_misses() {
+        let trace: BranchTrace = [
+            BranchEvent {
+                pc: 1,
+                target: 2,
+                taken: true,
+            },
+            BranchEvent {
+                pc: 1,
+                target: 2,
+                taken: false,
+            },
+            BranchEvent {
+                pc: 2,
+                target: 3,
+                taken: false,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let result = simulate(&mut AlwaysTaken, &trace);
+        assert_eq!(result.branches, 3);
+        assert_eq!(result.mispredictions, 2);
+        assert!((result.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(result.per_branch[&1], (2, 1));
+        assert_eq!(result.per_branch[&2], (1, 1));
+    }
+
+    #[test]
+    fn worst_branches_ordering() {
+        let mut r = SimResult::default();
+        r.per_branch.insert(10, (5, 1));
+        r.per_branch.insert(20, (5, 4));
+        r.per_branch.insert(30, (5, 4));
+        let worst = r.worst_branches();
+        assert_eq!(worst, vec![(20, 4), (30, 4), (10, 1)]);
+    }
+
+    #[test]
+    fn empty_sim() {
+        let result = simulate(&mut AlwaysTaken, &BranchTrace::new());
+        assert_eq!(result.miss_rate(), 0.0);
+    }
+}

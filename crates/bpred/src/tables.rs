@@ -1,0 +1,332 @@
+//! Table-based general-purpose predictors: bimodal, gshare (McFarling) and
+//! the local/global chooser (LGC, 21264-style) the paper compares against.
+
+use crate::counter::SaturatingCounter;
+use crate::sim::BranchPredictor;
+use fsmgen_traces::HistoryRegister;
+
+fn index_bits(entries: usize) -> u32 {
+    debug_assert!(entries.is_power_of_two());
+    entries.trailing_zeros()
+}
+
+/// A bimodal predictor: a table of 2-bit counters indexed by the low PC
+/// bits (Smith, 1981).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<SaturatingCounter>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        Bimodal {
+            counters: vec![SaturatingCounter::two_bit().with_value(1); entries],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Branch PCs are word aligned; drop the low 2 bits first.
+        (pc >> 2) as usize & (self.counters.len() - 1)
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.counters[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.counters[i].update(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.counters.len() * 2
+    }
+
+    fn describe(&self) -> String {
+        format!("bimodal-{}", self.counters.len())
+    }
+}
+
+/// McFarling's gshare: a table of 2-bit counters indexed by
+/// `PC xor global history` (§7.5 comparison predictor).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<SaturatingCounter>,
+    history: HistoryRegister,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `entries` counters and a history as
+    /// long as the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or below 4.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries >= 4,
+            "table size must be a power of two >= 4"
+        );
+        let bits = index_bits(entries) as usize;
+        Gshare {
+            counters: vec![SaturatingCounter::two_bit().with_value(1); entries],
+            history: HistoryRegister::new(bits),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize ^ self.history.value() as usize) & (self.counters.len() - 1)
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.counters[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.counters[i].update(taken);
+        self.history.push(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.counters.len() * 2 + self.history.len()
+    }
+
+    fn describe(&self) -> String {
+        format!("gshare-{}", self.counters.len())
+    }
+}
+
+/// The Local/Global Chooser (LGC): a two-level local predictor, a global
+/// predictor and a meta chooser, "similar to the predictor found in the
+/// Alpha 21264" (§7.5).
+#[derive(Debug, Clone)]
+pub struct LocalGlobalChooser {
+    /// First level: per-PC local history registers.
+    local_histories: Vec<HistoryRegister>,
+    /// Second level: counters indexed by local history.
+    local_counters: Vec<SaturatingCounter>,
+    /// Global counters indexed by global history.
+    global_counters: Vec<SaturatingCounter>,
+    /// Chooser counters indexed by global history; predict-true means "use
+    /// the global prediction".
+    chooser: Vec<SaturatingCounter>,
+    global_history: HistoryRegister,
+    local_bits: usize,
+}
+
+impl LocalGlobalChooser {
+    /// Creates an LGC. `local_entries` first-level history registers of
+    /// `local_bits` bits; the second level has `2^local_bits` counters;
+    /// `global_entries` counters and chooser entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table sizes are not powers of two or `local_bits` is
+    /// zero or above 16.
+    #[must_use]
+    pub fn new(local_entries: usize, local_bits: usize, global_entries: usize) -> Self {
+        assert!(local_entries.is_power_of_two(), "local table must be 2^k");
+        assert!(global_entries.is_power_of_two() && global_entries >= 4);
+        assert!((1..=16).contains(&local_bits), "local history 1..=16 bits");
+        let gbits = index_bits(global_entries) as usize;
+        LocalGlobalChooser {
+            local_histories: vec![HistoryRegister::new(local_bits); local_entries],
+            local_counters: vec![SaturatingCounter::new(7, 1, 1, 3).with_value(3); 1 << local_bits],
+            global_counters: vec![SaturatingCounter::two_bit().with_value(1); global_entries],
+            chooser: vec![SaturatingCounter::two_bit().with_value(1); global_entries],
+            global_history: HistoryRegister::new(gbits),
+            local_bits,
+        }
+    }
+
+    fn local_slot(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.local_histories.len() - 1)
+    }
+
+    fn predictions(&self, pc: u64) -> (bool, bool, bool) {
+        let lh = self.local_histories[self.local_slot(pc)].value() as usize;
+        let local = self.local_counters[lh & ((1 << self.local_bits) - 1)].predict();
+        let gi = self.global_history.value() as usize & (self.global_counters.len() - 1);
+        let global = self.global_counters[gi].predict();
+        let use_global = self.chooser[gi].predict();
+        (local, global, use_global)
+    }
+}
+
+impl BranchPredictor for LocalGlobalChooser {
+    fn predict(&mut self, pc: u64) -> bool {
+        let (local, global, use_global) = self.predictions(pc);
+        if use_global {
+            global
+        } else {
+            local
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let (local, global, _) = self.predictions(pc);
+        let slot = self.local_slot(pc);
+        let lh = self.local_histories[slot].value() as usize & ((1 << self.local_bits) - 1);
+        let gi = self.global_history.value() as usize & (self.global_counters.len() - 1);
+
+        self.local_counters[lh].update(taken);
+        self.global_counters[gi].update(taken);
+        // Train the chooser only when the components disagree.
+        if local != global {
+            self.chooser[gi].update(global == taken);
+        }
+        self.local_histories[slot].push(taken);
+        self.global_history.push(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.local_histories.len() * self.local_bits
+            + self.local_counters.len() * 3
+            + self.global_counters.len() * 2
+            + self.chooser.len() * 2
+            + self.global_history.len()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "lgc-{}x{}l-{}g",
+            self.local_histories.len(),
+            self.local_bits,
+            self.global_counters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use fsmgen_traces::{BranchEvent, BranchTrace};
+
+    fn repeat_trace(pattern: &[(u64, bool)], times: usize) -> BranchTrace {
+        std::iter::repeat_with(|| pattern.iter().copied())
+            .take(times)
+            .flatten()
+            .map(|(pc, taken)| BranchEvent {
+                pc,
+                target: pc + 8,
+                taken,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let trace = repeat_trace(&[(0x100, true), (0x104, false)], 500);
+        let mut p = Bimodal::new(64);
+        let r = simulate(&mut p, &trace);
+        assert!(r.miss_rate() < 0.01, "miss rate {}", r.miss_rate());
+    }
+
+    #[test]
+    fn bimodal_aliasing() {
+        // Two branches mapping to the same entry with opposite bias thrash.
+        let trace = repeat_trace(&[(0x0, true), (0x100, false)], 300);
+        let mut small = Bimodal::new(4); // 0x0 and 0x100 alias (index uses pc>>2)
+        let r_small = simulate(&mut small, &trace);
+        let mut big = Bimodal::new(1024);
+        let r_big = simulate(&mut big, &trace);
+        assert!(r_big.miss_rate() < r_small.miss_rate());
+    }
+
+    #[test]
+    fn gshare_learns_global_correlation() {
+        // Branch B follows branch A's outcome; A alternates.
+        let mut trace = BranchTrace::new();
+        let mut a_outcome = false;
+        for _ in 0..1000 {
+            a_outcome = !a_outcome;
+            trace.push(BranchEvent {
+                pc: 0x40,
+                target: 0,
+                taken: a_outcome,
+            });
+            trace.push(BranchEvent {
+                pc: 0x80,
+                target: 0,
+                taken: a_outcome,
+            });
+        }
+        let mut g = Gshare::new(1024);
+        let r = simulate(&mut g, &trace);
+        assert!(
+            r.miss_rate() < 0.02,
+            "gshare should capture correlation, got {}",
+            r.miss_rate()
+        );
+        let mut b = Bimodal::new(1024);
+        let rb = simulate(&mut b, &trace);
+        assert!(
+            r.miss_rate() < rb.miss_rate(),
+            "gshare must beat bimodal here"
+        );
+    }
+
+    #[test]
+    fn lgc_learns_local_patterns() {
+        // Period-3 local pattern on one branch, random-ish other branch.
+        let mut trace = BranchTrace::new();
+        for i in 0..3000usize {
+            trace.push(BranchEvent {
+                pc: 0x40,
+                target: 0,
+                taken: i % 3 != 2,
+            });
+            trace.push(BranchEvent {
+                pc: 0x80,
+                target: 0,
+                taken: (i * 2654435761) % 7 < 3,
+            });
+        }
+        let mut lgc = LocalGlobalChooser::new(256, 10, 1024);
+        let r = simulate(&mut lgc, &trace);
+        // The period-3 branch should be almost perfectly predicted.
+        let (_execs, misses) = r.per_branch[&0x40];
+        assert!(
+            (misses as f64) < 0.05 * 3000.0,
+            "local pattern not captured: {misses} misses"
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(Bimodal::new(128).storage_bits(), 256);
+        assert_eq!(Gshare::new(1024).storage_bits(), 2048 + 10);
+        let lgc = LocalGlobalChooser::new(128, 8, 512);
+        assert_eq!(
+            lgc.storage_bits(),
+            128 * 8 + 256 * 3 + 512 * 2 + 512 * 2 + 9
+        );
+    }
+
+    #[test]
+    fn describe_strings() {
+        assert_eq!(Bimodal::new(64).describe(), "bimodal-64");
+        assert_eq!(Gshare::new(256).describe(), "gshare-256");
+        assert_eq!(
+            LocalGlobalChooser::new(128, 10, 512).describe(),
+            "lgc-128x10l-512g"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Selective dual-path execution (§2.3): "These architecture designs use
+//! FSM predictors to predict when to spawn speculative threads or when to
+//! execute down additional paths" (citing Heil & Smith's selective dual
+//! path execution and Klauser et al.'s PolyPath).
+//!
+//! The model: at every conditional branch the machine may *fork* a
+//! speculative thread down the not-predicted path. If the branch turns
+//! out mispredicted, the fork saved the flush (the alternate path was
+//! already running); if predicted correctly, the fork wasted a thread
+//! context. Contexts are scarce: a fork occupies one until the branch
+//! resolves, and forks requested when all contexts are busy are dropped.
+//! The confidence estimator decides where to spend contexts — exactly
+//! the job §2.3 gives FSM predictors.
+
+use crate::gating::BranchConfidence;
+use crate::sim::BranchPredictor;
+use fsmgen_traces::BranchTrace;
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters for dual-path execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualPathModel {
+    /// Simultaneous speculative thread contexts.
+    pub contexts: usize,
+    /// Branches until a forked branch resolves (occupancy duration).
+    pub resolve_latency: u32,
+}
+
+impl DualPathModel {
+    /// A small SMT-style machine: 2 spare contexts, 4-branch resolution.
+    #[must_use]
+    pub fn small_smt() -> Self {
+        DualPathModel {
+            contexts: 2,
+            resolve_latency: 4,
+        }
+    }
+}
+
+/// Outcome counts of a dual-path run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualPathStats {
+    /// Dynamic branches simulated.
+    pub branches: usize,
+    /// Forks that covered an actual misprediction (flush avoided).
+    pub saved_flushes: usize,
+    /// Forks spent on correctly predicted branches (wasted context time).
+    pub wasted_forks: usize,
+    /// Fork requests dropped because every context was busy.
+    pub dropped_forks: usize,
+    /// Mispredictions with no covering fork (full flush paid).
+    pub uncovered_flushes: usize,
+}
+
+impl DualPathStats {
+    /// Fraction of mispredictions covered by a fork.
+    #[must_use]
+    pub fn flush_coverage(&self) -> f64 {
+        let wrong = self.saved_flushes + self.uncovered_flushes;
+        if wrong == 0 {
+            0.0
+        } else {
+            self.saved_flushes as f64 / wrong as f64
+        }
+    }
+
+    /// Fraction of taken forks that were justified.
+    #[must_use]
+    pub fn fork_precision(&self) -> f64 {
+        let forks = self.saved_flushes + self.wasted_forks;
+        if forks == 0 {
+            0.0
+        } else {
+            self.saved_flushes as f64 / forks as f64
+        }
+    }
+
+    /// Net cycles saved per branch: a covered misprediction saves
+    /// `flush_cost` minus the dual-path fetch overhead; a wasted fork
+    /// costs its fetch overhead.
+    #[must_use]
+    pub fn net_savings(&self, flush_cost: f64, fork_cost: f64) -> f64 {
+        (self.saved_flushes as f64 * (flush_cost - fork_cost)
+            - self.wasted_forks as f64 * fork_cost)
+            / self.branches.max(1) as f64
+    }
+}
+
+/// Runs dual-path execution: forks are requested on *low-confidence*
+/// branches (the paper's selective policy) subject to context
+/// availability.
+pub fn simulate_dual_path<P, C>(
+    predictor: &mut P,
+    confidence: &mut C,
+    trace: &BranchTrace,
+    model: &DualPathModel,
+) -> DualPathStats
+where
+    P: BranchPredictor + ?Sized,
+    C: BranchConfidence + ?Sized,
+{
+    let mut stats = DualPathStats::default();
+    // Remaining occupancy per context.
+    let mut contexts = vec![0u32; model.contexts];
+    for e in trace {
+        for c in &mut contexts {
+            *c = c.saturating_sub(1);
+        }
+        let prediction = predictor.predict(e.pc);
+        let correct = prediction == e.taken;
+        let want_fork = !confidence.confident(e.pc);
+        stats.branches += 1;
+        if want_fork {
+            match contexts.iter_mut().find(|c| **c == 0) {
+                Some(slot) => {
+                    *slot = model.resolve_latency;
+                    if correct {
+                        stats.wasted_forks += 1;
+                    } else {
+                        stats.saved_flushes += 1;
+                    }
+                }
+                None => {
+                    stats.dropped_forks += 1;
+                    if !correct {
+                        stats.uncovered_flushes += 1;
+                    }
+                }
+            }
+        } else if !correct {
+            stats.uncovered_flushes += 1;
+        }
+        confidence.record(e.pc, correct);
+        predictor.update(e.pc, e.taken);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gating::ResettingConfidence;
+    use crate::xscale::XScaleBtb;
+    use fsmgen_traces::BranchEvent;
+    use fsmgen_workloads::{BranchBenchmark, Input};
+
+    /// A confidence stub with a fixed answer.
+    struct Fixed(bool);
+    impl BranchConfidence for Fixed {
+        fn confident(&mut self, _pc: u64) -> bool {
+            self.0
+        }
+        fn record(&mut self, _pc: u64, _correct: bool) {}
+        fn describe(&self) -> String {
+            format!("fixed-{}", self.0)
+        }
+    }
+
+    fn alternating_trace(n: usize) -> BranchTrace {
+        (0..n)
+            .map(|i| BranchEvent {
+                pc: 0x40,
+                target: 0,
+                taken: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accounting_is_complete() {
+        let trace = BranchBenchmark::Vortex.trace(Input::TRAIN, 10_000);
+        let mut conf = ResettingConfidence::new(256, 8, 4);
+        let stats = simulate_dual_path(
+            &mut XScaleBtb::xscale(),
+            &mut conf,
+            &trace,
+            &DualPathModel::small_smt(),
+        );
+        assert_eq!(stats.branches, trace.len());
+        // Every fork request is either taken (saved or wasted) or dropped.
+        assert!(stats.saved_flushes + stats.wasted_forks + stats.dropped_forks <= stats.branches);
+    }
+
+    #[test]
+    fn always_confident_never_forks() {
+        let trace = alternating_trace(500);
+        let stats = simulate_dual_path(
+            &mut XScaleBtb::xscale(),
+            &mut Fixed(true),
+            &trace,
+            &DualPathModel::small_smt(),
+        );
+        assert_eq!(
+            stats.saved_flushes + stats.wasted_forks + stats.dropped_forks,
+            0
+        );
+        assert!(stats.uncovered_flushes > 0, "alternation thrashes counters");
+    }
+
+    #[test]
+    fn context_pressure_drops_forks() {
+        // Never confident + one context + long latency: most fork
+        // requests find the context busy.
+        let trace = alternating_trace(1_000);
+        let model = DualPathModel {
+            contexts: 1,
+            resolve_latency: 10,
+        };
+        let stats = simulate_dual_path(&mut XScaleBtb::xscale(), &mut Fixed(false), &trace, &model);
+        assert!(stats.dropped_forks > stats.saved_flushes + stats.wasted_forks);
+    }
+
+    #[test]
+    fn selective_forking_beats_fork_never_on_hard_workloads() {
+        let trace = BranchBenchmark::Gsm.trace(Input::EVAL, 30_000);
+        let model = DualPathModel::small_smt();
+        let mut conf = ResettingConfidence::new(256, 8, 4);
+        let selective = simulate_dual_path(&mut XScaleBtb::xscale(), &mut conf, &trace, &model);
+        let never = simulate_dual_path(&mut XScaleBtb::xscale(), &mut Fixed(true), &trace, &model);
+        // Flush cost 8, fork cost 2 (same scale as the gating study).
+        assert!(
+            selective.net_savings(8.0, 2.0) > never.net_savings(8.0, 2.0),
+            "selective {:.3} vs never {:.3}",
+            selective.net_savings(8.0, 2.0),
+            never.net_savings(8.0, 2.0)
+        );
+        assert!(selective.flush_coverage() > 0.3);
+    }
+
+    #[test]
+    fn metrics_ranges() {
+        let stats = DualPathStats {
+            branches: 100,
+            saved_flushes: 10,
+            wasted_forks: 10,
+            dropped_forks: 5,
+            uncovered_flushes: 5,
+        };
+        assert!((stats.flush_coverage() - 10.0 / 15.0).abs() < 1e-12);
+        assert!((stats.fork_precision() - 0.5).abs() < 1e-12);
+        // 10*(8-2) - 10*2 = 40 over 100 branches.
+        assert!((stats.net_savings(8.0, 2.0) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the branch predictor simulators: accounting
+//! invariants, determinism, and counter behaviour under arbitrary event
+//! sequences.
+
+use fsmgen_bpred::{
+    simulate, Bimodal, BranchPredictor, Gshare, LocalGlobalChooser, LoopTermination, Ppm,
+    SaturatingCounter, XScaleBtb,
+};
+use fsmgen_traces::{BranchEvent, BranchTrace};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = BranchTrace> {
+    proptest::collection::vec((0u64..32, any::<bool>()), 1..400).prop_map(|events| {
+        events
+            .into_iter()
+            .map(|(slot, taken)| BranchEvent {
+                pc: 0x1000 + slot * 4,
+                target: 0x2000 + slot,
+                taken,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-branch accounting always sums to the totals.
+    #[test]
+    fn simulation_accounting(trace in trace_strategy()) {
+        let mut p = XScaleBtb::xscale();
+        let r = simulate(&mut p, &trace);
+        prop_assert_eq!(r.branches, trace.len());
+        let (execs, misses): (usize, usize) = r
+            .per_branch
+            .values()
+            .fold((0, 0), |(e, m), &(pe, pm)| (e + pe, m + pm));
+        prop_assert_eq!(execs, r.branches);
+        prop_assert_eq!(misses, r.mispredictions);
+        prop_assert!(r.miss_rate() >= 0.0 && r.miss_rate() <= 1.0);
+    }
+
+    /// Every predictor is deterministic: identical traces give identical
+    /// results.
+    #[test]
+    fn predictors_are_deterministic(trace in trace_strategy()) {
+        fn run2<P: BranchPredictor, F: Fn() -> P>(make: F, t: &BranchTrace) -> (usize, usize) {
+            let a = simulate(&mut make(), t);
+            let b = simulate(&mut make(), t);
+            assert_eq!(a, b);
+            (a.branches, a.mispredictions)
+        }
+        run2(|| Bimodal::new(64), &trace);
+        run2(|| Gshare::new(256), &trace);
+        run2(|| LocalGlobalChooser::new(64, 6, 256), &trace);
+        run2(XScaleBtb::xscale, &trace);
+        run2(|| Ppm::new(4), &trace);
+        run2(LoopTermination::new, &trace);
+    }
+
+    /// Saturating counters always stay within [0, max] and honour the
+    /// threshold semantics.
+    #[test]
+    fn counter_stays_in_range(
+        max in 1u32..64,
+        inc in 1u32..8,
+        dec in prop_oneof![Just(u32::MAX), (1u32..8).prop_map(|d| d)],
+        events in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let threshold = max / 2;
+        let mut c = SaturatingCounter::new(max, inc, dec, threshold);
+        for e in events {
+            c.update(e);
+            prop_assert!(c.value() <= max);
+            prop_assert_eq!(c.predict(), c.value() > threshold);
+        }
+    }
+
+    /// An always-taken workload is eventually predicted perfectly by every
+    /// table predictor (warmup aside).
+    #[test]
+    fn biased_workloads_are_learned(slots in 1u64..8) {
+        let trace: BranchTrace = (0..800)
+            .map(|i| BranchEvent {
+                pc: 0x4000 + (i % slots) * 4,
+                target: 0,
+                taken: true,
+            })
+            .collect();
+        for result in [
+            simulate(&mut Bimodal::new(64), &trace),
+            simulate(&mut Gshare::new(1024), &trace),
+            simulate(&mut XScaleBtb::xscale(), &trace),
+        ] {
+            // Allowance: per-slot counter warmup plus gshare's history
+            // warmup (each new history value hits a cold counter).
+            prop_assert!(
+                result.mispredictions <= (slots as usize) * 4 + 16,
+                "{} misses on an always-taken workload",
+                result.mispredictions
+            );
+        }
+    }
+
+    /// PPM context storage grows monotonically and is bounded by
+    /// orders x dynamic branches.
+    #[test]
+    fn ppm_storage_bounds(trace in trace_strategy()) {
+        let mut p = Ppm::new(4);
+        let mut last = 0usize;
+        for e in &trace {
+            let _ = p.predict(e.pc);
+            p.update(e.pc, e.taken);
+            let now = p.stored_contexts();
+            prop_assert!(now >= last);
+            last = now;
+        }
+        prop_assert!(last <= 4 * trace.len());
+    }
+
+    /// Loop predictor trip counts, when confirmed, equal an actually
+    /// observed taken-run length.
+    #[test]
+    fn loop_trip_counts_are_observed_runs(
+        trips in proptest::collection::vec(1u32..12, 2..12),
+    ) {
+        let mut trace = BranchTrace::new();
+        for &t in &trips {
+            for i in 0..t {
+                trace.push(BranchEvent {
+                    pc: 0x40,
+                    target: 0,
+                    taken: i != t - 1,
+                });
+            }
+        }
+        let mut p = LoopTermination::new();
+        for e in &trace {
+            p.update(e.pc, e.taken);
+        }
+        if let Some(trip) = p.trip_count(0x40) {
+            prop_assert!(
+                trips.iter().any(|&t| t - 1 == trip),
+                "confirmed trip {trip} never observed in {trips:?}"
+            );
+        }
+    }
+}

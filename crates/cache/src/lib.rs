@@ -1,0 +1,52 @@
+//! Cache management with FSM predictors — the §2.4 application.
+//!
+//! "Cache management schemes have been proposed that perform intelligent
+//! replacement, cache exclusion, and they use a small FSM counter to
+//! determine when the optimization should be applied" (Sherwood &
+//! Calder, ISCA 2001, citing McFarling and Tyson et al.).
+//!
+//! This crate provides the substrate and the experiment: a set-associative
+//! LRU [`Cache`] whose evictions report whether each line was reused, an
+//! [`AllocationPolicy`] deciding which misses may allocate
+//! (always-allocate baseline, per-PC [`CounterExclusion`], and
+//! [`FsmExclusion`] running automatically designed machines), plus
+//! synthetic memory workloads and [`design_exclusion_fsm`], which runs
+//! the paper's design flow on the observed reuse streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_cache::{
+//!     design_exclusion_fsm, run_cache, AlwaysAllocate, Cache, FsmExclusion,
+//!     MemoryWorkload,
+//! };
+//!
+//! let workload = MemoryWorkload::pollution_mix();
+//! let train = workload.generate(40_000, 1);
+//! let eval = workload.generate(40_000, 2);
+//!
+//! let design = design_exclusion_fsm(&train, &Cache::embedded_8k(), 4)?;
+//! let mut policy = FsmExclusion::new(design.into_fsm(), "fsm-excl");
+//! let with_fsm = run_cache(&mut Cache::embedded_8k(), &mut policy, &eval);
+//! let baseline = run_cache(&mut Cache::embedded_8k(), &mut AlwaysAllocate, &eval);
+//! assert!(with_fsm.hit_rate() > baseline.hit_rate());
+//! # Ok::<(), fsmgen::DesignError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod harness;
+mod policy;
+mod stream;
+
+pub use cache::{Access, Cache, CacheStats, EvictionReport};
+pub use harness::{
+    design_exclusion_fsm, reuse_model, run_cache, AccessPattern, MemoryAccess, MemoryWorkload,
+};
+pub use policy::{AllocationPolicy, AlwaysAllocate, CounterExclusion, FsmExclusion, RETRY_PERIOD};
+pub use stream::{
+    AllocateAlways, AllocationFilter, CounterFilter, FsmFilter, StreamBufferUnit, StreamReport,
+    StreamStats, FILTER_RETRY_PERIOD,
+};

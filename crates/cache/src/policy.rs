@@ -1,0 +1,230 @@
+//! Cache-exclusion (allocation bypass) policies (§2.4): "Cache management
+//! schemes have been proposed that perform intelligent replacement, cache
+//! exclusion, and they use a small FSM counter to determine when the
+//! optimization should be applied."
+//!
+//! The policy watches, per static instruction, whether the lines it
+//! allocates get reused before eviction; streaming instructions whose
+//! lines die unused are made to bypass the cache, protecting resident
+//! data. Three policies are provided: always-allocate (the baseline),
+//! per-PC saturating counters (Tyson et al.), and instances of an
+//! automatically designed FSM fed the same reuse stream — the paper's
+//! flow pointed at cache management.
+
+use crate::cache::EvictionReport;
+use fsmgen_automata::{Dfa, MoorePredictor};
+use fsmgen_bpred::SaturatingCounter;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Decides whether a missing line should be allocated, and learns from
+/// eviction feedback.
+pub trait AllocationPolicy {
+    /// Should the miss by instruction `pc` allocate a line?
+    fn should_allocate(&mut self, pc: u64) -> bool;
+
+    /// Feeds back one evicted line's fate.
+    fn observe(&mut self, report: EvictionReport);
+
+    /// Short description for reporting.
+    fn describe(&self) -> String;
+}
+
+/// The baseline: every miss allocates.
+#[derive(Debug, Clone, Default)]
+pub struct AlwaysAllocate;
+
+impl AllocationPolicy for AlwaysAllocate {
+    fn should_allocate(&mut self, _pc: u64) -> bool {
+        true
+    }
+
+    fn observe(&mut self, _report: EvictionReport) {}
+
+    fn describe(&self) -> String {
+        "always-allocate".to_string()
+    }
+}
+
+/// How often an excluded instruction is allowed to allocate anyway, to
+/// re-sample its reuse behaviour (all real exclusion schemes re-probe;
+/// without it an instruction excluded once could never recover, since
+/// feedback only arrives from allocated lines).
+pub const RETRY_PERIOD: u32 = 64;
+
+/// Per-PC saturating-counter exclusion: reuse increments, a dead eviction
+/// decrements; instructions whose counter falls to the floor bypass
+/// (with periodic retry).
+#[derive(Debug, Clone)]
+pub struct CounterExclusion {
+    counters: BTreeMap<u64, SaturatingCounter>,
+    bypass_streak: BTreeMap<u64, u32>,
+    max: u32,
+    threshold: u32,
+}
+
+impl CounterExclusion {
+    /// Creates the policy with the given counter shape; a common choice
+    /// is `max = 3, threshold = 0` (bypass only when pinned at zero).
+    #[must_use]
+    pub fn new(max: u32, threshold: u32) -> Self {
+        CounterExclusion {
+            counters: BTreeMap::new(),
+            bypass_streak: BTreeMap::new(),
+            max,
+            threshold,
+        }
+    }
+
+    fn counter(&mut self, pc: u64) -> &mut SaturatingCounter {
+        let (max, threshold) = (self.max, self.threshold);
+        self.counters
+            .entry(pc)
+            .or_insert_with(|| SaturatingCounter::new(max, 1, 1, threshold).with_value(max))
+    }
+}
+
+impl AllocationPolicy for CounterExclusion {
+    fn should_allocate(&mut self, pc: u64) -> bool {
+        if self.counter(pc).predict() {
+            self.bypass_streak.insert(pc, 0);
+            return true;
+        }
+        let streak = self.bypass_streak.entry(pc).or_insert(0);
+        *streak += 1;
+        if *streak >= RETRY_PERIOD {
+            *streak = 0;
+            true // periodic re-probe
+        } else {
+            false
+        }
+    }
+
+    fn observe(&mut self, report: EvictionReport) {
+        self.counter(report.allocator_pc).update(report.reused);
+    }
+
+    fn describe(&self) -> String {
+        format!("counter-excl(m{},t{})", self.max, self.threshold)
+    }
+}
+
+/// FSM-driven exclusion: each static instruction runs an instance of one
+/// automatically designed machine over its reuse history; the machine's
+/// output is "allocate".
+#[derive(Debug, Clone)]
+pub struct FsmExclusion {
+    machine: Arc<Dfa>,
+    instances: BTreeMap<u64, MoorePredictor>,
+    bypass_streak: BTreeMap<u64, u32>,
+    /// Instructions with no feedback yet allocate by default.
+    label: String,
+}
+
+impl FsmExclusion {
+    /// Creates the policy around a designed machine whose input alphabet
+    /// is "line was reused" and whose output means "allocate".
+    #[must_use]
+    pub fn new(machine: impl Into<Arc<Dfa>>, label: impl Into<String>) -> Self {
+        FsmExclusion {
+            machine: machine.into(),
+            instances: BTreeMap::new(),
+            bypass_streak: BTreeMap::new(),
+            label: label.into(),
+        }
+    }
+}
+
+impl AllocationPolicy for FsmExclusion {
+    fn should_allocate(&mut self, pc: u64) -> bool {
+        let allocate = match self.instances.get(&pc) {
+            Some(p) => p.predict(),
+            None => true, // no evidence yet
+        };
+        if allocate {
+            self.bypass_streak.insert(pc, 0);
+            return true;
+        }
+        let streak = self.bypass_streak.entry(pc).or_insert(0);
+        *streak += 1;
+        if *streak >= RETRY_PERIOD {
+            *streak = 0;
+            true // periodic re-probe
+        } else {
+            false
+        }
+    }
+
+    fn observe(&mut self, report: EvictionReport) {
+        let machine = Arc::clone(&self.machine);
+        self.instances
+            .entry(report.allocator_pc)
+            .or_insert_with(|| MoorePredictor::new(machine))
+            .update(report.reused);
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_automata::compile_patterns;
+
+    #[test]
+    fn always_allocate_never_bypasses() {
+        let mut p = AlwaysAllocate;
+        assert!(p.should_allocate(0x1));
+        p.observe(EvictionReport {
+            allocator_pc: 0x1,
+            reused: false,
+        });
+        assert!(p.should_allocate(0x1));
+        assert_eq!(p.describe(), "always-allocate");
+    }
+
+    #[test]
+    fn counter_learns_to_bypass_dead_allocators() {
+        let mut p = CounterExclusion::new(3, 0);
+        assert!(p.should_allocate(0x1), "optimistic start");
+        for _ in 0..4 {
+            p.observe(EvictionReport {
+                allocator_pc: 0x1,
+                reused: false,
+            });
+        }
+        assert!(!p.should_allocate(0x1), "dead allocator excluded");
+        // Reuse re-enables allocation.
+        p.observe(EvictionReport {
+            allocator_pc: 0x1,
+            reused: true,
+        });
+        assert!(p.should_allocate(0x1));
+        // Other PCs unaffected.
+        assert!(p.should_allocate(0x2));
+    }
+
+    #[test]
+    fn fsm_exclusion_follows_its_machine() {
+        // Allocate unless the last two evictions were both dead: the
+        // machine predicts 1 ("allocate") except after history 00.
+        let machine = compile_patterns(&[vec![Some(true), None], vec![None, Some(true)]]);
+        let mut p = FsmExclusion::new(machine, "fsm-excl");
+        assert!(p.should_allocate(0x9), "no evidence yet");
+        let dead = EvictionReport {
+            allocator_pc: 0x9,
+            reused: false,
+        };
+        p.observe(dead);
+        p.observe(dead);
+        assert!(!p.should_allocate(0x9), "two dead evictions exclude");
+        p.observe(EvictionReport {
+            allocator_pc: 0x9,
+            reused: true,
+        });
+        assert!(p.should_allocate(0x9));
+        assert_eq!(p.describe(), "fsm-excl");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the cache substrate: geometry invariants,
+//! LRU behaviour, statistics accounting and policy feedback plumbing.
+
+use fsmgen_cache::{
+    run_cache, AllocateAlways, AllocationPolicy, AlwaysAllocate, Cache, CounterExclusion,
+    EvictionReport, MemoryAccess, StreamBufferUnit,
+};
+use proptest::prelude::*;
+
+fn accesses_strategy() -> impl Strategy<Value = Vec<MemoryAccess>> {
+    proptest::collection::vec((0u64..8, 0u64..1 << 14), 1..600).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(pc, addr)| MemoryAccess {
+                pc: 0x100 + pc * 4,
+                addr: addr & !3, // word aligned
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hits + allocations + bypasses always equals accesses, under any
+    /// policy.
+    #[test]
+    fn stats_accounting(accesses in accesses_strategy()) {
+        for policy in [0u8, 1] {
+            let stats = if policy == 0 {
+                run_cache(&mut Cache::new(8, 2, 5), &mut AlwaysAllocate, &accesses)
+            } else {
+                run_cache(
+                    &mut Cache::new(8, 2, 5),
+                    &mut CounterExclusion::new(3, 0),
+                    &accesses,
+                )
+            };
+            prop_assert_eq!(stats.accesses, accesses.len());
+            prop_assert_eq!(
+                stats.hits + stats.allocations + stats.bypasses,
+                stats.accesses
+            );
+            prop_assert!(stats.dead_evictions <= stats.allocations);
+            prop_assert!((0.0..=1.0).contains(&stats.hit_rate()));
+        }
+    }
+
+    /// An access that just hit must hit again immediately (no policy can
+    /// evict between two back-to-back touches of the same line).
+    #[test]
+    fn immediate_rereference_hits(accesses in accesses_strategy()) {
+        let mut cache = Cache::new(8, 2, 5);
+        let mut policy = AlwaysAllocate;
+        for a in &accesses {
+            cache.access(a.pc, a.addr, policy.should_allocate(a.pc));
+            let (again, _) = cache.access(a.pc, a.addr, true);
+            prop_assert_eq!(again, fsmgen_cache::Access::Hit);
+        }
+    }
+
+    /// Eviction reports always name a PC that actually allocated earlier.
+    #[test]
+    fn eviction_reports_are_attributable(accesses in accesses_strategy()) {
+        struct Recorder {
+            allocators: std::collections::BTreeSet<u64>,
+            reports: Vec<EvictionReport>,
+        }
+        impl AllocationPolicy for Recorder {
+            fn should_allocate(&mut self, pc: u64) -> bool {
+                self.allocators.insert(pc);
+                true
+            }
+            fn observe(&mut self, report: EvictionReport) {
+                self.reports.push(report);
+            }
+            fn describe(&self) -> String {
+                "recorder".to_string()
+            }
+        }
+        let mut rec = Recorder {
+            allocators: std::collections::BTreeSet::new(),
+            reports: Vec::new(),
+        };
+        run_cache(&mut Cache::new(4, 2, 5), &mut rec, &accesses);
+        for r in &rec.reports {
+            prop_assert!(
+                rec.allocators.contains(&r.allocator_pc),
+                "report from unknown allocator {:#x}",
+                r.allocator_pc
+            );
+        }
+    }
+
+    /// The working set fits: accesses confined to the cache capacity
+    /// never miss after the first touch of each line.
+    #[test]
+    fn resident_set_never_misses_after_warmup(lines in 1usize..8, rounds in 2usize..6) {
+        let mut cache = Cache::new(8, 2, 5); // 16 lines capacity
+        let mut misses_after_first_round = 0;
+        for round in 0..rounds {
+            for l in 0..lines {
+                let (a, _) = cache.access(0x10, (l as u64) * 32, true);
+                if round > 0 && a == fsmgen_cache::Access::Miss {
+                    misses_after_first_round += 1;
+                }
+            }
+        }
+        prop_assert_eq!(misses_after_first_round, 0);
+    }
+
+    /// Stream buffer statistics are internally consistent.
+    #[test]
+    fn stream_stats_consistent(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut unit = StreamBufferUnit::new(2, 4, 5);
+        let mut filter = AllocateAlways;
+        for (i, &a) in addrs.iter().enumerate() {
+            unit.miss(0x40 + (i as u64 % 3) * 4, a & !31, &mut filter);
+        }
+        let s = unit.stats();
+        prop_assert_eq!(s.misses, addrs.len());
+        prop_assert!(s.prefetch_hits <= s.misses);
+        prop_assert!(s.useless_buffers <= s.allocations);
+        prop_assert!((0.0..=1.0).contains(&s.coverage()));
+        prop_assert!((0.0..=1.0).contains(&s.usefulness()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal dependency-free argument parsing: `--key value` flags plus
+//! positional arguments, collected in one pass.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: flag map plus positionals in order.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program and subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--flag` is missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                args.flags.insert(name.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A flag's raw value.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A flag parsed into any `FromStr` type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when parsing fails.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{name}")),
+        }
+    }
+
+    /// Positional arguments in order.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let args =
+            Args::parse(["--history", "6", "trace.txt", "--threshold", "0.8"].map(String::from))
+                .unwrap();
+        assert_eq!(args.flag("history"), Some("6"));
+        assert_eq!(args.flag_or("history", 2usize).unwrap(), 6);
+        assert_eq!(args.flag_or("missing", 9usize).unwrap(), 9);
+        assert_eq!(args.positional(), ["trace.txt"]);
+        let t: f64 = args.flag_or("threshold", 0.5).unwrap();
+        assert!((t - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(["--history".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let args = Args::parse(["--history", "six"].map(String::from)).unwrap();
+        assert!(args.flag_or("history", 2usize).is_err());
+    }
+}

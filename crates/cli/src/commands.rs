@@ -1,0 +1,507 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use fsmgen::Designer;
+use fsmgen_bpred::{
+    simulate as run_sim, BranchPredictor, Combining, CustomTrainer, Gshare, LocalGlobalChooser,
+    Ppm, XScaleBtb,
+};
+use fsmgen_experiments::figures;
+use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
+use fsmgen_traces::BitTrace;
+use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
+use std::io::Read as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fsmgen — automated design of finite state machine predictors
+
+USAGE:
+  fsmgen design   [--history N] [--threshold P] [--dont-care F]
+                  [--format summary|dot|vhdl|table] [FILE]
+          Design a predictor from a 0/1 trace (FILE or stdin; whitespace
+          is ignored, so '0000 1000 1011 ...' works as-is). The table
+          format can be reloaded with 'fsmgen predict'.
+
+  fsmgen predict  --machine FILE [TRACE_FILE]
+          Load a machine table and replay it over a 0/1 trace (file or
+          stdin), reporting prediction accuracy.
+
+  fsmgen trace    --benchmark NAME [--kind branch|value|bits]
+                  [--len N] [--input K]
+          Dump a synthetic workload trace. Branch benchmarks: compress,
+          gs, gsm, g721, ijpeg, vortex. Value benchmarks: groff, gcc,
+          li, go, perl.
+
+  fsmgen simulate {--benchmark NAME | --trace-file FILE}
+                  [--len N] [--customs K] [--history N]
+          Simulate XScale, gshare, LGC, PPM and the customized FSM
+          architecture and print miss rates. With --trace-file the file
+          (PC TAKEN [TARGET] per line) is split in half: customs train on
+          the first half and every predictor is evaluated on the second.
+
+  fsmgen compile  --patterns LIST [--format summary|dot|vhdl|table]
+          Compile history patterns in the paper's notation (oldest bit
+          first, 'x' = don't care, '|' or ',' separated; e.g.
+          \"0x1x | 0xx1x\" is Figure 7) into a steady-state machine.
+
+  fsmgen confidence --benchmark NAME [--len N]
+          Run one Figure 2 panel: SUD counter sweep vs cross-trained FSM
+          confidence estimators on a value benchmark (groff, gcc, li,
+          go, perl).
+
+  fsmgen headlines [--len N]
+          Verify the paper's §6.4/§7.5 headline claims on the synthetic
+          substrate and print holds/fails per claim.
+
+  fsmgen figure   {1|6|7}
+          Print one of the paper's example machines as Graphviz DOT.";
+
+fn branch_benchmark(name: &str) -> Result<BranchBenchmark, String> {
+    BranchBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown branch benchmark {name:?}"))
+}
+
+/// `fsmgen design`: trace in, designed machine out.
+///
+/// # Errors
+///
+/// Returns a message for unreadable input, an unparsable trace, invalid
+/// flags or a failed design.
+pub fn design(args: &Args) -> Result<(), String> {
+    let history: usize = args.flag_or("history", 4)?;
+    let threshold: f64 = args.flag_or("threshold", 0.5)?;
+    let dont_care: f64 = args.flag_or("dont-care", 0.01)?;
+    let format = args.flag("format").unwrap_or("summary");
+
+    let raw = match args.positional().first() {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let trace: BitTrace = raw.parse().map_err(|e| format!("bad trace: {e}"))?;
+
+    let design = Designer::new(history)
+        .prob_threshold(threshold)
+        .dont_care_fraction(dont_care)
+        .design_from_trace(&trace)
+        .map_err(|e| e.to_string())?;
+
+    match format {
+        "summary" => {
+            println!(
+                "trace: {} bits ({:.1}% ones)",
+                trace.len(),
+                100.0 * trace.ones_fraction()
+            );
+            println!("history: {history}, threshold: {threshold}, dont-care: {dont_care}");
+            println!(
+                "markov histories observed: {}",
+                design.model().observed_histories()
+            );
+            println!("cover: {}", design.cover());
+            match design.regex() {
+                Some(re) => println!("regex: {re}"),
+                None => println!("regex: (empty language, constant predict-0)"),
+            }
+            println!(
+                "states: {} (was {} before start-state reduction)",
+                design.fsm().num_states(),
+                design.pre_reduction_states()
+            );
+            let est = synthesize_area(design.fsm(), Encoding::Binary);
+            println!(
+                "area: {:.0} gate-equivalents ({} flip-flops, {:.0} logic gates)",
+                est.area, est.flip_flops, est.logic_gates
+            );
+        }
+        "dot" => print!("{}", design.fsm().to_dot("predictor")),
+        "vhdl" => print!("{}", to_vhdl(design.fsm(), &VhdlOptions::default())),
+        "table" => print!("{}", fsmgen_automata::machine_to_table(design.fsm())),
+        other => return Err(format!("unknown format {other:?} (summary|dot|vhdl|table)")),
+    }
+    Ok(())
+}
+
+/// `fsmgen trace`: dump a synthetic workload.
+///
+/// # Errors
+///
+/// Returns a message for unknown benchmarks or invalid flags.
+pub fn trace(args: &Args) -> Result<(), String> {
+    let name = args.flag("benchmark").ok_or("--benchmark is required")?;
+    let len: usize = args.flag_or("len", 10_000)?;
+    let input = Input(args.flag_or("input", 1u64)?);
+    let kind = args.flag("kind").unwrap_or("branch");
+
+    match kind {
+        "branch" => {
+            let t = branch_benchmark(name)?.trace(input, len);
+            for e in &t {
+                println!("{:#x} {} {:#x}", e.pc, u8::from(e.taken), e.target);
+            }
+        }
+        "bits" => {
+            let t = branch_benchmark(name)?.trace(input, len);
+            let bits: BitTrace = t.iter().map(|e| e.taken).collect();
+            println!("{bits}");
+        }
+        "value" => {
+            let bench = ValueBenchmark::ALL
+                .into_iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| format!("unknown value benchmark {name:?}"))?;
+            for e in &bench.trace(input, len) {
+                println!("{:#x} {:#x}", e.pc, e.value);
+            }
+        }
+        other => return Err(format!("unknown kind {other:?} (branch|value|bits)")),
+    }
+    Ok(())
+}
+
+/// `fsmgen simulate`: predictor comparison on one benchmark.
+///
+/// # Errors
+///
+/// Returns a message for unknown benchmarks or invalid flags.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let len: usize = args.flag_or("len", 40_000)?;
+    let customs: usize = args.flag_or("customs", 4)?;
+    let history: usize = args.flag_or("history", 9)?;
+
+    let (train, eval) = match (args.flag("benchmark"), args.flag("trace-file")) {
+        (Some(name), None) => {
+            let bench = branch_benchmark(name)?;
+            (
+                bench.trace(Input::TRAIN, len),
+                bench.trace(Input::EVAL, len),
+            )
+        }
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let full = fsmgen_traces::parse_branch_trace(&text).map_err(|e| e.to_string())?;
+            if full.len() < 4 {
+                return Err("trace file needs at least 4 events".to_string());
+            }
+            let mid = full.len() / 2;
+            let train: fsmgen_traces::BranchTrace = full.events()[..mid].iter().copied().collect();
+            let eval: fsmgen_traces::BranchTrace = full.events()[mid..].iter().copied().collect();
+            (train, eval)
+        }
+        _ => return Err("exactly one of --benchmark or --trace-file is required".to_string()),
+    };
+
+    println!(
+        "{:<20} {:>12} {:>10}",
+        "predictor", "table bits", "miss rate"
+    );
+    let row = |p: &mut dyn BranchPredictor| {
+        let r = run_sim(p, &eval);
+        println!(
+            "{:<20} {:>12} {:>9.2}%",
+            p.describe(),
+            p.storage_bits(),
+            100.0 * r.miss_rate()
+        );
+    };
+    row(&mut XScaleBtb::xscale());
+    row(&mut Gshare::new(4096));
+    row(&mut Combining::new(1024, 4096, 1024));
+    row(&mut LocalGlobalChooser::new(512, 10, 4096));
+    row(&mut Ppm::new(8));
+
+    let designs = CustomTrainer::new(history).train(&train, customs);
+    let mut arch = designs.architecture(customs);
+    let r = run_sim(&mut arch, &eval);
+    println!(
+        "{:<20} {:>12} {:>9.2}%  ({} FSM states total)",
+        arch.describe(),
+        arch.storage_bits(),
+        100.0 * r.miss_rate(),
+        arch.total_custom_states()
+    );
+    Ok(())
+}
+
+/// `fsmgen compile`: patterns in paper notation -> machine.
+///
+/// # Errors
+///
+/// Returns a message for malformed pattern lists or unknown formats.
+pub fn compile(args: &Args) -> Result<(), String> {
+    let list = args.flag("patterns").ok_or("--patterns is required")?;
+    let patterns = fsmgen_automata::parse_pattern_list(list).map_err(|e| e.to_string())?;
+    let fsm = fsmgen_automata::compile_patterns(&patterns);
+    match args.flag("format").unwrap_or("summary") {
+        "summary" => {
+            println!("patterns: {list}");
+            println!("states: {}", fsm.num_states());
+            let est = synthesize_area(&fsm, Encoding::Binary);
+            println!(
+                "area: {:.0} gate-equivalents ({} flip-flops, {:.0} logic gates)",
+                est.area, est.flip_flops, est.logic_gates
+            );
+        }
+        "dot" => print!("{}", fsm.to_dot("pattern_fsm")),
+        "vhdl" => print!("{}", to_vhdl(&fsm, &VhdlOptions::default())),
+        "table" => print!("{}", fsmgen_automata::machine_to_table(&fsm)),
+        other => return Err(format!("unknown format {other:?} (summary|dot|vhdl|table)")),
+    }
+    Ok(())
+}
+
+/// `fsmgen predict`: replay a saved machine over a trace.
+///
+/// # Errors
+///
+/// Returns a message for unreadable files, malformed machines or traces.
+pub fn predict(args: &Args) -> Result<(), String> {
+    let machine_path = args.flag("machine").ok_or("--machine is required")?;
+    let machine_text = std::fs::read_to_string(machine_path)
+        .map_err(|e| format!("cannot read {machine_path}: {e}"))?;
+    let machine = fsmgen_automata::machine_from_table(&machine_text).map_err(|e| e.to_string())?;
+
+    let raw = match args.positional().first() {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let trace: BitTrace = raw.parse().map_err(|e| format!("bad trace: {e}"))?;
+    if trace.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+
+    let mut p = fsmgen_automata::MoorePredictor::new(machine);
+    let mut correct = 0usize;
+    for bit in &trace {
+        if p.predict() == bit {
+            correct += 1;
+        }
+        p.update(bit);
+    }
+    println!(
+        "{} states, {} bits, {}/{} correct ({:.2}%)",
+        p.num_states(),
+        trace.len(),
+        correct,
+        trace.len(),
+        100.0 * correct as f64 / trace.len() as f64
+    );
+    Ok(())
+}
+
+/// `fsmgen confidence`: one Figure 2 panel.
+///
+/// # Errors
+///
+/// Returns a message for unknown benchmarks or invalid flags.
+pub fn confidence(args: &Args) -> Result<(), String> {
+    let name = args.flag("benchmark").ok_or("--benchmark is required")?;
+    let bench = ValueBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown value benchmark {name:?}"))?;
+    let len: usize = args.flag_or("len", 40_000)?;
+    let config = fsmgen_experiments::fig2::Fig2Config {
+        trace_len: len,
+        ..fsmgen_experiments::fig2::Fig2Config::default()
+    };
+    let panel = fsmgen_experiments::fig2::run_panel(bench, &config);
+    print!("{}", fsmgen_experiments::report::fig2_table(&panel));
+    Ok(())
+}
+
+/// `fsmgen headlines`: verify the paper's headline claims.
+///
+/// # Errors
+///
+/// Returns a message when any claim fails (exit status reflects it) or a
+/// flag is invalid.
+pub fn headlines(args: &Args) -> Result<(), String> {
+    let len: usize = args.flag_or("len", 40_000)?;
+    let claims =
+        fsmgen_experiments::headlines::run(&fsmgen_experiments::headlines::HeadlineConfig {
+            trace_len: len,
+        });
+    print!("{}", fsmgen_experiments::headlines::table(&claims));
+    let failed = claims.iter().filter(|c| !c.holds).count();
+    if failed > 0 {
+        return Err(format!(
+            "{failed} headline claim(s) do not hold at this scale"
+        ));
+    }
+    Ok(())
+}
+
+/// `fsmgen figure`: print a paper figure's machine.
+///
+/// # Errors
+///
+/// Returns a message when the figure id is not 1, 6 or 7.
+pub fn figure(args: &Args) -> Result<(), String> {
+    match args.positional().first().map(String::as_str) {
+        Some("1") => {
+            let design = figures::figure1();
+            println!(
+                "-- with start-up states ({}):",
+                design.pre_reduction_states()
+            );
+            print!("{}", design.minimized_with_startup().to_dot("fig1_startup"));
+            println!(
+                "-- after start state removal ({}):",
+                design.fsm().num_states()
+            );
+            print!("{}", design.fsm().to_dot("fig1_steady"));
+            Ok(())
+        }
+        Some("6") => {
+            print!("{}", figures::figure6().to_dot("fig6"));
+            Ok(())
+        }
+        Some("7") => {
+            print!("{}", figures::figure7().to_dot("fig7"));
+            Ok(())
+        }
+        other => Err(format!("expected figure 1, 6 or 7, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| (*s).to_string())).unwrap()
+    }
+
+    #[test]
+    fn figure_command_validates_id() {
+        assert!(figure(&args(&["1"])).is_ok());
+        assert!(figure(&args(&["6"])).is_ok());
+        assert!(figure(&args(&["7"])).is_ok());
+        assert!(figure(&args(&["2"])).is_err());
+        assert!(figure(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn trace_command_requires_benchmark() {
+        assert!(trace(&args(&[])).is_err());
+        assert!(trace(&args(&["--benchmark", "nope"])).is_err());
+        assert!(trace(&args(&["--benchmark", "gsm", "--kind", "weird"])).is_err());
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        assert!(simulate(&args(&[
+            "--benchmark",
+            "g721",
+            "--len",
+            "3000",
+            "--customs",
+            "2",
+            "--history",
+            "4",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn simulate_from_trace_file() {
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.trace");
+        let text =
+            fsmgen_traces::format_branch_trace(&BranchBenchmark::Gsm.trace(Input::TRAIN, 2_000));
+        std::fs::write(&path, text).unwrap();
+        assert!(simulate(&args(&[
+            "--trace-file",
+            path.to_str().unwrap(),
+            "--customs",
+            "1",
+            "--history",
+            "4",
+        ]))
+        .is_ok());
+        // Both sources or neither is an error.
+        assert!(simulate(&args(&[])).is_err());
+        assert!(simulate(&args(&[
+            "--benchmark",
+            "gsm",
+            "--trace-file",
+            path.to_str().unwrap(),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn compile_patterns_notation() {
+        assert!(compile(&args(&["--patterns", "0x1x | 0xx1x"])).is_ok());
+        assert!(compile(&args(&["--patterns", "1x", "--format", "table"])).is_ok());
+        assert!(compile(&args(&["--patterns", "2z"])).is_err());
+        assert!(compile(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn confidence_panel_small() {
+        assert!(confidence(&args(&["--benchmark", "li", "--len", "4000"])).is_ok());
+        assert!(confidence(&args(&["--benchmark", "nope"])).is_err());
+        assert!(confidence(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn predict_round_trip() {
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bits_path = dir.join("p.bits");
+        std::fs::write(&bits_path, "0101 0101 0101 0101 0101").unwrap();
+        let machine_path = dir.join("p.fsm");
+        let fsm = fsmgen_automata::compile_patterns(&[vec![Some(false)]]);
+        std::fs::write(&machine_path, fsmgen_automata::machine_to_table(&fsm)).unwrap();
+        assert!(predict(&args(&[
+            "--machine",
+            machine_path.to_str().unwrap(),
+            bits_path.to_str().unwrap(),
+        ]))
+        .is_ok());
+        assert!(predict(&args(&[bits_path.to_str().unwrap()])).is_err());
+        assert!(predict(&args(&["--machine", "/no/such.fsm"])).is_err());
+    }
+
+    #[test]
+    fn design_from_file() {
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        std::fs::write(&path, "0000 1000 1011 1101 1110 1111").unwrap();
+        for format in ["summary", "dot", "vhdl"] {
+            assert!(design(&args(&[
+                "--history",
+                "2",
+                "--format",
+                format,
+                path.to_str().unwrap(),
+            ]))
+            .is_ok());
+        }
+        assert!(design(&args(&["--format", "bogus", path.to_str().unwrap()])).is_err());
+        assert!(design(&args(&["/no/such/file.txt"])).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! `fsmgen` — the command-line face of the FSM-predictor design flow.
+//!
+//! ```text
+//! fsmgen design   [--history N] [--threshold P] [--dont-care F]
+//!                 [--format summary|dot|vhdl] [FILE]      design from a 0/1 trace
+//! fsmgen trace    --benchmark NAME [--kind branch|value|bits]
+//!                 [--len N] [--input K]                   dump a synthetic workload
+//! fsmgen simulate --benchmark NAME [--len N]
+//!                 [--customs K] [--history N]             compare predictors
+//! fsmgen predict  --machine FILE [TRACE]                 replay a saved machine
+//! fsmgen figure   {1|6|7}                                 print a paper figure's FSM
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "design" => commands::design(&parsed),
+        "trace" => commands::trace(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "predict" => commands::predict(&parsed),
+        "compile" => commands::compile(&parsed),
+        "confidence" => commands::confidence(&parsed),
+        "headlines" => commands::headlines(&parsed),
+        "figure" => commands::figure(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

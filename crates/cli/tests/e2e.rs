@@ -1,0 +1,129 @@
+//! End-to-end tests driving the actual `fsmgen` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn fsmgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fsmgen"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fsmgen-e2e");
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+#[test]
+fn design_from_stdin_reproduces_figure1() {
+    let mut child = fsmgen()
+        .args(["design", "--history", "2", "--dont-care", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(b"0000 1000 1011 1101 1110 1111")
+        .expect("write trace");
+    let out = child.wait_with_output().expect("completes");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        text.contains("states: 3 (was 5 before start-state reduction)"),
+        "{text}"
+    );
+    assert!(text.contains("cover: -1 + 1-"), "{text}");
+}
+
+#[test]
+fn full_pipeline_trace_design_predict() {
+    let dir = tmpdir();
+    let bits = dir.join("e2e.bits");
+    let machine = dir.join("e2e.fsm");
+
+    // 1. Dump a workload as bits.
+    let out = fsmgen()
+        .args([
+            "trace",
+            "--benchmark",
+            "gsm",
+            "--kind",
+            "bits",
+            "--len",
+            "5000",
+        ])
+        .output()
+        .expect("trace runs");
+    assert!(out.status.success());
+    std::fs::write(&bits, &out.stdout).expect("write bits");
+
+    // 2. Design and save the machine table.
+    let out = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "4",
+            "--format",
+            "table",
+            bits.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("design runs");
+    assert!(out.status.success());
+    std::fs::write(&machine, &out.stdout).expect("write machine");
+
+    // 3. Reload and replay.
+    let out = fsmgen()
+        .args([
+            "predict",
+            "--machine",
+            machine.to_str().expect("utf8 path"),
+            bits.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("predict runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let pct: f64 = text
+        .split('(')
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable predict output: {text}"));
+    assert!(pct > 60.0, "designed machine should beat chance: {text}");
+}
+
+#[test]
+fn compile_figure7_notation() {
+    let out = fsmgen()
+        .args(["compile", "--patterns", "0x1x | 0xx1x"])
+        .output()
+        .expect("compile runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("states: 11"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = fsmgen().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn no_command_prints_usage_and_fails() {
+    let out = fsmgen().output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn figure_subcommand_emits_dot() {
+    let out = fsmgen().args(["figure", "6"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("digraph fig6"));
+}

@@ -1,0 +1,395 @@
+//! The end-to-end design flow (§4): trace → Markov model → pattern sets →
+//! minimized cover → regular expression → minimized, steady-state Moore
+//! predictor.
+
+use crate::markov::MarkovModel;
+use crate::patterns::{PatternConfig, PatternSets};
+use crate::DesignError;
+use fsmgen_automata::{Dfa, MoorePredictor, Nfa, Regex};
+use fsmgen_logicmin::{minimize, Algorithm, Cover};
+use fsmgen_traces::BitTrace;
+
+/// Configures one run of the automated design flow.
+///
+/// Construct with [`Designer::new`] and adjust via the builder-style
+/// methods, then call [`Designer::design_from_trace`] or
+/// [`Designer::design_from_model`].
+///
+/// # Examples
+///
+/// Designing the paper's running example end to end (Figure 1):
+///
+/// ```
+/// use fsmgen::Designer;
+/// use fsmgen_traces::BitTrace;
+///
+/// let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
+/// let design = Designer::new(2).design_from_trace(&t)?;
+/// assert_eq!(design.fsm().num_states(), 3); // Figure 1, right side
+/// assert_eq!(design.pre_reduction_states(), 5); // Figure 1, left side
+/// # Ok::<(), fsmgen::DesignError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Designer {
+    history: usize,
+    pattern_config: PatternConfig,
+    algorithm: Algorithm,
+}
+
+impl Designer {
+    /// Creates a designer using `history` bits of history (the Markov
+    /// order N), the paper's default pattern configuration (threshold 1/2,
+    /// 1% don't-cares) and the exact minimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero or exceeds
+    /// [`MAX_ORDER`](crate::MAX_ORDER).
+    #[must_use]
+    pub fn new(history: usize) -> Self {
+        assert!(
+            history > 0 && history <= crate::MAX_ORDER,
+            "history must be in 1..={}, got {history}",
+            crate::MAX_ORDER
+        );
+        Designer {
+            history,
+            pattern_config: PatternConfig::default(),
+            algorithm: Algorithm::default(),
+        }
+    }
+
+    /// Sets the pattern-definition configuration.
+    #[must_use]
+    pub fn pattern_config(mut self, config: PatternConfig) -> Self {
+        self.pattern_config = config;
+        self
+    }
+
+    /// Sets the probability threshold for the predict-1 set (keeps the
+    /// current don't-care fraction).
+    #[must_use]
+    pub fn prob_threshold(mut self, threshold: f64) -> Self {
+        self.pattern_config.prob_threshold = threshold;
+        self
+    }
+
+    /// Sets the don't-care demotion fraction (keeps the current threshold).
+    #[must_use]
+    pub fn dont_care_fraction(mut self, fraction: f64) -> Self {
+        self.pattern_config.dont_care_fraction = fraction;
+        self
+    }
+
+    /// Sets the logic-minimization algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The configured history length.
+    #[must_use]
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    /// Runs the full flow on a 0/1 behaviour trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::TraceTooShort`] if the trace cannot fill the
+    /// history window, [`DesignError::BadConfig`] for invalid pattern
+    /// configuration, or [`DesignError::EmptyModel`] if no history was
+    /// observed.
+    pub fn design_from_trace(&self, trace: &BitTrace) -> Result<Design, DesignError> {
+        let model = MarkovModel::from_bit_trace(self.history, trace)?;
+        self.design_from_model(model)
+    }
+
+    /// Runs the flow from an already-built Markov model (e.g. a per-branch
+    /// model keyed on global history, or a merged cross-training model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::BadConfig`] for invalid pattern configuration
+    /// or [`DesignError::EmptyModel`] if the model has no observations.
+    pub fn design_from_model(&self, model: MarkovModel) -> Result<Design, DesignError> {
+        self.pattern_config
+            .validate()
+            .map_err(DesignError::BadConfig)?;
+        if model.total_observations() == 0 {
+            return Err(DesignError::EmptyModel);
+        }
+        if model.order() != self.history {
+            return Err(DesignError::OrderMismatch {
+                designer: self.history,
+                model: model.order(),
+            });
+        }
+
+        // §4.3 pattern definition.
+        let sets = PatternSets::from_model(&model, &self.pattern_config)
+            .expect("model order is within minimizer width limits");
+
+        // §4.4 pattern compression.
+        let cover = minimize(sets.spec(), self.algorithm);
+
+        // §4.5 regular expression building. Cube variable i is the outcome
+        // i steps back, so the oldest position of a written pattern is
+        // variable N-1.
+        let patterns: Vec<Vec<Option<bool>>> = cover
+            .cubes()
+            .iter()
+            .map(|cube| (0..self.history).rev().map(|var| cube.var(var)).collect())
+            .collect();
+        let regex = if patterns.is_empty() {
+            None
+        } else {
+            Some(Regex::ending_in(
+                patterns.iter().map(|p| Regex::pattern(p)).collect(),
+            ))
+        };
+
+        // §4.6 FSM creation + Hopcroft, §4.7 start-state reduction.
+        let (minimized, fsm) = match &regex {
+            None => {
+                let constant = Dfa::from_parts(vec![[0, 0]], vec![false], 0);
+                (constant.clone(), constant)
+            }
+            Some(re) => {
+                let minimized = Dfa::from_nfa(&Nfa::from_regex(re)).minimized();
+                let fsm = minimized.steady_state_reduced();
+                (minimized, fsm)
+            }
+        };
+
+        Ok(Design {
+            model,
+            sets,
+            cover,
+            regex,
+            minimized,
+            fsm,
+        })
+    }
+}
+
+/// The output of one design-flow run, retaining every intermediate
+/// artifact so callers can inspect or report any stage.
+#[derive(Debug, Clone)]
+pub struct Design {
+    model: MarkovModel,
+    sets: PatternSets,
+    cover: Cover,
+    regex: Option<Regex>,
+    minimized: Dfa,
+    fsm: Dfa,
+}
+
+impl Design {
+    /// The Markov model the design was derived from (§4.2).
+    #[must_use]
+    pub fn model(&self) -> &MarkovModel {
+        &self.model
+    }
+
+    /// The predict-1 / predict-0 / don't-care partition (§4.3).
+    #[must_use]
+    pub fn pattern_sets(&self) -> &PatternSets {
+        &self.sets
+    }
+
+    /// The minimized sum-of-products cover of the predict-1 set (§4.4).
+    #[must_use]
+    pub fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// The regular expression for the predict-1 language (§4.5), or `None`
+    /// when the cover is empty (an always-predict-0 design).
+    #[must_use]
+    pub fn regex(&self) -> Option<&Regex> {
+        self.regex.as_ref()
+    }
+
+    /// The Hopcroft-minimized machine before start-state removal
+    /// (Figure 1, left).
+    #[must_use]
+    pub fn minimized_with_startup(&self) -> &Dfa {
+        &self.minimized
+    }
+
+    /// State count before start-state reduction.
+    #[must_use]
+    pub fn pre_reduction_states(&self) -> usize {
+        self.minimized.num_states()
+    }
+
+    /// The final steady-state predictor machine (Figure 1, right).
+    #[must_use]
+    pub fn fsm(&self) -> &Dfa {
+        &self.fsm
+    }
+
+    /// Instantiates a runnable predictor on the final machine.
+    #[must_use]
+    pub fn predictor(&self) -> MoorePredictor {
+        MoorePredictor::new(self.fsm.clone())
+    }
+
+    /// Consumes the design, returning the final machine.
+    #[must_use]
+    pub fn into_fsm(self) -> Dfa {
+        self.fsm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_trace() -> BitTrace {
+        "0000 1000 1011 1101 1110 1111".parse().unwrap()
+    }
+
+    #[test]
+    fn full_paper_walkthrough() {
+        let designer = Designer::new(2).dont_care_fraction(0.0);
+        let design = designer.design_from_trace(&paper_trace()).unwrap();
+
+        // §4.4: the cover is (x1) + (1x).
+        assert_eq!(design.cover().len(), 2);
+        assert_eq!(design.cover().literal_count(), 2);
+
+        // §4.5: regex is {0|1}* over the two patterns.
+        let re = design.regex().unwrap().to_string();
+        assert!(re.starts_with("{0|1}*"), "regex was {re}");
+
+        // Figure 1: 5 states with start-up, 3 after reduction.
+        assert_eq!(design.pre_reduction_states(), 5);
+        assert_eq!(design.fsm().num_states(), 3);
+
+        // Steady-state behaviour: predict 1 unless the last two bits were
+        // both 0.
+        let mut p = design.predictor();
+        for (bits, expect) in [
+            ([false, false], false),
+            ([false, true], true),
+            ([true, false], true),
+            ([true, true], true),
+        ] {
+            // Walk in from every state by feeding the two bits.
+            for warmup in 0..3u32 {
+                let mut q = p.fresh_instance();
+                for _ in 0..warmup {
+                    q.update(true);
+                }
+                for b in bits {
+                    q.update(b);
+                }
+                assert_eq!(q.predict(), expect, "bits {bits:?} warmup {warmup}");
+            }
+            p = p.fresh_instance();
+        }
+    }
+
+    #[test]
+    fn always_taken_trace_designs_constant_predictor() {
+        let t: BitTrace = "1111 1111 1111 1111".parse().unwrap();
+        let design = Designer::new(2).design_from_trace(&t).unwrap();
+        // Only history 11 is observed and it predicts 1; everything else is
+        // a don't-care, so the cover collapses to the universal cube and
+        // the machine to a single always-1 state.
+        assert_eq!(design.fsm().num_states(), 1);
+        assert!(design.fsm().output(0));
+    }
+
+    #[test]
+    fn always_not_taken_trace() {
+        let t: BitTrace = "0000 0000 0000".parse().unwrap();
+        let design = Designer::new(2).design_from_trace(&t).unwrap();
+        assert_eq!(design.fsm().num_states(), 1);
+        assert!(!design.fsm().output(0));
+        assert!(design.regex().is_none());
+    }
+
+    #[test]
+    fn alternating_trace_learns_alternation() {
+        let t: BitTrace = "0101 0101 0101 0101 0101".parse().unwrap();
+        let design = Designer::new(2).design_from_trace(&t).unwrap();
+        let mut p = design.predictor();
+        // After seeing ...01 the predictor should say 0; after ...10, 1.
+        p.update(false);
+        p.update(true);
+        assert!(!p.predict());
+        p.update(false);
+        assert!(p.predict());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let designer = Designer::new(4);
+        let tiny: BitTrace = "01".parse().unwrap();
+        assert!(matches!(
+            designer.design_from_trace(&tiny),
+            Err(DesignError::TraceTooShort { .. })
+        ));
+
+        let designer = Designer::new(2).prob_threshold(2.0);
+        assert!(matches!(
+            designer.design_from_trace(&paper_trace()),
+            Err(DesignError::BadConfig(_))
+        ));
+
+        let model = MarkovModel::new(3);
+        assert!(matches!(
+            Designer::new(3).design_from_model(model),
+            Err(DesignError::EmptyModel)
+        ));
+
+        let mut model = MarkovModel::new(3);
+        model.observe(0, true);
+        assert!(matches!(
+            Designer::new(2).design_from_model(model),
+            Err(DesignError::OrderMismatch {
+                designer: 2,
+                model: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn history_sweep_monotone_knowledge() {
+        // A trace with period-4 structure: longer histories should never
+        // produce a predictor worse (on the training trace itself) than
+        // shorter ones.
+        let t: BitTrace = "0011 0011 0011 0011 0011 0011 0011 0011".parse().unwrap();
+        let mut prev_acc = 0.0;
+        for n in 2..=6 {
+            let design = Designer::new(n).design_from_trace(&t).unwrap();
+            let mut p = design.predictor();
+            let mut correct = 0;
+            let mut total = 0;
+            for (i, bit) in t.iter().enumerate() {
+                if i >= n {
+                    total += 1;
+                    if p.predict() == bit {
+                        correct += 1;
+                    }
+                }
+                p.update(bit);
+            }
+            let acc = correct as f64 / total as f64;
+            assert!(
+                acc + 1e-9 >= prev_acc,
+                "accuracy dropped from {prev_acc} to {acc} at n={n}"
+            );
+            prev_acc = acc;
+        }
+        assert!(
+            prev_acc > 0.9,
+            "period-4 trace should be almost perfectly predictable"
+        );
+    }
+}

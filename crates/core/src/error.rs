@@ -1,0 +1,71 @@
+//! Error type for the design flow.
+
+use std::fmt;
+
+/// Errors produced by the automated FSM-predictor design flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// The behaviour trace is too short to fill the history window even
+    /// once.
+    TraceTooShort {
+        /// Trace length in bits.
+        len: usize,
+        /// Requested history length (Markov order).
+        order: usize,
+    },
+    /// The Markov model contains no observations.
+    EmptyModel,
+    /// The model's order does not match the designer's configured history.
+    OrderMismatch {
+        /// The designer's history length.
+        designer: usize,
+        /// The model's order.
+        model: usize,
+    },
+    /// The pattern configuration is invalid (message from validation).
+    BadConfig(String),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::TraceTooShort { len, order } => write!(
+                f,
+                "trace of {len} bits cannot fill a history of {order} bits"
+            ),
+            DesignError::EmptyModel => write!(f, "markov model contains no observations"),
+            DesignError::OrderMismatch { designer, model } => write!(
+                f,
+                "designer history {designer} does not match model order {model}"
+            ),
+            DesignError::BadConfig(msg) => write!(f, "invalid pattern configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DesignError::TraceTooShort { len: 2, order: 4 };
+        assert_eq!(
+            e.to_string(),
+            "trace of 2 bits cannot fill a history of 4 bits"
+        );
+        assert!(DesignError::EmptyModel
+            .to_string()
+            .contains("no observations"));
+        assert!(DesignError::BadConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DesignError>();
+    }
+}

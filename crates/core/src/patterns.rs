@@ -1,0 +1,231 @@
+//! Pattern definition (§4.3): partitioning observed histories into the
+//! "predict 1", "predict 0" and "don't care" sets.
+
+use crate::markov::MarkovModel;
+use fsmgen_logicmin::{FunctionSpec, SpecError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the pattern-definition stage.
+///
+/// * `prob_threshold` — a history joins the predict-1 set when
+///   `P[1 | history] >= prob_threshold`. The paper uses 1/2 for plain
+///   prediction-accuracy minimization; raising it toward 1.0 trades
+///   coverage for accuracy, which is how the confidence-estimation Pareto
+///   curves of Figure 2 are generated.
+/// * `dont_care_fraction` — the least-seen histories, up to this fraction
+///   of all dynamic observations, are placed in the don't-care set. "By
+///   placing only the 1% least seen histories in the don't care set can
+///   reduce the size of the predictor by a factor of two with negligible
+///   impact on prediction accuracy."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternConfig {
+    /// Minimum `P[1 | history]` for the predict-1 set.
+    pub prob_threshold: f64,
+    /// Fraction of dynamic observations whose (rarest) histories become
+    /// don't-cares.
+    pub dont_care_fraction: f64,
+}
+
+impl Default for PatternConfig {
+    /// The paper's defaults: threshold 1/2, rarest 1% as don't-cares.
+    fn default() -> Self {
+        PatternConfig {
+            prob_threshold: 0.5,
+            dont_care_fraction: 0.01,
+        }
+    }
+}
+
+impl PatternConfig {
+    /// A configuration with no don't-care compression, useful for exactness
+    /// comparisons and the don't-care ablation study.
+    #[must_use]
+    pub fn without_dont_cares(prob_threshold: f64) -> Self {
+        PatternConfig {
+            prob_threshold,
+            dont_care_fraction: 0.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `prob_threshold` is outside `(0, 1]` or
+    /// `dont_care_fraction` outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.prob_threshold > 0.0 && self.prob_threshold <= 1.0) {
+            return Err(format!(
+                "prob_threshold must be in (0, 1], got {}",
+                self.prob_threshold
+            ));
+        }
+        if !(0.0..1.0).contains(&self.dont_care_fraction) {
+            return Err(format!(
+                "dont_care_fraction must be in [0, 1), got {}",
+                self.dont_care_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The §4.3 partition of history space for one predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSets {
+    spec: FunctionSpec,
+    dont_care_observations: u64,
+    total_observations: u64,
+}
+
+impl PatternSets {
+    /// Partitions the histories of `model` into predict-1 / predict-0 /
+    /// don't-care sets per `config`.
+    ///
+    /// Histories that never occur in the trace are implicit don't-cares.
+    /// Among observed histories, the rarest ones are demoted to don't-care
+    /// until their cumulative dynamic count would exceed
+    /// `config.dont_care_fraction` of all observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the model order exceeds the logic
+    /// minimizer's width limit (not reachable through [`MarkovModel`]'s own
+    /// limits) and propagates internal consistency failures.
+    pub fn from_model(model: &MarkovModel, config: &PatternConfig) -> Result<Self, SpecError> {
+        debug_assert!(config.validate().is_ok(), "invalid PatternConfig");
+        let total = model.total_observations();
+        let budget = (total as f64 * config.dont_care_fraction) as u64;
+
+        // Sort observed histories by dynamic count ascending; demote the
+        // rarest while the budget lasts.
+        let mut by_rarity: Vec<(u32, u64)> = model.iter().map(|(h, c)| (h, c.total())).collect();
+        by_rarity.sort_by_key(|&(h, n)| (n, h));
+        let mut spent = 0u64;
+        let mut demoted = std::collections::BTreeSet::new();
+        for &(h, n) in &by_rarity {
+            if spent + n > budget {
+                break;
+            }
+            spent += n;
+            demoted.insert(h);
+        }
+
+        let mut spec = FunctionSpec::new(model.order())?;
+        for (h, counts) in model.iter() {
+            if demoted.contains(&h) {
+                spec.add_dont_care(h)?;
+            } else if counts.prob_one() >= config.prob_threshold {
+                spec.add_on(h)?;
+            } else {
+                spec.add_off(h)?;
+            }
+        }
+        Ok(PatternSets {
+            spec,
+            dont_care_observations: spent,
+            total_observations: total,
+        })
+    }
+
+    /// The resulting incompletely specified function: on = predict 1,
+    /// off = predict 0, don't-care = everything else.
+    #[must_use]
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Consumes the sets, returning the function spec.
+    #[must_use]
+    pub fn into_spec(self) -> FunctionSpec {
+        self.spec
+    }
+
+    /// Dynamic observations demoted to don't-care by the rarity rule.
+    #[must_use]
+    pub fn dont_care_observations(&self) -> u64 {
+        self.dont_care_observations
+    }
+
+    /// Total dynamic observations in the model.
+    #[must_use]
+    pub fn total_observations(&self) -> u64 {
+        self.total_observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_traces::BitTrace;
+
+    fn paper_model() -> MarkovModel {
+        let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
+        MarkovModel::from_bit_trace(2, &t).unwrap()
+    }
+
+    #[test]
+    fn paper_partition() {
+        // §4.3: predict-1 = {01, 10, 11}, predict-0 = {00}, dc = ∅.
+        let sets = PatternSets::from_model(&paper_model(), &PatternConfig::without_dont_cares(0.5))
+            .unwrap();
+        let spec = sets.spec();
+        let on: Vec<u32> = spec.on_set().iter().copied().collect();
+        assert_eq!(on, vec![0b01, 0b10, 0b11]);
+        let off: Vec<u32> = spec.off_set().iter().copied().collect();
+        assert_eq!(off, vec![0b00]);
+    }
+
+    #[test]
+    fn high_threshold_shrinks_on_set() {
+        // With threshold 0.7 only histories with P[1|h] >= 0.7 stay:
+        // 10 -> 3/4 = 0.75 and 11 -> 6/8 = 0.75 qualify.
+        let sets = PatternSets::from_model(&paper_model(), &PatternConfig::without_dont_cares(0.7))
+            .unwrap();
+        let on: Vec<u32> = sets.spec().on_set().iter().copied().collect();
+        assert_eq!(on, vec![0b10, 0b11]);
+    }
+
+    #[test]
+    fn dont_care_budget_demotes_rarest() {
+        let mut model = MarkovModel::new(3);
+        // A dominant history and a rare one.
+        for _ in 0..99 {
+            model.observe(0b000, true);
+        }
+        model.observe(0b111, false);
+        let config = PatternConfig {
+            prob_threshold: 0.5,
+            dont_care_fraction: 0.02, // budget = 2 observations
+        };
+        let sets = PatternSets::from_model(&model, &config).unwrap();
+        assert_eq!(sets.dont_care_observations(), 1);
+        assert!(sets.spec().explicit_dont_cares().contains(&0b111));
+        assert!(sets.spec().on_set().contains(&0b000));
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let sets = PatternSets::from_model(&paper_model(), &PatternConfig::without_dont_cares(0.5))
+            .unwrap();
+        assert_eq!(sets.dont_care_observations(), 0);
+        assert_eq!(sets.spec().explicit_dont_cares().len(), 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PatternConfig::default().validate().is_ok());
+        assert!(PatternConfig {
+            prob_threshold: 0.0,
+            dont_care_fraction: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(PatternConfig {
+            prob_threshold: 0.5,
+            dont_care_fraction: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+}

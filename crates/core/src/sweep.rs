@@ -1,0 +1,176 @@
+//! History-length sweeps: the design-space exploration a customized
+//! processor's tool chain runs on top of the single-design flow.
+//!
+//! §4.2 caps history at N = 10 ("having more knowledge of history after a
+//! certain point does not improve accuracy"), and §7.4's area model makes
+//! state count the cost axis. [`sweep_histories`] runs the flow at every
+//! length in a range and reports training accuracy alongside machine
+//! size, so callers can pick the smallest design meeting a target —
+//! exactly the tradeoff Figures 2 and 5 sweep by hand.
+
+use crate::designer::{Design, Designer};
+use crate::DesignError;
+use fsmgen_traces::BitTrace;
+
+/// One sweep point: a complete design plus its evaluation on the
+/// training trace.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// History length the design used.
+    pub history: usize,
+    /// The full design (machine, cover, model, …).
+    pub design: Design,
+    /// Prediction accuracy replayed over the training trace (warm region
+    /// only: the first `history` bits are skipped).
+    pub training_accuracy: f64,
+}
+
+impl SweepPoint {
+    /// States in the final machine.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.design.fsm().num_states()
+    }
+}
+
+/// Replays a design over a trace, counting predictions after the warmup
+/// window.
+fn replay(design: &Design, trace: &BitTrace, warmup: usize) -> f64 {
+    let mut p = design.predictor();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (i, bit) in trace.iter().enumerate() {
+        if i >= warmup {
+            total += 1;
+            if p.predict() == bit {
+                correct += 1;
+            }
+        }
+        p.update(bit);
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+/// Designs one predictor per history length in `histories`, evaluating
+/// each on the training trace. Lengths the trace cannot fill are skipped.
+///
+/// The `configure` hook receives the [`Designer`] for each length so
+/// callers can set thresholds, don't-care fractions or the minimization
+/// algorithm uniformly.
+///
+/// # Errors
+///
+/// Returns the first non-length-related [`DesignError`] (invalid
+/// configuration, empty model); a trace merely too short for some lengths
+/// is not an error — those lengths are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen::{sweep_histories, Designer};
+/// use fsmgen_traces::BitTrace;
+///
+/// let trace: BitTrace = "1101".repeat(50).parse().unwrap();
+/// let points = sweep_histories(&trace, 2..=6, |d| d)?;
+/// assert_eq!(points.len(), 5);
+/// // Period-4 behaviour: by history 4 the trace is fully predictable.
+/// assert!(points.iter().any(|p| p.training_accuracy > 0.99));
+/// # Ok::<(), fsmgen::DesignError>(())
+/// ```
+pub fn sweep_histories(
+    trace: &BitTrace,
+    histories: impl IntoIterator<Item = usize>,
+    configure: impl Fn(Designer) -> Designer,
+) -> Result<Vec<SweepPoint>, DesignError> {
+    let mut points = Vec::new();
+    for history in histories {
+        let designer = configure(Designer::new(history));
+        debug_assert_eq!(
+            designer.history(),
+            history,
+            "configure must keep the history"
+        );
+        match designer.design_from_trace(trace) {
+            Ok(design) => {
+                let training_accuracy = replay(&design, trace, history);
+                points.push(SweepPoint {
+                    history,
+                    design,
+                    training_accuracy,
+                });
+            }
+            Err(DesignError::TraceTooShort { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(points)
+}
+
+/// Picks the smallest-machine sweep point whose training accuracy meets
+/// `target`, breaking ties toward shorter histories. Returns `None` when
+/// no point qualifies.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen::{smallest_meeting_accuracy, sweep_histories};
+/// use fsmgen_traces::BitTrace;
+///
+/// let trace: BitTrace = "01".repeat(60).parse().unwrap();
+/// let points = sweep_histories(&trace, 2..=8, |d| d)?;
+/// let best = smallest_meeting_accuracy(&points, 0.95).expect("alternation is learnable");
+/// assert_eq!(best.states(), 2, "the flip-flop machine suffices");
+/// # Ok::<(), fsmgen::DesignError>(())
+/// ```
+#[must_use]
+pub fn smallest_meeting_accuracy(points: &[SweepPoint], target: f64) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.training_accuracy >= target)
+        .min_by_key(|p| (p.states(), p.history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_skips_too_short_lengths() {
+        let trace: BitTrace = "0110 1".parse().unwrap(); // 5 bits
+        let points = sweep_histories(&trace, 2..=8, |d| d).unwrap();
+        // Lengths 5..=8 cannot fill the window (need len > N).
+        let lengths: Vec<usize> = points.iter().map(|p| p.history).collect();
+        assert_eq!(lengths, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_propagates_config_errors() {
+        let trace: BitTrace = "0101".repeat(20).parse().unwrap();
+        let err = sweep_histories(&trace, 2..=3, |d| d.prob_threshold(2.0)).unwrap_err();
+        assert!(matches!(err, DesignError::BadConfig(_)));
+    }
+
+    #[test]
+    fn accuracy_grows_until_the_period_is_covered() {
+        let trace: BitTrace = "110100".repeat(40).parse().unwrap(); // period 6
+        let points = sweep_histories(&trace, 2..=8, |d| d.dont_care_fraction(0.0)).unwrap();
+        let acc: Vec<f64> = points.iter().map(|p| p.training_accuracy).collect();
+        // Monotone non-decreasing and eventually (near-)perfect.
+        for w in acc.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{acc:?}");
+        }
+        assert!(acc.last().copied().unwrap() > 0.98, "{acc:?}");
+    }
+
+    #[test]
+    fn smallest_selection_prefers_fewer_states() {
+        let trace: BitTrace = "01".repeat(60).parse().unwrap();
+        let points = sweep_histories(&trace, 2..=6, |d| d).unwrap();
+        let best = smallest_meeting_accuracy(&points, 0.9).unwrap();
+        // Every sweep length learns alternation; the pick must be the
+        // 2-state machine at the shortest history.
+        assert_eq!(best.states(), 2);
+        assert_eq!(best.history, 2);
+        assert!(smallest_meeting_accuracy(&points, 1.01).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the end-to-end design flow: the generated FSM
+//! must agree with the pattern sets it was built from, and the flow must be
+//! deterministic and robust across random traces.
+
+use fsmgen::{Designer, MarkovModel, PatternConfig};
+use fsmgen_logicmin::{Algorithm, MintermKind};
+use fsmgen_traces::BitTrace;
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = BitTrace> {
+    proptest::collection::vec(any::<bool>(), 12..200).prop_map(BitTrace::from_iter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fundamental contract: after the history window is full, the FSM's
+    /// prediction equals the pattern-set classification of the trailing
+    /// window (don't-cares may go either way).
+    #[test]
+    fn fsm_agrees_with_pattern_sets(trace in trace_strategy(), n in 2usize..6) {
+        prop_assume!(trace.len() > n);
+        let design = Designer::new(n)
+            .pattern_config(PatternConfig::without_dont_cares(0.5))
+            .design_from_trace(&trace)
+            .expect("trace long enough");
+        let spec = design.pattern_sets().spec().clone();
+        let mut predictor = design.predictor();
+        let mut history = fsmgen_traces::HistoryRegister::new(n);
+        for bit in &trace {
+            if history.is_full() {
+                match spec.kind(history.value()) {
+                    MintermKind::On => prop_assert!(
+                        predictor.predict(),
+                        "history {:0width$b} is predict-1", history.value(), width = n
+                    ),
+                    MintermKind::Off => prop_assert!(
+                        !predictor.predict(),
+                        "history {:0width$b} is predict-0", history.value(), width = n
+                    ),
+                    MintermKind::DontCare => {}
+                }
+            }
+            history.push(bit);
+            predictor.update(bit);
+        }
+    }
+
+    /// The flow is deterministic: same trace, same configuration, same
+    /// machine.
+    #[test]
+    fn design_flow_is_deterministic(trace in trace_strategy()) {
+        let a = Designer::new(3).design_from_trace(&trace).unwrap();
+        let b = Designer::new(3).design_from_trace(&trace).unwrap();
+        prop_assert_eq!(a.fsm(), b.fsm());
+        prop_assert_eq!(a.cover(), b.cover());
+    }
+
+    /// Start-state reduction never increases the machine and the final
+    /// machine is no larger than the pre-reduction one.
+    #[test]
+    fn reduction_shrinks(trace in trace_strategy(), n in 2usize..6) {
+        prop_assume!(trace.len() > n);
+        let design = Designer::new(n).design_from_trace(&trace).unwrap();
+        prop_assert!(design.fsm().num_states() <= design.pre_reduction_states());
+        prop_assert!(design.fsm().num_states() >= 1);
+    }
+
+    /// Raising the probability threshold never grows the predict-1 set.
+    #[test]
+    fn threshold_monotone(trace in trace_strategy()) {
+        let model = MarkovModel::from_bit_trace(3, &trace).unwrap();
+        let mut prev = usize::MAX;
+        for thr in [0.5, 0.7, 0.9, 1.0] {
+            let sets = fsmgen::PatternSets::from_model(
+                &model,
+                &PatternConfig::without_dont_cares(thr),
+            ).unwrap();
+            let size = sets.spec().on_set().len();
+            prop_assert!(size <= prev, "on-set grew from {prev} to {size} at {thr}");
+            prev = size;
+        }
+    }
+
+    /// The shortest-window minimizer never constrains an older bit than
+    /// the plain exact minimizer needs, and the resulting machine is never
+    /// larger.
+    #[test]
+    fn short_window_shrinks_machines(trace in trace_strategy(), n in 2usize..6) {
+        prop_assume!(trace.len() > n);
+        let exact = Designer::new(n)
+            .pattern_config(PatternConfig::without_dont_cares(0.5))
+            .design_from_trace(&trace)
+            .unwrap();
+        let short = Designer::new(n)
+            .pattern_config(PatternConfig::without_dont_cares(0.5))
+            .algorithm(Algorithm::ShortWindow)
+            .design_from_trace(&trace)
+            .unwrap();
+        let max_var = |d: &fsmgen::Design| {
+            d.cover()
+                .cubes()
+                .iter()
+                .flat_map(|c| (0..n).filter(|&v| c.var(v).is_some()))
+                .max()
+        };
+        if let (Some(e), Some(s)) = (max_var(&exact), max_var(&short)) {
+            prop_assert!(s <= e, "short window {s} vs exact {e}");
+        }
+        prop_assert!(
+            short.fsm().num_states() <= exact.fsm().num_states(),
+            "short {} vs exact {} states",
+            short.fsm().num_states(),
+            exact.fsm().num_states()
+        );
+        // Identical predictions on every observed (non-dc) history.
+        let spec = exact.pattern_sets().spec();
+        for &m in spec.on_set() {
+            prop_assert!(short.cover().covers_minterm(m));
+        }
+        for &m in spec.off_set() {
+            prop_assert!(!short.cover().covers_minterm(m));
+        }
+    }
+
+    /// Markov model invariant: counts sum to the number of windows.
+    #[test]
+    fn markov_counts_match_windows(trace in trace_strategy(), n in 1usize..8) {
+        prop_assume!(trace.len() > n);
+        let model = MarkovModel::from_bit_trace(n, &trace).unwrap();
+        prop_assert_eq!(model.total_observations() as usize, trace.len() - n);
+    }
+
+    /// Merging models is equivalent to training on the concatenation of
+    /// observations.
+    #[test]
+    fn merge_is_sum(a in trace_strategy(), b in trace_strategy()) {
+        let ma = MarkovModel::from_bit_trace(2, &a).unwrap();
+        let mb = MarkovModel::from_bit_trace(2, &b).unwrap();
+        let mut merged = ma.clone();
+        merged.merge(&mb);
+        prop_assert_eq!(
+            merged.total_observations(),
+            ma.total_observations() + mb.total_observations()
+        );
+        for (h, c) in merged.iter() {
+            let ca = ma.counts(h).unwrap_or_default();
+            let cb = mb.counts(h).unwrap_or_default();
+            prop_assert_eq!(c.ones, ca.ones + cb.ones);
+            prop_assert_eq!(c.zeros, ca.zeros + cb.zeros);
+        }
+    }
+}

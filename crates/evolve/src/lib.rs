@@ -1,0 +1,354 @@
+//! Evolutionary search over Moore-machine predictors.
+//!
+//! §3.2 of the FSM-predictor paper positions Emer & Gloy's genetic
+//! programming approach as the closest prior work: "Using genetic
+//! programming techniques, they search for new predictors by performing
+//! crossovers and mutating recent candidates ... In contrast, our
+//! approach automatically builds FSM predictors from behavioral traces,
+//! without searching."
+//!
+//! This crate implements a faithful miniature of that searching baseline
+//! specialised to the paper's design point — fixed-size Moore machines
+//! over the binary alphabet — so the two philosophies can be compared
+//! head-to-head on the same traces (see the `ablations` bench and the
+//! `evolve_vs_design` example). The comparison reproduces the paper's
+//! framing: for small machines the constructive flow matches or beats
+//! hours of search in milliseconds, while search can occasionally shave
+//! a state because it is not tied to the history-language structure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fsmgen_automata::Dfa;
+use fsmgen_traces::BitTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the genetic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolveConfig {
+    /// Number of states in every candidate machine.
+    pub states: usize,
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// RNG seed (the search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> Self {
+        EvolveConfig {
+            states: 4,
+            population: 64,
+            generations: 120,
+            tournament: 4,
+            mutation_rate: 0.08,
+            elites: 2,
+            seed: 0xEE01,
+        }
+    }
+}
+
+impl EvolveConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states == 0 || self.states > 256 {
+            return Err(format!("states must be in 1..=256, got {}", self.states));
+        }
+        if self.population < 2 {
+            return Err("population must be at least 2".to_string());
+        }
+        if self.tournament == 0 || self.tournament > self.population {
+            return Err("tournament size must be in 1..=population".to_string());
+        }
+        if self.elites >= self.population {
+            return Err("elites must be smaller than the population".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err("mutation rate must be in [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One candidate machine: flattened transitions plus per-state outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Genome {
+    /// `trans[2*s + input]` = next state.
+    trans: Vec<u32>,
+    outputs: Vec<bool>,
+}
+
+impl Genome {
+    fn random(states: usize, rng: &mut StdRng) -> Self {
+        Genome {
+            trans: (0..states * 2)
+                .map(|_| rng.random_range(0..states as u32))
+                .collect(),
+            outputs: (0..states).map(|_| rng.random_bool(0.5)).collect(),
+        }
+    }
+
+    fn to_dfa(&self) -> Dfa {
+        let states = self.outputs.len();
+        let trans: Vec<[u32; 2]> = (0..states)
+            .map(|s| [self.trans[2 * s], self.trans[2 * s + 1]])
+            .collect();
+        Dfa::from_parts(trans, self.outputs.clone(), 0)
+    }
+
+    /// Prediction accuracy over the trace: the machine's output in the
+    /// current state is its prediction of the next bit.
+    fn fitness(&self, trace: &BitTrace) -> f64 {
+        let mut state = 0usize;
+        let mut correct = 0usize;
+        for bit in trace {
+            if self.outputs[state] == bit {
+                correct += 1;
+            }
+            state = self.trans[2 * state + usize::from(bit)] as usize;
+        }
+        correct as f64 / trace.len().max(1) as f64
+    }
+
+    /// Uniform state-wise crossover.
+    fn crossover(&self, other: &Genome, rng: &mut StdRng) -> Genome {
+        let states = self.outputs.len();
+        let mut child = self.clone();
+        for s in 0..states {
+            if rng.random_bool(0.5) {
+                child.trans[2 * s] = other.trans[2 * s];
+                child.trans[2 * s + 1] = other.trans[2 * s + 1];
+                child.outputs[s] = other.outputs[s];
+            }
+        }
+        child
+    }
+
+    fn mutate(&mut self, rate: f64, rng: &mut StdRng) {
+        let states = self.outputs.len() as u32;
+        for t in &mut self.trans {
+            if rng.random_bool(rate) {
+                *t = rng.random_range(0..states);
+            }
+        }
+        for o in &mut self.outputs {
+            if rng.random_bool(rate) {
+                *o = !*o;
+            }
+        }
+    }
+}
+
+/// The result of one evolutionary run.
+#[derive(Debug, Clone)]
+pub struct Evolved {
+    /// The best machine found.
+    pub machine: Dfa,
+    /// Its training-trace prediction accuracy.
+    pub accuracy: f64,
+    /// Best accuracy after each generation (monotone non-decreasing).
+    pub history: Vec<f64>,
+}
+
+/// Runs the genetic search for a Moore predictor fitting `trace`.
+///
+/// # Errors
+///
+/// Returns the validation message when `config` is invalid or the trace
+/// is empty.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_evolve::{evolve, EvolveConfig};
+/// use fsmgen_traces::BitTrace;
+///
+/// // Alternating behaviour is learnable by a 2-state machine.
+/// let trace: BitTrace = "0101 0101 0101 0101 0101 0101".parse().unwrap();
+/// let result = evolve(&trace, &EvolveConfig {
+///     states: 2,
+///     generations: 60,
+///     ..EvolveConfig::default()
+/// })?;
+/// assert!(result.accuracy > 0.9);
+/// # Ok::<(), String>(())
+/// ```
+pub fn evolve(trace: &BitTrace, config: &EvolveConfig) -> Result<Evolved, String> {
+    config.validate()?;
+    if trace.is_empty() {
+        return Err("cannot evolve against an empty trace".to_string());
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut population: Vec<(Genome, f64)> = (0..config.population)
+        .map(|_| {
+            let g = Genome::random(config.states, &mut rng);
+            let f = g.fitness(trace);
+            (g, f)
+        })
+        .collect();
+
+    let mut history = Vec::with_capacity(config.generations);
+    for _ in 0..config.generations {
+        population.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+        history.push(population[0].1);
+
+        let mut next: Vec<(Genome, f64)> = population[..config.elites].to_vec();
+        while next.len() < config.population {
+            let parent_a = tournament(&population, config.tournament, &mut rng);
+            let parent_b = tournament(&population, config.tournament, &mut rng);
+            let mut child = parent_a.crossover(parent_b, &mut rng);
+            child.mutate(config.mutation_rate, &mut rng);
+            let f = child.fitness(trace);
+            next.push((child, f));
+        }
+        population = next;
+    }
+    population.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+    let (best, accuracy) = population.swap_remove(0);
+    history.push(accuracy);
+    Ok(Evolved {
+        machine: best.to_dfa().minimized(),
+        accuracy,
+        history,
+    })
+}
+
+fn tournament<'a>(population: &'a [(Genome, f64)], k: usize, rng: &mut StdRng) -> &'a Genome {
+    let mut best: Option<&(Genome, f64)> = None;
+    for _ in 0..k {
+        let cand = &population[rng.random_range(0..population.len())];
+        if best.is_none_or(|b| cand.1 > b.1) {
+            best = Some(cand);
+        }
+    }
+    &best.expect("k >= 1").0
+}
+
+/// Replays any machine over a trace, returning its prediction accuracy —
+/// the shared metric for comparing evolved and constructively designed
+/// predictors.
+#[must_use]
+pub fn replay_accuracy(machine: &Dfa, trace: &BitTrace) -> f64 {
+    let mut state = machine.start();
+    let mut correct = 0usize;
+    for bit in trace {
+        if machine.output(state) == bit {
+            correct += 1;
+        }
+        state = machine.step(state, bit);
+    }
+    correct as f64 / trace.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(states: usize) -> EvolveConfig {
+        EvolveConfig {
+            states,
+            population: 32,
+            generations: 60,
+            ..EvolveConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_constant_behaviour() {
+        let trace: BitTrace = "1".repeat(200).parse().unwrap();
+        let r = evolve(&trace, &quick(2)).unwrap();
+        assert!(r.accuracy > 0.99, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn learns_alternation() {
+        let trace: BitTrace = "01".repeat(150).parse().unwrap();
+        let r = evolve(&trace, &quick(2)).unwrap();
+        assert!(r.accuracy > 0.95, "accuracy {}", r.accuracy);
+        // The minimized solution is the 2-state flip-flop.
+        assert!(r.machine.num_states() <= 2);
+    }
+
+    #[test]
+    fn fitness_history_is_monotone() {
+        let trace: BitTrace = "0011".repeat(80).parse().unwrap();
+        let r = evolve(&trace, &quick(4)).unwrap();
+        for w in r.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "elitism keeps the best: {w:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trace: BitTrace = "0110".repeat(60).parse().unwrap();
+        let a = evolve(&trace, &quick(3)).unwrap();
+        let b = evolve(&trace, &quick(3)).unwrap();
+        assert_eq!(a.machine, b.machine);
+        let c = evolve(
+            &trace,
+            &EvolveConfig {
+                seed: 7,
+                ..quick(3)
+            },
+        )
+        .unwrap();
+        // Different seed may find a different (possibly equal) machine,
+        // but the call must succeed.
+        let _ = c;
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let trace: BitTrace = "01".parse().unwrap();
+        for bad in [
+            EvolveConfig {
+                states: 0,
+                ..quick(2)
+            },
+            EvolveConfig {
+                population: 1,
+                ..quick(2)
+            },
+            EvolveConfig {
+                tournament: 0,
+                ..quick(2)
+            },
+            EvolveConfig {
+                elites: 32,
+                ..quick(2)
+            },
+            EvolveConfig {
+                mutation_rate: 1.5,
+                ..quick(2)
+            },
+        ] {
+            assert!(evolve(&trace, &bad).is_err(), "{bad:?} should fail");
+        }
+        assert!(evolve(&BitTrace::new(), &quick(2)).is_err());
+    }
+
+    #[test]
+    fn replay_matches_fitness_metric() {
+        let trace: BitTrace = "0101".repeat(50).parse().unwrap();
+        let r = evolve(&trace, &quick(2)).unwrap();
+        let replayed = replay_accuracy(&r.machine, &trace);
+        assert!(
+            (replayed - r.accuracy).abs() < 0.02,
+            "replay {replayed} vs fitness {}",
+            r.accuracy
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the genetic search: validity of outputs,
+//! determinism, and fitness consistency on arbitrary traces.
+
+use fsmgen_evolve::{evolve, replay_accuracy, EvolveConfig};
+use fsmgen_traces::BitTrace;
+use proptest::prelude::*;
+
+fn quick(states: usize, seed: u64) -> EvolveConfig {
+    EvolveConfig {
+        states,
+        population: 16,
+        generations: 15,
+        seed,
+        ..EvolveConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any successful run yields a valid machine whose replay accuracy is
+    /// in range and close to the reported fitness.
+    #[test]
+    fn evolved_machines_are_valid(
+        bits in proptest::collection::vec(any::<bool>(), 20..150),
+        states in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let trace: BitTrace = bits.into_iter().collect();
+        let r = evolve(&trace, &quick(states, seed)).expect("valid config");
+        prop_assert!(r.machine.num_states() >= 1);
+        prop_assert!(r.machine.num_states() <= states);
+        prop_assert!((0.0..=1.0).contains(&r.accuracy));
+        let replay = replay_accuracy(&r.machine, &trace);
+        prop_assert!((replay - r.accuracy).abs() < 1e-9,
+            "replay {replay} vs fitness {}", r.accuracy);
+    }
+
+    /// Fitness history is monotone (elitism) and ends at the reported
+    /// accuracy.
+    #[test]
+    fn history_monotone(
+        bits in proptest::collection::vec(any::<bool>(), 20..120),
+        seed in 0u64..50,
+    ) {
+        let trace: BitTrace = bits.into_iter().collect();
+        let r = evolve(&trace, &quick(3, seed)).expect("valid config");
+        for w in r.history.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert_eq!(*r.history.last().expect("non-empty"), r.accuracy);
+    }
+
+    /// Equal seeds reproduce the exact result.
+    #[test]
+    fn determinism(bits in proptest::collection::vec(any::<bool>(), 20..100)) {
+        let trace: BitTrace = bits.into_iter().collect();
+        let a = evolve(&trace, &quick(3, 42)).expect("valid");
+        let b = evolve(&trace, &quick(3, 42)).expect("valid");
+        prop_assert_eq!(a.machine, b.machine);
+        prop_assert_eq!(a.accuracy, b.accuracy);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figures 1, 6 and 7: the paper's worked FSM examples, regenerated from
+//! first principles so tests and examples can assert their exact shapes.
+
+use fsmgen::{Design, Designer};
+use fsmgen_automata::{compile_patterns, Dfa};
+use fsmgen_traces::BitTrace;
+
+/// The §4.2 example trace `t = 0000 1000 1011 1101 1110 1111`.
+#[must_use]
+pub fn paper_trace() -> BitTrace {
+    "0000 1000 1011 1101 1110 1111"
+        .parse()
+        .expect("literal trace is valid")
+}
+
+/// Figure 1: runs the design flow on the paper trace at N=2, returning the
+/// full design (5 states before start-state removal, 3 after).
+#[must_use]
+pub fn figure1() -> Design {
+    Designer::new(2)
+        .dont_care_fraction(0.0)
+        .design_from_trace(&paper_trace())
+        .expect("the paper trace designs cleanly")
+}
+
+/// Figure 6: the ijpeg machine capturing the pattern `1x` (4 states).
+#[must_use]
+pub fn figure6() -> Dfa {
+    compile_patterns(&[vec![Some(true), None]])
+}
+
+/// Figure 7: the gs machine capturing `0x1x | 0xx1x` (11 states).
+#[must_use]
+pub fn figure7() -> Dfa {
+    compile_patterns(&[
+        vec![Some(false), None, Some(true), None],
+        vec![Some(false), None, None, Some(true), None],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_state_counts_match_paper() {
+        let design = figure1();
+        assert_eq!(design.pre_reduction_states(), 5);
+        assert_eq!(design.fsm().num_states(), 3);
+    }
+
+    #[test]
+    fn figure6_and_7_state_counts_match_paper() {
+        assert_eq!(figure6().num_states(), 4);
+        assert_eq!(figure7().num_states(), 11);
+    }
+
+    #[test]
+    fn figure7_dominant_patterns_predict_correctly() {
+        // §7.6 lists the four dominant 9-bit global patterns and their
+        // biases; tracing "just the last five digits of them" from any
+        // state must land on a correctly-predicting state.
+        let fsm = figure7();
+        let cases: [(&str, bool); 4] = [
+            ("001001010", true),
+            ("010011010", false),
+            ("010101010", true),
+            ("110010010", true),
+        ];
+        for (pattern, taken) in cases {
+            for start in 0..fsm.num_states() as u32 {
+                let mut s = start;
+                for c in pattern.chars() {
+                    s = fsm.step(s, c == '1');
+                }
+                assert_eq!(fsm.output(s), taken, "pattern {pattern} from state {start}");
+            }
+        }
+    }
+}

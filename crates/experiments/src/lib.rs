@@ -1,0 +1,31 @@
+//! Experiment drivers regenerating every figure of Sherwood & Calder's
+//! FSM-predictor paper (ISCA 2001).
+//!
+//! Each module reproduces one evaluation artifact:
+//!
+//! * [`figures`] — the worked examples: Figure 1 (the §4.2 trace's 5→3
+//!   state machine), Figure 6 (ijpeg's `1x` machine) and Figure 7 (gs's
+//!   `0x1x | 0xx1x` machine);
+//! * [`fig2`] — value-prediction confidence: coverage vs accuracy for SUD
+//!   counters against cross-trained custom FSMs (per benchmark);
+//! * [`fig4`] — synthesized area vs state count and the fitted linear
+//!   bound;
+//! * [`fig5`] — misprediction rate vs estimated area for XScale, gshare,
+//!   LGC, custom-same and custom-diff on six benchmarks;
+//! * [`headlines`] — programmatic verification of the paper's headline
+//!   claims (the regenerable source for EXPERIMENTS.md);
+//! * [`report`] — text renderers producing the rows/series each figure
+//!   displays.
+//!
+//! The Criterion benches in `fsmgen-bench` drive these with the default
+//! configurations; tests use the `quick()` configurations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod figures;
+pub mod headlines;
+pub mod report;

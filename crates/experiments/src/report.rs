@@ -1,0 +1,260 @@
+//! Plain-text emitters turning experiment results into the rows and series
+//! the paper's figures display.
+
+use crate::fig2::Fig2Panel;
+use crate::fig4::Fig4Result;
+use crate::fig5::Fig5Panel;
+use std::fmt::Write as _;
+
+fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:.1}%", x * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders one Figure 2 panel as a table: the SUD Pareto frontier and each
+/// FSM history curve, in accuracy order.
+#[must_use]
+pub fn fig2_table(panel: &Fig2Panel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 2: {} ==", panel.benchmark);
+    let _ = writeln!(out, "{:<22} {:>9} {:>9}", "config", "accuracy", "coverage");
+
+    // SUD: print only the Pareto-optimal points to match the visual
+    // frontier of the scatter.
+    let mut sud: Vec<_> = panel
+        .sud
+        .iter()
+        .filter(|p| p.accuracy.is_some() && p.coverage.is_some())
+        .collect();
+    sud.sort_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"));
+    let mut best_cov = f64::NEG_INFINITY;
+    let mut frontier = Vec::new();
+    for p in sud.iter().rev() {
+        let c = p.coverage.expect("filtered");
+        if c > best_cov {
+            best_cov = c;
+            frontier.push(*p);
+        }
+    }
+    frontier.reverse();
+    for p in frontier {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>9}",
+            p.label,
+            pct(p.accuracy),
+            pct(p.coverage)
+        );
+    }
+    for (h, curve) in &panel.fsm {
+        let _ = writeln!(out, "-- custom w/ hist={h} --");
+        for p in curve {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>9} {:>9}",
+                p.label,
+                pct(p.accuracy),
+                pct(p.coverage)
+            );
+        }
+    }
+    out
+}
+
+/// Renders the Figure 4 dataset: the samples and the fitted line.
+#[must_use]
+pub fn fig4_table(result: &Fig4Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 4: area vs number of states ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4} {:>7} {:>8}",
+        "benchmark", "hist", "states", "area"
+    );
+    for s in &result.samples {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>7} {:>8.1}",
+            s.benchmark, s.history, s.states, s.area
+        );
+    }
+    let _ = writeln!(
+        out,
+        "linear fit: area = {:.2} * states + {:.2}",
+        result.slope, result.intercept
+    );
+    out
+}
+
+/// Renders one Figure 5 panel: every curve as (area, miss-rate) rows.
+#[must_use]
+pub fn fig5_table(panel: &Fig5Panel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 5: {} ==", panel.benchmark);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>10}",
+        "predictor", "est. area", "miss rate"
+    );
+    let mut row = |label: &str, area: f64, miss: f64| {
+        let _ = writeln!(out, "{:<22} {:>12.0} {:>9.2}%", label, area, miss * 100.0);
+    };
+    row(
+        &panel.xscale.label,
+        panel.xscale.area,
+        panel.xscale.miss_rate,
+    );
+    for p in panel.gshare.iter().chain(&panel.lgc) {
+        row(&p.label, p.area, p.miss_rate);
+    }
+    for p in panel.custom_same.iter().chain(&panel.custom_diff) {
+        row(&p.label, p.area, p.miss_rate);
+    }
+    out
+}
+
+/// One Figure 2 panel as CSV rows: `family,label,accuracy,coverage`.
+#[must_use]
+pub fn fig2_csv(panel: &Fig2Panel) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let fmt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+    for p in &panel.sud {
+        rows.push(vec![
+            "sud".to_string(),
+            p.label.clone(),
+            fmt(p.accuracy),
+            fmt(p.coverage),
+        ]);
+    }
+    for (h, curve) in &panel.fsm {
+        for p in curve {
+            rows.push(vec![
+                format!("fsm-h{h}"),
+                p.label.clone(),
+                fmt(p.accuracy),
+                fmt(p.coverage),
+            ]);
+        }
+    }
+    to_csv("family,label,accuracy,coverage", &rows)
+}
+
+/// The Figure 4 dataset as CSV rows: `benchmark,history,states,area`.
+#[must_use]
+pub fn fig4_csv(result: &Fig4Result) -> String {
+    let rows: Vec<Vec<String>> = result
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.benchmark.clone(),
+                s.history.to_string(),
+                s.states.to_string(),
+                format!("{:.1}", s.area),
+            ]
+        })
+        .collect();
+    to_csv("benchmark,history,states,area", &rows)
+}
+
+/// One Figure 5 panel as CSV rows: `predictor,area,miss_rate`.
+#[must_use]
+pub fn fig5_csv(panel: &Fig5Panel) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |p: &crate::fig5::Fig5Point| {
+        rows.push(vec![
+            p.label.clone(),
+            format!("{:.0}", p.area),
+            format!("{:.5}", p.miss_rate),
+        ]);
+    };
+    push(&panel.xscale);
+    for p in panel
+        .gshare
+        .iter()
+        .chain(&panel.lgc)
+        .chain(&panel.custom_same)
+        .chain(&panel.custom_diff)
+    {
+        push(p);
+    }
+    to_csv("predictor,area,miss_rate", &rows)
+}
+
+/// Renders any experiment's points as CSV with the given header.
+#[must_use]
+pub fn to_csv(header: &str, rows: &[Vec<String>]) -> String {
+    let mut out = String::with_capacity(rows.len() * 32);
+    let _ = writeln!(out, "{header}");
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2::ConfidencePoint;
+
+    #[test]
+    fn fig2_table_renders_frontier() {
+        let panel = Fig2Panel {
+            benchmark: "test".to_string(),
+            sud: vec![
+                ConfidencePoint {
+                    label: "a".into(),
+                    accuracy: Some(0.9),
+                    coverage: Some(0.1),
+                },
+                ConfidencePoint {
+                    label: "b".into(),
+                    accuracy: Some(0.8),
+                    coverage: Some(0.3),
+                },
+                ConfidencePoint {
+                    label: "dominated".into(),
+                    accuracy: Some(0.7),
+                    coverage: Some(0.2),
+                },
+            ],
+            fsm: std::collections::BTreeMap::new(),
+        };
+        let table = fig2_table(&panel);
+        assert!(table.contains("a"));
+        assert!(table.contains("b"));
+        assert!(!table.contains("dominated"));
+    }
+
+    #[test]
+    fn fig2_csv_contains_both_families() {
+        let panel = Fig2Panel {
+            benchmark: "t".to_string(),
+            sud: vec![ConfidencePoint {
+                label: "sud-x".into(),
+                accuracy: Some(0.5),
+                coverage: None,
+            }],
+            fsm: std::collections::BTreeMap::from([(
+                4usize,
+                vec![ConfidencePoint {
+                    label: "fsm-y".into(),
+                    accuracy: Some(0.9),
+                    coverage: Some(0.8),
+                }],
+            )]),
+        };
+        let csv = fig2_csv(&panel);
+        assert!(csv.starts_with("family,label,accuracy,coverage\n"));
+        assert!(csv.contains("sud,sud-x,0.5000,\n"));
+        assert!(csv.contains("fsm-h4,fsm-y,0.9000,0.8000\n"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv("x,y", &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "x,y\n1,2\n");
+    }
+}

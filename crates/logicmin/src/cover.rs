@@ -1,0 +1,314 @@
+//! Sum-of-products covers: ordered sets of [`Cube`]s with a shared width.
+
+use crate::cube::{width_mask, Cube, MAX_VARS};
+use std::fmt;
+
+/// A sum-of-products cover: the OR of a set of [`Cube`]s over `width`
+/// variables.
+///
+/// A cover is the output of minimization and the input to the regular
+/// expression builder in the FSM design flow.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_logicmin::{Cover, Cube};
+///
+/// // The paper's running example: (x 1) ∨ (1 x) over two history bits.
+/// let mut cover = Cover::new(2);
+/// cover.push("-1".parse::<Cube>()?);
+/// cover.push("1-".parse::<Cube>()?);
+/// assert!(cover.covers_minterm(0b01));
+/// assert!(cover.covers_minterm(0b10));
+/// assert!(cover.covers_minterm(0b11));
+/// assert!(!cover.covers_minterm(0b00));
+/// # Ok::<(), fsmgen_logicmin::ParseCubeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    width: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates an empty cover (the constant-false function) over `width`
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_VARS`].
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width > 0 && width <= MAX_VARS,
+            "cover width must be in 1..={MAX_VARS}, got {width}"
+        );
+        Cover {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Creates a cover from existing cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_VARS`].
+    #[must_use]
+    pub fn from_cubes(width: usize, cubes: Vec<Cube>) -> Self {
+        let mut cover = Cover::new(width);
+        cover.cubes = cubes;
+        cover
+    }
+
+    /// Number of variables the cover ranges over.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cubes of the cover, in insertion order.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes (product terms).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// `true` when the cover has no cubes (the constant-false function).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube to the cover.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Total number of literals across all cubes; the secondary cost metric
+    /// used when two covers have the same cube count.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// `true` when at least one cube covers `minterm`.
+    #[must_use]
+    pub fn covers_minterm(&self, minterm: u32) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(minterm))
+    }
+
+    /// `true` when the union of this cover's cubes contains every minterm of
+    /// `cube`. Decided by recursive Shannon cofactoring (a tautology check),
+    /// so it is exact even when no single cube contains `cube`.
+    #[must_use]
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        // Fast path: single-cube containment.
+        if self.cubes.iter().any(|c| c.covers_cube(cube)) {
+            return true;
+        }
+        let relevant: Vec<Cube> = self
+            .cubes
+            .iter()
+            .filter(|c| c.intersects(cube))
+            .copied()
+            .collect();
+        covers_rec(&relevant, *cube, self.width)
+    }
+
+    /// Iterates over every minterm of the full space, yielding `(minterm,
+    /// covered)` pairs. Intended for exhaustive checks in tests; cost is
+    /// `O(2^width * len)`.
+    pub fn evaluate_all(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        let n = 1u64 << self.width;
+        (0..n).map(move |m| {
+            let m = m as u32;
+            (m, self.covers_minterm(m))
+        })
+    }
+
+    /// Removes cubes that are single-cube-contained in another cube of the
+    /// cover. Keeps the first of two identical cubes.
+    pub fn remove_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        for (i, c) in cubes.iter().enumerate() {
+            let contained = cubes.iter().enumerate().any(|(j, other)| {
+                if i == j {
+                    return false;
+                }
+                // A strictly larger cube wins; between equals the earlier
+                // index wins.
+                other.covers_cube(c) && (!c.covers_cube(other) || j < i)
+            });
+            if !contained {
+                kept.push(*c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// `true` when the cover is a tautology (covers the whole space).
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        self.covers_cube(&Cube::universe())
+    }
+
+    /// `true` when both covers compute the same function, decided
+    /// exhaustively. Intended for tests and verification of minimizer
+    /// output; cost is `O(2^width * len)`.
+    #[must_use]
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        if self.width != other.width {
+            return false;
+        }
+        let n = 1u64 << self.width;
+        (0..n).all(|m| self.covers_minterm(m as u32) == other.covers_minterm(m as u32))
+    }
+
+    /// Renders the cover as `term + term + ...` in the truth-table textual
+    /// convention (variable `width-1` first in each term).
+    #[must_use]
+    pub fn display(&self) -> String {
+        if self.cubes.is_empty() {
+            return "0".to_string();
+        }
+        self.cubes
+            .iter()
+            .map(|c| c.display(self.width))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+/// Recursive check that the union of `cubes` covers every minterm of `space`.
+fn covers_rec(cubes: &[Cube], space: Cube, width: usize) -> bool {
+    if cubes.iter().any(|c| c.covers_cube(&space)) {
+        return true;
+    }
+    if cubes.is_empty() {
+        return false;
+    }
+    // Pick a splitting variable that is free in `space` but constrained in
+    // some cube; if none exists, no single cube covers `space` and every
+    // cube either covers it fully or not at all, so the earlier check was
+    // decisive.
+    let free = width_mask(width) & !space.mask();
+    let mut split = None;
+    for c in cubes {
+        let candidates = c.mask() & free;
+        if candidates != 0 {
+            split = Some(candidates.trailing_zeros() as usize);
+            break;
+        }
+    }
+    let Some(var) = split else {
+        return false;
+    };
+    for value in [false, true] {
+        let half = space.with_var(var, value);
+        let relevant: Vec<Cube> = cubes
+            .iter()
+            .filter(|c| c.intersects(&half))
+            .copied()
+            .collect();
+        if !covers_rec(&relevant, half, width) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(width: usize, terms: &[&str]) -> Cover {
+        Cover::from_cubes(width, terms.iter().map(|t| t.parse().unwrap()).collect())
+    }
+
+    #[test]
+    fn empty_cover_is_false() {
+        let c = Cover::new(3);
+        assert!(c.is_empty());
+        assert!(!c.covers_minterm(0));
+        assert!(!c.is_tautology());
+        assert_eq!(c.display(), "0");
+    }
+
+    #[test]
+    fn paper_example_cover() {
+        let c = cover(2, &["-1", "1-"]);
+        let truth: Vec<bool> = c.evaluate_all().map(|(_, v)| v).collect();
+        assert_eq!(truth, vec![false, true, true, true]);
+        assert_eq!(c.literal_count(), 2);
+    }
+
+    #[test]
+    fn multi_cube_containment_needs_tautology_check() {
+        // "0-" + "1-" jointly cover "--" though neither alone does.
+        let c = cover(2, &["0-", "1-"]);
+        assert!(c.covers_cube(&Cube::universe()));
+        assert!(c.is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_negative() {
+        let c = cover(2, &["0-"]);
+        assert!(!c.covers_cube(&"1-".parse().unwrap()));
+        assert!(!c.covers_cube(&Cube::universe()));
+        assert!(c.covers_cube(&"00".parse().unwrap()));
+    }
+
+    #[test]
+    fn three_way_split_tautology() {
+        // Classic: a'b' + a'b + a  == 1
+        let c = cover(2, &["00", "01", "1-"]);
+        assert!(c.is_tautology());
+        // Remove one piece, no longer a tautology.
+        let c = cover(2, &["00", "1-"]);
+        assert!(!c.is_tautology());
+    }
+
+    #[test]
+    fn remove_contained_keeps_maximal_cubes() {
+        let mut c = cover(3, &["101", "1-1", "1-1", "0--"]);
+        c.remove_contained();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.display(), "1-1 + 0--");
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = cover(2, &["-1", "1-"]);
+        let b = cover(2, &["01", "10", "11"]);
+        assert!(a.equivalent(&b));
+        let c = cover(2, &["-1"]);
+        assert!(!a.equivalent(&c));
+        let d = cover(3, &["-1-", "1--"]);
+        assert!(!a.equivalent(&d)); // different widths
+    }
+
+    #[test]
+    #[should_panic(expected = "cover width")]
+    fn zero_width_rejected() {
+        let _ = Cover::new(0);
+    }
+}

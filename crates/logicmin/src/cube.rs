@@ -1,0 +1,452 @@
+//! Three-valued cubes over the variables of a boolean function.
+//!
+//! A [`Cube`] is a product term over up to [`MAX_VARS`] boolean variables in
+//! which every variable is either required to be `0`, required to be `1`, or
+//! is a *don't care* (written `-`). Cubes are the unit of currency of the
+//! whole minimizer: a sum-of-products cover is a set of cubes, and the FSM
+//! design flow turns each cube into one alternative of a regular expression.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum number of variables a [`Cube`] can range over.
+///
+/// The paper never needs histories beyond length 10 ("we did not see the
+/// need to go beyond N = 10"), so a 32-variable budget leaves generous
+/// headroom while keeping cubes two machine words.
+pub const MAX_VARS: usize = 32;
+
+/// Error returned when parsing a [`Cube`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCubeError {
+    kind: ParseCubeErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseCubeErrorKind {
+    Empty,
+    TooWide(usize),
+    BadChar(char),
+}
+
+impl fmt::Display for ParseCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseCubeErrorKind::Empty => write!(f, "cube string is empty"),
+            ParseCubeErrorKind::TooWide(w) => {
+                write!(f, "cube has {w} variables, the maximum is {MAX_VARS}")
+            }
+            ParseCubeErrorKind::BadChar(c) => {
+                write!(f, "invalid cube character {c:?}, expected '0', '1' or '-'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCubeError {}
+
+/// A product term over boolean variables: each variable is `0`, `1` or `-`.
+///
+/// Internally a cube is a pair of bitmasks: `mask` has bit *i* set when
+/// variable *i* is cared about (not a don't-care), and `bits` holds the
+/// required value for cared variables (and `0` for don't-cares, an invariant
+/// maintained by every constructor).
+///
+/// Variable *i* corresponds to bit *i* of a minterm. The textual form puts
+/// variable `width-1` first, matching the usual truth-table convention, so
+/// `"10-"` over three variables means `x2=1, x1=0, x0=don't care`.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_logicmin::Cube;
+///
+/// let cube: Cube = "1-0".parse()?;
+/// assert!(cube.covers_minterm(0b100));
+/// assert!(cube.covers_minterm(0b110));
+/// assert!(!cube.covers_minterm(0b101));
+/// assert_eq!(cube.literal_count(), 2);
+/// # Ok::<(), fsmgen_logicmin::ParseCubeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    mask: u32,
+    bits: u32,
+}
+
+impl Cube {
+    /// Creates a cube from raw `mask`/`bits` words.
+    ///
+    /// Bits of `bits` outside `mask` are cleared so that equal cubes compare
+    /// equal regardless of how they were produced.
+    #[must_use]
+    pub fn new(mask: u32, bits: u32) -> Self {
+        Cube {
+            mask,
+            bits: bits & mask,
+        }
+    }
+
+    /// Creates the cube that covers exactly the single minterm `minterm`
+    /// over `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`MAX_VARS`].
+    #[must_use]
+    pub fn from_minterm(minterm: u32, width: usize) -> Self {
+        assert!(width <= MAX_VARS, "width {width} exceeds MAX_VARS");
+        let mask = width_mask(width);
+        Cube {
+            mask,
+            bits: minterm & mask,
+        }
+    }
+
+    /// Creates the universal cube (all don't-cares) over any width.
+    #[must_use]
+    pub fn universe() -> Self {
+        Cube { mask: 0, bits: 0 }
+    }
+
+    /// The care mask: bit *i* set when variable *i* is not a don't-care.
+    #[must_use]
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// The value bits for cared variables (zero elsewhere).
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of literals (cared variables) in the product term.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// `true` when the cube covers the given minterm.
+    #[must_use]
+    pub fn covers_minterm(&self, minterm: u32) -> bool {
+        (minterm & self.mask) == self.bits
+    }
+
+    /// `true` when every minterm of `other` is also covered by `self`.
+    #[must_use]
+    pub fn covers_cube(&self, other: &Cube) -> bool {
+        // self's cared variables must be a subset of other's cared
+        // variables, with matching values.
+        (self.mask & !other.mask) == 0 && (other.bits & self.mask) == self.bits
+    }
+
+    /// `true` when the two cubes share at least one minterm.
+    #[must_use]
+    pub fn intersects(&self, other: &Cube) -> bool {
+        let common = self.mask & other.mask;
+        (self.bits & common) == (other.bits & common)
+    }
+
+    /// The intersection of two cubes, or `None` when they are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        if self.intersects(other) {
+            Some(Cube {
+                mask: self.mask | other.mask,
+                bits: self.bits | other.bits,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest cube containing both inputs (their supercube).
+    #[must_use]
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        let agree = self.mask & other.mask & !(self.bits ^ other.bits);
+        Cube {
+            mask: agree,
+            bits: self.bits & agree,
+        }
+    }
+
+    /// Attempts the Quine–McCluskey merge of two cubes: if the cubes care
+    /// about exactly the same variables and differ in exactly one of them,
+    /// returns the merged cube with that variable made a don't-care.
+    #[must_use]
+    pub fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = self.bits ^ other.bits;
+        if diff.count_ones() == 1 {
+            let mask = self.mask & !diff;
+            Some(Cube {
+                mask,
+                bits: self.bits & mask,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the cube with variable `var` forced to a don't-care.
+    #[must_use]
+    pub fn without_var(&self, var: usize) -> Cube {
+        let clear = !(1u32 << var);
+        Cube {
+            mask: self.mask & clear,
+            bits: self.bits & clear,
+        }
+    }
+
+    /// Returns the cube with variable `var` required to equal `value`.
+    #[must_use]
+    pub fn with_var(&self, var: usize, value: bool) -> Cube {
+        let bit = 1u32 << var;
+        Cube {
+            mask: self.mask | bit,
+            bits: if value {
+                self.bits | bit
+            } else {
+                self.bits & !bit
+            },
+        }
+    }
+
+    /// The literal for variable `var`: `Some(true)` / `Some(false)` when the
+    /// cube requires `1` / `0`, `None` for a don't-care.
+    #[must_use]
+    pub fn var(&self, var: usize) -> Option<bool> {
+        if self.mask & (1 << var) == 0 {
+            None
+        } else {
+            Some(self.bits & (1 << var) != 0)
+        }
+    }
+
+    /// Number of minterms the cube covers over `width` variables.
+    #[must_use]
+    pub fn minterm_count(&self, width: usize) -> u64 {
+        let free = width as u32 - (self.mask & width_mask(width)).count_ones();
+        1u64 << free
+    }
+
+    /// Iterates over all minterms covered by this cube over `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`MAX_VARS`].
+    pub fn minterms(&self, width: usize) -> Minterms {
+        assert!(width <= MAX_VARS, "width {width} exceeds MAX_VARS");
+        let wmask = width_mask(width);
+        let free_mask = wmask & !self.mask;
+        Minterms {
+            base: self.bits & wmask,
+            free_mask,
+            next: Some(0),
+        }
+    }
+
+    /// Renders the cube over `width` variables, variable `width-1` first.
+    #[must_use]
+    pub fn display(&self, width: usize) -> String {
+        (0..width)
+            .rev()
+            .map(|i| match self.var(i) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            })
+            .collect()
+    }
+}
+
+impl FromStr for Cube {
+    type Err = ParseCubeError;
+
+    /// Parses a cube such as `"1-0"`; the first character is the
+    /// highest-numbered variable.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseCubeError {
+                kind: ParseCubeErrorKind::Empty,
+            });
+        }
+        if s.len() > MAX_VARS {
+            return Err(ParseCubeError {
+                kind: ParseCubeErrorKind::TooWide(s.len()),
+            });
+        }
+        let mut cube = Cube::universe();
+        let width = s.len();
+        for (pos, c) in s.chars().enumerate() {
+            let var = width - 1 - pos;
+            match c {
+                '0' => cube = cube.with_var(var, false),
+                '1' => cube = cube.with_var(var, true),
+                '-' | 'x' | 'X' => {}
+                other => {
+                    return Err(ParseCubeError {
+                        kind: ParseCubeErrorKind::BadChar(other),
+                    })
+                }
+            }
+        }
+        Ok(cube)
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Displays the cube over the smallest width that includes every cared
+    /// variable (at least one variable).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = (MAX_VARS as u32 - self.mask.leading_zeros()).max(1) as usize;
+        f.write_str(&self.display(width))
+    }
+}
+
+/// Iterator over the minterms of a [`Cube`], produced by [`Cube::minterms`].
+#[derive(Debug, Clone)]
+pub struct Minterms {
+    base: u32,
+    free_mask: u32,
+    /// Next subset of `free_mask` to emit; `None` when exhausted.
+    next: Option<u32>,
+}
+
+impl Iterator for Minterms {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let cur = self.next?;
+        // Standard trick for enumerating subsets of a mask in order.
+        let item = self.base | cur;
+        if cur == self.free_mask {
+            self.next = None;
+        } else {
+            self.next = Some((cur.wrapping_sub(self.free_mask)) & self.free_mask);
+        }
+        Some(item)
+    }
+}
+
+/// Bitmask with the low `width` bits set.
+#[must_use]
+pub(crate) fn width_mask(width: usize) -> u32 {
+    debug_assert!(width <= MAX_VARS);
+    if width == MAX_VARS {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-", "10-", "1-0-", "111", "0-0-0"] {
+            let c: Cube = s.parse().unwrap();
+            assert_eq!(c.display(s.len()), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("".parse::<Cube>().is_err());
+        assert!("012".parse::<Cube>().is_err());
+        assert!("1".repeat(MAX_VARS + 1).parse::<Cube>().is_err());
+    }
+
+    #[test]
+    fn minterm_cover() {
+        let c: Cube = "1-".parse().unwrap();
+        assert!(c.covers_minterm(0b10));
+        assert!(c.covers_minterm(0b11));
+        assert!(!c.covers_minterm(0b00));
+        assert!(!c.covers_minterm(0b01));
+    }
+
+    #[test]
+    fn containment() {
+        let big: Cube = "1-".parse().unwrap();
+        let small: Cube = "10".parse().unwrap();
+        assert!(big.covers_cube(&small));
+        assert!(!small.covers_cube(&big));
+        assert!(big.covers_cube(&big));
+    }
+
+    #[test]
+    fn intersection_and_disjoint() {
+        let a: Cube = "1-".parse().unwrap();
+        let b: Cube = "-0".parse().unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.display(2), "10");
+        let c: Cube = "0-".parse().unwrap();
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn supercube_is_smallest_container() {
+        let a: Cube = "10".parse().unwrap();
+        let b: Cube = "11".parse().unwrap();
+        assert_eq!(a.supercube(&b).display(2), "1-");
+        let c: Cube = "01".parse().unwrap();
+        assert_eq!(a.supercube(&c).display(2), "--");
+    }
+
+    #[test]
+    fn qm_merge() {
+        let a: Cube = "10".parse().unwrap();
+        let b: Cube = "11".parse().unwrap();
+        assert_eq!(a.merge(&b).unwrap().display(2), "1-");
+        let c: Cube = "01".parse().unwrap();
+        assert!(a.merge(&c).is_none()); // differ in two bits
+        let d: Cube = "1-".parse().unwrap();
+        assert!(a.merge(&d).is_none()); // different masks
+    }
+
+    #[test]
+    fn minterms_enumeration() {
+        let c: Cube = "1-".parse().unwrap();
+        let mut ms: Vec<u32> = c.minterms(2).collect();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![0b10, 0b11]);
+        assert_eq!(c.minterm_count(2), 2);
+
+        let u = Cube::universe();
+        assert_eq!(u.minterms(3).count(), 8);
+        assert_eq!(u.minterm_count(3), 8);
+    }
+
+    #[test]
+    fn var_access_and_mutation() {
+        let c: Cube = "1-0".parse().unwrap();
+        assert_eq!(c.var(2), Some(true));
+        assert_eq!(c.var(1), None);
+        assert_eq!(c.var(0), Some(false));
+        assert_eq!(c.without_var(2).display(3), "--0");
+        assert_eq!(c.with_var(1, true).display(3), "110");
+    }
+
+    #[test]
+    fn from_minterm_covers_only_itself() {
+        let c = Cube::from_minterm(0b101, 3);
+        for m in 0..8 {
+            assert_eq!(c.covers_minterm(m), m == 0b101);
+        }
+    }
+
+    #[test]
+    fn display_trait_uses_minimal_width() {
+        let c: Cube = "10".parse().unwrap();
+        assert_eq!(format!("{c}"), "10");
+        let u = Cube::universe();
+        assert_eq!(format!("{u}"), "-");
+    }
+}

@@ -1,0 +1,316 @@
+//! Espresso-style heuristic two-level minimization.
+//!
+//! This is the scalable path of the minimizer, standing in for the Espresso
+//! tool the paper uses (Rudell & Sangiovanni-Vincentelli). It runs the
+//! classic EXPAND → IRREDUNDANT → REDUCE loop over an explicit off-set:
+//!
+//! * **EXPAND** enlarges each cube literal-by-literal as long as it stays
+//!   clear of the off-set, preferring removals that absorb more
+//!   still-uncovered on-minterms;
+//! * **IRREDUNDANT** drops cubes whose on-minterms are fully covered by the
+//!   rest of the cover;
+//! * **REDUCE** shrinks each cube to the supercube of the on-minterms only
+//!   it covers, giving the next EXPAND pass freedom to grow in a different
+//!   direction.
+//!
+//! The result is always a correct cover (verified against the spec by unit
+//! and property tests) and in practice matches the exact Quine–McCluskey
+//! cost on the history functions this project generates.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::spec::FunctionSpec;
+use std::collections::BTreeSet;
+
+/// Upper bound on EXPAND/IRREDUNDANT/REDUCE iterations; the loop also stops
+/// as soon as an iteration fails to improve the cover cost.
+const MAX_PASSES: usize = 6;
+
+/// Minimizes `spec` heuristically; returns a sum-of-products [`Cover`] of
+/// the on-set that avoids the off-set.
+///
+/// For an empty on-set, returns the empty (constant-false) cover.
+#[must_use]
+pub fn minimize_heuristic(spec: &FunctionSpec) -> Cover {
+    let width = spec.width();
+    let on: Vec<u32> = spec.on_set().iter().copied().collect();
+    if on.is_empty() {
+        return Cover::new(width);
+    }
+    let off: Vec<Cube> = spec
+        .off_set()
+        .iter()
+        .map(|&m| Cube::from_minterm(m, width))
+        .collect();
+
+    let mut cubes: Vec<Cube> = on.iter().map(|&m| Cube::from_minterm(m, width)).collect();
+    let mut best_cost = cost_of(&cubes);
+
+    for _ in 0..MAX_PASSES {
+        expand(&mut cubes, &on, &off, width);
+        irredundant(&mut cubes, &on);
+        let cost = cost_of(&cubes);
+        if cost >= best_cost {
+            break;
+        }
+        best_cost = cost;
+        reduce(&mut cubes, &on, width);
+    }
+    // The loop may exit right after a REDUCE; re-expand so every cube is
+    // maximal, then drop redundancy once more.
+    expand(&mut cubes, &on, &off, width);
+    irredundant(&mut cubes, &on);
+
+    cubes.sort_unstable();
+    cubes.dedup();
+    Cover::from_cubes(width, cubes)
+}
+
+fn cost_of(cubes: &[Cube]) -> (usize, u32) {
+    (cubes.len(), cubes.iter().map(Cube::literal_count).sum())
+}
+
+/// Enlarges each cube maximally against the off-set.
+fn expand(cubes: &mut Vec<Cube>, on: &[u32], off: &[Cube], width: usize) {
+    // Process small cubes first: they benefit most and their expansion can
+    // absorb other cubes entirely.
+    cubes.sort_unstable_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    let snapshot = cubes.clone();
+    for (i, &cube) in snapshot.iter().enumerate() {
+        // Skip cubes already absorbed by an expanded predecessor.
+        if result.iter().any(|r| r.covers_cube(&cube)) {
+            continue;
+        }
+        let mut cur = cube;
+        loop {
+            // Candidate literal removals that stay clear of the off-set.
+            let mut best: Option<(usize, usize)> = None; // (gain, var)
+            for var in 0..width {
+                if cur.var(var).is_none() {
+                    continue;
+                }
+                let grown = cur.without_var(var);
+                if off.iter().any(|o| grown.intersects(o)) {
+                    continue;
+                }
+                // Gain: how many on-minterms not covered by the current cube
+                // set would the grown cube absorb?
+                let gain = on
+                    .iter()
+                    .filter(|&&m| {
+                        grown.covers_minterm(m)
+                            && !cur.covers_minterm(m)
+                            && !result.iter().any(|r| r.covers_minterm(m))
+                            && !snapshot[i + 1..].iter().any(|r| r.covers_minterm(m))
+                    })
+                    .count();
+                let better = match best {
+                    None => true,
+                    Some((bg, bv)) => gain > bg || (gain == bg && var < bv),
+                };
+                if better {
+                    best = Some((gain, var));
+                }
+            }
+            match best {
+                Some((_, var)) => cur = cur.without_var(var),
+                None => break,
+            }
+        }
+        result.push(cur);
+    }
+    *cubes = result;
+}
+
+/// Removes cubes whose on-minterm coverage is redundant given the rest.
+fn irredundant(cubes: &mut Vec<Cube>, on: &[u32]) {
+    // Iterate until stable: repeatedly drop the cube with the fewest
+    // uniquely covered minterms when that count is zero.
+    loop {
+        let mut removed = false;
+        let mut best_victim: Option<usize> = None;
+        for i in 0..cubes.len() {
+            let unique = on.iter().any(|&m| {
+                cubes[i].covers_minterm(m)
+                    && !cubes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.covers_minterm(m))
+            });
+            if !unique {
+                // Prefer dropping the cube with more literals (cheaper win).
+                let better = match best_victim {
+                    None => true,
+                    Some(b) => cubes[i].literal_count() > cubes[b].literal_count(),
+                };
+                if better {
+                    best_victim = Some(i);
+                }
+            }
+        }
+        if let Some(i) = best_victim {
+            cubes.remove(i);
+            removed = true;
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+/// Shrinks each cube to the supercube of the on-minterms only it covers.
+fn reduce(cubes: &mut [Cube], on: &[u32], width: usize) {
+    for i in 0..cubes.len() {
+        let essential: Vec<u32> = on
+            .iter()
+            .copied()
+            .filter(|&m| {
+                cubes[i].covers_minterm(m)
+                    && !cubes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.covers_minterm(m))
+            })
+            .collect();
+        if essential.is_empty() {
+            continue; // irredundant() will deal with it
+        }
+        let mut shrunk = Cube::from_minterm(essential[0], width);
+        for &m in &essential[1..] {
+            shrunk = shrunk.supercube(&Cube::from_minterm(m, width));
+        }
+        cubes[i] = shrunk;
+    }
+}
+
+/// Verifies that `cover` is a correct implementation of `spec`: every
+/// on-minterm covered, no off-minterm covered.
+///
+/// Returns the first violating minterm as `Err((minterm, expected_on))`.
+/// Cost is proportional to the on/off set sizes (not `2^width`).
+///
+/// # Errors
+///
+/// Returns the offending minterm and whether it was supposed to be covered.
+pub fn verify_cover(spec: &FunctionSpec, cover: &Cover) -> Result<(), (u32, bool)> {
+    for &m in spec.on_set() {
+        if !cover.covers_minterm(m) {
+            return Err((m, true));
+        }
+    }
+    for &m in spec.off_set() {
+        if cover.covers_minterm(m) {
+            return Err((m, false));
+        }
+    }
+    Ok(())
+}
+
+/// The set of on-minterms of `spec` (convenience for callers building
+/// regression comparisons between the two minimizers).
+#[must_use]
+pub fn on_minterms(spec: &FunctionSpec) -> BTreeSet<u32> {
+    spec.on_set().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qm::minimize_exact;
+
+    fn check(spec: &FunctionSpec) -> Cover {
+        let cover = minimize_heuristic(spec);
+        verify_cover(spec, &cover).expect("heuristic cover must satisfy the spec");
+        cover
+    }
+
+    #[test]
+    fn paper_running_example_matches_exact() {
+        let spec = FunctionSpec::from_sets(2, [0b01, 0b10, 0b11], [0b00]).unwrap();
+        let cover = check(&spec);
+        let exact = minimize_exact(&spec);
+        assert_eq!(cover.len(), exact.len());
+        assert_eq!(cover.literal_count(), exact.literal_count());
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let spec = FunctionSpec::from_sets(4, [], [1, 2, 3]).unwrap();
+        assert!(minimize_heuristic(&spec).is_empty());
+    }
+
+    #[test]
+    fn single_minterm() {
+        let spec = FunctionSpec::from_sets(3, [0b101], (0..8).filter(|&m| m != 0b101)).unwrap();
+        let cover = check(&spec);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.literal_count(), 3);
+    }
+
+    #[test]
+    fn dont_cares_exploited() {
+        let spec = FunctionSpec::from_sets(4, [0b1111], [0b0000]).unwrap();
+        let cover = check(&spec);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(
+            cover.literal_count(),
+            1,
+            "a single literal separates 1111 from 0000: {cover}"
+        );
+    }
+
+    #[test]
+    fn parity_is_incompressible() {
+        let on: Vec<u32> = (0u32..16).filter(|m| m.count_ones() % 2 == 1).collect();
+        let off: Vec<u32> = (0u32..16).filter(|m| m.count_ones() % 2 == 0).collect();
+        let spec = FunctionSpec::from_sets(4, on, off).unwrap();
+        let cover = check(&spec);
+        assert_eq!(cover.len(), 8);
+    }
+
+    #[test]
+    fn matches_exact_on_dense_random_functions() {
+        // Deterministic pseudo-random specs; heuristic must stay within a
+        // small factor of exact cube count (and is usually equal).
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..30 {
+            let width = 3 + (trial % 4); // 3..=6
+            let mut on = Vec::new();
+            let mut off = Vec::new();
+            for m in 0..(1u32 << width) {
+                match next() % 3 {
+                    0 => on.push(m),
+                    1 => off.push(m),
+                    _ => {}
+                }
+            }
+            let spec = FunctionSpec::from_sets(width, on, off).unwrap();
+            let heur = check(&spec);
+            let exact = minimize_exact(&spec);
+            verify_cover(&spec, &exact).expect("exact cover must satisfy the spec");
+            assert!(
+                heur.len() <= exact.len() + 2,
+                "width {width} trial {trial}: heuristic {} vs exact {}",
+                heur.len(),
+                exact.len()
+            );
+        }
+    }
+
+    #[test]
+    fn verify_cover_reports_violations() {
+        let spec = FunctionSpec::from_sets(2, [0b11], [0b00]).unwrap();
+        let empty = Cover::new(2);
+        assert_eq!(verify_cover(&spec, &empty), Err((0b11, true)));
+        let mut everything = Cover::new(2);
+        everything.push(Cube::universe());
+        assert_eq!(verify_cover(&spec, &everything), Err((0b00, false)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Two-level logic minimization for FSM predictor design.
+//!
+//! This crate is the reproduction's stand-in for the Espresso tool used in
+//! Sherwood & Calder's automated FSM-predictor design flow (ISCA 2001,
+//! §4.4 "Pattern Compression"). The flow hands it a truth table whose
+//! inputs are branch/value history patterns partitioned into *predict 1*,
+//! *predict 0* and *don't care* sets, and receives back a compact
+//! sum-of-products cover of the predict-1 set — the cover that is then
+//! turned into a regular expression and ultimately a Moore machine.
+//!
+//! Two minimizers are provided behind one entry point, [`minimize`]:
+//!
+//! * [`qm::minimize_exact`] — textbook Quine–McCluskey with don't-cares and
+//!   an exact (branch-and-bound) covering step; the default for the history
+//!   widths the paper uses (N ≤ 10).
+//! * [`espresso::minimize_heuristic`] — an Espresso-style
+//!   EXPAND/IRREDUNDANT/REDUCE loop that scales past the exact method.
+//!
+//! # Examples
+//!
+//! The paper's running example (§4.4): the truth table
+//! `{00→0, 01→1, 10→1, 11→1}` compresses to `(x1) ∨ (1x)`:
+//!
+//! ```
+//! use fsmgen_logicmin::{minimize, Algorithm, FunctionSpec};
+//!
+//! let spec = FunctionSpec::from_sets(2, [0b01, 0b10, 0b11], [0b00])?;
+//! let cover = minimize(&spec, Algorithm::Exact);
+//! assert_eq!(cover.len(), 2);
+//! assert_eq!(cover.literal_count(), 2);
+//! # Ok::<(), fsmgen_logicmin::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cover;
+mod cube;
+pub mod espresso;
+pub mod qm;
+mod spec;
+
+pub use cover::Cover;
+pub use cube::{Cube, Minterms, ParseCubeError, MAX_VARS};
+pub use espresso::verify_cover;
+pub use spec::{FunctionSpec, MintermKind, SpecError};
+
+/// Selects which minimization engine [`minimize`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Exact Quine–McCluskey (prime generation + exact covering). The
+    /// default, matching the small history widths used by the paper.
+    #[default]
+    Exact,
+    /// Espresso-style EXPAND/IRREDUNDANT/REDUCE heuristic.
+    Heuristic,
+    /// Exact Quine–McCluskey that additionally minimizes the highest
+    /// constrained variable (the machine's effective history window) —
+    /// smaller predictors at equal accuracy. An extension beyond the
+    /// paper; see [`qm::minimize_short_window`].
+    ShortWindow,
+    /// Exact for widths up to the given threshold, heuristic beyond.
+    Auto {
+        /// Largest width still handled exactly.
+        exact_up_to: usize,
+    },
+}
+
+/// Minimizes an incompletely specified function to a sum-of-products cover
+/// of its on-set.
+///
+/// The returned [`Cover`] covers every on-set minterm, avoids every off-set
+/// minterm, and makes arbitrary (cost-minimizing) choices on don't-cares —
+/// exactly the contract of §4.4 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_logicmin::{minimize, Algorithm, FunctionSpec};
+///
+/// let spec = FunctionSpec::from_sets(3, [0b111, 0b110], [0b000])?;
+/// let cover = minimize(&spec, Algorithm::default());
+/// assert!(cover.covers_minterm(0b111));
+/// assert!(!cover.covers_minterm(0b000));
+/// # Ok::<(), fsmgen_logicmin::SpecError>(())
+/// ```
+#[must_use]
+pub fn minimize(spec: &FunctionSpec, algorithm: Algorithm) -> Cover {
+    match algorithm {
+        Algorithm::Exact => qm::minimize_exact(spec),
+        Algorithm::Heuristic => espresso::minimize_heuristic(spec),
+        Algorithm::ShortWindow => qm::minimize_short_window(spec),
+        Algorithm::Auto { exact_up_to } => {
+            if spec.width() <= exact_up_to {
+                qm::minimize_exact(spec)
+            } else {
+                espresso::minimize_heuristic(spec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_dispatch() {
+        let spec = FunctionSpec::from_sets(4, [0b1010], [0b0101]).unwrap();
+        let a = minimize(&spec, Algorithm::Auto { exact_up_to: 8 });
+        let b = minimize(&spec, Algorithm::Auto { exact_up_to: 2 });
+        verify_cover(&spec, &a).unwrap();
+        verify_cover(&spec, &b).unwrap();
+    }
+
+    #[test]
+    fn default_algorithm_is_exact() {
+        assert_eq!(Algorithm::default(), Algorithm::Exact);
+    }
+}

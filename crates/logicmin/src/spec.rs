@@ -1,0 +1,288 @@
+//! Incompletely specified boolean functions: on-set, off-set and don't-care
+//! set, as produced by the pattern-definition stage of the design flow.
+
+use crate::cube::{width_mask, MAX_VARS};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Classification of one minterm in a [`FunctionSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MintermKind {
+    /// The function must output 1 ("predict 1" in the paper).
+    On,
+    /// The function must output 0 ("predict 0").
+    Off,
+    /// The output is unconstrained ("don't care").
+    DontCare,
+}
+
+/// Error produced when building an inconsistent or oversized
+/// [`FunctionSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The same minterm was placed in both the on-set and the off-set.
+    Conflict {
+        /// The offending minterm.
+        minterm: u32,
+    },
+    /// A minterm does not fit in the declared width.
+    OutOfRange {
+        /// The offending minterm.
+        minterm: u32,
+        /// The declared width.
+        width: usize,
+    },
+    /// The width is zero or exceeds [`MAX_VARS`].
+    BadWidth(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Conflict { minterm } => {
+                write!(
+                    f,
+                    "minterm {minterm:#b} is in both the on-set and the off-set"
+                )
+            }
+            SpecError::OutOfRange { minterm, width } => {
+                write!(f, "minterm {minterm:#b} does not fit in width {width}")
+            }
+            SpecError::BadWidth(w) => {
+                write!(f, "width must be in 1..={MAX_VARS}, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// An incompletely specified single-output boolean function over `width`
+/// variables, given by explicit on/off/don't-care minterm sets.
+///
+/// Minterms never mentioned are implicitly don't-cares; this matches the
+/// design flow, where histories that never occur in the trace place no
+/// constraint on the predictor.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_logicmin::FunctionSpec;
+///
+/// // The paper's example: predict 1 for {01, 10, 11}, predict 0 for {00}.
+/// let mut spec = FunctionSpec::new(2)?;
+/// spec.add_on(0b01)?;
+/// spec.add_on(0b10)?;
+/// spec.add_on(0b11)?;
+/// spec.add_off(0b00)?;
+/// assert_eq!(spec.on_set().len(), 3);
+/// # Ok::<(), fsmgen_logicmin::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSpec {
+    width: usize,
+    on: BTreeSet<u32>,
+    off: BTreeSet<u32>,
+    dc: BTreeSet<u32>,
+}
+
+impl FunctionSpec {
+    /// Creates an empty spec (everything don't-care) over `width` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadWidth`] when `width` is zero or exceeds
+    /// [`MAX_VARS`].
+    pub fn new(width: usize) -> Result<Self, SpecError> {
+        if width == 0 || width > MAX_VARS {
+            return Err(SpecError::BadWidth(width));
+        }
+        Ok(FunctionSpec {
+            width,
+            on: BTreeSet::new(),
+            off: BTreeSet::new(),
+            dc: BTreeSet::new(),
+        })
+    }
+
+    /// Builds a spec from iterators of on and off minterms, with everything
+    /// else (explicit or not) a don't-care.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadWidth`], [`SpecError::OutOfRange`] or
+    /// [`SpecError::Conflict`] under the corresponding conditions.
+    pub fn from_sets<I, J>(width: usize, on: I, off: J) -> Result<Self, SpecError>
+    where
+        I: IntoIterator<Item = u32>,
+        J: IntoIterator<Item = u32>,
+    {
+        let mut spec = FunctionSpec::new(width)?;
+        for m in on {
+            spec.add_on(m)?;
+        }
+        for m in off {
+            spec.add_off(m)?;
+        }
+        Ok(spec)
+    }
+
+    fn check_range(&self, minterm: u32) -> Result<(), SpecError> {
+        if minterm & !width_mask(self.width) != 0 {
+            Err(SpecError::OutOfRange {
+                minterm,
+                width: self.width,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a minterm to the on-set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Conflict`] if the minterm is already in the
+    /// off-set, or [`SpecError::OutOfRange`] if it does not fit the width.
+    /// Adding an on minterm that was previously a don't-care upgrades it.
+    pub fn add_on(&mut self, minterm: u32) -> Result<(), SpecError> {
+        self.check_range(minterm)?;
+        if self.off.contains(&minterm) {
+            return Err(SpecError::Conflict { minterm });
+        }
+        self.dc.remove(&minterm);
+        self.on.insert(minterm);
+        Ok(())
+    }
+
+    /// Adds a minterm to the off-set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Conflict`] if the minterm is already in the
+    /// on-set, or [`SpecError::OutOfRange`] if it does not fit the width.
+    pub fn add_off(&mut self, minterm: u32) -> Result<(), SpecError> {
+        self.check_range(minterm)?;
+        if self.on.contains(&minterm) {
+            return Err(SpecError::Conflict { minterm });
+        }
+        self.dc.remove(&minterm);
+        self.off.insert(minterm);
+        Ok(())
+    }
+
+    /// Explicitly marks a minterm as don't-care. Minterms in the on- or
+    /// off-set are demoted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::OutOfRange`] if the minterm does not fit.
+    pub fn add_dont_care(&mut self, minterm: u32) -> Result<(), SpecError> {
+        self.check_range(minterm)?;
+        self.on.remove(&minterm);
+        self.off.remove(&minterm);
+        self.dc.insert(minterm);
+        Ok(())
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The minterms that must map to 1.
+    #[must_use]
+    pub fn on_set(&self) -> &BTreeSet<u32> {
+        &self.on
+    }
+
+    /// The minterms that must map to 0.
+    #[must_use]
+    pub fn off_set(&self) -> &BTreeSet<u32> {
+        &self.off
+    }
+
+    /// The minterms explicitly marked don't-care. Unmentioned minterms are
+    /// also don't-cares; see [`FunctionSpec::kind`].
+    #[must_use]
+    pub fn explicit_dont_cares(&self) -> &BTreeSet<u32> {
+        &self.dc
+    }
+
+    /// Classification of an arbitrary minterm, treating unmentioned minterms
+    /// as don't-cares.
+    #[must_use]
+    pub fn kind(&self, minterm: u32) -> MintermKind {
+        if self.on.contains(&minterm) {
+            MintermKind::On
+        } else if self.off.contains(&minterm) {
+            MintermKind::Off
+        } else {
+            MintermKind::DontCare
+        }
+    }
+
+    /// Iterates over every don't-care minterm in the full space, including
+    /// implicit ones. Cost is `O(2^width)`.
+    pub fn all_dont_cares(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = 1u64 << self.width;
+        (0..n).filter_map(move |m| {
+            let m = m as u32;
+            if self.kind(m) == MintermKind::DontCare {
+                Some(m)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// `true` when no minterm is constrained.
+    #[must_use]
+    pub fn is_unconstrained(&self) -> bool {
+        self.on.is_empty() && self.off.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_detection() {
+        let mut s = FunctionSpec::new(2).unwrap();
+        s.add_on(1).unwrap();
+        assert_eq!(s.add_off(1), Err(SpecError::Conflict { minterm: 1 }));
+        // Demoting to don't-care then adding off is fine.
+        s.add_dont_care(1).unwrap();
+        s.add_off(1).unwrap();
+        assert_eq!(s.kind(1), MintermKind::Off);
+    }
+
+    #[test]
+    fn range_checking() {
+        let mut s = FunctionSpec::new(2).unwrap();
+        assert!(matches!(s.add_on(4), Err(SpecError::OutOfRange { .. })));
+        assert!(matches!(s.add_off(255), Err(SpecError::OutOfRange { .. })));
+        assert!(FunctionSpec::new(0).is_err());
+        assert!(FunctionSpec::new(MAX_VARS + 1).is_err());
+    }
+
+    #[test]
+    fn implicit_dont_cares() {
+        let s = FunctionSpec::from_sets(3, [0b000], [0b111]).unwrap();
+        assert_eq!(s.kind(0b000), MintermKind::On);
+        assert_eq!(s.kind(0b111), MintermKind::Off);
+        assert_eq!(s.kind(0b010), MintermKind::DontCare);
+        let dcs: Vec<u32> = s.all_dont_cares().collect();
+        assert_eq!(dcs.len(), 6);
+    }
+
+    #[test]
+    fn unconstrained() {
+        let s = FunctionSpec::new(4).unwrap();
+        assert!(s.is_unconstrained());
+        let s = FunctionSpec::from_sets(4, [1], []).unwrap();
+        assert!(!s.is_unconstrained());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the logic minimizers: on randomly generated
+//! incompletely specified functions, both engines must produce correct
+//! covers, and minimized covers must never cost more than the trivial
+//! one-cube-per-minterm cover.
+
+use fsmgen_logicmin::{
+    minimize, qm::prime_implicants, verify_cover, Algorithm, Cover, Cube, FunctionSpec,
+};
+use proptest::prelude::*;
+
+/// Strategy: a width and a per-minterm classification (0=off, 1=on, 2=dc).
+fn spec_strategy() -> impl Strategy<Value = FunctionSpec> {
+    (2usize..=7).prop_flat_map(|width| {
+        proptest::collection::vec(0u8..3, 1 << width).prop_map(move |kinds| {
+            let on = kinds
+                .iter()
+                .enumerate()
+                .filter_map(|(m, &k)| (k == 1).then_some(m as u32));
+            let off = kinds
+                .iter()
+                .enumerate()
+                .filter_map(|(m, &k)| (k == 0).then_some(m as u32));
+            FunctionSpec::from_sets(width, on, off).expect("disjoint by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_cover_is_correct(spec in spec_strategy()) {
+        let cover = minimize(&spec, Algorithm::Exact);
+        prop_assert_eq!(verify_cover(&spec, &cover), Ok(()));
+    }
+
+    #[test]
+    fn heuristic_cover_is_correct(spec in spec_strategy()) {
+        let cover = minimize(&spec, Algorithm::Heuristic);
+        prop_assert_eq!(verify_cover(&spec, &cover), Ok(()));
+    }
+
+    #[test]
+    fn exact_never_beaten_by_trivial_cover(spec in spec_strategy()) {
+        let cover = minimize(&spec, Algorithm::Exact);
+        prop_assert!(cover.len() <= spec.on_set().len());
+    }
+
+    #[test]
+    fn heuristic_close_to_exact(spec in spec_strategy()) {
+        let exact = minimize(&spec, Algorithm::Exact);
+        let heur = minimize(&spec, Algorithm::Heuristic);
+        // The heuristic is allowed slack but must stay in the same ballpark.
+        prop_assert!(heur.len() <= exact.len().max(1) * 2,
+            "heuristic {} vs exact {}", heur.len(), exact.len());
+    }
+
+    #[test]
+    fn primes_cover_all_on_minterms(spec in spec_strategy()) {
+        let primes = prime_implicants(&spec);
+        for &m in spec.on_set() {
+            prop_assert!(primes.iter().any(|p| p.covers_minterm(m)),
+                "on minterm {m:b} not covered by any prime");
+        }
+        // And no prime touches the off-set.
+        for p in &primes {
+            for &m in spec.off_set() {
+                prop_assert!(!p.covers_minterm(m));
+            }
+        }
+    }
+
+    #[test]
+    fn cube_supercube_contains_both(a in 0u32..256, b in 0u32..256) {
+        let ca = Cube::from_minterm(a, 8);
+        let cb = Cube::from_minterm(b, 8);
+        let sup = ca.supercube(&cb);
+        prop_assert!(sup.covers_cube(&ca));
+        prop_assert!(sup.covers_cube(&cb));
+        prop_assert!(sup.covers_minterm(a));
+        prop_assert!(sup.covers_minterm(b));
+    }
+
+    #[test]
+    fn cube_minterms_match_covers(mask in 0u32..64, bits in 0u32..64) {
+        let cube = Cube::new(mask & 0x3f, bits);
+        let listed: std::collections::BTreeSet<u32> = cube.minterms(6).collect();
+        for m in 0..64u32 {
+            prop_assert_eq!(listed.contains(&m), cube.covers_minterm(m));
+        }
+        prop_assert_eq!(listed.len() as u64, cube.minterm_count(6));
+    }
+
+    #[test]
+    fn cover_covers_cube_agrees_with_minterm_enumeration(
+        terms in proptest::collection::vec((0u32..16, 0u32..16), 1..5),
+        probe_mask in 0u32..16,
+        probe_bits in 0u32..16,
+    ) {
+        let cover = Cover::from_cubes(
+            4,
+            terms.into_iter().map(|(m, b)| Cube::new(m & 0xf, b)).collect(),
+        );
+        let probe = Cube::new(probe_mask & 0xf, probe_bits);
+        let expected = probe.minterms(4).all(|m| cover.covers_minterm(m));
+        prop_assert_eq!(cover.covers_cube(&probe), expected);
+    }
+}

@@ -1,0 +1,105 @@
+//! State encodings for synthesized Moore machines.
+//!
+//! "The job of synthesis is to find an efficient hardware implementation
+//! for the state machine. This includes finding a good encoding for the
+//! states and their transitions" (§4.8). Three classic encodings are
+//! provided; their area impact is one of the ablation studies.
+
+use serde::{Deserialize, Serialize};
+
+/// How state registers encode the state number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Encoding {
+    /// Dense binary encoding: `ceil(log2 S)` flip-flops.
+    #[default]
+    Binary,
+    /// Gray-code encoding: same register count as binary, adjacent codes
+    /// differ in one bit (often cheaper transition logic for counter-like
+    /// machines).
+    Gray,
+    /// One-hot encoding: `S` flip-flops, single-bit next-state functions.
+    OneHot,
+}
+
+impl Encoding {
+    /// Number of state register bits for a machine with `num_states`
+    /// states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is zero.
+    #[must_use]
+    pub fn register_bits(&self, num_states: usize) -> usize {
+        assert!(num_states > 0, "a machine has at least one state");
+        match self {
+            Encoding::Binary | Encoding::Gray => {
+                usize::BITS as usize - (num_states - 1).leading_zeros() as usize
+            }
+            Encoding::OneHot => num_states,
+        }
+        .max(1)
+    }
+
+    /// The code word for state `state` of `num_states`, as a bit pattern in
+    /// a `u64` (bit 0 = register 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= num_states` or the one-hot code would not fit
+    /// in 64 bits.
+    #[must_use]
+    pub fn code(&self, state: usize, num_states: usize) -> u64 {
+        assert!(state < num_states, "state {state} out of {num_states}");
+        match self {
+            Encoding::Binary => state as u64,
+            Encoding::Gray => {
+                let s = state as u64;
+                s ^ (s >> 1)
+            }
+            Encoding::OneHot => {
+                assert!(num_states <= 64, "one-hot limited to 64 states here");
+                1u64 << state
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bit_counts() {
+        assert_eq!(Encoding::Binary.register_bits(1), 1);
+        assert_eq!(Encoding::Binary.register_bits(2), 1);
+        assert_eq!(Encoding::Binary.register_bits(3), 2);
+        assert_eq!(Encoding::Binary.register_bits(4), 2);
+        assert_eq!(Encoding::Binary.register_bits(5), 3);
+        assert_eq!(Encoding::Gray.register_bits(8), 3);
+        assert_eq!(Encoding::OneHot.register_bits(5), 5);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let codes: std::collections::BTreeSet<u64> = (0..12).map(|s| enc.code(s, 12)).collect();
+            assert_eq!(codes.len(), 12, "{enc:?} produced duplicate codes");
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_differ_in_one_bit() {
+        for s in 0..31usize {
+            let a = Encoding::Gray.code(s, 32);
+            let b = Encoding::Gray.code(s + 1, 32);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn one_hot_is_one_hot() {
+        for s in 0..10 {
+            assert_eq!(Encoding::OneHot.code(s, 10).count_ones(), 1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthesis back-end for FSM predictors: VHDL emission, state encodings
+//! and structural area estimation.
+//!
+//! This crate stands in for the Synopsys step of Sherwood & Calder's
+//! design flow (ISCA 2001, §4.8 and §7.4). [`to_vhdl`] emits the
+//! synthesizable two-process FSM description the paper hands to Synopsys;
+//! [`synthesize_area`] replaces the proprietary tool with a structural
+//! cost model (state encoding + two-level-minimized next-state/output
+//! logic, costed in NAND2 equivalents); and [`LinearAreaModel`] is the
+//! fitted linear bound of Figure 4 that the branch-prediction experiments
+//! use to price predictors.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_automata::compile_patterns;
+//! use fsmgen_synth::{synthesize_area, Encoding, LinearAreaModel};
+//!
+//! // Estimate areas for two machines and fit the Figure 4 line.
+//! let small = compile_patterns(&[vec![Some(true), None]]);
+//! let large = compile_patterns(&[
+//!     vec![Some(false), None, Some(true), None],
+//!     vec![Some(false), None, None, Some(true), None],
+//! ]);
+//! let samples = [
+//!     (small.num_states(), synthesize_area(&small, Encoding::Binary).area),
+//!     (large.num_states(), synthesize_area(&large, Encoding::Binary).area),
+//! ];
+//! let line = LinearAreaModel::fit(&samples);
+//! assert!(line.slope > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod encoding;
+mod vhdl;
+
+pub use area::{
+    synthesize_area, synthesize_area_best, synthesize_logic, AreaEstimate, LinearAreaModel,
+    FF_GATE_COST,
+};
+pub use encoding::Encoding;
+pub use vhdl::{to_vhdl, VhdlOptions};

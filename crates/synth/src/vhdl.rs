@@ -1,0 +1,185 @@
+//! Synthesizable VHDL emission for Moore predictor machines (§4.8).
+//!
+//! "We translate our description of the finite state machine to VHDL,
+//! which is then read and analyzed by the Synopsys design tool." The
+//! emitted code is the classic two-process FSM template every synthesis
+//! tool recognizes: a clocked state register with asynchronous reset and a
+//! combinational next-state/output process.
+
+use fsmgen_automata::Dfa;
+use std::fmt::Write as _;
+
+/// Options for VHDL emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VhdlOptions {
+    /// VHDL entity name. Must be a valid VHDL identifier.
+    pub entity: String,
+    /// Name of the clock port.
+    pub clock: String,
+    /// Name of the asynchronous reset port (active high).
+    pub reset: String,
+}
+
+impl Default for VhdlOptions {
+    fn default() -> Self {
+        VhdlOptions {
+            entity: "fsm_predictor".to_string(),
+            clock: "clk".to_string(),
+            reset: "reset".to_string(),
+        }
+    }
+}
+
+/// Emits synthesizable VHDL for `dfa` as a Moore predictor: input `din` is
+/// the resolved outcome, output `predict` is the prediction for the next
+/// outcome.
+///
+/// The state type is an enumerated type, leaving the encoding choice to
+/// the synthesis tool exactly as the paper's flow does.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_automata::compile_patterns;
+/// use fsmgen_synth::{to_vhdl, VhdlOptions};
+///
+/// let fsm = compile_patterns(&[vec![Some(true), None]]);
+/// let vhdl = to_vhdl(&fsm, &VhdlOptions::default());
+/// assert!(vhdl.contains("entity fsm_predictor is"));
+/// assert!(vhdl.contains("type state_t is (s0, s1, s2, s3);"));
+/// ```
+#[must_use]
+pub fn to_vhdl(dfa: &Dfa, options: &VhdlOptions) -> String {
+    let n = dfa.num_states();
+    let mut out = String::new();
+    let e = &options.entity;
+    let clk = &options.clock;
+    let rst = &options.reset;
+
+    let _ = writeln!(
+        out,
+        "-- Automatically generated FSM predictor ({n} states)."
+    );
+    let _ = writeln!(out, "library IEEE;");
+    let _ = writeln!(out, "use IEEE.std_logic_1164.all;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "entity {e} is");
+    let _ = writeln!(out, "  port (");
+    let _ = writeln!(out, "    {clk}     : in  std_logic;");
+    let _ = writeln!(out, "    {rst}     : in  std_logic;");
+    let _ = writeln!(out, "    din     : in  std_logic;");
+    let _ = writeln!(out, "    predict : out std_logic");
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end {e};");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "architecture rtl of {e} is");
+    let states: Vec<String> = (0..n).map(|s| format!("s{s}")).collect();
+    let _ = writeln!(out, "  type state_t is ({});", states.join(", "));
+    let _ = writeln!(
+        out,
+        "  signal state, next_state : state_t := s{};",
+        dfa.start()
+    );
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  state_reg : process ({clk}, {rst})");
+    let _ = writeln!(out, "  begin");
+    let _ = writeln!(out, "    if {rst} = '1' then");
+    let _ = writeln!(out, "      state <= s{};", dfa.start());
+    let _ = writeln!(out, "    elsif rising_edge({clk}) then");
+    let _ = writeln!(out, "      state <= next_state;");
+    let _ = writeln!(out, "    end if;");
+    let _ = writeln!(out, "  end process;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  next_state_logic : process (state, din)");
+    let _ = writeln!(out, "  begin");
+    let _ = writeln!(out, "    case state is");
+    for s in 0..n as u32 {
+        let t0 = dfa.step(s, false);
+        let t1 = dfa.step(s, true);
+        let _ = writeln!(out, "      when s{s} =>");
+        if t0 == t1 {
+            let _ = writeln!(out, "        next_state <= s{t0};");
+        } else {
+            let _ = writeln!(out, "        if din = '1' then");
+            let _ = writeln!(out, "          next_state <= s{t1};");
+            let _ = writeln!(out, "        else");
+            let _ = writeln!(out, "          next_state <= s{t0};");
+            let _ = writeln!(out, "        end if;");
+        }
+    }
+    let _ = writeln!(out, "    end case;");
+    let _ = writeln!(out, "  end process;");
+    let _ = writeln!(out);
+    let ones: Vec<String> = (0..n as u32)
+        .filter(|&s| dfa.output(s))
+        .map(|s| format!("s{s}"))
+        .collect();
+    match ones.len() {
+        0 => {
+            let _ = writeln!(out, "  predict <= '0';");
+        }
+        m if m == n => {
+            let _ = writeln!(out, "  predict <= '1';");
+        }
+        _ => {
+            let conds: Vec<String> = ones.iter().map(|s| format!("state = {s}")).collect();
+            let _ = writeln!(
+                out,
+                "  predict <= '1' when {} else '0';",
+                conds.join(" or ")
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_automata::compile_patterns;
+
+    #[test]
+    fn emits_every_state_and_transition() {
+        let fsm = compile_patterns(&[vec![Some(false), None, Some(true), None]]);
+        let vhdl = to_vhdl(&fsm, &VhdlOptions::default());
+        for s in 0..fsm.num_states() {
+            assert!(vhdl.contains(&format!("when s{s} =>")), "missing state {s}");
+        }
+        assert!(vhdl.contains("rising_edge(clk)"));
+        assert!(vhdl.contains("predict <= '1' when"));
+    }
+
+    #[test]
+    fn constant_machines_emit_constant_outputs() {
+        let zero = fsmgen_automata::Dfa::from_parts(vec![[0, 0]], vec![false], 0);
+        assert!(to_vhdl(&zero, &VhdlOptions::default()).contains("predict <= '0';"));
+        let one = fsmgen_automata::Dfa::from_parts(vec![[0, 0]], vec![true], 0);
+        assert!(to_vhdl(&one, &VhdlOptions::default()).contains("predict <= '1';"));
+    }
+
+    #[test]
+    fn custom_port_names() {
+        let fsm = compile_patterns(&[vec![Some(true)]]);
+        let opts = VhdlOptions {
+            entity: "bp_custom_7".to_string(),
+            clock: "clock".to_string(),
+            reset: "rst_n".to_string(),
+        };
+        let vhdl = to_vhdl(&fsm, &opts);
+        assert!(vhdl.contains("entity bp_custom_7 is"));
+        assert!(vhdl.contains("rising_edge(clock)"));
+        assert!(vhdl.contains("if rst_n = '1' then"));
+    }
+
+    #[test]
+    fn merged_transitions_collapse() {
+        // A state with identical successors on 0 and 1 gets a single
+        // unconditional assignment (like the '-' edges in Figure 1).
+        let dfa = fsmgen_automata::Dfa::from_parts(vec![[1, 1], [0, 1]], vec![false, true], 0);
+        let vhdl = to_vhdl(&dfa, &VhdlOptions::default());
+        assert!(vhdl.contains("when s0 =>\n        next_state <= s1;"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the synthesis back-end: for arbitrary small
+//! Moore machines, the synthesized logic must implement exactly the
+//! machine's transition and output functions under every encoding, and
+//! the VHDL emitter must mention every state.
+
+use fsmgen_automata::Dfa;
+use fsmgen_synth::{synthesize_area, synthesize_logic, to_vhdl, Encoding, VhdlOptions};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary complete DFAs with 1..=10 states.
+fn dfa_strategy() -> impl Strategy<Value = Dfa> {
+    (1usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(move |(trans, outputs)| {
+                Dfa::from_parts(trans.into_iter().map(|(a, b)| [a, b]).collect(), outputs, 0)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hardware/software equivalence for every encoding.
+    #[test]
+    fn synthesized_logic_implements_machine(dfa in dfa_strategy()) {
+        let n = dfa.num_states();
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let bits = enc.register_bits(n);
+            let covers = synthesize_logic(&dfa, enc);
+            if bits + 1 > fsmgen_logicmin::MAX_VARS {
+                continue; // direct-cost path, not a logic table
+            }
+            prop_assert_eq!(covers.len(), bits + 1);
+            for s in 0..n {
+                let code = enc.code(s, n);
+                for din in [false, true] {
+                    let next = enc.code(dfa.step(s as u32, din) as usize, n);
+                    let minterm = (code as u32) << 1 | u32::from(din);
+                    for (bit, cover) in covers[..bits].iter().enumerate() {
+                        prop_assert_eq!(
+                            cover.covers_minterm(minterm),
+                            next >> bit & 1 == 1,
+                            "enc {:?} state {} din {} bit {}", enc, s, din, bit
+                        );
+                    }
+                }
+                prop_assert_eq!(
+                    covers[bits].covers_minterm(code as u32),
+                    dfa.output(s as u32),
+                    "enc {:?} output of state {}", enc, s
+                );
+            }
+        }
+    }
+
+    /// Area is positive and the flip-flop count matches the encoding.
+    #[test]
+    fn area_estimates_are_sane(dfa in dfa_strategy()) {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let est = synthesize_area(&dfa, enc);
+            prop_assert_eq!(est.flip_flops, enc.register_bits(dfa.num_states()));
+            prop_assert!(est.area > 0.0);
+            prop_assert!(est.logic_gates >= 0.0);
+            prop_assert!(
+                (est.area - (est.logic_gates + 6.0 * est.flip_flops as f64)).abs() < 1e-9
+            );
+        }
+    }
+
+    /// VHDL emission mentions every state and is deterministic.
+    #[test]
+    fn vhdl_mentions_every_state(dfa in dfa_strategy()) {
+        let opts = VhdlOptions::default();
+        let a = to_vhdl(&dfa, &opts);
+        let b = to_vhdl(&dfa, &opts);
+        prop_assert_eq!(&a, &b);
+        for s in 0..dfa.num_states() {
+            prop_assert!(a.contains(&format!("s{s}")), "state {s} missing from VHDL");
+        }
+        prop_assert!(a.contains("entity fsm_predictor is"));
+    }
+
+    /// Encoding codes are injective for all supported sizes.
+    #[test]
+    fn codes_injective(n in 1usize..=64) {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let codes: std::collections::BTreeSet<u64> =
+                (0..n).map(|s| enc.code(s, n)).collect();
+            prop_assert_eq!(codes.len(), n, "{:?} collides at n={}", enc, n);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Compact bit traces: the 0/1 behavioural sequences the design flow
+//! consumes ("taken/not-taken" for branches, "value-correct/incorrect" for
+//! confidence estimation).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A compact, append-only sequence of bits.
+///
+/// # Examples
+///
+/// The paper's §4.2 example trace:
+///
+/// ```
+/// use fsmgen_traces::BitTrace;
+///
+/// let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse()?;
+/// assert_eq!(t.len(), 24);
+/// assert_eq!(t.count_ones(), 14);
+/// # Ok::<(), fsmgen_traces::ParseBitTraceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitTrace {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        BitTrace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` bits.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitTrace {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the trace has no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index < self.len {
+            Some(self.words[index / 64] >> (index % 64) & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Number of 1 bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of 1 bits, or 0.0 for an empty trace.
+    #[must_use]
+    pub fn ones_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            trace: self,
+            index: 0,
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn append_trace(&mut self, other: &BitTrace) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+}
+
+impl FromIterator<bool> for BitTrace {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut t = BitTrace::new();
+        for b in iter {
+            t.push(b);
+        }
+        t
+    }
+}
+
+impl Extend<bool> for BitTrace {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitTrace {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the bits of a [`BitTrace`], produced by [`BitTrace::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    trace: &'a BitTrace,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b = self.trace.get(self.index)?;
+        self.index += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.trace.len - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+/// Error returned when parsing a [`BitTrace`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitTraceError {
+    bad: char,
+}
+
+impl fmt::Display for ParseBitTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid trace character {:?}, expected '0', '1' or whitespace",
+            self.bad
+        )
+    }
+}
+
+impl std::error::Error for ParseBitTraceError {}
+
+impl FromStr for BitTrace {
+    type Err = ParseBitTraceError;
+
+    /// Parses a trace from `'0'`/`'1'` characters; whitespace and
+    /// underscores are ignored so paper-style grouped traces parse
+    /// directly.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut t = BitTrace::new();
+        for c in s.chars() {
+            match c {
+                '0' => t.push(false),
+                '1' => t.push(true),
+                c if c.is_whitespace() || c == '_' => {}
+                bad => return Err(ParseBitTraceError { bad }),
+            }
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for BitTrace {
+    /// Renders as `0`/`1` characters grouped in fours, like the paper.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 && i % 4 == 0 {
+                f.write_str(" ")?;
+            }
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut t = BitTrace::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            t.push(b);
+        }
+        assert_eq!(t.len(), 200);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(t.get(i), Some(b));
+        }
+        assert_eq!(t.get(200), None);
+    }
+
+    #[test]
+    fn parse_paper_trace() {
+        let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.count_ones(), 14);
+        assert_eq!(t.get(0), Some(false));
+        assert_eq!(t.get(4), Some(true));
+        assert_eq!(t.to_string(), "0000 1000 1011 1101 1110 1111");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("01x".parse::<BitTrace>().is_err());
+        assert!("001 1".parse::<BitTrace>().is_ok());
+    }
+
+    #[test]
+    fn collect_and_iter() {
+        let t: BitTrace = [true, false, true].into_iter().collect();
+        let back: Vec<bool> = t.iter().collect();
+        assert_eq!(back, vec![true, false, true]);
+        assert_eq!(t.iter().len(), 3);
+        assert_eq!(t.ones_fraction(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = BitTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.ones_fraction(), 0.0);
+        assert_eq!(t.to_string(), "");
+    }
+
+    #[test]
+    fn append_trace() {
+        let mut a: BitTrace = "101".parse().unwrap();
+        let b: BitTrace = "01".parse().unwrap();
+        a.append_trace(&b);
+        assert_eq!(a.to_string(), "1010 1");
+    }
+
+    #[test]
+    fn serde_impls_exist() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<BitTrace>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Typed execution events: conditional-branch outcomes and load values, the
+//! two behaviours the paper builds predictors for.
+
+use serde::{Deserialize, Serialize};
+
+/// One dynamic conditional-branch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// Address of the branch instruction (its static identity).
+    pub pc: u64,
+    /// Branch target address (used by BTB models).
+    pub target: u64,
+    /// `true` when the branch was taken.
+    pub taken: bool,
+}
+
+/// One dynamic load execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoadEvent {
+    /// Address of the load instruction (its static identity).
+    pub pc: u64,
+    /// The value the load produced.
+    pub value: u64,
+}
+
+/// A dynamic branch trace: the sequence of conditional-branch executions of
+/// one program run, in program order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchTrace {
+    events: Vec<BranchEvent>,
+}
+
+impl BranchTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        BranchTrace::default()
+    }
+
+    /// Appends one branch execution.
+    pub fn push(&mut self, event: BranchEvent) {
+        self.events.push(event);
+    }
+
+    /// The events in program order.
+    #[must_use]
+    pub fn events(&self) -> &[BranchEvent] {
+        &self.events
+    }
+
+    /// Number of dynamic branches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchEvent> {
+        self.events.iter()
+    }
+
+    /// Distinct static branches (by PC), in first-appearance order.
+    #[must_use]
+    pub fn static_branches(&self) -> Vec<u64> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut order = Vec::new();
+        for e in &self.events {
+            if seen.insert(e.pc) {
+                order.push(e.pc);
+            }
+        }
+        order
+    }
+
+    /// Per-static-branch dynamic execution counts.
+    #[must_use]
+    pub fn execution_counts(&self) -> std::collections::BTreeMap<u64, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.pc).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<BranchEvent> for BranchTrace {
+    fn from_iter<I: IntoIterator<Item = BranchEvent>>(iter: I) -> Self {
+        BranchTrace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BranchEvent> for BranchTrace {
+    fn extend<I: IntoIterator<Item = BranchEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchTrace {
+    type Item = &'a BranchEvent;
+    type IntoIter = std::slice::Iter<'a, BranchEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// A dynamic load trace: the sequence of load executions of one program
+/// run, in program order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadTrace {
+    events: Vec<LoadEvent>,
+}
+
+impl LoadTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        LoadTrace::default()
+    }
+
+    /// Appends one load execution.
+    pub fn push(&mut self, event: LoadEvent) {
+        self.events.push(event);
+    }
+
+    /// The events in program order.
+    #[must_use]
+    pub fn events(&self) -> &[LoadEvent] {
+        &self.events
+    }
+
+    /// Number of dynamic loads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, LoadEvent> {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<LoadEvent> for LoadTrace {
+    fn from_iter<I: IntoIterator<Item = LoadEvent>>(iter: I) -> Self {
+        LoadTrace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<LoadEvent> for LoadTrace {
+    fn extend<I: IntoIterator<Item = LoadEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a LoadTrace {
+    type Item = &'a LoadEvent;
+    type IntoIter = std::slice::Iter<'a, LoadEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pc: u64, taken: bool) -> BranchEvent {
+        BranchEvent {
+            pc,
+            target: pc + 0x40,
+            taken,
+        }
+    }
+
+    #[test]
+    fn static_branch_discovery() {
+        let trace: BranchTrace = [b(0x100, true), b(0x200, false), b(0x100, true)]
+            .into_iter()
+            .collect();
+        assert_eq!(trace.static_branches(), vec![0x100, 0x200]);
+        let counts = trace.execution_counts();
+        assert_eq!(counts[&0x100], 2);
+        assert_eq!(counts[&0x200], 1);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn load_trace_basics() {
+        let mut t = LoadTrace::new();
+        assert!(t.is_empty());
+        t.push(LoadEvent {
+            pc: 0x400,
+            value: 7,
+        });
+        t.extend([LoadEvent {
+            pc: 0x400,
+            value: 11,
+        }]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[1].value, 11);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shift-register histories: the global/local history registers the paper's
+//! architectures key their Markov models and prediction tables on.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum history length a [`HistoryRegister`] supports.
+pub const MAX_HISTORY: usize = 32;
+
+/// A fixed-length shift register of recent binary outcomes.
+///
+/// Bit 0 of [`HistoryRegister::value`] is the most recent outcome and bit
+/// `len-1` the oldest, matching the minterm convention of the logic
+/// minimizer: the history string `b_{N-1} … b_0` (oldest first when written
+/// out) is the integer whose bit *i* is `b_i`.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_traces::HistoryRegister;
+///
+/// let mut h = HistoryRegister::new(3);
+/// h.push(true);   // t-2 (oldest after the next two pushes)
+/// h.push(false);  // t-1
+/// h.push(true);   // t   (most recent)
+/// assert_eq!(h.value(), 0b101);
+/// assert!(h.is_full());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryRegister {
+    len: usize,
+    bits: u32,
+    seen: usize,
+}
+
+impl HistoryRegister {
+    /// Creates an empty history of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds [`MAX_HISTORY`].
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len > 0 && len <= MAX_HISTORY,
+            "history length must be in 1..={MAX_HISTORY}, got {len}"
+        );
+        HistoryRegister {
+            len,
+            bits: 0,
+            seen: 0,
+        }
+    }
+
+    /// Shifts in a new outcome as the most recent bit.
+    pub fn push(&mut self, outcome: bool) {
+        let mask = if self.len == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.len) - 1
+        };
+        self.bits = ((self.bits << 1) | u32::from(outcome)) & mask;
+        self.seen = (self.seen + 1).min(self.len);
+    }
+
+    /// The packed history, most recent outcome in bit 0.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.bits
+    }
+
+    /// History length in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the register has never been pushed. (A register is
+    /// never zero-length, so this refers to outcomes seen, not capacity.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// `true` once at least `len` outcomes have been shifted in, i.e. no
+    /// start-up bits remain undefined.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.seen == self.len
+    }
+
+    /// The outcome `age` steps back (0 = most recent), or `None` if that
+    /// position has not been filled yet or is out of range.
+    #[must_use]
+    pub fn outcome(&self, age: usize) -> Option<bool> {
+        if age < self.seen {
+            Some(self.bits >> age & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.bits = 0;
+        self.seen = 0;
+    }
+
+    /// Renders the history oldest-bit-first, like the paper writes
+    /// patterns (e.g. `"101"` means oldest=1, then 0, most recent 1).
+    #[must_use]
+    pub fn display(&self) -> String {
+        (0..self.len)
+            .rev()
+            .map(|i| if self.bits >> i & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_semantics() {
+        let mut h = HistoryRegister::new(4);
+        for b in [true, true, false, true] {
+            h.push(b);
+        }
+        // Oldest-first string is 1101; packed value has most recent at bit 0.
+        assert_eq!(h.display(), "1101");
+        assert_eq!(h.value(), 0b1101);
+        assert_eq!(h.outcome(0), Some(true));
+        assert_eq!(h.outcome(1), Some(false));
+        assert_eq!(h.outcome(3), Some(true));
+        // Old bits fall off.
+        h.push(false);
+        assert_eq!(h.display(), "1010");
+    }
+
+    #[test]
+    fn fill_tracking() {
+        let mut h = HistoryRegister::new(3);
+        assert!(h.is_empty());
+        assert!(!h.is_full());
+        assert_eq!(h.outcome(0), None);
+        h.push(true);
+        assert_eq!(h.outcome(0), Some(true));
+        assert_eq!(h.outcome(1), None);
+        h.push(false);
+        h.push(false);
+        assert!(h.is_full());
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.value(), 0);
+    }
+
+    #[test]
+    fn full_width_register() {
+        let mut h = HistoryRegister::new(32);
+        for _ in 0..40 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), u32::MAX);
+        h.push(false);
+        assert_eq!(h.value(), u32::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn zero_length_rejected() {
+        let _ = HistoryRegister::new(0);
+    }
+}

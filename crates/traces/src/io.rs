@@ -1,0 +1,226 @@
+//! Plain-text trace interchange formats.
+//!
+//! The reproduction's stand-in for ATOM trace files: one event per line,
+//! `#`-comments and blank lines ignored, hex (`0x…`) or decimal numbers.
+//!
+//! * branch traces: `PC TAKEN [TARGET]` with `TAKEN` ∈ {0, 1, T, N};
+//! * load traces: `PC VALUE`.
+
+use crate::events::{BranchEvent, BranchTrace, LoadEvent, LoadTrace};
+use std::fmt;
+
+/// Error produced when parsing a trace file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending input line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ParseTraceError> {
+    let parsed = match token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => token.parse(),
+    };
+    parsed.map_err(|_| ParseTraceError::new(line, format!("invalid {what} {token:?}")))
+}
+
+/// Parses a branch trace from its text form.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line number for any
+/// malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_traces::parse_branch_trace;
+///
+/// let t = parse_branch_trace("# two branches\n0x100 1 0x140\n0x104 N\n")?;
+/// assert_eq!(t.len(), 2);
+/// assert!(t.events()[0].taken);
+/// assert!(!t.events()[1].taken);
+/// # Ok::<(), fsmgen_traces::ParseTraceError>(())
+/// ```
+pub fn parse_branch_trace(text: &str) -> Result<BranchTrace, ParseTraceError> {
+    let mut trace = BranchTrace::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let pc = parse_u64(tokens.next().expect("non-empty line"), line, "pc")?;
+        let taken = match tokens.next() {
+            Some("1") | Some("T") | Some("t") => true,
+            Some("0") | Some("N") | Some("n") => false,
+            Some(other) => {
+                return Err(ParseTraceError::new(
+                    line,
+                    format!("invalid outcome {other:?}, expected 0/1/T/N"),
+                ))
+            }
+            None => return Err(ParseTraceError::new(line, "missing branch outcome")),
+        };
+        let target = match tokens.next() {
+            Some(t) => parse_u64(t, line, "target")?,
+            None => pc ^ 0x1000,
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(ParseTraceError::new(
+                line,
+                format!("unexpected trailing token {extra:?}"),
+            ));
+        }
+        trace.push(BranchEvent { pc, target, taken });
+    }
+    Ok(trace)
+}
+
+/// Formats a branch trace in the form [`parse_branch_trace`] accepts.
+#[must_use]
+pub fn format_branch_trace(trace: &BranchTrace) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(trace.len() * 24);
+    for e in trace {
+        let _ = writeln!(out, "{:#x} {} {:#x}", e.pc, u8::from(e.taken), e.target);
+    }
+    out
+}
+
+/// Parses a load trace from its text form (`PC VALUE` per line).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line number for any
+/// malformed line.
+pub fn parse_load_trace(text: &str) -> Result<LoadTrace, ParseTraceError> {
+    let mut trace = LoadTrace::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let pc = parse_u64(tokens.next().expect("non-empty line"), line, "pc")?;
+        let value = match tokens.next() {
+            Some(v) => parse_u64(v, line, "value")?,
+            None => return Err(ParseTraceError::new(line, "missing load value")),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(ParseTraceError::new(
+                line,
+                format!("unexpected trailing token {extra:?}"),
+            ));
+        }
+        trace.push(LoadEvent { pc, value });
+    }
+    Ok(trace)
+}
+
+/// Formats a load trace in the form [`parse_load_trace`] accepts.
+#[must_use]
+pub fn format_load_trace(trace: &LoadTrace) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(trace.len() * 24);
+    for e in trace {
+        let _ = writeln!(out, "{:#x} {:#x}", e.pc, e.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_round_trip() {
+        let mut t = BranchTrace::new();
+        for i in 0..50u64 {
+            t.push(BranchEvent {
+                pc: 0x1000 + i * 4,
+                target: 0x2000 + i,
+                taken: i % 3 == 0,
+            });
+        }
+        let parsed = parse_branch_trace(&format_branch_trace(&t)).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn load_round_trip() {
+        let mut t = LoadTrace::new();
+        for i in 0..50u64 {
+            t.push(LoadEvent {
+                pc: 0x4000 + i * 8,
+                value: i.wrapping_mul(0x9E37_79B9),
+            });
+        }
+        let parsed = parse_load_trace(&format_load_trace(&t)).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn comments_blanks_and_formats() {
+        let text = "# header\n\n256 T\n0x104 0 0x1f0\n  0x108 n  # inline\n";
+        let t = parse_branch_trace(text).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].pc, 256);
+        assert!(t.events()[0].taken);
+        assert_eq!(t.events()[1].target, 0x1f0);
+        assert!(!t.events()[2].taken);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_branch_trace("0x100 1\nbogus 1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_branch_trace("0x100 yes\n").unwrap_err();
+        assert!(err.to_string().contains("outcome"));
+
+        let err = parse_branch_trace("0x100\n").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+
+        let err = parse_branch_trace("0x100 1 0x200 extra\n").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+
+        let err = parse_load_trace("0x100\n").unwrap_err();
+        assert!(err.to_string().contains("missing load value"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(parse_branch_trace("").unwrap().is_empty());
+        assert!(parse_load_trace("# only comments\n").unwrap().is_empty());
+    }
+}

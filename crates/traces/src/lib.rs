@@ -1,0 +1,43 @@
+//! Trace containers and history machinery for predictor training.
+//!
+//! The design flow of Sherwood & Calder (ISCA 2001) starts "by tracing the
+//! target application suite to create a representative sequence of
+//! predictions". This crate holds those sequences: packed [`BitTrace`]s of
+//! binary outcomes, typed [`BranchTrace`]/[`LoadTrace`] event streams, and
+//! the shift-register [`HistoryRegister`] that indexes Markov models and
+//! history-based predictors.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_traces::{BitTrace, HistoryRegister};
+//!
+//! let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse()?;
+//! let mut history = HistoryRegister::new(2);
+//! let mut after_00 = 0usize;
+//! for bit in &t {
+//!     if history.is_full() && history.value() == 0b00 {
+//!         after_00 += 1;
+//!     }
+//!     history.push(bit);
+//! }
+//! assert_eq!(after_00, 5); // the paper counts 5 occurrences of "00"
+//! # Ok::<(), fsmgen_traces::ParseBitTraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bits;
+mod events;
+mod history;
+mod io;
+mod stats;
+
+pub use bits::{BitTrace, Iter, ParseBitTraceError};
+pub use events::{BranchEvent, BranchTrace, LoadEvent, LoadTrace};
+pub use history::{HistoryRegister, MAX_HISTORY};
+pub use io::{
+    format_branch_trace, format_load_trace, parse_branch_trace, parse_load_trace, ParseTraceError,
+};
+pub use stats::{branch_profiles, BitStats, BranchProfile};

@@ -1,0 +1,196 @@
+//! Descriptive statistics of behaviour traces: the quantities a designer
+//! inspects before choosing history lengths and pattern thresholds.
+
+use crate::bits::BitTrace;
+use crate::events::BranchTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary statistics of a 0/1 behaviour trace.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_traces::{BitStats, BitTrace};
+///
+/// let t: BitTrace = "1110 1110".parse()?;
+/// let s = BitStats::from_trace(&t);
+/// assert_eq!(s.len, 8);
+/// assert!((s.ones_fraction - 0.75).abs() < 1e-12);
+/// assert_eq!(s.run_lengths[2], 2, "two runs of three 1s");
+/// # Ok::<(), fsmgen_traces::ParseBitTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitStats {
+    /// Number of bits.
+    pub len: usize,
+    /// Fraction of ones.
+    pub ones_fraction: f64,
+    /// Fraction of positions whose bit differs from its predecessor
+    /// (1.0 = perfect alternation, 0.0 = constant).
+    pub transition_rate: f64,
+    /// Run-length histogram: `runs[k]` = number of maximal runs of
+    /// length `k+1`, capped at index 15 (longer runs count there).
+    pub run_lengths: Vec<usize>,
+}
+
+impl BitStats {
+    /// Computes statistics for a trace. An empty trace yields zeroed
+    /// statistics.
+    #[must_use]
+    pub fn from_trace(trace: &BitTrace) -> Self {
+        let mut run_lengths = vec![0usize; 16];
+        let mut transitions = 0usize;
+        let mut prev: Option<bool> = None;
+        let mut run = 0usize;
+        for bit in trace {
+            match prev {
+                Some(p) if p == bit => run += 1,
+                Some(_) => {
+                    transitions += 1;
+                    run_lengths[run.min(16) - 1] += 1;
+                    run = 1;
+                }
+                None => run = 1,
+            }
+            prev = Some(bit);
+        }
+        if run > 0 {
+            run_lengths[run.min(16) - 1] += 1;
+        }
+        BitStats {
+            len: trace.len(),
+            ones_fraction: trace.ones_fraction(),
+            transition_rate: if trace.len() > 1 {
+                transitions as f64 / (trace.len() - 1) as f64
+            } else {
+                0.0
+            },
+            run_lengths,
+        }
+    }
+
+    /// Mean maximal-run length (with the 16+ cap), or 0.0 for an empty
+    /// trace.
+    #[must_use]
+    pub fn mean_run_length(&self) -> f64 {
+        let runs: usize = self.run_lengths.iter().sum();
+        if runs == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .run_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i + 1) * n)
+            .sum();
+        total as f64 / runs as f64
+    }
+}
+
+/// Per-static-branch summary of a branch trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchProfile {
+    /// Dynamic executions.
+    pub executions: usize,
+    /// Taken fraction.
+    pub taken_fraction: f64,
+    /// Entropy of the outcome distribution in bits (0 = constant,
+    /// 1 = perfectly balanced) — the coarse "hardness" signal.
+    pub bias_entropy: f64,
+}
+
+/// Computes per-branch profiles for a branch trace, keyed by PC.
+#[must_use]
+pub fn branch_profiles(trace: &BranchTrace) -> BTreeMap<u64, BranchProfile> {
+    let mut counts: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for e in trace {
+        let c = counts.entry(e.pc).or_insert((0, 0));
+        c.0 += 1;
+        if e.taken {
+            c.1 += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(pc, (execs, taken))| {
+            let p = taken as f64 / execs.max(1) as f64;
+            let entropy = if p <= 0.0 || p >= 1.0 {
+                0.0
+            } else {
+                -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+            };
+            (
+                pc,
+                BranchProfile {
+                    executions: execs,
+                    taken_fraction: p,
+                    bias_entropy: entropy,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::BranchEvent;
+
+    #[test]
+    fn alternating_stats() {
+        let t: BitTrace = "010101010101".parse().unwrap();
+        let s = BitStats::from_trace(&t);
+        assert_eq!(s.len, 12);
+        assert!((s.transition_rate - 1.0).abs() < 1e-12);
+        assert_eq!(s.run_lengths[0], 12, "twelve runs of length 1");
+        assert!((s.mean_run_length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stats() {
+        let t: BitTrace = "1111".parse().unwrap();
+        let s = BitStats::from_trace(&t);
+        assert_eq!(s.transition_rate, 0.0);
+        assert_eq!(s.ones_fraction, 1.0);
+        assert_eq!(s.run_lengths[3], 1, "one run of length 4");
+    }
+
+    #[test]
+    fn long_runs_capped() {
+        let t: BitTrace = "1".repeat(40).parse().unwrap();
+        let s = BitStats::from_trace(&t);
+        assert_eq!(s.run_lengths[15], 1, "40-run lands in the 16+ bucket");
+        assert_eq!(s.mean_run_length(), 16.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroed() {
+        let s = BitStats::from_trace(&BitTrace::new());
+        assert_eq!(s.len, 0);
+        assert_eq!(s.mean_run_length(), 0.0);
+        assert_eq!(s.transition_rate, 0.0);
+    }
+
+    #[test]
+    fn branch_profiles_entropy() {
+        let mut t = BranchTrace::new();
+        for i in 0..100 {
+            t.push(BranchEvent {
+                pc: 0x10,
+                target: 0,
+                taken: true,
+            }); // constant
+            t.push(BranchEvent {
+                pc: 0x20,
+                target: 0,
+                taken: i % 2 == 0,
+            }); // balanced
+        }
+        let profiles = branch_profiles(&t);
+        assert_eq!(profiles[&0x10].bias_entropy, 0.0);
+        assert!((profiles[&0x20].bias_entropy - 1.0).abs() < 1e-9);
+        assert_eq!(profiles[&0x10].executions, 100);
+        assert!((profiles[&0x20].taken_fraction - 0.5).abs() < 1e-9);
+    }
+}

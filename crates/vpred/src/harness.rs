@@ -1,0 +1,193 @@
+//! The value-prediction evaluation harness: runs the stride predictor with
+//! a confidence estimator over a load trace and reports the paper's §6.4
+//! metrics — accuracy and coverage — plus the correctness bit-trace used
+//! to train FSM estimators.
+
+use crate::confidence::ConfidenceEstimator;
+use crate::stride::{TwoDeltaStride, ValuePrediction};
+use fsmgen_traces::{BitTrace, LoadTrace};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy/coverage statistics of one confidence-estimation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfidenceStats {
+    /// Dynamic loads for which the value table produced a prediction.
+    pub predictions: usize,
+    /// Predictions that were correct (regardless of confidence).
+    pub correct: usize,
+    /// Predictions marked confident.
+    pub confident: usize,
+    /// Predictions that were both confident and correct.
+    pub confident_correct: usize,
+}
+
+impl ConfidenceStats {
+    /// Accuracy: "the percent of value predictions that were marked as
+    /// confident, that were in fact correct predictions". `None` when
+    /// nothing was marked confident.
+    #[must_use]
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.confident > 0).then(|| self.confident_correct as f64 / self.confident as f64)
+    }
+
+    /// Coverage: "the percent of correct value predictions that were
+    /// allowed through by the confidence predictor". `None` when nothing
+    /// was correctly predicted.
+    #[must_use]
+    pub fn coverage(&self) -> Option<f64> {
+        (self.correct > 0).then(|| self.confident_correct as f64 / self.correct as f64)
+    }
+}
+
+/// Runs value prediction over `trace` with the given confidence estimator.
+///
+/// Per dynamic load: the stride table predicts; if it produced a value the
+/// estimator is queried and the outcome recorded; then both the table and
+/// the estimator are updated with the truth.
+pub fn run_confidence<E: ConfidenceEstimator + ?Sized>(
+    table: &mut TwoDeltaStride,
+    estimator: &mut E,
+    trace: &LoadTrace,
+) -> ConfidenceStats {
+    let mut stats = ConfidenceStats::default();
+    for load in trace {
+        let slot = table.index(load.pc);
+        if let ValuePrediction::Predicted(v) = table.predict(load.pc) {
+            let correct = v == load.value;
+            let confident = estimator.confident(slot);
+            stats.predictions += 1;
+            if correct {
+                stats.correct += 1;
+            }
+            if confident {
+                stats.confident += 1;
+                if correct {
+                    stats.confident_correct += 1;
+                }
+            }
+            estimator.update(slot, correct);
+        }
+        table.update(load.pc, load.value);
+    }
+    stats
+}
+
+/// Produces the confidence-training trace of §6.3: for every executed load
+/// that received a value prediction, a bit saying whether the prediction
+/// was correct. ("Each time a load was executed, we put into the trace
+/// whether the load was correctly value predicted (1) or not (0).")
+#[must_use]
+pub fn correctness_trace(table: &mut TwoDeltaStride, trace: &LoadTrace) -> BitTrace {
+    let mut bits = BitTrace::with_capacity(trace.len());
+    for load in trace {
+        if let ValuePrediction::Predicted(v) = table.predict(load.pc) {
+            bits.push(v == load.value);
+        }
+        table.update(load.pc, load.value);
+    }
+    bits
+}
+
+/// Builds the Markov model that matches *per-entry* confidence deployment:
+/// each value-table entry keeps its own correctness history, and every
+/// predicted load contributes one `(history, correct)` observation for its
+/// entry. This is the training mode the Figure 2 experiments use, since
+/// the deployed estimators (SUD counters or FSM instances) are per-entry
+/// exactly as in §6.1.
+///
+/// # Errors
+///
+/// Returns [`fsmgen::DesignError`] variants propagated from model
+/// construction (the order is validated by [`MarkovModel::new`]'s caller
+/// contract; an over-long order panics there).
+///
+/// [`MarkovModel::new`]: fsmgen::MarkovModel::new
+#[must_use]
+pub fn per_entry_correctness_model(
+    table: &mut TwoDeltaStride,
+    trace: &LoadTrace,
+    order: usize,
+) -> fsmgen::MarkovModel {
+    use fsmgen_traces::HistoryRegister;
+    let mut model = fsmgen::MarkovModel::new(order);
+    let mut histories: std::collections::BTreeMap<usize, HistoryRegister> =
+        std::collections::BTreeMap::new();
+    for load in trace {
+        let slot = table.index(load.pc);
+        if let ValuePrediction::Predicted(v) = table.predict(load.pc) {
+            let correct = v == load.value;
+            let h = histories
+                .entry(slot)
+                .or_insert_with(|| HistoryRegister::new(order));
+            if h.is_full() {
+                model.observe(h.value(), correct);
+            }
+            h.push(correct);
+        }
+        table.update(load.pc, load.value);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::AlwaysConfident;
+    use fsmgen_traces::LoadEvent;
+
+    fn strided_trace(n: usize) -> LoadTrace {
+        (0..n)
+            .map(|i| LoadEvent {
+                pc: 0x100,
+                value: 8 * i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn always_confident_has_full_coverage() {
+        let mut table = TwoDeltaStride::new(64);
+        let stats = run_confidence(&mut table, &mut AlwaysConfident, &strided_trace(100));
+        assert_eq!(stats.coverage(), Some(1.0));
+        // A pure stride is eventually perfectly predicted.
+        assert!(stats.accuracy().unwrap() > 0.9);
+        assert!(stats.predictions >= 97);
+    }
+
+    #[test]
+    fn correctness_trace_matches_stats() {
+        let trace = strided_trace(50);
+        let mut t1 = TwoDeltaStride::new(64);
+        let bits = correctness_trace(&mut t1, &trace);
+        let mut t2 = TwoDeltaStride::new(64);
+        let stats = run_confidence(&mut t2, &mut AlwaysConfident, &trace);
+        assert_eq!(bits.len(), stats.predictions);
+        assert_eq!(bits.count_ones(), stats.correct);
+    }
+
+    #[test]
+    fn empty_stats_have_no_rates() {
+        let stats = ConfidenceStats::default();
+        assert_eq!(stats.accuracy(), None);
+        assert_eq!(stats.coverage(), None);
+    }
+
+    #[test]
+    fn chaotic_values_are_incorrect() {
+        let trace: LoadTrace = (0..200u64)
+            .map(|i| {
+                // splitmix64-style hash: genuinely stride-free.
+                let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                LoadEvent {
+                    pc: 0x40,
+                    value: z ^ (z >> 31),
+                }
+            })
+            .collect();
+        let mut table = TwoDeltaStride::new(64);
+        let stats = run_confidence(&mut table, &mut AlwaysConfident, &trace);
+        assert!(stats.correct < stats.predictions / 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! Value prediction with pluggable confidence estimation.
+//!
+//! Implements the §6 evaluation of the FSM-predictor paper: a two-delta
+//! stride value predictor ([`TwoDeltaStride`], 2K tagged entries, loads
+//! only) whose per-entry confidence mechanism is swappable between
+//! saturating up/down counters ([`SudConfidence`], the prior art) and the
+//! automatically designed FSM estimators ([`FsmConfidence`]). The
+//! [`run_confidence`] harness produces the accuracy/coverage numbers of
+//! Figure 2, and [`correctness_trace`] extracts the §6.3 training stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen::Designer;
+//! use fsmgen_vpred::{
+//!     per_entry_correctness_model, run_confidence, FsmConfidence, TwoDeltaStride,
+//! };
+//! use fsmgen_workloads::{Input, ValueBenchmark};
+//!
+//! // Train a confidence FSM on one benchmark's per-entry correctness...
+//! let train = ValueBenchmark::Li.trace(Input::TRAIN, 20_000);
+//! let model =
+//!     per_entry_correctness_model(&mut TwoDeltaStride::paper_default(), &train, 4);
+//! let design = Designer::new(4).prob_threshold(0.8).design_from_model(model)?;
+//!
+//! // ...and evaluate it on another input.
+//! let eval = ValueBenchmark::Li.trace(Input::EVAL, 20_000);
+//! let mut table = TwoDeltaStride::paper_default();
+//! let mut fsm = FsmConfidence::per_entry(table.len(), design.into_fsm(), "fsm-h4");
+//! let stats = run_confidence(&mut table, &mut fsm, &eval);
+//! assert!(stats.accuracy().unwrap() > 0.5);
+//! # Ok::<(), fsmgen::DesignError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod confidence;
+mod harness;
+mod metrics;
+mod predictors;
+mod recovery;
+mod stride;
+
+pub use confidence::{
+    AlwaysConfident, ConfidenceEstimator, FsmConfidence, SudConfidence, SudConfig,
+};
+pub use harness::{
+    correctness_trace, per_entry_correctness_model, run_confidence, ConfidenceStats,
+};
+pub use metrics::ConfidenceMetrics;
+pub use predictors::{family_accuracy, Fcm, Hybrid, LastValue, ValuePredictor};
+pub use recovery::RecoveryModel;
+pub use stride::{TwoDeltaStride, ValuePrediction};

@@ -1,0 +1,108 @@
+//! The confidence-estimation quality metrics of Grunwald, Klauser, Manne
+//! & Pleszkun (ISCA 1998), cited in §3.1: "several new metrics for
+//! evaluating confidence estimators". They treat the estimator as a
+//! binary classifier of prediction correctness:
+//!
+//! * **SENS** (sensitivity) — fraction of correct predictions flagged
+//!   high-confidence (identical to the paper's *coverage*);
+//! * **SPEC** (specificity) — fraction of incorrect predictions flagged
+//!   low-confidence;
+//! * **PVP** (predictive value of a positive) — probability a
+//!   high-confidence flag is right (identical to *accuracy*);
+//! * **PVN** (predictive value of a negative) — probability a
+//!   low-confidence flag is right.
+//!
+//! Different consumers optimise different corners: squash-recovery value
+//! prediction wants high PVP; pipeline gating wants high SPEC and PVN.
+
+use crate::harness::ConfidenceStats;
+use serde::{Deserialize, Serialize};
+
+/// The four Grunwald metrics, derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceMetrics {
+    /// Sensitivity = coverage: `HC∧correct / correct`.
+    pub sens: Option<f64>,
+    /// Specificity: `LC∧incorrect / incorrect`.
+    pub spec: Option<f64>,
+    /// Predictive value of a positive = accuracy: `HC∧correct / HC`.
+    pub pvp: Option<f64>,
+    /// Predictive value of a negative: `LC∧incorrect / LC`.
+    pub pvn: Option<f64>,
+}
+
+impl ConfidenceMetrics {
+    /// Derives all four metrics from harness statistics. Each is `None`
+    /// when its denominator is zero.
+    #[must_use]
+    pub fn from_stats(stats: &ConfidenceStats) -> Self {
+        let incorrect = stats.predictions - stats.correct;
+        let low_conf = stats.predictions - stats.confident;
+        let lc_incorrect = incorrect - (stats.confident - stats.confident_correct);
+        ConfidenceMetrics {
+            sens: ratio(stats.confident_correct, stats.correct),
+            spec: ratio(lc_incorrect, incorrect),
+            pvp: ratio(stats.confident_correct, stats.confident),
+            pvn: ratio(lc_incorrect, low_conf),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_identities() {
+        // 100 predictions: 60 correct; 50 flagged confident of which 45
+        // correct. So: HC∧C=45, HC∧I=5, LC∧C=15, LC∧I=35.
+        let stats = ConfidenceStats {
+            predictions: 100,
+            correct: 60,
+            confident: 50,
+            confident_correct: 45,
+        };
+        let m = ConfidenceMetrics::from_stats(&stats);
+        assert_eq!(m.sens, Some(45.0 / 60.0));
+        assert_eq!(m.spec, Some(35.0 / 40.0));
+        assert_eq!(m.pvp, Some(45.0 / 50.0));
+        assert_eq!(m.pvn, Some(35.0 / 50.0));
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        let m = ConfidenceMetrics::from_stats(&ConfidenceStats::default());
+        assert_eq!(m.sens, None);
+        assert_eq!(m.spec, None);
+        assert_eq!(m.pvp, None);
+        assert_eq!(m.pvn, None);
+
+        // All predictions confident: PVN undefined.
+        let stats = ConfidenceStats {
+            predictions: 10,
+            correct: 7,
+            confident: 10,
+            confident_correct: 7,
+        };
+        let m = ConfidenceMetrics::from_stats(&stats);
+        assert_eq!(m.pvn, None);
+        assert_eq!(m.pvp, Some(0.7));
+    }
+
+    #[test]
+    fn matches_accuracy_and_coverage() {
+        let stats = ConfidenceStats {
+            predictions: 200,
+            correct: 120,
+            confident: 80,
+            confident_correct: 70,
+        };
+        let m = ConfidenceMetrics::from_stats(&stats);
+        assert_eq!(m.pvp, stats.accuracy());
+        assert_eq!(m.sens, stats.coverage());
+    }
+}

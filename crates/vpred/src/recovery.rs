@@ -1,0 +1,129 @@
+//! Misprediction-recovery cost models (§6.2).
+//!
+//! "A very accurate SUD counter was needed for mispredicted values when
+//! using squash recovery to obtain increases in performance, but this
+//! resulted in low coverage of potential value predictions. In contrast,
+//! when value prediction used re-execution recovery, it did not have to
+//! be as accurate, since the miss penalty is small, and the SUD counter
+//! could instead concentrate on achieving a high coverage."
+//!
+//! [`RecoveryModel`] turns a confidence run's confusion matrix into net
+//! cycles saved, letting that §6.2 narrative be computed rather than
+//! asserted: under squash recovery the best operating point sits at high
+//! accuracy/low coverage; under re-execution it moves to high coverage.
+
+use crate::harness::ConfidenceStats;
+use serde::{Deserialize, Serialize};
+
+/// A linear payoff model for speculative value use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryModel {
+    /// Cycles saved by each correct, confident value prediction (the
+    /// dependence-height benefit of speculating).
+    pub benefit: f64,
+    /// Cycles lost per wrong, confident prediction (the recovery cost).
+    pub penalty: f64,
+}
+
+impl RecoveryModel {
+    /// Squash (pipeline-flush) recovery: large penalty, as §6.2 describes.
+    #[must_use]
+    pub fn squash() -> Self {
+        RecoveryModel {
+            benefit: 2.0,
+            penalty: 12.0,
+        }
+    }
+
+    /// Re-execution (selective reissue) recovery: small penalty.
+    #[must_use]
+    pub fn reexecute() -> Self {
+        RecoveryModel {
+            benefit: 2.0,
+            penalty: 1.0,
+        }
+    }
+
+    /// Net cycles saved over the run: confident-correct predictions pay
+    /// `benefit`, confident-wrong ones cost `penalty`; unconfident
+    /// predictions are not used and contribute nothing.
+    #[must_use]
+    pub fn net_cycles(&self, stats: &ConfidenceStats) -> f64 {
+        let wrong_confident = (stats.confident - stats.confident_correct) as f64;
+        stats.confident_correct as f64 * self.benefit - wrong_confident * self.penalty
+    }
+
+    /// Net cycles saved per dynamic value prediction (normalised for
+    /// comparing runs of different lengths).
+    #[must_use]
+    pub fn net_cycles_per_prediction(&self, stats: &ConfidenceStats) -> f64 {
+        self.net_cycles(stats) / stats.predictions.max(1) as f64
+    }
+
+    /// The break-even accuracy: confident predictions are profitable only
+    /// when accuracy exceeds `penalty / (benefit + penalty)`.
+    #[must_use]
+    pub fn break_even_accuracy(&self) -> f64 {
+        self.penalty / (self.benefit + self.penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(predictions: usize, correct: usize, confident: usize, cc: usize) -> ConfidenceStats {
+        ConfidenceStats {
+            predictions,
+            correct,
+            confident,
+            confident_correct: cc,
+        }
+    }
+
+    #[test]
+    fn break_even_points() {
+        // Squash: 12 / 14 ≈ 85.7% accuracy needed; re-exec: 1/3 ≈ 33%.
+        assert!((RecoveryModel::squash().break_even_accuracy() - 12.0 / 14.0).abs() < 1e-12);
+        assert!((RecoveryModel::reexecute().break_even_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squash_prefers_accuracy_reexec_prefers_coverage() {
+        // Two estimators: a conservative one (high accuracy, low
+        // coverage) and a liberal one (lower accuracy, high coverage).
+        let conservative = stats(1000, 500, 100, 95); // 95% acc, 19% cov
+        let liberal = stats(1000, 500, 600, 450); // 75% acc, 90% cov
+
+        let squash = RecoveryModel::squash();
+        assert!(
+            squash.net_cycles(&conservative) > squash.net_cycles(&liberal),
+            "squash recovery must favour the accurate estimator"
+        );
+
+        let reexec = RecoveryModel::reexecute();
+        assert!(
+            reexec.net_cycles(&liberal) > reexec.net_cycles(&conservative),
+            "re-execution recovery must favour the high-coverage estimator"
+        );
+    }
+
+    #[test]
+    fn unprofitable_below_break_even() {
+        let m = RecoveryModel::squash();
+        // 80% accuracy is below squash break-even (85.7%): net negative.
+        let s = stats(1000, 500, 100, 80);
+        assert!(m.net_cycles(&s) < 0.0);
+        assert!(m.net_cycles_per_prediction(&s) < 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let m = RecoveryModel::reexecute();
+        assert_eq!(m.net_cycles(&ConfidenceStats::default()), 0.0);
+        assert_eq!(
+            m.net_cycles_per_prediction(&ConfidenceStats::default()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The two-delta stride value predictor (§6.1).
+//!
+//! "We chose to use the two-delta stride predictor, which only replaces
+//! the predicted stride with a new stride if that new stride has been seen
+//! twice in a row. Each entry contains a tag, the predicted value, the
+//! predicted stride, the last stride seen, and a saturating up and down
+//! confidence counter. We use a table size of 2K entries ... We performed
+//! value prediction for only load instructions."
+//!
+//! The confidence counter lives outside this type (see
+//! [`crate::confidence`]) so different estimators can be swapped in —
+//! that is the whole point of the paper's §6 experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one value prediction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValuePrediction {
+    /// The table has history for this load and predicts the given value.
+    Predicted(u64),
+    /// Tag miss or cold entry: no prediction is made this time.
+    NoPrediction,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u64,
+    last_value: u64,
+    stride: u64,
+    last_stride: u64,
+    /// 0 = empty, 1 = one value seen, 2 = warm (predicting).
+    warmth: u8,
+}
+
+/// A tagged, direct-mapped two-delta stride value predictor.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_vpred::{TwoDeltaStride, ValuePrediction};
+///
+/// let mut vp = TwoDeltaStride::paper_default();
+/// // A strided load: 8, 16, 24, ... — the stride must be seen twice
+/// // before it is adopted (that is the "two-delta" rule).
+/// vp.update(0x40, 8);
+/// vp.update(0x40, 16);
+/// vp.update(0x40, 24);
+/// assert_eq!(vp.predict(0x40), ValuePrediction::Predicted(32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoDeltaStride {
+    entries: Vec<Entry>,
+}
+
+impl TwoDeltaStride {
+    /// The paper's configuration: 2K entries.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TwoDeltaStride::new(2048)
+    }
+
+    /// Creates a predictor with `entries` direct-mapped, tagged entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        TwoDeltaStride {
+            entries: vec![Entry::default(); entries],
+        }
+    }
+
+    /// The table index a PC maps to; exposed so per-entry confidence
+    /// estimators can mirror the table layout exactly.
+    #[must_use]
+    pub fn index(&self, pc: u64) -> usize {
+        (pc >> 3) as usize & (self.entries.len() - 1)
+    }
+
+    /// Number of table entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table has no entries (never; API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Predicts the next value of the load at `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u64) -> ValuePrediction {
+        let e = &self.entries[self.index(pc)];
+        if e.tag == pc && e.warmth >= 2 {
+            ValuePrediction::Predicted(e.last_value.wrapping_add(e.stride))
+        } else {
+            ValuePrediction::NoPrediction
+        }
+    }
+
+    /// Informs the predictor of the actual loaded value, applying the
+    /// two-delta update rule.
+    pub fn update(&mut self, pc: u64, value: u64) {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        if e.tag != pc {
+            *e = Entry {
+                tag: pc,
+                last_value: value,
+                stride: 0,
+                last_stride: 0,
+                warmth: 1,
+            };
+            return;
+        }
+        let new_stride = value.wrapping_sub(e.last_value);
+        // Two-delta: only adopt the stride once seen twice in a row.
+        if new_stride == e.last_stride {
+            e.stride = new_stride;
+        }
+        e.last_stride = new_stride;
+        e.last_value = value;
+        e.warmth = e.warmth.saturating_add(1).min(2);
+    }
+
+    /// Storage cost in bits (tag 61 + value 64 + stride 16 + last stride
+    /// 16 + warmth 2 per entry; the confidence counter is charged by the
+    /// estimator).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.entries.len() * (61 + 64 + 16 + 16 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_entry_makes_no_prediction() {
+        let mut vp = TwoDeltaStride::new(64);
+        assert_eq!(vp.predict(0x10), ValuePrediction::NoPrediction);
+        vp.update(0x10, 100);
+        assert_eq!(vp.predict(0x10), ValuePrediction::NoPrediction);
+        vp.update(0x10, 100);
+        assert_eq!(vp.predict(0x10), ValuePrediction::Predicted(100));
+    }
+
+    #[test]
+    fn constant_values_predicted() {
+        let mut vp = TwoDeltaStride::new(64);
+        for _ in 0..5 {
+            vp.update(0x20, 42);
+        }
+        assert_eq!(vp.predict(0x20), ValuePrediction::Predicted(42));
+    }
+
+    #[test]
+    fn stride_tracking() {
+        let mut vp = TwoDeltaStride::new(64);
+        for v in [10u64, 20, 30, 40] {
+            vp.update(0x30, v);
+        }
+        assert_eq!(vp.predict(0x30), ValuePrediction::Predicted(50));
+    }
+
+    #[test]
+    fn two_delta_filters_one_off_strides() {
+        let mut vp = TwoDeltaStride::new(64);
+        for v in [10u64, 20, 30] {
+            vp.update(0x30, v); // stride 10 established
+        }
+        vp.update(0x30, 95); // one-off jump (stride 65, seen once)
+                             // Two-delta keeps the old stride 10: prediction = 95 + 10.
+        assert_eq!(vp.predict(0x30), ValuePrediction::Predicted(105));
+        // But a repeated new stride is adopted.
+        vp.update(0x30, 160); // stride 65 again -> adopted
+        assert_eq!(vp.predict(0x30), ValuePrediction::Predicted(225));
+    }
+
+    #[test]
+    fn tag_conflict_reallocates() {
+        let mut vp = TwoDeltaStride::new(4);
+        for v in [1u64, 2, 3] {
+            vp.update(0x8, v);
+        }
+        let alias = 0x8 + 8 * 4; // same index, different tag
+        vp.update(alias, 7);
+        assert_eq!(vp.predict(0x8), ValuePrediction::NoPrediction);
+        assert_eq!(vp.predict(alias), ValuePrediction::NoPrediction); // warming
+        vp.update(alias, 7);
+        assert_eq!(vp.predict(alias), ValuePrediction::Predicted(7));
+    }
+
+    #[test]
+    fn negative_strides_via_wrapping() {
+        let mut vp = TwoDeltaStride::new(64);
+        for v in [100u64, 90, 80] {
+            vp.update(0x40, v);
+        }
+        assert_eq!(vp.predict(0x40), ValuePrediction::Predicted(70));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for value prediction and confidence estimation:
+//! confusion-matrix invariants, stride predictor correctness on exact
+//! arithmetic sequences, and metric ranges.
+
+use fsmgen_automata::compile_patterns;
+use fsmgen_traces::{LoadEvent, LoadTrace};
+use fsmgen_vpred::{
+    family_accuracy, run_confidence, ConfidenceMetrics, Fcm, FsmConfidence, LastValue,
+    SudConfidence, SudConfig, TwoDeltaStride, ValuePredictor,
+};
+use proptest::prelude::*;
+
+fn load_trace_strategy() -> impl Strategy<Value = LoadTrace> {
+    proptest::collection::vec((0u64..16, 0u64..1000), 1..300).prop_map(|events| {
+        events
+            .into_iter()
+            .map(|(slot, value)| LoadEvent {
+                pc: 0x8000 + slot * 8,
+                value,
+            })
+            .collect()
+    })
+}
+
+fn sud_strategy() -> impl Strategy<Value = SudConfig> {
+    (
+        1u32..40,
+        prop_oneof![Just(u32::MAX), (1u32..10).prop_map(|p| p)],
+        0u32..=100,
+    )
+        .prop_map(|(max, penalty, threshold_pct)| SudConfig {
+            max,
+            penalty,
+            threshold_pct,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The confusion matrix is internally consistent for any estimator
+    /// and trace.
+    #[test]
+    fn confidence_stats_invariants(trace in load_trace_strategy(), cfg in sud_strategy()) {
+        let mut table = TwoDeltaStride::new(64);
+        let mut est = SudConfidence::new(table.len(), cfg);
+        let stats = run_confidence(&mut table, &mut est, &trace);
+        prop_assert!(stats.correct <= stats.predictions);
+        prop_assert!(stats.confident <= stats.predictions);
+        prop_assert!(stats.confident_correct <= stats.confident);
+        prop_assert!(stats.confident_correct <= stats.correct);
+        prop_assert!(stats.predictions <= trace.len());
+        for v in [stats.accuracy(), stats.coverage()].into_iter().flatten() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// All four Grunwald metrics stay in [0, 1] whenever defined.
+    #[test]
+    fn metrics_are_probabilities(trace in load_trace_strategy(), cfg in sud_strategy()) {
+        let mut table = TwoDeltaStride::new(64);
+        let mut est = SudConfidence::new(table.len(), cfg);
+        let stats = run_confidence(&mut table, &mut est, &trace);
+        let m = ConfidenceMetrics::from_stats(&stats);
+        for v in [m.sens, m.spec, m.pvp, m.pvn].into_iter().flatten() {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    /// Two-delta stride predicts exact arithmetic sequences perfectly
+    /// after the two-sample warmup.
+    #[test]
+    fn stride_sequences_predicted(start in 0u64..1_000_000, stride in 0u64..10_000, n in 4usize..100) {
+        let trace: LoadTrace = (0..n as u64)
+            .map(|i| LoadEvent {
+                pc: 0x100,
+                value: start.wrapping_add(stride.wrapping_mul(i)),
+            })
+            .collect();
+        let mut vp = TwoDeltaStride::new(64);
+        let mut wrong_after_warmup = 0;
+        for (i, e) in trace.iter().enumerate() {
+            if let fsmgen_vpred::ValuePrediction::Predicted(v) = vp.predict(e.pc) {
+                if i >= 3 && v != e.value {
+                    wrong_after_warmup += 1;
+                }
+            }
+            vp.update(e.pc, e.value);
+        }
+        prop_assert_eq!(wrong_after_warmup, 0);
+    }
+
+    /// family_accuracy never reports more correct than predictions, nor
+    /// more predictions than loads, for any predictor in the family.
+    #[test]
+    fn family_accounting(trace in load_trace_strategy()) {
+        let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
+            Box::new(TwoDeltaStride::new(64)),
+            Box::new(LastValue::new(64)),
+            Box::new(Fcm::new(64, 256, 2)),
+        ];
+        for p in &mut predictors {
+            let (correct, predictions) = family_accuracy(p.as_mut(), &trace);
+            prop_assert!(correct <= predictions);
+            prop_assert!(predictions <= trace.len());
+        }
+    }
+
+    /// A per-entry FSM estimator keyed on "last two correct" is exactly
+    /// as confident as the ground-truth history says.
+    #[test]
+    fn fsm_confidence_matches_ground_truth(trace in load_trace_strategy()) {
+        let machine = compile_patterns(&[vec![Some(true), Some(true)]]);
+        let mut table = TwoDeltaStride::new(64);
+        let mut est = FsmConfidence::per_entry(table.len(), machine, "cc2");
+        // Track the true per-slot correctness history alongside.
+        let mut truth: std::collections::BTreeMap<usize, (bool, bool)> =
+            std::collections::BTreeMap::new();
+        for load in &trace {
+            let slot = table.index(load.pc);
+            if let fsmgen_vpred::ValuePrediction::Predicted(v) = table.predict(load.pc) {
+                let expected = truth.get(&slot).copied().is_some_and(|(a, b)| a && b);
+                prop_assert_eq!(
+                    fsmgen_vpred::ConfidenceEstimator::confident(&mut est, slot),
+                    expected
+                );
+                let correct = v == load.value;
+                fsmgen_vpred::ConfidenceEstimator::update(&mut est, slot, correct);
+                let prev = truth.get(&slot).copied().unwrap_or((false, false));
+                truth.insert(slot, (prev.1, correct));
+            }
+            table.update(load.pc, load.value);
+        }
+    }
+}

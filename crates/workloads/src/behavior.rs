@@ -1,0 +1,184 @@
+//! Per-branch behaviour models.
+//!
+//! Each static branch in a synthetic program carries a [`BranchBehavior`]
+//! describing how its outcome is produced. The behaviours encode the
+//! structural patterns the paper's predictors exploit or suffer from:
+//! loop trip counts (local history), global-history correlation (what the
+//! custom FSMs capture), static bias (what bimodal counters capture) and
+//! noise (what nothing captures).
+
+use fsmgen_traces::HistoryRegister;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a static branch decides its outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// Statically biased: taken with the given probability, independently.
+    Biased {
+        /// Probability of "taken".
+        taken_prob: f64,
+    },
+    /// Loop-exit style: taken `trip_count - 1` times, then not-taken once
+    /// (the backward-branch convention). Captured by local history /
+    /// loop predictors, poorly by short global history.
+    LoopExit {
+        /// Iterations per loop visit.
+        trip_count: u32,
+    },
+    /// Correlated with earlier *global* outcomes: the outcome is the XOR of
+    /// the global-history bits at the given ages (1 = previous branch),
+    /// optionally inverted, and flipped with probability `noise`.
+    ///
+    /// This is the behaviour class the paper's per-branch FSMs are built
+    /// for: "it is better to concentrate on capturing global correlation"
+    /// (§7.3).
+    GlobalCorrelated {
+        /// History ages (in branches back) whose outcomes are XORed.
+        ages: Vec<u8>,
+        /// Invert the correlation.
+        invert: bool,
+        /// Probability the correlated outcome is flipped.
+        noise: f64,
+    },
+    /// Repeating local pattern (period-k behaviour such as unrolled-loop
+    /// guards). Captured by local history of length >= period.
+    Periodic {
+        /// The repeating outcome pattern.
+        pattern: Vec<bool>,
+    },
+}
+
+impl BranchBehavior {
+    /// Evaluates the next outcome.
+    ///
+    /// `global` is the global branch-history register (most recent outcome
+    /// in bit 0), `local_step` counts this branch's own executions, and
+    /// `rng` supplies noise.
+    pub fn outcome(&self, global: &HistoryRegister, local_step: u64, rng: &mut StdRng) -> bool {
+        match self {
+            BranchBehavior::Biased { taken_prob } => rng.random_bool(taken_prob.clamp(0.0, 1.0)),
+            BranchBehavior::LoopExit { trip_count } => {
+                let t = u64::from((*trip_count).max(1));
+                local_step % t != t - 1
+            }
+            BranchBehavior::GlobalCorrelated {
+                ages,
+                invert,
+                noise,
+            } => {
+                let mut v = *invert;
+                for &age in ages {
+                    // Ages are 1-based (1 = the most recent branch). An
+                    // unfilled history position contributes false.
+                    let bit = age
+                        .checked_sub(1)
+                        .and_then(|a| global.outcome(a as usize))
+                        .unwrap_or(false);
+                    v ^= bit;
+                }
+                if *noise > 0.0 && rng.random_bool((*noise).clamp(0.0, 1.0)) {
+                    v = !v;
+                }
+                v
+            }
+            BranchBehavior::Periodic { pattern } => {
+                if pattern.is_empty() {
+                    false
+                } else {
+                    pattern[(local_step % pattern.len() as u64) as usize]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn biased_extremes() {
+        let mut r = rng();
+        let g = HistoryRegister::new(4);
+        let always = BranchBehavior::Biased { taken_prob: 1.0 };
+        let never = BranchBehavior::Biased { taken_prob: 0.0 };
+        for step in 0..50 {
+            assert!(always.outcome(&g, step, &mut r));
+            assert!(!never.outcome(&g, step, &mut r));
+        }
+    }
+
+    #[test]
+    fn loop_exit_shape() {
+        let mut r = rng();
+        let g = HistoryRegister::new(4);
+        let b = BranchBehavior::LoopExit { trip_count: 4 };
+        let outcomes: Vec<bool> = (0..8).map(|s| b.outcome(&g, s, &mut r)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn global_correlation_tracks_history() {
+        let mut r = rng();
+        let b = BranchBehavior::GlobalCorrelated {
+            ages: vec![2],
+            invert: false,
+            noise: 0.0,
+        };
+        let mut g = HistoryRegister::new(8);
+        g.push(true); // age 2 after next push
+        g.push(false); // age 1
+        assert!(b.outcome(&g, 0, &mut r)); // bit two back is 1
+        g.push(false);
+        g.push(false);
+        assert!(!b.outcome(&g, 1, &mut r));
+    }
+
+    #[test]
+    fn xor_correlation() {
+        let mut r = rng();
+        let b = BranchBehavior::GlobalCorrelated {
+            ages: vec![1, 2],
+            invert: true,
+            noise: 0.0,
+        };
+        let mut g = HistoryRegister::new(8);
+        g.push(true);
+        g.push(false);
+        // ages 1,2 = (false, true) -> xor = true, inverted -> false.
+        assert!(!b.outcome(&g, 0, &mut r));
+    }
+
+    #[test]
+    fn periodic_repeats() {
+        let mut r = rng();
+        let g = HistoryRegister::new(4);
+        let b = BranchBehavior::Periodic {
+            pattern: vec![true, true, false],
+        };
+        let outs: Vec<bool> = (0..6).map(|s| b.outcome(&g, s, &mut r)).collect();
+        assert_eq!(outs, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn unfilled_history_defaults_false() {
+        let mut r = rng();
+        let b = BranchBehavior::GlobalCorrelated {
+            ages: vec![5],
+            invert: false,
+            noise: 0.0,
+        };
+        let g = HistoryRegister::new(8); // empty
+        assert!(!b.outcome(&g, 0, &mut r));
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic benchmark workloads for predictor training and evaluation.
+//!
+//! The paper's methodology (§5) traces SPEC95 and MediaBench binaries with
+//! ATOM on an Alpha 21264. Neither the binaries nor ATOM are available to
+//! this reproduction, so this crate provides *synthetic benchmark models*:
+//! small structured programs ([`Program`]) whose branches carry behaviour
+//! models ([`BranchBehavior`]) encoding the published characteristics of
+//! each benchmark, and load-value generators ([`ValueBenchmark`]) whose
+//! streams exercise a stride value predictor the way the paper's
+//! benchmarks do. See DESIGN.md for the substitution rationale.
+//!
+//! Every trace is a deterministic function of `(benchmark, Input)`;
+//! training on [`Input::TRAIN`] and evaluating on [`Input::EVAL`]
+//! reproduces the paper's `custom-diff` cross-input experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_workloads::{BranchBenchmark, Input};
+//!
+//! let trace = BranchBenchmark::Ijpeg.trace(Input::TRAIN, 10_000);
+//! assert!(trace.len() >= 10_000);
+//! let taken = trace.iter().filter(|e| e.taken).count();
+//! assert!(taken > 0 && taken < trace.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod behavior;
+mod branch_suites;
+mod program;
+pub mod simpoint;
+mod values;
+
+pub use behavior::BranchBehavior;
+pub use branch_suites::{BranchBenchmark, Input};
+pub use program::{Program, StaticBranch, Stmt};
+pub use values::{LoadBehavior, ValueBenchmark};

@@ -1,0 +1,277 @@
+//! Synthetic structured programs: the trace generator standing in for the
+//! ATOM-instrumented Alpha binaries of the paper's methodology (§5).
+//!
+//! A [`Program`] is a small structured control-flow skeleton — straight-line
+//! branches and do-while loops — whose branches carry [`BranchBehavior`]
+//! models. Executing it produces a [`BranchTrace`] with the same
+//! *learnable structure* real traces have: a global history stream where
+//! correlated branches observe consistent predecessor outcomes, loops
+//! produce trip-count patterns, and noise bounds achievable accuracy.
+
+use crate::behavior::BranchBehavior;
+use fsmgen_traces::{BranchEvent, BranchTrace, HistoryRegister};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Global-history length maintained while executing (generously longer
+/// than any predictor's history).
+const EXEC_HISTORY: usize = 24;
+
+/// A static conditional branch in a synthetic program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticBranch {
+    /// Instruction address; must be unique within the program.
+    pub pc: u64,
+    /// Outcome model.
+    pub behavior: BranchBehavior,
+}
+
+/// One statement of a synthetic program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A single conditional branch.
+    Branch(StaticBranch),
+    /// A do-while loop: the body executes, then `latch` is evaluated; while
+    /// taken, the body repeats. The latch behaviour is typically
+    /// [`BranchBehavior::LoopExit`].
+    Loop {
+        /// The backward latch branch.
+        latch: StaticBranch,
+        /// Statements of the loop body.
+        body: Vec<Stmt>,
+    },
+    /// An if-then block: `guard` is evaluated; when taken, the body
+    /// executes. Creates input-dependent global history interleavings.
+    If {
+        /// The guard branch.
+        guard: StaticBranch,
+        /// Statements executed when the guard is taken.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A synthetic program: a statement list executed repeatedly until the
+/// requested number of dynamic branches has been produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a program from its top-level statements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program contains no branches or duplicate PCs.
+    #[must_use]
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        let program = Program { stmts };
+        let pcs = program.static_pcs();
+        assert!(!pcs.is_empty(), "a program needs at least one branch");
+        let unique: std::collections::BTreeSet<u64> = pcs.iter().copied().collect();
+        assert_eq!(unique.len(), pcs.len(), "duplicate branch PCs in program");
+        program
+    }
+
+    /// All static branch PCs, in program order.
+    #[must_use]
+    pub fn static_pcs(&self) -> Vec<u64> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<u64>) {
+            for s in stmts {
+                match s {
+                    Stmt::Branch(b) => out.push(b.pc),
+                    Stmt::Loop { latch, body } => {
+                        walk(body, out);
+                        out.push(latch.pc);
+                    }
+                    Stmt::If { guard, body } => {
+                        out.push(guard.pc);
+                        walk(body, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.stmts, &mut out);
+        out
+    }
+
+    /// Executes the program until at least `min_branches` dynamic branches
+    /// have been emitted (finishing the current top-level pass), using the
+    /// given seed. Equal seeds give identical traces; different seeds model
+    /// different program inputs.
+    #[must_use]
+    pub fn execute(&self, min_branches: usize, seed: u64) -> BranchTrace {
+        let mut exec = Executor {
+            rng: StdRng::seed_from_u64(seed),
+            global: HistoryRegister::new(EXEC_HISTORY),
+            local_steps: BTreeMap::new(),
+            trace: BranchTrace::new(),
+        };
+        while exec.trace.len() < min_branches {
+            exec.run_block(&self.stmts);
+        }
+        exec.trace
+    }
+}
+
+struct Executor {
+    rng: StdRng,
+    global: HistoryRegister,
+    local_steps: BTreeMap<u64, u64>,
+    trace: BranchTrace,
+}
+
+impl Executor {
+    fn run_block(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Branch(b) => {
+                    self.execute_branch(b);
+                }
+                Stmt::Loop { latch, body } => {
+                    // Do-while with a safety bound against pathological
+                    // always-taken latches.
+                    for _ in 0..10_000 {
+                        self.run_block(body);
+                        if !self.execute_branch(latch) {
+                            break;
+                        }
+                    }
+                }
+                Stmt::If { guard, body } => {
+                    if self.execute_branch(guard) {
+                        self.run_block(body);
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute_branch(&mut self, branch: &StaticBranch) -> bool {
+        let step = self.local_steps.entry(branch.pc).or_insert(0);
+        let outcome = branch.behavior.outcome(&self.global, *step, &mut self.rng);
+        *step += 1;
+        self.global.push(outcome);
+        self.trace.push(BranchEvent {
+            pc: branch.pc,
+            target: branch.pc ^ 0x1000,
+            taken: outcome,
+        });
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased(pc: u64, p: f64) -> StaticBranch {
+        StaticBranch {
+            pc,
+            behavior: BranchBehavior::Biased { taken_prob: p },
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let prog = Program::new(vec![
+            Stmt::Branch(biased(0x100, 0.7)),
+            Stmt::Branch(biased(0x104, 0.3)),
+        ]);
+        let a = prog.execute(1000, 42);
+        let b = prog.execute(1000, 42);
+        assert_eq!(a, b);
+        let c = prog.execute(1000, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn loop_structure_produces_trip_patterns() {
+        let prog = Program::new(vec![Stmt::Loop {
+            latch: StaticBranch {
+                pc: 0x200,
+                behavior: BranchBehavior::LoopExit { trip_count: 4 },
+            },
+            body: vec![Stmt::Branch(biased(0x204, 1.0))],
+        }]);
+        let t = prog.execute(64, 1);
+        // Latch outcomes: taken,taken,taken,not-taken repeating.
+        let latch_outcomes: Vec<bool> = t
+            .iter()
+            .filter(|e| e.pc == 0x200)
+            .map(|e| e.taken)
+            .collect();
+        for chunk in latch_outcomes.chunks_exact(4) {
+            assert_eq!(chunk, [true, true, true, false]);
+        }
+    }
+
+    #[test]
+    fn correlated_branch_sees_guard_outcome() {
+        // Guard then a branch copying the guard's outcome (age 1).
+        let prog = Program::new(vec![
+            Stmt::Branch(biased(0x300, 0.5)),
+            Stmt::Branch(StaticBranch {
+                pc: 0x304,
+                behavior: BranchBehavior::GlobalCorrelated {
+                    ages: vec![1],
+                    invert: false,
+                    noise: 0.0,
+                },
+            }),
+        ]);
+        let t = prog.execute(400, 5);
+        let events = t.events();
+        for pair in events.chunks_exact(2) {
+            assert_eq!(pair[0].pc, 0x300);
+            assert_eq!(pair[1].taken, pair[0].taken, "copier must track guard");
+        }
+    }
+
+    #[test]
+    fn if_blocks_execute_conditionally() {
+        let prog = Program::new(vec![Stmt::If {
+            guard: biased(0x400, 0.5),
+            body: vec![Stmt::Branch(biased(0x404, 1.0))],
+        }]);
+        let t = prog.execute(300, 9);
+        let mut iter = t.iter().peekable();
+        while let Some(e) = iter.next() {
+            assert_eq!(e.pc, 0x400);
+            if e.taken {
+                let inner = iter.next().expect("taken guard executes body");
+                assert_eq!(inner.pc, 0x404);
+            }
+        }
+    }
+
+    #[test]
+    fn static_pcs_in_program_order() {
+        let prog = Program::new(vec![
+            Stmt::If {
+                guard: biased(1, 0.5),
+                body: vec![Stmt::Branch(biased(2, 0.5))],
+            },
+            Stmt::Loop {
+                latch: StaticBranch {
+                    pc: 4,
+                    behavior: BranchBehavior::LoopExit { trip_count: 2 },
+                },
+                body: vec![Stmt::Branch(biased(3, 0.5))],
+            },
+        ]);
+        assert_eq!(prog.static_pcs(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate branch PCs")]
+    fn duplicate_pcs_rejected() {
+        let _ = Program::new(vec![
+            Stmt::Branch(biased(1, 0.5)),
+            Stmt::Branch(biased(1, 0.5)),
+        ]);
+    }
+}

@@ -1,0 +1,286 @@
+//! SimPoint-style representative sampling (§5: "Traces were gathered for
+//! 300 million instructions from the SimPoints recommended in [37, 38]").
+//!
+//! The original SimPoint clusters basic-block vectors of fixed execution
+//! windows and simulates only the medoid window of each cluster. This
+//! module reproduces that methodology on branch traces: each window's
+//! *branch-frequency vector* (per static branch: executions and taken
+//! counts) is clustered with deterministic k-means, and the window
+//! closest to each centroid is chosen as that phase's representative.
+//! Training a predictor on the concatenated representatives approximates
+//! training on the full trace at a fraction of the length.
+
+use fsmgen_traces::BranchTrace;
+use std::collections::BTreeMap;
+
+/// The outcome of SimPoint selection on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoints {
+    /// Chosen window indices, ascending.
+    pub windows: Vec<usize>,
+    /// Per-chosen-window weight: the fraction of all windows whose
+    /// cluster it represents.
+    pub weights: Vec<f64>,
+    /// Window size in dynamic branches.
+    pub window_len: usize,
+}
+
+impl SimPoints {
+    /// Extracts the representative sub-trace: the chosen windows
+    /// concatenated in program order.
+    #[must_use]
+    pub fn sample(&self, trace: &BranchTrace) -> BranchTrace {
+        let mut out = BranchTrace::new();
+        for &w in &self.windows {
+            let start = w * self.window_len;
+            let end = (start + self.window_len).min(trace.len());
+            out.extend(trace.events()[start..end].iter().copied());
+        }
+        out
+    }
+}
+
+/// Builds the frequency vector of one window: for every static branch,
+/// `(executions, taken)` scaled into a dense feature vector.
+fn window_vector(window: &[fsmgen_traces::BranchEvent], dims: &BTreeMap<u64, usize>) -> Vec<f64> {
+    let mut v = vec![0.0; dims.len() * 2];
+    for e in window {
+        let d = dims[&e.pc];
+        v[2 * d] += 1.0;
+        if e.taken {
+            v[2 * d + 1] += 1.0;
+        }
+    }
+    // Normalise by window length so partial tail windows compare fairly.
+    let n = window.len().max(1) as f64;
+    for x in &mut v {
+        *x /= n;
+    }
+    v
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Selects up to `k` SimPoint windows of `window_len` branches from
+/// `trace` via deterministic k-means (k-means++-style farthest-point
+/// seeding from window 0, 20 Lloyd iterations).
+///
+/// # Errors
+///
+/// Returns a message when the trace is shorter than one window or `k`
+/// is zero.
+pub fn select_simpoints(
+    trace: &BranchTrace,
+    window_len: usize,
+    k: usize,
+) -> Result<SimPoints, String> {
+    if k == 0 {
+        return Err("k must be positive".to_string());
+    }
+    if window_len == 0 || trace.len() < window_len {
+        return Err(format!(
+            "trace of {} branches is shorter than one window of {window_len}",
+            trace.len()
+        ));
+    }
+    let dims: BTreeMap<u64, usize> = trace
+        .static_branches()
+        .into_iter()
+        .enumerate()
+        .map(|(i, pc)| (pc, i))
+        .collect();
+    let windows: Vec<Vec<f64>> = trace
+        .events()
+        .chunks(window_len)
+        .map(|w| window_vector(w, &dims))
+        .collect();
+    let k = k.min(windows.len());
+
+    // Farthest-point seeding, deterministic.
+    let mut centroids: Vec<Vec<f64>> = vec![windows[0].clone()];
+    while centroids.len() < k {
+        let far = windows
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da = centroids
+                    .iter()
+                    .map(|c| dist2(a, c))
+                    .fold(f64::MAX, f64::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| dist2(b, c))
+                    .fold(f64::MAX, f64::min);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty windows");
+        centroids.push(windows[far].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; windows.len()];
+    for _ in 0..20 {
+        let mut changed = false;
+        for (i, w) in windows.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(w, &centroids[a])
+                        .partial_cmp(&dist2(w, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0; windows[0].len()]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, w) in windows.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, x) in sums[assignment[i]].iter_mut().zip(w) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Medoid per non-empty cluster, plus cluster weights.
+    let mut chosen: Vec<(usize, f64)> = Vec::new();
+    for (c, centroid) in centroids.iter().enumerate() {
+        let members: Vec<usize> = (0..windows.len()).filter(|&i| assignment[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let medoid = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist2(&windows[a], centroid)
+                    .partial_cmp(&dist2(&windows[b], centroid))
+                    .expect("finite distances")
+            })
+            .expect("non-empty cluster");
+        chosen.push((medoid, members.len() as f64 / windows.len() as f64));
+    }
+    chosen.sort_unstable_by_key(|&(w, _)| w);
+    Ok(SimPoints {
+        windows: chosen.iter().map(|&(w, _)| w).collect(),
+        weights: chosen.iter().map(|&(_, wt)| wt).collect(),
+        window_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_suites::{BranchBenchmark, Input};
+
+    #[test]
+    fn picks_at_most_k_windows_with_full_weight() {
+        let trace = BranchBenchmark::Gs.trace(Input::TRAIN, 20_000);
+        let sp = select_simpoints(&trace, 1_000, 4).unwrap();
+        assert!(!sp.windows.is_empty() && sp.windows.len() <= 4);
+        let total: f64 = sp.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to 1, got {total}");
+        // Windows are in range and sorted.
+        for w in sp.windows.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*sp.windows.last().unwrap() <= trace.len() / 1_000);
+    }
+
+    #[test]
+    fn sample_concatenates_windows() {
+        let trace = BranchBenchmark::Gsm.trace(Input::TRAIN, 10_000);
+        let sp = select_simpoints(&trace, 500, 3).unwrap();
+        let sample = sp.sample(&trace);
+        let expected: usize = sp
+            .windows
+            .iter()
+            .map(|&w| (trace.len() - w * 500).min(500))
+            .sum();
+        assert_eq!(sample.len(), expected);
+    }
+
+    #[test]
+    fn distinct_phases_get_distinct_representatives() {
+        // A trace with two obvious phases: branch A only, then branch B
+        // only. Two clusters must pick one window from each phase.
+        let mut t = BranchTrace::new();
+        for i in 0..2_000 {
+            t.push(fsmgen_traces::BranchEvent {
+                pc: 0x10,
+                target: 0,
+                taken: i % 2 == 0,
+            });
+        }
+        for _ in 0..2_000 {
+            t.push(fsmgen_traces::BranchEvent {
+                pc: 0x20,
+                target: 0,
+                taken: true,
+            });
+        }
+        let sp = select_simpoints(&t, 400, 2).unwrap();
+        assert_eq!(sp.windows.len(), 2);
+        assert!(sp.windows[0] < 5 && sp.windows[1] >= 5, "{:?}", sp.windows);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let t = BranchBenchmark::Gs.trace(Input::TRAIN, 1_000);
+        assert!(select_simpoints(&t, 0, 2).is_err());
+        assert!(select_simpoints(&t, 10_000, 2).is_err());
+        assert!(select_simpoints(&t, 100, 0).is_err());
+    }
+
+    #[test]
+    fn training_on_simpoints_approximates_full_trace() {
+        // A predictor designed from the SimPoint sample should be close
+        // to one designed from the full trace.
+        use fsmgen_traces::BitTrace;
+        let bench = BranchBenchmark::Ijpeg;
+        let full = bench.trace(Input::TRAIN, 40_000);
+        let sp = select_simpoints(&full, 2_000, 5).unwrap();
+        let sample = sp.sample(&full);
+        assert!(
+            sample.len() * 3 <= full.len(),
+            "sample must be much shorter"
+        );
+
+        let to_bits = |t: &BranchTrace| -> BitTrace { t.iter().map(|e| e.taken).collect() };
+        let eval_bits = to_bits(&bench.trace(Input::EVAL, 40_000));
+        let accuracy = |train: &BranchTrace| {
+            let design = fsmgen::Designer::new(6)
+                .design_from_trace(&to_bits(train))
+                .expect("long enough");
+            let mut p = design.predictor();
+            let mut ok = 0usize;
+            for b in &eval_bits {
+                if p.predict() == b {
+                    ok += 1;
+                }
+                p.update(b);
+            }
+            ok as f64 / eval_bits.len() as f64
+        };
+        let full_acc = accuracy(&full);
+        let sp_acc = accuracy(&sample);
+        assert!(
+            (full_acc - sp_acc).abs() < 0.05,
+            "full {full_acc:.3} vs simpoint {sp_acc:.3}"
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! Synthetic load-value workloads for the value-prediction confidence
+//! experiments (§6, Figure 2): `groff`, `gcc`, `li`, `go`, `perl`.
+//!
+//! The paper chose these programs "because of their interesting confidence
+//! estimation behavior for value prediction". Each synthetic model is a
+//! set of static loads with value-generation behaviours mixing
+//! stride-predictable, phase-switching and chaotic streams. What matters
+//! for reproducing Figure 2 is the *structure of the correctness
+//! bit-stream* a stride predictor produces on them: bursty runs of correct
+//! predictions separated by correlated error clusters — structure a
+//! history-based FSM can learn and a saturating counter can only smooth.
+
+use fsmgen_traces::{LoadEvent, LoadTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use crate::branch_suites::Input;
+
+/// How a static load produces its next value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadBehavior {
+    /// Always the same value (predictable after one observation).
+    Constant(u64),
+    /// Arithmetic sequence: perfectly two-delta predictable after warmup.
+    Stride {
+        /// First value.
+        start: u64,
+        /// Per-access increment.
+        stride: u64,
+    },
+    /// Stride that switches increment every `phase_len` accesses,
+    /// producing a burst of mispredictions at each switch.
+    PhasedStride {
+        /// Increment in even phases.
+        stride_a: u64,
+        /// Increment in odd phases.
+        stride_b: u64,
+        /// Accesses per phase.
+        phase_len: u32,
+    },
+    /// Alternating runs of stride-predictable values and chaotic values;
+    /// the run lengths are geometric with the given means. Produces the
+    /// bursty correct/incorrect streams confidence estimators feed on.
+    BurstyStride {
+        /// Mean length of predictable runs.
+        good_run: u32,
+        /// Mean length of chaotic runs.
+        bad_run: u32,
+        /// Increment during predictable runs.
+        stride: u64,
+    },
+    /// Uniform random values: never stride-predictable.
+    Chaotic,
+}
+
+/// Internal per-load generator state.
+#[derive(Debug, Clone)]
+struct LoadState {
+    pc: u64,
+    behavior: LoadBehavior,
+    step: u64,
+    current: u64,
+    /// For `BurstyStride`: remaining accesses in the current run and
+    /// whether the run is predictable.
+    run_left: u32,
+    in_good_run: bool,
+}
+
+impl LoadState {
+    fn next_value(&mut self, rng: &mut StdRng) -> u64 {
+        let value = match &self.behavior {
+            LoadBehavior::Constant(v) => *v,
+            LoadBehavior::Stride { start, stride } => {
+                start.wrapping_add(stride.wrapping_mul(self.step))
+            }
+            LoadBehavior::PhasedStride {
+                stride_a,
+                stride_b,
+                phase_len,
+            } => {
+                let phase = (self.step / u64::from((*phase_len).max(1))) % 2;
+                let stride = if phase == 0 { *stride_a } else { *stride_b };
+                let v = self.current;
+                self.current = self.current.wrapping_add(stride);
+                v
+            }
+            LoadBehavior::BurstyStride {
+                good_run,
+                bad_run,
+                stride,
+            } => {
+                if self.run_left == 0 {
+                    self.in_good_run = !self.in_good_run;
+                    let mean = if self.in_good_run {
+                        *good_run
+                    } else {
+                        *bad_run
+                    };
+                    self.run_left = sample_run(rng, mean);
+                }
+                self.run_left -= 1;
+                let v = if self.in_good_run {
+                    self.current.wrapping_add(*stride)
+                } else {
+                    rng.random::<u64>() | 1 // chaotic value
+                };
+                self.current = v;
+                v
+            }
+            LoadBehavior::Chaotic => rng.random::<u64>(),
+        };
+        self.step += 1;
+        value
+    }
+}
+
+/// Geometric-ish run length with the given mean (at least 1).
+fn sample_run(rng: &mut StdRng, mean: u32) -> u32 {
+    let mean = mean.max(1);
+    1 + rng.random_range(0..mean * 2)
+}
+
+/// The five value-prediction benchmarks of §5/§6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueBenchmark {
+    /// `groff` document formatter: fairly predictable loads.
+    Groff,
+    /// `gcc`: notoriously hard; short predictable runs, much chaos.
+    Gcc,
+    /// `li` (lisp interpreter): moderate predictability.
+    Li,
+    /// `go`: hard, irregular.
+    Go,
+    /// `perl`: moderately predictable with bursts.
+    Perl,
+}
+
+impl ValueBenchmark {
+    /// All benchmarks in the order of the paper's Figure 2 panels.
+    pub const ALL: [ValueBenchmark; 5] = [
+        ValueBenchmark::Gcc,
+        ValueBenchmark::Go,
+        ValueBenchmark::Groff,
+        ValueBenchmark::Li,
+        ValueBenchmark::Perl,
+    ];
+
+    /// The benchmark's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueBenchmark::Groff => "groff",
+            ValueBenchmark::Gcc => "gcc",
+            ValueBenchmark::Li => "li",
+            ValueBenchmark::Go => "go",
+            ValueBenchmark::Perl => "perl",
+        }
+    }
+
+    /// The static loads of the synthetic model, with input-dependent
+    /// parameter jitter.
+    fn loads(&self, input: Input) -> Vec<(u64, LoadBehavior)> {
+        let mut j = StdRng::seed_from_u64(0x5EED_BEEF ^ input.0 ^ (*self as u64) << 40);
+        let base = 0x7000_0000 + ((*self as u64) << 16);
+        let pc = |i: u64| base + i * 8;
+        match self {
+            ValueBenchmark::Groff => vec![
+                (pc(0), LoadBehavior::Constant(0x1000)),
+                (
+                    pc(1),
+                    LoadBehavior::Stride {
+                        start: 64,
+                        stride: 8,
+                    },
+                ),
+                (
+                    pc(2),
+                    LoadBehavior::Stride {
+                        start: 0,
+                        stride: 1,
+                    },
+                ),
+                (
+                    pc(3),
+                    LoadBehavior::BurstyStride {
+                        good_run: 40 + j.random_range(0..8),
+                        bad_run: 4,
+                        stride: 16,
+                    },
+                ),
+                (pc(4), LoadBehavior::Constant(7)),
+                (pc(5), LoadBehavior::Chaotic),
+            ],
+            ValueBenchmark::Gcc => vec![
+                (
+                    pc(0),
+                    LoadBehavior::BurstyStride {
+                        good_run: 5 + j.random_range(0..3),
+                        bad_run: 9,
+                        stride: 4,
+                    },
+                ),
+                (pc(1), LoadBehavior::Chaotic),
+                (
+                    pc(2),
+                    LoadBehavior::BurstyStride {
+                        good_run: 4,
+                        bad_run: 12,
+                        stride: 8,
+                    },
+                ),
+                (pc(3), LoadBehavior::Chaotic),
+                (
+                    pc(4),
+                    LoadBehavior::PhasedStride {
+                        stride_a: 4,
+                        stride_b: 12,
+                        phase_len: 6 + j.random_range(0..3),
+                    },
+                ),
+                (
+                    pc(5),
+                    LoadBehavior::BurstyStride {
+                        good_run: 3,
+                        bad_run: 10,
+                        stride: 16,
+                    },
+                ),
+                (pc(6), LoadBehavior::Chaotic),
+            ],
+            ValueBenchmark::Li => vec![
+                (pc(0), LoadBehavior::Constant(0x2000)),
+                (
+                    pc(1),
+                    LoadBehavior::BurstyStride {
+                        good_run: 14 + j.random_range(0..4),
+                        bad_run: 6,
+                        stride: 8,
+                    },
+                ),
+                (
+                    pc(2),
+                    LoadBehavior::Stride {
+                        start: 16,
+                        stride: 16,
+                    },
+                ),
+                (pc(3), LoadBehavior::Chaotic),
+                (
+                    pc(4),
+                    LoadBehavior::BurstyStride {
+                        good_run: 10,
+                        bad_run: 8,
+                        stride: 24,
+                    },
+                ),
+                (pc(5), LoadBehavior::Chaotic),
+            ],
+            ValueBenchmark::Go => vec![
+                (pc(0), LoadBehavior::Chaotic),
+                (
+                    pc(1),
+                    LoadBehavior::BurstyStride {
+                        good_run: 6,
+                        bad_run: 10 + j.random_range(0..4),
+                        stride: 4,
+                    },
+                ),
+                (pc(2), LoadBehavior::Chaotic),
+                (
+                    pc(3),
+                    LoadBehavior::PhasedStride {
+                        stride_a: 8,
+                        stride_b: 40,
+                        phase_len: 5,
+                    },
+                ),
+                (
+                    pc(4),
+                    LoadBehavior::BurstyStride {
+                        good_run: 8,
+                        bad_run: 10,
+                        stride: 12,
+                    },
+                ),
+                (
+                    pc(5),
+                    LoadBehavior::BurstyStride {
+                        good_run: 4,
+                        bad_run: 14,
+                        stride: 8,
+                    },
+                ),
+            ],
+            ValueBenchmark::Perl => vec![
+                (pc(0), LoadBehavior::Constant(0x40)),
+                (
+                    pc(1),
+                    LoadBehavior::Stride {
+                        start: 8,
+                        stride: 8,
+                    },
+                ),
+                (
+                    pc(2),
+                    LoadBehavior::BurstyStride {
+                        good_run: 20 + j.random_range(0..6),
+                        bad_run: 7,
+                        stride: 8,
+                    },
+                ),
+                (
+                    pc(3),
+                    LoadBehavior::BurstyStride {
+                        good_run: 12,
+                        bad_run: 5,
+                        stride: 4,
+                    },
+                ),
+                (pc(4), LoadBehavior::Chaotic),
+                (pc(5), LoadBehavior::Chaotic),
+            ],
+        }
+    }
+
+    /// Generates a load trace of at least `min_loads` dynamic loads by
+    /// round-robin execution of the benchmark's static loads.
+    #[must_use]
+    pub fn trace(&self, input: Input, min_loads: usize) -> LoadTrace {
+        let mut rng = StdRng::seed_from_u64(0xDA7A_0000 ^ input.0 ^ (*self as u64) << 48);
+        let mut states: Vec<LoadState> = self
+            .loads(input)
+            .into_iter()
+            .map(|(pc, behavior)| LoadState {
+                pc,
+                behavior,
+                step: 0,
+                current: 0,
+                run_left: 0,
+                in_good_run: false,
+            })
+            .collect();
+        let mut trace = LoadTrace::new();
+        while trace.len() < min_loads {
+            for s in &mut states {
+                let value = s.next_value(&mut rng);
+                trace.push(LoadEvent { pc: s.pc, value });
+            }
+        }
+        trace
+    }
+}
+
+impl fmt::Display for ValueBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate() {
+        for b in ValueBenchmark::ALL {
+            let t = b.trace(Input::TRAIN, 3_000);
+            assert!(t.len() >= 3_000, "{b} too short");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_input() {
+        let a = ValueBenchmark::Gcc.trace(Input::TRAIN, 1_000);
+        let b = ValueBenchmark::Gcc.trace(Input::TRAIN, 1_000);
+        assert_eq!(a, b);
+        let c = ValueBenchmark::Gcc.trace(Input::EVAL, 1_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stride_loads_are_strided() {
+        let t = ValueBenchmark::Groff.trace(Input::TRAIN, 600);
+        // pc(1) of groff strides by 8.
+        let pc1 = t.events()[1].pc;
+        let vals: Vec<u64> = t.iter().filter(|e| e.pc == pc1).map(|e| e.value).collect();
+        for w in vals.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+
+    #[test]
+    fn benchmark_names() {
+        let names: Vec<&str> = ValueBenchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["gcc", "go", "groff", "li", "perl"]);
+    }
+}

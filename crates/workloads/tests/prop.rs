@@ -1,0 +1,159 @@
+//! Property-based tests for the synthetic workload generators: structural
+//! invariants of programs, determinism, and behaviour-model contracts.
+
+use fsmgen_traces::HistoryRegister;
+use fsmgen_workloads::{
+    simpoint::select_simpoints, BranchBehavior, BranchBenchmark, Input, Program, StaticBranch,
+    Stmt, ValueBenchmark,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy for small random structured programs with unique PCs.
+fn program_strategy() -> impl Strategy<Value = Program> {
+    let behavior = prop_oneof![
+        (0.05f64..0.95).prop_map(|p| BranchBehavior::Biased { taken_prob: p }),
+        (2u32..10).prop_map(|t| BranchBehavior::LoopExit { trip_count: t }),
+        (proptest::collection::vec(1u8..6, 1..3), any::<bool>()).prop_map(|(ages, inv)| {
+            BranchBehavior::GlobalCorrelated {
+                ages,
+                invert: inv,
+                noise: 0.0,
+            }
+        }),
+        proptest::collection::vec(any::<bool>(), 1..6)
+            .prop_map(|pattern| BranchBehavior::Periodic { pattern }),
+    ];
+    proptest::collection::vec(behavior, 1..10).prop_map(|behaviors| {
+        // Assign unique PCs; wrap every third branch in an if, every
+        // fifth in a loop, for structural variety.
+        let mut stmts = Vec::new();
+        for (i, behavior) in behaviors.into_iter().enumerate() {
+            let pc = 0x1000 + (i as u64) * 8;
+            let b = StaticBranch { pc, behavior };
+            match i % 5 {
+                4 => stmts.push(Stmt::Loop {
+                    latch: StaticBranch {
+                        pc: pc + 4,
+                        behavior: BranchBehavior::LoopExit { trip_count: 3 },
+                    },
+                    body: vec![Stmt::Branch(b)],
+                }),
+                2 => stmts.push(Stmt::If {
+                    guard: StaticBranch {
+                        pc: pc + 4,
+                        behavior: BranchBehavior::Biased { taken_prob: 0.5 },
+                    },
+                    body: vec![Stmt::Branch(b)],
+                }),
+                _ => stmts.push(Stmt::Branch(b)),
+            }
+        }
+        Program::new(stmts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every execution is deterministic per seed and meets the length
+    /// contract.
+    #[test]
+    fn execution_contract(program in program_strategy(), seed in 0u64..1000, len in 1usize..3000) {
+        let a = program.execute(len, seed);
+        prop_assert!(a.len() >= len);
+        let b = program.execute(len, seed);
+        prop_assert_eq!(&a, &b, "same seed must reproduce the trace");
+        // Only declared PCs appear.
+        let declared: std::collections::BTreeSet<u64> =
+            program.static_pcs().into_iter().collect();
+        for e in &a {
+            prop_assert!(declared.contains(&e.pc), "undeclared pc {:#x}", e.pc);
+        }
+    }
+
+    /// Noise-free GlobalCorrelated branches are an exact function of the
+    /// preceding global outcomes.
+    #[test]
+    fn correlation_is_exact_without_noise(
+        ages in proptest::collection::vec(1u8..6, 1..3),
+        invert in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let program = Program::new(vec![
+            Stmt::Branch(StaticBranch {
+                pc: 0x10,
+                behavior: BranchBehavior::Biased { taken_prob: 0.5 },
+            }),
+            Stmt::Branch(StaticBranch {
+                pc: 0x18,
+                behavior: BranchBehavior::GlobalCorrelated {
+                    ages: ages.clone(),
+                    invert,
+                    noise: 0.0,
+                },
+            }),
+        ]);
+        let trace = program.execute(600, seed);
+        let mut global = HistoryRegister::new(16);
+        for e in &trace {
+            if e.pc == 0x18 && global.is_full() {
+                let mut expect = invert;
+                for &age in &ages {
+                    expect ^= global.outcome(age as usize - 1).unwrap_or(false);
+                }
+                prop_assert_eq!(e.taken, expect);
+            }
+            global.push(e.taken);
+        }
+    }
+
+    /// Benchmark traces honour the length contract and keep static
+    /// structure across inputs and lengths.
+    #[test]
+    fn benchmark_contracts(which in 0usize..6, len in 100usize..5000, input in 1u64..6) {
+        let bench = BranchBenchmark::ALL[which];
+        let t = bench.trace(Input(input), len);
+        prop_assert!(t.len() >= len);
+        let again = bench.trace(Input(input), len);
+        prop_assert_eq!(&t, &again);
+        let other = bench.trace(Input(input + 10), len);
+        prop_assert_eq!(t.static_branches(), other.static_branches());
+    }
+
+    /// Value traces are deterministic and meet length contracts too.
+    #[test]
+    fn value_benchmark_contracts(which in 0usize..5, len in 100usize..4000, input in 1u64..6) {
+        let bench = ValueBenchmark::ALL[which];
+        let t = bench.trace(Input(input), len);
+        prop_assert!(t.len() >= len);
+        prop_assert_eq!(&t, &bench.trace(Input(input), len));
+    }
+
+    /// SimPoint weights always sum to one and windows stay in range.
+    #[test]
+    fn simpoint_contract(len in 2_000usize..12_000, window in 200usize..1500, k in 1usize..6) {
+        let trace = BranchBenchmark::Vortex.trace(Input::TRAIN, len);
+        let sp = select_simpoints(&trace, window, k).expect("valid parameters");
+        prop_assert!(!sp.windows.is_empty() && sp.windows.len() <= k);
+        let total: f64 = sp.weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let num_windows = trace.len().div_ceil(window);
+        for &w in &sp.windows {
+            prop_assert!(w < num_windows);
+        }
+    }
+
+    /// LoopExit behaviour produces runs of exactly trip_count-1 takens.
+    #[test]
+    fn loop_exit_run_lengths(trip in 2u32..20, steps in 10u64..200) {
+        let b = BranchBehavior::LoopExit { trip_count: trip };
+        let g = HistoryRegister::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes: Vec<bool> = (0..steps).map(|s| b.outcome(&g, s, &mut rng)).collect();
+        for (i, &o) in outcomes.iter().enumerate() {
+            prop_assert_eq!(o, (i as u64 % u64::from(trip)) != u64::from(trip) - 1);
+        }
+    }
+}

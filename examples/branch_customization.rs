@@ -1,0 +1,78 @@
+//! Customized branch prediction (§7): design per-branch FSM predictors for
+//! a benchmark, then compare the customized XScale architecture against
+//! the stock baseline, gshare and the local/global chooser — a one-panel
+//! rendition of Figure 5.
+//!
+//! Run with: `cargo run --release --example branch_customization [benchmark]`
+//! where `benchmark` is one of compress, gs, gsm, g721, ijpeg, vortex
+//! (default ijpeg).
+
+use fsmgen_suite::bpred::{
+    simulate, BranchPredictor, CustomTrainer, Gshare, LocalGlobalChooser, XScaleBtb,
+};
+use fsmgen_suite::synth::{synthesize_area, Encoding};
+use fsmgen_suite::workloads::{BranchBenchmark, Input};
+
+const TRACE_LEN: usize = 60_000;
+const HISTORY: usize = 9;
+const MAX_CUSTOMS: usize = 8;
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ijpeg".to_string());
+    let bench = BranchBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == which)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {which:?}, using ijpeg");
+            BranchBenchmark::Ijpeg
+        });
+
+    println!("benchmark: {bench}");
+    let train = bench.trace(Input::TRAIN, TRACE_LEN);
+    let eval = bench.trace(Input::EVAL, TRACE_LEN);
+    println!(
+        "training trace: {} dynamic branches over {} static branches",
+        train.len(),
+        train.static_branches().len()
+    );
+
+    // Baselines.
+    let mut rows: Vec<(String, usize, f64)> = Vec::new();
+    let mut run = |mut p: Box<dyn BranchPredictor>| {
+        let r = simulate(p.as_mut(), &eval);
+        rows.push((p.describe(), p.storage_bits(), r.miss_rate()));
+    };
+    run(Box::new(XScaleBtb::xscale()));
+    run(Box::new(Gshare::new(1 << 12)));
+    run(Box::new(Gshare::new(1 << 16)));
+    run(Box::new(LocalGlobalChooser::new(512, 10, 1 << 12)));
+
+    // The custom flow: profile -> worst branches -> per-branch FSMs.
+    let designs = CustomTrainer::new(HISTORY).train(&train, MAX_CUSTOMS);
+    println!("\nper-branch custom FSM designs (worst branch first):");
+    for (pc, design) in designs.designs() {
+        let est = synthesize_area(design.fsm(), Encoding::Binary);
+        println!(
+            "  branch {pc:#x}: {} states, cover {}, area {:.0} gates",
+            design.fsm().num_states(),
+            design.cover(),
+            est.area
+        );
+    }
+
+    for k in 1..=designs.len() {
+        let mut arch = designs.architecture(k);
+        let r = simulate(&mut arch, &eval);
+        rows.push((format!("custom-{k}fsm"), arch.storage_bits(), r.miss_rate()));
+    }
+
+    println!(
+        "\n{:<18} {:>12} {:>10}",
+        "predictor", "table bits", "miss rate"
+    );
+    for (label, bits, miss) in rows {
+        println!("{label:<18} {bits:>12} {:>9.2}%", miss * 100.0);
+    }
+}

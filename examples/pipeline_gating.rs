@@ -1,0 +1,94 @@
+//! Pipeline gating for power (§2.5): use confidence estimation to stall
+//! fetch on branches likely to be mispredicted, saving wrong-path work.
+//!
+//! The FSM estimator is built by the paper's design flow from the
+//! baseline predictor's own correctness stream (the §6.3 method applied
+//! to branch prediction), then compared against JRS-style resetting
+//! counters at several thresholds.
+//!
+//! Run with: `cargo run --release --example pipeline_gating [benchmark]`
+
+use fsmgen_suite::bpred::BranchPredictor;
+use fsmgen_suite::bpred::{
+    simulate_gating, BranchConfidence, FsmBranchConfidence, GatingStats, ResettingConfidence,
+    XScaleBtb,
+};
+use fsmgen_suite::core::{Designer, MarkovModel};
+use fsmgen_suite::traces::HistoryRegister;
+use fsmgen_suite::workloads::{BranchBenchmark, Input};
+
+const TRACE_LEN: usize = 50_000;
+/// Wrong-path fetch cost (slots) and gating stall cost per branch.
+const FLUSH_COST: f64 = 8.0;
+const STALL_COST: f64 = 2.0;
+
+/// Builds the per-slot correctness Markov model of the baseline predictor
+/// over the training trace.
+fn correctness_model(trace: &fsmgen_suite::traces::BranchTrace, order: usize) -> MarkovModel {
+    let mut predictor = XScaleBtb::xscale();
+    let mut model = MarkovModel::new(order);
+    let mut histories: std::collections::BTreeMap<u64, HistoryRegister> =
+        std::collections::BTreeMap::new();
+    for e in trace {
+        let correct = predictor.predict(e.pc) == e.taken;
+        let h = histories
+            .entry(e.pc)
+            .or_insert_with(|| HistoryRegister::new(order));
+        if h.is_full() {
+            model.observe(h.value(), correct);
+        }
+        h.push(correct);
+        predictor.update(e.pc, e.taken);
+    }
+    model
+}
+
+fn report(label: &str, stats: &GatingStats) {
+    println!(
+        "{label:<24} {:>9.1}% {:>10.1}% {:>12.3}",
+        100.0 * stats.flush_coverage(),
+        100.0 * stats.gating_precision(),
+        stats.net_savings(FLUSH_COST, STALL_COST)
+    );
+}
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vortex".to_string());
+    let bench = BranchBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == which)
+        .unwrap_or(BranchBenchmark::Vortex);
+    println!("pipeline gating on {bench} (flush={FLUSH_COST} slots, stall={STALL_COST})\n");
+
+    let train = bench.trace(Input::TRAIN, TRACE_LEN);
+    let eval = bench.trace(Input::EVAL, TRACE_LEN);
+
+    println!(
+        "{:<24} {:>10} {:>11} {:>12}",
+        "confidence estimator", "coverage", "precision", "slots/branch"
+    );
+
+    // JRS-style resetting counters at a few thresholds.
+    for (max, thr) in [(4u32, 2u32), (8, 4), (16, 8)] {
+        let mut conf = ResettingConfidence::new(256, max, thr);
+        let stats = simulate_gating(&mut XScaleBtb::xscale(), &mut conf, &eval);
+        report(&conf.describe(), &stats);
+    }
+
+    // Designed FSM estimators at two operating points. Note the estimator
+    // predicts *correctness*, so gating happens on predict-0; lowering the
+    // threshold makes it gate less.
+    for thr in [0.55, 0.8] {
+        let model = correctness_model(&train, 6);
+        let design = Designer::new(6)
+            .prob_threshold(thr)
+            .design_from_model(model)
+            .expect("non-empty model");
+        let label = format!("fsm-h6-t{thr:.2} ({}st)", design.fsm().num_states());
+        let mut conf = FsmBranchConfidence::new(256, design.into_fsm(), label.clone());
+        let stats = simulate_gating(&mut XScaleBtb::xscale(), &mut conf, &eval);
+        report(&label, &stats);
+    }
+}

@@ -1,0 +1,70 @@
+//! SimPoint-style representative sampling (§5's methodology): cluster a
+//! long trace's execution windows, train the design flow on just the
+//! representative windows, and show the resulting predictor matches one
+//! trained on the full trace.
+//!
+//! Run with: `cargo run --release --example simpoint_sampling [benchmark]`
+
+use fsmgen_suite::core::Designer;
+use fsmgen_suite::traces::{BitTrace, BranchTrace};
+use fsmgen_suite::workloads::simpoint::select_simpoints;
+use fsmgen_suite::workloads::{BranchBenchmark, Input};
+
+const FULL_LEN: usize = 80_000;
+const WINDOW: usize = 2_000;
+const K: usize = 6;
+
+fn to_bits(t: &BranchTrace) -> BitTrace {
+    t.iter().map(|e| e.taken).collect()
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "gsm".to_string());
+    let bench = BranchBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == which)
+        .unwrap_or(BranchBenchmark::Gsm);
+
+    let full = bench.trace(Input::TRAIN, FULL_LEN);
+    let sp = select_simpoints(&full, WINDOW, K).expect("trace long enough");
+    println!(
+        "{bench}: {} branches in {} windows of {WINDOW}; selected {} simpoints:",
+        full.len(),
+        full.len().div_ceil(WINDOW),
+        sp.windows.len()
+    );
+    for (w, weight) in sp.windows.iter().zip(&sp.weights) {
+        println!(
+            "  window {w:>3} representing {:.0}% of execution",
+            weight * 100.0
+        );
+    }
+    let sample = sp.sample(&full);
+    println!(
+        "sample: {} branches ({:.0}% of the full trace)\n",
+        sample.len(),
+        100.0 * sample.len() as f64 / full.len() as f64
+    );
+
+    let eval_bits = to_bits(&bench.trace(Input::EVAL, FULL_LEN));
+    let accuracy = |train: &BranchTrace, label: &str| {
+        let design = Designer::new(6)
+            .design_from_trace(&to_bits(train))
+            .expect("trace long enough");
+        let mut p = design.predictor();
+        let mut ok = 0usize;
+        for b in &eval_bits {
+            if p.predict() == b {
+                ok += 1;
+            }
+            p.update(b);
+        }
+        println!(
+            "trained on {label:<12} -> {} states, {:.2}% accuracy on the eval input",
+            design.fsm().num_states(),
+            100.0 * ok as f64 / eval_bits.len() as f64
+        );
+    };
+    accuracy(&full, "full trace");
+    accuracy(&sample, "simpoints");
+}

@@ -1,0 +1,52 @@
+//! # fsmgen-suite
+//!
+//! Umbrella crate for the `fsmgen` reproduction of Sherwood & Calder,
+//! *"Automated Design of Finite State Machine Predictors"* (ISCA 2001).
+//! It re-exports every workspace crate under one roof so examples and
+//! integration tests can exercise the whole system; library users should
+//! normally depend on the individual crates.
+//!
+//! * [`core`] — the design flow: trace → Markov model → pattern sets →
+//!   minimized cover → regex → Moore predictor.
+//! * [`logicmin`] — two-level logic minimization (Quine–McCluskey and an
+//!   Espresso-style heuristic).
+//! * [`automata`] — regexes, NFA/DFA construction, Hopcroft minimization,
+//!   start-state reduction.
+//! * [`synth`] — VHDL emission, state encodings, area estimation.
+//! * [`traces`] — bit traces, histories, branch/load event streams.
+//! * [`workloads`] — synthetic benchmark models (see DESIGN.md for the
+//!   substitution rationale).
+//! * [`bpred`] — branch predictors: XScale BTB, gshare, LGC, the custom
+//!   FSM architecture and its trainer.
+//! * [`vpred`] — two-delta stride value prediction with SUD / FSM
+//!   confidence estimation.
+//! * [`experiments`] — drivers regenerating every figure of the paper.
+//! * [`evolve`] — the Emer & Gloy-style genetic-search baseline (§3.2).
+//! * [`cache`] — cache model with FSM-guided cache exclusion (§2.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_suite::core::Designer;
+//! use fsmgen_suite::traces::BitTrace;
+//!
+//! let t: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
+//! let design = Designer::new(2).design_from_trace(&t)?;
+//! assert_eq!(design.fsm().num_states(), 3);
+//! # Ok::<(), fsmgen_suite::core::DesignError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fsmgen as core;
+pub use fsmgen_automata as automata;
+pub use fsmgen_bpred as bpred;
+pub use fsmgen_cache as cache;
+pub use fsmgen_evolve as evolve;
+pub use fsmgen_experiments as experiments;
+pub use fsmgen_logicmin as logicmin;
+pub use fsmgen_synth as synth;
+pub use fsmgen_traces as traces;
+pub use fsmgen_vpred as vpred;
+pub use fsmgen_workloads as workloads;

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full pipeline from synthetic
+//! workload through design, simulation and synthesis.
+
+use fsmgen_suite::bpred::{simulate, BranchPredictor, CustomTrainer, XScaleBtb};
+use fsmgen_suite::core::{Designer, MarkovModel};
+use fsmgen_suite::synth::{synthesize_area, synthesize_logic, to_vhdl, Encoding, VhdlOptions};
+use fsmgen_suite::traces::{BitTrace, HistoryRegister};
+use fsmgen_suite::vpred::{
+    per_entry_correctness_model, run_confidence, AlwaysConfident, FsmConfidence, TwoDeltaStride,
+};
+use fsmgen_suite::workloads::{BranchBenchmark, Input, ValueBenchmark};
+
+#[test]
+fn workload_to_vhdl_pipeline() {
+    // Benchmark -> profile -> design -> synthesize -> VHDL, end to end.
+    let trace = BranchBenchmark::Gsm.trace(Input::TRAIN, 20_000);
+    let designs = CustomTrainer::new(6).train(&trace, 3);
+    assert!(!designs.is_empty());
+    for (pc, design) in designs.designs() {
+        let fsm = design.fsm();
+        assert!(fsm.num_states() >= 1);
+        let est = synthesize_area(fsm, Encoding::Binary);
+        assert!(est.area > 0.0, "branch {pc:#x} must have positive area");
+        let vhdl = to_vhdl(
+            fsm,
+            &VhdlOptions {
+                entity: format!("custom_{pc:x}"),
+                ..VhdlOptions::default()
+            },
+        );
+        assert!(vhdl.contains(&format!("entity custom_{pc:x} is")));
+        // One case arm per state.
+        for s in 0..fsm.num_states() {
+            assert!(vhdl.contains(&format!("when s{s} =>")));
+        }
+    }
+}
+
+#[test]
+fn synthesized_logic_simulates_the_fsm() {
+    // The minimized next-state logic must replay the exact machine over a
+    // live trace (hardware/software equivalence).
+    let trace = BranchBenchmark::Ijpeg.trace(Input::TRAIN, 10_000);
+    let designs = CustomTrainer::new(5).train(&trace, 1);
+    let (_, design) = &designs.designs()[0];
+    let fsm = design.fsm();
+    let enc = Encoding::Binary;
+    let bits = enc.register_bits(fsm.num_states());
+    let covers = synthesize_logic(fsm, enc);
+
+    let mut hw_state = enc.code(fsm.start() as usize, fsm.num_states()) as u32;
+    let mut sw_state = fsm.start();
+    for e in trace.events().iter().take(2_000) {
+        // Hardware step: evaluate each next-state bit's cover.
+        let minterm = hw_state << 1 | u32::from(e.taken);
+        let mut next_hw = 0u32;
+        for (bit, cover) in covers[..bits].iter().enumerate() {
+            if cover.covers_minterm(minterm) {
+                next_hw |= 1 << bit;
+            }
+        }
+        // Output logic agrees with the Moore output before stepping.
+        assert_eq!(
+            covers[bits].covers_minterm(hw_state),
+            fsm.output(sw_state),
+            "output mismatch in state {sw_state}"
+        );
+        sw_state = fsm.step(sw_state, e.taken);
+        hw_state = next_hw;
+        assert_eq!(
+            hw_state,
+            enc.code(sw_state as usize, fsm.num_states()) as u32,
+            "state divergence"
+        );
+    }
+}
+
+#[test]
+fn per_branch_markov_matches_design_input() {
+    // The trainer's per-branch model must agree with an independently
+    // built one.
+    let trace = BranchBenchmark::G721.trace(Input::TRAIN, 15_000);
+    let history = 5;
+    let designs = CustomTrainer::new(history).train(&trace, 1);
+    let (pc, design) = &designs.designs()[0];
+
+    let mut expected = MarkovModel::new(history);
+    let mut global = HistoryRegister::new(history);
+    for e in &trace {
+        if global.is_full() && e.pc == *pc {
+            expected.observe(global.value(), e.taken);
+        }
+        global.push(e.taken);
+    }
+    assert_eq!(design.model(), &expected);
+}
+
+#[test]
+fn confidence_gating_filters_bad_predictions() {
+    // With a trained FSM estimator, the confident subset must be more
+    // accurate than the unfiltered stream.
+    let train = ValueBenchmark::Go.trace(Input::TRAIN, 25_000);
+    let eval = ValueBenchmark::Go.trace(Input::EVAL, 25_000);
+    let model = per_entry_correctness_model(&mut TwoDeltaStride::paper_default(), &train, 6);
+    let design = Designer::new(6)
+        .prob_threshold(0.8)
+        .design_from_model(model)
+        .expect("trained model is non-empty");
+
+    let mut t1 = TwoDeltaStride::paper_default();
+    let base = run_confidence(&mut t1, &mut AlwaysConfident, &eval);
+    let base_acc = base.accuracy().expect("predictions exist");
+
+    let mut t2 = TwoDeltaStride::paper_default();
+    let mut fsm = FsmConfidence::per_entry(t2.len(), design.into_fsm(), "e2e");
+    let gated = run_confidence(&mut t2, &mut fsm, &eval);
+    let gated_acc = gated.accuracy().expect("some loads marked confident");
+
+    assert!(
+        gated_acc > base_acc + 0.1,
+        "gated accuracy {gated_acc:.2} must exceed baseline {base_acc:.2}"
+    );
+}
+
+#[test]
+fn designed_predictor_beats_two_bit_counter_on_its_branch() {
+    // The contract of the whole system, per branch: the custom FSM beats
+    // the 2-bit counter on the branch it was designed for (that is why
+    // the branch was selected).
+    let train = BranchBenchmark::Vortex.trace(Input::TRAIN, 30_000);
+    let eval = BranchBenchmark::Vortex.trace(Input::EVAL, 30_000);
+    let designs = CustomTrainer::paper_default().train(&train, 3);
+
+    let mut base = XScaleBtb::xscale();
+    let base_result = simulate(&mut base, &eval);
+    let mut arch = designs.architecture(3);
+    let custom_result = simulate(&mut arch, &eval);
+
+    for (pc, _) in designs.designs().iter().take(3) {
+        let (_, base_miss) = base_result.per_branch[pc];
+        let (_, custom_miss) = custom_result.per_branch[pc];
+        assert!(
+            custom_miss < base_miss,
+            "branch {pc:#x}: custom {custom_miss} vs baseline {base_miss}"
+        );
+    }
+}
+
+#[test]
+fn bit_trace_round_trips_through_design() {
+    // A predictor designed from a trace, replayed over that trace, must
+    // match the pattern-set semantics bit for bit (the warm region).
+    let bits: BitTrace = BranchBenchmark::Gs
+        .trace(Input::TRAIN, 5_000)
+        .iter()
+        .map(|e| e.taken)
+        .collect();
+    let n = 4;
+    let design = Designer::new(n)
+        .dont_care_fraction(0.0)
+        .design_from_trace(&bits)
+        .unwrap();
+    let spec = design.pattern_sets().spec().clone();
+    let mut p = design.predictor();
+    let mut h = HistoryRegister::new(n);
+    for b in &bits {
+        if h.is_full() {
+            match spec.kind(h.value()) {
+                fsmgen_suite::logicmin::MintermKind::On => assert!(p.predict()),
+                fsmgen_suite::logicmin::MintermKind::Off => assert!(!p.predict()),
+                fsmgen_suite::logicmin::MintermKind::DontCare => {}
+            }
+        }
+        h.push(b);
+        p.update(b);
+    }
+}
+
+#[test]
+fn describe_strings_are_stable() {
+    // Downstream reporting keys off these labels.
+    assert_eq!(XScaleBtb::xscale().describe(), "xscale-btb-128");
+    let trace = BranchBenchmark::Gs.trace(Input::TRAIN, 5_000);
+    let designs = CustomTrainer::new(4).train(&trace, 2);
+    assert_eq!(designs.architecture(2).describe(), "custom-2fsm");
+}

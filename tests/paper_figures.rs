@@ -1,0 +1,122 @@
+//! Integration tests pinning the paper's worked examples: the §4
+//! walkthrough artifacts and the exact machines of Figures 1, 6 and 7.
+
+use fsmgen_suite::automata::MoorePredictor;
+use fsmgen_suite::core::Designer;
+use fsmgen_suite::experiments::figures::{figure1, figure6, figure7, paper_trace};
+
+#[test]
+fn section_4_2_markov_table() {
+    let model = fsmgen_suite::core::MarkovModel::from_bit_trace(2, &paper_trace()).unwrap();
+    let probe = |h: u32| {
+        let c = model.counts(h).unwrap();
+        (c.ones, c.total())
+    };
+    assert_eq!(probe(0b00), (2, 5));
+    assert_eq!(probe(0b01), (3, 5));
+    assert_eq!(probe(0b10), (3, 4));
+    assert_eq!(probe(0b11), (6, 8));
+}
+
+#[test]
+fn section_4_3_pattern_sets() {
+    let design = figure1();
+    let spec = design.pattern_sets().spec();
+    let on: Vec<u32> = spec.on_set().iter().copied().collect();
+    assert_eq!(on, vec![0b01, 0b10, 0b11], "predict-1 = {{01, 10, 11}}");
+    let off: Vec<u32> = spec.off_set().iter().copied().collect();
+    assert_eq!(off, vec![0b00], "predict-0 = {{00}}");
+}
+
+#[test]
+fn section_4_4_minimized_cover() {
+    let design = figure1();
+    let mut terms: Vec<String> = design
+        .cover()
+        .cubes()
+        .iter()
+        .map(|c| c.display(2))
+        .collect();
+    terms.sort();
+    assert_eq!(terms, vec!["-1", "1-"], "cover is (x1) v (1x)");
+}
+
+#[test]
+fn section_4_5_regular_expression() {
+    let design = figure1();
+    let re = design.regex().expect("non-empty language").to_string();
+    // {0|1}* prefix over the two alternated patterns.
+    assert!(re.starts_with("{0|1}*"), "got {re}");
+    assert!(re.contains("1{0|1}"));
+    assert!(re.contains("{0|1}1"));
+}
+
+#[test]
+fn figure_1_state_machines() {
+    let design = figure1();
+    assert_eq!(design.pre_reduction_states(), 5, "with start-up states");
+    assert_eq!(design.fsm().num_states(), 3, "after start state removal");
+
+    // Steady-state semantics: predict 0 only after two consecutive 0s.
+    let mut p = MoorePredictor::new(design.fsm().clone());
+    let stream = [true, false, false, true, true, false, false, false];
+    let mut last_two = (true, true);
+    for bit in stream {
+        p.update(bit);
+        last_two = (last_two.1, bit);
+        let expect = last_two.0 || last_two.1;
+        assert_eq!(p.predict(), expect, "after history {last_two:?}");
+    }
+}
+
+#[test]
+fn figure_6_machine() {
+    let fsm = figure6();
+    assert_eq!(fsm.num_states(), 4);
+    // §7.6: from any state, 1 then anything predicts 1; 0 then anything
+    // predicts 0.
+    for s in 0..4u32 {
+        for x in [false, true] {
+            assert!(fsm.output(fsm.step(fsm.step(s, true), x)));
+            assert!(!fsm.output(fsm.step(fsm.step(s, false), x)));
+        }
+    }
+}
+
+#[test]
+fn figure_7_machine() {
+    let fsm = figure7();
+    assert_eq!(fsm.num_states(), 11);
+    // Both patterns 0x1x and 0xx1x land on predict-1 from any state.
+    for s in 0..11u32 {
+        for fill in 0..4u32 {
+            let x1 = fill & 1 != 0;
+            let x2 = fill & 2 != 0;
+            // 0 x 1 x
+            let mut c = s;
+            for b in [false, x1, true, x2] {
+                c = fsm.step(c, b);
+            }
+            assert!(fsm.output(c), "0x1x from s{s}");
+        }
+        for fill in 0..8u32 {
+            // 0 x x 1 x
+            let mut c = s;
+            for b in [false, fill & 1 != 0, fill & 2 != 0, true, fill & 4 != 0] {
+                c = fsm.step(c, b);
+            }
+            assert!(fsm.output(c), "0xx1x from s{s}");
+        }
+    }
+}
+
+#[test]
+fn designer_walkthrough_matches_figures_module() {
+    // The figures module and a hand-configured Designer must agree.
+    let direct = Designer::new(2)
+        .dont_care_fraction(0.0)
+        .design_from_trace(&paper_trace())
+        .unwrap();
+    let canned = figure1();
+    assert_eq!(direct.fsm(), canned.fsm());
+}
