@@ -2,6 +2,7 @@
 //! construction, Hopcroft minimization and start-state (steady-state)
 //! reduction (§4.6–4.7 of the paper).
 
+use crate::budget::{AutomataBudget, AutomataError};
 use crate::nfa::Nfa;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -71,6 +72,22 @@ impl Dfa {
     /// no successors.
     #[must_use]
     pub fn from_nfa(nfa: &Nfa) -> Self {
+        match Dfa::from_nfa_checked(nfa, &AutomataBudget::unlimited()) {
+            Ok(dfa) => dfa,
+            Err(_) => unreachable!("unlimited budgets never abort"),
+        }
+    }
+
+    /// [`Dfa::from_nfa`] under an [`AutomataBudget`]: subset construction
+    /// aborts as soon as it materializes more than `max_dfa_states` subsets
+    /// or the deadline passes. This is the exponential step of the
+    /// pipeline, so the limit is enforced incrementally — the work done
+    /// before a violation is proportional to the limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AutomataError`] naming the violated limit.
+    pub fn from_nfa_checked(nfa: &Nfa, budget: &AutomataBudget) -> Result<Self, AutomataError> {
         let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
         let mut index: BTreeMap<BTreeSet<u32>, u32> = BTreeMap::new();
         let mut order: Vec<BTreeSet<u32>> = Vec::new();
@@ -82,6 +99,7 @@ impl Dfa {
 
         let mut transitions: Vec<[u32; 2]> = Vec::new();
         while let Some(set) = queue.pop_front() {
+            budget.check_deadline("subset construction")?;
             let mut row = [0u32; 2];
             for bit in [false, true] {
                 let next = nfa.epsilon_closure(&nfa.step(&set, bit));
@@ -89,6 +107,14 @@ impl Dfa {
                     Some(&id) => id,
                     None => {
                         let id = order.len() as u32;
+                        if let Some(limit) = budget.max_dfa_states {
+                            if order.len() + 1 > limit {
+                                return Err(AutomataError::DfaStates {
+                                    generated: order.len() + 1,
+                                    limit,
+                                });
+                            }
+                        }
                         index.insert(next.clone(), id);
                         order.push(next.clone());
                         queue.push_back(next);
@@ -100,11 +126,11 @@ impl Dfa {
             transitions.push(row);
         }
         let accept: Vec<bool> = order.iter().map(|s| s.contains(&nfa.accept())).collect();
-        Dfa {
+        Ok(Dfa {
             transitions,
             accept,
             start: 0,
-        }
+        })
     }
 
     /// Number of states.
@@ -164,6 +190,10 @@ impl Dfa {
 
     /// Removes states unreachable from the start state, renumbering in BFS
     /// order (so results are canonical for equal automata).
+    // expect() is fine here: the BFS maps every successor of a visited
+    // state when it is discovered, so by construction the lookups below
+    // only ever see mapped states.
+    #[allow(clippy::expect_used)]
     #[must_use]
     pub fn trimmed(&self) -> Dfa {
         let mut map: Vec<Option<u32>> = vec![None; self.num_states()];
@@ -203,6 +233,24 @@ impl Dfa {
     /// the canonical minimal DFA for the language.
     #[must_use]
     pub fn minimized(&self) -> Dfa {
+        match self.minimized_checked(&AutomataBudget::unlimited()) {
+            Ok(dfa) => dfa,
+            Err(_) => unreachable!("unlimited budgets never abort"),
+        }
+    }
+
+    /// [`Dfa::minimized`] under an [`AutomataBudget`]. Hopcroft refinement
+    /// is polynomial, so only the deadline applies; it is polled once per
+    /// splitter taken off the worklist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::DeadlineExpired`] when the deadline passes
+    /// mid-refinement.
+    // expect() is fine here: a DFA always has at least one state, so the
+    // initial partition always has at least one block.
+    #[allow(clippy::expect_used)]
+    pub fn minimized_checked(&self, budget: &AutomataBudget) -> Result<Dfa, AutomataError> {
         let trimmed = self.trimmed();
         let n = trimmed.num_states();
 
@@ -242,6 +290,7 @@ impl Dfa {
         }
 
         while let Some((splitter, bit)) = worklist.pop_front() {
+            budget.check_deadline("hopcroft refinement")?;
             // X = states with a transition on `bit` into the splitter block.
             let mut x: BTreeSet<u32> = BTreeSet::new();
             for &s in &blocks[splitter as usize] {
@@ -298,12 +347,12 @@ impl Dfa {
             ];
             q_accept[b] = trimmed.accept[rep as usize];
         }
-        Dfa {
+        Ok(Dfa {
             transitions: q_trans,
             accept: q_accept,
             start: quotient_start,
         }
-        .trimmed()
+        .trimmed())
     }
 
     /// Start-state reduction (§4.7): removes *start-up states* — states only
@@ -323,6 +372,25 @@ impl Dfa {
     /// classified identically (asserted by tests and the property suite).
     #[must_use]
     pub fn steady_state_reduced(&self) -> Dfa {
+        match self.steady_state_reduced_checked(&AutomataBudget::unlimited()) {
+            Ok(dfa) => dfa,
+            Err(_) => unreachable!("unlimited budgets never abort"),
+        }
+    }
+
+    /// [`Dfa::steady_state_reduced`] under an [`AutomataBudget`]: the
+    /// reachable-subset sequence is eventually periodic but its transient
+    /// plus cycle can in principle be exponential in the state count, so
+    /// its length is capped by `max_dfa_states` and the deadline is polled
+    /// each step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AutomataError`] naming the violated limit.
+    pub fn steady_state_reduced_checked(
+        &self,
+        budget: &AutomataBudget,
+    ) -> Result<Dfa, AutomataError> {
         let trimmed = self.trimmed();
         let mut seen: BTreeMap<BTreeSet<u32>, usize> = BTreeMap::new();
         let mut sequence: Vec<BTreeSet<u32>> = Vec::new();
@@ -330,6 +398,15 @@ impl Dfa {
         let cycle_start = loop {
             if let Some(&at) = seen.get(&current) {
                 break at;
+            }
+            budget.check_deadline("steady-state iteration")?;
+            if let Some(limit) = budget.max_dfa_states {
+                if sequence.len() + 1 > limit {
+                    return Err(AutomataError::DfaStates {
+                        generated: sequence.len() + 1,
+                        limit,
+                    });
+                }
             }
             seen.insert(current.clone(), sequence.len());
             sequence.push(current.clone());
@@ -358,11 +435,11 @@ impl Dfa {
             .map(|&s| [map[&trimmed.step(s, false)], map[&trimmed.step(s, true)]])
             .collect();
         let accept: Vec<bool> = order.iter().map(|&s| trimmed.accept[s as usize]).collect();
-        Dfa {
+        Ok(Dfa {
             transitions,
             accept,
             start: 0,
-        }
+        })
     }
 
     /// `true` when the two DFAs accept the same language, decided by BFS

@@ -32,7 +32,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 mod dfa;
 mod moore;
 mod nfa;
@@ -41,6 +43,7 @@ mod patterns;
 mod regex;
 mod serial;
 
+pub use budget::{AutomataBudget, AutomataError};
 pub use dfa::Dfa;
 pub use moore::MoorePredictor;
 pub use nfa::Nfa;
@@ -68,14 +71,34 @@ pub use serial::{machine_from_table, machine_to_table, ParseMachineError};
 /// ```
 #[must_use]
 pub fn compile_patterns(patterns: &[Vec<Option<bool>>]) -> Dfa {
+    match compile_patterns_checked(patterns, &AutomataBudget::unlimited()) {
+        Ok(dfa) => dfa,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`compile_patterns`] under an [`AutomataBudget`]: every stage of the
+/// pipeline (Thompson construction, subset construction, Hopcroft
+/// minimization, steady-state reduction) enforces the budget's limits and
+/// deadline, so pathological pattern sets abort with a typed error instead
+/// of exhausting memory or time.
+///
+/// # Errors
+///
+/// Returns an [`AutomataError`] naming the violated limit.
+pub fn compile_patterns_checked(
+    patterns: &[Vec<Option<bool>>],
+    budget: &AutomataBudget,
+) -> Result<Dfa, AutomataError> {
     if patterns.is_empty() {
-        return Dfa::from_parts(vec![[0, 0]], vec![false], 0);
+        return Ok(Dfa::from_parts(vec![[0, 0]], vec![false], 0));
     }
     let alts: Vec<Regex> = patterns.iter().map(|p| Regex::pattern(p)).collect();
     let lang = Regex::ending_in(alts);
-    Dfa::from_nfa(&Nfa::from_regex(&lang))
-        .minimized()
-        .steady_state_reduced()
+    let nfa = Nfa::from_regex_checked(&lang, budget)?;
+    Dfa::from_nfa_checked(&nfa, budget)?
+        .minimized_checked(budget)?
+        .steady_state_reduced_checked(budget)
 }
 
 #[cfg(test)]
@@ -96,5 +119,62 @@ mod tests {
             vec![Some(false), None, None, Some(true), None],
         ]);
         assert_eq!(fsm.num_states(), 11);
+    }
+
+    #[test]
+    fn checked_with_generous_budget_matches_unlimited() {
+        let patterns = vec![
+            vec![Some(false), None, Some(true), None],
+            vec![Some(false), None, None, Some(true), None],
+        ];
+        let budget = AutomataBudget {
+            max_nfa_states: Some(10_000),
+            max_dfa_states: Some(10_000),
+            deadline: None,
+        };
+        let checked = compile_patterns_checked(&patterns, &budget).unwrap();
+        assert_eq!(checked, compile_patterns(&patterns));
+    }
+
+    #[test]
+    fn nfa_state_budget_rejects_large_pattern_sets() {
+        let patterns = vec![vec![Some(true); 16]; 8];
+        let budget = AutomataBudget {
+            max_nfa_states: Some(8),
+            ..AutomataBudget::default()
+        };
+        assert!(matches!(
+            compile_patterns_checked(&patterns, &budget),
+            Err(AutomataError::NfaStates { .. })
+        ));
+    }
+
+    #[test]
+    fn dfa_state_budget_caps_subset_construction() {
+        let patterns = vec![
+            vec![Some(true), None, None, None, None, None, None, Some(true)],
+            vec![Some(false), Some(true), None, None, None, None, Some(false), None],
+        ];
+        let budget = AutomataBudget {
+            max_dfa_states: Some(4),
+            ..AutomataBudget::default()
+        };
+        assert!(matches!(
+            compile_patterns_checked(&patterns, &budget),
+            Err(AutomataError::DfaStates { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_compilation() {
+        use std::time::{Duration, Instant};
+        let budget = AutomataBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..AutomataBudget::default()
+        };
+        assert!(matches!(
+            compile_patterns_checked(&[vec![Some(true), None]], &budget),
+            Err(AutomataError::DeadlineExpired { .. })
+        ));
     }
 }

@@ -4,6 +4,7 @@
 //! construction of a non-deterministic finite state machine, which is a
 //! fairly straight forward process of enumerating paths" (§4.6).
 
+use crate::budget::{AutomataBudget, AutomataError};
 use crate::regex::Regex;
 use std::collections::BTreeSet;
 
@@ -47,6 +48,34 @@ impl Nfa {
         nfa
     }
 
+    /// [`Nfa::from_regex`] under an [`AutomataBudget`].
+    ///
+    /// Construction is linear in the regex size, so the state limit is
+    /// checked after building — the work done before a violation is
+    /// detected is proportional to the regex, never exponential.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::NfaStates`] when the machine exceeds
+    /// `max_nfa_states`, or [`AutomataError::DeadlineExpired`] when the
+    /// budget's deadline has already passed.
+    pub fn from_regex_checked(
+        regex: &Regex,
+        budget: &AutomataBudget,
+    ) -> Result<Self, AutomataError> {
+        budget.check_deadline("thompson construction")?;
+        let nfa = Nfa::from_regex(regex);
+        if let Some(limit) = budget.max_nfa_states {
+            if nfa.num_states() > limit {
+                return Err(AutomataError::NfaStates {
+                    generated: nfa.num_states(),
+                    limit,
+                });
+            }
+        }
+        Ok(nfa)
+    }
+
     fn add_state(&mut self) -> u32 {
         self.transitions.push([Vec::new(), Vec::new()]);
         self.epsilon.push(Vec::new());
@@ -84,17 +113,25 @@ impl Nfa {
                 self.add_edge(s, true, a);
                 (s, a)
             }
-            Regex::Concat(parts) => {
-                debug_assert!(!parts.is_empty());
-                let mut iter = parts.iter();
-                let (start, mut accept) = self.build(iter.next().expect("concat is never empty"));
-                for p in iter {
-                    let (s, a) = self.build(p);
-                    self.add_eps(accept, s);
-                    accept = a;
+            Regex::Concat(parts) => match parts.split_first() {
+                // An empty concatenation is ε; Regex::concat never builds
+                // one, but ε is the correct meaning rather than a panic.
+                None => {
+                    let s = self.add_state();
+                    let a = self.add_state();
+                    self.add_eps(s, a);
+                    (s, a)
                 }
-                (start, accept)
-            }
+                Some((first, rest)) => {
+                    let (start, mut accept) = self.build(first);
+                    for p in rest {
+                        let (s, a) = self.build(p);
+                        self.add_eps(accept, s);
+                        accept = a;
+                    }
+                    (start, accept)
+                }
+            },
             Regex::Alt(parts) => {
                 let s = self.add_state();
                 let a = self.add_state();

@@ -77,11 +77,10 @@ impl Regex {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Regex::Epsilon,
-            1 => flat.pop().expect("len checked"),
-            _ => Regex::Concat(flat),
+        if flat.len() > 1 {
+            return Regex::Concat(flat);
         }
+        flat.pop().unwrap_or(Regex::Epsilon)
     }
 
     /// Alternation, flattening nested alternations and deduplicating.
@@ -104,11 +103,10 @@ impl Regex {
                 }
             }
         }
-        match flat.len() {
-            0 => Regex::Epsilon,
-            1 => flat.pop().expect("len checked"),
-            _ => Regex::Alt(flat),
+        if flat.len() > 1 {
+            return Regex::Alt(flat);
         }
+        flat.pop().unwrap_or(Regex::Epsilon)
     }
 
     /// Kleene star.

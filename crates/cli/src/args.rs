@@ -3,6 +3,10 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that are pure switches: they never consume the next token, so
+/// `--no-degrade FILE` keeps `FILE` positional.
+const BOOLEAN_FLAGS: &[&str] = &["no-degrade", "lenient"];
+
 /// Parsed command-line arguments: flag map plus positionals in order.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -12,18 +16,24 @@ pub struct Args {
 
 impl Args {
     /// Parses raw arguments (excluding the program and subcommand names).
+    /// Flags in [`BOOLEAN_FLAGS`] — and any `--flag` followed by another
+    /// `--flag` or by nothing — are stored as presence flags with an empty
+    /// value; see [`Args::has`].
     ///
     /// # Errors
     ///
-    /// Returns a message when a `--flag` is missing its value.
+    /// Currently infallible; kept fallible for future syntax checks.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut args = Args::default();
-        let mut iter = raw.into_iter();
+        let mut iter = raw.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") && !BOOLEAN_FLAGS.contains(&name) => {
+                        iter.next().unwrap_or_default()
+                    }
+                    _ => String::new(),
+                };
                 args.flags.insert(name.to_string(), value);
             } else {
                 args.positional.push(a);
@@ -32,22 +42,45 @@ impl Args {
         Ok(args)
     }
 
-    /// A flag's raw value.
+    /// A flag's raw value. Flags present without a value (boolean style)
+    /// read as absent here — use [`Args::has`] for those.
     #[must_use]
     pub fn flag(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str)
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
+    }
+
+    /// `true` when the flag appeared at all, with or without a value.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// A flag parsed into any `FromStr` type, with a default.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the flag when parsing fails.
+    /// Returns a message naming the flag when the value is missing or
+    /// fails to parse.
     pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        self.flag_opt(name).map(|v| v.unwrap_or(default))
+    }
+
+    /// An optional flag parsed into any `FromStr` type (`None` if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value is missing or
+    /// fails to parse.
+    pub fn flag_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.flags.get(name) {
-            None => Ok(default),
+            None => Ok(None),
+            Some(v) if v.is_empty() => Err(format!("flag --{name} requires a value")),
             Some(v) => v
                 .parse()
+                .map(Some)
                 .map_err(|_| format!("invalid value {v:?} for --{name}")),
         }
     }
@@ -77,8 +110,35 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_is_an_error() {
-        assert!(Args::parse(["--history".to_string()]).is_err());
+    fn missing_value_is_an_error_at_use() {
+        let args = Args::parse(["--history".to_string()]).unwrap();
+        assert!(args.has("history"));
+        assert_eq!(args.flag("history"), None);
+        assert!(args.flag_or("history", 2usize).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_before_other_flags() {
+        let args =
+            Args::parse(["--no-degrade", "--history", "6", "--lenient"].map(String::from)).unwrap();
+        assert!(args.has("no-degrade"));
+        assert!(args.has("lenient"));
+        assert!(!args.has("degrade"));
+        assert_eq!(args.flag_or("history", 2usize).unwrap(), 6);
+    }
+
+    #[test]
+    fn boolean_flags_never_swallow_positionals() {
+        let args = Args::parse(["--no-degrade", "trace.bits"].map(String::from)).unwrap();
+        assert!(args.has("no-degrade"));
+        assert_eq!(args.positional(), ["trace.bits"]);
+    }
+
+    #[test]
+    fn optional_flags() {
+        let args = Args::parse(["--budget-states", "64"].map(String::from)).unwrap();
+        assert_eq!(args.flag_opt::<usize>("budget-states").unwrap(), Some(64));
+        assert_eq!(args.flag_opt::<usize>("budget-primes").unwrap(), None);
     }
 
     #[test]

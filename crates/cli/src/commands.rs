@@ -1,7 +1,12 @@
 //! The CLI subcommands.
+//!
+//! Every command returns a classified [`CliError`], which `main` maps to a
+//! distinct exit code: usage mistakes exit 2, unparsable input data exits
+//! 3, budget exhaustion (with `--no-degrade`) exits 4, everything else 1.
 
 use crate::args::Args;
-use fsmgen::Designer;
+use crate::error::CliError;
+use fsmgen::{failpoints, DesignBudget, DesignError, Designer};
 use fsmgen_bpred::{
     simulate as run_sim, BranchPredictor, Combining, CustomTrainer, Gshare, LocalGlobalChooser,
     Ppm, XScaleBtb,
@@ -11,6 +16,12 @@ use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
 use fsmgen_traces::BitTrace;
 use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
 use std::io::Read as _;
+use std::time::{Duration, Instant};
+
+/// A flag-parsing failure is a usage error (exit 2).
+fn usage(message: String) -> CliError {
+    CliError::Usage(message)
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -18,10 +29,20 @@ fsmgen — automated design of finite state machine predictors
 
 USAGE:
   fsmgen design   [--history N] [--threshold P] [--dont-care F]
-                  [--format summary|dot|vhdl|table] [FILE]
+                  [--format summary|dot|vhdl|table]
+                  [--budget-states N] [--budget-nfa-states N]
+                  [--budget-minterms N] [--budget-primes N]
+                  [--budget-cover-nodes N] [--budget-ms MILLIS]
+                  [--no-degrade] [--inject-fault SPEC] [FILE]
           Design a predictor from a 0/1 trace (FILE or stdin; whitespace
           is ignored, so '0000 1000 1011 ...' works as-is). The table
           format can be reloaded with 'fsmgen predict'.
+          The --budget-* flags cap the design pipeline; when a stage
+          exceeds its cap the designer degrades gracefully (heuristic
+          minimizer, then shorter history, then a saturating counter)
+          and reports what it did. With --no-degrade a blown budget is
+          an error instead (exit code 4). --inject-fault arms test
+          failpoints, e.g. 'minimize=budget:1,dfa=error'.
 
   fsmgen predict  --machine FILE [TRACE_FILE]
           Load a machine table and replay it over a 0/1 trace (file or
@@ -33,12 +54,18 @@ USAGE:
           gs, gsm, g721, ijpeg, vortex. Value benchmarks: groff, gcc,
           li, go, perl.
 
-  fsmgen simulate {--benchmark NAME | --trace-file FILE}
+  fsmgen simulate {--benchmark NAME | --trace-file FILE} [--lenient]
                   [--len N] [--customs K] [--history N]
           Simulate XScale, gshare, LGC, PPM and the customized FSM
           architecture and print miss rates. With --trace-file the file
           (PC TAKEN [TARGET] per line) is split in half: customs train on
           the first half and every predictor is evaluated on the second.
+          --lenient skips malformed trace lines (reported on stderr)
+          instead of failing.
+
+EXIT CODES:
+  0 success, 1 general failure, 2 usage error, 3 input parse error,
+  4 design budget exceeded (with --no-degrade).
 
   fsmgen compile  --patterns LIST [--format summary|dot|vhdl|table]
           Compile history patterns in the paper's notation (oldest bit
@@ -57,44 +84,93 @@ USAGE:
   fsmgen figure   {1|6|7}
           Print one of the paper's example machines as Graphviz DOT.";
 
-fn branch_benchmark(name: &str) -> Result<BranchBenchmark, String> {
+fn branch_benchmark(name: &str) -> Result<BranchBenchmark, CliError> {
     BranchBenchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)
-        .ok_or_else(|| format!("unknown branch benchmark {name:?}"))
+        .ok_or_else(|| CliError::Usage(format!("unknown branch benchmark {name:?}")))
+}
+
+/// Reads the first positional argument as a file, or stdin when absent.
+fn read_input(args: &Args) -> Result<String, CliError> {
+    match args.positional().first() {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| CliError::Other(format!("cannot read stdin: {e}")))?;
+            Ok(buf)
+        }
+    }
+}
+
+/// Assembles a [`DesignBudget`] from the `--budget-*` flags.
+fn budget_from_flags(args: &Args) -> Result<DesignBudget, CliError> {
+    Ok(DesignBudget {
+        max_dfa_states: args.flag_opt("budget-states").map_err(usage)?,
+        max_nfa_states: args.flag_opt("budget-nfa-states").map_err(usage)?,
+        max_minterms: args.flag_opt("budget-minterms").map_err(usage)?,
+        max_primes: args.flag_opt("budget-primes").map_err(usage)?,
+        max_cover_nodes: args.flag_opt("budget-cover-nodes").map_err(usage)?,
+        deadline: args
+            .flag_opt::<u64>("budget-ms")
+            .map_err(usage)?
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+    })
 }
 
 /// `fsmgen design`: trace in, designed machine out.
 ///
 /// # Errors
 ///
-/// Returns a message for unreadable input, an unparsable trace, invalid
-/// flags or a failed design.
-pub fn design(args: &Args) -> Result<(), String> {
-    let history: usize = args.flag_or("history", 4)?;
-    let threshold: f64 = args.flag_or("threshold", 0.5)?;
-    let dont_care: f64 = args.flag_or("dont-care", 0.01)?;
+/// Returns a classified error: usage for bad flags, parse for a bad
+/// trace, budget when `--no-degrade` is set and a cap is exceeded.
+pub fn design(args: &Args) -> Result<(), CliError> {
+    let history: usize = args.flag_or("history", 4).map_err(usage)?;
+    let threshold: f64 = args.flag_or("threshold", 0.5).map_err(usage)?;
+    let dont_care: f64 = args.flag_or("dont-care", 0.01).map_err(usage)?;
     let format = args.flag("format").unwrap_or("summary");
+    if history == 0 || history > fsmgen::MAX_ORDER {
+        return Err(CliError::Usage(format!(
+            "--history must be in 1..={}, got {history}",
+            fsmgen::MAX_ORDER
+        )));
+    }
+    let budget = budget_from_flags(args)?;
+    if let Some(spec) = args.flag("inject-fault") {
+        failpoints::configure_from_spec(spec).map_err(usage)?;
+    }
 
-    let raw = match args.positional().first() {
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
-        }
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
-            buf
-        }
-    };
-    let trace: BitTrace = raw.parse().map_err(|e| format!("bad trace: {e}"))?;
+    let raw = read_input(args)?;
+    let trace: BitTrace = raw
+        .parse()
+        .map_err(|e| CliError::Parse(format!("bad trace: {e}")))?;
 
-    let design = Designer::new(history)
+    let result = Designer::new(history)
         .prob_threshold(threshold)
         .dont_care_fraction(dont_care)
-        .design_from_trace(&trace)
-        .map_err(|e| e.to_string())?;
+        .budget(budget)
+        .degrade(!args.has("no-degrade"))
+        .design_from_trace(&trace);
+    failpoints::clear();
+    let design = result.map_err(|e| match e {
+        DesignError::BudgetExceeded { .. } => CliError::Budget(e.to_string()),
+        DesignError::TraceTooShort { .. } | DesignError::EmptyModel => {
+            CliError::Parse(e.to_string())
+        }
+        DesignError::BadConfig(_) | DesignError::OrderTooLarge { .. } => {
+            CliError::Usage(e.to_string())
+        }
+        other => CliError::Other(other.to_string()),
+    })?;
+
+    // Machine-readable formats keep stdout clean; the degradation report
+    // still reaches the user on stderr.
+    if design.degradation().is_degraded() && format != "summary" {
+        eprintln!("warning: design degraded: {}", design.degradation());
+    }
 
     match format {
         "summary" => {
@@ -118,6 +194,13 @@ pub fn design(args: &Args) -> Result<(), String> {
                 design.fsm().num_states(),
                 design.pre_reduction_states()
             );
+            if design.degradation().is_degraded() {
+                println!("degraded: {}", design.degradation());
+                println!(
+                    "effective history: {} (requested {history})",
+                    design.effective_history()
+                );
+            }
             let est = synthesize_area(design.fsm(), Encoding::Binary);
             println!(
                 "area: {:.0} gate-equivalents ({} flip-flops, {:.0} logic gates)",
@@ -127,7 +210,11 @@ pub fn design(args: &Args) -> Result<(), String> {
         "dot" => print!("{}", design.fsm().to_dot("predictor")),
         "vhdl" => print!("{}", to_vhdl(design.fsm(), &VhdlOptions::default())),
         "table" => print!("{}", fsmgen_automata::machine_to_table(design.fsm())),
-        other => return Err(format!("unknown format {other:?} (summary|dot|vhdl|table)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format {other:?} (summary|dot|vhdl|table)"
+            )))
+        }
     }
     Ok(())
 }
@@ -136,11 +223,13 @@ pub fn design(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message for unknown benchmarks or invalid flags.
-pub fn trace(args: &Args) -> Result<(), String> {
-    let name = args.flag("benchmark").ok_or("--benchmark is required")?;
-    let len: usize = args.flag_or("len", 10_000)?;
-    let input = Input(args.flag_or("input", 1u64)?);
+/// Returns a usage error for unknown benchmarks or invalid flags.
+pub fn trace(args: &Args) -> Result<(), CliError> {
+    let name = args
+        .flag("benchmark")
+        .ok_or_else(|| CliError::Usage("--benchmark is required".into()))?;
+    let len: usize = args.flag_or("len", 10_000).map_err(usage)?;
+    let input = Input(args.flag_or("input", 1u64).map_err(usage)?);
     let kind = args.flag("kind").unwrap_or("branch");
 
     match kind {
@@ -159,12 +248,16 @@ pub fn trace(args: &Args) -> Result<(), String> {
             let bench = ValueBenchmark::ALL
                 .into_iter()
                 .find(|b| b.name() == name)
-                .ok_or_else(|| format!("unknown value benchmark {name:?}"))?;
+                .ok_or_else(|| CliError::Usage(format!("unknown value benchmark {name:?}")))?;
             for e in &bench.trace(input, len) {
                 println!("{:#x} {:#x}", e.pc, e.value);
             }
         }
-        other => return Err(format!("unknown kind {other:?} (branch|value|bits)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown kind {other:?} (branch|value|bits)"
+            )))
+        }
     }
     Ok(())
 }
@@ -173,11 +266,12 @@ pub fn trace(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message for unknown benchmarks or invalid flags.
-pub fn simulate(args: &Args) -> Result<(), String> {
-    let len: usize = args.flag_or("len", 40_000)?;
-    let customs: usize = args.flag_or("customs", 4)?;
-    let history: usize = args.flag_or("history", 9)?;
+/// Returns a usage error for unknown benchmarks or invalid flags, a
+/// parse error for a malformed trace file (unless `--lenient`).
+pub fn simulate(args: &Args) -> Result<(), CliError> {
+    let len: usize = args.flag_or("len", 40_000).map_err(usage)?;
+    let customs: usize = args.flag_or("customs", 4).map_err(usage)?;
+    let history: usize = args.flag_or("history", 9).map_err(usage)?;
 
     let (train, eval) = match (args.flag("benchmark"), args.flag("trace-file")) {
         (Some(name), None) => {
@@ -188,18 +282,33 @@ pub fn simulate(args: &Args) -> Result<(), String> {
             )
         }
         (None, Some(path)) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let full = fsmgen_traces::parse_branch_trace(&text).map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+            let full = if args.has("lenient") {
+                let (t, report) = fsmgen_traces::parse_branch_trace_lenient(&text);
+                if !report.is_clean() {
+                    eprintln!("warning: {path}: {report}");
+                }
+                t
+            } else {
+                fsmgen_traces::parse_branch_trace(&text)
+                    .map_err(|e| CliError::Parse(format!("{path}: {e}")))?
+            };
             if full.len() < 4 {
-                return Err("trace file needs at least 4 events".to_string());
+                return Err(CliError::Parse(
+                    "trace file needs at least 4 events".into(),
+                ));
             }
             let mid = full.len() / 2;
             let train: fsmgen_traces::BranchTrace = full.events()[..mid].iter().copied().collect();
             let eval: fsmgen_traces::BranchTrace = full.events()[mid..].iter().copied().collect();
             (train, eval)
         }
-        _ => return Err("exactly one of --benchmark or --trace-file is required".to_string()),
+        _ => {
+            return Err(CliError::Usage(
+                "exactly one of --benchmark or --trace-file is required".into(),
+            ))
+        }
     };
 
     println!(
@@ -238,10 +347,14 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message for malformed pattern lists or unknown formats.
-pub fn compile(args: &Args) -> Result<(), String> {
-    let list = args.flag("patterns").ok_or("--patterns is required")?;
-    let patterns = fsmgen_automata::parse_pattern_list(list).map_err(|e| e.to_string())?;
+/// Returns a parse error for malformed pattern lists, usage for unknown
+/// formats.
+pub fn compile(args: &Args) -> Result<(), CliError> {
+    let list = args
+        .flag("patterns")
+        .ok_or_else(|| CliError::Usage("--patterns is required".into()))?;
+    let patterns =
+        fsmgen_automata::parse_pattern_list(list).map_err(|e| CliError::Parse(e.to_string()))?;
     let fsm = fsmgen_automata::compile_patterns(&patterns);
     match args.flag("format").unwrap_or("summary") {
         "summary" => {
@@ -256,7 +369,11 @@ pub fn compile(args: &Args) -> Result<(), String> {
         "dot" => print!("{}", fsm.to_dot("pattern_fsm")),
         "vhdl" => print!("{}", to_vhdl(&fsm, &VhdlOptions::default())),
         "table" => print!("{}", fsmgen_automata::machine_to_table(&fsm)),
-        other => return Err(format!("unknown format {other:?} (summary|dot|vhdl|table)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format {other:?} (summary|dot|vhdl|table)"
+            )))
+        }
     }
     Ok(())
 }
@@ -265,28 +382,23 @@ pub fn compile(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message for unreadable files, malformed machines or traces.
-pub fn predict(args: &Args) -> Result<(), String> {
-    let machine_path = args.flag("machine").ok_or("--machine is required")?;
+/// Returns a parse error for malformed machines or traces, other for
+/// unreadable files.
+pub fn predict(args: &Args) -> Result<(), CliError> {
+    let machine_path = args
+        .flag("machine")
+        .ok_or_else(|| CliError::Usage("--machine is required".into()))?;
     let machine_text = std::fs::read_to_string(machine_path)
-        .map_err(|e| format!("cannot read {machine_path}: {e}"))?;
-    let machine = fsmgen_automata::machine_from_table(&machine_text).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Other(format!("cannot read {machine_path}: {e}")))?;
+    let machine = fsmgen_automata::machine_from_table(&machine_text)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
 
-    let raw = match args.positional().first() {
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
-        }
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
-            buf
-        }
-    };
-    let trace: BitTrace = raw.parse().map_err(|e| format!("bad trace: {e}"))?;
+    let raw = read_input(args)?;
+    let trace: BitTrace = raw
+        .parse()
+        .map_err(|e| CliError::Parse(format!("bad trace: {e}")))?;
     if trace.is_empty() {
-        return Err("trace is empty".to_string());
+        return Err(CliError::Parse("trace is empty".into()));
     }
 
     let mut p = fsmgen_automata::MoorePredictor::new(machine);
@@ -312,14 +424,16 @@ pub fn predict(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message for unknown benchmarks or invalid flags.
-pub fn confidence(args: &Args) -> Result<(), String> {
-    let name = args.flag("benchmark").ok_or("--benchmark is required")?;
+/// Returns a usage error for unknown benchmarks or invalid flags.
+pub fn confidence(args: &Args) -> Result<(), CliError> {
+    let name = args
+        .flag("benchmark")
+        .ok_or_else(|| CliError::Usage("--benchmark is required".into()))?;
     let bench = ValueBenchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)
-        .ok_or_else(|| format!("unknown value benchmark {name:?}"))?;
-    let len: usize = args.flag_or("len", 40_000)?;
+        .ok_or_else(|| CliError::Usage(format!("unknown value benchmark {name:?}")))?;
+    let len: usize = args.flag_or("len", 40_000).map_err(usage)?;
     let config = fsmgen_experiments::fig2::Fig2Config {
         trace_len: len,
         ..fsmgen_experiments::fig2::Fig2Config::default()
@@ -333,10 +447,10 @@ pub fn confidence(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message when any claim fails (exit status reflects it) or a
-/// flag is invalid.
-pub fn headlines(args: &Args) -> Result<(), String> {
-    let len: usize = args.flag_or("len", 40_000)?;
+/// Returns a general error when any claim fails (exit status reflects it)
+/// or a usage error for an invalid flag.
+pub fn headlines(args: &Args) -> Result<(), CliError> {
+    let len: usize = args.flag_or("len", 40_000).map_err(usage)?;
     let claims =
         fsmgen_experiments::headlines::run(&fsmgen_experiments::headlines::HeadlineConfig {
             trace_len: len,
@@ -344,9 +458,9 @@ pub fn headlines(args: &Args) -> Result<(), String> {
     print!("{}", fsmgen_experiments::headlines::table(&claims));
     let failed = claims.iter().filter(|c| !c.holds).count();
     if failed > 0 {
-        return Err(format!(
+        return Err(CliError::Other(format!(
             "{failed} headline claim(s) do not hold at this scale"
-        ));
+        )));
     }
     Ok(())
 }
@@ -355,8 +469,8 @@ pub fn headlines(args: &Args) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// Returns a message when the figure id is not 1, 6 or 7.
-pub fn figure(args: &Args) -> Result<(), String> {
+/// Returns a usage error when the figure id is not 1, 6 or 7.
+pub fn figure(args: &Args) -> Result<(), CliError> {
     match args.positional().first().map(String::as_str) {
         Some("1") => {
             let design = figures::figure1();
@@ -380,7 +494,9 @@ pub fn figure(args: &Args) -> Result<(), String> {
             print!("{}", figures::figure7().to_dot("fig7"));
             Ok(())
         }
-        other => Err(format!("expected figure 1, 6 or 7, got {other:?}")),
+        other => Err(CliError::Usage(format!(
+            "expected figure 1, 6 or 7, got {other:?}"
+        ))),
     }
 }
 

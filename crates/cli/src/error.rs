@@ -1,0 +1,77 @@
+//! Classified CLI failures and their process exit codes.
+//!
+//! | kind            | exit code | meaning                                 |
+//! |-----------------|-----------|-----------------------------------------|
+//! | [`CliError::Usage`]  | 2    | bad flags, unknown commands or formats  |
+//! | [`CliError::Parse`]  | 3    | malformed trace / machine / input data  |
+//! | [`CliError::Budget`] | 4    | design budget exceeded (degradation off)|
+//! | [`CliError::Other`]  | 1    | everything else (I/O, failed claims, …) |
+
+use std::fmt;
+
+/// A CLI failure carrying its user-facing message and exit-code class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself is wrong: unknown command, bad flag value,
+    /// missing required flag, unknown format. Exit code 2.
+    Usage(String),
+    /// Input data failed to parse: trace files, machine tables, bit
+    /// strings. Exit code 3.
+    Parse(String),
+    /// The design budget was exceeded and degradation was disabled.
+    /// Exit code 4.
+    Budget(String),
+    /// Any other failure (I/O, simulation, failed headline claims).
+    /// Exit code 1.
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Budget(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Parse(m)
+            | CliError::Budget(m)
+            | CliError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Other(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_match_taxonomy() {
+        assert_eq!(CliError::Other("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Parse("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Budget("x".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn display_is_the_message() {
+        assert_eq!(CliError::Usage("bad flag".into()).to_string(), "bad flag");
+    }
+}

@@ -13,20 +13,22 @@
 
 mod args;
 mod commands;
+mod error;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(command) = argv.next() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(CliError::Usage(String::new()).exit_code());
     };
     let parsed = match args::Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::Usage(String::new()).exit_code());
         }
     };
     let result = match command.as_str() {
@@ -42,13 +44,16 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

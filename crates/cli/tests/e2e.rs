@@ -127,3 +127,200 @@ fn figure_subcommand_emits_dot() {
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("digraph fig6"));
 }
+
+/// A long pseudorandom 0/1 trace that populates many histories — the kind
+/// of input that makes exact minimization and subset construction blow
+/// small budgets for real.
+fn pathological_bits() -> String {
+    (0..2048u32)
+        .map(|i| {
+            let h = i.wrapping_mul(2654435761);
+            if (h >> 11) & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn design_with_budget_degrades_and_reports() {
+    let dir = tmpdir();
+    let path = dir.join("pathological.bits");
+    std::fs::write(&path, pathological_bits()).expect("write bits");
+    let out = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "8",
+            "--budget-states",
+            "64",
+            "--budget-minterms",
+            "16",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("design runs");
+    assert!(out.status.success(), "degraded design must still succeed");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("degraded:"), "{text}");
+    assert!(text.contains("effective history:"), "{text}");
+    assert!(text.contains("states:"), "{text}");
+}
+
+#[test]
+fn no_degrade_exits_with_budget_code() {
+    let dir = tmpdir();
+    let path = dir.join("pathological2.bits");
+    std::fs::write(&path, pathological_bits()).expect("write bits");
+    let out = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "8",
+            "--budget-minterms",
+            "16",
+            "--no-degrade",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("design runs");
+    assert_eq!(out.status.code(), Some(4), "budget errors must exit 4");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("budget"), "{err}");
+}
+
+#[test]
+fn injected_fault_exits_nonzero_without_panicking() {
+    let mut child = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "2",
+            "--inject-fault",
+            "dfa=error",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(b"0000 1000 1011 1101 1110 1111")
+        .expect("write trace");
+    let out = child.wait_with_output().expect("completes");
+    assert_eq!(out.status.code(), Some(1), "internal faults exit 1");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("injected"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn injected_budget_fault_degrades_through_cli() {
+    let mut child = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "3",
+            "--inject-fault",
+            "minimize=budget:1",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(b"0000 1000 1011 1101 1110 1111")
+        .expect("write trace");
+    let out = child.wait_with_output().expect("completes");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("degraded: heuristic minimizer"), "{text}");
+}
+
+#[test]
+fn usage_and_parse_exit_codes() {
+    // Unknown command → usage (2).
+    let out = fsmgen().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Bad flag value → usage (2).
+    let out = fsmgen()
+        .args(["design", "--history", "lots"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Out-of-range history → usage (2), not a panic.
+    let out = fsmgen()
+        .args(["design", "--history", "99"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+
+    // Garbage trace data → parse (3).
+    let dir = tmpdir();
+    let path = dir.join("garbage.bits");
+    std::fs::write(&path, "this is not a bit trace").expect("write");
+    let out = fsmgen()
+        .args(["design", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn simulate_lenient_skips_malformed_lines() {
+    let dir = tmpdir();
+    let path = dir.join("dirty.trace");
+    // Valid events interleaved with junk lines.
+    let mut text = String::new();
+    for i in 0..200u64 {
+        text.push_str(&format!("0x{:x} {} 0x2000\n", 0x1000 + 4 * i, i % 2));
+        if i % 10 == 0 {
+            text.push_str("corrupted record here\n");
+        }
+    }
+    std::fs::write(&path, &text).expect("write");
+
+    // Strict mode refuses the file with a parse error.
+    let out = fsmgen()
+        .args([
+            "simulate",
+            "--trace-file",
+            path.to_str().expect("utf8 path"),
+            "--customs",
+            "1",
+            "--history",
+            "4",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3));
+
+    // Lenient mode runs and warns.
+    let out = fsmgen()
+        .args([
+            "simulate",
+            "--lenient",
+            "--trace-file",
+            path.to_str().expect("utf8 path"),
+            "--customs",
+            "1",
+            "--history",
+            "4",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("lines skipped"), "{err}");
+}

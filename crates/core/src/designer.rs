@@ -1,12 +1,24 @@
 //! The end-to-end design flow (§4): trace → Markov model → pattern sets →
 //! minimized cover → regular expression → minimized, steady-state Moore
 //! predictor.
+//!
+//! The flow runs under an optional [`DesignBudget`]. When a stage would
+//! exceed the budget, the designer walks a *degradation ladder* instead of
+//! failing: first the exact minimizer is swapped for the Espresso-style
+//! heuristic, then the history order is reduced one bit at a time, and as a
+//! last resort the design collapses to a 2-bit saturating counter. Every
+//! fallback is recorded in the [`Degradation`] report on the returned
+//! [`Design`], so `design_from_trace` returns a usable predictor for any
+//! budget and any trace (set [`Designer::degrade`] to `false` to get a
+//! typed [`DesignError::BudgetExceeded`] instead).
 
+use crate::budget::{Degradation, DesignBudget, Rung};
+use crate::failpoints::{self, FailAction};
 use crate::markov::MarkovModel;
 use crate::patterns::{PatternConfig, PatternSets};
 use crate::DesignError;
 use fsmgen_automata::{Dfa, MoorePredictor, Nfa, Regex};
-use fsmgen_logicmin::{minimize, Algorithm, Cover};
+use fsmgen_logicmin::{minimize, minimize_checked, Algorithm, Cover};
 use fsmgen_traces::BitTrace;
 
 /// Configures one run of the automated design flow.
@@ -34,6 +46,8 @@ pub struct Designer {
     history: usize,
     pattern_config: PatternConfig,
     algorithm: Algorithm,
+    budget: DesignBudget,
+    degrade: bool,
 }
 
 impl Designer {
@@ -56,6 +70,8 @@ impl Designer {
             history,
             pattern_config: PatternConfig::default(),
             algorithm: Algorithm::default(),
+            budget: DesignBudget::unlimited(),
+            degrade: true,
         }
     }
 
@@ -88,20 +104,50 @@ impl Designer {
         self
     }
 
+    /// Sets the resource budget for the whole flow. The default budget is
+    /// unlimited.
+    #[must_use]
+    pub fn budget(mut self, budget: DesignBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables the degradation ladder (on by default). With
+    /// degradation off, the first budget violation surfaces as
+    /// [`DesignError::BudgetExceeded`] instead of triggering a fallback.
+    #[must_use]
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
     /// The configured history length.
     #[must_use]
     pub fn history(&self) -> usize {
         self.history
     }
 
+    /// The configured resource budget.
+    #[must_use]
+    pub fn design_budget(&self) -> &DesignBudget {
+        &self.budget
+    }
+
     /// Runs the full flow on a 0/1 behaviour trace.
+    ///
+    /// With degradation enabled (the default), any budget exhaustion is
+    /// absorbed by the fallback ladder and reported via
+    /// [`Design::degradation`], so this returns a usable predictor for any
+    /// budget and any trace long enough to fill the history window.
     ///
     /// # Errors
     ///
     /// Returns [`DesignError::TraceTooShort`] if the trace cannot fill the
     /// history window, [`DesignError::BadConfig`] for invalid pattern
-    /// configuration, or [`DesignError::EmptyModel`] if no history was
-    /// observed.
+    /// configuration, [`DesignError::EmptyModel`] if no history was
+    /// observed, [`DesignError::BudgetExceeded`] when degradation is
+    /// disabled and the budget was hit, or [`DesignError::Internal`] for
+    /// hard stage failures (including injected faults).
     pub fn design_from_trace(&self, trace: &BitTrace) -> Result<Design, DesignError> {
         let model = MarkovModel::from_bit_trace(self.history, trace)?;
         self.design_from_model(model)
@@ -112,8 +158,12 @@ impl Designer {
     ///
     /// # Errors
     ///
-    /// Returns [`DesignError::BadConfig`] for invalid pattern configuration
-    /// or [`DesignError::EmptyModel`] if the model has no observations.
+    /// Returns [`DesignError::BadConfig`] for invalid pattern
+    /// configuration, [`DesignError::EmptyModel`] if the model has no
+    /// observations, [`DesignError::OrderTooLarge`] if the order exceeds
+    /// the minimizer's width limit, [`DesignError::BudgetExceeded`] when
+    /// degradation is disabled and the budget was hit, or
+    /// [`DesignError::Internal`] for hard stage failures.
     pub fn design_from_model(&self, model: MarkovModel) -> Result<Design, DesignError> {
         self.pattern_config
             .validate()
@@ -127,21 +177,86 @@ impl Designer {
                 model: model.order(),
             });
         }
+        if model.order() > fsmgen_logicmin::MAX_VARS {
+            return Err(DesignError::OrderTooLarge {
+                order: model.order(),
+                max: fsmgen_logicmin::MAX_VARS,
+            });
+        }
+
+        // The degradation ladder: configured algorithm → heuristic
+        // minimizer → shorter history orders → saturating counter. Each
+        // budget failure drops one rung; hard failures surface immediately.
+        let mut degradation = Degradation::default();
+        let mut algorithm = self.algorithm;
+        let mut current = model.clone();
+        loop {
+            match self.attempt(&current, algorithm) {
+                Ok(stages) => {
+                    let effective_history = current.order();
+                    return Ok(stages.into_design(model, degradation, effective_history));
+                }
+                Err(StageFailure::Hard { stage, reason }) => {
+                    return Err(DesignError::Internal { stage, reason });
+                }
+                Err(StageFailure::Budget { stage, reason }) => {
+                    if !self.degrade {
+                        return Err(DesignError::BudgetExceeded { stage, reason });
+                    }
+                    if !matches!(algorithm, Algorithm::Heuristic) {
+                        algorithm = Algorithm::Heuristic;
+                        degradation.record(Rung::HeuristicMinimizer, stage, reason);
+                    } else if current.order() > 1 {
+                        let shorter = current.order() - 1;
+                        current = current.reduced(shorter);
+                        degradation.record(Rung::ReducedOrder(shorter), stage, reason);
+                    } else {
+                        degradation.record(Rung::SaturatingCounter, stage, reason);
+                        return match self.counter_attempt(&model) {
+                            Ok(stages) => Ok(stages.into_design(model, degradation, 0)),
+                            Err(
+                                StageFailure::Hard { stage, reason }
+                                | StageFailure::Budget { stage, reason },
+                            ) => Err(DesignError::Internal { stage, reason }),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// One pass of the §4.3–4.7 pipeline over `model` with `algorithm`,
+    /// under the configured budget and the active failpoints.
+    fn attempt(
+        &self,
+        model: &MarkovModel,
+        algorithm: Algorithm,
+    ) -> Result<AttemptStages, StageFailure> {
+        let order = model.order();
 
         // §4.3 pattern definition.
-        let sets = PatternSets::from_model(&model, &self.pattern_config)
-            .expect("model order is within minimizer width limits");
+        consult_failpoint("patterns")?;
+        let sets =
+            PatternSets::from_model(model, &self.pattern_config).map_err(|e| StageFailure::Hard {
+                stage: "patterns",
+                reason: e.to_string(),
+            })?;
 
         // §4.4 pattern compression.
-        let cover = minimize(sets.spec(), self.algorithm);
+        consult_failpoint("minimize")?;
+        let cover = minimize_checked(sets.spec(), algorithm, &self.budget.minimize_budget())
+            .map_err(|e| StageFailure::Budget {
+                stage: "minimize",
+                reason: e.to_string(),
+            })?;
 
         // §4.5 regular expression building. Cube variable i is the outcome
         // i steps back, so the oldest position of a written pattern is
-        // variable N-1.
+        // variable order-1.
         let patterns: Vec<Vec<Option<bool>>> = cover
             .cubes()
             .iter()
-            .map(|cube| (0..self.history).rev().map(|var| cube.var(var)).collect())
+            .map(|cube| (0..order).rev().map(|var| cube.var(var)).collect())
             .collect();
         let regex = if patterns.is_empty() {
             None
@@ -152,26 +267,134 @@ impl Designer {
         };
 
         // §4.6 FSM creation + Hopcroft, §4.7 start-state reduction.
+        let automata_budget = self.budget.automata_budget();
         let (minimized, fsm) = match &regex {
             None => {
                 let constant = Dfa::from_parts(vec![[0, 0]], vec![false], 0);
                 (constant.clone(), constant)
             }
             Some(re) => {
-                let minimized = Dfa::from_nfa(&Nfa::from_regex(re)).minimized();
-                let fsm = minimized.steady_state_reduced();
+                consult_failpoint("nfa")?;
+                let nfa = Nfa::from_regex_checked(re, &automata_budget)
+                    .map_err(budget_failure("nfa"))?;
+                consult_failpoint("dfa")?;
+                let dfa =
+                    Dfa::from_nfa_checked(&nfa, &automata_budget).map_err(budget_failure("dfa"))?;
+                consult_failpoint("hopcroft")?;
+                let minimized = dfa
+                    .minimized_checked(&automata_budget)
+                    .map_err(budget_failure("hopcroft"))?;
+                consult_failpoint("reduce")?;
+                let fsm = minimized
+                    .steady_state_reduced_checked(&automata_budget)
+                    .map_err(budget_failure("reduce"))?;
                 (minimized, fsm)
             }
         };
 
-        Ok(Design {
-            model,
+        Ok(AttemptStages {
             sets,
             cover,
             regex,
             minimized,
             fsm,
         })
+    }
+
+    /// The bottom rung: a 2-bit saturating counter (the "what you would
+    /// have built by hand" predictor), biased toward the trace's majority
+    /// outcome. Uses no minimizer and no automaton construction, so it
+    /// cannot exceed any budget.
+    fn counter_attempt(&self, model: &MarkovModel) -> Result<AttemptStages, StageFailure> {
+        consult_failpoint("counter")?;
+        // Keep the order-1 projection's pattern sets and cover so the
+        // design still reports §4.3/§4.4 artifacts (width 1: trivial cost).
+        let reduced = model.reduced(1);
+        let sets = PatternSets::from_model(&reduced, &self.pattern_config).map_err(|e| {
+            StageFailure::Hard {
+                stage: "counter",
+                reason: e.to_string(),
+            }
+        })?;
+        let cover = minimize(sets.spec(), Algorithm::Heuristic);
+
+        let transitions: Vec<[u32; 2]> = (0u32..4)
+            .map(|s| [s.saturating_sub(1), (s + 1).min(3)])
+            .collect();
+        let accept = vec![false, false, true, true];
+        let biased_taken = model.total_ones() * 2 >= model.total_observations();
+        let start = if biased_taken { 3 } else { 0 };
+        let fsm = Dfa::from_parts(transitions, accept, start);
+        Ok(AttemptStages {
+            sets,
+            cover,
+            regex: None,
+            minimized: fsm.clone(),
+            fsm,
+        })
+    }
+}
+
+/// Why one ladder attempt failed.
+enum StageFailure {
+    /// The stage exceeded the budget — the ladder may continue.
+    Budget { stage: &'static str, reason: String },
+    /// The stage failed outright — surfaces as [`DesignError::Internal`].
+    Hard { stage: &'static str, reason: String },
+}
+
+/// Maps an automata budget error into a stage failure for `stage`.
+fn budget_failure<E: std::fmt::Display>(
+    stage: &'static str,
+) -> impl FnOnce(E) -> StageFailure {
+    move |e| StageFailure::Budget {
+        stage,
+        reason: e.to_string(),
+    }
+}
+
+/// Consults the failpoint registry for `stage` and converts a fired action
+/// into the corresponding stage failure.
+fn consult_failpoint(stage: &'static str) -> Result<(), StageFailure> {
+    match failpoints::fire(stage) {
+        None => Ok(()),
+        Some(FailAction::BudgetExceeded) => Err(StageFailure::Budget {
+            stage,
+            reason: format!("injected budget fault at {stage}"),
+        }),
+        Some(FailAction::Error) => Err(StageFailure::Hard {
+            stage,
+            reason: format!("injected fault at {stage}"),
+        }),
+    }
+}
+
+/// The intermediate artifacts of one successful ladder attempt.
+struct AttemptStages {
+    sets: PatternSets,
+    cover: Cover,
+    regex: Option<Regex>,
+    minimized: Dfa,
+    fsm: Dfa,
+}
+
+impl AttemptStages {
+    fn into_design(
+        self,
+        model: MarkovModel,
+        degradation: Degradation,
+        effective_history: usize,
+    ) -> Design {
+        Design {
+            model,
+            sets: self.sets,
+            cover: self.cover,
+            regex: self.regex,
+            minimized: self.minimized,
+            fsm: self.fsm,
+            degradation,
+            effective_history,
+        }
     }
 }
 
@@ -185,6 +408,8 @@ pub struct Design {
     regex: Option<Regex>,
     minimized: Dfa,
     fsm: Dfa,
+    degradation: Degradation,
+    effective_history: usize,
 }
 
 impl Design {
@@ -236,6 +461,22 @@ impl Design {
     #[must_use]
     pub fn predictor(&self) -> MoorePredictor {
         MoorePredictor::new(self.fsm.clone())
+    }
+
+    /// The degradation report: which fallback rungs, if any, the designer
+    /// took to fit the budget. Empty for an undegraded design.
+    #[must_use]
+    pub fn degradation(&self) -> &Degradation {
+        &self.degradation
+    }
+
+    /// The history order the final machine was actually built from. Equal
+    /// to the configured history for an undegraded design, smaller after an
+    /// order-reduction rung, and `0` for the saturating-counter fallback
+    /// (which uses no history window).
+    #[must_use]
+    pub fn effective_history(&self) -> usize {
+        self.effective_history
     }
 
     /// Consumes the design, returning the final machine.
@@ -357,6 +598,91 @@ mod tests {
                 model: 3
             })
         ));
+    }
+
+    #[test]
+    fn unlimited_budget_reports_no_degradation() {
+        let design = Designer::new(2)
+            .budget(DesignBudget::unlimited())
+            .design_from_trace(&paper_trace())
+            .unwrap();
+        assert!(!design.degradation().is_degraded());
+        assert_eq!(design.effective_history(), 2);
+    }
+
+    #[test]
+    fn tight_minterm_budget_degrades_but_still_designs() {
+        // max_minterms = 1 is impossible for any order ≥ 1 spec, so the
+        // ladder must run all the way down to the counter.
+        let budget = DesignBudget {
+            max_minterms: Some(1),
+            ..DesignBudget::default()
+        };
+        let design = Designer::new(4)
+            .budget(budget)
+            .design_from_trace(&paper_trace())
+            .unwrap();
+        assert!(design.degradation().is_degraded());
+        assert_eq!(
+            design.degradation().final_rung(),
+            Some(Rung::SaturatingCounter)
+        );
+        assert_eq!(design.effective_history(), 0);
+        // The counter is still a usable 4-state predictor.
+        assert_eq!(design.fsm().num_states(), 4);
+        // The paper trace is majority ones, so the counter starts taken.
+        let p = design.predictor();
+        assert!(p.predict());
+    }
+
+    #[test]
+    fn tight_dfa_budget_reduces_order() {
+        // Enough room for the minimizer, but only a few DFA states: the
+        // ladder should shorten the history until the machine fits.
+        let budget = DesignBudget {
+            max_dfa_states: Some(3),
+            ..DesignBudget::default()
+        };
+        let t: BitTrace = "0011 0011 0011 0011 0011 0011 0011 0011".parse().unwrap();
+        let design = Designer::new(6)
+            .budget(budget)
+            .design_from_trace(&t)
+            .unwrap();
+        assert!(design.degradation().is_degraded());
+        assert!(design.effective_history() < 6);
+        assert!(design.fsm().num_states() <= 3);
+    }
+
+    #[test]
+    fn degrade_disabled_returns_budget_error() {
+        let budget = DesignBudget {
+            max_minterms: Some(1),
+            ..DesignBudget::default()
+        };
+        let err = Designer::new(4)
+            .budget(budget)
+            .degrade(false)
+            .design_from_trace(&paper_trace())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DesignError::BudgetExceeded { stage: "minimize", .. }
+        ));
+    }
+
+    #[test]
+    fn order_too_large_is_reported() {
+        // MAX_ORDER tracks the minimizer width, so build the model directly
+        // at an unsupported order to hit the guard.
+        let too_wide = fsmgen_logicmin::MAX_VARS + 1;
+        if too_wide > crate::MAX_ORDER {
+            // Constructor guard already prevents this; the error variant is
+            // covered for forward-compat when MAX_ORDER outgrows MAX_VARS.
+            return;
+        }
+        let t: BitTrace = "01".repeat(64).parse().unwrap();
+        let err = Designer::new(too_wide).design_from_trace(&t).unwrap_err();
+        assert!(matches!(err, DesignError::OrderTooLarge { .. }));
     }
 
     #[test]

@@ -25,6 +25,29 @@ pub enum DesignError {
     },
     /// The pattern configuration is invalid (message from validation).
     BadConfig(String),
+    /// The model's order exceeds the logic minimizer's width limit.
+    OrderTooLarge {
+        /// The requested history order.
+        order: usize,
+        /// The widest order the minimizer supports.
+        max: usize,
+    },
+    /// A pipeline stage exceeded its [`DesignBudget`](crate::DesignBudget)
+    /// and degradation was disabled (or the ladder was exhausted).
+    BudgetExceeded {
+        /// The pipeline stage that hit the limit.
+        stage: &'static str,
+        /// Description of the violated limit.
+        reason: String,
+    },
+    /// An internal pipeline stage failed unexpectedly (including injected
+    /// faults from [`failpoints`](crate::failpoints)).
+    Internal {
+        /// The pipeline stage that failed.
+        stage: &'static str,
+        /// Description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -40,6 +63,16 @@ impl fmt::Display for DesignError {
                 "designer history {designer} does not match model order {model}"
             ),
             DesignError::BadConfig(msg) => write!(f, "invalid pattern configuration: {msg}"),
+            DesignError::OrderTooLarge { order, max } => write!(
+                f,
+                "history order {order} exceeds the minimizer's width limit of {max}"
+            ),
+            DesignError::BudgetExceeded { stage, reason } => {
+                write!(f, "design budget exceeded in {stage}: {reason}")
+            }
+            DesignError::Internal { stage, reason } => {
+                write!(f, "internal failure in {stage}: {reason}")
+            }
         }
     }
 }
@@ -61,6 +94,18 @@ mod tests {
             .to_string()
             .contains("no observations"));
         assert!(DesignError::BadConfig("x".into()).to_string().contains('x'));
+        let e = DesignError::OrderTooLarge { order: 40, max: 32 };
+        assert!(e.to_string().contains("40"));
+        let e = DesignError::BudgetExceeded {
+            stage: "minimize",
+            reason: "too many primes".into(),
+        };
+        assert!(e.to_string().contains("minimize"));
+        let e = DesignError::Internal {
+            stage: "dfa",
+            reason: "injected".into(),
+        };
+        assert!(e.to_string().contains("dfa"));
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! The [`Designer`] type orchestrates the flow and the returned [`Design`]
 //! exposes every intermediate artifact.
 //!
+//! The flow can run under a [`DesignBudget`] capping states, cubes and wall
+//! clock; budget exhaustion triggers a graceful-degradation ladder recorded
+//! in the design's [`Degradation`] report. The [`failpoints`] module
+//! injects deterministic faults for testing.
+//!
 //! # Examples
 //!
 //! The paper's running example, from trace to Figure 1's 3-state machine:
@@ -47,13 +52,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod budget;
 mod designer;
 mod error;
+pub mod failpoints;
 mod markov;
 mod patterns;
 mod sweep;
 
+pub use budget::{Degradation, DegradationStep, DesignBudget, Rung};
 pub use designer::{Design, Designer};
 pub use error::DesignError;
 pub use markov::{HistoryCounts, MarkovModel, MAX_ORDER};

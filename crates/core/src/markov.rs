@@ -173,6 +173,46 @@ impl MarkovModel {
         self.table.values().map(HistoryCounts::total).sum()
     }
 
+    /// Returns a lower-order projection of this model: every history is
+    /// truncated to its `new_order` most recent outcomes (bit 0 holds the
+    /// most recent outcome, so truncation is a mask) and the counts of
+    /// histories that collapse together are summed.
+    ///
+    /// This is what the degradation ladder uses to retry a design with a
+    /// shorter history window without re-reading the trace: the projection
+    /// of the order-N model equals the model built from the trace at the
+    /// lower order, up to the `N - new_order` extra warm-up observations
+    /// the shorter window would have captured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_order` is zero or exceeds the current order.
+    #[must_use]
+    pub fn reduced(&self, new_order: usize) -> MarkovModel {
+        assert!(
+            new_order > 0 && new_order <= self.order,
+            "reduced order must be in 1..={}, got {new_order}",
+            self.order
+        );
+        if new_order == self.order {
+            return self.clone();
+        }
+        let mask = (1u32 << new_order) - 1;
+        let mut reduced = MarkovModel::new(new_order);
+        for (h, c) in self.iter() {
+            let e = reduced.table.entry(h & mask).or_default();
+            e.zeros += c.zeros;
+            e.ones += c.ones;
+        }
+        reduced
+    }
+
+    /// Total observations that were followed by a 1, across all histories.
+    #[must_use]
+    pub fn total_ones(&self) -> u64 {
+        self.table.values().map(|c| c.ones).sum()
+    }
+
     /// Merges another model's counts into this one (used to build the
     /// aggregate, cross-trained models of §6.3).
     ///
@@ -270,6 +310,48 @@ mod tests {
         let c = a.counts(0b01).unwrap();
         assert_eq!((c.ones, c.zeros), (1, 1));
         assert_eq!(a.observed_histories(), 2);
+    }
+
+    #[test]
+    fn reduced_model_matches_direct_construction() {
+        // Projecting the order-3 model down to order 2 must agree with the
+        // order-2 model built from the same trace on every shared history
+        // (the direct model additionally sees one earlier warm-up position).
+        let t = paper_trace();
+        let m3 = MarkovModel::from_bit_trace(3, &t).unwrap();
+        let m2 = MarkovModel::from_bit_trace(2, &t).unwrap();
+        let r2 = m3.reduced(2);
+        assert_eq!(r2.order(), 2);
+        // Totals: the order-3 window starts one bit later, so the projected
+        // model has exactly one fewer observation.
+        assert_eq!(r2.total_observations() + 1, m2.total_observations());
+        for (h, rc) in r2.iter() {
+            let dc = m2.counts(h).unwrap();
+            assert!(rc.ones <= dc.ones && rc.zeros <= dc.zeros, "history {h:b}");
+        }
+    }
+
+    #[test]
+    fn reduced_to_same_order_is_identity() {
+        let m = MarkovModel::from_bit_trace(2, &paper_trace()).unwrap();
+        assert_eq!(m.reduced(2), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced order must be")]
+    fn reduced_rejects_widening() {
+        let m = MarkovModel::new(2);
+        let _ = m.reduced(3);
+    }
+
+    #[test]
+    fn total_ones_counts() {
+        let mut m = MarkovModel::new(2);
+        m.observe(0, true);
+        m.observe(0, true);
+        m.observe(1, false);
+        assert_eq!(m.total_ones(), 2);
+        assert_eq!(m.total_observations(), 3);
     }
 
     #[test]

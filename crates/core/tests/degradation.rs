@@ -1,0 +1,260 @@
+//! End-to-end tests of the budget / degradation / fault-injection layer:
+//! every ladder rung is forced to fire (via failpoints and via genuinely
+//! tight budgets) and the returned predictor is checked to still replay
+//! the training trace sensibly.
+
+#![cfg(feature = "failpoints")]
+
+use fsmgen::{failpoints, DesignBudget, DesignError, Designer, Rung};
+use fsmgen_traces::BitTrace;
+
+fn paper_trace() -> BitTrace {
+    "0000 1000 1011 1101 1110 1111".parse().unwrap()
+}
+
+fn period_trace() -> BitTrace {
+    "0011".repeat(16).parse().unwrap()
+}
+
+/// Replays `trace` through the design's predictor and returns the
+/// prediction accuracy over the post-warm-up suffix.
+fn replay_accuracy(design: &fsmgen::Design, trace: &BitTrace, warmup: usize) -> f64 {
+    let mut p = design.predictor();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (i, bit) in trace.iter().enumerate() {
+        if i >= warmup {
+            total += 1;
+            if p.predict() == bit {
+                correct += 1;
+            }
+        }
+        p.update(bit);
+    }
+    correct as f64 / total as f64
+}
+
+/// Clears failpoints even when the test body panics, so one failing test
+/// cannot poison the thread for the next one.
+struct FailpointGuard;
+
+impl Drop for FailpointGuard {
+    fn drop(&mut self) {
+        failpoints::clear();
+    }
+}
+
+fn with_failpoints<R>(spec: &str, body: impl FnOnce() -> R) -> R {
+    let _guard = FailpointGuard;
+    failpoints::clear();
+    failpoints::configure_from_spec(spec).expect("test spec must parse");
+    body()
+}
+
+#[test]
+fn rung_one_heuristic_minimizer_fires() {
+    // One injected budget failure at the minimizer: the ladder retries with
+    // the heuristic and succeeds at full order.
+    let design = with_failpoints("minimize=budget:1", || {
+        Designer::new(4).design_from_trace(&period_trace()).unwrap()
+    });
+    assert_eq!(
+        design.degradation().final_rung(),
+        Some(Rung::HeuristicMinimizer)
+    );
+    assert_eq!(design.effective_history(), 4);
+    // The heuristic cover is still correct: the period-4 trace replays
+    // almost perfectly.
+    assert!(replay_accuracy(&design, &period_trace(), 4) > 0.9);
+}
+
+#[test]
+fn rung_two_reduced_order_fires() {
+    // Two injected budget failures: exact → heuristic → order N-1.
+    let design = with_failpoints("minimize=budget:2", || {
+        Designer::new(4).design_from_trace(&period_trace()).unwrap()
+    });
+    assert_eq!(design.degradation().final_rung(), Some(Rung::ReducedOrder(3)));
+    assert_eq!(design.effective_history(), 3);
+    assert_eq!(design.degradation().steps().len(), 2);
+    // Order 3 still resolves a period-4 pattern on the training trace.
+    assert!(replay_accuracy(&design, &period_trace(), 4) > 0.9);
+}
+
+#[test]
+fn rung_three_saturating_counter_fires() {
+    // Unlimited budget failures at the minimizer: the ladder exhausts every
+    // order and lands on the counter, which uses no minimizer at all.
+    let design = with_failpoints("minimize=budget", || {
+        Designer::new(4).design_from_trace(&paper_trace()).unwrap()
+    });
+    assert_eq!(
+        design.degradation().final_rung(),
+        Some(Rung::SaturatingCounter)
+    );
+    assert_eq!(design.effective_history(), 0);
+    // Ladder walk: heuristic, orders 3..1, then the counter.
+    let rungs: Vec<Rung> = design.degradation().steps().iter().map(|s| s.rung).collect();
+    assert_eq!(
+        rungs,
+        vec![
+            Rung::HeuristicMinimizer,
+            Rung::ReducedOrder(3),
+            Rung::ReducedOrder(2),
+            Rung::ReducedOrder(1),
+            Rung::SaturatingCounter,
+        ]
+    );
+    // The counter still beats a coin flip on the majority-taken trace.
+    assert_eq!(design.fsm().num_states(), 4);
+    assert!(replay_accuracy(&design, &paper_trace(), 4) > 0.5);
+}
+
+#[test]
+fn every_automaton_stage_degrades() {
+    // Each automaton-construction stage, when it reports budget
+    // exhaustion, sends the ladder down without panicking.
+    for stage in ["patterns", "nfa", "dfa", "hopcroft", "reduce"] {
+        let spec = format!("{stage}=budget:1");
+        let design = with_failpoints(&spec, || {
+            Designer::new(3).design_from_trace(&period_trace()).unwrap()
+        });
+        assert!(
+            design.degradation().is_degraded(),
+            "stage {stage} did not degrade"
+        );
+        assert_eq!(
+            design.degradation().steps()[0].stage,
+            stage,
+            "wrong stage recorded for {stage}"
+        );
+    }
+}
+
+#[test]
+fn hard_faults_surface_as_internal_errors() {
+    for stage in ["patterns", "minimize", "nfa", "dfa", "hopcroft", "reduce"] {
+        let spec = format!("{stage}=error:1");
+        let err = with_failpoints(&spec, || {
+            Designer::new(3)
+                .design_from_trace(&period_trace())
+                .unwrap_err()
+        });
+        match err {
+            DesignError::Internal { stage: s, reason } => {
+                assert_eq!(s, stage);
+                assert!(reason.contains("injected"));
+            }
+            other => panic!("expected Internal for {stage}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn counter_rung_failure_is_internal() {
+    // If even the bottom rung fails, the error is typed — never a panic.
+    let err = with_failpoints("minimize=budget,counter=error", || {
+        Designer::new(3)
+            .design_from_trace(&period_trace())
+            .unwrap_err()
+    });
+    assert!(matches!(err, DesignError::Internal { stage: "counter", .. }));
+}
+
+#[test]
+fn degrade_off_converts_injected_budget_to_error() {
+    let err = with_failpoints("dfa=budget:1", || {
+        Designer::new(3)
+            .degrade(false)
+            .design_from_trace(&period_trace())
+            .unwrap_err()
+    });
+    assert!(matches!(err, DesignError::BudgetExceeded { stage: "dfa", .. }));
+}
+
+#[test]
+fn real_budgets_and_adversarial_traces_never_panic() {
+    failpoints::clear();
+    // A worst-case trace for logic minimization: a de-Bruijn-flavoured
+    // mixture that populates many histories with conflicting outcomes.
+    let bits: String = (0..512)
+        .map(|i: u32| {
+            let h = i.wrapping_mul(2654435761);
+            if (h >> 13) & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect();
+    let nasty: BitTrace = bits.parse().unwrap();
+
+    let budgets = [
+        DesignBudget::unlimited(),
+        DesignBudget {
+            max_minterms: Some(1),
+            ..DesignBudget::default()
+        },
+        DesignBudget {
+            max_primes: Some(2),
+            ..DesignBudget::default()
+        },
+        DesignBudget {
+            max_nfa_states: Some(4),
+            ..DesignBudget::default()
+        },
+        DesignBudget {
+            max_dfa_states: Some(2),
+            ..DesignBudget::default()
+        },
+        DesignBudget {
+            max_minterms: Some(8),
+            max_primes: Some(8),
+            max_cover_nodes: Some(16),
+            max_nfa_states: Some(8),
+            max_dfa_states: Some(4),
+            ..DesignBudget::default()
+        },
+    ];
+    for (i, budget) in budgets.iter().enumerate() {
+        for order in [1, 2, 5, 8] {
+            let design = Designer::new(order)
+                .budget(*budget)
+                .design_from_trace(&nasty)
+                .unwrap_or_else(|e| panic!("budget #{i} order {order} failed: {e}"));
+            // Whatever rung it landed on, the machine must be runnable.
+            let mut p = design.predictor();
+            for bit in nasty.iter() {
+                let _ = p.predict();
+                p.update(bit);
+            }
+            if let Some(limit) = budget.max_dfa_states {
+                assert!(design.fsm().num_states() <= limit.max(4));
+            }
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_design_still_succeeds() {
+    failpoints::clear();
+    // A deadline in the past: exact minimization aborts, but the heuristic
+    // treats it as "stop improving" and the ladder completes.
+    let budget = DesignBudget {
+        deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+        ..DesignBudget::default()
+    };
+    let design = Designer::new(4)
+        .budget(budget)
+        .design_from_trace(&period_trace())
+        .unwrap();
+    // The automaton stages also honour the deadline, so the ladder may run
+    // all the way to the counter — the guarantee is a usable machine plus a
+    // populated report, not a quality bound.
+    assert!(design.degradation().is_degraded());
+    let mut p = design.predictor();
+    for bit in period_trace().iter() {
+        let _ = p.predict();
+        p.update(bit);
+    }
+}

@@ -17,6 +17,7 @@
 //! and property tests) and in practice matches the exact Quine–McCluskey
 //! cost on the history functions this project generates.
 
+use crate::budget::{BudgetError, MinimizeBudget};
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::spec::FunctionSpec;
@@ -32,10 +33,41 @@ const MAX_PASSES: usize = 6;
 /// For an empty on-set, returns the empty (constant-false) cover.
 #[must_use]
 pub fn minimize_heuristic(spec: &FunctionSpec) -> Cover {
+    match minimize_heuristic_checked(spec, &MinimizeBudget::unlimited()) {
+        Ok(cover) => cover,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`minimize_heuristic`] under a [`MinimizeBudget`].
+///
+/// `max_minterms` bounds the explicit on+off sets checked before any work
+/// starts. The deadline is honoured between passes: an expiry breaks out of
+/// the improvement loop early (before the next REDUCE, so the trailing
+/// EXPAND/IRREDUNDANT pair still leaves a correct cover) rather than
+/// failing. `max_primes`/`max_cover_nodes` do not apply to this algorithm —
+/// its cube count only shrinks from the initial on-set.
+///
+/// # Errors
+///
+/// Returns a [`BudgetError`] naming the violated limit.
+pub fn minimize_heuristic_checked(
+    spec: &FunctionSpec,
+    budget: &MinimizeBudget,
+) -> Result<Cover, BudgetError> {
     let width = spec.width();
     let on: Vec<u32> = spec.on_set().iter().copied().collect();
     if on.is_empty() {
-        return Cover::new(width);
+        return Ok(Cover::new(width));
+    }
+    let explicit = on.len() + spec.off_set().len();
+    if let Some(limit) = budget.max_minterms {
+        if explicit > limit {
+            return Err(BudgetError::Minterms {
+                required: explicit,
+                limit,
+            });
+        }
     }
     let off: Vec<Cube> = spec
         .off_set()
@@ -50,7 +82,10 @@ pub fn minimize_heuristic(spec: &FunctionSpec) -> Cover {
         expand(&mut cubes, &on, &off, width);
         irredundant(&mut cubes, &on);
         let cost = cost_of(&cubes);
-        if cost >= best_cost {
+        // Deadline expiry is a stop-improving signal, not a failure: the
+        // cover is correct here (REDUCE is what transiently breaks it, and
+        // it only runs when we continue the loop).
+        if cost >= best_cost || budget.deadline_expired() {
             break;
         }
         best_cost = cost;
@@ -63,7 +98,7 @@ pub fn minimize_heuristic(spec: &FunctionSpec) -> Cover {
 
     cubes.sort_unstable();
     cubes.dedup();
-    Cover::from_cubes(width, cubes)
+    Ok(Cover::from_cubes(width, cubes))
 }
 
 fn cost_of(cubes: &[Cube]) -> (usize, u32) {
@@ -302,6 +337,38 @@ mod tests {
                 exact.len()
             );
         }
+    }
+
+    #[test]
+    fn minterm_budget_rejects_oversized_specs() {
+        let on: Vec<u32> = (0..8).collect();
+        let off: Vec<u32> = (8..16).collect();
+        let spec = FunctionSpec::from_sets(4, on, off).unwrap();
+        let budget = MinimizeBudget {
+            max_minterms: Some(10),
+            ..MinimizeBudget::default()
+        };
+        assert_eq!(
+            minimize_heuristic_checked(&spec, &budget),
+            Err(BudgetError::Minterms {
+                required: 16,
+                limit: 10
+            })
+        );
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_correct_cover() {
+        use std::time::{Duration, Instant};
+        let on: Vec<u32> = (0u32..16).filter(|m| m.count_ones() % 2 == 1).collect();
+        let off: Vec<u32> = (0u32..16).filter(|m| m.count_ones() % 2 == 0).collect();
+        let spec = FunctionSpec::from_sets(4, on, off).unwrap();
+        let budget = MinimizeBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..MinimizeBudget::default()
+        };
+        let cover = minimize_heuristic_checked(&spec, &budget).unwrap();
+        verify_cover(&spec, &cover).expect("deadline-cut cover must still satisfy the spec");
     }
 
     #[test]

@@ -33,13 +33,16 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 mod cover;
 mod cube;
 pub mod espresso;
 pub mod qm;
 mod spec;
 
+pub use budget::{BudgetError, MinimizeBudget};
 pub use cover::Cover;
 pub use cube::{Cube, Minterms, ParseCubeError, MAX_VARS};
 pub use espresso::verify_cover;
@@ -86,15 +89,44 @@ pub enum Algorithm {
 /// ```
 #[must_use]
 pub fn minimize(spec: &FunctionSpec, algorithm: Algorithm) -> Cover {
+    match minimize_checked(spec, algorithm, &MinimizeBudget::unlimited()) {
+        Ok(cover) => cover,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`minimize`] under a [`MinimizeBudget`]: the selected engine aborts with
+/// a typed error instead of running past the configured resource limits.
+///
+/// Budget semantics per engine:
+///
+/// * exact engines ([`Algorithm::Exact`], [`Algorithm::ShortWindow`], and
+///   the exact side of [`Algorithm::Auto`]) enforce `max_minterms` (checked
+///   arithmetically before any enumeration), `max_primes` and the deadline
+///   as hard limits, while `max_cover_nodes`/deadline exhaustion inside the
+///   covering step only degrades the result to a greedy cover;
+/// * the heuristic engine enforces `max_minterms` over the explicit on+off
+///   sets and treats the deadline as a stop-improving signal.
+///
+/// An unlimited budget (the default) makes this identical to [`minimize`].
+///
+/// # Errors
+///
+/// Returns a [`BudgetError`] naming the violated limit.
+pub fn minimize_checked(
+    spec: &FunctionSpec,
+    algorithm: Algorithm,
+    budget: &MinimizeBudget,
+) -> Result<Cover, BudgetError> {
     match algorithm {
-        Algorithm::Exact => qm::minimize_exact(spec),
-        Algorithm::Heuristic => espresso::minimize_heuristic(spec),
-        Algorithm::ShortWindow => qm::minimize_short_window(spec),
+        Algorithm::Exact => qm::minimize_exact_checked(spec, budget),
+        Algorithm::Heuristic => espresso::minimize_heuristic_checked(spec, budget),
+        Algorithm::ShortWindow => qm::minimize_short_window_checked(spec, budget),
         Algorithm::Auto { exact_up_to } => {
             if spec.width() <= exact_up_to {
-                qm::minimize_exact(spec)
+                qm::minimize_exact_checked(spec, budget)
             } else {
-                espresso::minimize_heuristic(spec)
+                espresso::minimize_heuristic_checked(spec, budget)
             }
         }
     }

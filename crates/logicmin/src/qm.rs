@@ -5,6 +5,7 @@
 //! dominance reduction and branch-and-bound (falling back to a greedy
 //! heuristic only for covering tables too large to solve exactly).
 
+use crate::budget::{BudgetError, MinimizeBudget};
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::spec::FunctionSpec;
@@ -21,10 +22,48 @@ const EXACT_COVER_LIMIT: usize = 24;
 /// minterm.
 #[must_use]
 pub fn prime_implicants(spec: &FunctionSpec) -> Vec<Cube> {
+    match prime_implicants_checked(spec, &MinimizeBudget::unlimited()) {
+        Ok(primes) => primes,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`prime_implicants`] with a resource budget: the minterm count is checked
+/// arithmetically *before* the `O(2^width)` seed enumeration, and the merge
+/// loop aborts as soon as it grows past `max_primes` or the deadline.
+///
+/// # Errors
+///
+/// Returns a [`BudgetError`] naming the violated limit.
+pub fn prime_implicants_checked(
+    spec: &FunctionSpec,
+    budget: &MinimizeBudget,
+) -> Result<Vec<Cube>, BudgetError> {
     let width = spec.width();
+    // Every minterm outside the off-set seeds the merge table (on plus
+    // explicit and implicit don't-cares), so the seed count is known without
+    // enumerating anything.
+    let seeds = ((1u64 << width) - spec.off_set().len() as u64) as usize;
+    if let Some(limit) = budget.max_minterms {
+        if seeds > limit {
+            return Err(BudgetError::Minterms {
+                required: seeds,
+                limit,
+            });
+        }
+    }
+    if let Some(limit) = budget.max_primes {
+        if seeds > limit {
+            return Err(BudgetError::Primes {
+                generated: seeds,
+                limit,
+            });
+        }
+    }
+    budget.check_deadline("prime seeding")?;
+
     // Seed with every on and explicit-or-implicit don't-care minterm. Using
-    // implicit don't-cares is required for correctness of QM merging; the
-    // set is bounded by 2^width which is small for predictor histories.
+    // implicit don't-cares is required for correctness of QM merging.
     let mut current: BTreeSet<Cube> = spec
         .on_set()
         .iter()
@@ -34,6 +73,16 @@ pub fn prime_implicants(spec: &FunctionSpec) -> Vec<Cube> {
 
     let mut primes: BTreeSet<Cube> = BTreeSet::new();
     while !current.is_empty() {
+        budget.check_deadline("prime merging")?;
+        if let Some(limit) = budget.max_primes {
+            let alive = primes.len() + current.len();
+            if alive > limit {
+                return Err(BudgetError::Primes {
+                    generated: alive,
+                    limit,
+                });
+            }
+        }
         // Group by (mask, ones-count); only cubes in adjacent ones-count
         // groups with identical masks can merge.
         let mut groups: BTreeMap<(u32, u32), Vec<Cube>> = BTreeMap::new();
@@ -68,10 +117,10 @@ pub fn prime_implicants(spec: &FunctionSpec) -> Vec<Cube> {
 
     // Keep only primes that cover at least one on minterm: primes covering
     // purely don't-care territory are useless for the cover.
-    primes
+    Ok(primes
         .into_iter()
         .filter(|p| spec.on_set().iter().any(|&m| p.covers_minterm(m)))
-        .collect()
+        .collect())
 }
 
 /// Minimizes `spec` exactly: returns a minimum-cube (then minimum-literal)
@@ -85,13 +134,33 @@ pub fn prime_implicants(spec: &FunctionSpec) -> Vec<Cube> {
 /// beyond that a deterministic greedy selection is used.
 #[must_use]
 pub fn minimize_exact(spec: &FunctionSpec) -> Cover {
+    match minimize_exact_checked(spec, &MinimizeBudget::unlimited()) {
+        Ok(cover) => cover,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`minimize_exact`] under a [`MinimizeBudget`].
+///
+/// Prime generation respects the minterm/prime/deadline limits; the covering
+/// step treats `max_cover_nodes` and the deadline as quality limits only —
+/// when exceeded it falls back to the deterministic greedy selection, so a
+/// cover that got past prime generation is always returned.
+///
+/// # Errors
+///
+/// Returns a [`BudgetError`] naming the violated limit.
+pub fn minimize_exact_checked(
+    spec: &FunctionSpec,
+    budget: &MinimizeBudget,
+) -> Result<Cover, BudgetError> {
     let width = spec.width();
     if spec.on_set().is_empty() {
-        return Cover::new(width);
+        return Ok(Cover::new(width));
     }
-    let primes = prime_implicants(spec);
-    let chosen = select_cover(&primes, spec.on_set());
-    Cover::from_cubes(width, chosen)
+    let primes = prime_implicants_checked(spec, budget)?;
+    let chosen = select_cover(&primes, spec.on_set(), budget);
+    Ok(Cover::from_cubes(width, chosen))
 }
 
 /// Minimizes `spec` while also minimizing the *effective window*: the
@@ -125,12 +194,32 @@ pub fn minimize_exact(spec: &FunctionSpec) -> Cover {
 /// ```
 #[must_use]
 pub fn minimize_short_window(spec: &FunctionSpec) -> Cover {
+    match minimize_short_window_checked(spec, &MinimizeBudget::unlimited()) {
+        Ok(cover) => cover,
+        Err(_) => unreachable!("unlimited budgets never abort"),
+    }
+}
+
+/// [`minimize_short_window`] under a [`MinimizeBudget`].
+///
+/// Budget semantics match [`minimize_exact_checked`]: hard limits apply to
+/// prime generation, while the covering step degrades to greedy selection
+/// instead of failing.
+///
+/// # Errors
+///
+/// Returns a [`BudgetError`] naming the violated limit.
+pub fn minimize_short_window_checked(
+    spec: &FunctionSpec,
+    budget: &MinimizeBudget,
+) -> Result<Cover, BudgetError> {
     let width = spec.width();
     if spec.on_set().is_empty() {
-        return Cover::new(width);
+        return Ok(Cover::new(width));
     }
-    let primes = prime_implicants(spec);
+    let primes = prime_implicants_checked(spec, budget)?;
     for window in 1..=width {
+        budget.check_deadline("window search")?;
         let mask_limit: u32 = if window >= 32 {
             u32::MAX
         } else {
@@ -146,15 +235,21 @@ pub fn minimize_short_window(spec: &FunctionSpec) -> Cover {
             .iter()
             .all(|&m| allowed.iter().any(|p| p.covers_minterm(m)));
         if covers_all {
-            return Cover::from_cubes(width, select_cover(&allowed, spec.on_set()));
+            return Ok(Cover::from_cubes(
+                width,
+                select_cover(&allowed, spec.on_set(), budget),
+            ));
         }
     }
     // Unreachable: window == width always covers, but keep a safe fallback.
-    Cover::from_cubes(width, select_cover(&primes, spec.on_set()))
+    Ok(Cover::from_cubes(
+        width,
+        select_cover(&primes, spec.on_set(), budget),
+    ))
 }
 
 /// Selects a small subset of `primes` covering every minterm in `on`.
-fn select_cover(primes: &[Cube], on: &BTreeSet<u32>) -> Vec<Cube> {
+fn select_cover(primes: &[Cube], on: &BTreeSet<u32>, budget: &MinimizeBudget) -> Vec<Cube> {
     let minterms: Vec<u32> = on.iter().copied().collect();
     // coverage[p] = bitset (as Vec<u64>) of minterm indices prime p covers.
     let n = minterms.len();
@@ -260,12 +355,17 @@ fn select_cover(primes: &[Cube], on: &BTreeSet<u32>) -> Vec<Cube> {
         }
 
         if !progress {
-            // Cyclic core: solve exactly if small, otherwise greedily.
-            if active.len() <= EXACT_COVER_LIMIT {
-                let picks = exact_cover(&active, &coverage, &uncovered, primes);
-                chosen.extend(picks);
+            // Cyclic core: solve exactly if small and within budget,
+            // otherwise greedily. Budget exhaustion here only degrades the
+            // cover quality — the greedy fallback always completes.
+            let picks = if active.len() <= EXACT_COVER_LIMIT {
+                exact_cover(&active, &coverage, &uncovered, primes, budget)
             } else {
-                greedy_cover(&mut chosen, &active, &coverage, &mut uncovered);
+                None
+            };
+            match picks {
+                Some(picks) => chosen.extend(picks),
+                None => greedy_cover(&mut chosen, &active, &coverage, &mut uncovered),
             }
             break;
         }
@@ -277,19 +377,27 @@ fn select_cover(primes: &[Cube], on: &BTreeSet<u32>) -> Vec<Cube> {
     result
 }
 
-/// Branch-and-bound over subsets of `active`; returns the minimum-cost pick.
+/// Branch-and-bound over subsets of `active`; returns the minimum-cost pick,
+/// or `None` when the node budget or deadline was exhausted first (the
+/// caller then falls back to greedy selection).
 fn exact_cover(
     active: &[usize],
     coverage: &[Vec<u64>],
     uncovered: &[u64],
     primes: &[Cube],
-) -> Vec<usize> {
+    budget: &MinimizeBudget,
+) -> Option<Vec<usize>> {
     struct Ctx<'a> {
         active: &'a [usize],
         coverage: &'a [Vec<u64>],
         primes: &'a [Cube],
         best: Option<(usize, u32, Vec<usize>)>,
+        budget: &'a MinimizeBudget,
+        nodes: usize,
+        aborted: bool,
     }
+    /// Deadline polls are amortized over this many branch nodes.
+    const DEADLINE_POLL_NODES: usize = 256;
     fn cost(picks: &[usize], primes: &[Cube]) -> (usize, u32) {
         (
             picks.len(),
@@ -297,6 +405,19 @@ fn exact_cover(
         )
     }
     fn rec(ctx: &mut Ctx<'_>, idx: usize, uncovered: Vec<u64>, picks: Vec<usize>) {
+        if ctx.aborted {
+            return;
+        }
+        ctx.nodes += 1;
+        if ctx
+            .budget
+            .max_cover_nodes
+            .is_some_and(|limit| ctx.nodes > limit)
+            || (ctx.nodes.is_multiple_of(DEADLINE_POLL_NODES) && ctx.budget.deadline_expired())
+        {
+            ctx.aborted = true;
+            return;
+        }
         if uncovered.iter().all(|&w| w == 0) {
             let (c, l) = cost(&picks, ctx.primes);
             let better = match &ctx.best {
@@ -348,9 +469,15 @@ fn exact_cover(
         coverage,
         primes,
         best: None,
+        budget,
+        nodes: 0,
+        aborted: false,
     };
     rec(&mut ctx, 0, uncovered.to_vec(), Vec::new());
-    ctx.best.map(|(_, _, picks)| picks).unwrap_or_default()
+    if ctx.aborted {
+        return None;
+    }
+    Some(ctx.best.map(|(_, _, picks)| picks).unwrap_or_default())
 }
 
 /// Deterministic greedy covering for oversized cyclic cores.
@@ -493,6 +620,82 @@ mod tests {
                 assert!(!p.covers_minterm(m));
             }
         }
+    }
+
+    #[test]
+    fn minterm_budget_rejects_before_enumeration() {
+        // 8 variables, tiny off-set: 256 - 2 = 254 seeds needed.
+        let spec = FunctionSpec::from_sets(8, [0b1111_0000], [0, 1]).unwrap();
+        let budget = MinimizeBudget {
+            max_minterms: Some(100),
+            ..MinimizeBudget::default()
+        };
+        assert_eq!(
+            minimize_exact_checked(&spec, &budget),
+            Err(BudgetError::Minterms {
+                required: 254,
+                limit: 100
+            })
+        );
+    }
+
+    #[test]
+    fn prime_budget_aborts_merging() {
+        let spec = FunctionSpec::from_sets(6, [0b111111], [0]).unwrap();
+        let budget = MinimizeBudget {
+            max_primes: Some(4),
+            ..MinimizeBudget::default()
+        };
+        assert!(matches!(
+            prime_implicants_checked(&spec, &budget),
+            Err(BudgetError::Primes { .. })
+        ));
+    }
+
+    #[test]
+    fn cover_node_budget_degrades_to_greedy_but_stays_correct() {
+        // Cyclic core with no essentials: a one-node budget forces the
+        // greedy fallback, which must still produce a valid cover.
+        let spec = FunctionSpec::from_sets(3, [0, 1, 2, 5, 6, 7], [3, 4]).unwrap();
+        let budget = MinimizeBudget {
+            max_cover_nodes: Some(1),
+            ..MinimizeBudget::default()
+        };
+        let cover = minimize_exact_checked(&spec, &budget).unwrap();
+        verify(&spec, &cover);
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited() {
+        let spec = FunctionSpec::from_sets(3, [0, 1, 2, 5, 6, 7], [3, 4]).unwrap();
+        let budget = MinimizeBudget {
+            max_minterms: Some(1 << 20),
+            max_primes: Some(1 << 20),
+            max_cover_nodes: Some(1 << 20),
+            deadline: None,
+        };
+        assert_eq!(
+            minimize_exact_checked(&spec, &budget).unwrap(),
+            minimize_exact(&spec)
+        );
+        assert_eq!(
+            minimize_short_window_checked(&spec, &budget).unwrap(),
+            minimize_short_window(&spec)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast() {
+        use std::time::{Duration, Instant};
+        let spec = FunctionSpec::from_sets(3, [0b111], [0b000]).unwrap();
+        let budget = MinimizeBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..MinimizeBudget::default()
+        };
+        assert!(matches!(
+            minimize_exact_checked(&spec, &budget),
+            Err(BudgetError::DeadlineExpired { .. })
+        ));
     }
 
     #[test]

@@ -5,9 +5,22 @@
 //!
 //! * branch traces: `PC TAKEN [TARGET]` with `TAKEN` ∈ {0, 1, T, N};
 //! * load traces: `PC VALUE`.
+//!
+//! The strict parsers ([`parse_branch_trace`], [`parse_load_trace`]) stop
+//! at the first malformed line; the lenient variants
+//! ([`parse_branch_trace_lenient`], [`parse_load_trace_lenient`]) skip bad
+//! lines and account for them in a [`ParseReport`]. Both reject lines
+//! longer than [`MAX_LINE_BYTES`], so a corrupt or adversarial file cannot
+//! force pathological allocations. No parser ever panics, whatever the
+//! input.
 
 use crate::events::{BranchEvent, BranchTrace, LoadEvent, LoadTrace};
 use std::fmt;
+
+/// The longest input line (in bytes, before comment stripping) either
+/// parser accepts. Real trace lines are tens of bytes; anything beyond
+/// this is a corrupt or hostile file.
+pub const MAX_LINE_BYTES: usize = 4096;
 
 /// Error produced when parsing a trace file fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +51,58 @@ impl fmt::Display for ParseTraceError {
 }
 
 impl std::error::Error for ParseTraceError {}
+
+/// Accounting from a lenient parse: how many lines carried events, how many
+/// were skipped as malformed, and the first error encountered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseReport {
+    parsed: usize,
+    skipped: usize,
+    first_error: Option<ParseTraceError>,
+}
+
+impl ParseReport {
+    /// Number of lines successfully parsed into events.
+    #[must_use]
+    pub fn parsed(&self) -> usize {
+        self.parsed
+    }
+
+    /// Number of malformed lines that were skipped.
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// `true` when no line was skipped.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0
+    }
+
+    /// The first malformed line's error, if any line was skipped.
+    #[must_use]
+    pub fn first_error(&self) -> Option<&ParseTraceError> {
+        self.first_error.as_ref()
+    }
+
+    fn record_skip(&mut self, err: ParseTraceError) {
+        self.skipped += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(err);
+        }
+    }
+}
+
+impl fmt::Display for ParseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} events parsed, {} lines skipped", self.parsed, self.skipped)?;
+        if let Some(err) = &self.first_error {
+            write!(f, " (first: {err})")?;
+        }
+        Ok(())
+    }
+}
 
 fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ParseTraceError> {
     let parsed = match token
@@ -70,38 +135,95 @@ fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ParseTraceErro
 /// ```
 pub fn parse_branch_trace(text: &str) -> Result<BranchTrace, ParseTraceError> {
     let mut trace = BranchTrace::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        let content = raw.split('#').next().unwrap_or("").trim();
-        if content.is_empty() {
-            continue;
+    for (line, content) in content_lines(text) {
+        if let Some(event) = parse_branch_line(content, line)? {
+            trace.push(event);
         }
-        let mut tokens = content.split_whitespace();
-        let pc = parse_u64(tokens.next().expect("non-empty line"), line, "pc")?;
-        let taken = match tokens.next() {
-            Some("1") | Some("T") | Some("t") => true,
-            Some("0") | Some("N") | Some("n") => false,
-            Some(other) => {
-                return Err(ParseTraceError::new(
-                    line,
-                    format!("invalid outcome {other:?}, expected 0/1/T/N"),
-                ))
-            }
-            None => return Err(ParseTraceError::new(line, "missing branch outcome")),
-        };
-        let target = match tokens.next() {
-            Some(t) => parse_u64(t, line, "target")?,
-            None => pc ^ 0x1000,
-        };
-        if let Some(extra) = tokens.next() {
-            return Err(ParseTraceError::new(
-                line,
-                format!("unexpected trailing token {extra:?}"),
-            ));
-        }
-        trace.push(BranchEvent { pc, target, taken });
     }
     Ok(trace)
+}
+
+/// Parses a branch trace, skipping malformed lines instead of failing.
+/// Returns the events from every well-formed line plus a [`ParseReport`]
+/// accounting for what was skipped.
+#[must_use]
+pub fn parse_branch_trace_lenient(text: &str) -> (BranchTrace, ParseReport) {
+    let mut trace = BranchTrace::new();
+    let mut report = ParseReport::default();
+    for (line, content) in content_lines(text) {
+        match parse_branch_line(content, line) {
+            Ok(Some(event)) => {
+                trace.push(event);
+                report.parsed += 1;
+            }
+            Ok(None) => {}
+            Err(err) => report.record_skip(err),
+        }
+    }
+    (trace, report)
+}
+
+/// Yields `(1-based line number, comment-stripped trimmed content)` for
+/// every line that still has content after stripping.
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            None
+        } else {
+            Some((i + 1, content))
+        }
+    })
+}
+
+/// Rejects over-long raw lines before any tokenization happens.
+fn check_line_length(content: &str, line: usize) -> Result<(), ParseTraceError> {
+    if content.len() > MAX_LINE_BYTES {
+        return Err(ParseTraceError::new(
+            line,
+            format!(
+                "line is {} bytes, longer than the {MAX_LINE_BYTES}-byte limit",
+                content.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses one comment-stripped branch line. `Ok(None)` is unreachable here
+/// (blank lines are filtered upstream) but keeps the signature symmetric.
+fn parse_branch_line(
+    content: &str,
+    line: usize,
+) -> Result<Option<BranchEvent>, ParseTraceError> {
+    check_line_length(content, line)?;
+    let mut tokens = content.split_whitespace();
+    let Some(first) = tokens.next() else {
+        return Ok(None);
+    };
+    let pc = parse_u64(first, line, "pc")?;
+    let taken = match tokens.next() {
+        Some("1") | Some("T") | Some("t") => true,
+        Some("0") | Some("N") | Some("n") => false,
+        Some(other) => {
+            return Err(ParseTraceError::new(
+                line,
+                format!("invalid outcome {other:?}, expected 0/1/T/N"),
+            ))
+        }
+        None => return Err(ParseTraceError::new(line, "missing branch outcome")),
+    };
+    let target = match tokens.next() {
+        Some(t) => parse_u64(t, line, "target")?,
+        None => pc ^ 0x1000,
+    };
+    if let Some(extra) = tokens.next() {
+        return Err(ParseTraceError::new(
+            line,
+            format!("unexpected trailing token {extra:?}"),
+        ));
+    }
+    Ok(Some(BranchEvent { pc, target, taken }))
 }
 
 /// Formats a branch trace in the form [`parse_branch_trace`] accepts.
@@ -123,27 +245,53 @@ pub fn format_branch_trace(trace: &BranchTrace) -> String {
 /// malformed line.
 pub fn parse_load_trace(text: &str) -> Result<LoadTrace, ParseTraceError> {
     let mut trace = LoadTrace::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        let content = raw.split('#').next().unwrap_or("").trim();
-        if content.is_empty() {
-            continue;
+    for (line, content) in content_lines(text) {
+        if let Some(event) = parse_load_line(content, line)? {
+            trace.push(event);
         }
-        let mut tokens = content.split_whitespace();
-        let pc = parse_u64(tokens.next().expect("non-empty line"), line, "pc")?;
-        let value = match tokens.next() {
-            Some(v) => parse_u64(v, line, "value")?,
-            None => return Err(ParseTraceError::new(line, "missing load value")),
-        };
-        if let Some(extra) = tokens.next() {
-            return Err(ParseTraceError::new(
-                line,
-                format!("unexpected trailing token {extra:?}"),
-            ));
-        }
-        trace.push(LoadEvent { pc, value });
     }
     Ok(trace)
+}
+
+/// Parses a load trace, skipping malformed lines instead of failing.
+/// Returns the events from every well-formed line plus a [`ParseReport`]
+/// accounting for what was skipped.
+#[must_use]
+pub fn parse_load_trace_lenient(text: &str) -> (LoadTrace, ParseReport) {
+    let mut trace = LoadTrace::new();
+    let mut report = ParseReport::default();
+    for (line, content) in content_lines(text) {
+        match parse_load_line(content, line) {
+            Ok(Some(event)) => {
+                trace.push(event);
+                report.parsed += 1;
+            }
+            Ok(None) => {}
+            Err(err) => report.record_skip(err),
+        }
+    }
+    (trace, report)
+}
+
+/// Parses one comment-stripped load line (see [`parse_branch_line`]).
+fn parse_load_line(content: &str, line: usize) -> Result<Option<LoadEvent>, ParseTraceError> {
+    check_line_length(content, line)?;
+    let mut tokens = content.split_whitespace();
+    let Some(first) = tokens.next() else {
+        return Ok(None);
+    };
+    let pc = parse_u64(first, line, "pc")?;
+    let value = match tokens.next() {
+        Some(v) => parse_u64(v, line, "value")?,
+        None => return Err(ParseTraceError::new(line, "missing load value")),
+    };
+    if let Some(extra) = tokens.next() {
+        return Err(ParseTraceError::new(
+            line,
+            format!("unexpected trailing token {extra:?}"),
+        ));
+    }
+    Ok(Some(LoadEvent { pc, value }))
 }
 
 /// Formats a load trace in the form [`parse_load_trace`] accepts.
@@ -222,5 +370,66 @@ mod tests {
     fn empty_input_is_empty_trace() {
         assert!(parse_branch_trace("").unwrap().is_empty());
         assert!(parse_load_trace("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn over_long_lines_are_rejected() {
+        let long = format!("0x100 1 0x{}\n", "f".repeat(MAX_LINE_BYTES));
+        let err = parse_branch_trace(&long).unwrap_err();
+        assert!(err.to_string().contains("byte limit"));
+
+        // Comment text does not count toward the limit.
+        let commented = format!("0x100 1 # {}\n", "x".repeat(MAX_LINE_BYTES));
+        assert_eq!(parse_branch_trace(&commented).unwrap().len(), 1);
+
+        let long_load = format!("0x100 0x{}\n", "f".repeat(MAX_LINE_BYTES));
+        assert!(parse_load_trace(&long_load).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_reports() {
+        let text = "0x100 1\nbogus line here\n0x104 N\n0x108 maybe\n# fine\n0x10c T\n";
+        let (trace, report) = parse_branch_trace_lenient(text);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(report.parsed(), 3);
+        assert_eq!(report.skipped(), 2);
+        assert!(!report.is_clean());
+        let first = report.first_error().unwrap();
+        assert_eq!(first.line(), 2);
+        assert!(report.to_string().contains("2 lines skipped"));
+
+        let (loads, report) = parse_load_trace_lenient("0x1 0x2\nnope\n0x3 0x4\n");
+        assert_eq!(loads.len(), 2);
+        assert_eq!(report.skipped(), 1);
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict() {
+        let text = "0x100 1 0x140\n0x104 N\n";
+        let strict = parse_branch_trace(text).unwrap();
+        let (lenient, report) = parse_branch_trace_lenient(text);
+        assert_eq!(strict, lenient);
+        assert!(report.is_clean());
+        assert!(report.first_error().is_none());
+        assert!(report.to_string().contains("0 lines skipped"));
+    }
+
+    #[test]
+    fn garbage_inputs_do_not_panic() {
+        for text in [
+            "\u{0}\u{0}\u{0}",
+            "0x",
+            "0X 1",
+            "- -",
+            "  #  \n#\n   \n",
+            "0x100 1 0x200\r\n0x104 0\r\n",
+            "ﬀ ﬀ ﬀ",
+            "18446744073709551616 1", // u64::MAX + 1
+        ] {
+            let _ = parse_branch_trace(text);
+            let _ = parse_load_trace(text);
+            let _ = parse_branch_trace_lenient(text);
+            let _ = parse_load_trace_lenient(text);
+        }
     }
 }

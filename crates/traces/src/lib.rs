@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod bits;
 mod events;
@@ -38,6 +39,7 @@ pub use bits::{BitTrace, Iter, ParseBitTraceError};
 pub use events::{BranchEvent, BranchTrace, LoadEvent, LoadTrace};
 pub use history::{HistoryRegister, MAX_HISTORY};
 pub use io::{
-    format_branch_trace, format_load_trace, parse_branch_trace, parse_load_trace, ParseTraceError,
+    format_branch_trace, format_load_trace, parse_branch_trace, parse_branch_trace_lenient,
+    parse_load_trace, parse_load_trace_lenient, ParseReport, ParseTraceError, MAX_LINE_BYTES,
 };
 pub use stats::{branch_profiles, BitStats, BranchProfile};

@@ -1,0 +1,125 @@
+//! Fuzz-style property tests of the trace parsers: no input — printable,
+//! binary, or adversarially structured — may ever panic them, and parsing
+//! is the inverse of formatting for every representable trace.
+
+use fsmgen_traces::{
+    format_branch_trace, format_load_trace, parse_branch_trace, parse_branch_trace_lenient,
+    parse_load_trace, parse_load_trace_lenient, BranchEvent, BranchTrace, LoadEvent, LoadTrace,
+};
+use proptest::prelude::*;
+
+/// Strings over the parser's own alphabet, so the fuzz reaches deep
+/// parser states instead of failing at the first token.
+fn trace_alphabet_string() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"0123456789abcdefxX# \t\r TN-";
+    proptest::collection::vec(0usize..CHARS.len(), 0..60)
+        .prop_map(|idxs| idxs.into_iter().map(|i| CHARS[i] as char).collect())
+}
+
+/// Arbitrary garbage: raw (lossily decoded) bytes, alphabet soup, and
+/// valid-looking shards mixed across lines.
+fn garbage_strategy() -> impl Strategy<Value = String> {
+    let shard = prop_oneof![
+        trace_alphabet_string().boxed(),
+        proptest::collection::vec(any::<u8>(), 0..40)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+            .boxed(),
+        Just("0x100 1 0x200".to_owned()).boxed(),
+        Just("0x100".to_owned()).boxed(),
+        Just("#".to_owned()).boxed(),
+        any::<u64>().prop_map(|n| format!("{n} {n}")).boxed(),
+    ];
+    proptest::collection::vec(shard, 0..12).prop_map(|parts| parts.join("\n"))
+}
+
+fn branch_trace_strategy() -> impl Strategy<Value = BranchTrace> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        0..40,
+    )
+    .prop_map(|events| {
+        let mut t = BranchTrace::new();
+        for (pc, target, taken) in events {
+            t.push(BranchEvent { pc, target, taken });
+        }
+        t
+    })
+}
+
+fn load_trace_strategy() -> impl Strategy<Value = LoadTrace> {
+    proptest::collection::vec((any::<u64>(), any::<u64>()), 0..40).prop_map(|events| {
+        let mut t = LoadTrace::new();
+        for (pc, value) in events {
+            t.push(LoadEvent { pc, value });
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Neither parser panics on arbitrary input; they return Ok or a typed
+    /// error, and the lenient variants always return.
+    #[test]
+    fn parsers_never_panic(text in garbage_strategy()) {
+        let _ = parse_branch_trace(&text);
+        let _ = parse_load_trace(&text);
+        let (_, report) = parse_branch_trace_lenient(&text);
+        // A skipped line implies a recorded first error and vice versa.
+        prop_assert_eq!(report.skipped() > 0, report.first_error().is_some());
+        let (_, report) = parse_load_trace_lenient(&text);
+        prop_assert_eq!(report.skipped() > 0, report.first_error().is_some());
+    }
+
+    /// Strict and lenient agree on well-formed input, and lenient's parsed
+    /// count matches the trace length.
+    #[test]
+    fn branch_round_trip(trace in branch_trace_strategy()) {
+        let text = format_branch_trace(&trace);
+        let strict = parse_branch_trace(&text).expect("formatted trace reparses");
+        prop_assert_eq!(&strict, &trace);
+        let (lenient, report) = parse_branch_trace_lenient(&text);
+        prop_assert_eq!(&lenient, &trace);
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(report.parsed(), trace.len());
+    }
+
+    /// Load traces round-trip the same way.
+    #[test]
+    fn load_round_trip(trace in load_trace_strategy()) {
+        let text = format_load_trace(&trace);
+        let strict = parse_load_trace(&text).expect("formatted trace reparses");
+        prop_assert_eq!(&strict, &trace);
+        let (lenient, report) = parse_load_trace_lenient(&text);
+        prop_assert_eq!(&lenient, &trace);
+        prop_assert!(report.is_clean());
+    }
+
+    /// Interleaving garbage lines into a formatted trace never loses the
+    /// well-formed events in lenient mode.
+    #[test]
+    fn lenient_keeps_good_lines(trace in branch_trace_strategy(), junk in garbage_strategy()) {
+        let mut text = String::new();
+        for (i, line) in format_branch_trace(&trace).lines().enumerate() {
+            text.push_str(line);
+            text.push('\n');
+            if i % 2 == 0 {
+                // Junk collapsed to one line so it cannot re-order events.
+                let one_line: String =
+                    junk.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+                text.push_str(&one_line);
+                text.push('\n');
+            }
+        }
+        let (lenient, _) = parse_branch_trace_lenient(&text);
+        // Every original event must appear, in order, within the result.
+        let mut remaining = lenient.events().iter();
+        for want in trace.events() {
+            prop_assert!(
+                remaining.any(|got| got == want),
+                "event {want:?} lost by lenient parse"
+            );
+        }
+    }
+}

@@ -197,8 +197,8 @@ impl ValueBenchmark {
                 (
                     pc(0),
                     LoadBehavior::BurstyStride {
-                        good_run: 5 + j.random_range(0..3),
-                        bad_run: 9,
+                        good_run: 8 + j.random_range(0..3),
+                        bad_run: 8,
                         stride: 4,
                     },
                 ),
@@ -206,8 +206,8 @@ impl ValueBenchmark {
                 (
                     pc(2),
                     LoadBehavior::BurstyStride {
-                        good_run: 4,
-                        bad_run: 12,
+                        good_run: 7,
+                        bad_run: 10,
                         stride: 8,
                     },
                 ),
@@ -217,14 +217,14 @@ impl ValueBenchmark {
                     LoadBehavior::PhasedStride {
                         stride_a: 4,
                         stride_b: 12,
-                        phase_len: 6 + j.random_range(0..3),
+                        phase_len: 8 + j.random_range(0..3),
                     },
                 ),
                 (
                     pc(5),
                     LoadBehavior::BurstyStride {
-                        good_run: 3,
-                        bad_run: 10,
+                        good_run: 6,
+                        bad_run: 9,
                         stride: 16,
                     },
                 ),

@@ -1,0 +1,34 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real serde cannot be vendored. The workspace only relies on serde as
+//! a *marker* — types derive `Serialize`/`Deserialize` so they stay
+//! serialization-ready, but nothing actually serializes them (there is no
+//! `serde_json`/`bincode` in the tree). This stub therefore provides the two
+//! traits with blanket implementations and no-op derive macros, which keeps
+//! every `#[derive(Serialize, Deserialize)]` and every
+//! `T: Serialize + DeserializeOwned` bound compiling unchanged. Swapping the
+//! real serde back in requires only a Cargo.toml edit.
+
+/// Marker for types that can be serialized. Blanket-implemented for every
+/// type; the derive macro is a no-op kept for source compatibility.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized. Blanket-implemented for every
+/// type; the derive macro is a no-op kept for source compatibility.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de`, providing the `DeserializeOwned` alias bound.
+pub mod de {
+    /// Types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

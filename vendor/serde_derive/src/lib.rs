@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace keep
+//! compiling against the stub exactly as they would against real serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
