@@ -153,7 +153,16 @@ mod tests {
     fn dfa_state_budget_caps_subset_construction() {
         let patterns = vec![
             vec![Some(true), None, None, None, None, None, None, Some(true)],
-            vec![Some(false), Some(true), None, None, None, None, Some(false), None],
+            vec![
+                Some(false),
+                Some(true),
+                None,
+                None,
+                None,
+                None,
+                Some(false),
+                None,
+            ],
         ];
         let budget = AutomataBudget {
             max_dfa_states: Some(4),

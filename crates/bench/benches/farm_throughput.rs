@@ -1,0 +1,172 @@
+//! Benchmarks the fsmgen-farm batch engine against a serial design loop
+//! on a fleet-sized workload: the full branch-benchmark suite crossed
+//! with several history lengths, designed repeatedly as happens across
+//! input sets, sweep passes and re-runs of a customization campaign.
+//!
+//! What is measured, honestly: the farm's wall-clock win on this batch
+//! comes from two independent mechanisms — the work-stealing pool
+//! (scales with hardware threads; a wash on a single-core host) and the
+//! content-addressed design cache (repeated configurations are designed
+//! once and replayed from the cache regardless of core count). The
+//! headline comparison below designs the same 72-job batch (6 benchmarks
+//! × 3 histories × 4 passes) serially from scratch versus through a
+//! 4-worker farm, and writes the farm's metrics (cache hit rate, p50/p95
+//! latency, throughput) to `target/figures/farm_metrics.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsmgen::Designer;
+use fsmgen_bench::{banner, quick_mode, write_artifact};
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_traces::BitTrace;
+use fsmgen_workloads::{BranchBenchmark, Input};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const HISTORIES: [usize; 3] = [2, 4, 6];
+const PASSES: usize = 4;
+const WORKERS: usize = 4;
+
+/// Taken-bit traces for the whole branch suite, shared across jobs.
+fn suite_traces(len: usize) -> Vec<(&'static str, Arc<BitTrace>)> {
+    BranchBenchmark::ALL
+        .into_iter()
+        .map(|b| {
+            let bits: BitTrace = b.trace(Input::TRAIN, len).iter().map(|e| e.taken).collect();
+            (b.name(), Arc::new(bits))
+        })
+        .collect()
+}
+
+/// The fleet batch: every (benchmark, history) pair, `passes` times over
+/// — the same shape a sweep or a multi-input campaign produces.
+fn fleet_jobs(traces: &[(&'static str, Arc<BitTrace>)], passes: usize) -> Vec<DesignJob> {
+    let mut jobs = Vec::new();
+    for _ in 0..passes {
+        for (_, trace) in traces {
+            for &h in &HISTORIES {
+                jobs.push(DesignJob::from_trace(
+                    jobs.len() as u64,
+                    Arc::clone(trace),
+                    Designer::new(h),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+/// Designs every job serially, no cache — the pre-farm baseline.
+fn design_serially(jobs: &[DesignJob]) -> usize {
+    jobs.iter()
+        .map(|job| {
+            let fsmgen_farm::JobInput::Trace(trace) = &job.input else {
+                unreachable!("fleet jobs are trace jobs")
+            };
+            job.designer
+                .design_from_trace(trace)
+                .expect("fleet design must succeed")
+                .fsm()
+                .num_states()
+        })
+        .sum()
+}
+
+fn headline_comparison(len: usize) {
+    banner("farm: serial vs parallel+cached fleet design");
+    let traces = suite_traces(len);
+    let jobs = fleet_jobs(&traces, PASSES);
+    println!(
+        "batch: {} jobs ({} benchmarks x {} histories x {} passes), {} trace bits each",
+        jobs.len(),
+        traces.len(),
+        HISTORIES.len(),
+        PASSES,
+        len
+    );
+
+    let t0 = Instant::now();
+    let serial_states = design_serially(&jobs);
+    let serial = t0.elapsed();
+
+    let farm = Farm::new(FarmConfig {
+        workers: WORKERS,
+        cache_capacity: 256,
+    });
+    let t0 = Instant::now();
+    let report = farm.design_batch(fleet_jobs(&traces, PASSES));
+    let parallel = t0.elapsed();
+
+    // The farm must produce exactly the serial designs (determinism).
+    let farm_states: usize = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            o.result
+                .as_ref()
+                .expect("fleet design must succeed")
+                .fsm()
+                .num_states()
+        })
+        .sum();
+    assert_eq!(
+        serial_states, farm_states,
+        "farm designs diverge from serial"
+    );
+
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    println!(
+        "serial:       {:>9.1} ms   ({} designs from scratch)",
+        serial.as_secs_f64() * 1e3,
+        jobs.len()
+    );
+    println!(
+        "farm ({WORKERS} workers): {:>7.1} ms   ({} computed, {} cache hits)",
+        parallel.as_secs_f64() * 1e3,
+        report.metrics.cache.misses,
+        report.metrics.cache.hits
+    );
+    println!("speedup:      {speedup:>9.2}x  (pool scales with cores; cache wins even on one)");
+    println!("{}", report.metrics);
+    write_artifact("farm_metrics.json", &report.metrics.to_json());
+    assert!(
+        speedup >= 2.0,
+        "farm should be at least 2x serial on the repeated fleet batch, got {speedup:.2}x"
+    );
+}
+
+fn bench_farm(c: &mut Criterion) {
+    let len = if quick_mode() { 4_000 } else { 20_000 };
+    headline_comparison(len);
+
+    // Criterion view of the same contrast on one pass of the suite (no
+    // repeats, so this isolates pool-vs-serial without the cache's help)
+    // plus the fully-cached batch (pure cache replay throughput).
+    let traces = suite_traces(len / 2);
+    let mut group = c.benchmark_group("farm/fleet_18job");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(design_serially(&fleet_jobs(&traces, 1))))
+    });
+    group.bench_function("farm_4workers_cold", |b| {
+        b.iter(|| {
+            let farm = Farm::new(FarmConfig {
+                workers: WORKERS,
+                cache_capacity: 0, // no cache: pure pool
+            });
+            black_box(farm.design_batch(fleet_jobs(&traces, 1)).metrics.succeeded)
+        })
+    });
+    let warm = Farm::new(FarmConfig {
+        workers: WORKERS,
+        cache_capacity: 256,
+    });
+    let _ = warm.design_batch(fleet_jobs(&traces, 1));
+    group.bench_function("farm_4workers_warm_cache", |b| {
+        b.iter(|| black_box(warm.design_batch(fleet_jobs(&traces, 1)).metrics.succeeded))
+    });
+    group.finish();
+}
+
+criterion_group!(farm_benches, bench_farm);
+criterion_main!(farm_benches);

@@ -22,16 +22,42 @@ pub fn quick_mode() -> bool {
     std::env::var("FSMGEN_BENCH_SCALE").is_ok_and(|v| v == "quick")
 }
 
+/// The workspace root: the nearest ancestor of this crate's manifest
+/// directory holding a `Cargo.lock` (falling back to `../..`, this
+/// crate's depth in the tree, when no lockfile exists yet).
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .map_or_else(|| manifest.join("../.."), std::path::Path::to_path_buf)
+}
+
+/// Where build artifacts live: `$CARGO_TARGET_DIR` when set (relative
+/// values are resolved against the workspace root, as cargo does),
+/// otherwise `<workspace>/target`.
+fn target_dir() -> std::path::PathBuf {
+    match std::env::var_os("CARGO_TARGET_DIR") {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            if dir.is_absolute() {
+                dir
+            } else {
+                workspace_root().join(dir)
+            }
+        }
+        None => workspace_root().join("target"),
+    }
+}
+
 /// Writes a regenerated-figure artifact (e.g. CSV) under
-/// `target/figures/`, creating the directory as needed, and prints where
-/// it went. Failures are reported but never abort a bench run.
+/// `<target-dir>/figures/`, creating the directory as needed, and prints
+/// where it went. Respects `CARGO_TARGET_DIR` and finds the workspace
+/// root by its lockfile, so artifacts land in the real target directory
+/// wherever the bench runs from. Failures are reported but never abort a
+/// bench run.
 pub fn write_artifact(name: &str, contents: &str) {
-    // Benches run with the bench crate as CWD; anchor on the workspace
-    // root so artifacts land in the top-level target/ directory.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("target")
-        .join("figures");
+    let dir = target_dir().join("figures");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
@@ -40,5 +66,23 @@ pub fn write_artifact(name: &str, contents: &str) {
     match std::fs::write(&path, contents) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_holds_the_lockfile() {
+        assert!(workspace_root().join("Cargo.lock").is_file());
+    }
+
+    #[test]
+    fn target_dir_is_anchored() {
+        // Whatever CARGO_TARGET_DIR says, the result must be absolute
+        // once the workspace root is (env is inherited from the cargo
+        // invocation, so don't mutate it here — tests share a process).
+        assert!(target_dir().is_absolute() || !workspace_root().is_absolute());
     }
 }

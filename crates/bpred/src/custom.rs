@@ -154,13 +154,14 @@ impl CustomTrainer {
         self
     }
 
-    /// Trains custom FSMs for the `max_customs` worst branches of
-    /// `training`, returning the per-branch designs ordered worst-first.
-    ///
-    /// Branches whose design fails (e.g. a branch never executed with a
-    /// full history) are skipped.
-    #[must_use]
-    pub fn train(&self, training: &BranchTrace, max_customs: usize) -> CustomDesigns {
+    /// Steps 1–2 of the training flow: profile with the baseline, pick
+    /// the `max_customs` worst branches, and build one Markov model per
+    /// branch keyed on global history. Returned worst-first.
+    fn profile_and_model(
+        &self,
+        training: &BranchTrace,
+        max_customs: usize,
+    ) -> Vec<(u64, MarkovModel)> {
         // Step 1: profile with the baseline predictor.
         let mut baseline = XScaleBtb::new(self.btb_entries);
         let profile = simulate(&mut baseline, training);
@@ -186,14 +187,59 @@ impl CustomTrainer {
             }
             global.push(event.taken);
         }
-
-        // Step 3: design one FSM per branch.
-        let designs: Vec<(u64, Design)> = targets
+        targets
             .into_iter()
-            .filter_map(|pc| {
-                let model = models.remove(&pc)?;
-                self.designer.design_from_model(model).ok().map(|d| (pc, d))
+            .filter_map(|pc| models.remove(&pc).map(|m| (pc, m)))
+            .collect()
+    }
+
+    /// Trains custom FSMs for the `max_customs` worst branches of
+    /// `training`, returning the per-branch designs ordered worst-first.
+    ///
+    /// Branches whose design fails (e.g. a branch never executed with a
+    /// full history) are skipped.
+    #[must_use]
+    pub fn train(&self, training: &BranchTrace, max_customs: usize) -> CustomDesigns {
+        // Step 3: design one FSM per branch.
+        let designs: Vec<(u64, Design)> = self
+            .profile_and_model(training, max_customs)
+            .into_iter()
+            .filter_map(|(pc, model)| self.designer.design_from_model(model).ok().map(|d| (pc, d)))
+            .collect();
+        CustomDesigns {
+            designs,
+            btb_entries: self.btb_entries,
+        }
+    }
+
+    /// Like [`CustomTrainer::train`], but designs the per-branch FSMs as
+    /// one batch on `farm` — the fleet path. Profiling and model building
+    /// (steps 1–2) are shared with the serial flow, so the result is
+    /// **identical** to [`CustomTrainer::train`] at any worker count;
+    /// repeated hot-branch models across benchmarks hit the farm's design
+    /// cache.
+    #[must_use]
+    pub fn train_parallel(
+        &self,
+        training: &BranchTrace,
+        max_customs: usize,
+        farm: &fsmgen_farm::Farm,
+    ) -> CustomDesigns {
+        let modeled = self.profile_and_model(training, max_customs);
+        let jobs: Vec<fsmgen_farm::DesignJob> = modeled
+            .iter()
+            .enumerate()
+            .map(|(i, (_, model))| {
+                fsmgen_farm::DesignJob::from_model(i as u64, model.clone(), self.designer.clone())
             })
+            .collect();
+        let report = farm.design_batch(jobs);
+        // Step 3, batched: keep worst-first order, skip failed designs —
+        // exactly the serial `.ok()` semantics.
+        let designs: Vec<(u64, Design)> = modeled
+            .into_iter()
+            .zip(report.outcomes)
+            .filter_map(|((pc, _), outcome)| outcome.result.ok().map(|d| (pc, (*d).clone())))
             .collect();
         CustomDesigns {
             designs,
@@ -364,6 +410,25 @@ mod tests {
         // With match-only updates the FSM sees its own history, not the
         // global one it was trained on — accuracy must degrade here.
         assert!(r_all.miss_rate() < r_only.miss_rate());
+    }
+
+    #[test]
+    fn parallel_training_matches_serial() {
+        let trace = correlated_trace(800);
+        let trainer = CustomTrainer::new(4);
+        let serial = trainer.train(&trace, 2);
+        for workers in [1, 2, 8] {
+            let farm = fsmgen_farm::Farm::new(fsmgen_farm::FarmConfig {
+                workers,
+                cache_capacity: 16,
+            });
+            let parallel = trainer.train_parallel(&trace, 2, &farm);
+            assert_eq!(parallel.len(), serial.len());
+            for ((pc_s, d_s), (pc_p, d_p)) in serial.designs().iter().zip(parallel.designs()) {
+                assert_eq!(pc_s, pc_p);
+                assert_eq!(d_s.fsm(), d_p.fsm(), "workers={workers}");
+            }
+        }
     }
 
     #[test]

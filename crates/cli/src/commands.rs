@@ -12,6 +12,7 @@ use fsmgen_bpred::{
     Ppm, XScaleBtb,
 };
 use fsmgen_experiments::figures;
+use fsmgen_farm::{DesignJob, Farm, FarmConfig, StderrSink};
 use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
 use fsmgen_traces::BitTrace;
 use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
@@ -82,7 +83,23 @@ EXIT CODES:
           substrate and print holds/fails per claim.
 
   fsmgen figure   {1|6|7}
-          Print one of the paper's example machines as Graphviz DOT.";
+          Print one of the paper's example machines as Graphviz DOT.
+
+  fsmgen farm     [--benchmarks LIST] [--histories LIST] [--len N]
+                  [--repeat K] [--threshold P] [--dont-care F]
+                  [--jobs N] [--cache-capacity N] [--metrics-json FILE]
+                  [--verbose] [--no-degrade] [--inject-fault SPEC]
+                  [budget flags as for 'design']
+          Design a whole fleet of predictors as one batch: one job per
+          (benchmark, history, pass). Jobs run on --jobs worker threads
+          behind a content-addressed design cache (--cache-capacity
+          entries; repeated passes hit it). Prints one line per job plus
+          the batch metrics; --metrics-json writes the structured
+          summary (throughput, p50/p95 latency, cache hit rate,
+          degradation rungs) to FILE. --benchmarks and --histories are
+          comma-separated (defaults: all branch benchmarks, history 4).
+          --inject-fault arms process-wide failpoints visible to the
+          workers, e.g. 'farm-worker=error:1'.";
 
 fn branch_benchmark(name: &str) -> Result<BranchBenchmark, CliError> {
     BranchBenchmark::ALL
@@ -295,9 +312,7 @@ pub fn simulate(args: &Args) -> Result<(), CliError> {
                     .map_err(|e| CliError::Parse(format!("{path}: {e}")))?
             };
             if full.len() < 4 {
-                return Err(CliError::Parse(
-                    "trace file needs at least 4 events".into(),
-                ));
+                return Err(CliError::Parse("trace file needs at least 4 events".into()));
             }
             let mid = full.len() / 2;
             let train: fsmgen_traces::BranchTrace = full.events()[..mid].iter().copied().collect();
@@ -500,6 +515,154 @@ pub fn figure(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// Parses a comma-separated list flag, with a default when absent.
+fn comma_list(args: &Args, name: &str, default: &str) -> Vec<String> {
+    args.flag(name)
+        .unwrap_or(default)
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// `fsmgen farm`: batch-design a fleet of predictors on worker threads
+/// behind the content-addressed design cache.
+///
+/// # Errors
+///
+/// Returns a usage error for bad flags or unknown benchmarks, other when
+/// any job in the batch failed (the rest still complete and are printed).
+pub fn farm(args: &Args) -> Result<(), CliError> {
+    let len: usize = args.flag_or("len", 20_000).map_err(usage)?;
+    let repeat: usize = args.flag_or("repeat", 1).map_err(usage)?;
+    let jobs_workers: usize = args.flag_or("jobs", 4).map_err(usage)?;
+    let cache_capacity: usize = args.flag_or("cache-capacity", 256).map_err(usage)?;
+    let threshold: f64 = args.flag_or("threshold", 0.5).map_err(usage)?;
+    let dont_care: f64 = args.flag_or("dont-care", 0.01).map_err(usage)?;
+    let budget = budget_from_flags(args)?;
+    if repeat == 0 {
+        return Err(CliError::Usage("--repeat must be at least 1".into()));
+    }
+
+    let histories: Vec<usize> = comma_list(args, "histories", "4")
+        .iter()
+        .map(|h| h.parse::<usize>().map_err(|e| format!("--histories: {e}")))
+        .collect::<Result<_, _>>()
+        .map_err(usage)?;
+    for &h in &histories {
+        if h == 0 || h > fsmgen::MAX_ORDER {
+            return Err(CliError::Usage(format!(
+                "--histories entries must be in 1..={}, got {h}",
+                fsmgen::MAX_ORDER
+            )));
+        }
+    }
+    let benches: Vec<BranchBenchmark> = match args.flag("benchmarks") {
+        None => BranchBenchmark::ALL.to_vec(),
+        Some(_) => comma_list(args, "benchmarks", "")
+            .iter()
+            .map(|n| branch_benchmark(n))
+            .collect::<Result<_, _>>()?,
+    };
+    if benches.is_empty() {
+        return Err(CliError::Usage("--benchmarks list is empty".into()));
+    }
+
+    // Worker threads can't see thread-local failpoints; arm process-wide.
+    if let Some(spec) = args.flag("inject-fault") {
+        failpoints::configure_from_spec_global(spec).map_err(usage)?;
+    }
+
+    // One job per (pass, benchmark, history). The trace for a benchmark
+    // is built once and shared; repeated passes model fleet re-runs and
+    // are where the design cache earns its keep.
+    let traces: Vec<std::sync::Arc<BitTrace>> = benches
+        .iter()
+        .map(|b| {
+            std::sync::Arc::new(
+                b.trace(Input::TRAIN, len)
+                    .iter()
+                    .map(|e| e.taken)
+                    .collect::<BitTrace>(),
+            )
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
+    for pass in 0..repeat {
+        for (bench, trace) in benches.iter().zip(&traces) {
+            for &history in &histories {
+                let designer = Designer::new(history)
+                    .prob_threshold(threshold)
+                    .dont_care_fraction(dont_care)
+                    .budget(budget)
+                    .degrade(!args.has("no-degrade"));
+                jobs.push(DesignJob::from_trace(
+                    jobs.len() as u64,
+                    std::sync::Arc::clone(trace),
+                    designer,
+                ));
+                labels.push(format!("{}/H{history} pass {pass}", bench.name()));
+            }
+        }
+    }
+
+    let config = FarmConfig {
+        workers: jobs_workers.max(1),
+        cache_capacity,
+    };
+    let farm = if args.has("verbose") {
+        Farm::with_sink(config, std::sync::Arc::new(StderrSink))
+    } else {
+        Farm::new(config)
+    };
+    let report = farm.design_batch(jobs);
+    failpoints::clear_global();
+
+    println!(
+        "{:<24} {:>7} {:>7} {:>10}  status",
+        "job", "states", "cached", "wall ms"
+    );
+    let mut failed = 0usize;
+    for (outcome, label) in report.outcomes.iter().zip(&labels) {
+        match &outcome.result {
+            Ok(design) => println!(
+                "{:<24} {:>7} {:>7} {:>10.2}  {}",
+                label,
+                design.fsm().num_states(),
+                if outcome.cache_hit { "hit" } else { "-" },
+                outcome.wall.as_secs_f64() * 1e3,
+                if design.degradation().is_degraded() {
+                    format!("degraded: {}", design.degradation())
+                } else {
+                    "ok".into()
+                }
+            ),
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "{:<24} {:>7} {:>7} {:>10.2}  FAILED: {e}",
+                    label,
+                    "-",
+                    "-",
+                    outcome.wall.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+    println!("{}", report.metrics);
+
+    if let Some(path) = args.flag("metrics-json") {
+        std::fs::write(path, report.metrics.to_json())
+            .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
+        eprintln!("farm: metrics written to {path}");
+    }
+    if failed > 0 {
+        return Err(CliError::Other(format!("{failed} job(s) failed")));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +762,70 @@ mod tests {
         .is_ok());
         assert!(predict(&args(&[bits_path.to_str().unwrap()])).is_err());
         assert!(predict(&args(&["--machine", "/no/such.fsm"])).is_err());
+    }
+
+    /// Serializes the tests that actually run farm batches: the
+    /// `farm-worker` failpoint is process-global, so a batch in a
+    /// concurrent test could consume another test's armed fault.
+    static FARM_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn farm_batch_with_cache_and_metrics() {
+        let _guard = FARM_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("farm-metrics.json");
+        assert!(farm(&args(&[
+            "--benchmarks",
+            "gsm,g721",
+            "--histories",
+            "2,3",
+            "--len",
+            "2000",
+            "--repeat",
+            "2",
+            "--jobs",
+            "2",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ]))
+        .is_ok());
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"jobs\": 8"));
+        assert!(json.contains("\"hit_rate\""));
+    }
+
+    #[test]
+    fn farm_flag_validation() {
+        assert!(farm(&args(&["--benchmarks", "nope", "--len", "500"])).is_err());
+        assert!(farm(&args(&["--histories", "0", "--len", "500"])).is_err());
+        assert!(farm(&args(&["--histories", "banana", "--len", "500"])).is_err());
+        assert!(farm(&args(&["--repeat", "0", "--len", "500"])).is_err());
+        assert!(farm(&args(&["--benchmarks", " ", "--len", "500"])).is_err());
+    }
+
+    #[test]
+    fn farm_injected_fault_fails_one_job_not_the_batch() {
+        // The injected fault kills exactly one job; the command reports
+        // the failure (exit nonzero) but the batch still completes.
+        let _guard = FARM_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = farm(&args(&[
+            "--benchmarks",
+            "gsm",
+            "--histories",
+            "2",
+            "--len",
+            "1500",
+            "--repeat",
+            "3",
+            "--jobs",
+            "2",
+            "--cache-capacity",
+            "0",
+            "--inject-fault",
+            "farm-worker=error:1",
+        ]));
+        assert!(matches!(r, Err(CliError::Other(ref m)) if m.contains("1 job(s) failed")));
     }
 
     #[test]

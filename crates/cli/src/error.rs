@@ -42,10 +42,9 @@ impl CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(m)
-            | CliError::Parse(m)
-            | CliError::Budget(m)
-            | CliError::Other(m) => f.write_str(m),
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Budget(m) | CliError::Other(m) => {
+                f.write_str(m)
+            }
         }
     }
 }

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "confidence" => commands::confidence(&parsed),
         "headlines" => commands::headlines(&parsed),
         "figure" => commands::figure(&parsed),
+        "farm" => commands::farm(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

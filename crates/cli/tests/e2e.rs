@@ -194,13 +194,7 @@ fn no_degrade_exits_with_budget_code() {
 #[test]
 fn injected_fault_exits_nonzero_without_panicking() {
     let mut child = fsmgen()
-        .args([
-            "design",
-            "--history",
-            "2",
-            "--inject-fault",
-            "dfa=error",
-        ])
+        .args(["design", "--history", "2", "--inject-fault", "dfa=error"])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -320,7 +314,11 @@ fn simulate_lenient_skips_malformed_lines() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).expect("utf8");
     assert!(err.contains("lines skipped"), "{err}");
 }

@@ -189,7 +189,11 @@ mod tests {
         let mut d = Degradation::default();
         assert!(!d.is_degraded());
         assert_eq!(d.to_string(), "no degradation");
-        d.record(Rung::HeuristicMinimizer, "minimize", "too many primes".into());
+        d.record(
+            Rung::HeuristicMinimizer,
+            "minimize",
+            "too many primes".into(),
+        );
         d.record(Rung::ReducedOrder(4), "minimize", "still too many".into());
         assert!(d.is_degraded());
         assert_eq!(d.steps().len(), 2);

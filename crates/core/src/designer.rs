@@ -133,6 +133,24 @@ impl Designer {
         &self.budget
     }
 
+    /// The configured pattern-definition settings.
+    #[must_use]
+    pub fn pattern_settings(&self) -> &PatternConfig {
+        &self.pattern_config
+    }
+
+    /// The configured logic-minimization algorithm.
+    #[must_use]
+    pub fn minimize_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// `true` when the degradation ladder is enabled.
+    #[must_use]
+    pub fn degrade_enabled(&self) -> bool {
+        self.degrade
+    }
+
     /// Runs the full flow on a 0/1 behaviour trace.
     ///
     /// With degradation enabled (the default), any budget exhaustion is
@@ -236,11 +254,12 @@ impl Designer {
 
         // §4.3 pattern definition.
         consult_failpoint("patterns")?;
-        let sets =
-            PatternSets::from_model(model, &self.pattern_config).map_err(|e| StageFailure::Hard {
+        let sets = PatternSets::from_model(model, &self.pattern_config).map_err(|e| {
+            StageFailure::Hard {
                 stage: "patterns",
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
 
         // §4.4 pattern compression.
         consult_failpoint("minimize")?;
@@ -275,8 +294,8 @@ impl Designer {
             }
             Some(re) => {
                 consult_failpoint("nfa")?;
-                let nfa = Nfa::from_regex_checked(re, &automata_budget)
-                    .map_err(budget_failure("nfa"))?;
+                let nfa =
+                    Nfa::from_regex_checked(re, &automata_budget).map_err(budget_failure("nfa"))?;
                 consult_failpoint("dfa")?;
                 let dfa =
                     Dfa::from_nfa_checked(&nfa, &automata_budget).map_err(budget_failure("dfa"))?;
@@ -344,9 +363,7 @@ enum StageFailure {
 }
 
 /// Maps an automata budget error into a stage failure for `stage`.
-fn budget_failure<E: std::fmt::Display>(
-    stage: &'static str,
-) -> impl FnOnce(E) -> StageFailure {
+fn budget_failure<E: std::fmt::Display>(stage: &'static str) -> impl FnOnce(E) -> StageFailure {
     move |e| StageFailure::Budget {
         stage,
         reason: e.to_string(),
@@ -666,7 +683,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            DesignError::BudgetExceeded { stage: "minimize", .. }
+            DesignError::BudgetExceeded {
+                stage: "minimize",
+                ..
+            }
         ));
     }
 

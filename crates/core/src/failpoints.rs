@@ -8,7 +8,21 @@
 //!
 //! Stages consulted by [`Designer`](crate::Designer):
 //! `"patterns"`, `"minimize"`, `"nfa"`, `"dfa"`, `"hopcroft"`, `"reduce"`,
-//! `"counter"`.
+//! `"counter"`. The `fsmgen-farm` batch engine additionally consults
+//! `"farm-worker"` once per job, from whichever worker thread picked the
+//! job up.
+//!
+//! # Thread-local vs. global registries
+//!
+//! [`configure`] arms a failpoint for the *current thread* only — the right
+//! scope for single-threaded pipeline tests, which may run concurrently in
+//! one test binary. Multi-threaded consumers (the farm's worker pool)
+//! never run pipeline stages on the configuring thread, so a second,
+//! process-wide registry exists: [`configure_global`] /
+//! [`clear_global`] arm failpoints visible from *every* thread. [`fire`]
+//! consults the thread-local registry first, then the global one; a
+//! counted global failpoint decrements atomically under its lock, so
+//! `count = 1` fires on exactly one worker across the whole process.
 //!
 //! The whole module is gated on the `failpoints` cargo feature (on by
 //! default). With the feature off, [`fire`] compiles to a constant `None`
@@ -55,6 +69,7 @@ impl fmt::Display for FailAction {
 mod enabled {
     use super::FailAction;
     use std::cell::RefCell;
+    use std::sync::Mutex;
 
     struct Failpoint {
         stage: String,
@@ -65,6 +80,18 @@ mod enabled {
 
     thread_local! {
         static REGISTRY: RefCell<Vec<Failpoint>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Process-wide registry, consulted by [`fire`] after the thread-local
+    /// one. Lock poisoning is survivable here: the registry holds plain
+    /// data, so a panicking configurator cannot leave it inconsistent.
+    static GLOBAL: Mutex<Vec<Failpoint>> = Mutex::new(Vec::new());
+
+    fn with_global<R>(f: impl FnOnce(&mut Vec<Failpoint>) -> R) -> R {
+        let mut guard = GLOBAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
     }
 
     /// Arms `stage` to fail with `action`. `count` limits how many times it
@@ -81,14 +108,26 @@ mod enabled {
         });
     }
 
-    /// Arms failpoints from a compact spec string: a comma-separated list
-    /// of `stage=action` or `stage=action:count` entries, where action is
-    /// `budget` or `error`. Example: `"minimize=budget:2,dfa=error"`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message naming the malformed entry.
-    pub fn configure_from_spec(spec: &str) -> Result<(), String> {
+    /// Arms `stage` to fail with `action` on *any* thread in the process.
+    /// Semantics otherwise match [`configure`]; a counted global failpoint
+    /// is consumed atomically, so `count = 1` fires exactly once across
+    /// all worker threads.
+    pub fn configure_global(stage: &str, action: FailAction, count: Option<u32>) {
+        with_global(|reg| {
+            reg.retain(|fp| fp.stage != stage);
+            reg.push(Failpoint {
+                stage: stage.to_owned(),
+                action,
+                remaining: count,
+            });
+        });
+    }
+
+    /// Parses one spec and hands every entry to `apply`.
+    fn parse_spec(
+        spec: &str,
+        mut apply: impl FnMut(&str, FailAction, Option<u32>),
+    ) -> Result<(), String> {
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
             let (stage, rhs) = entry
                 .split_once('=')
@@ -114,9 +153,31 @@ mod enabled {
             if stage.is_empty() {
                 return Err(format!("failpoint entry '{entry}' has an empty stage"));
             }
-            configure(stage, action, count);
+            apply(stage, action, count);
         }
         Ok(())
+    }
+
+    /// Arms failpoints from a compact spec string: a comma-separated list
+    /// of `stage=action` or `stage=action:count` entries, where action is
+    /// `budget` or `error`. Example: `"minimize=budget:2,dfa=error"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn configure_from_spec(spec: &str) -> Result<(), String> {
+        parse_spec(spec, configure)
+    }
+
+    /// Like [`configure_from_spec`] but arms the process-wide registry, so
+    /// the failpoints fire on worker threads too (the farm's
+    /// `"farm-worker"` stage needs this).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn configure_from_spec_global(spec: &str) -> Result<(), String> {
+        parse_spec(spec, configure_global)
     }
 
     /// Disarms every failpoint on this thread.
@@ -124,27 +185,39 @@ mod enabled {
         REGISTRY.with_borrow_mut(Vec::clear);
     }
 
-    /// Consults the registry for `stage`: returns the armed action and
-    /// consumes one fire, or `None` when the stage is not armed (or its
-    /// fire count is spent).
+    /// Disarms every process-wide failpoint.
+    pub fn clear_global() {
+        with_global(Vec::clear);
+    }
+
+    fn consume(reg: &mut [Failpoint], stage: &str) -> Option<FailAction> {
+        let fp = reg.iter_mut().find(|fp| fp.stage == stage)?;
+        match &mut fp.remaining {
+            Some(0) => None,
+            Some(n) => {
+                *n -= 1;
+                Some(fp.action)
+            }
+            None => Some(fp.action),
+        }
+    }
+
+    /// Consults the thread-local registry, then the process-wide one, for
+    /// `stage`: returns the armed action and consumes one fire, or `None`
+    /// when the stage is not armed (or its fire count is spent).
     #[must_use]
     pub fn fire(stage: &str) -> Option<FailAction> {
-        REGISTRY.with_borrow_mut(|reg| {
-            let fp = reg.iter_mut().find(|fp| fp.stage == stage)?;
-            match &mut fp.remaining {
-                Some(0) => None,
-                Some(n) => {
-                    *n -= 1;
-                    Some(fp.action)
-                }
-                None => Some(fp.action),
-            }
-        })
+        REGISTRY
+            .with_borrow_mut(|reg| consume(reg, stage))
+            .or_else(|| with_global(|reg| consume(reg, stage)))
     }
 }
 
 #[cfg(feature = "failpoints")]
-pub use enabled::{clear, configure, configure_from_spec, fire};
+pub use enabled::{
+    clear, clear_global, configure, configure_from_spec, configure_from_spec_global,
+    configure_global, fire,
+};
 
 #[cfg(not(feature = "failpoints"))]
 mod disabled {
@@ -152,6 +225,9 @@ mod disabled {
 
     /// No-op: the `failpoints` feature is disabled.
     pub fn configure(_stage: &str, _action: FailAction, _count: Option<u32>) {}
+
+    /// No-op: the `failpoints` feature is disabled.
+    pub fn configure_global(_stage: &str, _action: FailAction, _count: Option<u32>) {}
 
     /// No-op: the `failpoints` feature is disabled. Specs still parse so
     /// CLI flags behave consistently, but nothing is armed.
@@ -164,7 +240,19 @@ mod disabled {
     }
 
     /// No-op: the `failpoints` feature is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Never fails.
+    pub fn configure_from_spec_global(_spec: &str) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// No-op: the `failpoints` feature is disabled.
     pub fn clear() {}
+
+    /// No-op: the `failpoints` feature is disabled.
+    pub fn clear_global() {}
 
     /// Always `None`: the `failpoints` feature is disabled.
     #[must_use]
@@ -174,7 +262,10 @@ mod disabled {
 }
 
 #[cfg(not(feature = "failpoints"))]
-pub use disabled::{clear, configure, configure_from_spec, fire};
+pub use disabled::{
+    clear, clear_global, configure, configure_from_spec, configure_from_spec_global,
+    configure_global, fire,
+};
 
 #[cfg(all(test, feature = "failpoints"))]
 mod tests {
@@ -225,6 +316,31 @@ mod tests {
         assert!(configure_from_spec("stage=budget:lots").is_err());
         assert!(configure_from_spec("=budget").is_err());
         clear();
+    }
+
+    #[test]
+    fn global_failpoints_fire_on_other_threads() {
+        // A stage name no other test uses, so parallel test threads
+        // consulting the shared global registry are not perturbed.
+        configure_global("global-smoke", FailAction::Error, Some(2));
+        let seen = std::thread::spawn(|| fire("global-smoke"))
+            .join()
+            .expect("worker thread");
+        assert_eq!(seen, Some(FailAction::Error));
+        assert_eq!(fire("global-smoke"), Some(FailAction::Error));
+        assert_eq!(fire("global-smoke"), None);
+        clear_global();
+    }
+
+    #[test]
+    fn global_spec_arms_process_wide() {
+        configure_from_spec_global("global-spec-smoke=budget:1").unwrap();
+        let seen = std::thread::spawn(|| fire("global-spec-smoke"))
+            .join()
+            .expect("worker thread");
+        assert_eq!(seen, Some(FailAction::BudgetExceeded));
+        assert_eq!(fire("global-spec-smoke"), None);
+        clear_global();
     }
 
     #[test]

@@ -74,7 +74,10 @@ fn rung_two_reduced_order_fires() {
     let design = with_failpoints("minimize=budget:2", || {
         Designer::new(4).design_from_trace(&period_trace()).unwrap()
     });
-    assert_eq!(design.degradation().final_rung(), Some(Rung::ReducedOrder(3)));
+    assert_eq!(
+        design.degradation().final_rung(),
+        Some(Rung::ReducedOrder(3))
+    );
     assert_eq!(design.effective_history(), 3);
     assert_eq!(design.degradation().steps().len(), 2);
     // Order 3 still resolves a period-4 pattern on the training trace.
@@ -94,7 +97,12 @@ fn rung_three_saturating_counter_fires() {
     );
     assert_eq!(design.effective_history(), 0);
     // Ladder walk: heuristic, orders 3..1, then the counter.
-    let rungs: Vec<Rung> = design.degradation().steps().iter().map(|s| s.rung).collect();
+    let rungs: Vec<Rung> = design
+        .degradation()
+        .steps()
+        .iter()
+        .map(|s| s.rung)
+        .collect();
     assert_eq!(
         rungs,
         vec![
@@ -158,7 +166,13 @@ fn counter_rung_failure_is_internal() {
             .design_from_trace(&period_trace())
             .unwrap_err()
     });
-    assert!(matches!(err, DesignError::Internal { stage: "counter", .. }));
+    assert!(matches!(
+        err,
+        DesignError::Internal {
+            stage: "counter",
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -169,7 +183,10 @@ fn degrade_off_converts_injected_budget_to_error() {
             .design_from_trace(&period_trace())
             .unwrap_err()
     });
-    assert!(matches!(err, DesignError::BudgetExceeded { stage: "dfa", .. }));
+    assert!(matches!(
+        err,
+        DesignError::BudgetExceeded { stage: "dfa", .. }
+    ));
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! Typed failures for batch design jobs.
+
+use fsmgen::DesignError;
+use std::fmt;
+
+/// Why one batch job failed. A failed job never poisons its batch: every
+/// other job still completes and the failure comes back keyed to the
+/// job's id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FarmError {
+    /// The design flow itself failed (bad config, trace too short, budget
+    /// exceeded with degradation off, …).
+    Design(DesignError),
+    /// A fault was injected at the `farm-worker` failpoint.
+    InjectedFault {
+        /// Message describing the injected fault.
+        reason: String,
+    },
+    /// The job's task panicked inside a worker; the panic was contained
+    /// and converted into this error.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Design(e) => write!(f, "design failed: {e}"),
+            FarmError::InjectedFault { reason } => write!(f, "injected fault: {reason}"),
+            FarmError::WorkerPanic { reason } => write!(f, "worker panicked: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for FarmError {
+    fn from(e: DesignError) -> Self {
+        FarmError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FarmError::from(DesignError::EmptyModel);
+        assert!(e.to_string().contains("no observations"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FarmError::InjectedFault {
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FarmError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Structured farm events and the pluggable sink they flow through.
+//!
+//! Every job's lifecycle emits [`FarmEvent`]s — queued, started,
+//! cache-hit, degraded, finished or failed — through an [`EventSink`]
+//! shared by all workers. Sinks must be cheap and non-blocking in spirit:
+//! they are called from worker threads on the design hot path. The
+//! provided sinks are [`NullSink`] (drop everything, the default),
+//! [`CollectingSink`] (buffer in memory, for tests and post-hoc analysis)
+//! and [`StderrSink`] (line-oriented live progress, for the CLI's verbose
+//! mode).
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// One structured event in a batch run's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FarmEvent {
+    /// A job was accepted into the batch, before any scheduling.
+    JobQueued {
+        /// The job's caller-chosen id.
+        id: u64,
+    },
+    /// A worker picked the job up.
+    JobStarted {
+        /// The job's caller-chosen id.
+        id: u64,
+    },
+    /// The job's fingerprint was found in the design cache; the cached
+    /// design is returned without running the flow.
+    CacheHit {
+        /// The job's caller-chosen id.
+        id: u64,
+        /// The content fingerprint that matched.
+        fingerprint: u64,
+    },
+    /// The design completed but took at least one degradation-ladder rung.
+    JobDegraded {
+        /// The job's caller-chosen id.
+        id: u64,
+        /// Human-readable name of the final rung taken.
+        rung: String,
+    },
+    /// The job produced a design.
+    JobFinished {
+        /// The job's caller-chosen id.
+        id: u64,
+        /// Whether the design came from the cache.
+        cache_hit: bool,
+        /// Wall-clock time the job spent in a worker (queue wait
+        /// excluded).
+        wall: Duration,
+        /// States in the final machine.
+        states: usize,
+    },
+    /// The job failed with a typed error.
+    JobFailed {
+        /// The job's caller-chosen id.
+        id: u64,
+        /// The rendered [`FarmError`](crate::FarmError).
+        error: String,
+    },
+}
+
+impl FarmEvent {
+    /// The id of the job the event concerns.
+    #[must_use]
+    pub fn job_id(&self) -> u64 {
+        match *self {
+            FarmEvent::JobQueued { id }
+            | FarmEvent::JobStarted { id }
+            | FarmEvent::CacheHit { id, .. }
+            | FarmEvent::JobDegraded { id, .. }
+            | FarmEvent::JobFinished { id, .. }
+            | FarmEvent::JobFailed { id, .. } => id,
+        }
+    }
+}
+
+/// Receives [`FarmEvent`]s from every worker thread.
+pub trait EventSink: Send + Sync {
+    /// Records one event. Called from worker threads; implementations
+    /// should be fast and must not panic.
+    fn record(&self, event: &FarmEvent);
+}
+
+/// Discards every event — the default sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &FarmEvent) {}
+}
+
+/// Buffers every event in memory, in arrival order.
+///
+/// Arrival order interleaves worker threads nondeterministically; tests
+/// should assert on per-job event sequences (see [`CollectingSink::for_job`])
+/// or on counts, not on global order.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<FarmEvent>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<FarmEvent> {
+        self.lock().clone()
+    }
+
+    /// The recorded events for one job, in arrival order (which *is*
+    /// deterministic per job: queued, started, then the outcome events).
+    #[must_use]
+    pub fn for_job(&self, id: u64) -> Vec<FarmEvent> {
+        self.lock()
+            .iter()
+            .filter(|e| e.job_id() == id)
+            .cloned()
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<FarmEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl EventSink for CollectingSink {
+    fn record(&self, event: &FarmEvent) {
+        self.lock().push(event.clone());
+    }
+}
+
+/// Prints one line per event to stderr — live progress for CLI runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn record(&self, event: &FarmEvent) {
+        match event {
+            FarmEvent::JobQueued { .. } | FarmEvent::JobStarted { .. } => {}
+            FarmEvent::CacheHit { id, fingerprint } => {
+                eprintln!("farm: job {id} cache hit ({fingerprint:#018x})");
+            }
+            FarmEvent::JobDegraded { id, rung } => {
+                eprintln!("farm: job {id} degraded ({rung})");
+            }
+            FarmEvent::JobFinished {
+                id,
+                cache_hit,
+                wall,
+                states,
+            } => {
+                eprintln!(
+                    "farm: job {id} finished in {:.2} ms ({states} states{})",
+                    wall.as_secs_f64() * 1e3,
+                    if *cache_hit { ", cached" } else { "" }
+                );
+            }
+            FarmEvent::JobFailed { id, error } => {
+                eprintln!("farm: job {id} FAILED: {error}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_buffers_in_order() {
+        let sink = CollectingSink::new();
+        sink.record(&FarmEvent::JobQueued { id: 1 });
+        sink.record(&FarmEvent::JobStarted { id: 1 });
+        sink.record(&FarmEvent::JobQueued { id: 2 });
+        assert_eq!(sink.events().len(), 3);
+        let one = sink.for_job(1);
+        assert_eq!(
+            one,
+            vec![
+                FarmEvent::JobQueued { id: 1 },
+                FarmEvent::JobStarted { id: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn job_id_extraction() {
+        assert_eq!(
+            FarmEvent::JobFailed {
+                id: 9,
+                error: "x".into()
+            }
+            .job_id(),
+            9
+        );
+        assert_eq!(
+            FarmEvent::CacheHit {
+                id: 3,
+                fingerprint: 0
+            }
+            .job_id(),
+            3
+        );
+    }
+
+    #[test]
+    fn null_sink_is_a_no_op() {
+        NullSink.record(&FarmEvent::JobQueued { id: 0 });
+    }
+}

@@ -1,0 +1,126 @@
+//! A minimal 64-bit FNV-1a hasher for content fingerprints.
+//!
+//! The farm's design cache keys on a *stable* hash of the job contents:
+//! the fingerprint must not change across processes, platforms or library
+//! versions, which rules out `std::hash` (`SipHash` with random per-process
+//! keys, and explicitly unstable). FNV-1a is tiny, dependency-free and has
+//! good dispersion on the short, structured inputs we feed it (trace words
+//! and config scalars).
+
+/// FNV-1a offset basis for 64-bit hashes.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime for 64-bit hashes.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen_farm::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_u64(42);
+/// let a = h.finish();
+/// let mut h = Fnv1a::new();
+/// h.write_u64(43);
+/// assert_ne!(a, h.finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// Creates a hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Folds one `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds one `usize` into the hash (widened to `u64` so 32- and 64-bit
+    /// targets fingerprint identically).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `Option<usize>` with an explicit presence tag, so
+    /// `Some(0)` and `None` never collide.
+    pub fn write_opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.write_u64(0),
+            Some(n) => {
+                self.write_u64(1);
+                self.write_u64(n as u64);
+            }
+        }
+    }
+
+    /// Folds one `f64` by exact bit pattern (configs are compared by
+    /// identity, not numeric tolerance).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv1a::new().finish(), OFFSET_BASIS);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn option_tagging_disambiguates() {
+        let mut a = Fnv1a::new();
+        a.write_opt_usize(None);
+        a.write_opt_usize(Some(0));
+        let mut b = Fnv1a::new();
+        b.write_opt_usize(Some(0));
+        b.write_opt_usize(None);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut a = Fnv1a::new();
+        a.write(b"hello ");
+        a.write(b"world");
+        let mut b = Fnv1a::new();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,283 @@
+//! Aggregated batch metrics: throughput, latency percentiles, cache
+//! effectiveness and the degradation-rung histogram.
+//!
+//! Metrics are derived once per batch from the per-job results; the JSON
+//! emitter is hand-rolled (the workspace's serde vendor has no
+//! serializer) and produces a stable, machine-readable summary for the
+//! CLI's `--metrics-json` flag and the benchmark artifacts.
+
+use crate::cache::CacheStats;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Summary of one batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmMetrics {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that produced a design.
+    pub succeeded: usize,
+    /// Jobs that failed with a [`FarmError`](crate::FarmError).
+    pub failed: usize,
+    /// Jobs whose design took at least one degradation rung.
+    pub degraded: usize,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Design-cache accounting for the batch's cache.
+    pub cache: CacheStats,
+    /// Cached designs at the end of the batch.
+    pub cache_entries: usize,
+    /// The cache's capacity bound.
+    pub cache_capacity: usize,
+    /// Wall clock for the whole batch.
+    pub batch_wall: Duration,
+    /// Median per-job design latency (in-worker time, queue wait
+    /// excluded).
+    pub latency_p50: Duration,
+    /// 95th-percentile per-job design latency.
+    pub latency_p95: Duration,
+    /// Worst per-job design latency.
+    pub latency_max: Duration,
+    /// Completed jobs per second of batch wall clock.
+    pub throughput_jobs_per_sec: f64,
+    /// Count of designs per final degradation rung (rung display name →
+    /// occurrences). Empty when nothing degraded.
+    pub rung_histogram: BTreeMap<String, usize>,
+}
+
+/// Nearest-rank percentile of a sorted duration slice.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Raw per-batch inputs to [`FarmMetrics::aggregate`]: counts and cache
+/// accounting, `walls` one in-worker duration per completed job, `rungs`
+/// one final-rung name per degraded job.
+#[derive(Debug)]
+pub(crate) struct BatchTally<'a> {
+    pub jobs: usize,
+    pub succeeded: usize,
+    pub failed: usize,
+    pub workers: usize,
+    pub cache: CacheStats,
+    pub cache_entries: usize,
+    pub cache_capacity: usize,
+    pub batch_wall: Duration,
+    pub walls: &'a [Duration],
+    pub rungs: &'a [String],
+}
+
+impl FarmMetrics {
+    /// Aggregates one batch's raw tally into the summary.
+    #[must_use]
+    pub(crate) fn aggregate(tally: BatchTally<'_>) -> Self {
+        let mut sorted = tally.walls.to_vec();
+        sorted.sort_unstable();
+        let mut rung_histogram = BTreeMap::new();
+        for rung in tally.rungs {
+            *rung_histogram.entry(rung.clone()).or_insert(0) += 1;
+        }
+        let secs = tally.batch_wall.as_secs_f64();
+        FarmMetrics {
+            jobs: tally.jobs,
+            succeeded: tally.succeeded,
+            failed: tally.failed,
+            degraded: tally.rungs.len(),
+            workers: tally.workers,
+            cache: tally.cache,
+            cache_entries: tally.cache_entries,
+            cache_capacity: tally.cache_capacity,
+            batch_wall: tally.batch_wall,
+            latency_p50: percentile(&sorted, 0.50),
+            latency_p95: percentile(&sorted, 0.95),
+            latency_max: sorted.last().copied().unwrap_or(Duration::ZERO),
+            throughput_jobs_per_sec: if secs > 0.0 {
+                tally.succeeded as f64 / secs
+            } else {
+                0.0
+            },
+            rung_histogram,
+        }
+    }
+
+    /// Renders the summary as one stable JSON object (2-space indented).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut rungs = String::new();
+        for (i, (rung, count)) in self.rung_histogram.iter().enumerate() {
+            if i > 0 {
+                rungs.push_str(", ");
+            }
+            rungs.push_str(&format!("{}: {count}", json_string(rung)));
+        }
+        format!(
+            "{{\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            self.jobs,
+            self.succeeded,
+            self.failed,
+            self.degraded,
+            self.workers,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache_entries,
+            self.cache_capacity,
+            ms(self.batch_wall),
+            self.throughput_jobs_per_sec,
+            ms(self.latency_p50),
+            ms(self.latency_p95),
+            ms(self.latency_max),
+            rungs
+        )
+    }
+}
+
+/// Quotes and escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for FarmMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} jobs on {} workers in {:.1} ms ({:.1} jobs/s)",
+            self.jobs,
+            self.workers,
+            self.batch_wall.as_secs_f64() * 1e3,
+            self.throughput_jobs_per_sec
+        )?;
+        writeln!(
+            f,
+            "  succeeded {}, failed {}, degraded {}",
+            self.succeeded, self.failed, self.degraded
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits / {} misses ({:.1}% hit rate), {} entries (cap {})",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache_entries,
+            self.cache_capacity
+        )?;
+        write!(
+            f,
+            "  latency: p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms",
+            self.latency_p50.as_secs_f64() * 1e3,
+            self.latency_p95.as_secs_f64() * 1e3,
+            self.latency_max.as_secs_f64() * 1e3
+        )?;
+        for (rung, count) in &self.rung_histogram {
+            write!(f, "\n  degraded via {rung}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FarmMetrics {
+        FarmMetrics::aggregate(BatchTally {
+            jobs: 4,
+            succeeded: 3,
+            failed: 1,
+            workers: 2,
+            cache: CacheStats {
+                hits: 1,
+                misses: 3,
+                insertions: 3,
+                evictions: 0,
+            },
+            cache_entries: 3,
+            cache_capacity: 64,
+            batch_wall: Duration::from_millis(100),
+            walls: &[
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(30),
+            ],
+            rungs: &["saturating-counter fallback".into()],
+        })
+    }
+
+    #[test]
+    fn aggregation() {
+        let m = sample();
+        assert_eq!(m.jobs, 4);
+        assert_eq!(m.succeeded, 3);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.latency_p50, Duration::from_millis(20));
+        assert_eq!(m.latency_p95, Duration::from_millis(30));
+        assert_eq!(m.latency_max, Duration::from_millis(30));
+        assert!((m.throughput_jobs_per_sec - 30.0).abs() < 1e-9);
+        assert_eq!(m.rung_histogram["saturating-counter fallback"], 1);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"hit_rate\": 0.2500"));
+        assert!(json.contains("\"saturating-counter fallback\": 1"));
+        // Balanced braces (no nesting surprises).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_batch_metrics() {
+        let m = FarmMetrics::aggregate(BatchTally {
+            jobs: 0,
+            succeeded: 0,
+            failed: 0,
+            workers: 1,
+            cache: CacheStats::default(),
+            cache_entries: 0,
+            cache_capacity: 0,
+            batch_wall: Duration::ZERO,
+            walls: &[],
+            rungs: &[],
+        });
+        assert_eq!(m.latency_p50, Duration::ZERO);
+        assert_eq!(m.throughput_jobs_per_sec, 0.0);
+        assert!(m.to_json().contains("\"degradation_rungs\": {}"));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn display_summary_mentions_cache() {
+        let text = sample().to_string();
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("p95"));
+    }
+}

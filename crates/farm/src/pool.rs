@@ -1,0 +1,151 @@
+//! A dependency-free work-stealing pool for one-shot batches.
+//!
+//! The farm's workload is a fixed batch of independent, coarse-grained
+//! jobs (each job is a full design-flow run, milliseconds to seconds), so
+//! the pool is deliberately simple: tasks are dealt round-robin into
+//! per-worker deques up front, each worker drains its own deque from the
+//! front and *steals from the back* of its siblings' deques when it runs
+//! dry. Stealing from the opposite end keeps the owner and thieves off the
+//! same cache lines of work and is the classic Chase–Lev discipline,
+//! implemented here with plain mutexed deques — contention is one lock op
+//! per job, which is noise next to a design run.
+//!
+//! Results are returned **in task-submission order**, whatever the
+//! scheduling: each worker records `(index, result)` pairs and the batch
+//! is reassembled by index at the end. Combined with a deterministic task
+//! body this makes the whole batch deterministic in the worker count.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Locks a mutex, surviving poisoning (worker panics propagate through
+/// [`std::thread::scope`] anyway; the queues hold plain data).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `tasks` on `workers` threads, returning results in task order.
+///
+/// With one worker (or one task) everything runs inline on the calling
+/// thread — the sequential fallback, which also keeps thread-local state
+/// (e.g. thread-local failpoints) visible to the tasks.
+pub(crate) fn run_batch<T, F>(workers: usize, tasks: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n_tasks = tasks.len();
+    let workers = workers.max(1).min(n_tasks.max(1));
+    if workers <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+
+    // Deal tasks round-robin so every worker starts with a fair share.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, task) in tasks.into_iter().enumerate() {
+        lock(&deques[index % workers]).push_back((index, task));
+    }
+
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_tasks));
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    // Own work first (front), then steal (back). The own
+                    // pop is a separate statement so its guard drops
+                    // before any victim deque is locked — chaining them
+                    // would hold both locks at once and two stealing
+                    // workers could deadlock ABBA-style.
+                    let own = lock(&deques[me]).pop_front();
+                    let job = own.or_else(|| {
+                        (1..workers)
+                            .map(|d| (me + d) % workers)
+                            .find_map(|victim| lock(&deques[victim]).pop_back())
+                    });
+                    match job {
+                        Some((index, task)) => local.push((index, task())),
+                        None => break,
+                    }
+                }
+                lock(collected).append(&mut local);
+            });
+        }
+    });
+
+    let mut pairs = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    debug_assert_eq!(pairs.len(), n_tasks, "every task must produce a result");
+    pairs.sort_unstable_by_key(|&(index, _)| index);
+    pairs.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for workers in [1, 2, 3, 8] {
+            let tasks: Vec<_> = (0..50).map(|i| move || i * 10).collect();
+            let out = run_batch(workers, tasks);
+            assert_eq!(out, (0..50).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..200)
+            .map(|i| {
+                move || {
+                    RUNS.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let out = run_batch(4, tasks);
+        assert_eq!(RUNS.load(Ordering::Relaxed), 200);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let tasks: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_batch(64, tasks), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+        assert!(run_batch(4, tasks).is_empty());
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // One slow task pins a worker; the others must steal the rest of
+        // its deque. With round-robin dealing, worker 0 holds the slow
+        // task plus every 4th task — if stealing were broken this would
+        // take ~4 slow-task times instead of ~1.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..40)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = if i == 0 {
+                    Box::new(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        0
+                    })
+                } else {
+                    Box::new(move || i)
+                };
+                f
+            })
+            .collect();
+        let out = run_batch(4, tasks);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end determinism: the farm-backed history sweep must be
+//! bit-identical to the sequential [`fsmgen::sweep_histories`] at every
+//! worker count. The pool reassembles results by submission index and the
+//! design flow itself is deterministic, so nothing about scheduling may
+//! leak into the produced machines, covers or replayed accuracies.
+
+use fsmgen::{sweep_histories, Designer, SweepPoint};
+use fsmgen_farm::{sweep_histories_parallel, Farm, FarmConfig};
+use fsmgen_traces::BitTrace;
+
+/// A biased pseudo-random trace from a fixed xorshift seed: irregular
+/// enough to exercise the full design flow, deterministic run to run.
+fn biased_trace(len: usize, seed: u64) -> BitTrace {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // ~75% taken, like a loop-heavy branch.
+            !state.is_multiple_of(4)
+        })
+        .collect()
+}
+
+const HISTORIES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+/// Every field that defines a sweep point must match exactly — machine,
+/// cover, degradation record and the accuracy bits (no float tolerance:
+/// the replay is the same arithmetic in the same order).
+fn assert_points_identical(seq: &[SweepPoint], farm: &[SweepPoint], label: &str) {
+    assert_eq!(seq.len(), farm.len(), "{label}: point count diverged");
+    for (s, f) in seq.iter().zip(farm) {
+        assert_eq!(s.history, f.history, "{label}: history order diverged");
+        assert_eq!(
+            s.design.fsm(),
+            f.design.fsm(),
+            "{label}: machine diverged at history {}",
+            s.history
+        );
+        assert_eq!(
+            s.design.cover(),
+            f.design.cover(),
+            "{label}: cover diverged at history {}",
+            s.history
+        );
+        assert_eq!(
+            s.design.effective_history(),
+            f.design.effective_history(),
+            "{label}: effective history diverged at history {}",
+            s.history
+        );
+        assert_eq!(
+            s.design.degradation(),
+            f.design.degradation(),
+            "{label}: degradation record diverged at history {}",
+            s.history
+        );
+        assert_eq!(
+            s.training_accuracy.to_bits(),
+            f.training_accuracy.to_bits(),
+            "{label}: training accuracy diverged at history {}",
+            s.history
+        );
+    }
+}
+
+#[test]
+fn farm_sweep_matches_sequential_at_every_worker_count() {
+    let trace = biased_trace(1500, 0x5eed);
+    let seq = sweep_histories(&trace, HISTORIES, |d| d).expect("sequential sweep");
+    assert!(!seq.is_empty(), "sweep must produce points");
+
+    for workers in [1usize, 2, 8] {
+        let farm = Farm::new(FarmConfig {
+            workers,
+            cache_capacity: 64,
+        });
+        let points = farm
+            .sweep_histories(&trace, HISTORIES, |d| d)
+            .expect("farm sweep");
+        assert_points_identical(&seq, &points, &format!("{workers} workers"));
+    }
+}
+
+#[test]
+fn free_function_sweep_matches_sequential() {
+    let trace = biased_trace(1200, 0xfeed);
+    let seq = sweep_histories(&trace, HISTORIES, |d| d).expect("sequential sweep");
+    for workers in [1usize, 2, 8] {
+        let points =
+            sweep_histories_parallel(&trace, HISTORIES, |d| d, workers).expect("parallel sweep");
+        assert_points_identical(&seq, &points, &format!("free fn, {workers} workers"));
+    }
+}
+
+#[test]
+fn configured_sweep_stays_deterministic() {
+    // A non-default configuration (tighter threshold, no don't-cares)
+    // exercises a different path through pattern extraction; the farm must
+    // thread it through unchanged.
+    let trace = biased_trace(1000, 0xabcd);
+    let configure = |d: Designer| d.prob_threshold(0.7).dont_care_fraction(0.0);
+    let seq = sweep_histories(&trace, [2usize, 4, 6], configure).expect("sequential sweep");
+    for workers in [2usize, 8] {
+        let points = sweep_histories_parallel(&trace, [2usize, 4, 6], configure, workers)
+            .expect("parallel sweep");
+        assert_points_identical(&seq, &points, &format!("configured, {workers} workers"));
+    }
+}
+
+#[test]
+fn repeated_farm_sweeps_are_self_consistent() {
+    // Two sweeps on the same warm farm: the second is served from the
+    // cache and must still reproduce the first exactly.
+    let trace = biased_trace(900, 0x1234);
+    let farm = Farm::new(FarmConfig {
+        workers: 2,
+        cache_capacity: 64,
+    });
+    let first = farm
+        .sweep_histories(&trace, HISTORIES, |d| d)
+        .expect("first sweep");
+    let second = farm
+        .sweep_histories(&trace, HISTORIES, |d| d)
+        .expect("second sweep");
+    assert_points_identical(&first, &second, "warm-cache repeat");
+}

@@ -1,0 +1,109 @@
+//! Fault-injection e2e: a poisoned job must fail (or degrade) with a
+//! typed error while the rest of the batch completes normally — no stall,
+//! no poisoning, no lost outcomes.
+//!
+//! These tests arm the *process-global* failpoint registry (worker
+//! threads cannot see thread-local failpoints), so they live in their own
+//! integration-test binary and serialize on a lock: Rust runs the tests
+//! in this file on parallel threads within one process.
+
+use fsmgen::{failpoints, Designer};
+use fsmgen_farm::{DesignJob, Farm, FarmConfig, FarmError};
+use fsmgen_traces::BitTrace;
+use std::sync::{Arc, Mutex, PoisonError};
+
+static GLOBAL_FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn batch(n: usize) -> Vec<DesignJob> {
+    let trace: Arc<BitTrace> = Arc::new("0000 1000 1011 1101 1110 1111".parse().expect("trace"));
+    (0..n)
+        .map(|i| DesignJob::from_trace(i as u64, Arc::clone(&trace), Designer::new(2)))
+        .collect()
+}
+
+#[test]
+fn one_injected_error_fails_one_job_without_stalling_the_batch() {
+    let _guard = GLOBAL_FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    failpoints::configure_from_spec_global("farm-worker=error:1").expect("spec");
+
+    let farm = Farm::new(FarmConfig {
+        workers: 2,
+        cache_capacity: 0, // every job computes, so exactly one can trip
+    });
+    let report = farm.design_batch(batch(6));
+    failpoints::clear_global();
+
+    // The batch ran to completion: every submitted job reports back, in
+    // submission order.
+    let ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+
+    let injected: Vec<&FarmError> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().err())
+        .collect();
+    assert_eq!(injected.len(), 1, "exactly one job trips the failpoint");
+    assert!(
+        matches!(injected[0], FarmError::InjectedFault { .. }),
+        "typed error, got: {}",
+        injected[0]
+    );
+    assert_eq!(report.metrics.failed, 1);
+    assert_eq!(report.metrics.succeeded, 5);
+
+    // The error carries a message and a non-source (it was injected, not
+    // caused by a design failure).
+    assert!(!injected[0].to_string().is_empty());
+}
+
+#[test]
+fn one_injected_budget_squeeze_degrades_one_job_and_the_rest_are_untouched() {
+    let _guard = GLOBAL_FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    failpoints::configure_from_spec_global("farm-worker=budget:1").expect("spec");
+
+    let farm = Farm::new(FarmConfig {
+        workers: 2,
+        cache_capacity: 0,
+    });
+    let report = farm.design_batch(batch(6));
+    failpoints::clear_global();
+
+    // A budget squeeze degrades rather than fails: everything succeeds,
+    // exactly one design walked the degradation ladder.
+    assert_eq!(report.metrics.failed, 0);
+    assert_eq!(report.metrics.succeeded, 6);
+    assert_eq!(report.metrics.degraded, 1, "one job must degrade");
+    let degraded: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            o.result
+                .as_ref()
+                .is_ok_and(|d| d.degradation().is_degraded())
+        })
+        .collect();
+    assert_eq!(degraded.len(), 1);
+    assert!(!report.metrics.rung_histogram.is_empty());
+}
+
+#[test]
+fn unarmed_farm_is_fault_free() {
+    let _guard = GLOBAL_FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    failpoints::clear_global();
+
+    let farm = Farm::new(FarmConfig {
+        workers: 2,
+        cache_capacity: 0,
+    });
+    let report = farm.design_batch(batch(4));
+    assert_eq!(report.metrics.failed, 0);
+    assert_eq!(report.metrics.degraded, 0);
+    assert_eq!(report.metrics.succeeded, 4);
+}

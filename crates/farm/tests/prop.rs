@@ -1,0 +1,120 @@
+//! Property tests for the design cache's correctness contract: the
+//! fingerprint must separate any two jobs that could produce different
+//! designs, and a cache hit must be indistinguishable from designing from
+//! scratch.
+
+use fsmgen::Designer;
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_traces::BitTrace;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Bit vectors long enough for the design flow, mixed enough to avoid
+/// the degenerate all-same traces (those are still valid — covered by
+/// dedicated unit tests — but they design to trivial machines).
+fn bits_strategy() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 24..160)
+}
+
+fn job_for(bits: &[bool], designer: Designer) -> DesignJob {
+    let trace: BitTrace = bits.iter().copied().collect();
+    DesignJob::from_trace(0, Arc::new(trace), designer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flipping any single trace bit must change the fingerprint — the
+    /// cache would otherwise serve a design for behaviour that was never
+    /// observed.
+    #[test]
+    fn one_bit_flip_changes_the_fingerprint(
+        bits in bits_strategy(),
+        raw_index in 0usize..4096,
+    ) {
+        let mut flipped = bits.clone();
+        let index = raw_index % flipped.len();
+        flipped[index] = !flipped[index];
+
+        let original = job_for(&bits, Designer::new(3));
+        let altered = job_for(&flipped, Designer::new(3));
+        prop_assert!(original.fingerprint().is_some());
+        prop_assert_ne!(
+            original.fingerprint(),
+            altered.fingerprint(),
+            "bit {} flip must re-key the job",
+            index
+        );
+    }
+
+    /// Changing any single output-affecting configuration field must
+    /// change the fingerprint.
+    #[test]
+    fn one_config_field_change_changes_the_fingerprint(bits in bits_strategy()) {
+        let base = job_for(&bits, Designer::new(3));
+        let variants = [
+            job_for(&bits, Designer::new(4)),
+            job_for(&bits, Designer::new(3).prob_threshold(0.8)),
+            job_for(&bits, Designer::new(3).dont_care_fraction(0.25)),
+            job_for(&bits, Designer::new(3).degrade(false)),
+            job_for(
+                &bits,
+                Designer::new(3).algorithm(fsmgen_logicmin::Algorithm::Heuristic),
+            ),
+            job_for(
+                &bits,
+                Designer::new(3).budget(fsmgen::DesignBudget {
+                    max_dfa_states: Some(128),
+                    ..fsmgen::DesignBudget::default()
+                }),
+            ),
+        ];
+        for (which, v) in variants.iter().enumerate() {
+            prop_assert_ne!(
+                base.fingerprint(),
+                v.fingerprint(),
+                "config variant {} must re-key the job",
+                which
+            );
+        }
+    }
+
+    /// A design served from the cache must equal a design computed from
+    /// scratch, field for field.
+    #[test]
+    fn cache_hit_is_indistinguishable_from_fresh_design(
+        bits in bits_strategy(),
+        history in 1usize..5,
+    ) {
+        let trace: BitTrace = bits.iter().copied().collect();
+        let fresh = Designer::new(history).design_from_trace(&trace);
+
+        let farm = Farm::new(FarmConfig { workers: 2, cache_capacity: 16 });
+        let shared = Arc::new(trace);
+        let make = |id| DesignJob::from_trace(id, Arc::clone(&shared), Designer::new(history));
+        // First batch populates the cache, second batch must hit it.
+        let cold = farm.design_batch(vec![make(0)]);
+        let warm = farm.design_batch(vec![make(1)]);
+
+        match fresh {
+            Ok(expected) => {
+                prop_assert_eq!(warm.metrics.cache.hits, 1, "second batch must hit");
+                for report in [&cold, &warm] {
+                    let got = report.outcomes[0]
+                        .result
+                        .as_ref()
+                        .expect("farm must succeed where the designer does");
+                    prop_assert_eq!(expected.fsm(), got.fsm());
+                    prop_assert_eq!(expected.cover(), got.cover());
+                    prop_assert_eq!(expected.effective_history(), got.effective_history());
+                    prop_assert_eq!(expected.degradation(), got.degradation());
+                }
+            }
+            Err(_) => {
+                // Errors are not cached; both farm runs must fail too.
+                prop_assert!(cold.outcomes[0].result.is_err());
+                prop_assert!(warm.outcomes[0].result.is_err());
+            }
+        }
+    }
+}

@@ -57,7 +57,8 @@ impl MinimizeBudget {
 
     /// `true` when the deadline (if any) has passed.
     pub(crate) fn deadline_expired(&self) -> bool {
-        self.deadline.is_some_and(|deadline| Instant::now() > deadline)
+        self.deadline
+            .is_some_and(|deadline| Instant::now() > deadline)
     }
 }
 

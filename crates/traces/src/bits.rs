@@ -92,6 +92,16 @@ impl BitTrace {
         }
     }
 
+    /// The backing 64-bit words, least-significant bit first within each
+    /// word. Bits at positions `>= len()` in the last word are always
+    /// zero, so `(len(), words())` is a canonical form — equal traces have
+    /// equal words, which makes this the right input for content
+    /// fingerprinting (`fsmgen-farm` hashes designs by it).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates over the bits in order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -267,6 +277,17 @@ mod tests {
         let b: BitTrace = "01".parse().unwrap();
         a.append_trace(&b);
         assert_eq!(a.to_string(), "1010 1");
+    }
+
+    #[test]
+    fn words_are_canonical() {
+        let a: BitTrace = "1010 11".parse().unwrap();
+        let b: BitTrace = "1010 11".parse().unwrap();
+        assert_eq!(a.words(), b.words());
+        assert_eq!(a.words(), &[0b110101u64]);
+        // A flipped bit shows up in the words.
+        let c: BitTrace = "1010 10".parse().unwrap();
+        assert_ne!(a.words(), c.words());
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl ParseReport {
 
 impl fmt::Display for ParseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} events parsed, {} lines skipped", self.parsed, self.skipped)?;
+        write!(
+            f,
+            "{} events parsed, {} lines skipped",
+            self.parsed, self.skipped
+        )?;
         if let Some(err) = &self.first_error {
             write!(f, " (first: {err})")?;
         }
@@ -192,10 +196,7 @@ fn check_line_length(content: &str, line: usize) -> Result<(), ParseTraceError> 
 
 /// Parses one comment-stripped branch line. `Ok(None)` is unreachable here
 /// (blank lines are filtered upstream) but keeps the signature symmetric.
-fn parse_branch_line(
-    content: &str,
-    line: usize,
-) -> Result<Option<BranchEvent>, ParseTraceError> {
+fn parse_branch_line(content: &str, line: usize) -> Result<Option<BranchEvent>, ParseTraceError> {
     check_line_length(content, line)?;
     let mut tokens = content.split_whitespace();
     let Some(first) = tokens.next() else {

@@ -33,17 +33,15 @@ fn garbage_strategy() -> impl Strategy<Value = String> {
 }
 
 fn branch_trace_strategy() -> impl Strategy<Value = BranchTrace> {
-    proptest::collection::vec(
-        (any::<u64>(), any::<u64>(), any::<bool>()),
-        0..40,
+    proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..40).prop_map(
+        |events| {
+            let mut t = BranchTrace::new();
+            for (pc, target, taken) in events {
+                t.push(BranchEvent { pc, target, taken });
+            }
+            t
+        },
     )
-    .prop_map(|events| {
-        let mut t = BranchTrace::new();
-        for (pc, target, taken) in events {
-            t.push(BranchEvent { pc, target, taken });
-        }
-        t
-    })
 }
 
 fn load_trace_strategy() -> impl Strategy<Value = LoadTrace> {

@@ -184,9 +184,11 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         let mut hits = 0;
-        group.sample_size(10).bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
-            b.iter(|| hits += n)
-        });
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+                b.iter(|| hits += n)
+            });
         group.finish();
         assert_eq!(hits, 7);
     }
