@@ -126,6 +126,7 @@ impl Dfa {
             transitions.push(row);
         }
         let accept: Vec<bool> = order.iter().map(|s| s.contains(&nfa.accept())).collect();
+        fsmgen_obs::counter("dfa", "subset_states", transitions.len() as u64);
         Ok(Dfa {
             transitions,
             accept,
@@ -347,12 +348,18 @@ impl Dfa {
             ];
             q_accept[b] = trimmed.accept[rep as usize];
         }
-        Ok(Dfa {
+        let minimized = Dfa {
             transitions: q_trans,
             accept: q_accept,
             start: quotient_start,
         }
-        .trimmed())
+        .trimmed();
+        fsmgen_obs::counter(
+            "hopcroft",
+            "minimized_states",
+            minimized.num_states() as u64,
+        );
+        Ok(minimized)
     }
 
     /// Start-state reduction (§4.7): removes *start-up states* — states only
@@ -435,6 +442,7 @@ impl Dfa {
             .map(|&s| [map[&trimmed.step(s, false)], map[&trimmed.step(s, true)]])
             .collect();
         let accept: Vec<bool> = order.iter().map(|&s| trimmed.accept[s as usize]).collect();
+        fsmgen_obs::counter("reduce", "steady_states", transitions.len() as u64);
         Ok(Dfa {
             transitions,
             accept,

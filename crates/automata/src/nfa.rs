@@ -73,6 +73,7 @@ impl Nfa {
                 });
             }
         }
+        fsmgen_obs::counter("nfa", "thompson_states", nfa.num_states() as u64);
         Ok(nfa)
     }
 

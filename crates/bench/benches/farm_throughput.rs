@@ -135,9 +135,59 @@ fn headline_comparison(len: usize) {
     );
 }
 
+/// Pins the obs recorder's "near-zero overhead with no sink installed"
+/// guarantee on this workload: the disabled fast path — one relaxed
+/// atomic load per span or counter call — must cost at most 2% of one
+/// serial design even under a generous bound on call sites crossed.
+fn disabled_obs_overhead(len: usize) {
+    banner("obs: disabled-recorder overhead on the serial design path");
+    assert!(
+        !fsmgen_obs::enabled(),
+        "no obs sink may be installed while measuring the disabled path"
+    );
+    let traces = suite_traces(len);
+    let jobs = fleet_jobs(&traces, 1);
+
+    // Per-design serial wall clock, instrumentation compiled in and
+    // running its disabled fast path (as in every no-sink deployment).
+    let t0 = Instant::now();
+    black_box(design_serially(&jobs));
+    let per_design = t0.elapsed().as_secs_f64() / jobs.len() as f64;
+
+    // Direct cost of one disabled span + one disabled counter call.
+    const CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..CALLS {
+        let _span = fsmgen_obs::span("bench-disabled");
+        fsmgen_obs::counter("bench-disabled", "value", black_box(1));
+    }
+    let per_pair = t0.elapsed().as_secs_f64() / CALLS as f64;
+
+    // One design crosses ~10 spans and ~15 counters; 64 span+counter
+    // pairs is a generous upper bound on crossings per design.
+    let bound = 64.0 * per_pair;
+    let fraction = bound / per_design;
+    println!(
+        "per design: {:.3} ms serial, {:.1} ns per disabled span+counter pair,",
+        per_design * 1e3,
+        per_pair * 1e9
+    );
+    println!(
+        "bounded overhead (64 pairs): {:.4} ms = {:.3}% of a design",
+        bound * 1e3,
+        fraction * 100.0
+    );
+    assert!(
+        fraction <= 0.02,
+        "disabled obs overhead bound {:.3}% exceeds the 2% budget",
+        fraction * 100.0
+    );
+}
+
 fn bench_farm(c: &mut Criterion) {
     let len = if quick_mode() { 4_000 } else { 20_000 };
     headline_comparison(len);
+    disabled_obs_overhead(len);
 
     // Criterion view of the same contrast on one pass of the suite (no
     // repeats, so this isolates pool-vs-serial without the cache's help)

@@ -225,6 +225,21 @@ impl CustomTrainer {
         max_customs: usize,
         farm: &fsmgen_farm::Farm,
     ) -> CustomDesigns {
+        self.train_parallel_with_metrics(training, max_customs, farm)
+            .0
+    }
+
+    /// [`CustomTrainer::train_parallel`] plus the batch's
+    /// [`FarmMetrics`](fsmgen_farm::FarmMetrics) — cache hit rate,
+    /// throughput, latency quantiles — so experiment drivers can report
+    /// the farm's contribution alongside the figures.
+    #[must_use]
+    pub fn train_parallel_with_metrics(
+        &self,
+        training: &BranchTrace,
+        max_customs: usize,
+        farm: &fsmgen_farm::Farm,
+    ) -> (CustomDesigns, fsmgen_farm::FarmMetrics) {
         let modeled = self.profile_and_model(training, max_customs);
         let jobs: Vec<fsmgen_farm::DesignJob> = modeled
             .iter()
@@ -241,10 +256,13 @@ impl CustomTrainer {
             .zip(report.outcomes)
             .filter_map(|((pc, _), outcome)| outcome.result.ok().map(|d| (pc, (*d).clone())))
             .collect();
-        CustomDesigns {
-            designs,
-            btb_entries: self.btb_entries,
-        }
+        (
+            CustomDesigns {
+                designs,
+                btb_entries: self.btb_entries,
+            },
+            report.metrics,
+        )
     }
 }
 

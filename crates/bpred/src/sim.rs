@@ -69,6 +69,7 @@ impl SimResult {
 /// Runs `predictor` over `trace`, returning aggregate and per-branch
 /// statistics.
 pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &BranchTrace) -> SimResult {
+    let _span = fsmgen_obs::span("bpred-simulate");
     let mut result = SimResult::default();
     for event in trace {
         let prediction = predictor.predict(event.pc);
@@ -84,6 +85,12 @@ pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &BranchTr
         }
         predictor.update(event.pc, event.taken);
     }
+    fsmgen_obs::counter("bpred-simulate", "branches", result.branches as u64);
+    fsmgen_obs::counter(
+        "bpred-simulate",
+        "mispredictions",
+        result.mispredictions as u64,
+    );
     result
 }
 

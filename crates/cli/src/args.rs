@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 /// Flags that are pure switches: they never consume the next token, so
 /// `--no-degrade FILE` keeps `FILE` positional.
-const BOOLEAN_FLAGS: &[&str] = &["no-degrade", "lenient", "verbose"];
+const BOOLEAN_FLAGS: &[&str] = &["no-degrade", "lenient", "verbose", "profile"];
 
 /// Parsed command-line arguments: flag map plus positionals in order.
 #[derive(Debug, Clone, Default)]

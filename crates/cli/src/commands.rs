@@ -12,7 +12,7 @@ use fsmgen_bpred::{
     Ppm, XScaleBtb,
 };
 use fsmgen_experiments::figures;
-use fsmgen_farm::{DesignJob, Farm, FarmConfig, StderrSink};
+use fsmgen_farm::{DesignJob, EventSink, Farm, FarmConfig, FarmEvent, ObsBridgeSink, StderrSink};
 use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
 use fsmgen_traces::BitTrace;
 use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
@@ -34,6 +34,7 @@ USAGE:
                   [--budget-states N] [--budget-nfa-states N]
                   [--budget-minterms N] [--budget-primes N]
                   [--budget-cover-nodes N] [--budget-ms MILLIS]
+                  [--profile] [--profile-json FILE] [--trace-jsonl FILE]
                   [--no-degrade] [--inject-fault SPEC] [FILE]
           Design a predictor from a 0/1 trace (FILE or stdin; whitespace
           is ignored, so '0000 1000 1011 ...' works as-is). The table
@@ -44,6 +45,10 @@ USAGE:
           and reports what it did. With --no-degrade a blown budget is
           an error instead (exit code 4). --inject-fault arms test
           failpoints, e.g. 'minimize=budget:1,dfa=error'.
+          --profile prints a per-stage wall/counter table (stdout with
+          the summary format, stderr otherwise); --profile-json writes
+          the same breakdown as JSON and --trace-jsonl writes the raw
+          span/counter event stream, one JSON object per line.
 
   fsmgen predict  --machine FILE [TRACE_FILE]
           Load a machine table and replay it over a 0/1 trace (file or
@@ -88,8 +93,8 @@ EXIT CODES:
   fsmgen farm     [--benchmarks LIST] [--histories LIST] [--len N]
                   [--repeat K] [--threshold P] [--dont-care F]
                   [--jobs N] [--cache-capacity N] [--metrics-json FILE]
-                  [--verbose] [--no-degrade] [--inject-fault SPEC]
-                  [budget flags as for 'design']
+                  [--trace-jsonl FILE] [--verbose] [--no-degrade]
+                  [--inject-fault SPEC] [budget flags as for 'design']
           Design a whole fleet of predictors as one batch: one job per
           (benchmark, history, pass). Jobs run on --jobs worker threads
           behind a content-addressed design cache (--cache-capacity
@@ -98,6 +103,8 @@ EXIT CODES:
           summary (throughput, p50/p95 latency, cache hit rate,
           degradation rungs) to FILE. --benchmarks and --histories are
           comma-separated (defaults: all branch benchmarks, history 4).
+          --trace-jsonl streams the farm lifecycle events and every
+          worker's design-pipeline spans to FILE as JSONL, one schema.
           --inject-fault arms process-wide failpoints visible to the
           workers, e.g. 'farm-worker=error:1'.";
 
@@ -165,13 +172,47 @@ pub fn design(args: &Args) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Parse(format!("bad trace: {e}")))?;
 
-    let result = Designer::new(history)
-        .prob_threshold(threshold)
-        .dont_care_fraction(dont_care)
-        .budget(budget)
-        .degrade(!args.has("no-degrade"))
-        .design_from_trace(&trace);
+    // Observability: any of the three flags records the pipeline's span
+    // and counter events for this design; otherwise the recorder stays on
+    // its disabled fast path.
+    let observing = args.has("profile")
+        || args.flag("profile-json").is_some()
+        || args.flag("trace-jsonl").is_some();
+    let (result, events) = if observing {
+        fsmgen_obs::profiled_events(|| {
+            Designer::new(history)
+                .prob_threshold(threshold)
+                .dont_care_fraction(dont_care)
+                .budget(budget)
+                .degrade(!args.has("no-degrade"))
+                .design_from_trace(&trace)
+        })
+    } else {
+        let result = Designer::new(history)
+            .prob_threshold(threshold)
+            .dont_care_fraction(dont_care)
+            .budget(budget)
+            .degrade(!args.has("no-degrade"))
+            .design_from_trace(&trace);
+        (result, Vec::new())
+    };
     failpoints::clear();
+    if let Some(path) = args.flag("trace-jsonl") {
+        let mut jsonl = String::new();
+        for event in &events {
+            jsonl.push_str(&event.to_jsonl());
+            jsonl.push('\n');
+        }
+        std::fs::write(path, jsonl)
+            .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
+        eprintln!("design: trace events written to {path}");
+    }
+    if let Some(path) = args.flag("profile-json") {
+        let profile = fsmgen_obs::PipelineProfile::from_events(&events);
+        std::fs::write(path, profile.to_json())
+            .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
+        eprintln!("design: profile written to {path}");
+    }
     let design = result.map_err(|e| match e {
         DesignError::BudgetExceeded { .. } => CliError::Budget(e.to_string()),
         DesignError::TraceTooShort { .. } | DesignError::EmptyModel => {
@@ -231,6 +272,16 @@ pub fn design(args: &Args) -> Result<(), CliError> {
             return Err(CliError::Usage(format!(
                 "unknown format {other:?} (summary|dot|vhdl|table)"
             )))
+        }
+    }
+    if args.has("profile") {
+        let profile = fsmgen_obs::PipelineProfile::from_events(&events);
+        // Machine-readable formats keep stdout clean: the table goes to
+        // stderr unless the human-facing summary is already on stdout.
+        if format == "summary" {
+            print!("{}", profile.to_text());
+        } else {
+            eprint!("{}", profile.to_text());
         }
     }
     Ok(())
@@ -515,6 +566,18 @@ pub fn figure(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// Fans farm events out to several sinks (`--verbose` plus
+/// `--trace-jsonl` at the same time).
+struct TeeSink(Vec<std::sync::Arc<dyn EventSink>>);
+
+impl EventSink for TeeSink {
+    fn record(&self, event: &FarmEvent) {
+        for sink in &self.0 {
+            sink.record(event);
+        }
+    }
+}
+
 /// Parses a comma-separated list flag, with a default when absent.
 fn comma_list(args: &Args, name: &str, default: &str) -> Vec<String> {
     args.flag(name)
@@ -611,13 +674,41 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
         workers: jobs_workers.max(1),
         cache_capacity,
     };
-    let farm = if args.has("verbose") {
-        Farm::with_sink(config, std::sync::Arc::new(StderrSink))
-    } else {
-        Farm::new(config)
+    // Observability: --trace-jsonl streams both the farm's own lifecycle
+    // events (bridged onto the obs schema) and every worker thread's
+    // design-pipeline spans into one JSONL file. The pipeline spans need
+    // the process-wide sink because jobs run on worker threads.
+    let obs_sink: Option<std::sync::Arc<dyn fsmgen_obs::ObsSink>> = match args.flag("trace-jsonl") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
+            Some(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(file)))
+        }
+        None => None,
+    };
+    let mut sinks: Vec<std::sync::Arc<dyn EventSink>> = Vec::new();
+    if args.has("verbose") {
+        sinks.push(std::sync::Arc::new(StderrSink));
+    }
+    if let Some(sink) = &obs_sink {
+        fsmgen_obs::install_global(std::sync::Arc::clone(sink));
+        sinks.push(std::sync::Arc::new(ObsBridgeSink::new(
+            std::sync::Arc::clone(sink),
+        )));
+    }
+    let farm = match sinks.len() {
+        0 => Farm::new(config),
+        1 => Farm::with_sink(config, sinks.remove(0)),
+        _ => Farm::with_sink(config, std::sync::Arc::new(TeeSink(sinks))),
     };
     let report = farm.design_batch(jobs);
     failpoints::clear_global();
+    if obs_sink.is_some() {
+        fsmgen_obs::clear_global();
+        if let Some(path) = args.flag("trace-jsonl") {
+            eprintln!("farm: trace events written to {path}");
+        }
+    }
 
     println!(
         "{:<24} {:>7} {:>7} {:>10}  status",
@@ -826,6 +917,79 @@ mod tests {
             "farm-worker=error:1",
         ]));
         assert!(matches!(r, Err(CliError::Other(ref m)) if m.contains("1 job(s) failed")));
+    }
+
+    #[test]
+    fn design_profile_and_trace_outputs() {
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("profile-in.txt");
+        std::fs::write(&trace_path, "0011".repeat(32)).unwrap();
+        let profile_path = dir.join("design-profile.json");
+        let jsonl_path = dir.join("design-trace.jsonl");
+        assert!(design(&args(&[
+            "--history",
+            "4",
+            "--profile",
+            "--profile-json",
+            profile_path.to_str().unwrap(),
+            "--trace-jsonl",
+            jsonl_path.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
+        ]))
+        .is_ok());
+
+        let json = std::fs::read_to_string(&profile_path).unwrap();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"kind\": \"pipeline_profile\""), "{json}");
+        // Every pipeline stage of the DESIGN.md flow diagram is profiled.
+        for stage in [
+            "markov", "patterns", "minimize", "regex", "nfa", "dfa", "hopcroft", "reduce",
+        ] {
+            assert!(json.contains(&format!("\"name\": \"{stage}\"")), "{stage}");
+        }
+
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"v\": 1, \"type\": "), "{line}");
+        }
+        assert!(jsonl.contains("\"type\": \"span_end\", \"name\": \"design\""));
+    }
+
+    #[test]
+    fn farm_trace_jsonl_streams_both_schemas() {
+        let _guard = FARM_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("fsmgen-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl_path = dir.join("farm-trace.jsonl");
+        assert!(farm(&args(&[
+            "--benchmarks",
+            "gsm",
+            "--histories",
+            "2",
+            "--len",
+            "1500",
+            "--jobs",
+            "2",
+            "--trace-jsonl",
+            jsonl_path.to_str().unwrap(),
+        ]))
+        .is_ok());
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        // One schema for both sources: farm lifecycle marks and the
+        // workers' design-pipeline spans interleave in the same stream.
+        assert!(
+            jsonl.contains("\"type\": \"mark\", \"scope\": \"farm\""),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains("\"type\": \"span_end\", \"name\": \"design\""),
+            "{jsonl}"
+        );
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"v\": 1, \"type\": "), "{line}");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::patterns::{PatternConfig, PatternSets};
 use crate::DesignError;
 use fsmgen_automata::{Dfa, MoorePredictor, Nfa, Regex};
 use fsmgen_logicmin::{minimize, minimize_checked, Algorithm, Cover};
+use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
 
 /// Configures one run of the automated design flow.
@@ -167,8 +168,15 @@ impl Designer {
     /// disabled and the budget was hit, or [`DesignError::Internal`] for
     /// hard stage failures (including injected faults).
     pub fn design_from_trace(&self, trace: &BitTrace) -> Result<Design, DesignError> {
-        let model = MarkovModel::from_bit_trace(self.history, trace)?;
-        self.design_from_model(model)
+        let _root = obs::span("design");
+        let model = {
+            let _stage = obs::span("markov");
+            let model = MarkovModel::from_bit_trace(self.history, trace)?;
+            obs::counter("markov", "histories", model.observed_histories() as u64);
+            obs::counter("markov", "observations", model.total_observations());
+            model
+        };
+        self.design_from_model_inner(model)
     }
 
     /// Runs the flow from an already-built Markov model (e.g. a per-branch
@@ -183,6 +191,14 @@ impl Designer {
     /// degradation is disabled and the budget was hit, or
     /// [`DesignError::Internal`] for hard stage failures.
     pub fn design_from_model(&self, model: MarkovModel) -> Result<Design, DesignError> {
+        let _root = obs::span("design");
+        self.design_from_model_inner(model)
+    }
+
+    /// Shared ladder body for both public entry points; runs under the
+    /// caller's already-open `design` root span so nesting depth stays
+    /// uniform regardless of the entry point.
+    fn design_from_model_inner(&self, model: MarkovModel) -> Result<Design, DesignError> {
         self.pattern_config
             .validate()
             .map_err(DesignError::BadConfig)?;
@@ -223,12 +239,15 @@ impl Designer {
                     }
                     if !matches!(algorithm, Algorithm::Heuristic) {
                         algorithm = Algorithm::Heuristic;
+                        obs::rung(&Rung::HeuristicMinimizer.to_string(), stage, &reason);
                         degradation.record(Rung::HeuristicMinimizer, stage, reason);
                     } else if current.order() > 1 {
                         let shorter = current.order() - 1;
                         current = current.reduced(shorter);
+                        obs::rung(&Rung::ReducedOrder(shorter).to_string(), stage, &reason);
                         degradation.record(Rung::ReducedOrder(shorter), stage, reason);
                     } else {
+                        obs::rung(&Rung::SaturatingCounter.to_string(), stage, &reason);
                         degradation.record(Rung::SaturatingCounter, stage, reason);
                         return match self.counter_attempt(&model) {
                             Ok(stages) => Ok(stages.into_design(model, degradation, 0)),
@@ -254,35 +273,54 @@ impl Designer {
 
         // §4.3 pattern definition.
         consult_failpoint("patterns")?;
-        let sets = PatternSets::from_model(model, &self.pattern_config).map_err(|e| {
-            StageFailure::Hard {
-                stage: "patterns",
-                reason: e.to_string(),
-            }
-        })?;
+        let sets = {
+            let _stage = obs::span("patterns");
+            PatternSets::from_model(model, &self.pattern_config).map_err(|e| {
+                StageFailure::Hard {
+                    stage: "patterns",
+                    reason: e.to_string(),
+                }
+            })?
+        };
+        obs::counter("patterns", "predict_one", sets.spec().on_set().len() as u64);
+        obs::counter(
+            "patterns",
+            "predict_zero",
+            sets.spec().off_set().len() as u64,
+        );
 
         // §4.4 pattern compression.
         consult_failpoint("minimize")?;
-        let cover = minimize_checked(sets.spec(), algorithm, &self.budget.minimize_budget())
-            .map_err(|e| StageFailure::Budget {
-                stage: "minimize",
-                reason: e.to_string(),
-            })?;
+        let cover = {
+            let _stage = obs::span("minimize");
+            minimize_checked(sets.spec(), algorithm, &self.budget.minimize_budget()).map_err(
+                |e| StageFailure::Budget {
+                    stage: "minimize",
+                    reason: e.to_string(),
+                },
+            )?
+        };
+        obs::counter("minimize", "cubes_out", cover.len() as u64);
+        obs::counter("minimize", "literals_out", u64::from(cover.literal_count()));
 
         // §4.5 regular expression building. Cube variable i is the outcome
         // i steps back, so the oldest position of a written pattern is
         // variable order-1.
-        let patterns: Vec<Vec<Option<bool>>> = cover
-            .cubes()
-            .iter()
-            .map(|cube| (0..order).rev().map(|var| cube.var(var)).collect())
-            .collect();
-        let regex = if patterns.is_empty() {
-            None
-        } else {
-            Some(Regex::ending_in(
-                patterns.iter().map(|p| Regex::pattern(p)).collect(),
-            ))
+        let regex = {
+            let _stage = obs::span("regex");
+            let patterns: Vec<Vec<Option<bool>>> = cover
+                .cubes()
+                .iter()
+                .map(|cube| (0..order).rev().map(|var| cube.var(var)).collect())
+                .collect();
+            obs::counter("regex", "patterns", patterns.len() as u64);
+            if patterns.is_empty() {
+                None
+            } else {
+                Some(Regex::ending_in(
+                    patterns.iter().map(|p| Regex::pattern(p)).collect(),
+                ))
+            }
         };
 
         // §4.6 FSM creation + Hopcroft, §4.7 start-state reduction.
@@ -294,19 +332,28 @@ impl Designer {
             }
             Some(re) => {
                 consult_failpoint("nfa")?;
-                let nfa =
-                    Nfa::from_regex_checked(re, &automata_budget).map_err(budget_failure("nfa"))?;
+                let nfa = {
+                    let _stage = obs::span("nfa");
+                    Nfa::from_regex_checked(re, &automata_budget).map_err(budget_failure("nfa"))?
+                };
                 consult_failpoint("dfa")?;
-                let dfa =
-                    Dfa::from_nfa_checked(&nfa, &automata_budget).map_err(budget_failure("dfa"))?;
+                let dfa = {
+                    let _stage = obs::span("dfa");
+                    Dfa::from_nfa_checked(&nfa, &automata_budget).map_err(budget_failure("dfa"))?
+                };
                 consult_failpoint("hopcroft")?;
-                let minimized = dfa
-                    .minimized_checked(&automata_budget)
-                    .map_err(budget_failure("hopcroft"))?;
+                let minimized = {
+                    let _stage = obs::span("hopcroft");
+                    dfa.minimized_checked(&automata_budget)
+                        .map_err(budget_failure("hopcroft"))?
+                };
                 consult_failpoint("reduce")?;
-                let fsm = minimized
-                    .steady_state_reduced_checked(&automata_budget)
-                    .map_err(budget_failure("reduce"))?;
+                let fsm = {
+                    let _stage = obs::span("reduce");
+                    minimized
+                        .steady_state_reduced_checked(&automata_budget)
+                        .map_err(budget_failure("reduce"))?
+                };
                 (minimized, fsm)
             }
         };
@@ -326,6 +373,7 @@ impl Designer {
     /// cannot exceed any budget.
     fn counter_attempt(&self, model: &MarkovModel) -> Result<AttemptStages, StageFailure> {
         consult_failpoint("counter")?;
+        let _stage = obs::span("counter");
         // Keep the order-1 projection's pattern sets and cover so the
         // design still reports §4.3/§4.4 artifacts (width 1: trivial cost).
         let reduced = model.reduced(1);

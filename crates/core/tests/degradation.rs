@@ -6,7 +6,9 @@
 #![cfg(feature = "failpoints")]
 
 use fsmgen::{failpoints, DesignBudget, DesignError, Designer, Rung};
+use fsmgen_obs::{CollectingObsSink, ObsEvent};
 use fsmgen_traces::BitTrace;
+use std::sync::Arc;
 
 fn paper_trace() -> BitTrace {
     "0000 1000 1011 1101 1110 1111".parse().unwrap()
@@ -250,6 +252,100 @@ fn real_budgets_and_adversarial_traces_never_panic() {
             }
         }
     }
+}
+
+/// Runs `body` with a thread-local obs sink installed and returns its
+/// result plus the rung events recorded during the run, in order.
+fn with_rung_events<R>(body: impl FnOnce() -> R) -> (R, Vec<(String, String)>) {
+    let sink = Arc::new(CollectingObsSink::new());
+    let guard = fsmgen_obs::install(sink.clone());
+    let result = body();
+    drop(guard);
+    let rungs = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            ObsEvent::Rung { rung, stage, .. } => Some((rung.clone(), stage.clone())),
+            _ => None,
+        })
+        .collect();
+    (result, rungs)
+}
+
+#[test]
+fn full_ladder_emits_exactly_one_rung_event_per_step() {
+    // Every ladder step must surface as exactly one obs rung event with
+    // the rung's display name, mirroring Design::degradation.
+    let (design, rungs) = with_rung_events(|| {
+        with_failpoints("minimize=budget", || {
+            Designer::new(4).design_from_trace(&paper_trace()).unwrap()
+        })
+    });
+    let names: Vec<&str> = rungs.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "heuristic minimizer",
+            "history order reduced to 3",
+            "history order reduced to 2",
+            "history order reduced to 1",
+            "saturating-counter fallback",
+        ]
+    );
+    // Event stream and degradation report agree 1:1.
+    assert_eq!(rungs.len(), design.degradation().steps().len());
+    for ((rung, stage), step) in rungs.iter().zip(design.degradation().steps()) {
+        assert_eq!(rung, &step.rung.to_string());
+        assert_eq!(stage, step.stage);
+    }
+}
+
+#[test]
+fn single_rung_emits_single_event_with_stage_attribution() {
+    for stage in ["patterns", "nfa", "dfa", "hopcroft", "reduce"] {
+        let spec = format!("{stage}=budget:1");
+        let (design, rungs) = with_rung_events(|| {
+            with_failpoints(&spec, || {
+                Designer::new(3).design_from_trace(&period_trace()).unwrap()
+            })
+        });
+        assert_eq!(rungs.len(), 1, "stage {stage} emitted {rungs:?}");
+        assert_eq!(rungs[0].0, "heuristic minimizer");
+        assert_eq!(rungs[0].1, stage);
+        assert_eq!(design.degradation().steps().len(), 1);
+    }
+}
+
+#[test]
+fn undegraded_design_emits_no_rung_events() {
+    failpoints::clear();
+    let (design, rungs) =
+        with_rung_events(|| Designer::new(4).design_from_trace(&period_trace()).unwrap());
+    assert!(!design.degradation().is_degraded());
+    assert!(rungs.is_empty(), "unexpected rung events: {rungs:?}");
+}
+
+#[test]
+fn real_budget_degradation_emits_rung_events_too() {
+    // Not just injected faults: a genuinely tight minterm budget walks
+    // the ladder and every step is observable.
+    failpoints::clear();
+    let budget = DesignBudget {
+        max_minterms: Some(1),
+        ..DesignBudget::default()
+    };
+    let (design, rungs) = with_rung_events(|| {
+        Designer::new(4)
+            .budget(budget)
+            .design_from_trace(&paper_trace())
+            .unwrap()
+    });
+    assert!(design.degradation().is_degraded());
+    assert_eq!(rungs.len(), design.degradation().steps().len());
+    assert_eq!(
+        rungs.last().map(|(r, _)| r.as_str()),
+        Some("saturating-counter fallback")
+    );
 }
 
 #[test]

@@ -7,7 +7,9 @@
 //! suite, we combine the traces from all of the other programs excluding
 //! the application to be used for reporting results" (§6.3).
 
+use crate::profiling::FarmRunStats;
 use fsmgen::{Designer, MarkovModel, PatternConfig};
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
 use fsmgen_traces::BitTrace;
 use fsmgen_vpred::{
     correctness_trace, per_entry_correctness_model, run_confidence, FsmConfidence, SudConfidence,
@@ -37,6 +39,8 @@ pub struct Fig2Panel {
     pub sud: Vec<ConfidencePoint>,
     /// FSM curves keyed by history length, each swept over thresholds.
     pub fsm: BTreeMap<usize, Vec<ConfidencePoint>>,
+    /// Farm statistics of the FSM design batch behind this panel.
+    pub farm: FarmRunStats,
 }
 
 /// Parameters of the Figure 2 experiment.
@@ -124,36 +128,56 @@ pub fn run_panel(bench: ValueBenchmark, config: &Fig2Config) -> Fig2Panel {
         })
         .collect();
 
-    // FSM curves: one design per (history, threshold), cross-trained.
-    let mut fsm = BTreeMap::new();
+    // FSM curves: one design per (history, threshold), cross-trained and
+    // designed as one farm batch (submission order is preserved by the
+    // farm, so outcomes zip back onto the grid).
+    let mut jobs = Vec::new();
+    let mut grid = Vec::new();
     for &h in &config.histories {
         let model = cross_training_model(bench, h, config.trace_len);
-        let mut points = Vec::new();
         for &thr in &config.thresholds {
             let designer = Designer::new(h).pattern_config(PatternConfig {
                 prob_threshold: thr,
                 dont_care_fraction: 0.01,
             });
-            let Ok(design) = designer.design_from_model(model.clone()) else {
-                continue;
-            };
-            let label = format!("fsm-h{h}-t{thr:.2}");
-            let mut table = TwoDeltaStride::paper_default();
-            let mut est = FsmConfidence::per_entry(table.len(), design.into_fsm(), label.clone());
-            let stats = run_confidence(&mut table, &mut est, &eval);
+            jobs.push(DesignJob::from_model(
+                grid.len() as u64,
+                model.clone(),
+                designer,
+            ));
+            grid.push((h, thr));
+        }
+    }
+    let farm = Farm::new(FarmConfig::default());
+    let report = farm.design_batch(jobs);
+    let farm_stats = FarmRunStats::from(&report.metrics);
+
+    let mut fsm: BTreeMap<usize, Vec<ConfidencePoint>> =
+        config.histories.iter().map(|&h| (h, Vec::new())).collect();
+    for ((h, thr), outcome) in grid.into_iter().zip(report.outcomes) {
+        // Failed designs are skipped, matching the serial `.ok()` flow.
+        let Ok(design) = outcome.result else {
+            continue;
+        };
+        let label = format!("fsm-h{h}-t{thr:.2}");
+        let mut table = TwoDeltaStride::paper_default();
+        let mut est =
+            FsmConfidence::per_entry(table.len(), (*design).clone().into_fsm(), label.clone());
+        let stats = run_confidence(&mut table, &mut est, &eval);
+        if let Some(points) = fsm.get_mut(&h) {
             points.push(ConfidencePoint {
                 label,
                 accuracy: stats.accuracy(),
                 coverage: stats.coverage(),
             });
         }
-        fsm.insert(h, points);
     }
 
     Fig2Panel {
         benchmark: bench.name().to_string(),
         sud,
         fsm,
+        farm: farm_stats,
     }
 }
 
@@ -189,6 +213,10 @@ mod tests {
         // At least some points must be well-defined.
         assert!(panel.sud.iter().any(|p| p.accuracy.is_some()));
         assert!(panel.fsm[&4].iter().any(|p| p.accuracy.is_some()));
+        // The FSM grid ran farm-backed: 2 histories × 3 thresholds.
+        assert_eq!(panel.farm.jobs, 6);
+        assert_eq!(panel.farm.succeeded, 6);
+        assert!(panel.farm.wall_ms > 0.0);
     }
 
     #[test]

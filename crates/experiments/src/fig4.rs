@@ -2,7 +2,9 @@
 //! custom FSM predictors, with the fitted linear bound used to estimate
 //! area everywhere else (§7.4).
 
+use crate::profiling::FarmRunStats;
 use fsmgen_bpred::CustomTrainer;
+use fsmgen_farm::{Farm, FarmConfig};
 use fsmgen_synth::{synthesize_area, Encoding, LinearAreaModel};
 use fsmgen_workloads::{BranchBenchmark, Input};
 use serde::{Deserialize, Serialize};
@@ -16,6 +18,8 @@ pub struct Fig4Result {
     pub slope: f64,
     /// Fit intercept.
     pub intercept: f64,
+    /// Farm statistics aggregated over all per-benchmark design batches.
+    pub farm: FarmRunStats,
 }
 
 /// One synthesized predictor.
@@ -83,10 +87,19 @@ impl Fig4Config {
 #[must_use]
 pub fn run(config: &Fig4Config) -> Fig4Result {
     let mut samples = Vec::new();
+    // One shared farm across benchmarks and histories: repeated hot-branch
+    // models hit the design cache, and the metrics accumulate per batch.
+    let farm = Farm::new(FarmConfig::default());
+    let mut farm_stats = FarmRunStats::default();
     for bench in BranchBenchmark::ALL {
         let trace = bench.trace(Input::TRAIN, config.trace_len);
         for &h in &config.histories {
-            let designs = CustomTrainer::new(h).train(&trace, config.fsms_per_benchmark);
+            let (designs, metrics) = CustomTrainer::new(h).train_parallel_with_metrics(
+                &trace,
+                config.fsms_per_benchmark,
+                &farm,
+            );
+            farm_stats.accumulate(&metrics);
             for (pc, design) in designs.designs() {
                 let fsm = design.fsm();
                 let est = synthesize_area(fsm, Encoding::Binary);
@@ -106,6 +119,7 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
         samples,
         slope: model.slope,
         intercept: model.intercept,
+        farm: farm_stats,
     }
 }
 
@@ -122,6 +136,9 @@ mod tests {
         let min = result.samples.iter().map(|s| s.states).min().unwrap();
         let max = result.samples.iter().map(|s| s.states).max().unwrap();
         assert!(max > min, "all machines the same size");
+        // Farm-backed: every sample came from a farm design job.
+        assert!(result.farm.jobs >= result.samples.len());
+        assert!(result.farm.wall_ms > 0.0);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! chooser and the customized FSM architecture (custom-same and
 //! custom-diff).
 
+use crate::profiling::FarmRunStats;
 use fsmgen_bpred::{
     simulate, BranchPredictor, CustomDesigns, CustomTrainer, Gshare, LocalGlobalChooser, XScaleBtb,
     CUSTOM_ENTRY_TAG_BITS,
 };
+use fsmgen_farm::{Farm, FarmConfig};
 use fsmgen_synth::LinearAreaModel;
 use fsmgen_traces::BranchTrace;
 use fsmgen_workloads::{BranchBenchmark, Input};
@@ -43,6 +45,8 @@ pub struct Fig5Panel {
     pub custom_same: Vec<Fig5Point>,
     /// Customs trained on a different input (the realistic case).
     pub custom_diff: Vec<Fig5Point>,
+    /// Farm statistics of the two custom training batches.
+    pub farm: FarmRunStats,
 }
 
 /// Parameters of the Figure 5 experiment.
@@ -150,9 +154,17 @@ pub fn run_panel(bench: BranchBenchmark, config: &Fig5Config) -> Fig5Panel {
         .map(|&(le, lb, ge)| table_point(LocalGlobalChooser::new(le, lb, ge), &eval))
         .collect();
 
+    // Both custom training passes run on one farm: identical hot-branch
+    // models between the train and eval inputs hit the design cache.
+    let farm = Farm::new(FarmConfig::default());
+    let mut farm_stats = FarmRunStats::default();
     let trainer = CustomTrainer::new(config.history);
-    let designs_diff = trainer.train(&train, config.max_customs);
-    let designs_same = trainer.train(&eval, config.max_customs);
+    let (designs_diff, metrics_diff) =
+        trainer.train_parallel_with_metrics(&train, config.max_customs, &farm);
+    farm_stats.accumulate(&metrics_diff);
+    let (designs_same, metrics_same) =
+        trainer.train_parallel_with_metrics(&eval, config.max_customs, &farm);
+    farm_stats.accumulate(&metrics_same);
 
     Fig5Panel {
         benchmark: bench.name().to_string(),
@@ -161,6 +173,7 @@ pub fn run_panel(bench: BranchBenchmark, config: &Fig5Config) -> Fig5Panel {
         lgc,
         custom_same: custom_curve(&designs_same, &eval, &config.area_model, "custom-same"),
         custom_diff: custom_curve(&designs_diff, &eval, &config.area_model, "custom-diff"),
+        farm: farm_stats,
     }
 }
 

@@ -15,7 +15,9 @@
 //! * [`headlines`] — programmatic verification of the paper's headline
 //!   claims (the regenerable source for EXPERIMENTS.md);
 //! * [`report`] — text renderers producing the rows/series each figure
-//!   displays.
+//!   displays;
+//! * [`profiling`] — per-figure stage breakdowns (via `fsmgen-obs`) and
+//!   the serializable farm-run statistics attached to figure results.
 //!
 //! The Criterion benches in `fsmgen-bench` drive these with the default
 //! configurations; tests use the `quick()` configurations.
@@ -28,4 +30,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod figures;
 pub mod headlines;
+pub mod profiling;
 pub mod report;

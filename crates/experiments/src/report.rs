@@ -60,6 +60,7 @@ pub fn fig2_table(panel: &Fig2Panel) -> String {
             );
         }
     }
+    let _ = writeln!(out, "{}", panel.farm.summary_line());
     out
 }
 
@@ -85,6 +86,7 @@ pub fn fig4_table(result: &Fig4Result) -> String {
         "linear fit: area = {:.2} * states + {:.2}",
         result.slope, result.intercept
     );
+    let _ = writeln!(out, "{}", result.farm.summary_line());
     out
 }
 
@@ -112,6 +114,7 @@ pub fn fig5_table(panel: &Fig5Panel) -> String {
     for p in panel.custom_same.iter().chain(&panel.custom_diff) {
         row(&p.label, p.area, p.miss_rate);
     }
+    let _ = writeln!(out, "{}", panel.farm.summary_line());
     out
 }
 
@@ -221,6 +224,7 @@ mod tests {
                 },
             ],
             fsm: std::collections::BTreeMap::new(),
+            farm: crate::profiling::FarmRunStats::default(),
         };
         let table = fig2_table(&panel);
         assert!(table.contains("a"));
@@ -245,6 +249,7 @@ mod tests {
                     coverage: Some(0.8),
                 }],
             )]),
+            farm: crate::profiling::FarmRunStats::default(),
         };
         let csv = fig2_csv(&panel);
         assert!(csv.starts_with("family,label,accuracy,coverage\n"));

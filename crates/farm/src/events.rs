@@ -9,7 +9,8 @@
 //! and [`StderrSink`] (line-oriented live progress, for the CLI's verbose
 //! mode).
 
-use std::sync::{Mutex, PoisonError};
+use fsmgen_obs::{ObsEvent, ObsSink};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// One structured event in a batch run's lifecycle.
@@ -170,6 +171,77 @@ impl EventSink for StderrSink {
     }
 }
 
+/// Bridges farm lifecycle events into the `fsmgen-obs` event stream, so
+/// one [`ObsSink`] (e.g. a JSONL writer) receives both the pipeline's
+/// stage spans and the farm's job lifecycle through a single versioned
+/// schema.
+///
+/// Lifecycle events become `mark` events in the `"farm"` scope (name =
+/// snake_case event kind, detail = human-readable summary); a
+/// [`FarmEvent::JobDegraded`] additionally mirrors the per-attempt rung
+/// events the designer emits.
+#[derive(Clone)]
+pub struct ObsBridgeSink {
+    sink: Arc<dyn ObsSink>,
+}
+
+impl ObsBridgeSink {
+    /// Forwards every farm event to `sink` as an [`ObsEvent`].
+    #[must_use]
+    pub fn new(sink: Arc<dyn ObsSink>) -> Self {
+        ObsBridgeSink { sink }
+    }
+}
+
+impl std::fmt::Debug for ObsBridgeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsBridgeSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink for ObsBridgeSink {
+    fn record(&self, event: &FarmEvent) {
+        self.sink.record(&to_obs_event(event));
+    }
+}
+
+/// Converts one farm lifecycle event to its obs-schema equivalent.
+#[must_use]
+pub fn to_obs_event(event: &FarmEvent) -> ObsEvent {
+    let mark = |name: &str, detail: String| ObsEvent::Mark {
+        scope: "farm".to_string(),
+        name: name.to_string(),
+        detail,
+    };
+    match event {
+        FarmEvent::JobQueued { id } => mark("job_queued", format!("job {id}")),
+        FarmEvent::JobStarted { id } => mark("job_started", format!("job {id}")),
+        FarmEvent::CacheHit { id, fingerprint } => mark(
+            "cache_hit",
+            format!("job {id} fingerprint {fingerprint:#018x}"),
+        ),
+        FarmEvent::JobDegraded { id, rung } => ObsEvent::Rung {
+            rung: rung.clone(),
+            stage: "farm".to_string(),
+            reason: format!("job {id} degraded"),
+        },
+        FarmEvent::JobFinished {
+            id,
+            cache_hit,
+            wall,
+            states,
+        } => mark(
+            "job_finished",
+            format!(
+                "job {id} in {:.3} ms, {states} states{}",
+                wall.as_secs_f64() * 1e3,
+                if *cache_hit { ", cached" } else { "" }
+            ),
+        ),
+        FarmEvent::JobFailed { id, error } => mark("job_failed", format!("job {id}: {error}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +286,41 @@ mod tests {
     #[test]
     fn null_sink_is_a_no_op() {
         NullSink.record(&FarmEvent::JobQueued { id: 0 });
+    }
+
+    #[test]
+    fn obs_bridge_forwards_lifecycle_as_marks_and_rungs() {
+        let obs = Arc::new(fsmgen_obs::CollectingObsSink::new());
+        let bridge = ObsBridgeSink::new(obs.clone());
+        bridge.record(&FarmEvent::JobQueued { id: 7 });
+        bridge.record(&FarmEvent::JobDegraded {
+            id: 7,
+            rung: "saturating-counter fallback".into(),
+        });
+        bridge.record(&FarmEvent::JobFinished {
+            id: 7,
+            cache_hit: true,
+            wall: Duration::from_millis(2),
+            states: 3,
+        });
+        let events = obs.events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(&events[0], ObsEvent::Mark { scope, name, detail }
+                if scope == "farm" && name == "job_queued" && detail == "job 7"));
+        assert!(matches!(&events[1], ObsEvent::Rung { rung, stage, .. }
+                if rung == "saturating-counter fallback" && stage == "farm"));
+        assert!(matches!(&events[2], ObsEvent::Mark { name, detail, .. }
+                if name == "job_finished" && detail.contains("cached")));
+    }
+
+    #[test]
+    fn bridged_events_render_as_versioned_jsonl() {
+        let line = to_obs_event(&FarmEvent::JobFailed {
+            id: 1,
+            error: "boom".into(),
+        })
+        .to_jsonl();
+        assert!(line.starts_with("{\"v\": 1, \"type\": \"mark\""), "{line}");
+        assert!(line.contains("job 1: boom"), "{line}");
     }
 }

@@ -66,7 +66,9 @@ mod pool;
 pub use cache::{CacheStats, DesignCache};
 pub use engine::{sweep_histories_parallel, BatchReport, Farm, FarmConfig, JobOutcome};
 pub use error::FarmError;
-pub use events::{CollectingSink, EventSink, FarmEvent, NullSink, StderrSink};
+pub use events::{
+    to_obs_event, CollectingSink, EventSink, FarmEvent, NullSink, ObsBridgeSink, StderrSink,
+};
 pub use fnv::Fnv1a;
 pub use job::{DesignJob, JobInput};
 pub use metrics::FarmMetrics;

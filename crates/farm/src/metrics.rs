@@ -33,9 +33,11 @@ pub struct FarmMetrics {
     /// Wall clock for the whole batch.
     pub batch_wall: Duration,
     /// Median per-job design latency (in-worker time, queue wait
-    /// excluded).
+    /// excluded). Nearest-rank; [`Duration::ZERO`] for an empty batch
+    /// and the sole sample for a 1-job batch.
     pub latency_p50: Duration,
-    /// 95th-percentile per-job design latency.
+    /// 95th-percentile per-job design latency (same tiny-batch
+    /// convention as `latency_p50`).
     pub latency_p95: Duration,
     /// Worst per-job design latency.
     pub latency_max: Duration,
@@ -47,6 +49,14 @@ pub struct FarmMetrics {
 }
 
 /// Nearest-rank percentile of a sorted duration slice.
+///
+/// Convention for tiny batches (documented so `p50`/`p95` are always
+/// well-defined):
+///
+/// - empty slice → [`Duration::ZERO`] (there is no latency to report);
+/// - one element → that element for every quantile (rank `⌈q·1⌉ = 1`);
+/// - otherwise the nearest-rank element `sorted[⌈q·n⌉ - 1]`, with the
+///   rank clamped to `[1, n]` so `q = 0.0` and `q = 1.0` are also safe.
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -106,6 +116,10 @@ impl FarmMetrics {
     }
 
     /// Renders the summary as one stable JSON object (2-space indented).
+    ///
+    /// The leading `"version"` field follows the shared obs/farm schema
+    /// version ([`fsmgen_obs::SCHEMA_VERSION`]); the full schema is
+    /// documented in `DESIGN.md`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
@@ -117,7 +131,8 @@ impl FarmMetrics {
             rungs.push_str(&format!("{}: {count}", json_string(rung)));
         }
         format!(
-            "{{\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            fsmgen_obs::SCHEMA_VERSION,
             self.jobs,
             self.succeeded,
             self.failed,
@@ -267,6 +282,54 @@ mod tests {
         assert_eq!(m.latency_p50, Duration::ZERO);
         assert_eq!(m.throughput_jobs_per_sec, 0.0);
         assert!(m.to_json().contains("\"degradation_rungs\": {}"));
+    }
+
+    #[test]
+    fn json_carries_schema_version() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n  \"version\": 1,"), "{json}");
+        assert!(json.contains("\"kind\": \"farm_metrics\""));
+    }
+
+    #[test]
+    fn percentiles_on_empty_slice_are_zero() {
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&[], q), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn percentiles_on_single_element_return_it() {
+        let only = [Duration::from_millis(7)];
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&only, q), only[0]);
+        }
+    }
+
+    #[test]
+    fn single_job_batch_has_well_defined_quantiles() {
+        let m = FarmMetrics::aggregate(BatchTally {
+            jobs: 1,
+            succeeded: 1,
+            failed: 0,
+            workers: 1,
+            cache: CacheStats::default(),
+            cache_entries: 1,
+            cache_capacity: 8,
+            batch_wall: Duration::from_millis(5),
+            walls: &[Duration::from_millis(5)],
+            rungs: &[],
+        });
+        assert_eq!(m.latency_p50, Duration::from_millis(5));
+        assert_eq!(m.latency_p95, Duration::from_millis(5));
+        assert_eq!(m.latency_max, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn two_element_percentiles_use_nearest_rank() {
+        let sorted = [Duration::from_millis(1), Duration::from_millis(9)];
+        assert_eq!(percentile(&sorted, 0.50), sorted[0]);
+        assert_eq!(percentile(&sorted, 0.95), sorted[1]);
     }
 
     #[test]

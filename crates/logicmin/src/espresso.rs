@@ -98,6 +98,7 @@ pub fn minimize_heuristic_checked(
 
     cubes.sort_unstable();
     cubes.dedup();
+    fsmgen_obs::counter("minimize", "espresso_cubes", cubes.len() as u64);
     Ok(Cover::from_cubes(width, cubes))
 }
 

@@ -117,10 +117,13 @@ pub fn prime_implicants_checked(
 
     // Keep only primes that cover at least one on minterm: primes covering
     // purely don't-care territory are useless for the cover.
-    Ok(primes
+    let primes: Vec<Cube> = primes
         .into_iter()
         .filter(|p| spec.on_set().iter().any(|&m| p.covers_minterm(m)))
-        .collect())
+        .collect();
+    fsmgen_obs::counter("minimize", "qm_seed_minterms", seeds as u64);
+    fsmgen_obs::counter("minimize", "qm_primes", primes.len() as u64);
+    Ok(primes)
 }
 
 /// Minimizes `spec` exactly: returns a minimum-cube (then minimum-literal)

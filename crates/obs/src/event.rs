@@ -1,0 +1,202 @@
+//! The event vocabulary shared by the recorder, sinks and profiles.
+
+use std::time::Duration;
+
+/// Version stamped into every JSON rendering this crate emits (the
+/// per-line `"v"` field of JSONL traces and the `"version"` field of
+/// profile summaries). Bump on any incompatible schema change and
+/// update the schema documentation in `DESIGN.md`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One observation from an instrumented pipeline.
+///
+/// Span names are `'static` because instrumentation sites name their
+/// stage with a literal; everything data-dependent (rung names, farm
+/// detail strings) is owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObsEvent {
+    /// A named span opened. `id` pairs the start with its end and is
+    /// unique per process run.
+    SpanStart {
+        /// Stage name (e.g. `"minimize"`, `"design"`).
+        name: &'static str,
+        /// Process-unique span id.
+        id: u64,
+    },
+    /// A named span closed after `wall` elapsed.
+    SpanEnd {
+        /// Stage name matching the start event.
+        name: &'static str,
+        /// Span id matching the start event.
+        id: u64,
+        /// Wall clock between open and close.
+        wall: Duration,
+    },
+    /// A named quantity observed inside a span (states, cubes,
+    /// observations, …). Attributed to the stage named `span`.
+    Counter {
+        /// Stage the counter belongs to.
+        span: &'static str,
+        /// Counter name (e.g. `"states_out"`).
+        name: &'static str,
+        /// Observed value; repeated counters accumulate by addition.
+        value: u64,
+    },
+    /// The degradation ladder took a rung.
+    Rung {
+        /// Rung display name (e.g. `"saturating-counter fallback"`).
+        rung: String,
+        /// Stage whose budget failure triggered the rung.
+        stage: String,
+        /// Human-readable reason recorded by the ladder.
+        reason: String,
+    },
+    /// A free-form point event (farm job lifecycle, annotations).
+    Mark {
+        /// Event namespace (e.g. `"farm"`).
+        scope: String,
+        /// Event kind inside the namespace (e.g. `"job_finished"`).
+        name: String,
+        /// Detail payload, already human-readable.
+        detail: String,
+    },
+}
+
+impl ObsEvent {
+    /// Renders the event as one line of versioned JSON (no trailing
+    /// newline). Every line is a self-contained object carrying
+    /// `"v": 1` so consumers can validate streams without context.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let v = SCHEMA_VERSION;
+        match self {
+            ObsEvent::SpanStart { name, id } => {
+                format!(
+                    "{{\"v\": {v}, \"type\": \"span_start\", \"name\": {}, \"id\": {id}}}",
+                    json_string(name)
+                )
+            }
+            ObsEvent::SpanEnd { name, id, wall } => {
+                format!(
+                    "{{\"v\": {v}, \"type\": \"span_end\", \"name\": {}, \"id\": {id}, \"wall_ms\": {:.6}}}",
+                    json_string(name),
+                    wall.as_secs_f64() * 1e3
+                )
+            }
+            ObsEvent::Counter { span, name, value } => {
+                format!(
+                    "{{\"v\": {v}, \"type\": \"counter\", \"span\": {}, \"name\": {}, \"value\": {value}}}",
+                    json_string(span),
+                    json_string(name)
+                )
+            }
+            ObsEvent::Rung {
+                rung,
+                stage,
+                reason,
+            } => {
+                format!(
+                    "{{\"v\": {v}, \"type\": \"rung\", \"rung\": {}, \"stage\": {}, \"reason\": {}}}",
+                    json_string(rung),
+                    json_string(stage),
+                    json_string(reason)
+                )
+            }
+            ObsEvent::Mark {
+                scope,
+                name,
+                detail,
+            } => {
+                format!(
+                    "{{\"v\": {v}, \"type\": \"mark\", \"scope\": {}, \"name\": {}, \"detail\": {}}}",
+                    json_string(scope),
+                    json_string(name),
+                    json_string(detail)
+                )
+            }
+        }
+    }
+}
+
+/// Quotes and escapes a string for JSON output.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_versioned_and_single_line() {
+        let events = [
+            ObsEvent::SpanStart {
+                name: "design",
+                id: 7,
+            },
+            ObsEvent::SpanEnd {
+                name: "design",
+                id: 7,
+                wall: Duration::from_micros(1500),
+            },
+            ObsEvent::Counter {
+                span: "minimize",
+                name: "cubes_out",
+                value: 3,
+            },
+            ObsEvent::Rung {
+                rung: "saturating-counter fallback".into(),
+                stage: "minimize".into(),
+                reason: "injected".into(),
+            },
+            ObsEvent::Mark {
+                scope: "farm".into(),
+                name: "job_finished".into(),
+                detail: "job 0".into(),
+            },
+        ];
+        for event in &events {
+            let line = event.to_jsonl();
+            assert!(line.starts_with("{\"v\": 1, \"type\": "), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn span_end_reports_wall_in_ms() {
+        let line = ObsEvent::SpanEnd {
+            name: "nfa",
+            id: 1,
+            wall: Duration::from_micros(250),
+        }
+        .to_jsonl();
+        assert!(line.contains("\"wall_ms\": 0.250000"), "{line}");
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        let line = ObsEvent::Mark {
+            scope: "farm".into(),
+            name: "note".into(),
+            detail: "say \"hi\"\n".into(),
+        }
+        .to_jsonl();
+        assert!(line.contains("say \\\"hi\\\"\\n"), "{line}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Lightweight span/event observability for the fsmgen design flow.
+//!
+//! The paper's pipeline is a fixed sequence of stages (Markov model →
+//! pattern sets → logic minimization → regex → NFA → DFA → Hopcroft →
+//! start-state reduction → Moore predictor). This crate gives every stage
+//! a name and a wall clock without pulling in an external `tracing`
+//! dependency: library crates emit [`ObsEvent`]s through a tiny global
+//! recorder, and anything interested installs an [`ObsSink`] to receive
+//! them.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero disabled cost.** With no sink installed every
+//!    instrumentation call is a single relaxed atomic load; no
+//!    timestamps are taken and no allocation happens. The
+//!    `farm_throughput` benchmark pins this with an assertion.
+//! 2. **No dependencies.** The crate sits below `fsmgen-logicmin` (the
+//!    previously dependency-free leaf) so every layer of the workspace
+//!    can emit events.
+//! 3. **Thread-scoped by default.** [`recorder::install`] wires a sink
+//!    to the current thread only (tests run in parallel);
+//!    [`recorder::install_global`] additionally covers worker threads
+//!    (the farm, CLI trace export).
+//!
+//! The event stream aggregates into a [`PipelineProfile`] with text,
+//! JSONL-event and JSON-summary renderers; all JSON carries an explicit
+//! schema version ([`SCHEMA_VERSION`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod event;
+mod profile;
+pub mod recorder;
+mod sink;
+
+pub use event::{ObsEvent, SCHEMA_VERSION};
+pub use profile::{PipelineProfile, RungRecord, StageProfile};
+pub use recorder::{
+    clear_global, counter, emit, enabled, install, install_global, mark, profiled, profiled_events,
+    rung, span, SinkGuard, Span,
+};
+pub use sink::{CollectingObsSink, JsonlObsSink, NullObsSink, ObsSink};

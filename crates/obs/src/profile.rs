@@ -1,0 +1,419 @@
+//! Aggregating an ordered event stream into a per-stage profile.
+
+use crate::event::{json_string, ObsEvent, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregated stats for one named span (or counter-only scope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Stage name as emitted by the instrumentation site.
+    pub name: String,
+    /// How many spans with this name closed.
+    pub calls: u64,
+    /// Total wall clock across those spans.
+    pub wall: Duration,
+    /// Counters attributed to this stage, summed across events.
+    pub counters: BTreeMap<String, u64>,
+    /// True when the span was observed at nesting depth 0 (a pipeline
+    /// root such as `design` or `bpred-simulate`), false for stages
+    /// nested under a root.
+    pub root: bool,
+}
+
+/// One degradation-ladder step observed in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungRecord {
+    /// Rung display name.
+    pub rung: String,
+    /// Stage whose budget failure triggered it.
+    pub stage: String,
+    /// Ladder-recorded reason.
+    pub reason: String,
+}
+
+/// Per-stage wall time, call counts and counters, aggregated from an
+/// ordered single-threaded event stream (as produced by a thread-local
+/// [`CollectingObsSink`](crate::CollectingObsSink)).
+///
+/// Nesting depth is reconstructed from span start/end pairing: depth-0
+/// spans are pipeline roots (`design`, simulator loops), deeper spans
+/// are stages. [`coverage`](Self::coverage) — the fraction of root
+/// wall time accounted for by stages — is the acceptance metric for
+/// "stage walls sum to within 10% of end-to-end design time".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineProfile {
+    entries: Vec<StageProfile>,
+    rungs: Vec<RungRecord>,
+}
+
+impl PipelineProfile {
+    /// Builds a profile from an ordered event stream.
+    #[must_use]
+    pub fn from_events(events: &[ObsEvent]) -> Self {
+        let mut profile = PipelineProfile::default();
+        // Open spans, outermost first: (id, name).
+        let mut stack: Vec<(u64, &str)> = Vec::new();
+        for event in events {
+            match event {
+                ObsEvent::SpanStart { name, id } => {
+                    // Touch the entry so display order follows span
+                    // open order (root first), not close order.
+                    let _ = profile.entry(name);
+                    stack.push((*id, name));
+                }
+                ObsEvent::SpanEnd { name, id, wall } => {
+                    let depth = match stack.iter().rposition(|(open, _)| open == id) {
+                        Some(pos) => {
+                            stack.remove(pos);
+                            pos
+                        }
+                        // End without a start (sink installed mid-span):
+                        // treat as a root so its time is not attributed
+                        // to a stage it may not belong to.
+                        None => 0,
+                    };
+                    let entry = profile.entry(name);
+                    entry.calls += 1;
+                    entry.wall += *wall;
+                    if depth == 0 {
+                        entry.root = true;
+                    }
+                }
+                ObsEvent::Counter { span, name, value } => {
+                    *profile
+                        .entry(span)
+                        .counters
+                        .entry((*name).to_string())
+                        .or_insert(0) += value;
+                }
+                ObsEvent::Rung {
+                    rung,
+                    stage,
+                    reason,
+                } => profile.rungs.push(RungRecord {
+                    rung: rung.clone(),
+                    stage: stage.clone(),
+                    reason: reason.clone(),
+                }),
+                ObsEvent::Mark { .. } => {}
+            }
+        }
+        profile
+    }
+
+    fn entry(&mut self, name: &str) -> &mut StageProfile {
+        if let Some(pos) = self.entries.iter().position(|e| e.name == name) {
+            &mut self.entries[pos]
+        } else {
+            self.entries.push(StageProfile {
+                name: name.to_string(),
+                calls: 0,
+                wall: Duration::ZERO,
+                counters: BTreeMap::new(),
+                root: false,
+            });
+            let last = self.entries.len() - 1;
+            &mut self.entries[last]
+        }
+    }
+
+    /// All aggregated entries in first-appearance order (roots and
+    /// stages alike).
+    #[must_use]
+    pub fn entries(&self) -> &[StageProfile] {
+        &self.entries
+    }
+
+    /// Non-root stage entries, in first-appearance order.
+    pub fn stages(&self) -> impl Iterator<Item = &StageProfile> {
+        self.entries.iter().filter(|e| !e.root)
+    }
+
+    /// Names of the non-root stages, in first-appearance order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages().map(|e| e.name.clone()).collect()
+    }
+
+    /// Degradation rungs observed in the stream, in order.
+    #[must_use]
+    pub fn rungs(&self) -> &[RungRecord] {
+        &self.rungs
+    }
+
+    /// End-to-end wall time: the total wall of `design` roots when the
+    /// stream contains any, otherwise of all roots.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        let design: Vec<&StageProfile> = self
+            .entries
+            .iter()
+            .filter(|e| e.root && e.name == "design")
+            .collect();
+        if design.is_empty() {
+            self.entries.iter().filter(|e| e.root).map(|e| e.wall).sum()
+        } else {
+            design.iter().map(|e| e.wall).sum()
+        }
+    }
+
+    /// Total wall time attributed to non-root stages.
+    #[must_use]
+    pub fn stage_sum(&self) -> Duration {
+        self.stages().map(|e| e.wall).sum()
+    }
+
+    /// Fraction of end-to-end time covered by instrumented stages
+    /// (0.0 when nothing was recorded). Values near 1.0 mean the stage
+    /// breakdown accounts for essentially all of the pipeline's time.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total > 0.0 {
+            self.stage_sum().as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the profile as a human-readable table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let total = self.total().as_secs_f64();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>12} {:>8}  counters",
+            "stage", "calls", "wall_ms", "share"
+        );
+        for entry in &self.entries {
+            let share = if total > 0.0 && !entry.root {
+                format!("{:.1}%", 100.0 * entry.wall.as_secs_f64() / total)
+            } else if entry.root {
+                "root".to_string()
+            } else {
+                "-".to_string()
+            };
+            let counters = entry
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>12.3} {:>8}  {}",
+                entry.name,
+                entry.calls,
+                ms(entry.wall),
+                share,
+                counters
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total {:.3} ms, stages {:.3} ms, coverage {:.1}%",
+            ms(self.total()),
+            ms(self.stage_sum()),
+            100.0 * self.coverage()
+        );
+        for rung in &self.rungs {
+            let _ = writeln!(
+                out,
+                "rung: {} (stage {}, {})",
+                rung.rung, rung.stage, rung.reason
+            );
+        }
+        out
+    }
+
+    /// Renders the profile as one versioned JSON summary object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut stages = String::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                stages.push_str(",\n");
+            }
+            let counters = entry
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{}: {v}", json_string(k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                stages,
+                "    {{\"name\": {}, \"root\": {}, \"calls\": {}, \"wall_ms\": {:.6}, \"counters\": {{{counters}}}}}",
+                json_string(&entry.name),
+                entry.root,
+                entry.calls,
+                ms(entry.wall)
+            );
+        }
+        let mut rungs = String::new();
+        for (i, rung) in self.rungs.iter().enumerate() {
+            if i > 0 {
+                rungs.push_str(",\n");
+            }
+            let _ = write!(
+                rungs,
+                "    {{\"rung\": {}, \"stage\": {}, \"reason\": {}}}",
+                json_string(&rung.rung),
+                json_string(&rung.stage),
+                json_string(&rung.reason)
+            );
+        }
+        format!(
+            "{{\n  \"version\": {},\n  \"kind\": \"pipeline_profile\",\n  \"total_ms\": {:.6},\n  \"stage_sum_ms\": {:.6},\n  \"coverage\": {:.4},\n  \"stages\": [\n{stages}\n  ],\n  \"rungs\": [\n{rungs}\n  ]\n}}\n",
+            SCHEMA_VERSION,
+            ms(self.total()),
+            ms(self.stage_sum()),
+            self.coverage()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::SpanStart {
+                name: "design",
+                id: 1,
+            },
+            ObsEvent::SpanStart {
+                name: "markov",
+                id: 2,
+            },
+            ObsEvent::Counter {
+                span: "markov",
+                name: "observations",
+                value: 100,
+            },
+            ObsEvent::SpanEnd {
+                name: "markov",
+                id: 2,
+                wall: Duration::from_micros(400),
+            },
+            ObsEvent::SpanStart {
+                name: "minimize",
+                id: 3,
+            },
+            ObsEvent::SpanEnd {
+                name: "minimize",
+                id: 3,
+                wall: Duration::from_micros(500),
+            },
+            ObsEvent::Rung {
+                rung: "heuristic minimizer".into(),
+                stage: "minimize".into(),
+                reason: "budget".into(),
+            },
+            ObsEvent::SpanStart {
+                name: "minimize",
+                id: 4,
+            },
+            ObsEvent::SpanEnd {
+                name: "minimize",
+                id: 4,
+                wall: Duration::from_micros(100),
+            },
+            ObsEvent::SpanEnd {
+                name: "design",
+                id: 1,
+                wall: Duration::from_micros(1100),
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_depth_calls_walls_and_counters() {
+        let profile = PipelineProfile::from_events(&stream());
+        assert_eq!(profile.stage_names(), vec!["markov", "minimize"]);
+        let design = &profile.entries()[0];
+        assert!(design.root && design.name == "design" && design.calls == 1);
+        let minimize = profile.stages().find(|e| e.name == "minimize").unwrap();
+        assert_eq!(minimize.calls, 2);
+        assert_eq!(minimize.wall, Duration::from_micros(600));
+        let markov = profile.stages().find(|e| e.name == "markov").unwrap();
+        assert_eq!(markov.counters["observations"], 100);
+        assert_eq!(profile.total(), Duration::from_micros(1100));
+        assert_eq!(profile.stage_sum(), Duration::from_micros(1000));
+        assert!((profile.coverage() - 1000.0 / 1100.0).abs() < 1e-9);
+        assert_eq!(profile.rungs().len(), 1);
+        assert_eq!(profile.rungs()[0].rung, "heuristic minimizer");
+    }
+
+    #[test]
+    fn non_design_roots_count_when_no_design_present() {
+        let events = vec![
+            ObsEvent::SpanStart {
+                name: "bpred-simulate",
+                id: 1,
+            },
+            ObsEvent::SpanEnd {
+                name: "bpred-simulate",
+                id: 1,
+                wall: Duration::from_micros(700),
+            },
+        ];
+        let profile = PipelineProfile::from_events(&events);
+        assert_eq!(profile.total(), Duration::from_micros(700));
+        assert_eq!(profile.stage_sum(), Duration::ZERO);
+    }
+
+    #[test]
+    fn simulator_roots_do_not_dilute_design_total() {
+        let mut events = stream();
+        events.push(ObsEvent::SpanStart {
+            name: "bpred-simulate",
+            id: 9,
+        });
+        events.push(ObsEvent::SpanEnd {
+            name: "bpred-simulate",
+            id: 9,
+            wall: Duration::from_secs(1),
+        });
+        let profile = PipelineProfile::from_events(&events);
+        assert_eq!(profile.total(), Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn renders_text_and_versioned_json() {
+        let profile = PipelineProfile::from_events(&stream());
+        let text = profile.to_text();
+        assert!(text.contains("markov"));
+        assert!(text.contains("coverage"));
+        assert!(text.contains("rung: heuristic minimizer"));
+        let json = profile.to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"kind\": \"pipeline_profile\""));
+        assert!(json.contains("\"name\": \"minimize\""));
+        assert!(json.contains("\"observations\": 100"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn unmatched_span_end_is_treated_as_root() {
+        let events = vec![ObsEvent::SpanEnd {
+            name: "minimize",
+            id: 77,
+            wall: Duration::from_micros(10),
+        }];
+        let profile = PipelineProfile::from_events(&events);
+        assert!(profile.entries()[0].root);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_coverage() {
+        let profile = PipelineProfile::from_events(&[]);
+        assert_eq!(profile.coverage(), 0.0);
+        assert!(profile.to_json().contains("\"coverage\": 0.0000"));
+    }
+}

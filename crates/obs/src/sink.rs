@@ -1,0 +1,137 @@
+//! Sinks: where recorded events go.
+
+use crate::event::ObsEvent;
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+/// Receives every event emitted while the sink is installed.
+///
+/// Implementations must be cheap and non-blocking where possible: the
+/// recorder calls [`record`](ObsSink::record) inline from the
+/// instrumented hot path.
+pub trait ObsSink: Send + Sync {
+    /// Handle one event.
+    fn record(&self, event: &ObsEvent);
+}
+
+/// Discards every event. Useful as a placeholder sink in tests that
+/// only exercise the enabled code path.
+#[derive(Debug, Default)]
+pub struct NullObsSink;
+
+impl ObsSink for NullObsSink {
+    fn record(&self, _event: &ObsEvent) {}
+}
+
+/// Buffers events in memory for later inspection or profile building.
+#[derive(Debug, Default)]
+pub struct CollectingObsSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl CollectingObsSink {
+    /// New empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Drains and returns the recorded events.
+    #[must_use]
+    pub fn take(&self) -> Vec<ObsEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl ObsSink for CollectingObsSink {
+    fn record(&self, event: &ObsEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// Streams each event as one line of versioned JSON to a writer.
+///
+/// Write errors are swallowed: observability must never fail the
+/// pipeline it observes.
+#[derive(Debug)]
+pub struct JsonlObsSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlObsSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut out = self
+            .out
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = out.flush();
+        out
+    }
+}
+
+impl<W: Write + Send> ObsSink for JsonlObsSink<W> {
+    fn record(&self, event: &ObsEvent) {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(out, "{}", event.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_round_trips() {
+        let sink = CollectingObsSink::new();
+        sink.record(&ObsEvent::SpanStart {
+            name: "design",
+            id: 1,
+        });
+        sink.record(&ObsEvent::Counter {
+            span: "design",
+            name: "x",
+            value: 2,
+        });
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlObsSink::new(Vec::new());
+        sink.record(&ObsEvent::SpanStart {
+            name: "design",
+            id: 1,
+        });
+        sink.record(&ObsEvent::Mark {
+            scope: "farm".into(),
+            name: "job_queued".into(),
+            detail: "job 3".into(),
+        });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("{\"v\": 1")));
+    }
+}

@@ -49,6 +49,7 @@ pub fn run_confidence<E: ConfidenceEstimator + ?Sized>(
     estimator: &mut E,
     trace: &LoadTrace,
 ) -> ConfidenceStats {
+    let _span = fsmgen_obs::span("vpred-confidence");
     let mut stats = ConfidenceStats::default();
     for load in trace {
         let slot = table.index(load.pc);
@@ -69,6 +70,8 @@ pub fn run_confidence<E: ConfidenceEstimator + ?Sized>(
         }
         table.update(load.pc, load.value);
     }
+    fsmgen_obs::counter("vpred-confidence", "predictions", stats.predictions as u64);
+    fsmgen_obs::counter("vpred-confidence", "confident", stats.confident as u64);
     stats
 }
 
