@@ -187,6 +187,35 @@ pub fn design_exclusion_fsm(
         .design_from_model(model)
 }
 
+/// [`design_exclusion_fsm`] routed through a design `farm`: the reuse
+/// model is built exactly as in the serial flow, then designed as a farm
+/// job so repeated geometries and training streams hit the design cache —
+/// including warm hits from a persistent snapshot the caller loaded into
+/// the farm.
+///
+/// # Errors
+///
+/// Returns [`fsmgen_farm::FarmError`], which wraps the serial flow's
+/// [`DesignError`] and adds the farm's own failure modes (contained
+/// worker panics, injected faults).
+pub fn design_exclusion_fsm_farmed(
+    training: &[MemoryAccess],
+    cache_geometry: &Cache,
+    order: usize,
+    farm: &fsmgen_farm::Farm,
+) -> Result<Design, fsmgen_farm::FarmError> {
+    let mut cache = cache_geometry.clone();
+    let model = reuse_model(&mut cache, training, order);
+    let designer = Designer::new(order).prob_threshold(0.3);
+    let job = fsmgen_farm::DesignJob::from_model(0, model, designer);
+    let mut report = farm.design_batch(vec![job]);
+    let outcome = report
+        .outcomes
+        .pop()
+        .unwrap_or_else(|| unreachable!("one job in, one outcome out"));
+    outcome.result.map(|d| (*d).clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +280,42 @@ mod tests {
             fsm.hit_rate(),
             counter.hit_rate()
         );
+    }
+
+    #[test]
+    fn farmed_exclusion_design_matches_serial_and_warm_starts() {
+        let w = MemoryWorkload::pollution_mix();
+        let train = w.generate(40_000, 1);
+
+        let serial = design_exclusion_fsm(&train, &Cache::embedded_8k(), 4)
+            .expect("reuse stream is long enough");
+        let farm = fsmgen_farm::Farm::new(fsmgen_farm::FarmConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let farmed = design_exclusion_fsm_farmed(&train, &Cache::embedded_8k(), 4, &farm)
+            .expect("farmed design succeeds");
+        assert_eq!(serial.fsm(), farmed.fsm(), "farmed flow must match serial");
+
+        // Round-trip through a snapshot: a second farm serves the same
+        // design warm, without redesigning.
+        let dir = std::env::temp_dir().join(format!("fsmgen-cache-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exclusion.fsnap");
+        farm.save_cache_snapshot(&path).expect("snapshot saves");
+
+        let warm_farm = fsmgen_farm::Farm::new(fsmgen_farm::FarmConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        warm_farm
+            .load_cache_snapshot(&path)
+            .expect("snapshot loads");
+        let warm = design_exclusion_fsm_farmed(&train, &Cache::embedded_8k(), 4, &warm_farm)
+            .expect("warm design succeeds");
+        assert_eq!(serial.fsm(), warm.fsm(), "warm flow must match serial");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -43,7 +43,8 @@ mod stream;
 
 pub use cache::{Access, Cache, CacheStats, EvictionReport};
 pub use harness::{
-    design_exclusion_fsm, reuse_model, run_cache, AccessPattern, MemoryAccess, MemoryWorkload,
+    design_exclusion_fsm, design_exclusion_fsm_farmed, reuse_model, run_cache, AccessPattern,
+    MemoryAccess, MemoryWorkload,
 };
 pub use policy::{AllocationPolicy, AlwaysAllocate, CounterExclusion, FsmExclusion, RETRY_PERIOD};
 pub use stream::{

@@ -12,7 +12,10 @@ use fsmgen_bpred::{
     Ppm, XScaleBtb,
 };
 use fsmgen_experiments::figures;
-use fsmgen_farm::{DesignJob, EventSink, Farm, FarmConfig, FarmEvent, ObsBridgeSink, StderrSink};
+use fsmgen_farm::{
+    read_snapshot_file, write_snapshot_file, DesignJob, EventSink, Farm, FarmConfig, FarmEvent,
+    ObsBridgeSink, StderrSink,
+};
 use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
 use fsmgen_traces::BitTrace;
 use fsmgen_workloads::{BranchBenchmark, Input, ValueBenchmark};
@@ -93,6 +96,7 @@ EXIT CODES:
   fsmgen farm     [--benchmarks LIST] [--histories LIST] [--len N]
                   [--repeat K] [--threshold P] [--dont-care F]
                   [--jobs N] [--cache-capacity N] [--metrics-json FILE]
+                  [--cache-file FILE] [--dump-machines DIR]
                   [--trace-jsonl FILE] [--verbose] [--no-degrade]
                   [--inject-fault SPEC] [budget flags as for 'design']
           Design a whole fleet of predictors as one batch: one job per
@@ -106,7 +110,18 @@ EXIT CODES:
           --trace-jsonl streams the farm lifecycle events and every
           worker's design-pipeline spans to FILE as JSONL, one schema.
           --inject-fault arms process-wide failpoints visible to the
-          workers, e.g. 'farm-worker=error:1'.";
+          workers, e.g. 'farm-worker=error:1'. --cache-file persists the
+          design cache across runs: loaded before the batch if present
+          (corrupt snapshots are skipped, never fatal) and rewritten on
+          exit, so a second run is served warm. --dump-machines writes
+          each job's machine table into DIR for artifact diffing.
+
+  fsmgen cache    {info|verify|gc} --cache-file FILE [--keep N]
+          Inspect a persistent design-cache snapshot. 'info' prints the
+          header and per-record summary, 'verify' fully decodes every
+          record and exits nonzero if any are corrupt, 'gc' rewrites the
+          snapshot keeping only the N most recently used records
+          (default 64).";
 
 fn branch_benchmark(name: &str) -> Result<BranchBenchmark, CliError> {
     BranchBenchmark::ALL
@@ -701,7 +716,38 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
         1 => Farm::with_sink(config, sinks.remove(0)),
         _ => Farm::with_sink(config, std::sync::Arc::new(TeeSink(sinks))),
     };
+    // Warm start: load a persisted snapshot if one exists. Corruption is
+    // never fatal — the farm just starts (partially) cold.
+    let cache_file = args.flag("cache-file").map(std::path::PathBuf::from);
+    if let Some(path) = &cache_file {
+        if path.exists() {
+            match farm.load_cache_snapshot(path) {
+                Ok(loaded) => eprintln!(
+                    "farm: cache snapshot {}: {} record(s) loaded, {} skipped",
+                    path.display(),
+                    loaded.loaded,
+                    loaded.skipped
+                ),
+                Err(e) => eprintln!(
+                    "farm: ignoring cache snapshot {}: {e} (starting cold)",
+                    path.display()
+                ),
+            }
+        }
+    }
     let report = farm.design_batch(jobs);
+    if let Some(path) = &cache_file {
+        match farm.save_cache_snapshot(path) {
+            Ok(records) => eprintln!(
+                "farm: cache snapshot {} saved ({records} record(s))",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "farm: could not save cache snapshot {}: {e}",
+                path.display()
+            ),
+        }
+    }
     failpoints::clear_global();
     if obs_sink.is_some() {
         fsmgen_obs::clear_global();
@@ -748,10 +794,120 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
             .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
         eprintln!("farm: metrics written to {path}");
     }
+    if let Some(dir) = args.flag("dump-machines") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Other(format!("cannot create {}: {e}", dir.display())))?;
+        for (outcome, label) in report.outcomes.iter().zip(&labels) {
+            if let Ok(design) = &outcome.result {
+                let name = format!("{}.table", label.replace(['/', ' '], "_"));
+                std::fs::write(
+                    dir.join(&name),
+                    fsmgen_automata::machine_to_table(design.fsm()),
+                )
+                .map_err(|e| CliError::Other(format!("cannot write {name}: {e}")))?;
+            }
+        }
+        eprintln!("farm: machine tables written to {}", dir.display());
+    }
     if failed > 0 {
         return Err(CliError::Other(format!("{failed} job(s) failed")));
     }
     Ok(())
+}
+
+/// `fsmgen cache`: inspect, verify or garbage-collect a persistent
+/// design-cache snapshot written by `fsmgen farm --cache-file`.
+///
+/// # Errors
+///
+/// Returns a usage error for a missing action or `--cache-file`, other
+/// when the snapshot header is unreadable or (for `verify`) any record
+/// is corrupt.
+pub fn cache(args: &Args) -> Result<(), CliError> {
+    let Some(action) = args.positional().first() else {
+        return Err(CliError::Usage(
+            "cache: expected an action: info, verify or gc".into(),
+        ));
+    };
+    let path = args
+        .flag("cache-file")
+        .ok_or_else(|| CliError::Usage("cache: --cache-file FILE is required".into()))?;
+    let path = std::path::Path::new(path);
+    let snapshot_error =
+        |e: fsmgen_farm::SnapshotError| CliError::Other(format!("cache: {}: {e}", path.display()));
+    match action.as_str() {
+        "info" => {
+            let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
+            println!(
+                "snapshot {} (format v{})",
+                path.display(),
+                fsmgen_farm::SNAPSHOT_VERSION
+            );
+            println!(
+                "  {size} bytes, {} record(s) decoded, {} corrupt skipped",
+                decoded.records.len(),
+                decoded.skipped
+            );
+            for (i, rec) in decoded.records.iter().enumerate() {
+                println!(
+                    "  [{i:>3}] fp {:016x}  {} states, history {}, {}",
+                    rec.fingerprint,
+                    rec.design.fsm().num_states(),
+                    rec.design.effective_history(),
+                    if rec.design.degradation().is_degraded() {
+                        "degraded"
+                    } else {
+                        "ok"
+                    }
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
+            if decoded.skipped > 0 {
+                return Err(CliError::Other(format!(
+                    "cache: {}: {} corrupt record(s) skipped ({} valid)",
+                    path.display(),
+                    decoded.skipped,
+                    decoded.records.len()
+                )));
+            }
+            println!(
+                "{}: ok ({} record(s))",
+                path.display(),
+                decoded.records.len()
+            );
+            Ok(())
+        }
+        "gc" => {
+            let keep: usize = args.flag_or("keep", 64).map_err(usage)?;
+            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
+            let total = decoded.records.len();
+            let dropped_corrupt = decoded.skipped;
+            // Snapshot files are MRU-first, so keeping a prefix keeps the
+            // hottest records.
+            let kept: Vec<_> = decoded.records.into_iter().take(keep).collect();
+            write_snapshot_file(
+                path,
+                kept.iter().map(|r| (r.fingerprint, r.verify, &*r.design)),
+            )
+            .map_err(snapshot_error)?;
+            println!(
+                "{}: kept {} of {} record(s), {} corrupt dropped",
+                path.display(),
+                kept.len(),
+                total,
+                dropped_corrupt
+            );
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "cache: unknown action {other:?} (expected info, verify or gc)"
+        ))),
+    }
 }
 
 #[cfg(test)]

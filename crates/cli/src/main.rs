@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "headlines" => commands::headlines(&parsed),
         "figure" => commands::figure(&parsed),
         "farm" => commands::farm(&parsed),
+        "cache" => commands::cache(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

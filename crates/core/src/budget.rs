@@ -118,6 +118,15 @@ pub struct Degradation {
 }
 
 impl Degradation {
+    /// Reconstructs a report from recorded steps — the deserialization
+    /// path (e.g. the farm's persistent cache snapshots). The designer
+    /// itself records steps internally; this does not validate that the
+    /// sequence is one the ladder could actually produce.
+    #[must_use]
+    pub fn from_steps(steps: Vec<DegradationStep>) -> Self {
+        Degradation { steps }
+    }
+
     /// `true` when at least one fallback was taken.
     #[must_use]
     pub fn is_degraded(&self) -> bool {

@@ -465,7 +465,7 @@ impl AttemptStages {
 
 /// The output of one design-flow run, retaining every intermediate
 /// artifact so callers can inspect or report any stage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Design {
     model: MarkovModel,
     sets: PatternSets,
@@ -478,6 +478,37 @@ pub struct Design {
 }
 
 impl Design {
+    /// Reassembles a design from its stage artifacts — the
+    /// deserialization path (e.g. the farm's persistent cache snapshots).
+    ///
+    /// The designer itself builds designs through the pipeline; this
+    /// constructor trusts the caller that the artifacts belong together
+    /// (it performs no cross-stage consistency checks), so decoded
+    /// designs round-trip every accessor bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_parts(
+        model: MarkovModel,
+        sets: PatternSets,
+        cover: Cover,
+        regex: Option<Regex>,
+        minimized: Dfa,
+        fsm: Dfa,
+        degradation: Degradation,
+        effective_history: usize,
+    ) -> Self {
+        Design {
+            model,
+            sets,
+            cover,
+            regex,
+            minimized,
+            fsm,
+            degradation,
+            effective_history,
+        }
+    }
+
     /// The Markov model the design was derived from (§4.2).
     #[must_use]
     pub fn model(&self) -> &MarkovModel {

@@ -117,6 +117,41 @@ impl MarkovModel {
         Ok(model)
     }
 
+    /// Rebuilds a model from bulk `(history, counts)` pairs — the
+    /// deserialization path (e.g. the farm's persistent cache snapshots).
+    /// Unlike repeated [`MarkovModel::observe`] calls this is O(entries),
+    /// not O(observations), and it never panics: invalid input is a typed
+    /// error so callers decoding untrusted bytes can reject it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `order` is outside `1..=MAX_ORDER`, a
+    /// history does not fit in `order` bits, a history repeats, or an
+    /// entry has zero observations.
+    pub fn from_counts(
+        order: usize,
+        counts: impl IntoIterator<Item = (u32, HistoryCounts)>,
+    ) -> Result<Self, String> {
+        if order == 0 || order > MAX_ORDER {
+            return Err(format!(
+                "Markov order must be in 1..={MAX_ORDER}, got {order}"
+            ));
+        }
+        let mut table = BTreeMap::new();
+        for (history, c) in counts {
+            if order < 32 && history >= (1u32 << order) {
+                return Err(format!("history {history:#b} wider than order {order}"));
+            }
+            if c.total() == 0 {
+                return Err(format!("history {history:#b} has zero observations"));
+            }
+            if table.insert(history, c).is_some() {
+                return Err(format!("duplicate history {history:#b}"));
+            }
+        }
+        Ok(MarkovModel { order, table })
+    }
+
     /// Records one observation: `history` (most recent outcome in bit 0)
     /// was followed by `outcome`.
     ///

@@ -128,6 +128,22 @@ impl PatternSets {
         })
     }
 
+    /// Reassembles pattern sets from their parts — the deserialization
+    /// path (e.g. the farm's persistent cache snapshots). The counts are
+    /// taken as recorded; no re-derivation from a model happens here.
+    #[must_use]
+    pub fn from_parts(
+        spec: FunctionSpec,
+        dont_care_observations: u64,
+        total_observations: u64,
+    ) -> Self {
+        PatternSets {
+            spec,
+            dont_care_observations,
+            total_observations,
+        }
+    }
+
     /// The resulting incompletely specified function: on = predict 1,
     /// off = predict 0, don't-care = everything else.
     #[must_use]

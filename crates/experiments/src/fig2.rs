@@ -52,6 +52,9 @@ pub struct Fig2Config {
     pub histories: Vec<usize>,
     /// Probability thresholds sweeping each FSM curve.
     pub thresholds: Vec<f64>,
+    /// Persistent design-cache snapshot warm-starting the FSM batches
+    /// across runs (`None` runs cold).
+    pub cache_file: Option<std::path::PathBuf>,
 }
 
 impl Default for Fig2Config {
@@ -60,6 +63,7 @@ impl Default for Fig2Config {
             trace_len: 60_000,
             histories: vec![2, 4, 6, 8, 10],
             thresholds: vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99],
+            cache_file: None,
         }
     }
 }
@@ -72,6 +76,7 @@ impl Fig2Config {
             trace_len: 12_000,
             histories: vec![2, 4],
             thresholds: vec![0.5, 0.8, 0.95],
+            cache_file: None,
         }
     }
 }
@@ -149,7 +154,9 @@ pub fn run_panel(bench: ValueBenchmark, config: &Fig2Config) -> Fig2Panel {
         }
     }
     let farm = Farm::new(FarmConfig::default());
-    let report = farm.design_batch(jobs);
+    let report = crate::profiling::with_cache_snapshot(&farm, config.cache_file.as_deref(), || {
+        farm.design_batch(jobs)
+    });
     let farm_stats = FarmRunStats::from(&report.metrics);
 
     let mut fsm: BTreeMap<usize, Vec<ConfidencePoint>> =

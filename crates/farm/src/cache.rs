@@ -11,8 +11,10 @@
 //! The map is a classic intrusive LRU: a slab of entries doubly linked in
 //! recency order plus a fingerprint index, so `get` and `insert` are O(1).
 
+use crate::snapshot::{read_snapshot_file, write_snapshot_file, SnapshotError};
 use fsmgen::Design;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Sentinel for "no neighbour" in the intrusive list.
@@ -21,6 +23,13 @@ const NONE: usize = usize::MAX;
 struct Entry {
     key: u64,
     design: Arc<Design>,
+    /// The producing job's independent verification digest (0 for entries
+    /// inserted through the plain [`DesignCache::insert`]).
+    verify: u64,
+    /// `true` when the entry came from a persistent snapshot rather than
+    /// being computed in this process. Warm entries are re-verified on
+    /// lookup; fresh ones are trusted.
+    warm: bool,
     prev: usize,
     next: usize,
 }
@@ -28,27 +37,44 @@ struct Entry {
 /// Running cache accounting, cheap to copy into metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found a design.
+    /// Lookups that found a design computed in this process.
     pub hits: u64,
+    /// Lookups that found a design restored from a persistent snapshot.
+    pub snapshot_hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
     /// Designs inserted.
     pub insertions: u64,
     /// Designs evicted by the LRU bound.
     pub evictions: u64,
+    /// Snapshot records rejected: skipped at load (corrupt or truncated)
+    /// plus warm entries whose verification digest did not match at lookup.
+    pub stale: u64,
 }
 
 impl CacheStats {
-    /// Hits over total lookups, or 0.0 before any lookup.
+    /// Hits (in-memory and snapshot) over total lookups, or 0.0 before any
+    /// lookup.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let hits = self.hits + self.snapshot_hits;
+        let total = hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
+}
+
+/// What a snapshot load did: how many designs were restored into the
+/// cache and how many stored records were rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotLoadReport {
+    /// Records decoded and inserted as warm entries.
+    pub loaded: usize,
+    /// Records skipped for corruption, truncation or decode failure.
+    pub skipped: usize,
 }
 
 /// A bounded LRU cache of finished designs keyed by content fingerprint.
@@ -131,10 +157,18 @@ impl DesignCache {
     }
 
     /// Looks up a design by fingerprint, marking it most recently used.
+    /// In-memory entries count as [`CacheStats::hits`]; warm
+    /// (snapshot-restored) entries count as [`CacheStats::snapshot_hits`]
+    /// but are *not* re-verified — use [`DesignCache::get_verified`] when
+    /// the caller knows the job's verification digest.
     pub fn get(&mut self, key: u64) -> Option<Arc<Design>> {
         match self.index.get(&key).copied() {
             Some(slot) => {
-                self.stats.hits += 1;
+                if self.slab[slot].warm {
+                    self.stats.snapshot_hits += 1;
+                } else {
+                    self.stats.hits += 1;
+                }
                 self.detach(slot);
                 self.attach_front(slot);
                 Some(Arc::clone(&self.slab[slot].design))
@@ -146,9 +180,49 @@ impl DesignCache {
         }
     }
 
+    /// Looks up a design by fingerprint, re-verifying warm entries against
+    /// the job's independent digest.
+    ///
+    /// A fresh (computed-in-process) entry is returned unconditionally — a
+    /// fingerprint collision within one process would already have served
+    /// the wrong design through [`DesignCache::get`], and the 64-bit space
+    /// makes that a non-concern for in-memory lifetimes. A *warm* entry is
+    /// the suspect case: its fingerprint was computed by another process
+    /// over different inputs, so a matching fingerprint with a mismatched
+    /// verification digest marks the entry stale — it is evicted, counted
+    /// in [`CacheStats::stale`], and the lookup reports a miss.
+    pub fn get_verified(&mut self, key: u64, verify: u64) -> Option<Arc<Design>> {
+        if let Some(&slot) = self.index.get(&key) {
+            if self.slab[slot].warm && self.slab[slot].verify != verify {
+                self.remove_slot(slot);
+                self.stats.stale += 1;
+                self.stats.misses += 1;
+                return None;
+            }
+        }
+        self.get(key)
+    }
+
     /// Inserts (or refreshes) a design under `key`, evicting the least
     /// recently used entry when over capacity.
     pub fn insert(&mut self, key: u64, design: Arc<Design>) {
+        self.insert_entry(key, 0, design, false);
+    }
+
+    /// [`DesignCache::insert`] carrying the job's verification digest, so
+    /// the entry can be re-verified after a snapshot round-trip.
+    pub fn insert_verified(&mut self, key: u64, verify: u64, design: Arc<Design>) {
+        self.insert_entry(key, verify, design, false);
+    }
+
+    /// Inserts a snapshot-restored design: served as
+    /// [`CacheStats::snapshot_hits`] and re-verified by
+    /// [`DesignCache::get_verified`].
+    pub fn insert_warm(&mut self, key: u64, verify: u64, design: Arc<Design>) {
+        self.insert_entry(key, verify, design, true);
+    }
+
+    fn insert_entry(&mut self, key: u64, verify: u64, design: Arc<Design>, warm: bool) {
         if self.capacity == 0 {
             return;
         }
@@ -164,6 +238,8 @@ impl DesignCache {
         let entry = Entry {
             key,
             design,
+            verify,
+            warm,
             prev: NONE,
             next: NONE,
         };
@@ -182,16 +258,74 @@ impl DesignCache {
         self.stats.insertions += 1;
     }
 
+    /// Visits every cached design from most to least recently used, as
+    /// `(fingerprint, verify, design)` triples — the order snapshots are
+    /// written in, so a bounded reload keeps the hottest entries.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (u64, u64, &Design)> {
+        let mut slot = self.head;
+        std::iter::from_fn(move || {
+            if slot == NONE {
+                return None;
+            }
+            let e = &self.slab[slot];
+            slot = e.next;
+            Some((e.key, e.verify, &*e.design))
+        })
+    }
+
+    /// Writes the cache contents to `path` in snapshot format, most
+    /// recently used first, via a temporary file and an atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        write_snapshot_file(path, self.iter_mru())
+    }
+
+    /// Loads a snapshot file into the cache as warm entries, preserving
+    /// the stored recency order (up to this cache's capacity bound — the
+    /// most recently used records win).
+    ///
+    /// Corrupt records are skipped, counted in the returned report and in
+    /// [`CacheStats::stale`]; they never abort the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] only for whole-file problems: I/O
+    /// failure, bad magic, unsupported version or a truncated header. The
+    /// caller should treat that as "start cold".
+    pub fn load_snapshot(&mut self, path: &Path) -> Result<SnapshotLoadReport, SnapshotError> {
+        let decoded = read_snapshot_file(path)?;
+        // Records are stored most-recent-first; inserting in reverse keeps
+        // the stored recency (the last insert becomes the cache's MRU).
+        let loaded = decoded.records.len();
+        for rec in decoded.records.into_iter().rev() {
+            self.insert_warm(rec.fingerprint, rec.verify, rec.design);
+        }
+        self.stats.stale += decoded.skipped as u64;
+        Ok(SnapshotLoadReport {
+            loaded,
+            skipped: decoded.skipped,
+        })
+    }
+
     fn evict_lru(&mut self) {
         let slot = self.tail;
         if slot == NONE {
             return;
         }
+        self.remove_slot(slot);
+        self.stats.evictions += 1;
+    }
+
+    /// Unlinks `slot` from the list and index and returns it to the free
+    /// pool (no stats side effects).
+    fn remove_slot(&mut self, slot: usize) {
         self.detach(slot);
         let key = self.slab[slot].key;
         self.index.remove(&key);
         self.free.push(slot);
-        self.stats.evictions += 1;
     }
 
     fn detach(&mut self, slot: usize) {
@@ -281,6 +415,100 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_hits_are_counted_separately() {
+        let mut cache = DesignCache::new(4);
+        cache.insert_verified(1, 100, design());
+        cache.insert_warm(2, 200, design());
+        assert!(cache.get_verified(1, 100).is_some());
+        assert!(cache.get_verified(2, 200).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.snapshot_hits, s.misses, s.stale), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn warm_verify_mismatch_is_stale_and_evicted() {
+        let mut cache = DesignCache::new(4);
+        cache.insert_warm(1, 200, design());
+        // A fingerprint collision across processes: same key, different
+        // verification digest. Must not serve the wrong design.
+        assert!(cache.get_verified(1, 999).is_none());
+        let s = cache.stats();
+        assert_eq!((s.snapshot_hits, s.misses, s.stale), (0, 1, 1));
+        assert_eq!(cache.len(), 0);
+        // The slot is reusable afterwards.
+        cache.insert_verified(1, 999, design());
+        assert!(cache.get_verified(1, 999).is_some());
+    }
+
+    #[test]
+    fn fresh_entries_skip_verification() {
+        let mut cache = DesignCache::new(4);
+        cache.insert_verified(1, 100, design());
+        // In-process entries are trusted even on digest mismatch.
+        assert!(cache.get_verified(1, 999).is_some());
+        assert_eq!(cache.stats().stale, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_entries_and_recency() {
+        let dir = std::env::temp_dir().join(format!("fsmgen-cache-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.fsnap");
+
+        let mut cache = DesignCache::new(8);
+        let d = design();
+        for k in 1..=4u64 {
+            cache.insert_verified(k, k * 10, Arc::clone(&d));
+        }
+        let _ = cache.get(1); // 1 becomes MRU: order 1, 4, 3, 2
+        cache.save_snapshot(&path).unwrap();
+
+        let mut warm = DesignCache::new(8);
+        let report = warm.load_snapshot(&path).unwrap();
+        assert_eq!(
+            report,
+            SnapshotLoadReport {
+                loaded: 4,
+                skipped: 0
+            }
+        );
+        let order: Vec<u64> = warm.iter_mru().map(|(k, _, _)| k).collect();
+        assert_eq!(order, vec![1, 4, 3, 2]);
+        let verifies: Vec<u64> = warm.iter_mru().map(|(_, v, _)| v).collect();
+        assert_eq!(verifies, vec![10, 40, 30, 20]);
+        // Warm entries serve with a matching digest…
+        assert!(warm.get_verified(1, 10).is_some());
+        assert_eq!(warm.stats().snapshot_hits, 1);
+        // …and the restored design is the one we saved.
+        assert_eq!(*warm.get(2).unwrap(), *d);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_load_keeps_most_recent_records() {
+        let dir = std::env::temp_dir().join(format!("fsmgen-cache-bound-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.fsnap");
+
+        let mut cache = DesignCache::new(8);
+        let d = design();
+        for k in 1..=6u64 {
+            cache.insert_verified(k, 0, Arc::clone(&d));
+        }
+        cache.save_snapshot(&path).unwrap();
+
+        // A smaller cache keeps the hottest (most recently used) records.
+        let mut warm = DesignCache::new(2);
+        let report = warm.load_snapshot(&path).unwrap();
+        assert_eq!(report.loaded, 6);
+        let order: Vec<u64> = warm.iter_mru().map(|(k, _, _)| k).collect();
+        assert_eq!(order, vec![6, 5]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

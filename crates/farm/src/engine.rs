@@ -1,15 +1,18 @@
 //! The batch design engine: a work-stealing pool behind a content-addressed
 //! design cache, with structured events and aggregate metrics.
 
-use crate::cache::{CacheStats, DesignCache};
+use crate::cache::{CacheStats, DesignCache, SnapshotLoadReport};
 use crate::error::FarmError;
 use crate::events::{EventSink, FarmEvent, NullSink};
 use crate::job::{DesignJob, JobInput};
 use crate::metrics::FarmMetrics;
 use crate::pool;
+use crate::snapshot::SnapshotError;
 use fsmgen::{failpoints, Design, DesignBudget, DesignError, Designer, SweepPoint};
+use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -115,6 +118,9 @@ struct CacheState {
     /// worker hitting a pending fingerprint waits for the computer and
     /// takes the cached result instead of duplicating the design run.
     pending: std::collections::HashSet<u64>,
+    /// Accumulated persistent-snapshot load accounting, copied into every
+    /// batch's metrics so warm-start provenance shows up in reports.
+    snapshot_load: SnapshotLoadReport,
 }
 
 /// What the coordinated cache lookup decided for a job.
@@ -156,6 +162,7 @@ impl Farm {
             state: Mutex::new(CacheState {
                 cache: DesignCache::new(config.cache_capacity),
                 pending: std::collections::HashSet::new(),
+                snapshot_load: SnapshotLoadReport::default(),
             }),
             pending_done: std::sync::Condvar::new(),
             sink,
@@ -176,6 +183,66 @@ impl Farm {
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, CacheState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Warm-starts the farm's cache from a persistent snapshot file.
+    ///
+    /// Every restored design becomes a warm entry: it is served only after
+    /// its stored verification digest matches the requesting job's
+    /// [`verify_hash`](DesignJob::verify_hash), so a cross-process
+    /// fingerprint collision degrades to a recompute instead of a wrong
+    /// design. Corrupt records are skipped and counted (surfacing as
+    /// `stale` in the batch metrics), never fatal.
+    ///
+    /// The load is reported as a `cache_snapshot_load` span with
+    /// `loaded`/`skipped` counters on the ambient obs sink, and as a
+    /// [`FarmEvent::SnapshotLoaded`] on the farm's event sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] only for whole-file problems (missing or
+    /// unreadable file, bad magic, unsupported version, truncated header);
+    /// callers should log it and continue cold.
+    pub fn load_cache_snapshot(&self, path: &Path) -> Result<SnapshotLoadReport, SnapshotError> {
+        let _span = obs::span("cache_snapshot_load");
+        let report = {
+            let mut state = self.lock_state();
+            let report = state.cache.load_snapshot(path)?;
+            state.snapshot_load.loaded += report.loaded;
+            state.snapshot_load.skipped += report.skipped;
+            report
+        };
+        obs::counter("cache_snapshot_load", "loaded", report.loaded as u64);
+        obs::counter("cache_snapshot_load", "skipped", report.skipped as u64);
+        self.sink.record(&FarmEvent::SnapshotLoaded {
+            path: path.display().to_string(),
+            loaded: report.loaded,
+            skipped: report.skipped,
+        });
+        Ok(report)
+    }
+
+    /// Writes the farm's cache to a persistent snapshot file (most
+    /// recently used designs first), atomically, returning the record
+    /// count. Reported as a `cache_snapshot_save` span with a `records`
+    /// counter and a [`FarmEvent::SnapshotSaved`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be written.
+    pub fn save_cache_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let _span = obs::span("cache_snapshot_save");
+        let records = {
+            let state = self.lock_state();
+            state.cache.save_snapshot(path)?;
+            state.cache.len()
+        };
+        obs::counter("cache_snapshot_save", "records", records as u64);
+        self.sink.record(&FarmEvent::SnapshotSaved {
+            path: path.display().to_string(),
+            records,
+        });
+        Ok(records)
     }
 
     /// Designs every job in the batch, concurrently, and returns outcomes
@@ -202,9 +269,11 @@ impl Farm {
         let stats_after = self.lock_state().cache.stats();
         let cache = CacheStats {
             hits: stats_after.hits - stats_before.hits,
+            snapshot_hits: stats_after.snapshot_hits - stats_before.snapshot_hits,
             misses: stats_after.misses - stats_before.misses,
             insertions: stats_after.insertions - stats_before.insertions,
             evictions: stats_after.evictions - stats_before.evictions,
+            stale: stats_after.stale - stats_before.stale,
         };
         let walls: Vec<Duration> = outcomes
             .iter()
@@ -218,9 +287,13 @@ impl Farm {
             .map(|r| r.to_string())
             .collect();
         let succeeded = walls.len();
-        let (entries, capacity) = {
+        let (entries, capacity, snapshot) = {
             let state = self.lock_state();
-            (state.cache.len(), state.cache.capacity())
+            (
+                state.cache.len(),
+                state.cache.capacity(),
+                state.snapshot_load,
+            )
         };
         let metrics = FarmMetrics::aggregate(crate::metrics::BatchTally {
             jobs: outcomes.len(),
@@ -228,6 +301,7 @@ impl Farm {
             failed: outcomes.len() - succeeded,
             workers: self.config.workers,
             cache,
+            snapshot,
             cache_entries: entries,
             cache_capacity: capacity,
             batch_wall,
@@ -280,6 +354,10 @@ impl Farm {
         // Waiting is pointless with no cache to publish through
         // (capacity 0), so identical jobs then just compute in parallel.
         let fingerprint = job.fingerprint();
+        // The independent verification digest: `Some` exactly when the
+        // fingerprint is. Warm (snapshot-restored) cache entries are only
+        // served when their stored digest matches this one.
+        let verify = job.verify_hash().unwrap_or_default();
         let lookup = match fingerprint {
             None => Lookup::Compute { claimed: false },
             Some(fp) => {
@@ -299,7 +377,7 @@ impl Farm {
                                 .unwrap_or_else(PoisonError::into_inner);
                             continue;
                         }
-                        match state.cache.get(fp) {
+                        match state.cache.get_verified(fp, verify) {
                             Some(design) => break Lookup::Hit(design),
                             None => {
                                 state.pending.insert(fp);
@@ -357,7 +435,7 @@ impl Farm {
         if let Some(fp) = fingerprint {
             let mut state = self.lock_state();
             if let Ok(design) = &result {
-                state.cache.insert(fp, Arc::clone(design));
+                state.cache.insert_verified(fp, verify, Arc::clone(design));
             }
             if claimed {
                 state.pending.remove(&fp);
@@ -662,6 +740,69 @@ mod tests {
         let err =
             sweep_histories_parallel(&trace, 2..=3, |d| d.prob_threshold(2.0), 3).unwrap_err();
         assert!(matches!(err, DesignError::BadConfig(_)));
+    }
+
+    #[test]
+    fn snapshot_warm_start_serves_without_computing() {
+        let dir = std::env::temp_dir().join(format!("fsmgen-farm-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.fsnap");
+        let trace = paper_trace();
+        let job = || DesignJob::from_trace(0, Arc::clone(&trace), Designer::new(2));
+
+        // Cold farm: compute, then persist.
+        let cold = Farm::new(FarmConfig {
+            workers: 1,
+            cache_capacity: 16,
+        });
+        let cold_report = cold.design_batch(vec![job()]);
+        let cold_design = cold_report.design(0).unwrap();
+        assert_eq!(cold.save_cache_snapshot(&path).unwrap(), 1);
+
+        // Warm farm: load, then the same job is a snapshot hit.
+        let sink = Arc::new(CollectingSink::new());
+        let warm = Farm::with_sink(
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 16,
+            },
+            Arc::clone(&sink) as Arc<dyn EventSink>,
+        );
+        let loaded = warm.load_cache_snapshot(&path).unwrap();
+        assert_eq!((loaded.loaded, loaded.skipped), (1, 0));
+        let warm_report = warm.design_batch(vec![job()]);
+        assert!(warm_report.outcomes[0].cache_hit);
+        assert_eq!(warm_report.metrics.cache.snapshot_hits, 1);
+        assert_eq!(warm_report.metrics.cache.hits, 0);
+        assert_eq!(warm_report.metrics.cache.misses, 0);
+        assert_eq!(warm_report.metrics.snapshot.loaded, 1);
+        // The restored design is bit-identical to the cold one.
+        assert_eq!(**warm_report.design(0).unwrap(), **cold_design);
+        // The load showed up on the event sink.
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, FarmEvent::SnapshotLoaded { loaded: 1, .. })));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_file_reports_error_and_farm_stays_usable() {
+        let farm = Farm::new(FarmConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let err = farm
+            .load_cache_snapshot(Path::new("/nonexistent/cache.fsnap"))
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        let report = farm.design_batch(vec![DesignJob::from_trace(
+            0,
+            paper_trace(),
+            Designer::new(2),
+        )]);
+        assert_eq!(report.metrics.succeeded, 1);
     }
 
     #[test]

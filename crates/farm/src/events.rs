@@ -61,19 +61,37 @@ pub enum FarmEvent {
         /// The rendered [`FarmError`](crate::FarmError).
         error: String,
     },
+    /// A persistent cache snapshot was loaded into the farm's cache.
+    SnapshotLoaded {
+        /// The snapshot file.
+        path: String,
+        /// Records restored as warm cache entries.
+        loaded: usize,
+        /// Records skipped for corruption or truncation.
+        skipped: usize,
+    },
+    /// The farm's cache was written out as a persistent snapshot.
+    SnapshotSaved {
+        /// The snapshot file.
+        path: String,
+        /// Records written.
+        records: usize,
+    },
 }
 
 impl FarmEvent {
-    /// The id of the job the event concerns.
+    /// The id of the job the event concerns, or `None` for farm-level
+    /// events (snapshot loads and saves) that belong to no single job.
     #[must_use]
-    pub fn job_id(&self) -> u64 {
+    pub fn job_id(&self) -> Option<u64> {
         match *self {
             FarmEvent::JobQueued { id }
             | FarmEvent::JobStarted { id }
             | FarmEvent::CacheHit { id, .. }
             | FarmEvent::JobDegraded { id, .. }
             | FarmEvent::JobFinished { id, .. }
-            | FarmEvent::JobFailed { id, .. } => id,
+            | FarmEvent::JobFailed { id, .. } => Some(id),
+            FarmEvent::SnapshotLoaded { .. } | FarmEvent::SnapshotSaved { .. } => None,
         }
     }
 }
@@ -122,7 +140,7 @@ impl CollectingSink {
     pub fn for_job(&self, id: u64) -> Vec<FarmEvent> {
         self.lock()
             .iter()
-            .filter(|e| e.job_id() == id)
+            .filter(|e| e.job_id() == Some(id))
             .cloned()
             .collect()
     }
@@ -166,6 +184,16 @@ impl EventSink for StderrSink {
             }
             FarmEvent::JobFailed { id, error } => {
                 eprintln!("farm: job {id} FAILED: {error}");
+            }
+            FarmEvent::SnapshotLoaded {
+                path,
+                loaded,
+                skipped,
+            } => {
+                eprintln!("farm: snapshot {path}: {loaded} designs loaded, {skipped} skipped");
+            }
+            FarmEvent::SnapshotSaved { path, records } => {
+                eprintln!("farm: snapshot {path}: {records} designs saved");
             }
         }
     }
@@ -239,6 +267,17 @@ pub fn to_obs_event(event: &FarmEvent) -> ObsEvent {
             ),
         ),
         FarmEvent::JobFailed { id, error } => mark("job_failed", format!("job {id}: {error}")),
+        FarmEvent::SnapshotLoaded {
+            path,
+            loaded,
+            skipped,
+        } => mark(
+            "cache_snapshot_load",
+            format!("{path}: {loaded} loaded, {skipped} skipped"),
+        ),
+        FarmEvent::SnapshotSaved { path, records } => {
+            mark("cache_snapshot_save", format!("{path}: {records} records"))
+        }
     }
 }
 
@@ -271,7 +310,7 @@ mod tests {
                 error: "x".into()
             }
             .job_id(),
-            9
+            Some(9)
         );
         assert_eq!(
             FarmEvent::CacheHit {
@@ -279,8 +318,35 @@ mod tests {
                 fingerprint: 0
             }
             .job_id(),
-            3
+            Some(3)
         );
+        assert_eq!(
+            FarmEvent::SnapshotSaved {
+                path: "cache.fsnap".into(),
+                records: 4
+            }
+            .job_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn snapshot_events_bridge_to_marks() {
+        let loaded = to_obs_event(&FarmEvent::SnapshotLoaded {
+            path: "cache.fsnap".into(),
+            loaded: 5,
+            skipped: 1,
+        });
+        assert!(matches!(&loaded, ObsEvent::Mark { scope, name, detail }
+                if scope == "farm"
+                    && name == "cache_snapshot_load"
+                    && detail == "cache.fsnap: 5 loaded, 1 skipped"));
+        let saved = to_obs_event(&FarmEvent::SnapshotSaved {
+            path: "cache.fsnap".into(),
+            records: 7,
+        });
+        assert!(matches!(&saved, ObsEvent::Mark { name, detail, .. }
+                if name == "cache_snapshot_save" && detail.contains("7 records")));
     }
 
     #[test]

@@ -46,6 +46,18 @@ impl Fnv1a {
         }
     }
 
+    /// Creates a hasher whose initial state is the offset basis folded
+    /// with `seed`. Two hashers with different seeds walk the same input
+    /// to independent digests — the snapshot layer uses this for the
+    /// per-record verification hash that guards against fingerprint
+    /// collisions.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        let mut h = Fnv1a::new();
+        h.write_u64(seed);
+        h
+    }
+
     /// Folds raw bytes into the hash.
     pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {

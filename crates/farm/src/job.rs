@@ -14,6 +14,10 @@ use fsmgen_logicmin::Algorithm;
 use fsmgen_traces::BitTrace;
 use std::sync::Arc;
 
+/// Seed distinguishing [`DesignJob::verify_hash`] from
+/// [`DesignJob::fingerprint`] (an arbitrary odd constant).
+const VERIFY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// The behaviour input a job designs from.
 #[derive(Debug, Clone)]
 pub enum JobInput {
@@ -71,11 +75,27 @@ impl DesignJob {
     /// and each budget cap (with presence tags, so `Some(0)` ≠ `None`).
     #[must_use]
     pub fn fingerprint(&self) -> Option<u64> {
+        self.digest(Fnv1a::new())
+    }
+
+    /// A second, independent digest over the same job contents, used by the
+    /// persistent snapshot layer to re-verify that a fingerprint match is a
+    /// content match and not a 64-bit collision. Same cacheability rule as
+    /// [`fingerprint`](DesignJob::fingerprint); the two digests differ only
+    /// in their FNV seed, so a collision in one is (with overwhelming
+    /// probability) not a collision in the other.
+    #[must_use]
+    pub fn verify_hash(&self) -> Option<u64> {
+        self.digest(Fnv1a::with_seed(VERIFY_SEED))
+    }
+
+    /// Walks every content field of the job into `h`. Shared by the cache
+    /// fingerprint and the snapshot verification hash.
+    fn digest(&self, mut h: Fnv1a) -> Option<u64> {
         let budget = self.designer.design_budget();
         if budget.deadline.is_some() {
             return None;
         }
-        let mut h = Fnv1a::new();
 
         // Input: tag the variant, then the canonical contents.
         match &self.input {
@@ -174,6 +194,21 @@ mod tests {
         let a = DesignJob::from_trace(0, t, Designer::new(2));
         let b = DesignJob::from_model(0, model, Designer::new(2));
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn verify_hash_is_independent_of_fingerprint() {
+        let job = DesignJob::from_trace(0, trace(), Designer::new(2));
+        let fp = job.fingerprint().unwrap();
+        let vh = job.verify_hash().unwrap();
+        assert_ne!(fp, vh);
+        // Both are stable content digests: equal jobs agree on both.
+        let twin = DesignJob::from_trace(9, trace(), Designer::new(2));
+        assert_eq!(twin.fingerprint(), Some(fp));
+        assert_eq!(twin.verify_hash(), Some(vh));
+        // And both move when content moves.
+        let other = DesignJob::from_trace(0, trace(), Designer::new(3));
+        assert_ne!(other.verify_hash(), Some(vh));
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! - **structured events** ([`FarmEvent`]) flowing through a pluggable
 //!   [`EventSink`], aggregated per batch into a [`FarmMetrics`] summary
 //!   (throughput, p50/p95/max latency, cache hit rate and the
-//!   degradation-rung histogram) with a stable JSON rendering.
+//!   degradation-rung histogram) with a stable JSON rendering;
+//! - **persistent snapshots** of the cache (the [`snapshot format`]
+//!   behind [`DesignCache::save_snapshot`] / [`DesignCache::load_snapshot`]
+//!   and [`Farm::load_cache_snapshot`] / [`Farm::save_cache_snapshot`]):
+//!   a versioned, checksummed file so a later process starts warm, with
+//!   per-record corruption skipped and counted rather than fatal, and
+//!   warm entries re-verified against an independent digest
+//!   ([`DesignJob::verify_hash`]) before being served.
+//!
+//! [`snapshot format`]: encode_snapshot
 //!
 //! Failures stay contained: a job that fails — typed [`FarmError`],
 //! including faults injected at the `farm-worker` failpoint and contained
@@ -62,8 +71,9 @@ mod fnv;
 mod job;
 mod metrics;
 mod pool;
+mod snapshot;
 
-pub use cache::{CacheStats, DesignCache};
+pub use cache::{CacheStats, DesignCache, SnapshotLoadReport};
 pub use engine::{sweep_histories_parallel, BatchReport, Farm, FarmConfig, JobOutcome};
 pub use error::FarmError;
 pub use events::{
@@ -72,3 +82,8 @@ pub use events::{
 pub use fnv::Fnv1a;
 pub use job::{DesignJob, JobInput};
 pub use metrics::FarmMetrics;
+pub use snapshot::{
+    decode_design, decode_snapshot, encode_design, encode_snapshot, read_snapshot_file,
+    write_snapshot_file, DecodedSnapshot, SnapshotError, SnapshotRecord, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

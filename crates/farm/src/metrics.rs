@@ -6,7 +6,7 @@
 //! serializer) and produces a stable, machine-readable summary for the
 //! CLI's `--metrics-json` flag and the benchmark artifacts.
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, SnapshotLoadReport};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -26,6 +26,9 @@ pub struct FarmMetrics {
     pub workers: usize,
     /// Design-cache accounting for the batch's cache.
     pub cache: CacheStats,
+    /// What the farm's persistent-snapshot load did (zeros when no
+    /// snapshot was loaded).
+    pub snapshot: SnapshotLoadReport,
     /// Cached designs at the end of the batch.
     pub cache_entries: usize,
     /// The cache's capacity bound.
@@ -75,6 +78,7 @@ pub(crate) struct BatchTally<'a> {
     pub failed: usize,
     pub workers: usize,
     pub cache: CacheStats,
+    pub snapshot: SnapshotLoadReport,
     pub cache_entries: usize,
     pub cache_capacity: usize,
     pub batch_wall: Duration,
@@ -100,6 +104,7 @@ impl FarmMetrics {
             degraded: tally.rungs.len(),
             workers: tally.workers,
             cache: tally.cache,
+            snapshot: tally.snapshot,
             cache_entries: tally.cache_entries,
             cache_capacity: tally.cache_capacity,
             batch_wall: tally.batch_wall,
@@ -131,7 +136,7 @@ impl FarmMetrics {
             rungs.push_str(&format!("{}: {count}", json_string(rung)));
         }
         format!(
-            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"snapshot_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"stale\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"snapshot\": {{\"loaded\": {}, \"skipped\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
             fsmgen_obs::SCHEMA_VERSION,
             self.jobs,
             self.succeeded,
@@ -139,12 +144,16 @@ impl FarmMetrics {
             self.degraded,
             self.workers,
             self.cache.hits,
+            self.cache.snapshot_hits,
             self.cache.misses,
             self.cache.hit_rate(),
             self.cache.insertions,
             self.cache.evictions,
+            self.cache.stale,
             self.cache_entries,
             self.cache_capacity,
+            self.snapshot.loaded,
+            self.snapshot.skipped,
             ms(self.batch_wall),
             self.throughput_jobs_per_sec,
             ms(self.latency_p50),
@@ -191,13 +200,21 @@ impl fmt::Display for FarmMetrics {
         )?;
         writeln!(
             f,
-            "  cache: {} hits / {} misses ({:.1}% hit rate), {} entries (cap {})",
+            "  cache: {} hits + {} warm / {} misses ({:.1}% hit rate), {} entries (cap {})",
             self.cache.hits,
+            self.cache.snapshot_hits,
             self.cache.misses,
             100.0 * self.cache.hit_rate(),
             self.cache_entries,
             self.cache_capacity
         )?;
+        if self.snapshot.loaded > 0 || self.snapshot.skipped > 0 || self.cache.stale > 0 {
+            writeln!(
+                f,
+                "  snapshot: {} loaded, {} skipped, {} stale",
+                self.snapshot.loaded, self.snapshot.skipped, self.cache.stale
+            )?;
+        }
         write!(
             f,
             "  latency: p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms",
@@ -227,7 +244,9 @@ mod tests {
                 misses: 3,
                 insertions: 3,
                 evictions: 0,
+                ..CacheStats::default()
             },
+            snapshot: SnapshotLoadReport::default(),
             cache_entries: 3,
             cache_capacity: 64,
             batch_wall: Duration::from_millis(100),
@@ -266,6 +285,40 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_snapshot_accounting() {
+        let mut m = sample();
+        assert!(m
+            .to_json()
+            .contains("\"snapshot\": {\"loaded\": 0, \"skipped\": 0}"));
+        assert!(m.to_json().contains("\"snapshot_hits\": 0"));
+        m.snapshot = SnapshotLoadReport {
+            loaded: 6,
+            skipped: 2,
+        };
+        m.cache.snapshot_hits = 5;
+        m.cache.stale = 2;
+        let json = m.to_json();
+        assert!(
+            json.contains("\"snapshot\": {\"loaded\": 6, \"skipped\": 2}"),
+            "{json}"
+        );
+        assert!(json.contains("\"snapshot_hits\": 5"), "{json}");
+        assert!(json.contains("\"stale\": 2"), "{json}");
+        // Warm hits count toward the hit rate: (1 + 5) / (1 + 5 + 3).
+        assert!(json.contains("\"hit_rate\": 0.6667"), "{json}");
+    }
+
+    #[test]
+    fn display_mentions_snapshot_only_when_used() {
+        let mut m = sample();
+        assert!(!m.to_string().contains("snapshot:"));
+        m.snapshot.loaded = 3;
+        assert!(m
+            .to_string()
+            .contains("snapshot: 3 loaded, 0 skipped, 0 stale"));
+    }
+
+    #[test]
     fn empty_batch_metrics() {
         let m = FarmMetrics::aggregate(BatchTally {
             jobs: 0,
@@ -273,6 +326,7 @@ mod tests {
             failed: 0,
             workers: 1,
             cache: CacheStats::default(),
+            snapshot: SnapshotLoadReport::default(),
             cache_entries: 0,
             cache_capacity: 0,
             batch_wall: Duration::ZERO,
@@ -314,6 +368,7 @@ mod tests {
             failed: 0,
             workers: 1,
             cache: CacheStats::default(),
+            snapshot: SnapshotLoadReport::default(),
             cache_entries: 1,
             cache_capacity: 8,
             batch_wall: Duration::from_millis(5),

@@ -1,0 +1,217 @@
+//! Differential harness: cache-backed (warm-snapshot) designs must be
+//! bit-identical to cold designs, across a matrix of workloads and
+//! history lengths — and the warm run must not touch the design pipeline
+//! at all (zero minimize/QM/espresso activity, asserted via obs events).
+
+use fsmgen::Designer;
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_obs::{CollectingObsSink, ObsEvent};
+use fsmgen_synth::{synthesize_area, Encoding};
+use fsmgen_traces::BitTrace;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Synthetic behaviour workloads standing in for branch traces: each is a
+/// deterministic generator so cold and warm runs see identical bits.
+fn workloads() -> Vec<(&'static str, Arc<BitTrace>)> {
+    // Figure 1's running example.
+    let paper: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
+    // Strongly periodic (loop-branch-like).
+    let periodic: BitTrace = "110".repeat(60).parse().unwrap();
+    // Alternating (worst case for a counter, easy for history).
+    let alternating: BitTrace = "01".repeat(90).parse().unwrap();
+    // Biased with occasional flips (xorshift-derived, fixed seed).
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut biased = String::new();
+    for _ in 0..180 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Take 1 unless the low 3 bits are all zero: ~87% taken.
+        biased.push(if x & 0b111 == 0 { '0' } else { '1' });
+    }
+    let biased: BitTrace = biased.parse().unwrap();
+    vec![
+        ("paper", Arc::new(paper)),
+        ("periodic", Arc::new(periodic)),
+        ("alternating", Arc::new(alternating)),
+        ("biased", Arc::new(biased)),
+    ]
+}
+
+const HISTORIES: [usize; 3] = [2, 3, 4];
+
+fn jobs() -> Vec<(String, DesignJob)> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for (name, trace) in workloads() {
+        for history in HISTORIES {
+            jobs.push((
+                format!("{name}/h{history}"),
+                DesignJob::from_trace(id, Arc::clone(&trace), Designer::new(history)),
+            ));
+            id += 1;
+        }
+    }
+    jobs
+}
+
+fn tmp_snapshot(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsmgen-diff-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("cache.fsnap")
+}
+
+#[test]
+fn warm_designs_are_bit_identical_to_cold_and_skip_the_pipeline() {
+    let path = tmp_snapshot("matrix");
+    let labels: Vec<String> = jobs().iter().map(|(l, _)| l.clone()).collect();
+
+    // Cold pass: design the whole matrix from scratch and persist.
+    let cold = Farm::new(FarmConfig {
+        workers: 2,
+        cache_capacity: 64,
+    });
+    let cold_report = cold.design_batch(jobs().into_iter().map(|(_, j)| j).collect());
+    assert_eq!(cold_report.metrics.failed, 0, "cold matrix must succeed");
+    let saved = cold.save_cache_snapshot(&path).unwrap();
+    assert_eq!(saved, labels.len(), "every unique job should be persisted");
+
+    // Warm pass: one worker so every job runs inline on this thread,
+    // which a thread-local obs sink then observes completely.
+    let warm = Farm::new(FarmConfig {
+        workers: 1,
+        cache_capacity: 64,
+    });
+    let loaded = warm.load_cache_snapshot(&path).unwrap();
+    assert_eq!(loaded.loaded, labels.len());
+    assert_eq!(loaded.skipped, 0);
+
+    let obs_sink = Arc::new(CollectingObsSink::new());
+    let _guard = fsmgen_obs::install(Arc::clone(&obs_sink) as Arc<dyn fsmgen_obs::ObsSink>);
+    let warm_report = warm.design_batch(jobs().into_iter().map(|(_, j)| j).collect());
+    drop(_guard);
+
+    // Every job must be served from the snapshot.
+    assert_eq!(
+        warm_report.metrics.cache.snapshot_hits as usize,
+        labels.len(),
+        "warm run must serve everything from the snapshot: {:?}",
+        warm_report.metrics.cache
+    );
+    assert_eq!(warm_report.metrics.cache.misses, 0);
+    assert_eq!(warm_report.metrics.cache.stale, 0);
+
+    // Zero design-pipeline activity: no minimize span, no QM/espresso
+    // counters, in fact no design span at all.
+    for event in obs_sink.events() {
+        match event {
+            ObsEvent::SpanStart { name, .. } | ObsEvent::SpanEnd { name, .. } => {
+                assert!(
+                    !matches!(
+                        name,
+                        "design" | "patterns" | "minimize" | "regex" | "nfa" | "dfa"
+                    ),
+                    "warm run entered pipeline stage {name:?}"
+                );
+            }
+            ObsEvent::Counter { span, name, .. } => {
+                assert_ne!(span, "minimize", "warm run ran the minimizer ({name})");
+            }
+            _ => {}
+        }
+    }
+
+    // Bit-identical designs: states, outputs, start, area, degradation.
+    for (i, label) in labels.iter().enumerate() {
+        let id = i as u64;
+        let cold_design = cold_report
+            .design(id)
+            .unwrap_or_else(|| panic!("{label} cold"));
+        let warm_design = warm_report
+            .design(id)
+            .unwrap_or_else(|| panic!("{label} warm"));
+        assert_eq!(
+            cold_design.fsm().transitions(),
+            warm_design.fsm().transitions(),
+            "{label}: transition tables differ"
+        );
+        assert_eq!(
+            cold_design.fsm().outputs(),
+            warm_design.fsm().outputs(),
+            "{label}: outputs differ"
+        );
+        assert_eq!(
+            cold_design.fsm().start(),
+            warm_design.fsm().start(),
+            "{label}"
+        );
+        assert_eq!(
+            cold_design.degradation().final_rung(),
+            warm_design.degradation().final_rung(),
+            "{label}: degradation rungs differ"
+        );
+        assert_eq!(
+            cold_design.effective_history(),
+            warm_design.effective_history(),
+            "{label}: effective history differs"
+        );
+        // The synthesized area estimate is a pure function of the machine,
+        // so equality here pins the whole downstream cost model.
+        let cold_area = synthesize_area(cold_design.fsm(), Encoding::Binary);
+        let warm_area = synthesize_area(warm_design.fsm(), Encoding::Binary);
+        assert_eq!(cold_area.flip_flops, warm_area.flip_flops, "{label}");
+        assert_eq!(
+            cold_area.area.to_bits(),
+            warm_area.area.to_bits(),
+            "{label}: area estimates differ bitwise"
+        );
+        // And the full structural equality, covering every retained
+        // intermediate artifact (model, pattern sets, cover, regex).
+        assert_eq!(**cold_design, **warm_design, "{label}: designs differ");
+    }
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}
+
+#[test]
+fn warm_start_composes_with_new_jobs() {
+    // A snapshot covering part of a batch: the covered jobs hit warm, the
+    // rest compute fresh, and both kinds land in the next snapshot.
+    let path = tmp_snapshot("compose");
+    let trace: Arc<BitTrace> = Arc::new("110".repeat(40).parse().unwrap());
+
+    let cold = Farm::new(FarmConfig {
+        workers: 1,
+        cache_capacity: 16,
+    });
+    let _ = cold.design_batch(vec![DesignJob::from_trace(
+        0,
+        Arc::clone(&trace),
+        Designer::new(2),
+    )]);
+    cold.save_cache_snapshot(&path).unwrap();
+
+    let warm = Farm::new(FarmConfig {
+        workers: 1,
+        cache_capacity: 16,
+    });
+    warm.load_cache_snapshot(&path).unwrap();
+    let report = warm.design_batch(vec![
+        DesignJob::from_trace(0, Arc::clone(&trace), Designer::new(2)), // warm hit
+        DesignJob::from_trace(1, Arc::clone(&trace), Designer::new(3)), // fresh
+    ]);
+    assert_eq!(report.metrics.cache.snapshot_hits, 1);
+    assert_eq!(report.metrics.cache.misses, 1);
+    assert_eq!(report.metrics.succeeded, 2);
+
+    // Re-saving now persists both designs.
+    assert_eq!(warm.save_cache_snapshot(&path).unwrap(), 2);
+    let third = Farm::new(FarmConfig {
+        workers: 1,
+        cache_capacity: 16,
+    });
+    assert_eq!(third.load_cache_snapshot(&path).unwrap().loaded, 2);
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}
