@@ -6,21 +6,9 @@ use fsmgen_bpred::{
     simulate, Bimodal, BranchPredictor, Gshare, LocalGlobalChooser, LoopTermination, Ppm,
     SaturatingCounter, XScaleBtb,
 };
+use fsmgen_testkit::strategies::branch_trace as trace_strategy;
 use fsmgen_traces::{BranchEvent, BranchTrace};
 use proptest::prelude::*;
-
-fn trace_strategy() -> impl Strategy<Value = BranchTrace> {
-    proptest::collection::vec((0u64..32, any::<bool>()), 1..400).prop_map(|events| {
-        events
-            .into_iter()
-            .map(|(slot, taken)| BranchEvent {
-                pc: 0x1000 + slot * 4,
-                target: 0x2000 + slot,
-                taken,
-            })
-            .collect()
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -144,5 +132,33 @@ proptest! {
                 "confirmed trip {trip} never observed in {trips:?}"
             );
         }
+    }
+}
+
+/// Named, deterministic pin for the historical `biased_workloads_are_learned`
+/// regression (the checked-in proptest seed shrank to `slots = 1`): a
+/// single hot always-taken branch must be learned within the warmup
+/// allowance by every table predictor. This covers the regression even
+/// under proptest stubs that do not replay `.proptest-regressions` seeds.
+#[test]
+fn regression_single_slot_always_taken_is_learned() {
+    let slots = 1u64;
+    let trace: BranchTrace = (0..800)
+        .map(|i| BranchEvent {
+            pc: 0x4000 + (i % slots) * 4,
+            target: 0,
+            taken: true,
+        })
+        .collect();
+    for (name, result) in [
+        ("bimodal", simulate(&mut Bimodal::new(64), &trace)),
+        ("gshare", simulate(&mut Gshare::new(1024), &trace)),
+        ("xscale", simulate(&mut XScaleBtb::xscale(), &trace)),
+    ] {
+        assert!(
+            result.mispredictions <= (slots as usize) * 4 + 16,
+            "{name}: {} misses on a single-slot always-taken workload",
+            result.mispredictions
+        );
     }
 }

@@ -5,7 +5,15 @@ use std::collections::BTreeMap;
 
 /// Flags that are pure switches: they never consume the next token, so
 /// `--no-degrade FILE` keeps `FILE` positional.
-const BOOLEAN_FLAGS: &[&str] = &["no-degrade", "lenient", "verbose", "profile"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "no-degrade",
+    "lenient",
+    "verbose",
+    "profile",
+    "ping",
+    "stats",
+    "shutdown",
+];
 
 /// Parsed command-line arguments: flag map plus positionals in order.
 #[derive(Debug, Clone, Default)]

@@ -121,7 +121,35 @@ EXIT CODES:
           header and per-record summary, 'verify' fully decodes every
           record and exits nonzero if any are corrupt, 'gc' rewrites the
           snapshot keeping only the N most recently used records
-          (default 64).";
+          (default 64).
+
+  fsmgen serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+                  [--max-connections N] [--queue-limit N]
+                  [--read-timeout-ms N] [--max-frame-bytes N]
+                  [--retry-after-ms N] [--cache-file FILE]
+                  [--metrics-json FILE] [--trace-jsonl FILE]
+                  [--inject-fault SPEC]
+          Run the TCP design service: length-prefixed JSON requests in,
+          designed machines out, all fronted by the same cache-aware
+          farm as 'fsmgen farm'. Prints 'listening on HOST:PORT' once
+          ready (default 127.0.0.1:0 = OS-assigned port). Stop it with a
+          'shutdown' protocol request ('fsmgen client --shutdown'); the
+          server then drains in-flight requests, saves --cache-file (so
+          a restart is served warm) and writes --metrics-json. The wire
+          format is specified in DESIGN.md. --inject-fault arms
+          process-wide failpoints, e.g. 'serve-conn=error:1'.
+
+  fsmgen client   --addr HOST:PORT [--ping | --stats | --shutdown]
+                  [--history N] [--threshold P] [--dont-care F]
+                  [--format summary|table] [--batch FILE]
+                  [--timeout-ms N] [TRACE_FILE]
+          Talk to a running design service. Default: send one design
+          request (trace from TRACE_FILE or stdin, as for 'design') and
+          print the result; --format table prints the machine table,
+          reloadable with 'fsmgen predict'. --batch FILE sends one
+          request per line ('HISTORY BITS...', '#' comments allowed)
+          over a single connection. --ping, --stats and --shutdown send
+          the corresponding control requests instead.";
 
 fn branch_benchmark(name: &str) -> Result<BranchBenchmark, CliError> {
     BranchBenchmark::ALL
@@ -908,6 +936,185 @@ pub fn cache(args: &Args) -> Result<(), CliError> {
             "cache: unknown action {other:?} (expected info, verify or gc)"
         ))),
     }
+}
+
+/// `fsmgen serve`: run the TCP design service until a protocol-level
+/// shutdown request arrives.
+///
+/// # Errors
+///
+/// Usage errors for bad flags; bind failures and shutdown-time
+/// persistence failures as general errors.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    let config = fsmgen_serve::ServeConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: args.flag_or("workers", 1usize).map_err(usage)?,
+        cache_capacity: args.flag_or("cache-capacity", 1024usize).map_err(usage)?,
+        max_connections: args.flag_or("max-connections", 64usize).map_err(usage)?,
+        queue_limit: args.flag_or("queue-limit", 256usize).map_err(usage)?,
+        read_timeout: Duration::from_millis(
+            args.flag_or("read-timeout-ms", 5000u64).map_err(usage)?,
+        ),
+        max_frame_bytes: args
+            .flag_or("max-frame-bytes", fsmgen_serve::DEFAULT_MAX_FRAME)
+            .map_err(usage)?,
+        cache_file: args.flag("cache-file").map(std::path::PathBuf::from),
+        metrics_json: args.flag("metrics-json").map(std::path::PathBuf::from),
+        retry_after_ms: args.flag_or("retry-after-ms", 50u64).map_err(usage)?,
+    };
+    if let Some(spec) = args.flag("inject-fault") {
+        failpoints::configure_from_spec_global(spec).map_err(usage)?;
+    }
+    if let Some(path) = args.flag("trace-jsonl") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
+        fsmgen_obs::install_global(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(file)));
+    }
+    let server = fsmgen_serve::Server::bind(config)
+        .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _flushed = std::io::stdout().flush();
+    let result = server
+        .run()
+        .map_err(|e| CliError::Other(format!("serve: {e}")));
+    fsmgen_obs::clear_global();
+    result
+}
+
+/// `fsmgen client`: one control request, one design request, or a batch
+/// of design requests over a single connection.
+///
+/// # Errors
+///
+/// Usage errors for bad flags, parse errors for bad batch lines, general
+/// errors for connection failures and server-reported design errors.
+pub fn client(args: &Args) -> Result<(), CliError> {
+    use fsmgen_serve::{Request, Response, ServeClient};
+    let Some(addr) = args.flag("addr") else {
+        return Err(CliError::Usage(
+            "client: --addr HOST:PORT is required".into(),
+        ));
+    };
+    let timeout = Duration::from_millis(args.flag_or("timeout-ms", 10_000u64).map_err(usage)?);
+    let mut client = ServeClient::connect(addr, timeout)
+        .map_err(|e| CliError::Other(format!("cannot connect to {addr}: {e}")))?;
+    let call = |client: &mut ServeClient, request: &Request| {
+        client
+            .design_with_retry(request, 20)
+            .map_err(|e| CliError::Other(format!("request failed: {e}")))
+    };
+
+    if args.has("ping") {
+        match call(&mut client, &Request::Ping)? {
+            Response::Pong => {
+                println!("pong");
+                return Ok(());
+            }
+            other => return Err(CliError::Other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+    if args.has("stats") {
+        match call(&mut client, &Request::Stats)? {
+            Response::Stats(json) => {
+                println!("{json}");
+                return Ok(());
+            }
+            other => return Err(CliError::Other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+    if args.has("shutdown") {
+        match call(&mut client, &Request::Shutdown)? {
+            Response::ShutdownAck => {
+                println!("shutdown acknowledged");
+                return Ok(());
+            }
+            other => return Err(CliError::Other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    let format = args.flag("format").unwrap_or("summary");
+    if !matches!(format, "summary" | "table") {
+        return Err(CliError::Usage(format!(
+            "client: unknown format {format:?} (expected summary or table)"
+        )));
+    }
+    let print_design = |label: &str, response: Response| -> Result<(), CliError> {
+        match response {
+            Response::DesignOk {
+                states,
+                cache_hit,
+                wall_ms,
+                machine,
+                ..
+            } => {
+                if format == "table" {
+                    print!("{machine}");
+                } else {
+                    println!(
+                        "{label}: {states} state(s)  cache={}  {wall_ms:.3} ms",
+                        if cache_hit { "hit" } else { "miss" }
+                    );
+                }
+                Ok(())
+            }
+            Response::DesignError { error, .. } => {
+                Err(CliError::Other(format!("{label}: server error: {error}")))
+            }
+            other => Err(CliError::Other(format!(
+                "{label}: unexpected reply: {other:?}"
+            ))),
+        }
+    };
+    let history: usize = args.flag_or("history", 4).map_err(usage)?;
+    let threshold: Option<f64> = args.flag_opt("threshold").map_err(usage)?;
+    let dont_care: Option<f64> = args.flag_opt("dont-care").map_err(usage)?;
+
+    if let Some(batch_path) = args.flag("batch") {
+        let text = std::fs::read_to_string(batch_path)
+            .map_err(|e| CliError::Other(format!("cannot read {batch_path}: {e}")))?;
+        let mut id = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((history_text, trace)) = line.split_once(char::is_whitespace) else {
+                return Err(CliError::Parse(format!(
+                    "{batch_path}:{}: expected 'HISTORY BITS...'",
+                    lineno + 1
+                )));
+            };
+            let history: usize = history_text.parse().map_err(|_| {
+                CliError::Parse(format!(
+                    "{batch_path}:{}: bad history {history_text:?}",
+                    lineno + 1
+                ))
+            })?;
+            let request = Request::Design {
+                id,
+                trace: trace.to_string(),
+                history,
+                threshold,
+                dont_care,
+            };
+            let response = call(&mut client, &request)?;
+            print_design(&format!("job {id} (h={history})"), response)?;
+            id += 1;
+        }
+        return Ok(());
+    }
+
+    let raw = read_input(args)?;
+    let request = Request::Design {
+        id: 0,
+        trace: raw,
+        history,
+        threshold,
+        dont_care,
+    };
+    let response = call(&mut client, &request)?;
+    print_design("design", response)
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //!                 [--customs K] [--history N]             compare predictors
 //! fsmgen predict  --machine FILE [TRACE]                 replay a saved machine
 //! fsmgen figure   {1|6|7}                                 print a paper figure's FSM
+//! fsmgen serve    [--addr HOST:PORT] [--cache-file FILE]  run the design service
+//! fsmgen client   --addr HOST:PORT [flags] [TRACE]        talk to a running service
 //! ```
 
 mod args;
@@ -42,6 +44,8 @@ fn main() -> ExitCode {
         "figure" => commands::figure(&parsed),
         "farm" => commands::farm(&parsed),
         "cache" => commands::cache(&parsed),
+        "serve" => commands::serve(&parsed),
+        "client" => commands::client(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

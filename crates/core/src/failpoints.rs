@@ -10,7 +10,10 @@
 //! `"patterns"`, `"minimize"`, `"nfa"`, `"dfa"`, `"hopcroft"`, `"reduce"`,
 //! `"counter"`. The `fsmgen-farm` batch engine additionally consults
 //! `"farm-worker"` once per job, from whichever worker thread picked the
-//! job up.
+//! job up, and the `fsmgen-serve` design service consults `"serve-conn"`
+//! once per accepted connection (a fired failpoint drops the connection
+//! before any frame is read, counted as an injected fault in the serve
+//! metrics).
 //!
 //! # Thread-local vs. global registries
 //!

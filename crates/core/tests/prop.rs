@@ -4,12 +4,8 @@
 
 use fsmgen::{Designer, MarkovModel, PatternConfig};
 use fsmgen_logicmin::{Algorithm, MintermKind};
-use fsmgen_traces::BitTrace;
+use fsmgen_testkit::strategies::bit_trace as trace_strategy;
 use proptest::prelude::*;
-
-fn trace_strategy() -> impl Strategy<Value = BitTrace> {
-    proptest::collection::vec(any::<bool>(), 12..200).prop_map(BitTrace::from_iter)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -17,7 +17,9 @@
 //! * [`report`] — text renderers producing the rows/series each figure
 //!   displays;
 //! * [`profiling`] — per-figure stage breakdowns (via `fsmgen-obs`) and
-//!   the serializable farm-run statistics attached to figure results.
+//!   the serializable farm-run statistics attached to figure results;
+//! * [`service`] — farm-vs-serve throughput comparison quantifying the
+//!   protocol tax the networked design service pays over direct batches.
 //!
 //! The Criterion benches in `fsmgen-bench` drive these with the default
 //! configurations; tests use the `quick()` configurations.
@@ -32,3 +34,4 @@ pub mod figures;
 pub mod headlines;
 pub mod profiling;
 pub mod report;
+pub mod service;

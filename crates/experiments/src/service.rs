@@ -1,0 +1,262 @@
+//! Farm-vs-serve throughput comparison: the same job matrix designed
+//! directly through a [`Farm`] batch and then through an in-process TCP
+//! design service driven by concurrent clients. The gap between the two
+//! is the protocol tax (framing, JSON, TCP round trips, per-connection
+//! threads) the networked front-end pays over the in-process engine.
+
+use fsmgen::Designer;
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_serve::{Request, Response, ServeClient, ServeConfig, Server};
+use fsmgen_traces::BitTrace;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one comparison run.
+#[derive(Debug, Clone)]
+pub struct ServiceComparisonConfig {
+    /// Workloads: `(name, trace)` pairs designed at each history.
+    pub workloads: Vec<(String, Arc<BitTrace>)>,
+    /// History lengths swept per workload.
+    pub histories: Vec<usize>,
+    /// How many times the whole matrix is submitted (passes beyond the
+    /// first hit the design cache, in both modes).
+    pub passes: usize,
+    /// Farm worker threads (both modes) and concurrent service clients.
+    pub parallelism: usize,
+}
+
+impl ServiceComparisonConfig {
+    /// A small configuration for tests: the paper trace plus a periodic
+    /// trace, two histories, two passes.
+    #[must_use]
+    pub fn quick() -> Self {
+        let paper: BitTrace = "0000 1000 1011 1101 1110 1111"
+            .parse()
+            .unwrap_or_else(|_| unreachable!("literal trace parses"));
+        let periodic: BitTrace = "110"
+            .repeat(40)
+            .parse()
+            .unwrap_or_else(|_| unreachable!("literal trace parses"));
+        ServiceComparisonConfig {
+            workloads: vec![
+                ("paper".into(), Arc::new(paper)),
+                ("periodic".into(), Arc::new(periodic)),
+            ],
+            histories: vec![2, 3],
+            passes: 2,
+            parallelism: 2,
+        }
+    }
+}
+
+/// One mode's aggregate result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeResult {
+    /// Design requests completed successfully.
+    pub completed: usize,
+    /// End-to-end wall clock for all passes.
+    pub wall: Duration,
+    /// Completed requests per second of wall clock.
+    pub throughput: f64,
+}
+
+/// The two modes side by side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceComparison {
+    /// Jobs per pass (the unique matrix size).
+    pub jobs_per_pass: usize,
+    /// Direct farm batches.
+    pub farm: ModeResult,
+    /// The same matrix through the TCP service.
+    pub serve: ModeResult,
+}
+
+impl ServiceComparison {
+    /// The protocol tax: served wall clock over farm wall clock (>= 1.0
+    /// in the common case; < 1.0 means the service's extra concurrency
+    /// hid its overhead).
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.farm.wall.as_secs_f64() == 0.0 {
+            1.0
+        } else {
+            self.serve.wall.as_secs_f64() / self.farm.wall.as_secs_f64()
+        }
+    }
+
+    /// Renders the comparison as a schema-v1 JSON document
+    /// (`"kind": "service_comparison"`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mode = |m: &ModeResult| {
+            format!(
+                "{{\"completed\": {}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}}}",
+                m.completed,
+                m.wall.as_secs_f64() * 1e3,
+                m.throughput
+            )
+        };
+        format!(
+            "{{\n  \"version\": {},\n  \"kind\": \"service_comparison\",\n  \"jobs_per_pass\": {},\n  \"farm\": {},\n  \"serve\": {},\n  \"overhead_ratio\": {:.4}\n}}\n",
+            fsmgen_obs::SCHEMA_VERSION,
+            self.jobs_per_pass,
+            mode(&self.farm),
+            mode(&self.serve),
+            self.overhead_ratio()
+        )
+    }
+}
+
+fn matrix(config: &ServiceComparisonConfig) -> Vec<(u64, Arc<BitTrace>, usize)> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for (_name, trace) in &config.workloads {
+        for &history in &config.histories {
+            out.push((id, Arc::clone(trace), history));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Runs the comparison: farm mode first, then service mode over a fresh
+/// farm, so both start cold and both see `passes` repetitions.
+///
+/// # Errors
+///
+/// Returns a message when the service cannot be started or a request
+/// fails; farm-mode design failures are reported the same way.
+pub fn run_comparison(config: &ServiceComparisonConfig) -> Result<ServiceComparison, String> {
+    let jobs = matrix(config);
+    let jobs_per_pass = jobs.len();
+
+    // Mode 1: direct farm batches.
+    let farm = Farm::new(FarmConfig {
+        workers: config.parallelism.max(1),
+        cache_capacity: 1024,
+    });
+    let farm_start = Instant::now();
+    let mut farm_completed = 0usize;
+    for _pass in 0..config.passes {
+        let batch: Vec<DesignJob> = jobs
+            .iter()
+            .map(|(id, trace, history)| {
+                DesignJob::from_trace(*id, Arc::clone(trace), Designer::new(*history))
+            })
+            .collect();
+        let report = farm.design_batch(batch);
+        if report.metrics.failed > 0 {
+            return Err(format!(
+                "farm mode: {} job(s) failed",
+                report.metrics.failed
+            ));
+        }
+        farm_completed += report.metrics.succeeded;
+    }
+    let farm_wall = farm_start.elapsed();
+
+    // Mode 2: the same matrix through a TCP service, one client thread
+    // per unit of parallelism, requests interleaved across clients.
+    let server = Server::bind(ServeConfig {
+        workers: config.parallelism.max(1),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("serve mode: bind failed: {e}"))?;
+    let handle = server.handle();
+    let addr = server.local_addr().to_string();
+    let server = Arc::new(server);
+    let runner = Arc::clone(&server);
+    let server_thread = std::thread::spawn(move || runner.run());
+
+    let serve_start = Instant::now();
+    let clients = config.parallelism.max(1);
+    let mut threads = Vec::new();
+    for client_index in 0..clients {
+        let addr = addr.clone();
+        let jobs = jobs.clone();
+        let passes = config.passes;
+        threads.push(std::thread::spawn(move || -> Result<usize, String> {
+            let mut client =
+                ServeClient::connect(&addr, Duration::from_secs(30)).map_err(|e| e.to_string())?;
+            let mut completed = 0usize;
+            for _pass in 0..passes {
+                for (position, (id, trace, history)) in jobs.iter().enumerate() {
+                    if position % clients != client_index {
+                        continue;
+                    }
+                    let text: String = trace.iter().map(|b| if b { '1' } else { '0' }).collect();
+                    let request = Request::Design {
+                        id: *id,
+                        trace: text,
+                        history: *history,
+                        threshold: None,
+                        dont_care: None,
+                    };
+                    match client.design_with_retry(&request, 50) {
+                        Ok(Response::DesignOk { .. }) => completed += 1,
+                        Ok(other) => return Err(format!("unexpected reply: {other:?}")),
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+            }
+            Ok(completed)
+        }));
+    }
+    let mut serve_completed = 0usize;
+    let mut first_error = None;
+    for thread in threads {
+        match thread.join().map_err(|_| "client panicked".to_string())? {
+            Ok(count) => serve_completed += count,
+            Err(e) => first_error = Some(e),
+        }
+    }
+    let serve_wall = serve_start.elapsed();
+    handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "server panicked".to_string())?
+        .map_err(|e| format!("serve mode: {e}"))?;
+    if let Some(error) = first_error {
+        return Err(format!("serve mode: {error}"));
+    }
+
+    let throughput = |completed: usize, wall: Duration| {
+        if wall.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            completed as f64 / wall.as_secs_f64()
+        }
+    };
+    Ok(ServiceComparison {
+        jobs_per_pass,
+        farm: ModeResult {
+            completed: farm_completed,
+            wall: farm_wall,
+            throughput: throughput(farm_completed, farm_wall),
+        },
+        serve: ModeResult {
+            completed: serve_completed,
+            wall: serve_wall,
+            throughput: throughput(serve_completed, serve_wall),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_completes_everything_in_both_modes() {
+        let config = ServiceComparisonConfig::quick();
+        let result = run_comparison(&config).expect("comparison runs");
+        let expected = config.passes * result.jobs_per_pass;
+        assert_eq!(result.farm.completed, expected);
+        assert_eq!(result.serve.completed, expected);
+        assert!(result.farm.throughput > 0.0);
+        assert!(result.serve.throughput > 0.0);
+        let json = result.to_json();
+        assert!(json.contains("\"kind\": \"service_comparison\""), "{json}");
+        assert!(json.contains("\"version\": 1"), "{json}");
+    }
+}

@@ -5,16 +5,10 @@
 
 use fsmgen::Designer;
 use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_testkit::strategies::design_bits as bits_strategy;
 use fsmgen_traces::BitTrace;
 use proptest::prelude::*;
 use std::sync::Arc;
-
-/// Bit vectors long enough for the design flow, mixed enough to avoid
-/// the degenerate all-same traces (those are still valid — covered by
-/// dedicated unit tests — but they design to trivial machines).
-fn bits_strategy() -> impl Strategy<Value = Vec<bool>> {
-    proptest::collection::vec(any::<bool>(), 24..160)
-}
 
 fn job_for(bits: &[bool], designer: Designer) -> DesignJob {
     let trace: BitTrace = bits.iter().copied().collect();

@@ -7,44 +7,17 @@ use fsmgen::Designer;
 use fsmgen_farm::{DesignJob, Farm, FarmConfig};
 use fsmgen_obs::{CollectingObsSink, ObsEvent};
 use fsmgen_synth::{synthesize_area, Encoding};
+use fsmgen_testkit::{workload_matrix, HISTORIES};
 use fsmgen_traces::BitTrace;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Synthetic behaviour workloads standing in for branch traces: each is a
-/// deterministic generator so cold and warm runs see identical bits.
-fn workloads() -> Vec<(&'static str, Arc<BitTrace>)> {
-    // Figure 1's running example.
-    let paper: BitTrace = "0000 1000 1011 1101 1110 1111".parse().unwrap();
-    // Strongly periodic (loop-branch-like).
-    let periodic: BitTrace = "110".repeat(60).parse().unwrap();
-    // Alternating (worst case for a counter, easy for history).
-    let alternating: BitTrace = "01".repeat(90).parse().unwrap();
-    // Biased with occasional flips (xorshift-derived, fixed seed).
-    let mut x = 0x2545_f491_4f6c_dd1du64;
-    let mut biased = String::new();
-    for _ in 0..180 {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        // Take 1 unless the low 3 bits are all zero: ~87% taken.
-        biased.push(if x & 0b111 == 0 { '0' } else { '1' });
-    }
-    let biased: BitTrace = biased.parse().unwrap();
-    vec![
-        ("paper", Arc::new(paper)),
-        ("periodic", Arc::new(periodic)),
-        ("alternating", Arc::new(alternating)),
-        ("biased", Arc::new(biased)),
-    ]
-}
-
-const HISTORIES: [usize; 3] = [2, 3, 4];
-
 fn jobs() -> Vec<(String, DesignJob)> {
     let mut jobs = Vec::new();
     let mut id = 0u64;
-    for (name, trace) in workloads() {
+    // The canonical deterministic workload matrix, shared with the serve
+    // e2e differential so both harnesses pin the same designs.
+    for (name, trace) in workload_matrix() {
         for history in HISTORIES {
             jobs.push((
                 format!("{name}/h{history}"),
@@ -179,7 +152,7 @@ fn warm_start_composes_with_new_jobs() {
     // A snapshot covering part of a batch: the covered jobs hit warm, the
     // rest compute fresh, and both kinds land in the next snapshot.
     let path = tmp_snapshot("compose");
-    let trace: Arc<BitTrace> = Arc::new("110".repeat(40).parse().unwrap());
+    let trace: Arc<BitTrace> = Arc::new(fsmgen_testkit::periodic_trace(40));
 
     let cold = Farm::new(FarmConfig {
         workers: 1,

@@ -1,0 +1,116 @@
+//! Standalone design-service daemon: a thin flag parser over
+//! [`fsmgen_serve::Server`]. The CLI's `fsmgen serve` offers the same
+//! surface; this binary exists so the serve crate's own e2e tests can
+//! spawn a real server process.
+
+use fsmgen_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: fsmgen-served [flags]
+
+  --addr HOST:PORT        bind address (default 127.0.0.1:0; port 0 = OS pick)
+  --workers N             farm worker threads (default 1)
+  --cache-capacity N      design-cache bound in designs (default 1024)
+  --max-connections N     concurrent connection bound (default 64)
+  --queue-limit N         in-flight design bound before backpressure (default 256)
+  --read-timeout-ms N     per-read timeout in milliseconds (default 5000)
+  --max-frame-bytes N     largest accepted frame payload (default 1 MiB)
+  --retry-after-ms N      backoff hint on backpressure rejections (default 50)
+  --cache-file PATH       snapshot: load on start, save on shutdown
+  --metrics-json PATH     write serve_metrics JSON here on shutdown
+  --fail SPEC             arm failpoints process-wide (e.g. serve-conn=error:1)
+  --trace-jsonl PATH      append obs events as JSONL
+
+prints `listening on HOST:PORT` on stdout once ready; stop it with a
+`shutdown` protocol request.";
+
+fn parse_flags(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<String>), String> {
+    let mut config = ServeConfig::default();
+    let mut fail_spec = None;
+    let mut trace_jsonl = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let parse_usize = |v: &str| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("bad {flag}: {v}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = parse_usize(value)?,
+            "--cache-capacity" => config.cache_capacity = parse_usize(value)?,
+            "--max-connections" => config.max_connections = parse_usize(value)?,
+            "--queue-limit" => config.queue_limit = parse_usize(value)?,
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_usize(value)? as u64);
+            }
+            "--max-frame-bytes" => config.max_frame_bytes = parse_usize(value)?,
+            "--retry-after-ms" => config.retry_after_ms = parse_usize(value)? as u64,
+            "--cache-file" => config.cache_file = Some(value.into()),
+            "--metrics-json" => config.metrics_json = Some(value.into()),
+            "--fail" => fail_spec = Some(value.clone()),
+            "--trace-jsonl" => trace_jsonl = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((config, fail_spec, trace_jsonl))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, fail_spec, trace_jsonl) = match parse_flags(&args) {
+        Ok(parsed) => parsed,
+        Err(reason) => {
+            if reason.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("fsmgen-served: {reason}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(spec) = fail_spec {
+        if let Err(reason) = fsmgen::failpoints::configure_from_spec_global(&spec) {
+            eprintln!("fsmgen-served: bad --fail spec: {reason}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = trace_jsonl {
+        match std::fs::File::create(&path) {
+            Ok(file) => {
+                fsmgen_obs::install_global(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(file)))
+            }
+            Err(err) => {
+                eprintln!("fsmgen-served: cannot open {path}: {err}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("fsmgen-served: bind failed: {err}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _flushed = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => {
+            fsmgen_obs::clear_global();
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("fsmgen-served: {err}");
+            ExitCode::from(1)
+        }
+    }
+}

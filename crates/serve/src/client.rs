@@ -1,0 +1,112 @@
+//! A small blocking client for the design service — the counterpart the
+//! CLI's `fsmgen client` command and the e2e tests are built on.
+
+use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the connection died mid-exchange.
+    Io(io::Error),
+    /// The server's reply could not be understood.
+    Protocol(String),
+    /// The server reported our frame as unintelligible and closed.
+    Rejected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            ClientError::Rejected(reason) => write!(f, "server rejected the frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client holding one request/response TCP session. The
+/// connection is keep-alive: any number of requests may be exchanged
+/// before dropping it.
+pub struct ServeClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7450`) with a read/write
+    /// timeout applied to every exchange.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(ServeClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, undecodable replies, or a server-side
+    /// `protocol_error` (mapped to [`ClientError::Rejected`]).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.stream, &request.encode())?;
+        let payload = match proto::read_frame(&mut self.stream, self.max_frame) {
+            Ok(payload) => payload,
+            Err(ProtoError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(ProtoError::Disconnected) => {
+                return Err(ClientError::Protocol("server closed the connection".into()))
+            }
+            Err(other) => return Err(ClientError::Protocol(other.to_string())),
+        };
+        let response = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        if let Response::ProtocolError { error } = &response {
+            return Err(ClientError::Rejected(error.clone()));
+        }
+        Ok(response)
+    }
+
+    /// Convenience: a design request with retry-on-backpressure. Retries
+    /// a [`Response::Rejected`] up to `retries` times, honouring the
+    /// server's `retry_after_ms` hint between attempts.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::call`]; also a protocol error when the server is
+    /// still saturated after the last retry.
+    pub fn design_with_retry(
+        &mut self,
+        request: &Request,
+        retries: usize,
+    ) -> Result<Response, ClientError> {
+        for _attempt in 0..=retries {
+            match self.call(request)? {
+                Response::Rejected { retry_after_ms, .. } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(1_000)));
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(ClientError::Protocol(format!(
+            "server still saturated after {retries} retries"
+        )))
+    }
+}

@@ -1,0 +1,63 @@
+//! `fsmgen-serve`: a networked design service over the farm.
+//!
+//! The paper's pipeline (trace → Markov model → logic minimization →
+//! Moore predictor) is a pure function of its inputs, which makes it an
+//! ideal service workload: the server fronts a shared [`fsmgen_farm::Farm`]
+//! whose content-addressed cache and single-flight dedup turn repeated
+//! requests into lookups, and a design served over the wire is
+//! byte-identical to one computed locally — the correctness contract the
+//! e2e differential tests pin.
+//!
+//! # Protocol
+//!
+//! One TCP connection carries any number of frames; each frame is a
+//! 4-byte big-endian length followed by that many bytes of UTF-8 JSON
+//! (see [`proto`]). Messages carry `"v"` (schema version, shared with
+//! `fsmgen-obs`) and `"kind"` discriminators. The full wire-format spec
+//! lives in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use fsmgen_serve::{Request, Response, ServeClient, ServeConfig, Server};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! let handle = server.handle();
+//! let addr = server.local_addr().to_string();
+//! let thread = std::thread::spawn(move || server.run());
+//!
+//! let mut client = ServeClient::connect(&addr, Duration::from_secs(5)).unwrap();
+//! let response = client
+//!     .call(&Request::Design {
+//!         id: 1,
+//!         trace: "0000 1000 1011 1101 1110 1111".into(),
+//!         history: 2,
+//!         threshold: None,
+//!         dont_care: None,
+//!     })
+//!     .unwrap();
+//! match response {
+//!     Response::DesignOk { states, .. } => assert!(states >= 2),
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//! handle.shutdown();
+//! thread.join().unwrap().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use proto::{
+    read_frame, write_frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

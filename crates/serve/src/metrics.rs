@@ -1,0 +1,201 @@
+//! Service-level metrics: lock-free counters covering every request and
+//! rejection path, rendered as schema-v1 JSON alongside the farm's own
+//! [`fsmgen_farm::FarmMetrics`].
+
+use fsmgen_farm::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters for the service front-end. One instance is shared by
+/// the accept loop and every connection thread; tests read it through
+/// [`ServeMetrics::snapshot`] to assert observability and monotonicity.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted into a handler thread.
+    pub conns_accepted: AtomicU64,
+    /// Connections turned away because the connection limit was reached.
+    pub conns_rejected: AtomicU64,
+    /// Connections dropped by an injected `serve-conn` failpoint fault.
+    pub injected_faults: AtomicU64,
+    /// Requests answered with a successful design.
+    pub requests_ok: AtomicU64,
+    /// Requests answered with a design error.
+    pub requests_failed: AtomicU64,
+    /// Requests rejected with retry-after because the farm was saturated.
+    pub rejected_backpressure: AtomicU64,
+    /// Reads that hit the per-request timeout (slow-loris guard).
+    pub timeouts: AtomicU64,
+    /// Frames whose payload could not be parsed as a valid request.
+    pub malformed_frames: AtomicU64,
+    /// Frames whose length prefix exceeded the frame bound.
+    pub oversized_frames: AtomicU64,
+    /// Ping requests answered.
+    pub pings: AtomicU64,
+    /// Stats requests answered.
+    pub stats_requests: AtomicU64,
+}
+
+/// A plain-integer copy of [`ServeMetrics`] at one instant, used by the
+/// soak test to assert that every counter is monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeMetricsSnapshot {
+    /// See [`ServeMetrics::conns_accepted`].
+    pub conns_accepted: u64,
+    /// See [`ServeMetrics::conns_rejected`].
+    pub conns_rejected: u64,
+    /// See [`ServeMetrics::injected_faults`].
+    pub injected_faults: u64,
+    /// See [`ServeMetrics::requests_ok`].
+    pub requests_ok: u64,
+    /// See [`ServeMetrics::requests_failed`].
+    pub requests_failed: u64,
+    /// See [`ServeMetrics::rejected_backpressure`].
+    pub rejected_backpressure: u64,
+    /// See [`ServeMetrics::timeouts`].
+    pub timeouts: u64,
+    /// See [`ServeMetrics::malformed_frames`].
+    pub malformed_frames: u64,
+    /// See [`ServeMetrics::oversized_frames`].
+    pub oversized_frames: u64,
+    /// See [`ServeMetrics::pings`].
+    pub pings: u64,
+    /// See [`ServeMetrics::stats_requests`].
+    pub stats_requests: u64,
+}
+
+impl ServeMetricsSnapshot {
+    /// True when every counter in `self` is `>=` its counterpart in
+    /// `earlier` — the invariant the soak test holds across samples.
+    #[must_use]
+    pub fn is_monotone_since(&self, earlier: &ServeMetricsSnapshot) -> bool {
+        self.conns_accepted >= earlier.conns_accepted
+            && self.conns_rejected >= earlier.conns_rejected
+            && self.injected_faults >= earlier.injected_faults
+            && self.requests_ok >= earlier.requests_ok
+            && self.requests_failed >= earlier.requests_failed
+            && self.rejected_backpressure >= earlier.rejected_backpressure
+            && self.timeouts >= earlier.timeouts
+            && self.malformed_frames >= earlier.malformed_frames
+            && self.oversized_frames >= earlier.oversized_frames
+            && self.pings >= earlier.pings
+            && self.stats_requests >= earlier.stats_requests
+    }
+}
+
+impl ServeMetrics {
+    /// Creates a zeroed metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a consistent-enough point-in-time copy (each counter is read
+    /// atomically; the set is not a single atomic snapshot, which is fine
+    /// for monotonicity checks).
+    #[must_use]
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the metrics as a schema-v1 JSON object
+    /// (`"kind": "serve_metrics"`), embedding the farm cache statistics
+    /// so one document describes the whole service.
+    #[must_use]
+    pub fn to_json(&self, cache: &CacheStats) -> String {
+        let s = self.snapshot();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", fsmgen_obs::SCHEMA_VERSION));
+        out.push_str("  \"kind\": \"serve_metrics\",\n");
+        out.push_str(&format!("  \"conns_accepted\": {},\n", s.conns_accepted));
+        out.push_str(&format!("  \"conns_rejected\": {},\n", s.conns_rejected));
+        out.push_str(&format!("  \"injected_faults\": {},\n", s.injected_faults));
+        out.push_str(&format!("  \"requests_ok\": {},\n", s.requests_ok));
+        out.push_str(&format!("  \"requests_failed\": {},\n", s.requests_failed));
+        out.push_str(&format!(
+            "  \"rejected_backpressure\": {},\n",
+            s.rejected_backpressure
+        ));
+        out.push_str(&format!("  \"timeouts\": {},\n", s.timeouts));
+        out.push_str(&format!(
+            "  \"malformed_frames\": {},\n",
+            s.malformed_frames
+        ));
+        out.push_str(&format!(
+            "  \"oversized_frames\": {},\n",
+            s.oversized_frames
+        ));
+        out.push_str(&format!("  \"pings\": {},\n", s.pings));
+        out.push_str(&format!("  \"stats_requests\": {},\n", s.stats_requests));
+        out.push_str("  \"cache\": {\n");
+        out.push_str(&format!("    \"hits\": {},\n", cache.hits));
+        out.push_str(&format!(
+            "    \"snapshot_hits\": {},\n",
+            cache.snapshot_hits
+        ));
+        out.push_str(&format!("    \"misses\": {},\n", cache.misses));
+        out.push_str(&format!("    \"insertions\": {},\n", cache.insertions));
+        out.push_str(&format!("    \"evictions\": {},\n", cache.evictions));
+        out.push_str(&format!("    \"stale\": {}\n", cache.stale));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn json_is_parseable_and_versioned() {
+        let metrics = ServeMetrics::new();
+        metrics.requests_ok.fetch_add(3, Ordering::Relaxed);
+        metrics.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        let cache = CacheStats {
+            hits: 5,
+            misses: 2,
+            ..CacheStats::default()
+        };
+        let text = metrics.to_json(&cache);
+        let value = json::parse(&text).expect("serve metrics must be valid JSON");
+        assert_eq!(value.get("version").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(
+            value.get("kind").and_then(json::Json::as_str),
+            Some("serve_metrics")
+        );
+        assert_eq!(
+            value.get("requests_ok").and_then(json::Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            value
+                .get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(json::Json::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn monotonicity_check_detects_regressions() {
+        let metrics = ServeMetrics::new();
+        let before = metrics.snapshot();
+        metrics.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let after = metrics.snapshot();
+        assert!(after.is_monotone_since(&before));
+        assert!(!before.is_monotone_since(&after));
+    }
+}

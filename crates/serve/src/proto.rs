@@ -1,0 +1,531 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! Every message on the wire is one *frame*: a 4-byte big-endian payload
+//! length followed by that many bytes of UTF-8 JSON. Each payload is a
+//! single JSON object carrying the shared schema conventions of the
+//! obs/farm JSON (versioned via a `"v"` field equal to
+//! [`fsmgen_obs::SCHEMA_VERSION`], discriminated via `"kind"`). Frames
+//! larger than the receiver's configured bound are rejected *before* the
+//! payload is read, so an adversarial length prefix can never force an
+//! allocation.
+
+use crate::json::{self, Json};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default upper bound on a frame payload, in bytes (1 MiB). A design
+/// request carrying a million-bit trace fits comfortably.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// The protocol's schema version — the same stamp the obs/farm JSON
+/// carries, because the messages share that schema's conventions.
+pub const PROTOCOL_VERSION: u32 = fsmgen_obs::SCHEMA_VERSION;
+
+/// Why a frame could not be read or understood.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The peer closed the connection at a frame boundary (not an error
+    /// in spirit: this is the clean end of a session).
+    Disconnected,
+    /// An I/O failure mid-frame, including read timeouts.
+    Io(io::Error),
+    /// The length prefix exceeds the receiver's frame bound.
+    Oversized {
+        /// The advertised payload length.
+        advertised: usize,
+        /// The receiver's bound.
+        limit: usize,
+    },
+    /// The payload was not valid UTF-8 JSON of the expected shape.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Disconnected => f.write_str("peer disconnected"),
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Oversized { advertised, limit } => {
+                write!(
+                    f,
+                    "frame of {advertised} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            ProtoError::Malformed(reason) => write!(f, "malformed frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// True when the underlying cause is a read timeout (the slow-loris
+    /// guard) rather than a hard I/O failure.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+/// Reads one frame payload. Returns [`ProtoError::Disconnected`] on EOF
+/// at a frame boundary and [`ProtoError::Oversized`] without consuming
+/// the advertised payload.
+///
+/// # Errors
+///
+/// See [`ProtoError`]; timeouts surface as `Io` with a timeout kind.
+pub fn read_frame(stream: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read(&mut len_bytes) {
+        Ok(0) => return Err(ProtoError::Disconnected),
+        Ok(n) => {
+            // A partial length prefix is mid-frame: finish it or fail.
+            stream
+                .read_exact(&mut len_bytes[n..])
+                .map_err(ProtoError::Io)?;
+        }
+        Err(e) => return Err(ProtoError::Io(e)),
+    }
+    let advertised = u32::from_be_bytes(len_bytes) as usize;
+    if advertised > max_frame {
+        return Err(ProtoError::Oversized {
+            advertised,
+            limit: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; advertised];
+    stream.read_exact(&mut payload).map_err(ProtoError::Io)?;
+    Ok(payload)
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Design a predictor for a 0/1 trace.
+    Design {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+        /// The behaviour trace, in [`fsmgen_traces::BitTrace`] text form.
+        trace: String,
+        /// History order for the designer.
+        history: usize,
+        /// Pattern probability threshold (designer default when `None`).
+        threshold: Option<f64>,
+        /// Don't-care fraction (designer default when `None`).
+        dont_care: Option<f64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Ask for the server's metrics JSON.
+    Stats,
+    /// Ask the server to drain in-flight requests and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason (bad JSON, wrong version, unknown
+    /// kind, missing or ill-typed fields).
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+        let value = json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+        let version = value
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"v\" field")?;
+        if version != u64::from(PROTOCOL_VERSION) {
+            return Err(format!(
+                "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+            ));
+        }
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\" field")?;
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "design_request" => {
+                let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+                let trace = value
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .ok_or("design_request needs a \"trace\" string")?
+                    .to_string();
+                let history = value
+                    .get("history")
+                    .and_then(Json::as_u64)
+                    .ok_or("design_request needs an integer \"history\"")?;
+                let history = usize::try_from(history).map_err(|_| "history out of range")?;
+                let float_field = |name: &str| -> Result<Option<f64>, String> {
+                    match value.get(name) {
+                        None => Ok(None),
+                        Some(v) => v
+                            .as_f64()
+                            .map(Some)
+                            .ok_or_else(|| format!("\"{name}\" must be a number")),
+                    }
+                };
+                Ok(Request::Design {
+                    id,
+                    trace,
+                    history,
+                    threshold: float_field("threshold")?,
+                    dont_care: float_field("dont_care")?,
+                })
+            }
+            other => Err(format!("unknown request kind {other:?}")),
+        }
+    }
+
+    /// Renders the request as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let v = PROTOCOL_VERSION;
+        match self {
+            Request::Ping => format!("{{\"v\": {v}, \"kind\": \"ping\"}}").into_bytes(),
+            Request::Stats => format!("{{\"v\": {v}, \"kind\": \"stats\"}}").into_bytes(),
+            Request::Shutdown => format!("{{\"v\": {v}, \"kind\": \"shutdown\"}}").into_bytes(),
+            Request::Design {
+                id,
+                trace,
+                history,
+                threshold,
+                dont_care,
+            } => {
+                let mut out = format!(
+                    "{{\"v\": {v}, \"kind\": \"design_request\", \"id\": {id}, \"history\": {history}"
+                );
+                if let Some(t) = threshold {
+                    out.push_str(&format!(", \"threshold\": {t}"));
+                }
+                if let Some(d) = dont_care {
+                    out.push_str(&format!(", \"dont_care\": {d}"));
+                }
+                out.push_str(&format!(", \"trace\": {}}}", json::json_string(trace)));
+                out.into_bytes()
+            }
+        }
+    }
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A design succeeded.
+    DesignOk {
+        /// Echo of the request id.
+        id: u64,
+        /// States in the designed machine.
+        states: usize,
+        /// Whether the design was served from the farm's cache.
+        cache_hit: bool,
+        /// In-worker design wall clock, milliseconds.
+        wall_ms: f64,
+        /// The machine in `fsmgen-automata` table form (reloadable with
+        /// `fsmgen predict`, byte-identical to a local design).
+        machine: String,
+    },
+    /// A design failed with a typed error.
+    DesignError {
+        /// Echo of the request id.
+        id: u64,
+        /// The rendered error.
+        error: String,
+    },
+    /// The server is saturated; retry after the given delay.
+    Rejected {
+        /// Echo of the request id.
+        id: u64,
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Stats`]: the server's metrics JSON, verbatim.
+    Stats(String),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownAck,
+    /// The frame itself could not be understood; the server closes the
+    /// connection after sending this.
+    ProtocolError {
+        /// What was wrong with the frame.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let v = PROTOCOL_VERSION;
+        match self {
+            Response::Pong => format!("{{\"v\": {v}, \"kind\": \"pong\"}}").into_bytes(),
+            Response::ShutdownAck => {
+                format!("{{\"v\": {v}, \"kind\": \"shutdown_ack\"}}").into_bytes()
+            }
+            Response::Stats(json_text) => format!(
+                "{{\"v\": {v}, \"kind\": \"stats_response\", \"metrics\": {}}}",
+                json_text.trim()
+            )
+            .into_bytes(),
+            Response::ProtocolError { error } => format!(
+                "{{\"v\": {v}, \"kind\": \"protocol_error\", \"error\": {}}}",
+                json::json_string(error)
+            )
+            .into_bytes(),
+            Response::DesignOk {
+                id,
+                states,
+                cache_hit,
+                wall_ms,
+                machine,
+            } => format!(
+                "{{\"v\": {v}, \"kind\": \"design_response\", \"id\": {id}, \"status\": \"ok\", \
+                 \"states\": {states}, \"cache_hit\": {cache_hit}, \"wall_ms\": {wall_ms:.3}, \
+                 \"machine\": {}}}",
+                json::json_string(machine)
+            )
+            .into_bytes(),
+            Response::DesignError { id, error } => format!(
+                "{{\"v\": {v}, \"kind\": \"design_response\", \"id\": {id}, \
+                 \"status\": \"error\", \"error\": {}}}",
+                json::json_string(error)
+            )
+            .into_bytes(),
+            Response::Rejected { id, retry_after_ms } => format!(
+                "{{\"v\": {v}, \"kind\": \"design_response\", \"id\": {id}, \
+                 \"status\": \"rejected\", \"retry_after_ms\": {retry_after_ms}}}"
+            )
+            .into_bytes(),
+        }
+    }
+
+    /// Parses a response payload (the client half of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the payload is not a valid
+    /// response object.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+        let value = json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\" field")?;
+        match kind {
+            "pong" => Ok(Response::Pong),
+            "shutdown_ack" => Ok(Response::ShutdownAck),
+            "stats_response" => {
+                // Keep the metrics as text: it is the last field, so it
+                // runs from after its key to the outer object's final
+                // closing brace.
+                let at = text.find("\"metrics\":").ok_or("missing metrics")?;
+                let body = text[at + "\"metrics\":".len()..]
+                    .trim()
+                    .strip_suffix('}')
+                    .ok_or("unterminated stats_response")?
+                    .trim()
+                    .to_string();
+                Ok(Response::Stats(body))
+            }
+            "protocol_error" => Ok(Response::ProtocolError {
+                error: value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            }),
+            "design_response" => {
+                let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+                match value.get("status").and_then(Json::as_str) {
+                    Some("ok") => Ok(Response::DesignOk {
+                        id,
+                        states: value
+                            .get("states")
+                            .and_then(Json::as_u64)
+                            .ok_or("missing states")? as usize,
+                        cache_hit: value
+                            .get("cache_hit")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false),
+                        wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                        machine: value
+                            .get("machine")
+                            .and_then(Json::as_str)
+                            .ok_or("missing machine")?
+                            .to_string(),
+                    }),
+                    Some("error") => Ok(Response::DesignError {
+                        id,
+                        error: value
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                    }),
+                    Some("rejected") => Ok(Response::Rejected {
+                        id,
+                        retry_after_ms: value
+                            .get("retry_after_ms")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0),
+                    }),
+                    other => Err(format!("unknown design_response status {other:?}")),
+                }
+            }
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(ProtoError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_reading_payload() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(wire);
+        match read_frame(&mut cursor, 1024) {
+            Err(ProtoError::Oversized { advertised, limit }) => {
+                assert_eq!(advertised, u32::MAX as usize);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Design {
+                id: 42,
+                trace: "0000 1000 1011".into(),
+                history: 3,
+                threshold: Some(0.75),
+                dont_care: None,
+            },
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Pong,
+            Response::ShutdownAck,
+            Response::DesignOk {
+                id: 7,
+                states: 3,
+                cache_hit: true,
+                wall_ms: 1.25,
+                machine: "start 0\n0 1 2 0\n".into(),
+            },
+            Response::DesignError {
+                id: 8,
+                error: "trace too short".into(),
+            },
+            Response::Rejected {
+                id: 9,
+                retry_after_ms: 50,
+            },
+            Response::ProtocolError {
+                error: "bad frame".into(),
+            },
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version_and_kind() {
+        assert!(Request::decode(b"{\"v\": 99, \"kind\": \"ping\"}")
+            .unwrap_err()
+            .contains("version"));
+        assert!(Request::decode(b"{\"v\": 1, \"kind\": \"explode\"}")
+            .unwrap_err()
+            .contains("unknown request kind"));
+        assert!(Request::decode(b"{\"v\": 1}").unwrap_err().contains("kind"));
+        assert!(Request::decode(b"not json").unwrap_err().contains("JSON"));
+        assert!(Request::decode(&[0xff, 0xfe])
+            .unwrap_err()
+            .contains("UTF-8"));
+        assert!(
+            Request::decode(b"{\"v\": 1, \"kind\": \"design_request\", \"history\": 2}")
+                .unwrap_err()
+                .contains("trace")
+        );
+    }
+
+    #[test]
+    fn every_encoded_message_is_versioned() {
+        for payload in [
+            Request::Ping.encode(),
+            Response::Pong.encode(),
+            Response::ProtocolError { error: "x".into() }.encode(),
+        ] {
+            let text = String::from_utf8(payload).unwrap();
+            assert!(text.starts_with("{\"v\": 1, \"kind\": "), "{text}");
+        }
+    }
+}

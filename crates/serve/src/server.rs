@@ -1,0 +1,464 @@
+//! The TCP design server: a threaded accept loop fronting a shared
+//! [`Farm`], with bounded concurrency, per-request read timeouts,
+//! backpressure, graceful drain on shutdown and warm-restart snapshots.
+//!
+//! The process has no dependency-free way to trap signals, so graceful
+//! shutdown is driven two equivalent ways: a [`Request::Shutdown`]
+//! protocol message, or [`ServerHandle::shutdown`] from the embedding
+//! process. Both set a flag and nudge the blocked `accept()` with a
+//! loopback connection.
+
+use crate::metrics::ServeMetrics;
+use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use fsmgen::{failpoints, Designer, MAX_ORDER};
+use fsmgen_automata::machine_to_table;
+use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_obs as obs;
+use fsmgen_traces::BitTrace;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything that shapes a running server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7450`. Port `0` asks the OS for a
+    /// free port; read it back via [`Server::local_addr`].
+    pub addr: String,
+    /// Farm worker threads (`1` designs inline on the connection thread).
+    pub workers: usize,
+    /// Design-cache bound, in designs.
+    pub cache_capacity: usize,
+    /// Concurrent connections admitted before new ones are turned away.
+    pub max_connections: usize,
+    /// Design requests in flight before backpressure rejects with
+    /// retry-after.
+    pub queue_limit: usize,
+    /// Per-read timeout: a peer that dribbles bytes slower than this is
+    /// disconnected (the slow-loris guard). Also bounds idle keep-alive.
+    pub read_timeout: Duration,
+    /// Largest accepted frame payload, in bytes.
+    pub max_frame_bytes: usize,
+    /// Snapshot file: loaded before accepting, saved after draining.
+    pub cache_file: Option<PathBuf>,
+    /// Where to write the final `serve_metrics` JSON on shutdown.
+    pub metrics_json: Option<PathBuf>,
+    /// The backoff hint sent with backpressure rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    /// Loopback on an OS-assigned port, modest bounds suitable for tests.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_capacity: 1024,
+            max_connections: 64,
+            queue_limit: 256,
+            read_timeout: Duration::from_secs(5),
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            cache_file: None,
+            metrics_json: None,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// State shared between the accept loop, connection threads and handles.
+struct Shared {
+    config: ServeConfig,
+    farm: Farm,
+    metrics: ServeMetrics,
+    shutting_down: AtomicBool,
+    active_conns: AtomicUsize,
+    in_flight: AtomicUsize,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until
+/// shutdown; grab a [`ServerHandle`] first to stop it from another
+/// thread.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cheap clone-able remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Requests shutdown: stop accepting, drain in-flight work, persist
+    /// the snapshot. Idempotent.
+    pub fn shutdown(&self) {
+        signal_shutdown(&self.shared, self.addr);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
+fn signal_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        // Unblock the accept loop. A failed nudge is fine: the loop also
+        // notices the flag on its next natural wakeup.
+        let _nudge = TcpStream::connect(addr);
+    }
+}
+
+/// Decrements a counter when dropped, so connection accounting survives
+/// every early return.
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listener, builds the farm and — when configured — warms
+    /// the cache from the snapshot file. A missing snapshot file is not
+    /// an error (first boot); a corrupt one falls back to cold with its
+    /// damage reported through the farm's own counters.
+    ///
+    /// # Errors
+    ///
+    /// Only the TCP bind can fail.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let farm = Farm::new(FarmConfig {
+            workers: config.workers.max(1),
+            cache_capacity: config.cache_capacity,
+        });
+        if let Some(path) = &config.cache_file {
+            if path.exists() {
+                if let Err(err) = farm.load_cache_snapshot(path) {
+                    obs::mark("serve", "snapshot_load_failed", &err.to_string());
+                }
+            }
+        }
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                config,
+                farm,
+                metrics: ServeMetrics::new(),
+                shutting_down: AtomicBool::new(false),
+                active_conns: AtomicUsize::new(0),
+                in_flight: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A remote control for stopping this server.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr,
+        }
+    }
+
+    /// The live service counters (shared with every connection thread).
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Renders the current `serve_metrics` JSON document.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.to_json(&self.shared.farm.cache_stats())
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains
+    /// in-flight connections, saves the cache snapshot and writes the
+    /// metrics JSON.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot/metrics persistence failures at shutdown; accept-loop
+    /// I/O errors on individual connections are absorbed.
+    pub fn run(&self) -> io::Result<()> {
+        let _serve_span = obs::span("serve");
+        loop {
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.shared.shutting_down.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let admitted = self.shared.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+            if admitted > self.shared.config.max_connections {
+                self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                self.shared
+                    .metrics
+                    .conns_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve", "conn_rejected", 1);
+                reject_connection(stream, self.shared.config.retry_after_ms);
+                continue;
+            }
+            let shared = Arc::clone(&self.shared);
+            let addr = self.local_addr;
+            std::thread::spawn(move || {
+                let _guard = CountGuard(&shared.active_conns);
+                handle_connection(&shared, stream, addr);
+            });
+        }
+        self.drain();
+        self.persist()
+    }
+
+    /// Waits (bounded) for in-flight connections to finish.
+    fn drain(&self) {
+        let deadline =
+            std::time::Instant::now() + self.shared.config.read_timeout + Duration::from_secs(5);
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn persist(&self) -> io::Result<()> {
+        if let Some(path) = &self.shared.config.cache_file {
+            self.shared
+                .farm
+                .save_cache_snapshot(path)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        if let Some(path) = &self.shared.config.metrics_json {
+            std::fs::write(path, self.metrics_json())?;
+        }
+        Ok(())
+    }
+}
+
+/// Sends a backpressure rejection to a connection we will not service.
+fn reject_connection(mut stream: TcpStream, retry_after_ms: u64) {
+    let payload = Response::Rejected {
+        id: 0,
+        retry_after_ms,
+    }
+    .encode();
+    let _ignored = proto::write_frame(&mut stream, &payload);
+}
+
+/// Serves one connection: a loop of frames until disconnect, error or
+/// shutdown. Never panics on peer input — every failure path is a
+/// structured reply or a clean close, plus a counter.
+fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
+    shared
+        .metrics
+        .conns_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    obs::counter("serve", "conn_accepted", 1);
+    if let Some(action) = failpoints::fire("serve-conn") {
+        // Injected connection fault: both actions model an I/O layer
+        // failure, so the connection is dropped without a reply.
+        let _ = action;
+        shared
+            .metrics
+            .injected_faults
+            .fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve", "conn_fault_injected", 1);
+        return;
+    }
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match proto::read_frame(&mut stream, shared.config.max_frame_bytes) {
+            Ok(payload) => payload,
+            Err(ProtoError::Disconnected) => return,
+            Err(ProtoError::Oversized { advertised, limit }) => {
+                shared
+                    .metrics
+                    .oversized_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve", "oversized_frame", 1);
+                // The advertised payload was never read, so the stream
+                // is out of sync: reply then close.
+                send(
+                    &mut stream,
+                    &Response::ProtocolError {
+                        error: format!(
+                            "frame of {advertised} bytes exceeds the {limit}-byte limit"
+                        ),
+                    },
+                );
+                return;
+            }
+            Err(err) if err.is_timeout() => {
+                shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve", "read_timeout", 1);
+                send(
+                    &mut stream,
+                    &Response::ProtocolError {
+                        error: "read timed out".into(),
+                    },
+                );
+                return;
+            }
+            Err(ProtoError::Io(_) | ProtoError::Malformed(_)) => return,
+        };
+        let _request_span = obs::span("serve_request");
+        let request = {
+            let _parse_span = obs::span("serve_parse");
+            Request::decode(&payload)
+        };
+        let request = match request {
+            Ok(request) => request,
+            Err(reason) => {
+                shared
+                    .metrics
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve", "malformed_frame", 1);
+                // The frame itself was well-delimited, so the stream is
+                // still in sync: reply and keep serving.
+                if !send(&mut stream, &Response::ProtocolError { error: reason }) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => {
+                shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+                Response::Pong
+            }
+            Request::Stats => {
+                shared
+                    .metrics
+                    .stats_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Stats(shared.metrics.to_json(&shared.farm.cache_stats()))
+            }
+            Request::Shutdown => {
+                send(&mut stream, &Response::ShutdownAck);
+                signal_shutdown(shared, addr);
+                return;
+            }
+            Request::Design {
+                id,
+                trace,
+                history,
+                threshold,
+                dont_care,
+            } => design_response(shared, id, &trace, history, threshold, dont_care),
+        };
+        let delivered = {
+            let _respond_span = obs::span("serve_respond");
+            send(&mut stream, &response)
+        };
+        if !delivered {
+            return;
+        }
+    }
+}
+
+/// Runs one design request through the farm, honouring backpressure.
+fn design_response(
+    shared: &Shared,
+    id: u64,
+    trace_text: &str,
+    history: usize,
+    threshold: Option<f64>,
+    dont_care: Option<f64>,
+) -> Response {
+    let in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    let _guard = CountGuard(&shared.in_flight);
+    if in_flight > shared.config.queue_limit {
+        shared
+            .metrics
+            .rejected_backpressure
+            .fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve", "rejected_backpressure", 1);
+        return Response::Rejected {
+            id,
+            retry_after_ms: shared.config.retry_after_ms,
+        };
+    }
+    let fail = |error: String| {
+        shared
+            .metrics
+            .requests_failed
+            .fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve", "request_failed", 1);
+        Response::DesignError { id, error }
+    };
+    if history == 0 || history > MAX_ORDER {
+        return fail(format!("history must be in 1..={MAX_ORDER}, got {history}"));
+    }
+    let trace: BitTrace = match trace_text.parse() {
+        Ok(trace) => trace,
+        Err(err) => return fail(format!("bad trace: {err}")),
+    };
+    let mut designer = Designer::new(history);
+    if let Some(t) = threshold {
+        designer = designer.prob_threshold(t);
+    }
+    if let Some(d) = dont_care {
+        designer = designer.dont_care_fraction(d);
+    }
+    let job = DesignJob::from_trace(id, Arc::new(trace), designer);
+    let report = {
+        let _design_span = obs::span("serve_design");
+        shared.farm.design_batch(vec![job])
+    };
+    let Some(outcome) = report.outcomes.first() else {
+        return fail("farm returned no outcome".into());
+    };
+    match &outcome.result {
+        Ok(design) => {
+            shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve", "request_ok", 1);
+            Response::DesignOk {
+                id,
+                states: design.fsm().num_states(),
+                cache_hit: outcome.cache_hit,
+                wall_ms: outcome.wall.as_secs_f64() * 1e3,
+                machine: machine_to_table(design.fsm()),
+            }
+        }
+        Err(err) => fail(err.to_string()),
+    }
+}
+
+/// Writes one response frame; false when the peer is gone.
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    let payload = response.encode();
+    if proto::write_frame(stream, &payload).is_err() {
+        return false;
+    }
+    stream.flush().is_ok()
+}

@@ -1,0 +1,422 @@
+//! Protocol robustness: no sequence of hostile bytes — arbitrary
+//! garbage, truncated frames, bit-flipped payloads, oversized length
+//! prefixes, slow-loris dribbles, injected connection faults — may panic
+//! or wedge the server. Every rejection must be observable: a structured
+//! reply (or clean disconnect) on the wire, a matching [`ServeMetrics`]
+//! counter, and a matching obs counter event.
+
+use fsmgen_obs::{CollectingObsSink, ObsEvent};
+use fsmgen_serve::{
+    write_frame, Request, Response, ServeClient, ServeConfig, ServeMetricsSnapshot, Server,
+    ServerHandle,
+};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// The serve-conn failpoint and the process-global obs sink are both
+/// process-wide, so every test in this binary serializes on one lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An in-process server plus the plumbing the assertions need.
+struct Fixture {
+    server: std::sync::Arc<Server>,
+    handle: ServerHandle,
+    addr: String,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Fixture {
+    fn start(config: ServeConfig) -> Fixture {
+        let server = std::sync::Arc::new(Server::bind(config).expect("bind"));
+        let handle = server.handle();
+        let addr = server.local_addr().to_string();
+        let runner = std::sync::Arc::clone(&server);
+        let thread = std::thread::spawn(move || runner.run());
+        Fixture {
+            server,
+            handle,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn quick() -> Fixture {
+        Fixture::start(ServeConfig {
+            read_timeout: Duration::from_millis(300),
+            max_frame_bytes: 4096,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn raw_conn(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream
+    }
+
+    fn metrics(&self) -> ServeMetricsSnapshot {
+        self.server.metrics().snapshot()
+    }
+
+    /// The liveness probe every hostile scenario ends with: the server
+    /// must still answer a well-formed design request correctly.
+    fn assert_still_serving(&self) {
+        let mut client = ServeClient::connect(&self.addr, Duration::from_secs(5)).expect("connect");
+        let response = client
+            .design_with_retry(
+                &Request::Design {
+                    id: 7777,
+                    trace: "0000 1000 1011 1101 1110 1111".into(),
+                    history: 2,
+                    threshold: None,
+                    dont_care: None,
+                },
+                20,
+            )
+            .expect("server must still serve designs");
+        match response {
+            Response::DesignOk { id, states, .. } => {
+                assert_eq!(id, 7777);
+                assert_eq!(states, 3);
+            }
+            other => panic!("server wedged: {other:?}"),
+        }
+    }
+
+    fn stop(mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .expect("server thread must not panic")
+                .expect("server run");
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Reads whatever the server sends until it closes the connection.
+fn drain(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Raw garbage never panics the server: each connection ends in a
+    /// structured reply or a clean disconnect, and the server keeps
+    /// serving afterwards.
+    #[test]
+    fn arbitrary_bytes_never_wedge_the_server(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _serial = lock();
+        let fixture = Fixture::quick();
+        {
+            let mut stream = fixture.raw_conn();
+            let _ = stream.write_all(&garbage);
+            let _ = stream.flush();
+            // Close our write side by dropping after the read attempt;
+            // whatever the server does — error frame, timeout, close —
+            // must not be a panic.
+            let _ = drain(&mut stream);
+        }
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+
+    /// Well-framed but bit-flipped payloads: either the flip kept the
+    /// request valid, or the server replies `protocol_error` and bumps
+    /// the malformed-frame counter — never a panic, never a wedge.
+    #[test]
+    fn bit_flipped_frames_get_structured_errors(
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let _serial = lock();
+        let fixture = Fixture::quick();
+        let before = fixture.metrics();
+        let mut payload = Request::Design {
+            id: 3,
+            trace: "0000 1000 1011".into(),
+            history: 2,
+            threshold: None,
+            dont_care: None,
+        }
+        .encode();
+        let index = flip_byte % payload.len();
+        payload[index] ^= 1 << flip_bit;
+        {
+            let mut stream = fixture.raw_conn();
+            write_frame(&mut stream, &payload).expect("write");
+            let reply = drain(&mut stream);
+            prop_assert!(!reply.is_empty(), "server must reply or serve, not hang");
+        }
+        let after = fixture.metrics();
+        prop_assert!(after.is_monotone_since(&before));
+        // Every path is accounted: the flipped frame was either served,
+        // answered with a design error, or counted as malformed.
+        let answered = (after.requests_ok + after.requests_failed + after.malformed_frames)
+            > (before.requests_ok + before.requests_failed + before.malformed_frames);
+        prop_assert!(answered, "flipped frame fell through unaccounted");
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+
+    /// Truncated frames (length prefix promises more than arrives) end in
+    /// a clean disconnect once the read times out.
+    #[test]
+    fn truncated_frames_disconnect_cleanly(cut in 1usize..20) {
+        let _serial = lock();
+        let fixture = Fixture::quick();
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("frame");
+        wire.truncate(wire.len().saturating_sub(cut).max(1));
+        {
+            let mut stream = fixture.raw_conn();
+            stream.write_all(&wire).expect("write");
+            let _ = drain(&mut stream);
+        }
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_and_counted() {
+    let _serial = lock();
+    let fixture = Fixture::quick();
+    let before = fixture.metrics();
+    let reply = {
+        let mut stream = fixture.raw_conn();
+        // Advertise 16 MiB against a 4 KiB bound; never send the payload.
+        stream
+            .write_all(&(16u32 << 20).to_be_bytes())
+            .expect("write prefix");
+        drain(&mut stream)
+    };
+    let after = fixture.metrics();
+    assert_eq!(
+        after.oversized_frames,
+        before.oversized_frames + 1,
+        "oversized frame must be counted"
+    );
+    let text = String::from_utf8_lossy(&reply);
+    assert!(
+        text.contains("protocol_error") && text.contains("exceeds"),
+        "want a structured protocol_error reply, got {text:?}"
+    );
+    fixture.assert_still_serving();
+    fixture.stop();
+}
+
+#[test]
+fn slow_loris_times_out_and_is_counted() {
+    let _serial = lock();
+    let fixture = Fixture::start(ServeConfig {
+        read_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    let before = fixture.metrics();
+    {
+        let mut stream = fixture.raw_conn();
+        // Dribble half a length prefix, then stall past the timeout.
+        stream.write_all(&[0u8, 0]).expect("write");
+        stream.flush().expect("flush");
+        let reply = drain(&mut stream);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.contains("timed out"),
+            "want a timeout protocol_error, got {text:?}"
+        );
+    }
+    let after = fixture.metrics();
+    assert_eq!(
+        after.timeouts,
+        before.timeouts + 1,
+        "timeout must be counted"
+    );
+    fixture.assert_still_serving();
+    fixture.stop();
+}
+
+#[test]
+fn injected_conn_faults_drop_the_connection_and_are_counted() {
+    let _serial = lock();
+    fsmgen::failpoints::configure_from_spec_global("serve-conn=error:2").expect("failpoint spec");
+    let fixture = Fixture::quick();
+    let before = fixture.metrics();
+    for _ in 0..2 {
+        let mut stream = fixture.raw_conn();
+        write_frame(&mut stream, &Request::Ping.encode()).expect("write");
+        let reply = drain(&mut stream);
+        assert!(
+            reply.is_empty(),
+            "a faulted connection is dropped without a reply, got {reply:?}"
+        );
+    }
+    fsmgen::failpoints::clear_global();
+    let after = fixture.metrics();
+    assert_eq!(
+        after.injected_faults,
+        before.injected_faults + 2,
+        "both injected faults must be counted"
+    );
+    // The failpoint budget is exhausted: the server serves again.
+    fixture.assert_still_serving();
+    fixture.stop();
+}
+
+#[test]
+fn backpressure_rejects_with_retry_after() {
+    let _serial = lock();
+    let fixture = Fixture::start(ServeConfig {
+        queue_limit: 0, // every design is "one too many": deterministic saturation
+        retry_after_ms: 123,
+        ..ServeConfig::default()
+    });
+    let before = fixture.metrics();
+    let mut client = ServeClient::connect(&fixture.addr, Duration::from_secs(5)).expect("connect");
+    let response = client
+        .call(&Request::Design {
+            id: 5,
+            trace: "1010".into(),
+            history: 2,
+            threshold: None,
+            dont_care: None,
+        })
+        .expect("call");
+    assert_eq!(
+        response,
+        Response::Rejected {
+            id: 5,
+            retry_after_ms: 123
+        }
+    );
+    // Non-design requests still flow while designs are saturated.
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Pong);
+    let after = fixture.metrics();
+    assert_eq!(
+        after.rejected_backpressure,
+        before.rejected_backpressure + 1
+    );
+    fixture.stop();
+}
+
+#[test]
+fn connection_limit_turns_new_connections_away() {
+    let _serial = lock();
+    let fixture = Fixture::start(ServeConfig {
+        max_connections: 1,
+        ..ServeConfig::default()
+    });
+    // Pin the one admitted connection open (the pong proves the server
+    // accepted and registered it).
+    let mut first = ServeClient::connect(&fixture.addr, Duration::from_secs(5)).expect("connect");
+    assert_eq!(first.call(&Request::Ping).expect("ping"), Response::Pong);
+    // The second connection must be turned away with a retry hint.
+    let reply = {
+        let mut second = fixture.raw_conn();
+        drain(&mut second)
+    };
+    let text = String::from_utf8_lossy(&reply);
+    assert!(
+        text.contains("rejected") && text.contains("retry_after_ms"),
+        "want a rejected frame, got {text:?}"
+    );
+    assert!(fixture.metrics().conns_rejected >= 1);
+    drop(first);
+    fixture.stop();
+}
+
+#[test]
+fn rejection_paths_emit_obs_counters() {
+    let _serial = lock();
+    let sink = std::sync::Arc::new(CollectingObsSink::new());
+    fsmgen_obs::install_global(
+        std::sync::Arc::clone(&sink) as std::sync::Arc<dyn fsmgen_obs::ObsSink>
+    );
+    let fixture = Fixture::quick();
+
+    // One malformed frame, one oversized frame.
+    {
+        let mut stream = fixture.raw_conn();
+        write_frame(&mut stream, b"{\"v\": 1}").expect("write");
+        let _ = drain(&mut stream);
+    }
+    {
+        let mut stream = fixture.raw_conn();
+        stream
+            .write_all(&(64u32 << 20).to_be_bytes())
+            .expect("write prefix");
+        let _ = drain(&mut stream);
+    }
+    fixture.assert_still_serving();
+    fixture.stop();
+    fsmgen_obs::clear_global();
+
+    let mut counters: Vec<(&'static str, u64)> = Vec::new();
+    let mut spans: Vec<&'static str> = Vec::new();
+    for event in sink.events() {
+        match event {
+            ObsEvent::Counter {
+                span: "serve",
+                name,
+                value,
+            } => {
+                counters.push((name, value));
+            }
+            ObsEvent::SpanStart { name, .. } => spans.push(name),
+            _ => {}
+        }
+    }
+    for want in [
+        "malformed_frame",
+        "oversized_frame",
+        "conn_accepted",
+        "request_ok",
+    ] {
+        assert!(
+            counters.iter().any(|(name, _)| *name == want),
+            "missing serve counter {want:?} in {counters:?}"
+        );
+    }
+    for want in [
+        "serve",
+        "serve_request",
+        "serve_parse",
+        "serve_design",
+        "serve_respond",
+    ] {
+        assert!(spans.contains(&want), "missing span {want:?} in {spans:?}");
+    }
+}
+
+#[test]
+fn shutdown_drains_and_double_shutdown_is_safe() {
+    let _serial = lock();
+    let fixture = Fixture::quick();
+    let handle = fixture.handle.clone();
+    assert!(!handle.is_shutting_down());
+    fixture.stop();
+    assert!(handle.is_shutting_down());
+    handle.shutdown(); // idempotent
+}

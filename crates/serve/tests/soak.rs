@@ -1,0 +1,180 @@
+//! Soak harness: concurrent well-behaved clients, hostile clients and
+//! injected connection faults hammer one server while a sampler asserts
+//! the metrics stay monotone. The pass criteria are: zero panics (the
+//! server thread joins cleanly), progress (designs keep completing), and
+//! every hostile interaction accounted for by a counter.
+//!
+//! The quick variant runs in the normal suite; the 30-second variant is
+//! `#[ignore]`d and driven by CI's serve job with `-- --ignored`.
+
+use fsmgen_serve::{Request, Response, ServeClient, ServeConfig, Server};
+use fsmgen_testkit::{workload_matrix, HISTORIES};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn soak(duration: Duration, good_clients: usize, bad_clients: usize) {
+    fsmgen::failpoints::configure_from_spec_global("serve-conn=error:5").expect("failpoint spec");
+    let server = Arc::new(
+        Server::bind(ServeConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(200),
+            max_frame_bytes: 1 << 16,
+            ..ServeConfig::default()
+        })
+        .expect("bind"),
+    );
+    let handle = server.handle();
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let server_thread = std::thread::spawn(move || runner.run());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let designs_ok = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+
+    // Well-behaved clients: walk the matrix on keep-alive connections,
+    // reconnecting when an injected fault drops them.
+    let requests: Arc<Vec<Request>> = Arc::new(
+        workload_matrix()
+            .into_iter()
+            .flat_map(|(_, trace)| {
+                let text: String = trace.iter().map(|b| if b { '1' } else { '0' }).collect();
+                HISTORIES.map(|history| Request::Design {
+                    id: history as u64,
+                    trace: text.clone(),
+                    history,
+                    threshold: None,
+                    dont_care: None,
+                })
+            })
+            .collect(),
+    );
+    for worker in 0..good_clients {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        let requests = Arc::clone(&requests);
+        let designs_ok = Arc::clone(&designs_ok);
+        workers.push(std::thread::spawn(move || {
+            let mut step = worker;
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(mut client) = ServeClient::connect(&addr, Duration::from_secs(5)) else {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                };
+                // A burst per connection; a dropped (fault-injected)
+                // connection just means reconnect.
+                for _ in 0..8 {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let request = &requests[step % requests.len()];
+                    step += 1;
+                    match client.design_with_retry(request, 10) {
+                        Ok(Response::DesignOk { .. }) => {
+                            designs_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(other) => panic!("good client got {other:?}"),
+                        Err(_) => break, // dropped connection: reconnect
+                    }
+                }
+            }
+        }));
+    }
+
+    // Hostile clients: garbage, truncations, oversized prefixes.
+    for worker in 0..bad_clients {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut round = worker as u32;
+            while !stop.load(Ordering::Relaxed) {
+                round = round.wrapping_mul(1664525).wrapping_add(1013904223);
+                let Ok(mut stream) = TcpStream::connect(&addr) else {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                };
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                match round % 3 {
+                    0 => {
+                        // Unframed garbage.
+                        let _ = stream.write_all(&round.to_be_bytes());
+                    }
+                    1 => {
+                        // A truncated frame: promise 64 bytes, send 3.
+                        let _ = stream.write_all(&64u32.to_be_bytes());
+                        let _ = stream.write_all(b"abc");
+                    }
+                    _ => {
+                        // An oversized prefix.
+                        let _ = stream.write_all(&u32::MAX.to_be_bytes());
+                    }
+                }
+                let mut sink = Vec::new();
+                let _ = stream.read_to_end(&mut sink);
+            }
+        }));
+    }
+
+    // Sampler: metrics must be monotone for the whole run.
+    let deadline = Instant::now() + duration;
+    let mut last = server.metrics().snapshot();
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = server.metrics().snapshot();
+        assert!(
+            now.is_monotone_since(&last),
+            "metrics regressed: {last:?} -> {now:?}"
+        );
+        last = now;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("client thread must not panic");
+    }
+    fsmgen::failpoints::clear_global();
+
+    // One last well-formed exchange: the server survived the storm.
+    let mut client = ServeClient::connect(&addr, Duration::from_secs(5)).expect("connect");
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Pong);
+    drop(client);
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread must not panic")
+        .expect("server run");
+
+    let end = server.metrics().snapshot();
+    assert!(
+        designs_ok.load(Ordering::Relaxed) > 0,
+        "soak made no progress"
+    );
+    assert!(end.requests_ok > 0);
+    assert_eq!(
+        end.injected_faults, 5,
+        "all armed faults must fire and be counted"
+    );
+    if bad_clients > 0 {
+        assert!(
+            end.malformed_frames + end.oversized_frames + end.timeouts > 0,
+            "hostile traffic left no trace in the metrics: {end:?}"
+        );
+    }
+}
+
+/// Always-on smoke variant: a short burst of the same mixed traffic.
+#[test]
+fn soak_smoke_two_seconds() {
+    soak(Duration::from_secs(2), 3, 2);
+}
+
+/// The CI soak: 30 seconds of mixed traffic (run with `--ignored`).
+#[test]
+#[ignore = "30s soak, run explicitly (CI serve job)"]
+fn soak_thirty_seconds() {
+    soak(Duration::from_secs(30), 6, 3);
+}

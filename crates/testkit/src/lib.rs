@@ -1,0 +1,150 @@
+//! `fsmgen-testkit`: shared fixtures for the workspace's test suites.
+//!
+//! Before this crate existed, every `crates/*/tests/prop.rs` carried its
+//! own copy of the same trace builders and proptest strategies. They are
+//! consolidated here so a workload tweak (say, lengthening the biased
+//! trace) lands in one place, and so integration tests that compare
+//! subsystems (the farm's snapshot differential, the serve e2e
+//! differential) are guaranteed to use the *same* workload matrix.
+//!
+//! Everything here is deterministic: two calls to any builder produce
+//! identical bits, which is what differential tests rely on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fsmgen_traces::{BitTrace, BranchEvent, BranchTrace};
+use std::sync::Arc;
+
+/// The history lengths the differential matrices sweep.
+pub const HISTORIES: [usize; 3] = [2, 3, 4];
+
+/// Figure 1's running example trace from the paper.
+#[must_use]
+pub fn paper_trace() -> BitTrace {
+    "0000 1000 1011 1101 1110 1111"
+        .parse()
+        .unwrap_or_else(|_| unreachable!("literal trace parses"))
+}
+
+/// A strongly periodic (loop-branch-like) trace: `110` repeated.
+#[must_use]
+pub fn periodic_trace(reps: usize) -> BitTrace {
+    "110"
+        .repeat(reps)
+        .parse()
+        .unwrap_or_else(|_| unreachable!("literal trace parses"))
+}
+
+/// An alternating trace (worst case for a counter, easy for history).
+#[must_use]
+pub fn alternating_trace(reps: usize) -> BitTrace {
+    "01".repeat(reps)
+        .parse()
+        .unwrap_or_else(|_| unreachable!("literal trace parses"))
+}
+
+/// A biased trace with occasional flips: xorshift-derived from a fixed
+/// seed, ~87% taken.
+#[must_use]
+pub fn biased_trace(bits: usize) -> BitTrace {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut out = String::with_capacity(bits);
+    for _ in 0..bits {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Take 1 unless the low 3 bits are all zero.
+        out.push(if x & 0b111 == 0 { '0' } else { '1' });
+    }
+    out.parse()
+        .unwrap_or_else(|_| unreachable!("generated trace parses"))
+}
+
+/// The canonical workload matrix used by the differential harnesses:
+/// named, deterministic behaviour traces standing in for branch traces.
+#[must_use]
+pub fn workload_matrix() -> Vec<(&'static str, Arc<BitTrace>)> {
+    vec![
+        ("paper", Arc::new(paper_trace())),
+        ("periodic", Arc::new(periodic_trace(60))),
+        ("alternating", Arc::new(alternating_trace(90))),
+        ("biased", Arc::new(biased_trace(180))),
+    ]
+}
+
+/// Proptest strategies shared across the workspace's property suites.
+pub mod strategies {
+    use super::{BitTrace, BranchEvent, BranchTrace};
+    use proptest::prelude::*;
+    use std::ops::Range;
+
+    /// Raw bit vectors of a caller-chosen length range.
+    pub fn bit_vec(len: Range<usize>) -> impl Strategy<Value = Vec<bool>> {
+        proptest::collection::vec(any::<bool>(), len)
+    }
+
+    /// Bit vectors long enough for the design flow, mixed enough to avoid
+    /// the degenerate all-same traces (those are still valid — covered by
+    /// dedicated unit tests — but they design to trivial machines).
+    pub fn design_bits() -> impl Strategy<Value = Vec<bool>> {
+        bit_vec(24..160)
+    }
+
+    /// Arbitrary [`BitTrace`]s spanning the short-to-medium regime the
+    /// core design-flow properties sweep.
+    pub fn bit_trace() -> impl Strategy<Value = BitTrace> {
+        bit_vec(12..200).prop_map(BitTrace::from_iter)
+    }
+
+    /// Arbitrary [`BranchTrace`]s over a bounded set of branch slots:
+    /// each event's pc/target derive deterministically from its slot.
+    pub fn branch_trace() -> impl Strategy<Value = BranchTrace> {
+        branch_trace_with(32, 1..400)
+    }
+
+    /// As [`branch_trace`], with caller-chosen slot count and length.
+    pub fn branch_trace_with(slots: u64, len: Range<usize>) -> impl Strategy<Value = BranchTrace> {
+        proptest::collection::vec((0..slots, any::<bool>()), len).prop_map(|events| {
+            events
+                .into_iter()
+                .map(|(slot, taken)| BranchEvent {
+                    pc: 0x1000 + slot * 4,
+                    target: 0x2000 + slot,
+                    taken,
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(paper_trace(), paper_trace());
+        assert_eq!(biased_trace(180), biased_trace(180));
+        assert_eq!(periodic_trace(60).len(), 180);
+        assert_eq!(alternating_trace(90).len(), 180);
+    }
+
+    #[test]
+    fn biased_trace_is_biased() {
+        let trace = biased_trace(180);
+        let taken = trace.iter().filter(|&b| b).count();
+        // ~87% taken by construction; allow generous slack.
+        assert!(taken > 140, "only {taken}/180 taken");
+        assert!(taken < 180, "degenerate all-taken trace");
+    }
+
+    #[test]
+    fn matrix_names_are_unique() {
+        let matrix = workload_matrix();
+        assert_eq!(matrix.len(), 4);
+        let mut names: Vec<_> = matrix.iter().map(|(n, _)| *n).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`experiments`] — drivers regenerating every figure of the paper.
 //! * [`evolve`] — the Emer & Gloy-style genetic-search baseline (§3.2).
 //! * [`cache`] — cache model with FSM-guided cache exclusion (§2.4).
+//! * [`farm`] — the parallel, cache-aware batch design engine.
+//! * [`obs`] — stage-level tracing and the unified observability schema.
+//! * [`serve`] — the TCP design service fronting a shared farm.
 //!
 //! # Examples
 //!
@@ -45,7 +48,10 @@ pub use fsmgen_bpred as bpred;
 pub use fsmgen_cache as cache;
 pub use fsmgen_evolve as evolve;
 pub use fsmgen_experiments as experiments;
+pub use fsmgen_farm as farm;
 pub use fsmgen_logicmin as logicmin;
+pub use fsmgen_obs as obs;
+pub use fsmgen_serve as serve;
 pub use fsmgen_synth as synth;
 pub use fsmgen_traces as traces;
 pub use fsmgen_vpred as vpred;
