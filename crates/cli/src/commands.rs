@@ -13,8 +13,8 @@ use fsmgen_bpred::{
 };
 use fsmgen_experiments::figures;
 use fsmgen_farm::{
-    read_snapshot_file, write_snapshot_file, DesignJob, EventSink, Farm, FarmConfig, FarmEvent,
-    ObsBridgeSink, StderrSink,
+    read_design_file, CompactPolicy, DesignJob, DesignStore, EventSink, Farm, FarmConfig,
+    FarmEvent, ObsBridgeSink, StderrSink, StoreConfig,
 };
 use fsmgen_synth::{synthesize_area, to_vhdl, Encoding, VhdlOptions};
 use fsmgen_traces::BitTrace;
@@ -111,32 +111,46 @@ EXIT CODES:
           worker's design-pipeline spans to FILE as JSONL, one schema.
           --inject-fault arms process-wide failpoints visible to the
           workers, e.g. 'farm-worker=error:1'. --cache-file persists the
-          design cache across runs: loaded before the batch if present
-          (corrupt snapshots are skipped, never fatal) and rewritten on
-          exit, so a second run is served warm. --dump-machines writes
-          each job's machine table into DIR for artifact diffing.
+          design cache across runs as a durable append-only store:
+          recovered before the batch (torn tails truncated, corrupt
+          records skipped, legacy snapshots migrated — never fatal) and
+          appended to as jobs complete, so a second run is served warm
+          and even a killed run keeps its flushed designs.
+          --dump-machines writes each job's machine table into DIR for
+          artifact diffing.
 
-  fsmgen cache    {info|verify|gc} --cache-file FILE [--keep N]
-          Inspect a persistent design-cache snapshot. 'info' prints the
-          header and per-record summary, 'verify' fully decodes every
-          record and exits nonzero if any are corrupt, 'gc' rewrites the
-          snapshot keeping only the N most recently used records
-          (default 64).
+  fsmgen cache    {info|verify|gc|compact} --cache-file FILE [--keep N]
+                  [--max-generations N]
+          Inspect or maintain a persistent design store (or a legacy
+          snapshot). 'info' prints the format, accounting and per-record
+          summary; 'verify' fully decodes every record; both exit
+          nonzero when any record is corrupt or a torn tail was
+          detected, after printing the damage report. 'gc' compacts the
+          store keeping only the N newest unique records (default 64).
+          'compact' deduplicates in place, optionally bounded by --keep
+          and dropping records older than --max-generations sessions.
+          'gc' and 'compact' migrate a legacy snapshot to the log
+          format.
 
   fsmgen serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N]
                   [--max-connections N] [--queue-limit N]
                   [--read-timeout-ms N] [--max-frame-bytes N]
                   [--retry-after-ms N] [--cache-file FILE]
+                  [--flush-every N] [--flush-interval-ms N]
                   [--metrics-json FILE] [--trace-jsonl FILE]
                   [--inject-fault SPEC]
           Run the TCP design service: length-prefixed JSON requests in,
           designed machines out, all fronted by the same cache-aware
           farm as 'fsmgen farm'. Prints 'listening on HOST:PORT' once
-          ready (default 127.0.0.1:0 = OS-assigned port). Stop it with a
-          'shutdown' protocol request ('fsmgen client --shutdown'); the
-          server then drains in-flight requests, saves --cache-file (so
-          a restart is served warm) and writes --metrics-json. The wire
-          format is specified in DESIGN.md. --inject-fault arms
+          ready (default 127.0.0.1:0 = OS-assigned port). --cache-file
+          is a durable store: recovered on start, appended to on every
+          design (fsync'd every --flush-every appends or
+          --flush-interval-ms, whichever first) and compacted on
+          graceful shutdown — a killed server loses at most one flush
+          interval. Stop it with a 'shutdown' protocol request ('fsmgen
+          client --shutdown'); the server then drains in-flight
+          requests, compacts the store and writes --metrics-json. The
+          wire format is specified in DESIGN.md. --inject-fault arms
           process-wide failpoints, e.g. 'serve-conn=error:1'.
 
   fsmgen client   --addr HOST:PORT [--ping | --stats | --shutdown]
@@ -744,36 +758,32 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
         1 => Farm::with_sink(config, sinks.remove(0)),
         _ => Farm::with_sink(config, std::sync::Arc::new(TeeSink(sinks))),
     };
-    // Warm start: load a persisted snapshot if one exists. Corruption is
-    // never fatal — the farm just starts (partially) cold.
+    // Warm start: attach the durable store, replaying its log into the
+    // cache. Damage (torn tails, corrupt records) is never fatal — the
+    // farm just starts (partially) cold; a store that cannot be opened
+    // at all (e.g. a foreign file) leaves the run un-persisted.
     let cache_file = args.flag("cache-file").map(std::path::PathBuf::from);
     if let Some(path) = &cache_file {
-        if path.exists() {
-            match farm.load_cache_snapshot(path) {
-                Ok(loaded) => eprintln!(
-                    "farm: cache snapshot {}: {} record(s) loaded, {} skipped",
-                    path.display(),
-                    loaded.loaded,
-                    loaded.skipped
-                ),
-                Err(e) => eprintln!(
-                    "farm: ignoring cache snapshot {}: {e} (starting cold)",
-                    path.display()
-                ),
-            }
+        match farm.attach_store(path, StoreConfig::default()) {
+            Ok(stats) => eprintln!(
+                "farm: cache store {}: {} recovered, {} migrated, {} skipped, {} torn tail(s) truncated",
+                path.display(),
+                stats.recovered,
+                stats.migrated,
+                stats.skipped,
+                stats.truncated
+            ),
+            Err(e) => eprintln!(
+                "farm: ignoring cache store {}: {e} (starting cold, not persisting)",
+                path.display()
+            ),
         }
     }
     let report = farm.design_batch(jobs);
     if let Some(path) = &cache_file {
-        match farm.save_cache_snapshot(path) {
-            Ok(records) => eprintln!(
-                "farm: cache snapshot {} saved ({records} record(s))",
-                path.display()
-            ),
-            Err(e) => eprintln!(
-                "farm: could not save cache snapshot {}: {e}",
-                path.display()
-            ),
+        match farm.flush_store() {
+            Ok(()) => eprintln!("farm: cache store {} flushed", path.display()),
+            Err(e) => eprintln!("farm: could not flush cache store {}: {e}", path.display()),
         }
     }
     failpoints::clear_global();
@@ -844,44 +854,58 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `fsmgen cache`: inspect, verify or garbage-collect a persistent
-/// design-cache snapshot written by `fsmgen farm --cache-file`.
+/// `fsmgen cache`: inspect, verify or compact a persistent design store
+/// written by `fsmgen farm --cache-file` (or a legacy snapshot, which
+/// the mutating actions migrate to the log format).
 ///
 /// # Errors
 ///
 /// Returns a usage error for a missing action or `--cache-file`, other
-/// when the snapshot header is unreadable or (for `verify`) any record
-/// is corrupt.
+/// when the file is unreadable — or, for `info` and `verify`, when any
+/// record is corrupt or a torn tail was detected (reported first, then
+/// a nonzero exit; never a panic, never a silent success).
 pub fn cache(args: &Args) -> Result<(), CliError> {
     let Some(action) = args.positional().first() else {
         return Err(CliError::Usage(
-            "cache: expected an action: info, verify or gc".into(),
+            "cache: expected an action: info, verify, gc or compact".into(),
         ));
     };
     let path = args
         .flag("cache-file")
         .ok_or_else(|| CliError::Usage("cache: --cache-file FILE is required".into()))?;
     let path = std::path::Path::new(path);
-    let snapshot_error =
-        |e: fsmgen_farm::SnapshotError| CliError::Other(format!("cache: {}: {e}", path.display()));
+    let store_error =
+        |e: fsmgen_farm::StoreError| CliError::Other(format!("cache: {}: {e}", path.display()));
+    // Damage report shared by `info` and `verify`: nonzero exit whenever
+    // any record failed to decode or a torn tail was found.
+    let damage = |decoded: &fsmgen_farm::DecodedStore| -> Result<(), CliError> {
+        if decoded.skipped > 0 || decoded.truncated > 0 {
+            return Err(CliError::Other(format!(
+                "cache: {}: {} corrupt record(s) skipped, {} torn tail(s) ({} valid)",
+                path.display(),
+                decoded.skipped,
+                decoded.truncated,
+                decoded.records.len()
+            )));
+        }
+        Ok(())
+    };
     match action.as_str() {
         "info" => {
             let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
+            let decoded = read_design_file(path).map_err(store_error)?;
+            println!("store {} ({})", path.display(), decoded.format);
             println!(
-                "snapshot {} (format v{})",
-                path.display(),
-                fsmgen_farm::SNAPSHOT_VERSION
-            );
-            println!(
-                "  {size} bytes, {} record(s) decoded, {} corrupt skipped",
+                "  {size} bytes, {} record(s) decoded, {} corrupt skipped, {} torn tail(s)",
                 decoded.records.len(),
-                decoded.skipped
+                decoded.skipped,
+                decoded.truncated
             );
             for (i, rec) in decoded.records.iter().enumerate() {
                 println!(
-                    "  [{i:>3}] fp {:016x}  {} states, history {}, {}",
+                    "  [{i:>3}] fp {:016x}  gen {:>3}  {} states, history {}, {}",
                     rec.fingerprint,
+                    rec.generation,
                     rec.design.fsm().num_states(),
                     rec.design.effective_history(),
                     if rec.design.degradation().is_degraded() {
@@ -891,49 +915,61 @@ pub fn cache(args: &Args) -> Result<(), CliError> {
                     }
                 );
             }
-            Ok(())
+            damage(&decoded)
         }
         "verify" => {
-            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
-            if decoded.skipped > 0 {
-                return Err(CliError::Other(format!(
-                    "cache: {}: {} corrupt record(s) skipped ({} valid)",
-                    path.display(),
-                    decoded.skipped,
-                    decoded.records.len()
-                )));
-            }
+            let decoded = read_design_file(path).map_err(store_error)?;
+            damage(&decoded)?;
             println!(
-                "{}: ok ({} record(s))",
+                "{}: ok ({} record(s), {})",
                 path.display(),
-                decoded.records.len()
+                decoded.records.len(),
+                decoded.format
             );
             Ok(())
         }
         "gc" => {
             let keep: usize = args.flag_or("keep", 64).map_err(usage)?;
-            let decoded = read_snapshot_file(path).map_err(snapshot_error)?;
-            let total = decoded.records.len();
-            let dropped_corrupt = decoded.skipped;
-            // Snapshot files are MRU-first, so keeping a prefix keeps the
-            // hottest records.
-            let kept: Vec<_> = decoded.records.into_iter().take(keep).collect();
-            write_snapshot_file(
-                path,
-                kept.iter().map(|r| (r.fingerprint, r.verify, &*r.design)),
-            )
-            .map_err(snapshot_error)?;
+            let (mut store, records) =
+                DesignStore::open(path, StoreConfig::default()).map_err(store_error)?;
+            let total = records.len();
+            let policy = CompactPolicy {
+                keep: Some(keep),
+                max_generations: None,
+            };
+            let report = store.compact(&policy).map_err(store_error)?;
             println!(
-                "{}: kept {} of {} record(s), {} corrupt dropped",
+                "{}: kept {} of {} record(s), {} dropped",
                 path.display(),
-                kept.len(),
+                report.kept,
                 total,
-                dropped_corrupt
+                report.dropped
+            );
+            Ok(())
+        }
+        "compact" => {
+            let keep: Option<usize> = args.flag_opt("keep").map_err(usage)?;
+            let max_generations: Option<u32> = args.flag_opt("max-generations").map_err(usage)?;
+            let (mut store, records) =
+                DesignStore::open(path, StoreConfig::default()).map_err(store_error)?;
+            let total = records.len();
+            let report = store
+                .compact(&CompactPolicy {
+                    keep,
+                    max_generations,
+                })
+                .map_err(store_error)?;
+            println!(
+                "{}: kept {} of {} record(s), {} dropped",
+                path.display(),
+                report.kept,
+                total,
+                report.dropped
             );
             Ok(())
         }
         other => Err(CliError::Usage(format!(
-            "cache: unknown action {other:?} (expected info, verify or gc)"
+            "cache: unknown action {other:?} (expected info, verify, gc or compact)"
         ))),
     }
 }
@@ -961,6 +997,10 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         cache_file: args.flag("cache-file").map(std::path::PathBuf::from),
         metrics_json: args.flag("metrics-json").map(std::path::PathBuf::from),
         retry_after_ms: args.flag_or("retry-after-ms", 50u64).map_err(usage)?,
+        flush_every: args.flag_or("flush-every", 8usize).map_err(usage)?,
+        flush_interval: Duration::from_millis(
+            args.flag_or("flush-interval-ms", 200u64).map_err(usage)?,
+        ),
     };
     if let Some(spec) = args.flag("inject-fault") {
         failpoints::configure_from_spec_global(spec).map_err(usage)?;

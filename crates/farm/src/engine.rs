@@ -8,6 +8,9 @@ use crate::job::{DesignJob, JobInput};
 use crate::metrics::FarmMetrics;
 use crate::pool;
 use crate::snapshot::SnapshotError;
+use crate::store::{
+    CompactPolicy, CompactReport, DesignStore, StoreConfig, StoreError, StoreStats,
+};
 use fsmgen::{failpoints, Design, DesignBudget, DesignError, Designer, SweepPoint};
 use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
@@ -121,6 +124,9 @@ struct CacheState {
     /// Accumulated persistent-snapshot load accounting, copied into every
     /// batch's metrics so warm-start provenance shows up in reports.
     snapshot_load: SnapshotLoadReport,
+    /// The durable log-structured store, when one is attached: every
+    /// computed design is appended at its cache-publish point.
+    store: Option<DesignStore>,
 }
 
 /// What the coordinated cache lookup decided for a job.
@@ -163,6 +169,7 @@ impl Farm {
                 cache: DesignCache::new(config.cache_capacity),
                 pending: std::collections::HashSet::new(),
                 snapshot_load: SnapshotLoadReport::default(),
+                store: None,
             }),
             pending_done: std::sync::Condvar::new(),
             sink,
@@ -245,6 +252,106 @@ impl Farm {
         Ok(records)
     }
 
+    /// Attaches a durable log-structured store at `path`, running crash
+    /// recovery and warm-starting the cache from the recovered records
+    /// (which are re-verified per lookup exactly like snapshot entries,
+    /// and count into the `snapshot` load accounting so warm-start
+    /// provenance is format-agnostic). Once attached, every design the
+    /// farm computes is appended to the log at its cache-publish point.
+    ///
+    /// Missing files become fresh stores; legacy snapshot files migrate
+    /// in place; torn tails are truncated (see
+    /// [`DesignStore::open`]). Reported as a `store_recover` span with
+    /// `recovered`/`migrated`/`skipped`/`truncated` counters and a
+    /// [`FarmEvent::StoreRecovered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] only when the file cannot serve as a
+    /// store at all (I/O failure, foreign magic); callers should log it
+    /// and continue cold. No store is attached on error.
+    pub fn attach_store(&self, path: &Path, config: StoreConfig) -> Result<StoreStats, StoreError> {
+        let _span = obs::span("store_recover");
+        let (store, records) = DesignStore::open(path, config)?;
+        let stats = store.stats();
+        {
+            let mut state = self.lock_state();
+            for rec in &records {
+                state
+                    .cache
+                    .insert_warm(rec.fingerprint, rec.verify, Arc::clone(&rec.design));
+            }
+            state.snapshot_load.loaded += records.len();
+            state.snapshot_load.skipped += stats.skipped as usize;
+            state.store = Some(store);
+        }
+        obs::counter("store_recover", "recovered", stats.recovered);
+        obs::counter("store_recover", "migrated", stats.migrated);
+        obs::counter("store_recover", "skipped", stats.skipped);
+        obs::counter("store_recover", "truncated", stats.truncated);
+        self.sink.record(&FarmEvent::StoreRecovered {
+            path: path.display().to_string(),
+            recovered: stats.recovered as usize,
+            migrated: stats.migrated as usize,
+            skipped: stats.skipped as usize,
+            truncated: stats.truncated as usize,
+        });
+        Ok(stats)
+    }
+
+    /// Forces the attached store's unflushed appends to disk. A no-op
+    /// without an attached store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the fsync fails.
+    pub fn flush_store(&self) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        match state.store.as_mut() {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Compacts the attached store online (see [`DesignStore::compact`]):
+    /// newest record per fingerprint, bounded by `policy`. Returns
+    /// `None` without an attached store. Reported as a `store_compact`
+    /// span with `kept`/`dropped` counters and a
+    /// [`FarmEvent::StoreCompacted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the rewrite fails; the previous log
+    /// survives unless the atomic rename completed.
+    pub fn compact_store(
+        &self,
+        policy: &CompactPolicy,
+    ) -> Result<Option<CompactReport>, StoreError> {
+        let (report, path) = {
+            let mut state = self.lock_state();
+            let Some(store) = state.store.as_mut() else {
+                return Ok(None);
+            };
+            let _span = obs::span("store_compact");
+            let report = store.compact(policy)?;
+            (report, store.path().display().to_string())
+        };
+        obs::counter("store_compact", "kept", report.kept as u64);
+        obs::counter("store_compact", "dropped", report.dropped as u64);
+        self.sink.record(&FarmEvent::StoreCompacted {
+            path,
+            kept: report.kept,
+            dropped: report.dropped,
+        });
+        Ok(Some(report))
+    }
+
+    /// The attached store's cumulative durability counters, if any.
+    #[must_use]
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.lock_state().store.as_ref().map(DesignStore::stats)
+    }
+
     /// Designs every job in the batch, concurrently, and returns outcomes
     /// in submission order plus aggregate metrics.
     ///
@@ -287,12 +394,17 @@ impl Farm {
             .map(|r| r.to_string())
             .collect();
         let succeeded = walls.len();
-        let (entries, capacity, snapshot) = {
+        let (entries, capacity, snapshot, store) = {
             let state = self.lock_state();
             (
                 state.cache.len(),
                 state.cache.capacity(),
                 state.snapshot_load,
+                state
+                    .store
+                    .as_ref()
+                    .map(DesignStore::stats)
+                    .unwrap_or_default(),
             )
         };
         let metrics = FarmMetrics::aggregate(crate::metrics::BatchTally {
@@ -302,6 +414,7 @@ impl Farm {
             workers: self.config.workers,
             cache,
             snapshot,
+            store,
             cache_entries: entries,
             cache_capacity: capacity,
             batch_wall,
@@ -431,14 +544,29 @@ impl Farm {
         let wall = start.elapsed();
 
         // Publish the design and release any single-flight claim in one
-        // critical section, waking the workers waiting on it.
+        // critical section, waking the workers waiting on it. With a
+        // durable store attached the publish also appends to the log —
+        // an append failure degrades durability, never the job.
         if let Some(fp) = fingerprint {
             let mut state = self.lock_state();
+            let CacheState {
+                cache,
+                store,
+                pending,
+                ..
+            } = &mut *state;
             if let Ok(design) = &result {
-                state.cache.insert_verified(fp, verify, Arc::clone(design));
+                cache.insert_verified(fp, verify, Arc::clone(design));
+                if let Some(store) = store.as_mut() {
+                    let _span = obs::span("store_append");
+                    match store.append(fp, verify, design) {
+                        Ok(()) => obs::counter("store_append", "records", 1),
+                        Err(err) => obs::mark("farm", "store_append_failed", &err.to_string()),
+                    }
+                }
             }
             if claimed {
-                state.pending.remove(&fp);
+                pending.remove(&fp);
                 self.pending_done.notify_all();
             }
         }
@@ -803,6 +931,65 @@ mod tests {
             Designer::new(2),
         )]);
         assert_eq!(report.metrics.succeeded, 1);
+    }
+
+    #[test]
+    fn store_append_on_insert_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("fsmgen-farm-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("designs.flog");
+        let _ = std::fs::remove_file(&path);
+        let trace = paper_trace();
+        let job = || DesignJob::from_trace(0, Arc::clone(&trace), Designer::new(2));
+        let config = StoreConfig {
+            flush_every: 1,
+            ..StoreConfig::default()
+        };
+
+        // Cold farm: the computed design is appended at publish time —
+        // no explicit save step.
+        let cold = Farm::new(FarmConfig {
+            workers: 2,
+            cache_capacity: 16,
+        });
+        cold.attach_store(&path, config).unwrap();
+        let cold_report = cold.design_batch(vec![job()]);
+        let cold_design = Arc::clone(cold_report.design(0).unwrap());
+        assert_eq!(cold_report.metrics.store.appends, 1);
+        assert!(cold_report.metrics.store.flushes >= 1);
+        drop(cold);
+
+        // Warm farm over the same store: recovery repopulates the cache.
+        let sink = Arc::new(CollectingSink::new());
+        let warm = Farm::with_sink(
+            FarmConfig {
+                workers: 2,
+                cache_capacity: 16,
+            },
+            Arc::clone(&sink) as Arc<dyn EventSink>,
+        );
+        let stats = warm.attach_store(&path, config).unwrap();
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.truncated, 0);
+        let warm_report = warm.design_batch(vec![job()]);
+        assert!(warm_report.outcomes[0].cache_hit);
+        assert_eq!(warm_report.metrics.cache.snapshot_hits, 1);
+        assert_eq!(warm_report.metrics.snapshot.loaded, 1);
+        assert_eq!(**warm_report.design(0).unwrap(), *cold_design);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, FarmEvent::StoreRecovered { recovered: 1, .. })));
+
+        // Online compaction through the farm: dedup leaves one record.
+        let report = warm
+            .compact_store(&CompactPolicy::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(report.kept, 1);
+        assert!(warm.store_stats().is_some());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -77,6 +77,28 @@ pub enum FarmEvent {
         /// Records written.
         records: usize,
     },
+    /// A durable store was attached and crash recovery ran.
+    StoreRecovered {
+        /// The store file.
+        path: String,
+        /// Valid log records replayed into the cache.
+        recovered: usize,
+        /// Records migrated from a legacy snapshot-format file.
+        migrated: usize,
+        /// Corrupt-but-framed records skipped.
+        skipped: usize,
+        /// Torn-tail truncation events (0 or 1 per open).
+        truncated: usize,
+    },
+    /// The attached store was compacted online.
+    StoreCompacted {
+        /// The store file.
+        path: String,
+        /// Records surviving the rewrite.
+        kept: usize,
+        /// Records dropped (duplicates, stale generations, corruption).
+        dropped: usize,
+    },
 }
 
 impl FarmEvent {
@@ -91,7 +113,10 @@ impl FarmEvent {
             | FarmEvent::JobDegraded { id, .. }
             | FarmEvent::JobFinished { id, .. }
             | FarmEvent::JobFailed { id, .. } => Some(id),
-            FarmEvent::SnapshotLoaded { .. } | FarmEvent::SnapshotSaved { .. } => None,
+            FarmEvent::SnapshotLoaded { .. }
+            | FarmEvent::SnapshotSaved { .. }
+            | FarmEvent::StoreRecovered { .. }
+            | FarmEvent::StoreCompacted { .. } => None,
         }
     }
 }
@@ -195,6 +220,25 @@ impl EventSink for StderrSink {
             FarmEvent::SnapshotSaved { path, records } => {
                 eprintln!("farm: snapshot {path}: {records} designs saved");
             }
+            FarmEvent::StoreRecovered {
+                path,
+                recovered,
+                migrated,
+                skipped,
+                truncated,
+            } => {
+                eprintln!(
+                    "farm: store {path}: {recovered} recovered, {migrated} migrated, \
+                     {skipped} skipped, {truncated} torn tail(s) truncated"
+                );
+            }
+            FarmEvent::StoreCompacted {
+                path,
+                kept,
+                dropped,
+            } => {
+                eprintln!("farm: store {path}: compacted to {kept} records ({dropped} dropped)");
+            }
         }
     }
 }
@@ -278,6 +322,27 @@ pub fn to_obs_event(event: &FarmEvent) -> ObsEvent {
         FarmEvent::SnapshotSaved { path, records } => {
             mark("cache_snapshot_save", format!("{path}: {records} records"))
         }
+        FarmEvent::StoreRecovered {
+            path,
+            recovered,
+            migrated,
+            skipped,
+            truncated,
+        } => mark(
+            "store_recover",
+            format!(
+                "{path}: {recovered} recovered, {migrated} migrated, \
+                 {skipped} skipped, {truncated} truncated"
+            ),
+        ),
+        FarmEvent::StoreCompacted {
+            path,
+            kept,
+            dropped,
+        } => mark(
+            "store_compact",
+            format!("{path}: {kept} kept, {dropped} dropped"),
+        ),
     }
 }
 

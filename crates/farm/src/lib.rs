@@ -28,7 +28,13 @@
 //!   a versioned, checksummed file so a later process starts warm, with
 //!   per-record corruption skipped and counted rather than fatal, and
 //!   warm entries re-verified against an independent digest
-//!   ([`DesignJob::verify_hash`]) before being served.
+//!   ([`DesignJob::verify_hash`]) before being served;
+//! - a **durable log-structured store** ([`DesignStore`], behind
+//!   [`Farm::attach_store`]): an append log fsync'd incrementally while
+//!   serving, with crash recovery that truncates torn tails, one-time
+//!   migration of legacy snapshot files, generation-stamped records and
+//!   online compaction ([`DesignStore::compact`]) under size and
+//!   generation-TTL policies.
 //!
 //! [`snapshot format`]: encode_snapshot
 //!
@@ -72,6 +78,7 @@ mod job;
 mod metrics;
 mod pool;
 mod snapshot;
+mod store;
 
 pub use cache::{CacheStats, DesignCache, SnapshotLoadReport};
 pub use engine::{sweep_histories_parallel, BatchReport, Farm, FarmConfig, JobOutcome};
@@ -86,4 +93,8 @@ pub use snapshot::{
     decode_design, decode_snapshot, encode_design, encode_snapshot, read_snapshot_file,
     write_snapshot_file, DecodedSnapshot, SnapshotError, SnapshotRecord, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+};
+pub use store::{
+    read_design_file, CompactPolicy, CompactReport, DecodedStore, DesignStore, StoreConfig,
+    StoreError, StoreFormat, StoreRecord, StoreStats, STORE_MAGIC, STORE_VERSION,
 };

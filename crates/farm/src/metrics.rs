@@ -7,6 +7,7 @@
 //! CLI's `--metrics-json` flag and the benchmark artifacts.
 
 use crate::cache::{CacheStats, SnapshotLoadReport};
+use crate::store::StoreStats;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -29,6 +30,10 @@ pub struct FarmMetrics {
     /// What the farm's persistent-snapshot load did (zeros when no
     /// snapshot was loaded).
     pub snapshot: SnapshotLoadReport,
+    /// Durability counters of the attached log-structured store (zeros
+    /// when no store is attached). Cumulative for the store handle, not
+    /// per batch.
+    pub store: StoreStats,
     /// Cached designs at the end of the batch.
     pub cache_entries: usize,
     /// The cache's capacity bound.
@@ -79,6 +84,7 @@ pub(crate) struct BatchTally<'a> {
     pub workers: usize,
     pub cache: CacheStats,
     pub snapshot: SnapshotLoadReport,
+    pub store: StoreStats,
     pub cache_entries: usize,
     pub cache_capacity: usize,
     pub batch_wall: Duration,
@@ -105,6 +111,7 @@ impl FarmMetrics {
             workers: tally.workers,
             cache: tally.cache,
             snapshot: tally.snapshot,
+            store: tally.store,
             cache_entries: tally.cache_entries,
             cache_capacity: tally.cache_capacity,
             batch_wall: tally.batch_wall,
@@ -136,7 +143,7 @@ impl FarmMetrics {
             rungs.push_str(&format!("{}: {count}", json_string(rung)));
         }
         format!(
-            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"snapshot_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"stale\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"snapshot\": {{\"loaded\": {}, \"skipped\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"snapshot_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"stale\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"snapshot\": {{\"loaded\": {}, \"skipped\": {}}},\n  \"store\": {{\"appends\": {}, \"flushes\": {}, \"recovered\": {}, \"skipped\": {}, \"truncated\": {}, \"compacted\": {}, \"migrated\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
             fsmgen_obs::SCHEMA_VERSION,
             self.jobs,
             self.succeeded,
@@ -154,6 +161,13 @@ impl FarmMetrics {
             self.cache_capacity,
             self.snapshot.loaded,
             self.snapshot.skipped,
+            self.store.appends,
+            self.store.flushes,
+            self.store.recovered,
+            self.store.skipped,
+            self.store.truncated,
+            self.store.compacted,
+            self.store.migrated,
             ms(self.batch_wall),
             self.throughput_jobs_per_sec,
             ms(self.latency_p50),
@@ -215,6 +229,20 @@ impl fmt::Display for FarmMetrics {
                 self.snapshot.loaded, self.snapshot.skipped, self.cache.stale
             )?;
         }
+        if self.store != StoreStats::default() {
+            writeln!(
+                f,
+                "  store: {} appends in {} flushes, {} recovered, {} migrated, \
+                 {} skipped, {} truncated, {} compacted",
+                self.store.appends,
+                self.store.flushes,
+                self.store.recovered,
+                self.store.migrated,
+                self.store.skipped,
+                self.store.truncated,
+                self.store.compacted
+            )?;
+        }
         write!(
             f,
             "  latency: p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms",
@@ -247,6 +275,7 @@ mod tests {
                 ..CacheStats::default()
             },
             snapshot: SnapshotLoadReport::default(),
+            store: StoreStats::default(),
             cache_entries: 3,
             cache_capacity: 64,
             batch_wall: Duration::from_millis(100),
@@ -327,6 +356,7 @@ mod tests {
             workers: 1,
             cache: CacheStats::default(),
             snapshot: SnapshotLoadReport::default(),
+            store: StoreStats::default(),
             cache_entries: 0,
             cache_capacity: 0,
             batch_wall: Duration::ZERO,
@@ -336,6 +366,37 @@ mod tests {
         assert_eq!(m.latency_p50, Duration::ZERO);
         assert_eq!(m.throughput_jobs_per_sec, 0.0);
         assert!(m.to_json().contains("\"degradation_rungs\": {}"));
+    }
+
+    #[test]
+    fn json_carries_store_accounting() {
+        let mut m = sample();
+        assert!(m.to_json().contains(
+            "\"store\": {\"appends\": 0, \"flushes\": 0, \"recovered\": 0, \"skipped\": 0, \
+             \"truncated\": 0, \"compacted\": 0, \"migrated\": 0}"
+        ));
+        assert!(!m.to_string().contains("store:"), "quiet without a store");
+        m.store = StoreStats {
+            appends: 9,
+            flushes: 3,
+            recovered: 4,
+            skipped: 1,
+            truncated: 1,
+            compacted: 2,
+            migrated: 5,
+        };
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"store\": {\"appends\": 9, \"flushes\": 3, \"recovered\": 4, \"skipped\": 1, \
+                 \"truncated\": 1, \"compacted\": 2, \"migrated\": 5}"
+            ),
+            "{json}"
+        );
+        // The snapshot block must stay ahead of the store block: CLI
+        // tests extract `loaded`/`skipped` by first occurrence.
+        assert!(json.find("\"snapshot\"").unwrap() < json.find("\"store\"").unwrap());
+        assert!(m.to_string().contains("store: 9 appends in 3 flushes"));
     }
 
     #[test]
@@ -369,6 +430,7 @@ mod tests {
             workers: 1,
             cache: CacheStats::default(),
             snapshot: SnapshotLoadReport::default(),
+            store: StoreStats::default(),
             cache_entries: 1,
             cache_capacity: 8,
             batch_wall: Duration::from_millis(5),

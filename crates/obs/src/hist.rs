@@ -1,0 +1,217 @@
+//! A fixed-bucket latency histogram for tail quantiles.
+//!
+//! Sum-only timings (the stage profiles' totals) hide the tail; this
+//! histogram records every observation into one of 32 power-of-two
+//! microsecond buckets with relaxed atomics, so concurrent writers
+//! (e.g. the design service's connection handlers) never contend on a
+//! lock and readers get p50/p95/p99 within a factor of two.
+//!
+//! Bucket `i` holds values `v` (in µs) with `2^(i-1) <= v < 2^i`
+//! (bucket 0 holds `v = 0`); the last bucket absorbs everything from
+//! ~36 minutes up. Quantiles are nearest-rank over the bucket counts
+//! and report the matched bucket's inclusive upper bound — a
+//! conservative (never under-reporting) estimate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: 0, then 31 power-of-two decades of microseconds.
+const BUCKETS: usize = 32;
+
+/// A concurrent fixed-bucket histogram of durations, in microseconds.
+///
+/// Cheap enough for per-request recording: one saturating conversion
+/// and two relaxed atomic increments per [`record`](Self::record).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index for a value in microseconds: 0 for 0, otherwise
+/// `bit_length(us)` clamped into the table.
+fn bucket_index(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper bound (µs) of bucket `i`.
+fn bucket_upper_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts, for consistent
+    /// multi-quantile reads.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.95`) in microseconds; see
+    /// [`HistogramSnapshot::quantile_us`]. Prefer taking one
+    /// [`snapshot`](Self::snapshot) when reading several quantiles.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.snapshot().quantile_us(q)
+    }
+}
+
+/// An immutable copy of a histogram's buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total observations in the snapshot.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The nearest-rank `q`-quantile in microseconds, reported as the
+    /// matched bucket's inclusive upper bound (conservative). Returns 0
+    /// for an empty snapshot; `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_us(i);
+            }
+        }
+        bucket_upper_us(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_us(1), 1);
+        assert_eq!(bucket_upper_us(2), 3);
+        assert_eq!(bucket_upper_us(10), 1023);
+        assert_eq!(bucket_upper_us(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        // 90 fast requests (~100 µs), 9 at ~5 ms, 1 at ~80 ms.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(5));
+        }
+        h.record(Duration::from_millis(80));
+        assert_eq!(h.count(), 100);
+
+        let snap = h.snapshot();
+        let p50 = snap.quantile_us(0.50);
+        let p95 = snap.quantile_us(0.95);
+        let p99 = snap.quantile_us(0.99);
+        // 100 µs falls in bucket (64, 127]; 5 ms in (4096, 8191];
+        // 80 ms in (65536, 131071].
+        assert_eq!(p50, 127);
+        assert_eq!(p95, 8191);
+        assert_eq!(p99, 8191);
+        assert_eq!(snap.quantile_us(1.0), 131_071);
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn single_observation_serves_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 3);
+        }
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(Duration::from_micros(i));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

@@ -24,18 +24,22 @@
 //!
 //! The event stream aggregates into a [`PipelineProfile`] with text,
 //! JSONL-event and JSON-summary renderers; all JSON carries an explicit
-//! schema version ([`SCHEMA_VERSION`]).
+//! schema version ([`SCHEMA_VERSION`]). For tail latency (which
+//! sum-only stage timings hide) there is a lock-free fixed-bucket
+//! [`LatencyHistogram`] with nearest-rank p50/p95/p99 reads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod event;
+mod hist;
 mod profile;
 pub mod recorder;
 mod sink;
 
 pub use event::{ObsEvent, SCHEMA_VERSION};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use profile::{PipelineProfile, RungRecord, StageProfile};
 pub use recorder::{
     clear_global, counter, emit, enabled, install, install_global, mark, profiled, profiled_events,

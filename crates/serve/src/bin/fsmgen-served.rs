@@ -19,7 +19,10 @@ usage: fsmgen-served [flags]
   --read-timeout-ms N     per-read timeout in milliseconds (default 5000)
   --max-frame-bytes N     largest accepted frame payload (default 1 MiB)
   --retry-after-ms N      backoff hint on backpressure rejections (default 50)
-  --cache-file PATH       snapshot: load on start, save on shutdown
+  --cache-file PATH       durable design store: recover on start, append
+                          while serving, compact on shutdown
+  --flush-every N         store appends per forced fsync (default 8; 1 = every)
+  --flush-interval-ms N   max time an append may sit unsynced (default 200)
   --metrics-json PATH     write serve_metrics JSON here on shutdown
   --fail SPEC             arm failpoints process-wide (e.g. serve-conn=error:1)
   --trace-jsonl PATH      append obs events as JSONL
@@ -53,6 +56,10 @@ fn parse_flags(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<S
             }
             "--max-frame-bytes" => config.max_frame_bytes = parse_usize(value)?,
             "--retry-after-ms" => config.retry_after_ms = parse_usize(value)? as u64,
+            "--flush-every" => config.flush_every = parse_usize(value)?,
+            "--flush-interval-ms" => {
+                config.flush_interval = Duration::from_millis(parse_usize(value)? as u64);
+            }
             "--cache-file" => config.cache_file = Some(value.into()),
             "--metrics-json" => config.metrics_json = Some(value.into()),
             "--fail" => fail_spec = Some(value.clone()),

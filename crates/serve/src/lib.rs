@@ -6,7 +6,11 @@
 //! whose content-addressed cache and single-flight dedup turn repeated
 //! requests into lookups, and a design served over the wire is
 //! byte-identical to one computed locally — the correctness contract the
-//! e2e differential tests pin.
+//! e2e differential tests pin. With `--cache-file` the cache is backed
+//! by a durable append-only store: every insert is logged and
+//! periodically fsync'd, so even a SIGKILL'd server restarts warm,
+//! losing at most one flush interval of designs — the contract the
+//! crash-drill tests pin.
 //!
 //! # Protocol
 //!

@@ -1,8 +1,10 @@
 //! Service-level metrics: lock-free counters covering every request and
-//! rejection path, rendered as schema-v1 JSON alongside the farm's own
-//! [`fsmgen_farm::FarmMetrics`].
+//! rejection path, a per-request latency histogram, and the durable
+//! store's accounting, rendered as schema-v1 JSON alongside the farm's
+//! own [`fsmgen_farm::FarmMetrics`].
 
-use fsmgen_farm::CacheStats;
+use fsmgen_farm::{CacheStats, StoreStats};
+use fsmgen_obs::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic counters for the service front-end. One instance is shared by
@@ -32,6 +34,10 @@ pub struct ServeMetrics {
     pub pings: AtomicU64,
     /// Stats requests answered.
     pub stats_requests: AtomicU64,
+    /// Wall time per well-formed request, from frame decode to the
+    /// response hitting the socket. Feeds the `latency_us` p50/p95/p99
+    /// block of the JSON document.
+    pub request_latency: LatencyHistogram,
 }
 
 /// A plain-integer copy of [`ServeMetrics`] at one instant, used by the
@@ -110,11 +116,14 @@ impl ServeMetrics {
 
     /// Renders the metrics as a schema-v1 JSON object
     /// (`"kind": "serve_metrics"`), embedding the farm cache statistics
-    /// so one document describes the whole service.
+    /// and the durable store's accounting so one document describes the
+    /// whole service. Pass `StoreStats::default()` when no store is
+    /// attached — the zeroed block keeps the schema stable.
     #[must_use]
-    pub fn to_json(&self, cache: &CacheStats) -> String {
+    pub fn to_json(&self, cache: &CacheStats, store: &StoreStats) -> String {
         let s = self.snapshot();
-        let mut out = String::with_capacity(512);
+        let lat = self.request_latency.snapshot();
+        let mut out = String::with_capacity(768);
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {},\n", fsmgen_obs::SCHEMA_VERSION));
         out.push_str("  \"kind\": \"serve_metrics\",\n");
@@ -138,6 +147,21 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"pings\": {},\n", s.pings));
         out.push_str(&format!("  \"stats_requests\": {},\n", s.stats_requests));
+        out.push_str("  \"latency_us\": {\n");
+        out.push_str(&format!("    \"count\": {},\n", lat.count()));
+        out.push_str(&format!("    \"p50\": {},\n", lat.quantile_us(0.50)));
+        out.push_str(&format!("    \"p95\": {},\n", lat.quantile_us(0.95)));
+        out.push_str(&format!("    \"p99\": {}\n", lat.quantile_us(0.99)));
+        out.push_str("  },\n");
+        out.push_str("  \"store\": {\n");
+        out.push_str(&format!("    \"appends\": {},\n", store.appends));
+        out.push_str(&format!("    \"flushes\": {},\n", store.flushes));
+        out.push_str(&format!("    \"recovered\": {},\n", store.recovered));
+        out.push_str(&format!("    \"skipped\": {},\n", store.skipped));
+        out.push_str(&format!("    \"truncated\": {},\n", store.truncated));
+        out.push_str(&format!("    \"compacted\": {},\n", store.compacted));
+        out.push_str(&format!("    \"migrated\": {}\n", store.migrated));
+        out.push_str("  },\n");
         out.push_str("  \"cache\": {\n");
         out.push_str(&format!("    \"hits\": {},\n", cache.hits));
         out.push_str(&format!(
@@ -164,12 +188,20 @@ mod tests {
         let metrics = ServeMetrics::new();
         metrics.requests_ok.fetch_add(3, Ordering::Relaxed);
         metrics.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .request_latency
+            .record(std::time::Duration::from_micros(100));
         let cache = CacheStats {
             hits: 5,
             misses: 2,
             ..CacheStats::default()
         };
-        let text = metrics.to_json(&cache);
+        let store = StoreStats {
+            appends: 7,
+            truncated: 1,
+            ..StoreStats::default()
+        };
+        let text = metrics.to_json(&cache, &store);
         let value = json::parse(&text).expect("serve metrics must be valid JSON");
         assert_eq!(value.get("version").and_then(json::Json::as_u64), Some(1));
         assert_eq!(
@@ -187,6 +219,34 @@ mod tests {
                 .and_then(json::Json::as_u64),
             Some(5)
         );
+        let lat = value.get("latency_us").expect("latency_us block");
+        assert_eq!(lat.get("count").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(lat.get("p50").and_then(json::Json::as_u64), Some(127));
+        let st = value.get("store").expect("store block");
+        assert_eq!(st.get("appends").and_then(json::Json::as_u64), Some(7));
+        assert_eq!(st.get("truncated").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(st.get("compacted").and_then(json::Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn detached_store_renders_a_zeroed_block() {
+        let metrics = ServeMetrics::new();
+        let text = metrics.to_json(&CacheStats::default(), &StoreStats::default());
+        let value = json::parse(&text).expect("valid JSON");
+        let st = value
+            .get("store")
+            .expect("store block present without a store");
+        for key in [
+            "appends",
+            "flushes",
+            "recovered",
+            "skipped",
+            "truncated",
+            "compacted",
+            "migrated",
+        ] {
+            assert_eq!(st.get(key).and_then(json::Json::as_u64), Some(0), "{key}");
+        }
     }
 
     #[test]

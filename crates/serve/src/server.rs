@@ -1,6 +1,9 @@
 //! The TCP design server: a threaded accept loop fronting a shared
 //! [`Farm`], with bounded concurrency, per-request read timeouts,
-//! backpressure, graceful drain on shutdown and warm-restart snapshots.
+//! backpressure, graceful drain on shutdown and a durable append-only
+//! design store: every cache insert is appended (and periodically
+//! fsync'd) while serving, so an unclean death loses at most one flush
+//! interval of designs; a graceful drain compacts the log in place.
 //!
 //! The process has no dependency-free way to trap signals, so graceful
 //! shutdown is driven two equivalent ways: a [`Request::Shutdown`]
@@ -12,7 +15,7 @@ use crate::metrics::ServeMetrics;
 use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
 use fsmgen::{failpoints, Designer, MAX_ORDER};
 use fsmgen_automata::machine_to_table;
-use fsmgen_farm::{DesignJob, Farm, FarmConfig};
+use fsmgen_farm::{CompactPolicy, DesignJob, Farm, FarmConfig, StoreConfig};
 use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
 use std::io::{self, Write};
@@ -20,7 +23,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything that shapes a running server.
 #[derive(Debug, Clone)]
@@ -42,12 +45,20 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Largest accepted frame payload, in bytes.
     pub max_frame_bytes: usize,
-    /// Snapshot file: loaded before accepting, saved after draining.
+    /// Durable design store: recovered (or migrated from a legacy
+    /// snapshot) before accepting, appended to on every cache insert
+    /// while serving, compacted after draining.
     pub cache_file: Option<PathBuf>,
     /// Where to write the final `serve_metrics` JSON on shutdown.
     pub metrics_json: Option<PathBuf>,
     /// The backoff hint sent with backpressure rejections.
     pub retry_after_ms: u64,
+    /// Store appends accumulated before an fsync is forced (`1` syncs
+    /// every append).
+    pub flush_every: usize,
+    /// Upper bound on how long an appended design may sit unsynced —
+    /// the most an unclean death can lose.
+    pub flush_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +75,8 @@ impl Default for ServeConfig {
             cache_file: None,
             metrics_json: None,
             retry_after_ms: 50,
+            flush_every: 8,
+            flush_interval: Duration::from_millis(200),
         }
     }
 }
@@ -127,10 +140,13 @@ impl Drop for CountGuard<'_> {
 }
 
 impl Server {
-    /// Binds the listener, builds the farm and — when configured — warms
-    /// the cache from the snapshot file. A missing snapshot file is not
-    /// an error (first boot); a corrupt one falls back to cold with its
-    /// damage reported through the farm's own counters.
+    /// Binds the listener, builds the farm and — when configured —
+    /// attaches the durable design store, replaying its log into the
+    /// cache. A missing store file is not an error (first boot creates
+    /// it); a legacy snapshot is migrated in place; a torn tail is
+    /// truncated and counted. A store that cannot be opened (e.g. a
+    /// foreign file at the path) falls back to serving cold, with the
+    /// failure reported through an obs mark.
     ///
     /// # Errors
     ///
@@ -143,10 +159,12 @@ impl Server {
             cache_capacity: config.cache_capacity,
         });
         if let Some(path) = &config.cache_file {
-            if path.exists() {
-                if let Err(err) = farm.load_cache_snapshot(path) {
-                    obs::mark("serve", "snapshot_load_failed", &err.to_string());
-                }
+            let store_config = StoreConfig {
+                flush_every: config.flush_every,
+                flush_interval: config.flush_interval,
+            };
+            if let Err(err) = farm.attach_store(path, store_config) {
+                obs::mark("serve", "store_open_failed", &err.to_string());
             }
         }
         Ok(Server {
@@ -187,19 +205,24 @@ impl Server {
     /// Renders the current `serve_metrics` JSON document.
     #[must_use]
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.to_json(&self.shared.farm.cache_stats())
+        metrics_json(&self.shared)
     }
 
     /// Runs the accept loop until shutdown is requested, then drains
-    /// in-flight connections, saves the cache snapshot and writes the
-    /// metrics JSON.
+    /// in-flight connections, compacts the durable store and writes the
+    /// metrics JSON. While running, a background flusher bounds how long
+    /// appended designs may sit unsynced to one flush interval.
     ///
     /// # Errors
     ///
-    /// Snapshot/metrics persistence failures at shutdown; accept-loop
+    /// Store/metrics persistence failures at shutdown; accept-loop
     /// I/O errors on individual connections are absorbed.
     pub fn run(&self) -> io::Result<()> {
         let _serve_span = obs::span("serve");
+        let flusher = self.shared.config.cache_file.as_ref().map(|_| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || flusher_loop(&shared))
+        });
         loop {
             let (stream, _peer) = match self.listener.accept() {
                 Ok(pair) => pair,
@@ -228,6 +251,9 @@ impl Server {
             });
         }
         self.drain();
+        if let Some(flusher) = flusher {
+            let _joined = flusher.join();
+        }
         self.persist()
     }
 
@@ -243,16 +269,48 @@ impl Server {
     }
 
     fn persist(&self) -> io::Result<()> {
-        if let Some(path) = &self.shared.config.cache_file {
+        if self.shared.config.cache_file.is_some() {
+            // Graceful drain: dedup the log and drop anything the
+            // bounded cache would not readmit anyway.
+            let policy = CompactPolicy {
+                keep: Some(self.shared.config.cache_capacity.max(1)),
+                max_generations: None,
+            };
             self.shared
                 .farm
-                .save_cache_snapshot(path)
+                .compact_store(&policy)
                 .map_err(|e| io::Error::other(e.to_string()))?;
         }
         if let Some(path) = &self.shared.config.metrics_json {
             std::fs::write(path, self.metrics_json())?;
         }
         Ok(())
+    }
+}
+
+/// Renders the `serve_metrics` document from the shared state (also the
+/// reply to a [`Request::Stats`]).
+fn metrics_json(shared: &Shared) -> String {
+    let store = shared.farm.store_stats().unwrap_or_default();
+    shared.metrics.to_json(&shared.farm.cache_stats(), &store)
+}
+
+/// The background flusher: bounds unsynced-append exposure to one flush
+/// interval even when traffic stops mid-batch. Sleeps in short steps so
+/// shutdown is noticed promptly regardless of the configured interval.
+fn flusher_loop(shared: &Shared) {
+    let interval = shared.config.flush_interval.max(Duration::from_millis(1));
+    let step = interval.min(Duration::from_millis(50));
+    let mut since_flush = Duration::ZERO;
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(step);
+        since_flush += step;
+        if since_flush >= interval {
+            since_flush = Duration::ZERO;
+            if let Err(err) = shared.farm.flush_store() {
+                obs::mark("serve", "store_flush_failed", &err.to_string());
+            }
+        }
     }
 }
 
@@ -331,6 +389,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
             Err(ProtoError::Io(_) | ProtoError::Malformed(_)) => return,
         };
         let _request_span = obs::span("serve_request");
+        let request_started = Instant::now();
         let request = {
             let _parse_span = obs::span("serve_parse");
             Request::decode(&payload)
@@ -361,7 +420,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
                     .metrics
                     .stats_requests
                     .fetch_add(1, Ordering::Relaxed);
-                Response::Stats(shared.metrics.to_json(&shared.farm.cache_stats()))
+                Response::Stats(metrics_json(shared))
             }
             Request::Shutdown => {
                 send(&mut stream, &Response::ShutdownAck);
@@ -380,6 +439,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
             let _respond_span = obs::span("serve_respond");
             send(&mut stream, &response)
         };
+        shared
+            .metrics
+            .request_latency
+            .record(request_started.elapsed());
         if !delivered {
             return;
         }

@@ -172,6 +172,171 @@ fn soak_smoke_two_seconds() {
     soak(Duration::from_secs(2), 3, 2);
 }
 
+/// Kill-and-recover: a real server process backed by a durable store is
+/// SIGKILL'd mid-soak; its replacement on the same store file must come
+/// back warm (≥90% cache hits on the replayed requests) with monotone
+/// metrics throughout the replay.
+#[test]
+fn soak_kill_and_recover_resumes_warm() {
+    use std::io::BufRead as _;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("fsmgen-soak-kill-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_file = dir.join("soak-store.fsnap");
+
+    let spawn = || {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fsmgen-served"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+            .args(["--cache-file", store_file.to_str().unwrap()])
+            .args(["--flush-every", "1"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn fsmgen-served");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let banner = std::io::BufReader::new(stdout)
+            .lines()
+            .next()
+            .expect("banner")
+            .expect("utf8");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        (child, addr)
+    };
+
+    let requests: Arc<Vec<Request>> = Arc::new(
+        workload_matrix()
+            .into_iter()
+            .flat_map(|(_, trace)| {
+                let text: String = trace.iter().map(|b| if b { '1' } else { '0' }).collect();
+                HISTORIES.map(|history| Request::Design {
+                    id: history as u64,
+                    trace: text.clone(),
+                    history,
+                    threshold: None,
+                    dont_care: None,
+                })
+            })
+            .collect(),
+    );
+
+    // Phase 1: seed every unique design (each append fsync'd), then keep
+    // the server under concurrent fire and SIGKILL it mid-soak.
+    let (mut victim, victim_addr) = spawn();
+    {
+        let mut client =
+            ServeClient::connect(&victim_addr, Duration::from_secs(10)).expect("connect");
+        for request in requests.iter() {
+            match client.design_with_retry(request, 10).expect("seed design") {
+                Response::DesignOk { .. } => {}
+                other => panic!("seed got {other:?}"),
+            }
+        }
+    }
+    let mut stormers = Vec::new();
+    for worker in 0..3usize {
+        let addr = victim_addr.clone();
+        let requests = Arc::clone(&requests);
+        stormers.push(std::thread::spawn(move || {
+            let mut step = worker;
+            // Hammer until the kill severs the connection.
+            loop {
+                let Ok(mut client) = ServeClient::connect(&addr, Duration::from_secs(2)) else {
+                    return;
+                };
+                for _ in 0..16 {
+                    let request = &requests[step % requests.len()];
+                    step += 1;
+                    if client.design_with_retry(request, 2).is_err() {
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    victim.kill().expect("SIGKILL mid-soak");
+    let _ = victim.wait();
+    for stormer in stormers {
+        stormer.join().expect("storm client must not panic");
+    }
+    assert!(store_file.exists(), "the store survives the kill");
+
+    // Phase 2: restart on the same store and replay the request set.
+    // Metrics must be monotone across the replay and ≥90% of the
+    // replayed requests must be warm hits.
+    let (mut survivor, survivor_addr) = spawn();
+    let mut client =
+        ServeClient::connect(&survivor_addr, Duration::from_secs(10)).expect("connect");
+    let monotone_counters = |client: &mut ServeClient| -> (u64, u64, u64) {
+        let Response::Stats(text) = client.call(&Request::Stats).expect("stats") else {
+            panic!("expected stats");
+        };
+        let field = |name: &str| -> u64 {
+            let key = format!("\"{name}\":");
+            let at = text
+                .find(&key)
+                .unwrap_or_else(|| panic!("{name} in {text}"));
+            text[at + key.len()..]
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("integer counter")
+        };
+        (
+            field("conns_accepted"),
+            field("requests_ok"),
+            field("stats_requests"),
+        )
+    };
+    let mut last = monotone_counters(&mut client);
+    let mut warm_hits = 0usize;
+    for request in requests.iter() {
+        match client
+            .design_with_retry(request, 10)
+            .expect("replay design")
+        {
+            Response::DesignOk { cache_hit, .. } => {
+                if cache_hit {
+                    warm_hits += 1;
+                }
+            }
+            other => panic!("replay got {other:?}"),
+        }
+        let now = monotone_counters(&mut client);
+        assert!(
+            now.0 >= last.0 && now.1 >= last.1 && now.2 >= last.2,
+            "metrics regressed after restart: {last:?} -> {now:?}"
+        );
+        last = now;
+    }
+    assert!(
+        warm_hits * 10 >= requests.len() * 9,
+        "restarted server must serve >=90% of replayed requests warm \
+         ({warm_hits}/{})",
+        requests.len()
+    );
+
+    // Clean exit for the survivor.
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::ShutdownAck => {}
+        other => panic!("expected shutdown_ack, got {other:?}"),
+    }
+    drop(client);
+    let status = survivor.wait().expect("survivor exit");
+    assert!(status.success(), "survivor exited with {status:?}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The CI soak: 30 seconds of mixed traffic (run with `--ignored`).
 #[test]
 #[ignore = "30s soak, run explicitly (CI serve job)"]
