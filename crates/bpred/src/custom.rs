@@ -7,7 +7,9 @@ use crate::sim::{simulate, BranchPredictor};
 use crate::xscale::XScaleBtb;
 use fsmgen::{Design, Designer, MarkovModel};
 use fsmgen_automata::MoorePredictor;
+use fsmgen_exec::{BatchEvaluator, CompiledMachine, ExecBackend};
 use fsmgen_traces::{BranchTrace, HistoryRegister};
+use std::sync::Arc;
 
 /// Bits charged per custom entry for its tag and target fields (the FSM
 /// logic itself is costed through the synthesized area model).
@@ -39,16 +41,70 @@ pub struct CustomArchitecture {
     /// When `false`, custom FSMs update only on their own branch — the
     /// ablation mode contrasted with the paper's policy.
     update_all: bool,
+    /// The compiled execution bank: one SoA lane per custom entry, in
+    /// `customs` order. `None` runs the interpreted reference walk.
+    /// While the bank is active the `customs` predictor instances hold
+    /// machine metadata only — their interpreted state is not advanced.
+    compiled: Option<BatchEvaluator>,
 }
 
 impl CustomArchitecture {
-    /// Creates the architecture from a baseline BTB and custom entries.
+    /// Creates the architecture from a baseline BTB and custom entries,
+    /// on the interpreted reference backend. Use
+    /// [`CustomArchitecture::with_backend`] (or
+    /// [`CustomDesigns::architecture`], which defaults to the compiled
+    /// backend) to select execution.
     #[must_use]
     pub fn new(btb: XScaleBtb, customs: Vec<CustomEntry>) -> Self {
         CustomArchitecture {
             btb,
             customs,
             update_all: true,
+            compiled: None,
+        }
+    }
+
+    /// Selects the execution backend. `Compiled` lowers every custom
+    /// FSM into one batched transition-table bank; if any machine
+    /// exceeds the table limit (never for designed machines) this
+    /// silently keeps the interpreted walk — the two are differentially
+    /// tested bit-identical, so the choice only affects wall-time.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.compiled = match backend {
+            ExecBackend::Interpreted => None,
+            ExecBackend::Compiled => Self::compile_bank(&self.customs),
+        };
+        self
+    }
+
+    /// Installs an already-compiled bank (the farm's cache-insert
+    /// artifacts). Lane order must match `customs` order.
+    pub(crate) fn with_compiled_bank(mut self, machines: &[Arc<CompiledMachine>]) -> Self {
+        debug_assert_eq!(machines.len(), self.customs.len());
+        self.compiled = Some(BatchEvaluator::new(machines));
+        self
+    }
+
+    fn compile_bank(customs: &[CustomEntry]) -> Option<BatchEvaluator> {
+        let machines: Option<Vec<Arc<CompiledMachine>>> = customs
+            .iter()
+            .map(|c| {
+                CompiledMachine::compile(c.predictor.machine())
+                    .ok()
+                    .map(Arc::new)
+            })
+            .collect();
+        machines.map(|m| BatchEvaluator::new(&m))
+    }
+
+    /// The backend this instance is running on.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        if self.compiled.is_some() {
+            ExecBackend::Compiled
+        } else {
+            ExecBackend::Interpreted
         }
     }
 
@@ -75,8 +131,11 @@ impl CustomArchitecture {
 
 impl BranchPredictor for CustomArchitecture {
     fn predict(&mut self, pc: u64) -> bool {
-        if let Some(entry) = self.customs.iter().find(|c| c.pc == pc) {
-            entry.predictor.predict()
+        if let Some(lane) = self.customs.iter().position(|c| c.pc == pc) {
+            match &self.compiled {
+                Some(bank) => bank.output(lane),
+                None => self.customs[lane].predictor.predict(),
+            }
         } else {
             self.btb.predict(pc)
         }
@@ -84,7 +143,15 @@ impl BranchPredictor for CustomArchitecture {
 
     fn update(&mut self, pc: u64, taken: bool) {
         self.btb.update(pc, taken);
-        if self.update_all {
+        if let Some(bank) = &mut self.compiled {
+            if self.update_all {
+                // The paper's every-branch-updates-every-FSM loop is the
+                // batched fast path: one branch-free SoA sweep.
+                bank.step_all(taken);
+            } else if let Some(lane) = self.customs.iter().position(|c| c.pc == pc) {
+                bank.step(lane, taken);
+            }
+        } else if self.update_all {
             for entry in &mut self.customs {
                 entry.predictor.update(taken);
             }
@@ -206,8 +273,15 @@ impl CustomTrainer {
             .into_iter()
             .filter_map(|(pc, model)| self.designer.design_from_model(model).ok().map(|d| (pc, d)))
             .collect();
+        // Compile once at train time, mirroring the farm path's
+        // compile-at-cache-insert: architecture() sweeps reuse these.
+        let precompiled = designs
+            .iter()
+            .map(|(_, d)| CompiledMachine::compile(d.fsm()).ok().map(Arc::new))
+            .collect();
         CustomDesigns {
             designs,
+            precompiled,
             btb_entries: self.btb_entries,
         }
     }
@@ -250,15 +324,20 @@ impl CustomTrainer {
             .collect();
         let report = farm.design_batch(jobs);
         // Step 3, batched: keep worst-first order, skip failed designs —
-        // exactly the serial `.ok()` semantics.
-        let designs: Vec<(u64, Design)> = modeled
-            .into_iter()
-            .zip(report.outcomes)
-            .filter_map(|((pc, _), outcome)| outcome.result.ok().map(|d| (pc, (*d).clone())))
-            .collect();
+        // exactly the serial `.ok()` semantics. The farm compiled each
+        // design at cache-insert, so warm hits arrive ready to run.
+        let mut designs = Vec::new();
+        let mut precompiled = Vec::new();
+        for ((pc, _), outcome) in modeled.into_iter().zip(report.outcomes) {
+            if let Ok(d) = outcome.result {
+                designs.push((pc, (*d).clone()));
+                precompiled.push(outcome.compiled.clone());
+            }
+        }
         (
             CustomDesigns {
                 designs,
+                precompiled,
                 btb_entries: self.btb_entries,
             },
             report.metrics,
@@ -294,6 +373,9 @@ impl CustomTrainer {
 #[derive(Debug, Clone)]
 pub struct CustomDesigns {
     designs: Vec<(u64, Design)>,
+    /// Table artifacts compiled once (at farm cache-insert or at serial
+    /// train time), parallel to `designs`. `None` slots compile lazily.
+    precompiled: Vec<Option<Arc<CompiledMachine>>>,
     btb_entries: usize,
 }
 
@@ -302,6 +384,12 @@ impl CustomDesigns {
     #[must_use]
     pub fn designs(&self) -> &[(u64, Design)] {
         &self.designs
+    }
+
+    /// The compiled table artifact for design `i`, if one was produced.
+    #[must_use]
+    pub fn compiled(&self, i: usize) -> Option<&Arc<CompiledMachine>> {
+        self.precompiled.get(i).and_then(|c| c.as_ref())
     }
 
     /// Number of branches a design was produced for.
@@ -318,19 +406,49 @@ impl CustomDesigns {
 
     /// Instantiates the architecture using the first `num_customs` designs
     /// (clamped to the available count) — the Figure 5 curve is generated
-    /// by sweeping this parameter.
+    /// by sweeping this parameter. Runs on the default backend
+    /// ([`ExecBackend::Compiled`]); the interpreted reference walk is
+    /// available via [`CustomDesigns::architecture_with_backend`].
     #[must_use]
     pub fn architecture(&self, num_customs: usize) -> CustomArchitecture {
-        let customs: Vec<CustomEntry> = self
-            .designs
+        self.architecture_with_backend(num_customs, ExecBackend::default())
+    }
+
+    /// As [`CustomDesigns::architecture`], on an explicit backend.
+    #[must_use]
+    pub fn architecture_with_backend(
+        &self,
+        num_customs: usize,
+        backend: ExecBackend,
+    ) -> CustomArchitecture {
+        let take = self.designs.len().min(num_customs);
+        let customs: Vec<CustomEntry> = self.designs[..take]
             .iter()
-            .take(num_customs)
             .map(|(pc, design)| CustomEntry {
                 pc: *pc,
                 predictor: design.predictor(),
             })
             .collect();
-        CustomArchitecture::new(XScaleBtb::new(self.btb_entries), customs)
+        let arch = CustomArchitecture::new(XScaleBtb::new(self.btb_entries), customs);
+        match backend {
+            ExecBackend::Interpreted => arch,
+            ExecBackend::Compiled => {
+                // Prefer the compile-once artifacts; fill gaps here.
+                let machines: Option<Vec<Arc<CompiledMachine>>> = (0..take)
+                    .map(|i| {
+                        self.compiled(i).cloned().or_else(|| {
+                            CompiledMachine::compile(self.designs[i].1.fsm())
+                                .ok()
+                                .map(Arc::new)
+                        })
+                    })
+                    .collect();
+                match machines {
+                    Some(m) => arch.with_compiled_bank(&m),
+                    None => arch,
+                }
+            }
+        }
     }
 }
 
@@ -499,6 +617,67 @@ mod tests {
         }
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn architecture_defaults_to_compiled_backend() {
+        let trace = correlated_trace(500);
+        let designs = CustomTrainer::new(4).train(&trace, 2);
+        let arch = designs.architecture(2);
+        assert_eq!(arch.backend(), ExecBackend::Compiled);
+        let slow = designs.architecture_with_backend(2, ExecBackend::Interpreted);
+        assert_eq!(slow.backend(), ExecBackend::Interpreted);
+        // Serial training precompiled every design.
+        assert!(designs.compiled(0).is_some());
+        assert!(designs.compiled(1).is_some());
+    }
+
+    #[test]
+    fn compiled_backend_is_bit_identical_to_interpreted() {
+        for (label, trace) in [
+            ("correlated", correlated_trace(1200)),
+            ("random-leader", random_leader_trace(1200)),
+        ] {
+            let designs = CustomTrainer::new(4).train(&trace, 2);
+            let mut fast = designs.architecture_with_backend(2, ExecBackend::Compiled);
+            let mut slow = designs.architecture_with_backend(2, ExecBackend::Interpreted);
+            let r_fast = simulate(&mut fast, &trace);
+            let r_slow = simulate(&mut slow, &trace);
+            assert_eq!(r_fast, r_slow, "{label}: update-all backends diverged");
+
+            let mut fast = designs
+                .architecture_with_backend(2, ExecBackend::Compiled)
+                .with_update_on_match_only();
+            let mut slow = designs
+                .architecture_with_backend(2, ExecBackend::Interpreted)
+                .with_update_on_match_only();
+            let r_fast = simulate(&mut fast, &trace);
+            let r_slow = simulate(&mut slow, &trace);
+            assert_eq!(r_fast, r_slow, "{label}: match-only backends diverged");
+        }
+    }
+
+    #[test]
+    fn farm_outcomes_carry_compiled_artifacts() {
+        let trace = correlated_trace(800);
+        let trainer = CustomTrainer::new(4);
+        let farm = fsmgen_farm::Farm::new(fsmgen_farm::FarmConfig {
+            workers: 2,
+            cache_capacity: 16,
+        });
+        let designs = trainer.train_parallel(&trace, 2, &farm);
+        for i in 0..designs.len() {
+            let compiled = designs.compiled(i).expect("farm compiles at insert");
+            assert_eq!(
+                compiled.num_states() as usize,
+                designs.designs()[i].1.fsm().num_states()
+            );
+        }
+        // The architecture built from farm artifacts matches serial.
+        let serial = trainer.train(&trace, 2);
+        let mut a = designs.architecture(2);
+        let mut b = serial.architecture(2);
+        assert_eq!(simulate(&mut a, &trace), simulate(&mut b, &trace));
     }
 
     #[test]

@@ -122,8 +122,10 @@ EXIT CODES:
   fsmgen cache    {info|verify|gc|compact} --cache-file FILE [--keep N]
                   [--max-generations N]
           Inspect or maintain a persistent design store (or a legacy
-          snapshot). 'info' prints the format, accounting and per-record
-          summary; 'verify' fully decodes every record; both exit
+          snapshot). 'info' prints the format, accounting, a per-record
+          summary and a machine state-count summary (min/median/max
+          states, u16 table spills); 'verify' fully decodes every
+          record; both exit
           nonzero when any record is corrupt or a torn tail was
           detected, after printing the damage report. 'gc' compacts the
           store keeping only the N newest unique records (default 64).
@@ -913,6 +915,28 @@ pub fn cache(args: &Args) -> Result<(), CliError> {
                     } else {
                         "ok"
                     }
+                );
+            }
+            if !decoded.records.is_empty() {
+                let mut states: Vec<usize> = decoded
+                    .records
+                    .iter()
+                    .map(|rec| rec.design.fsm().num_states())
+                    .collect();
+                states.sort_unstable();
+                let spill = states
+                    .iter()
+                    .filter(|&&n| n > fsmgen_exec::U8_STATE_LIMIT)
+                    .count();
+                println!(
+                    "  machines: {} — states min {} / median {} / max {} ({} over the \
+                     {}-state u8 table width, compiled as u16)",
+                    states.len(),
+                    states[0],
+                    states[states.len() / 2],
+                    states[states.len() - 1],
+                    spill,
+                    fsmgen_exec::U8_STATE_LIMIT
                 );
             }
             damage(&decoded)

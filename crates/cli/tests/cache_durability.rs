@@ -73,7 +73,14 @@ fn truncated_and_corrupt_stores_fail_verify_and_info_with_a_report() {
     // Pristine: info and verify both exit 0 and name the format.
     let info = cache_cmd("info", &store, &[]);
     assert!(info.status.success(), "info on a pristine store");
-    assert!(String::from_utf8_lossy(&info.stdout).contains("log v1"));
+    let stdout = String::from_utf8_lossy(&info.stdout);
+    assert!(stdout.contains("log v1"));
+    // The machine summary: state-count spread plus how many records
+    // would spill past the compiled backend's u8 table width.
+    assert!(
+        stdout.contains("states min") && stdout.contains("u8 table width"),
+        "info must print the machine state-count summary: {stdout}"
+    );
     assert!(cache_cmd("verify", &store, &[]).status.success());
 
     // dd-style truncation mid-record: a torn tail.

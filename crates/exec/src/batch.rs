@@ -1,0 +1,269 @@
+//! Batched struct-of-arrays evaluation: advance many independent
+//! predictor instances per pass with no per-step dispatch.
+
+use crate::table::{CompiledMachine, Table};
+use std::sync::Arc;
+
+/// The concatenated tables of every distinct machine in a batch. Entries
+/// are rewritten to *global row ids* (machine base row + local target
+/// state) at build time, so the stepping loop needs no per-lane offset:
+/// the narrowest width that can hold the total row count is chosen.
+#[derive(Clone, Debug)]
+enum BatchTable {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+}
+
+/// How many input bits one fused-table gather advances in
+/// [`BatchEvaluator::advance_all`].
+const FUSED_BITS: usize = 4;
+
+/// Row-count ceiling for building the fused table: above this the
+/// `16 x rows` fused entries would outgrow the fast cache levels and
+/// the build cost stops paying for itself, so bulk advancing falls back
+/// to per-event [`BatchEvaluator::step_all`] passes.
+const FUSED_ROW_LIMIT: u32 = 2048;
+
+/// Many independent predictor instances advanced in lockstep.
+///
+/// Lanes are laid out struct-of-arrays: one contiguous `states` vector
+/// of global row ids into a shared concatenation of the distinct
+/// machines' tables (machines are deduplicated by identity, so a
+/// thousand lanes of one confidence FSM share a single table copy).
+/// Because table entries were rewritten to global rows when the batch
+/// was built, and the output bitmap is likewise indexed by global row,
+/// the inner loop of [`BatchEvaluator::step_all`] is two loads per lane
+/// — the lane's row and one table gather — with no `Arc` chasing, no
+/// enum dispatch, no per-lane offset arithmetic and no data-dependent
+/// branches.
+///
+/// Small batches additionally carry a *fused* table — the transition
+/// table composed with itself over every [`FUSED_BITS`]-bit input
+/// window — so [`BatchEvaluator::advance_all`] retires four events per
+/// lane per gather.
+#[derive(Clone, Debug)]
+pub struct BatchEvaluator {
+    table: BatchTable,
+    /// `fused[(r << FUSED_BITS) | window]`: the row reached from `r`
+    /// after the `FUSED_BITS` input bits of `window` (oldest bit in the
+    /// window's most significant position). Built only when the batch
+    /// stays under [`FUSED_ROW_LIMIT`] rows.
+    fused: Option<BatchTable>,
+    /// Output bitmap over global rows: bit `r` is row `r`'s prediction.
+    out_bits: Vec<u64>,
+    /// Per-lane base row of its machine (only consulted by the cold
+    /// accessors that report machine-local state ids).
+    row_offsets: Vec<u32>,
+    /// Per-lane global start row.
+    starts: Vec<u32>,
+    /// Per-lane global current row.
+    states: Vec<u32>,
+}
+
+fn set_bit(words: &mut [u64], bit: usize) {
+    words[bit >> 6] |= 1u64 << (bit & 63);
+}
+
+/// Narrow global row entries to the smallest width that holds every id.
+fn narrow(entries: Vec<u32>, total_rows: u32) -> BatchTable {
+    if total_rows <= 1 << 8 {
+        BatchTable::U8(entries.iter().map(|&e| (e & 0xff) as u8).collect())
+    } else if total_rows <= 1 << 16 {
+        BatchTable::U16(entries.iter().map(|&e| (e & 0xffff) as u16).collect())
+    } else {
+        BatchTable::U32(entries)
+    }
+}
+
+impl BatchEvaluator {
+    /// Build an evaluator with one lane per machine reference, in order.
+    /// Machines referenced more than once (same `Arc`) are stored once.
+    #[must_use]
+    pub fn new(machines: &[Arc<CompiledMachine>]) -> Self {
+        let mut entries: Vec<u32> = Vec::new();
+        let mut out_bits: Vec<u64> = Vec::new();
+        let mut total_rows = 0u32;
+        let mut row_offsets = Vec::with_capacity(machines.len());
+        let mut starts = Vec::with_capacity(machines.len());
+        // Dedup by allocation identity: lanes built from clones of one
+        // Arc share one table copy.
+        let mut seen: Vec<(*const CompiledMachine, u32)> = Vec::new();
+        for machine in machines {
+            let key = Arc::as_ptr(machine);
+            let base = match seen.iter().find(|(p, _)| *p == key) {
+                Some(&(_, base)) => base,
+                None => {
+                    let base = total_rows;
+                    match machine.raw_table() {
+                        Table::U8(t) => entries.extend(t.iter().map(|&e| base + u32::from(e))),
+                        Table::U16(t) => entries.extend(t.iter().map(|&e| base + u32::from(e))),
+                    }
+                    let rows = machine.num_states();
+                    out_bits.resize((total_rows as usize + rows as usize).div_ceil(64), 0);
+                    for s in 0..rows {
+                        if machine.output(s) {
+                            set_bit(&mut out_bits, (base + s) as usize);
+                        }
+                    }
+                    total_rows += rows;
+                    seen.push((key, base));
+                    base
+                }
+            };
+            row_offsets.push(base);
+            starts.push(base + machine.start());
+        }
+        // Fuse FUSED_BITS steps into one gather while the table is
+        // small enough for the blow-up to stay cache-resident.
+        let fused = (total_rows <= FUSED_ROW_LIMIT).then(|| {
+            let mut fused = Vec::with_capacity((total_rows as usize) << FUSED_BITS);
+            for r in 0..total_rows {
+                for window in 0..1usize << FUSED_BITS {
+                    let mut cur = r as usize;
+                    for shift in (0..FUSED_BITS).rev() {
+                        cur = entries[(cur << 1) | ((window >> shift) & 1)] as usize;
+                    }
+                    fused.push(cur as u32);
+                }
+            }
+            narrow(fused, total_rows)
+        });
+        let states = starts.clone();
+        BatchEvaluator {
+            table: narrow(entries, total_rows),
+            fused,
+            out_bits,
+            row_offsets,
+            starts,
+            states,
+        }
+    }
+
+    /// `lanes` fresh instances of one shared machine.
+    #[must_use]
+    pub fn uniform(machine: &Arc<CompiledMachine>, lanes: usize) -> Self {
+        let refs: Vec<Arc<CompiledMachine>> = (0..lanes).map(|_| Arc::clone(machine)).collect();
+        Self::new(&refs)
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the batch has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Advance every lane by one input bit — the paper's §7.6
+    /// update-all-FSMs-on-every-branch loop as one branch-free pass.
+    #[inline]
+    pub fn step_all(&mut self, bit: bool) {
+        let b = usize::from(bit);
+        match &self.table {
+            BatchTable::U8(t) => {
+                for s in &mut self.states {
+                    *s = u32::from(t[((*s as usize) << 1) | b]);
+                }
+            }
+            BatchTable::U16(t) => {
+                for s in &mut self.states {
+                    *s = u32::from(t[((*s as usize) << 1) | b]);
+                }
+            }
+            BatchTable::U32(t) => {
+                for s in &mut self.states {
+                    *s = t[((*s as usize) << 1) | b];
+                }
+            }
+        }
+    }
+
+    /// Advance every lane through a whole outcome sequence — the bulk
+    /// entry point, equivalent to one [`BatchEvaluator::step_all`] per
+    /// bit. When the fused table exists, each pass over the lanes
+    /// retires [`FUSED_BITS`] events with a single gather per lane; the
+    /// remainder (and over-limit batches) take the per-event path.
+    pub fn advance_all(&mut self, bits: &[bool]) {
+        let mut tail = 0;
+        if let Some(fused) = &self.fused {
+            tail = bits.len() - bits.len() % FUSED_BITS;
+            macro_rules! sweep {
+                ($t:ident) => {
+                    for chunk in bits[..tail].chunks_exact(FUSED_BITS) {
+                        let mut window = 0usize;
+                        for &bit in chunk {
+                            window = (window << 1) | usize::from(bit);
+                        }
+                        for s in &mut self.states {
+                            let next: u32 = $t[((*s as usize) << FUSED_BITS) | window].into();
+                            *s = next;
+                        }
+                    }
+                };
+            }
+            match fused {
+                BatchTable::U8(t) => sweep!(t),
+                BatchTable::U16(t) => sweep!(t),
+                BatchTable::U32(t) => sweep!(t),
+            }
+        }
+        for &bit in &bits[tail..] {
+            self.step_all(bit);
+        }
+    }
+
+    /// Advance a single lane (the match-only update ablation, and the
+    /// vpred per-entry protocol where each load touches one slot).
+    #[inline]
+    pub fn step(&mut self, lane: usize, bit: bool) {
+        let b = usize::from(bit);
+        let s = self.states[lane] as usize;
+        self.states[lane] = match &self.table {
+            BatchTable::U8(t) => u32::from(t[(s << 1) | b]),
+            BatchTable::U16(t) => u32::from(t[(s << 1) | b]),
+            BatchTable::U32(t) => t[(s << 1) | b],
+        };
+    }
+
+    /// The Moore output (prediction) of one lane's current state.
+    #[must_use]
+    #[inline]
+    pub fn output(&self, lane: usize) -> bool {
+        let r = self.states[lane] as usize;
+        (self.out_bits[r >> 6] >> (r & 63)) & 1 == 1
+    }
+
+    /// One lane's current state index, in its own machine's numbering.
+    #[must_use]
+    #[inline]
+    pub fn state(&self, lane: usize) -> u32 {
+        self.states[lane] - self.row_offsets[lane]
+    }
+
+    /// Reset one lane to its machine's start state.
+    pub fn reset(&mut self, lane: usize) {
+        self.states[lane] = self.starts[lane];
+    }
+
+    /// Reset every lane to its start state.
+    pub fn reset_all(&mut self) {
+        self.states.copy_from_slice(&self.starts);
+    }
+
+    /// Total bytes of shared table + bitmap storage (lanes add the
+    /// per-lane state/start/base words on top).
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        let t = match &self.table {
+            BatchTable::U8(t) => t.len(),
+            BatchTable::U16(t) => 2 * t.len(),
+            BatchTable::U32(t) => 4 * t.len(),
+        };
+        t + 8 * self.out_bits.len()
+    }
+}

@@ -1,0 +1,318 @@
+//! `fsmgen-exec`: the compiled execution backend for designed Moore
+//! predictors.
+//!
+//! The design pipeline ends with a small [`fsmgen_automata::Dfa`]; the
+//! simulators then walk it step by step through `MoorePredictor` — an
+//! `Arc`-chasing interpreter that is the hot path of every branch of
+//! every trace. This crate is the classic two-backend split: the
+//! interpreter stays as the bit-exact reference, and
+//! [`CompiledMachine::compile`] lowers a finished machine into a dense
+//! `next[(state << 1) | input]` table (`u8` entries up to 256 states,
+//! `u16` spill to 65536) plus a packed output bitmap.
+//!
+//! Three execution shapes are offered:
+//!
+//! - [`CompiledMachine`]: the artifact — step/output on explicit state.
+//! - [`CompiledPredictor`]: one instance, API-identical to
+//!   `MoorePredictor`.
+//! - [`BatchEvaluator`]: many instances in struct-of-arrays layout,
+//!   advanced per pass ([`BatchEvaluator::step_all`]) so the paper's
+//!   update-all-FSMs loop costs one contiguous sweep instead of N
+//!   pointer chases.
+//!
+//! Call sites select a backend via [`ExecBackend`]; `Compiled` is the
+//! default everywhere, and the differential suites in
+//! `tests/differential.rs` pin it bit-identical (predictions, update
+//! sequences, final state) to the interpreted walk.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsmgen_automata::{Dfa, Nfa, Regex};
+//! use fsmgen_exec::{CompiledMachine, CompiledPredictor};
+//!
+//! let lang = Regex::ending_in(vec![
+//!     Regex::pattern(&[Some(true), None]),
+//!     Regex::pattern(&[None, Some(true)]),
+//! ]);
+//! let dfa = Dfa::from_nfa(&Nfa::from_regex(&lang))
+//!     .minimized()
+//!     .steady_state_reduced();
+//! let compiled = CompiledMachine::compile(&dfa).unwrap();
+//! let mut fast = CompiledPredictor::new(compiled);
+//! fast.update(true);
+//! fast.update(true);
+//! assert!(fast.predict());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod batch;
+mod predictor;
+mod table;
+
+pub use batch::BatchEvaluator;
+pub use predictor::CompiledPredictor;
+pub use table::{
+    CompileError, CompiledMachine, DecodeError, TableWidth, MAX_COMPILED_STATES, U8_STATE_LIMIT,
+};
+
+/// Which execution backend a simulator should run designed machines on.
+///
+/// `Interpreted` is the reference `MoorePredictor` walk; `Compiled` is
+/// the dense-table fast path. They are differentially tested to be
+/// bit-identical, so the only observable difference is wall-time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// Reference interpreter: walk the `Dfa` through `MoorePredictor`.
+    Interpreted,
+    /// Dense transition-table fast path (the default).
+    #[default]
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Stable lowercase label for reports and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecBackend::Interpreted => "interpreted",
+            ExecBackend::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interpreted" | "interp" => Ok(ExecBackend::Interpreted),
+            "compiled" | "fast" => Ok(ExecBackend::Compiled),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'interpreted' or 'compiled')"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_automata::Dfa;
+
+    fn two_bit_counter() -> Dfa {
+        // The classic 2-bit saturating counter as a Moore machine:
+        // states 0,1 predict not-taken; 2,3 predict taken.
+        Dfa::from_parts(
+            vec![[0, 1], [0, 2], [1, 3], [2, 3]],
+            vec![false, false, true, true],
+            0,
+        )
+    }
+
+    #[test]
+    fn compile_selects_u8_width_for_small_machines() {
+        let c = CompiledMachine::compile(&two_bit_counter()).unwrap();
+        assert_eq!(c.width(), TableWidth::U8);
+        assert_eq!(c.num_states(), 4);
+        assert_eq!(c.start(), 0);
+    }
+
+    #[test]
+    fn compile_spills_to_u16_above_256_states() {
+        // A 300-state cycle: state s steps to s+1 mod 300 on either bit.
+        let n = 300u32;
+        let transitions = (0..n).map(|s| [(s + 1) % n, (s + 1) % n]).collect();
+        let accept = (0..n).map(|s| s % 3 == 0).collect();
+        let dfa = Dfa::from_parts(transitions, accept, 0);
+        let c = CompiledMachine::compile(&dfa).unwrap();
+        assert_eq!(c.width(), TableWidth::U16);
+        let mut p = CompiledPredictor::new(c);
+        for _ in 0..299 {
+            p.update(true);
+        }
+        assert_eq!(p.state(), 299);
+        assert!(!p.predict());
+        p.update(false);
+        assert_eq!(p.state(), 0);
+        assert!(p.predict());
+    }
+
+    #[test]
+    fn u8_boundary_machine_compiles_narrow() {
+        let n = 256u32;
+        let transitions = (0..n).map(|s| [s, (s + 1) % n]).collect();
+        let accept = (0..n).map(|s| s & 1 == 1).collect();
+        let dfa = Dfa::from_parts(transitions, accept, 255);
+        let c = CompiledMachine::compile(&dfa).unwrap();
+        assert_eq!(c.width(), TableWidth::U8);
+        assert_eq!(c.step(255, true), 0);
+        assert_eq!(c.step(255, false), 255);
+        assert!(c.output(255));
+    }
+
+    #[test]
+    fn step_and_output_match_the_dfa() {
+        let dfa = two_bit_counter();
+        let c = CompiledMachine::compile(&dfa).unwrap();
+        for s in 0..4u32 {
+            for bit in [false, true] {
+                assert_eq!(c.step(s, bit), dfa.step(s, bit));
+            }
+            assert_eq!(c.output(s), dfa.output(s));
+        }
+    }
+
+    #[test]
+    fn decompile_round_trips_exactly() {
+        let dfa = two_bit_counter();
+        let c = CompiledMachine::compile(&dfa).unwrap();
+        assert!(c.decompile().equivalent(&dfa));
+        assert_eq!(c.decompile().transitions(), dfa.transitions());
+        assert_eq!(c.decompile().outputs(), dfa.outputs());
+    }
+
+    #[test]
+    fn byte_round_trip_is_lossless() {
+        let c = CompiledMachine::compile(&two_bit_counter()).unwrap();
+        let bytes = c.to_bytes();
+        let back = CompiledMachine::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_buffers() {
+        let c = CompiledMachine::compile(&two_bit_counter()).unwrap();
+        let good = c.to_bytes();
+        assert_eq!(
+            CompiledMachine::from_bytes(&[]),
+            Err(DecodeError::Truncated)
+        );
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            CompiledMachine::from_bytes(&bad_magic),
+            Err(DecodeError::BadMagic)
+        );
+        let mut bad_width = good.clone();
+        bad_width[4] = 7;
+        assert_eq!(
+            CompiledMachine::from_bytes(&bad_width),
+            Err(DecodeError::BadWidth(7))
+        );
+        let mut extra = good.clone();
+        extra.push(0);
+        assert_eq!(
+            CompiledMachine::from_bytes(&extra),
+            Err(DecodeError::TrailingBytes)
+        );
+        let mut bad_state = good.clone();
+        bad_state[13] = 9; // transition target 9 in a 4-state machine
+        assert_eq!(
+            CompiledMachine::from_bytes(&bad_state),
+            Err(DecodeError::StateOutOfRange)
+        );
+        let mut bad_start = good;
+        bad_start[9] = 200;
+        assert_eq!(
+            CompiledMachine::from_bytes(&bad_start),
+            Err(DecodeError::StateOutOfRange)
+        );
+    }
+
+    #[test]
+    fn batch_lanes_share_one_table_copy() {
+        let machine = std::sync::Arc::new(CompiledMachine::compile(&two_bit_counter()).unwrap());
+        let solo = BatchEvaluator::uniform(&machine, 1);
+        let many = BatchEvaluator::uniform(&machine, 1000);
+        assert_eq!(many.len(), 1000);
+        assert_eq!(solo.table_bytes(), many.table_bytes());
+    }
+
+    #[test]
+    fn batch_step_all_matches_per_lane_stepping() {
+        let machine = std::sync::Arc::new(CompiledMachine::compile(&two_bit_counter()).unwrap());
+        let mut batch = BatchEvaluator::uniform(&machine, 8);
+        let mut singles: Vec<CompiledPredictor> = (0..8)
+            .map(|_| CompiledPredictor::from_shared(std::sync::Arc::clone(&machine)))
+            .collect();
+        // Desynchronize the lanes first so the check is non-trivial.
+        for (lane, single) in singles.iter_mut().enumerate() {
+            for _ in 0..lane {
+                batch.step(lane, true);
+                single.update(true);
+            }
+        }
+        let bits = [true, true, false, true, false, false, true, true, false];
+        for &bit in &bits {
+            batch.step_all(bit);
+            for single in &mut singles {
+                single.update(bit);
+            }
+        }
+        for (lane, single) in singles.iter().enumerate() {
+            assert_eq!(batch.state(lane), single.state());
+            assert_eq!(batch.output(lane), single.predict());
+        }
+    }
+
+    #[test]
+    fn batch_advance_all_equals_step_all_sequence() {
+        let machine = std::sync::Arc::new(CompiledMachine::compile(&two_bit_counter()).unwrap());
+        let mut a = BatchEvaluator::uniform(&machine, 5);
+        let mut b = BatchEvaluator::uniform(&machine, 5);
+        // Not a multiple of the fused window, so the remainder path of
+        // advance_all is exercised too.
+        let bits: Vec<bool> = (0..203).map(|i| (i * 7) % 3 != 0).collect();
+        for &bit in &bits {
+            a.step_all(bit);
+        }
+        b.advance_all(&bits);
+        for lane in 0..5 {
+            assert_eq!(a.state(lane), b.state(lane));
+        }
+    }
+
+    #[test]
+    fn batch_mixes_widths_by_widening() {
+        let small = std::sync::Arc::new(CompiledMachine::compile(&two_bit_counter()).unwrap());
+        let n = 300u32;
+        let transitions = (0..n).map(|s| [(s + 1) % n, s]).collect();
+        let accept = (0..n).map(|s| s == 0).collect();
+        let big = std::sync::Arc::new(
+            CompiledMachine::compile(&Dfa::from_parts(transitions, accept, 0)).unwrap(),
+        );
+        let mut batch =
+            BatchEvaluator::new(&[std::sync::Arc::clone(&small), std::sync::Arc::clone(&big)]);
+        for _ in 0..3 {
+            batch.step_all(false);
+        }
+        // Lane 0: counter saturates low; lane 1: `false` steps s+1 mod n.
+        assert_eq!(batch.state(0), 0);
+        assert_eq!(batch.state(1), 3);
+        batch.reset_all();
+        assert_eq!(batch.state(0), 0);
+        assert_eq!(batch.state(1), 0);
+        assert!(batch.output(1));
+    }
+
+    #[test]
+    fn backend_labels_and_parsing() {
+        assert_eq!(ExecBackend::default(), ExecBackend::Compiled);
+        assert_eq!(ExecBackend::Compiled.label(), "compiled");
+        assert_eq!(ExecBackend::Interpreted.to_string(), "interpreted");
+        assert_eq!("interpreted".parse(), Ok(ExecBackend::Interpreted));
+        assert_eq!("fast".parse(), Ok(ExecBackend::Compiled));
+        assert!("jit".parse::<ExecBackend>().is_err());
+    }
+}

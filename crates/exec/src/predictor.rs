@@ -1,0 +1,96 @@
+//! A single compiled predictor instance: the drop-in fast-path twin of
+//! `fsmgen_automata::MoorePredictor`.
+
+use crate::table::CompiledMachine;
+use std::sync::Arc;
+
+/// One running instance of a compiled machine.
+///
+/// Mirrors the `MoorePredictor` API exactly — `predict`, `update`,
+/// `predict_and_update`, `reset` — so call sites can switch backends
+/// without changing shape. The machine is shared (`Arc`), the mutable
+/// part is one `u32` of state.
+#[derive(Clone, Debug)]
+pub struct CompiledPredictor {
+    machine: Arc<CompiledMachine>,
+    state: u32,
+}
+
+impl CompiledPredictor {
+    /// Start a fresh instance of `machine` in its start state.
+    #[must_use]
+    pub fn new(machine: CompiledMachine) -> Self {
+        Self::from_shared(Arc::new(machine))
+    }
+
+    /// Start a fresh instance sharing an already-compiled machine.
+    #[must_use]
+    pub fn from_shared(machine: Arc<CompiledMachine>) -> Self {
+        let state = machine.start();
+        CompiledPredictor { machine, state }
+    }
+
+    /// A new instance of the same machine, back at the start state.
+    #[must_use]
+    pub fn fresh_instance(&self) -> Self {
+        Self::from_shared(Arc::clone(&self.machine))
+    }
+
+    /// The prediction made in the current state.
+    #[must_use]
+    #[inline]
+    pub fn predict(&self) -> bool {
+        self.machine.output(self.state)
+    }
+
+    /// Feed the actual outcome, advancing the state.
+    #[inline]
+    pub fn update(&mut self, outcome: bool) {
+        self.state = self.machine.step(self.state, outcome);
+    }
+
+    /// Predict, then feed the actual outcome; returns whether the
+    /// prediction was correct.
+    #[inline]
+    pub fn predict_and_update(&mut self, outcome: bool) -> bool {
+        let correct = self.predict() == outcome;
+        self.update(outcome);
+        correct
+    }
+
+    /// Run a whole outcome sequence, returning the number of correct
+    /// predictions. Equivalent to `predict_and_update` in a loop.
+    pub fn run(&mut self, outcomes: impl IntoIterator<Item = bool>) -> usize {
+        let mut correct = 0;
+        for bit in outcomes {
+            if self.predict_and_update(bit) {
+                correct += 1;
+            }
+        }
+        correct
+    }
+
+    /// Return to the start state.
+    pub fn reset(&mut self) {
+        self.state = self.machine.start();
+    }
+
+    /// The current state index.
+    #[must_use]
+    #[inline]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// The compiled machine this instance runs.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<CompiledMachine> {
+        &self.machine
+    }
+
+    /// Number of states in the underlying machine.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.machine.num_states() as usize
+    }
+}

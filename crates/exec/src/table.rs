@@ -1,0 +1,363 @@
+//! Lowering a finished [`Dfa`] into a dense, cache-friendly transition
+//! table plus a packed output bitmap.
+
+use fsmgen_automata::Dfa;
+use std::fmt;
+
+/// Most states a machine may have and still compile (`u16` indices).
+pub const MAX_COMPILED_STATES: usize = 1 << 16;
+
+/// Threshold at or below which the narrow `u8` table is used.
+pub const U8_STATE_LIMIT: usize = 1 << 8;
+
+/// Index width selected for a compiled transition table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableWidth {
+    /// One byte per entry — machines with ≤ 256 states.
+    U8,
+    /// Two bytes per entry — the spill path for ≤ 65536 states.
+    U16,
+}
+
+impl TableWidth {
+    /// Bytes per table entry.
+    #[must_use]
+    pub fn entry_bytes(self) -> usize {
+        match self {
+            TableWidth::U8 => 1,
+            TableWidth::U16 => 2,
+        }
+    }
+
+    /// The width required for a machine with `num_states` states, if it
+    /// is compilable at all.
+    fn for_states(num_states: usize) -> Result<Self, CompileError> {
+        if num_states == 0 {
+            Err(CompileError::NoStates)
+        } else if num_states <= U8_STATE_LIMIT {
+            Ok(TableWidth::U8)
+        } else if num_states <= MAX_COMPILED_STATES {
+            Ok(TableWidth::U16)
+        } else {
+            Err(CompileError::TooManyStates {
+                states: num_states,
+                limit: MAX_COMPILED_STATES,
+            })
+        }
+    }
+}
+
+impl fmt::Display for TableWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableWidth::U8 => write!(f, "u8"),
+            TableWidth::U16 => write!(f, "u16"),
+        }
+    }
+}
+
+/// Why a machine could not be lowered to a dense table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The machine has no states (not constructible via [`Dfa`], but the
+    /// byte decoder can present such input).
+    NoStates,
+    /// The machine exceeds the widest supported index type.
+    TooManyStates {
+        /// States the machine has.
+        states: usize,
+        /// Hard ceiling of the `u16` spill path.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoStates => write!(f, "machine has no states"),
+            CompileError::TooManyStates { states, limit } => {
+                write!(
+                    f,
+                    "machine has {states} states, exceeding the {limit}-state table limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Why a serialized compiled machine could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than its declared contents.
+    Truncated,
+    /// The leading magic bytes are not `FXT1`.
+    BadMagic,
+    /// The width byte is neither 1 (`u8`) nor 2 (`u16`).
+    BadWidth(u8),
+    /// The declared width cannot index the declared state count.
+    WidthMismatch,
+    /// The state count is zero or above the supported ceiling.
+    BadStateCount(u64),
+    /// The start state or a transition target is out of range.
+    StateOutOfRange,
+    /// Extra bytes follow the declared contents.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic (expected FXT1)"),
+            DecodeError::BadWidth(w) => write!(f, "bad width byte {w}"),
+            DecodeError::WidthMismatch => write!(f, "width cannot index state count"),
+            DecodeError::BadStateCount(n) => write!(f, "bad state count {n}"),
+            DecodeError::StateOutOfRange => write!(f, "state index out of range"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after table"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The dense next-state table, at whichever width the state count needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Table {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+/// A Moore machine lowered to a dense transition table.
+///
+/// Layout: `next[(state << 1) | input]` — the two successors of a state
+/// are adjacent, so a predictor that flips between outcomes stays within
+/// one cache line. Outputs live in a packed bitmap (`bit s of word
+/// s / 64`), separate from the table so the stepping loop touches only
+/// next-state bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledMachine {
+    table: Table,
+    outputs: Vec<u64>,
+    num_states: u32,
+    start: u32,
+}
+
+impl CompiledMachine {
+    /// Lower `dfa` into a dense table, selecting the narrowest index
+    /// width that fits (`u8` through 256 states, `u16` spill to 65536).
+    pub fn compile(dfa: &Dfa) -> Result<Self, CompileError> {
+        let n = dfa.num_states();
+        let width = TableWidth::for_states(n)?;
+        let transitions = dfa.transitions();
+        let table = match width {
+            TableWidth::U8 => {
+                let mut t = Vec::with_capacity(2 * n);
+                for row in transitions {
+                    // Fits: every target < n ≤ 256, and state 255 is the max
+                    // representable; n == 256 still has targets ≤ 255.
+                    t.push((row[0] & 0xff) as u8);
+                    t.push((row[1] & 0xff) as u8);
+                }
+                Table::U8(t)
+            }
+            TableWidth::U16 => {
+                let mut t = Vec::with_capacity(2 * n);
+                for row in transitions {
+                    t.push((row[0] & 0xffff) as u16);
+                    t.push((row[1] & 0xffff) as u16);
+                }
+                Table::U16(t)
+            }
+        };
+        let mut outputs = vec![0u64; n.div_ceil(64)];
+        for (s, &accept) in dfa.outputs().iter().enumerate() {
+            if accept {
+                outputs[s >> 6] |= 1u64 << (s & 63);
+            }
+        }
+        Ok(CompiledMachine {
+            table,
+            outputs,
+            num_states: n as u32,
+            start: dfa.start(),
+        })
+    }
+
+    /// Number of states in the compiled machine.
+    #[must_use]
+    #[inline]
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// The start (reset) state.
+    #[must_use]
+    #[inline]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The index width this machine compiled to.
+    #[must_use]
+    pub fn width(&self) -> TableWidth {
+        match self.table {
+            Table::U8(_) => TableWidth::U8,
+            Table::U16(_) => TableWidth::U16,
+        }
+    }
+
+    /// Bytes of table + bitmap storage (the artifact's working-set size).
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        let t = match &self.table {
+            Table::U8(t) => t.len(),
+            Table::U16(t) => 2 * t.len(),
+        };
+        t + 8 * self.outputs.len()
+    }
+
+    /// Advance one step: `next[(state << 1) | input]`, branch-free in the
+    /// state/input data (the single width dispatch is per-machine, not
+    /// per-step, and perfectly predicted).
+    #[must_use]
+    #[inline]
+    pub fn step(&self, state: u32, bit: bool) -> u32 {
+        let idx = ((state as usize) << 1) | usize::from(bit);
+        match &self.table {
+            Table::U8(t) => u32::from(t[idx]),
+            Table::U16(t) => u32::from(t[idx]),
+        }
+    }
+
+    /// The Moore output (predict-taken bit) of `state`.
+    #[must_use]
+    #[inline]
+    pub fn output(&self, state: u32) -> bool {
+        let s = state as usize;
+        (self.outputs[s >> 6] >> (s & 63)) & 1 == 1
+    }
+
+    pub(crate) fn raw_table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Reconstruct the [`Dfa`] this table was lowered from. Lossless:
+    /// lowering is a 1:1 re-encoding, so `decompile(compile(d)) == d`.
+    #[must_use]
+    pub fn decompile(&self) -> Dfa {
+        let n = self.num_states as usize;
+        let mut transitions = Vec::with_capacity(n);
+        for s in 0..n {
+            let row = match &self.table {
+                Table::U8(t) => [u32::from(t[2 * s]), u32::from(t[2 * s + 1])],
+                Table::U16(t) => [u32::from(t[2 * s]), u32::from(t[2 * s + 1])],
+            };
+            transitions.push(row);
+        }
+        let accept = (0..n as u32).map(|s| self.output(s)).collect();
+        Dfa::from_parts(transitions, accept, self.start)
+    }
+
+    /// Serialize to the versioned `FXT1` little-endian byte format:
+    /// magic, width byte, `num_states: u32`, `start: u32`, `2·n` table
+    /// entries at the declared width, then the packed output words.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13 + self.table_bytes());
+        out.extend_from_slice(b"FXT1");
+        out.push(self.width().entry_bytes() as u8);
+        out.extend_from_slice(&self.num_states.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        match &self.table {
+            Table::U8(t) => out.extend_from_slice(t),
+            Table::U16(t) => {
+                for e in t {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+        }
+        for w in &self.outputs {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`CompiledMachine::to_bytes`],
+    /// validating structure and every state index.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let header = bytes.get(..13).ok_or(DecodeError::Truncated)?;
+        if &header[..4] != b"FXT1" {
+            return Err(DecodeError::BadMagic);
+        }
+        let width = match header[4] {
+            1 => TableWidth::U8,
+            2 => TableWidth::U16,
+            w => return Err(DecodeError::BadWidth(w)),
+        };
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&header[5..9]);
+        let num_states = u32::from_le_bytes(word);
+        word.copy_from_slice(&header[9..13]);
+        let start = u32::from_le_bytes(word);
+        let n = num_states as usize;
+        if n == 0 || n > MAX_COMPILED_STATES {
+            return Err(DecodeError::BadStateCount(u64::from(num_states)));
+        }
+        match width {
+            TableWidth::U8 if n > U8_STATE_LIMIT => return Err(DecodeError::WidthMismatch),
+            _ => {}
+        }
+        if start >= num_states {
+            return Err(DecodeError::StateOutOfRange);
+        }
+        let table_bytes = 2 * n * width.entry_bytes();
+        let out_bytes = 8 * n.div_ceil(64);
+        if bytes.len() < 13 + table_bytes + out_bytes {
+            return Err(DecodeError::Truncated);
+        }
+        if bytes.len() > 13 + table_bytes + out_bytes {
+            return Err(DecodeError::TrailingBytes);
+        }
+        let body = &bytes[13..13 + table_bytes];
+        let table = match width {
+            TableWidth::U8 => {
+                if body.iter().any(|&b| u32::from(b) >= num_states) {
+                    return Err(DecodeError::StateOutOfRange);
+                }
+                Table::U8(body.to_vec())
+            }
+            TableWidth::U16 => {
+                let mut t = Vec::with_capacity(2 * n);
+                for pair in body.chunks_exact(2) {
+                    let e = u16::from_le_bytes([pair[0], pair[1]]);
+                    if u32::from(e) >= num_states {
+                        return Err(DecodeError::StateOutOfRange);
+                    }
+                    t.push(e);
+                }
+                Table::U16(t)
+            }
+        };
+        let mut outputs = Vec::with_capacity(n.div_ceil(64));
+        for chunk in bytes[13 + table_bytes..].chunks_exact(8) {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            outputs.push(u64::from_le_bytes(w));
+        }
+        // Canonicalize: bits past the last state carry no meaning; mask
+        // them so decode → encode is stable and Eq means semantic Eq.
+        if n & 63 != 0 {
+            if let Some(last) = outputs.last_mut() {
+                *last &= (1u64 << (n & 63)) - 1;
+            }
+        }
+        Ok(CompiledMachine {
+            table,
+            outputs,
+            num_states,
+            start,
+        })
+    }
+}

@@ -1,0 +1,196 @@
+//! The differential suite pinning the compiled backend bit-identical to
+//! the interpreted walk.
+//!
+//! Three layers:
+//! 1. Designed machines: every workload in the testkit matrix × every
+//!    history length, full prediction/update/final-state streams.
+//! 2. Adversarial machines: proptest-generated DFAs (unreachable
+//!    states, self-loops, `u8` boundary, `u16` spill) driven by random
+//!    bit streams, plus compile→decompile and byte round-trips.
+//! 3. Batch lanes: the SoA evaluator against per-instance interpreters
+//!    under the paper's update-all protocol.
+
+use fsmgen::Designer;
+use fsmgen_automata::{Dfa, MoorePredictor};
+use fsmgen_exec::{BatchEvaluator, CompiledMachine, CompiledPredictor, TableWidth};
+use fsmgen_testkit::{strategies, workload_matrix, HISTORIES};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Drive both backends through the same outcome stream and assert every
+/// observable — prediction before each update, state after it — agrees.
+fn assert_lockstep(dfa: &Dfa, bits: &[bool], label: &str) {
+    let compiled =
+        CompiledMachine::compile(dfa).unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+    let mut interp = MoorePredictor::new(dfa.clone());
+    let mut fast = CompiledPredictor::new(compiled);
+    assert_eq!(interp.state(), fast.state(), "{label}: start state");
+    for (i, &bit) in bits.iter().enumerate() {
+        assert_eq!(
+            interp.predict(),
+            fast.predict(),
+            "{label}: prediction diverged at step {i}"
+        );
+        let ref_correct = interp.predict_and_update(bit);
+        let fast_correct = fast.predict_and_update(bit);
+        assert_eq!(
+            ref_correct, fast_correct,
+            "{label}: correctness diverged at step {i}"
+        );
+        assert_eq!(
+            interp.state(),
+            fast.state(),
+            "{label}: state diverged after step {i}"
+        );
+    }
+}
+
+#[test]
+fn designed_machines_lockstep_across_workload_matrix() {
+    let mut checked = 0;
+    for (name, trace) in workload_matrix() {
+        for history in HISTORIES {
+            let design = Designer::new(history)
+                .design_from_trace(&trace)
+                .unwrap_or_else(|e| panic!("{name}/h{history}: design failed: {e}"));
+            let bits: Vec<bool> = trace.iter().collect();
+            assert_lockstep(design.fsm(), &bits, &format!("{name}/h{history}"));
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, workload_matrix().len() * HISTORIES.len());
+}
+
+#[test]
+fn designed_machines_lockstep_on_cross_workload_traffic() {
+    // Run each designed machine on every *other* workload's bits: the
+    // compiled table must agree even far from the training distribution.
+    for (name, trace) in workload_matrix() {
+        let design = Designer::new(3)
+            .design_from_trace(&trace)
+            .unwrap_or_else(|e| panic!("{name}: design failed: {e}"));
+        for (other, bits) in workload_matrix() {
+            let bits: Vec<bool> = bits.iter().collect();
+            assert_lockstep(design.fsm(), &bits, &format!("{name} on {other}"));
+        }
+    }
+}
+
+#[test]
+fn batch_evaluator_lockstep_under_update_all() {
+    // One lane per (workload, history) design, all advanced on every
+    // bit — the §7.6 update-all protocol the bpred simulator runs.
+    let mut machines = Vec::new();
+    let mut interps = Vec::new();
+    for (name, trace) in workload_matrix() {
+        for history in HISTORIES {
+            let design = Designer::new(history)
+                .design_from_trace(&trace)
+                .unwrap_or_else(|e| panic!("{name}/h{history}: design failed: {e}"));
+            interps.push(MoorePredictor::new(design.fsm().clone()));
+            machines.push(Arc::new(
+                CompiledMachine::compile(design.fsm()).unwrap_or_else(|e| panic!("{e}")),
+            ));
+        }
+    }
+    let mut batch = BatchEvaluator::new(&machines);
+    assert_eq!(batch.len(), interps.len());
+    let bits: Vec<bool> = fsmgen_testkit::biased_trace(400).iter().collect();
+    for &bit in &bits {
+        for (lane, interp) in interps.iter().enumerate() {
+            assert_eq!(batch.output(lane), interp.predict());
+        }
+        batch.step_all(bit);
+        for interp in &mut interps {
+            interp.update(bit);
+        }
+    }
+    for (lane, interp) in interps.iter().enumerate() {
+        assert_eq!(batch.state(lane), interp.state());
+    }
+}
+
+proptest! {
+    #[test]
+    fn adversarial_machines_lockstep(
+        dfa in strategies::adversarial_dfa(),
+        bits in strategies::bit_vec(0..96),
+    ) {
+        let compiled = CompiledMachine::compile(&dfa).unwrap();
+        let mut interp = MoorePredictor::new(dfa.clone());
+        let mut fast = CompiledPredictor::new(compiled);
+        for &bit in &bits {
+            prop_assert_eq!(interp.predict(), fast.predict());
+            interp.update(bit);
+            fast.update(bit);
+            prop_assert_eq!(interp.state(), fast.state());
+        }
+    }
+
+    #[test]
+    fn adversarial_machines_round_trip_through_the_table(
+        dfa in strategies::adversarial_dfa(),
+    ) {
+        let compiled = CompiledMachine::compile(&dfa).unwrap();
+        // Lowering is a 1:1 re-encoding: no trimming, no renumbering.
+        let back = compiled.decompile();
+        prop_assert_eq!(back.transitions(), dfa.transitions());
+        prop_assert_eq!(back.outputs(), dfa.outputs());
+        prop_assert_eq!(back.start(), dfa.start());
+        // Width selection is exact at the boundary.
+        let expect = if dfa.num_states() <= 256 { TableWidth::U8 } else { TableWidth::U16 };
+        prop_assert_eq!(compiled.width(), expect);
+    }
+
+    #[test]
+    fn adversarial_machines_round_trip_through_bytes(
+        dfa in strategies::adversarial_dfa(),
+    ) {
+        let compiled = CompiledMachine::compile(&dfa).unwrap();
+        let bytes = compiled.to_bytes();
+        let decoded = CompiledMachine::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &compiled);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn designed_machines_lockstep_on_random_traces(
+        bits in strategies::design_bits(),
+        drive in strategies::bit_vec(0..200),
+    ) {
+        let trace = fsmgen_traces::BitTrace::from_iter(bits);
+        for history in HISTORIES {
+            if let Ok(design) = Designer::new(history).design_from_trace(&trace) {
+                assert_lockstep(design.fsm(), &drive, &format!("proptest/h{history}"));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_single_lane_stepping_matches_interpreter(
+        dfa in strategies::adversarial_dfa(),
+        bits in strategies::bit_vec(1..64),
+        lane_count in 1usize..6,
+    ) {
+        let machine = Arc::new(CompiledMachine::compile(&dfa).unwrap());
+        let mut batch = BatchEvaluator::uniform(&machine, lane_count);
+        let mut interps: Vec<MoorePredictor> =
+            (0..lane_count).map(|_| MoorePredictor::new(dfa.clone())).collect();
+        // Interleave whole-batch and single-lane updates.
+        for (i, &bit) in bits.iter().enumerate() {
+            let lane = i % lane_count;
+            batch.step(lane, bit);
+            interps[lane].update(bit);
+            if i % 3 == 0 {
+                batch.step_all(!bit);
+                for interp in &mut interps {
+                    interp.update(!bit);
+                }
+            }
+        }
+        for (lane, interp) in interps.iter().enumerate() {
+            prop_assert_eq!(batch.state(lane), interp.state());
+            prop_assert_eq!(batch.output(lane), interp.predict());
+        }
+    }
+}

@@ -7,13 +7,13 @@
 //! suite, we combine the traces from all of the other programs excluding
 //! the application to be used for reporting results" (§6.3).
 
-use crate::profiling::FarmRunStats;
+use crate::profiling::{BackendTiming, FarmRunStats};
 use fsmgen::{Designer, MarkovModel, PatternConfig};
 use fsmgen_farm::{DesignJob, Farm, FarmConfig};
 use fsmgen_traces::BitTrace;
 use fsmgen_vpred::{
-    correctness_trace, per_entry_correctness_model, run_confidence, FsmConfidence, SudConfidence,
-    SudConfig, TwoDeltaStride,
+    correctness_trace, per_entry_correctness_model, run_confidence, run_confidence_fsm,
+    FsmConfidence, SudConfidence, SudConfig, TwoDeltaStride,
 };
 use fsmgen_workloads::{Input, ValueBenchmark};
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,9 @@ pub struct Fig2Panel {
     pub fsm: BTreeMap<usize, Vec<ConfidencePoint>>,
     /// Farm statistics of the FSM design batch behind this panel.
     pub farm: FarmRunStats,
+    /// Wall-time of one representative FSM confidence run per execution
+    /// backend (zeroed when every design in the batch failed).
+    pub backend_timing: BackendTiming,
 }
 
 /// Parameters of the Figure 2 experiment.
@@ -161,11 +164,15 @@ pub fn run_panel(bench: ValueBenchmark, config: &Fig2Config) -> Fig2Panel {
 
     let mut fsm: BTreeMap<usize, Vec<ConfidencePoint>> =
         config.histories.iter().map(|&h| (h, Vec::new())).collect();
+    let mut timing_machine: Option<std::sync::Arc<fsmgen_automata::Dfa>> = None;
     for ((h, thr), outcome) in grid.into_iter().zip(report.outcomes) {
         // Failed designs are skipped, matching the serial `.ok()` flow.
         let Ok(design) = outcome.result else {
             continue;
         };
+        if timing_machine.is_none() {
+            timing_machine = Some(std::sync::Arc::new((*design).clone().into_fsm()));
+        }
         let label = format!("fsm-h{h}-t{thr:.2}");
         let mut table = TwoDeltaStride::paper_default();
         let mut est =
@@ -180,11 +187,29 @@ pub fn run_panel(bench: ValueBenchmark, config: &Fig2Config) -> Fig2Panel {
         }
     }
 
+    // Re-run one representative design on each backend purely for
+    // wall-time; the accuracy numbers above are backend-independent
+    // (the backends are differentially tested bit-identical).
+    let backend_timing = timing_machine
+        .map(|machine| {
+            BackendTiming::measure(|backend| {
+                run_confidence_fsm(
+                    &mut TwoDeltaStride::paper_default(),
+                    std::sync::Arc::clone(&machine),
+                    "timing",
+                    backend,
+                    &eval,
+                );
+            })
+        })
+        .unwrap_or_default();
+
     Fig2Panel {
         benchmark: bench.name().to_string(),
         sud,
         fsm,
         farm: farm_stats,
+        backend_timing,
     }
 }
 
@@ -224,6 +249,9 @@ mod tests {
         assert_eq!(panel.farm.jobs, 6);
         assert_eq!(panel.farm.succeeded, 6);
         assert!(panel.farm.wall_ms > 0.0);
+        // Both execution backends were timed on a representative design.
+        assert!(panel.backend_timing.interpreted_ms > 0.0);
+        assert!(panel.backend_timing.compiled_ms > 0.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! chooser and the customized FSM architecture (custom-same and
 //! custom-diff).
 
-use crate::profiling::FarmRunStats;
+use crate::profiling::{BackendTiming, FarmRunStats};
 use fsmgen_bpred::{
     simulate, BranchPredictor, CustomDesigns, CustomTrainer, Gshare, LocalGlobalChooser, XScaleBtb,
     CUSTOM_ENTRY_TAG_BITS,
@@ -47,6 +47,9 @@ pub struct Fig5Panel {
     pub custom_diff: Vec<Fig5Point>,
     /// Farm statistics of the two custom training batches.
     pub farm: FarmRunStats,
+    /// Wall-time of the full custom architecture simulation per execution
+    /// backend (zeroed when training produced no designs).
+    pub backend_timing: BackendTiming,
 }
 
 /// Parameters of the Figure 5 experiment.
@@ -174,6 +177,17 @@ pub fn run_panel(bench: BranchBenchmark, config: &Fig5Config) -> Fig5Panel {
             (designs_diff, designs_same)
         });
 
+    // Time the widest custom architecture on each backend; accuracy is
+    // backend-independent (differentially tested bit-identical).
+    let backend_timing = if !designs_diff.is_empty() {
+        BackendTiming::measure(|backend| {
+            let mut arch = designs_diff.architecture_with_backend(designs_diff.len(), backend);
+            simulate(&mut arch, &eval);
+        })
+    } else {
+        BackendTiming::default()
+    };
+
     Fig5Panel {
         benchmark: bench.name().to_string(),
         xscale,
@@ -182,6 +196,7 @@ pub fn run_panel(bench: BranchBenchmark, config: &Fig5Config) -> Fig5Panel {
         custom_same: custom_curve(&designs_same, &eval, &config.area_model, "custom-same"),
         custom_diff: custom_curve(&designs_diff, &eval, &config.area_model, "custom-diff"),
         farm: farm_stats,
+        backend_timing,
     }
 }
 
@@ -211,6 +226,9 @@ mod tests {
             "customs {best_custom} vs xscale {}",
             panel.xscale.miss_rate
         );
+        // Both execution backends were timed on the widest architecture.
+        assert!(panel.backend_timing.interpreted_ms > 0.0);
+        assert!(panel.backend_timing.compiled_ms > 0.0);
     }
 
     #[test]

@@ -46,6 +46,58 @@ pub struct FarmRunStats {
     pub wall_ms: f64,
 }
 
+/// Wall-time of one identical simulation on each execution backend.
+///
+/// The backends are differentially tested bit-identical, so a figure
+/// panel reports a single accuracy result plus these two times — the
+/// compiled engine's win made visible per figure rather than only in
+/// the bench suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BackendTiming {
+    /// Wall-time of the interpreted reference walk, in milliseconds.
+    pub interpreted_ms: f64,
+    /// Wall-time of the compiled transition-table path, in milliseconds.
+    pub compiled_ms: f64,
+}
+
+impl BackendTiming {
+    /// Runs `work` once per backend (interpreted first), timing each.
+    #[must_use]
+    pub fn measure(mut work: impl FnMut(fsmgen_exec::ExecBackend)) -> Self {
+        let mut time = |backend| {
+            let start = std::time::Instant::now();
+            work(backend);
+            start.elapsed().as_secs_f64() * 1e3
+        };
+        let interpreted_ms = time(fsmgen_exec::ExecBackend::Interpreted);
+        let compiled_ms = time(fsmgen_exec::ExecBackend::Compiled);
+        BackendTiming {
+            interpreted_ms,
+            compiled_ms,
+        }
+    }
+
+    /// Interpreted over compiled wall-time; `None` when degenerate.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        (self.compiled_ms > 0.0 && self.interpreted_ms > 0.0)
+            .then(|| self.interpreted_ms / self.compiled_ms)
+    }
+
+    /// One-line report suffix, e.g.
+    /// `backends: interpreted 12.4 ms, compiled 3.1 ms (4.0x)`.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        match self.speedup() {
+            Some(s) => format!(
+                "backends: interpreted {:.1} ms, compiled {:.1} ms ({s:.1}x)",
+                self.interpreted_ms, self.compiled_ms
+            ),
+            None => "backends: not timed".to_string(),
+        }
+    }
+}
+
 impl FarmRunStats {
     /// Folds one batch's metrics into the running totals.
     pub fn accumulate(&mut self, metrics: &FarmMetrics) {

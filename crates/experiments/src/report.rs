@@ -61,6 +61,7 @@ pub fn fig2_table(panel: &Fig2Panel) -> String {
         }
     }
     let _ = writeln!(out, "{}", panel.farm.summary_line());
+    let _ = writeln!(out, "{}", panel.backend_timing.summary_line());
     out
 }
 
@@ -115,6 +116,7 @@ pub fn fig5_table(panel: &Fig5Panel) -> String {
         row(&p.label, p.area, p.miss_rate);
     }
     let _ = writeln!(out, "{}", panel.farm.summary_line());
+    let _ = writeln!(out, "{}", panel.backend_timing.summary_line());
     out
 }
 
@@ -225,6 +227,7 @@ mod tests {
             ],
             fsm: std::collections::BTreeMap::new(),
             farm: crate::profiling::FarmRunStats::default(),
+            backend_timing: crate::profiling::BackendTiming::default(),
         };
         let table = fig2_table(&panel);
         assert!(table.contains("a"));
@@ -250,6 +253,7 @@ mod tests {
                 }],
             )]),
             farm: crate::profiling::FarmRunStats::default(),
+            backend_timing: crate::profiling::BackendTiming::default(),
         };
         let csv = fig2_csv(&panel);
         assert!(csv.starts_with("family,label,accuracy,coverage\n"));

@@ -13,6 +13,7 @@
 
 use crate::snapshot::{read_snapshot_file, write_snapshot_file, SnapshotError};
 use fsmgen::Design;
+use fsmgen_exec::CompiledMachine;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -23,6 +24,11 @@ const NONE: usize = usize::MAX;
 struct Entry {
     key: u64,
     design: Arc<Design>,
+    /// The design's machine lowered to a dense transition table, done
+    /// once at insert so every hit — including warm snapshot/store
+    /// restores — hands back a ready-to-run artifact. `None` only for
+    /// machines beyond the table limit (not producible by the designer).
+    compiled: Option<Arc<CompiledMachine>>,
     /// The producing job's independent verification digest (0 for entries
     /// inserted through the plain [`DesignCache::insert`]).
     verify: u64,
@@ -50,6 +56,8 @@ pub struct CacheStats {
     /// Snapshot records rejected: skipped at load (corrupt or truncated)
     /// plus warm entries whose verification digest did not match at lookup.
     pub stale: u64,
+    /// Designs lowered to compiled transition tables at insert time.
+    pub compiled: u64,
 }
 
 impl CacheStats {
@@ -235,9 +243,16 @@ impl DesignCache {
         if self.index.len() >= self.capacity {
             self.evict_lru();
         }
+        // Compile once here — hits (cold, warm, and every repeat) then
+        // hand back the ready table alongside the design.
+        let compiled = CompiledMachine::compile(design.fsm()).ok().map(Arc::new);
+        if compiled.is_some() {
+            self.stats.compiled += 1;
+        }
         let entry = Entry {
             key,
             design,
+            compiled,
             verify,
             warm,
             prev: NONE,
@@ -256,6 +271,17 @@ impl DesignCache {
         self.index.insert(key, slot);
         self.attach_front(slot);
         self.stats.insertions += 1;
+    }
+
+    /// The compiled transition table for `key`, if cached. A peek: no
+    /// recency or hit/miss accounting — callers pair it with the
+    /// [`DesignCache::get`]/[`DesignCache::get_verified`] lookup that
+    /// already counted.
+    #[must_use]
+    pub fn compiled_of(&self, key: u64) -> Option<Arc<CompiledMachine>> {
+        self.index
+            .get(&key)
+            .and_then(|&slot| self.slab[slot].compiled.clone())
     }
 
     /// Visits every cached design from most to least recently used, as
@@ -509,6 +535,25 @@ mod tests {
         assert_eq!(order, vec![6, 5]);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn designs_compile_at_insert() {
+        let mut cache = DesignCache::new(4);
+        let d = design();
+        cache.insert(1, Arc::clone(&d));
+        let compiled = cache.compiled_of(1).unwrap();
+        assert_eq!(compiled.num_states() as usize, d.fsm().num_states());
+        assert_eq!(cache.stats().compiled, 1);
+        // Warm (snapshot-restored) inserts compile too: a warm hit hands
+        // back a ready table, not a machine still to lower.
+        cache.insert_warm(2, 9, Arc::clone(&d));
+        assert!(cache.compiled_of(2).is_some());
+        assert_eq!(cache.stats().compiled, 2);
+        assert!(cache.compiled_of(42).is_none());
+        // The artifact runs the same machine.
+        let dfa = compiled.decompile();
+        assert_eq!(&dfa, d.fsm());
     }
 
     #[test]

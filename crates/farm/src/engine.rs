@@ -12,6 +12,7 @@ use crate::store::{
     CompactPolicy, CompactReport, DesignStore, StoreConfig, StoreError, StoreStats,
 };
 use fsmgen::{failpoints, Design, DesignBudget, DesignError, Designer, SweepPoint};
+use fsmgen_exec::CompiledMachine;
 use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -49,6 +50,11 @@ pub struct JobOutcome {
     pub result: Result<Arc<Design>, FarmError>,
     /// Whether the design came out of the cache.
     pub cache_hit: bool,
+    /// The design's machine lowered to a dense transition table. Tables
+    /// are compiled once at cache-insert, so hits — warm or cold — hand
+    /// back the shared ready-to-run artifact; uncacheable jobs compile
+    /// inline. `None` only when the job failed.
+    pub compiled: Option<Arc<CompiledMachine>>,
     /// In-worker wall clock (queue wait excluded).
     pub wall: Duration,
 }
@@ -134,8 +140,8 @@ enum Lookup {
     /// Design it here; `claimed` says a single-flight claim must be
     /// released after publishing.
     Compute { claimed: bool },
-    /// Served from the cache.
-    Hit(Arc<Design>),
+    /// Served from the cache, with its compile-at-insert table artifact.
+    Hit(Arc<Design>, Option<Arc<CompiledMachine>>),
 }
 
 impl std::fmt::Debug for Farm {
@@ -381,6 +387,7 @@ impl Farm {
             insertions: stats_after.insertions - stats_before.insertions,
             evictions: stats_after.evictions - stats_before.evictions,
             stale: stats_after.stale - stats_before.stale,
+            compiled: stats_after.compiled - stats_before.compiled,
         };
         let walls: Vec<Duration> = outcomes
             .iter()
@@ -448,6 +455,7 @@ impl Farm {
                     id,
                     result: Err(error),
                     cache_hit: false,
+                    compiled: None,
                     wall: start.elapsed(),
                 };
             }
@@ -491,7 +499,10 @@ impl Farm {
                             continue;
                         }
                         match state.cache.get_verified(fp, verify) {
-                            Some(design) => break Lookup::Hit(design),
+                            Some(design) => {
+                                let compiled = state.cache.compiled_of(fp);
+                                break Lookup::Hit(design, compiled);
+                            }
                             None => {
                                 state.pending.insert(fp);
                                 break Lookup::Compute { claimed: true };
@@ -502,7 +513,7 @@ impl Farm {
             }
         };
         let claimed = match lookup {
-            Lookup::Hit(design) => {
+            Lookup::Hit(design, compiled) => {
                 let fp = fingerprint.unwrap_or_default();
                 self.sink.record(&FarmEvent::CacheHit {
                     id,
@@ -519,6 +530,7 @@ impl Farm {
                     id,
                     result: Ok(design),
                     cache_hit: true,
+                    compiled,
                     wall,
                 };
             }
@@ -547,6 +559,7 @@ impl Farm {
         // critical section, waking the workers waiting on it. With a
         // durable store attached the publish also appends to the log —
         // an append failure degrades durability, never the job.
+        let mut compiled = None;
         if let Some(fp) = fingerprint {
             let mut state = self.lock_state();
             let CacheState {
@@ -557,6 +570,8 @@ impl Farm {
             } = &mut *state;
             if let Ok(design) = &result {
                 cache.insert_verified(fp, verify, Arc::clone(design));
+                // Share the compile-at-insert artifact with this outcome.
+                compiled = cache.compiled_of(fp);
                 if let Some(store) = store.as_mut() {
                     let _span = obs::span("store_append");
                     match store.append(fp, verify, design) {
@@ -593,10 +608,18 @@ impl Farm {
                 });
             }
         }
+        // Uncacheable jobs (no fingerprint) and capacity-0 caches still
+        // deliver a ready table; only failed jobs go without.
+        if compiled.is_none() {
+            if let Ok(design) = &result {
+                compiled = CompiledMachine::compile(design.fsm()).ok().map(Arc::new);
+            }
+        }
         JobOutcome {
             id,
             result,
             cache_hit: false,
+            compiled,
             wall,
         }
     }

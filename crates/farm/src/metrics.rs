@@ -143,7 +143,7 @@ impl FarmMetrics {
             rungs.push_str(&format!("{}: {count}", json_string(rung)));
         }
         format!(
-            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"snapshot_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"stale\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"snapshot\": {{\"loaded\": {}, \"skipped\": {}}},\n  \"store\": {{\"appends\": {}, \"flushes\": {}, \"recovered\": {}, \"skipped\": {}, \"truncated\": {}, \"compacted\": {}, \"migrated\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
+            "{{\n  \"version\": {},\n  \"kind\": \"farm_metrics\",\n  \"jobs\": {},\n  \"succeeded\": {},\n  \"failed\": {},\n  \"degraded\": {},\n  \"workers\": {},\n  \"cache\": {{\"hits\": {}, \"snapshot_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"stale\": {}, \"compiled\": {}, \"entries\": {}, \"capacity\": {}}},\n  \"snapshot\": {{\"loaded\": {}, \"skipped\": {}}},\n  \"store\": {{\"appends\": {}, \"flushes\": {}, \"recovered\": {}, \"skipped\": {}, \"truncated\": {}, \"compacted\": {}, \"migrated\": {}}},\n  \"wall_ms\": {:.3},\n  \"throughput_jobs_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n  \"degradation_rungs\": {{{}}}\n}}\n",
             fsmgen_obs::SCHEMA_VERSION,
             self.jobs,
             self.succeeded,
@@ -157,6 +157,7 @@ impl FarmMetrics {
             self.cache.insertions,
             self.cache.evictions,
             self.cache.stale,
+            self.cache.compiled,
             self.cache_entries,
             self.cache_capacity,
             self.snapshot.loaded,

@@ -92,13 +92,40 @@ impl LatencyHistogram {
     }
 }
 
-/// An immutable copy of a histogram's buckets.
+/// A plain (non-atomic) copy of a histogram's buckets.
+///
+/// Besides being the consistent-read view of a concurrent
+/// [`LatencyHistogram`], it doubles as a single-threaded accumulator:
+/// [`record`](Self::record) files observations into the same bucket
+/// layout without atomics, which is what per-stage profile aggregation
+/// uses (one event stream, one thread, no contention).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     buckets: [u64; BUCKETS],
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
 impl HistogramSnapshot {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramSnapshot::default()
+    }
+
+    /// Records one observation (single-threaded counterpart of
+    /// [`LatencyHistogram::record`], same buckets and quantile rules).
+    pub fn record(&mut self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(us)] += 1;
+    }
+
     /// Total observations in the snapshot.
     #[must_use]
     pub fn count(&self) -> u64 {

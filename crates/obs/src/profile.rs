@@ -1,6 +1,7 @@
 //! Aggregating an ordered event stream into a per-stage profile.
 
 use crate::event::{json_string, ObsEvent, SCHEMA_VERSION};
+use crate::hist::HistogramSnapshot;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -14,6 +15,10 @@ pub struct StageProfile {
     pub calls: u64,
     /// Total wall clock across those spans.
     pub wall: Duration,
+    /// Distribution of the individual span durations, in the shared
+    /// latency-histogram buckets: `wall` hides the tail when a stage is
+    /// entered many times, `durations.quantile_us(0.99)` does not.
+    pub durations: HistogramSnapshot,
     /// Counters attributed to this stage, summed across events.
     pub counters: BTreeMap<String, u64>,
     /// True when the span was observed at nesting depth 0 (a pipeline
@@ -77,6 +82,7 @@ impl PipelineProfile {
                     let entry = profile.entry(name);
                     entry.calls += 1;
                     entry.wall += *wall;
+                    entry.durations.record(*wall);
                     if depth == 0 {
                         entry.root = true;
                     }
@@ -111,6 +117,7 @@ impl PipelineProfile {
                 name: name.to_string(),
                 calls: 0,
                 wall: Duration::ZERO,
+                durations: HistogramSnapshot::new(),
                 counters: BTreeMap::new(),
                 root: false,
             });
@@ -247,11 +254,14 @@ impl PipelineProfile {
                 .join(", ");
             let _ = write!(
                 stages,
-                "    {{\"name\": {}, \"root\": {}, \"calls\": {}, \"wall_ms\": {:.6}, \"counters\": {{{counters}}}}}",
+                "    {{\"name\": {}, \"root\": {}, \"calls\": {}, \"wall_ms\": {:.6}, \"stage_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"counters\": {{{counters}}}}}",
                 json_string(&entry.name),
                 entry.root,
                 entry.calls,
-                ms(entry.wall)
+                ms(entry.wall),
+                entry.durations.quantile_us(0.50),
+                entry.durations.quantile_us(0.95),
+                entry.durations.quantile_us(0.99)
             );
         }
         let mut rungs = String::new();
@@ -397,6 +407,19 @@ mod tests {
         assert!(json.contains("\"name\": \"minimize\""));
         assert!(json.contains("\"observations\": 100"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn per_stage_duration_distribution_is_recorded_and_rendered() {
+        let profile = PipelineProfile::from_events(&stream());
+        let minimize = profile.stages().find(|e| e.name == "minimize").unwrap();
+        // Two minimize spans: 500 µs and 100 µs. Bucketed upper bounds:
+        // 500 -> 511, 100 -> 127.
+        assert_eq!(minimize.durations.count(), 2);
+        assert_eq!(minimize.durations.quantile_us(0.50), 127);
+        assert_eq!(minimize.durations.quantile_us(0.99), 511);
+        let json = profile.to_json();
+        assert!(json.contains("\"stage_us\": {\"p50\": 127, \"p95\": 511, \"p99\": 511}"));
     }
 
     #[test]

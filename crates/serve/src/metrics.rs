@@ -171,7 +171,8 @@ impl ServeMetrics {
         out.push_str(&format!("    \"misses\": {},\n", cache.misses));
         out.push_str(&format!("    \"insertions\": {},\n", cache.insertions));
         out.push_str(&format!("    \"evictions\": {},\n", cache.evictions));
-        out.push_str(&format!("    \"stale\": {}\n", cache.stale));
+        out.push_str(&format!("    \"stale\": {},\n", cache.stale));
+        out.push_str(&format!("    \"compiled\": {}\n", cache.compiled));
         out.push_str("  }\n");
         out.push_str("}\n");
         out

@@ -76,6 +76,7 @@ pub fn workload_matrix() -> Vec<(&'static str, Arc<BitTrace>)> {
 /// Proptest strategies shared across the workspace's property suites.
 pub mod strategies {
     use super::{BitTrace, BranchEvent, BranchTrace};
+    use fsmgen_automata::Dfa;
     use proptest::prelude::*;
     use std::ops::Range;
 
@@ -101,6 +102,50 @@ pub mod strategies {
     /// each event's pc/target derive deterministically from its slot.
     pub fn branch_trace() -> impl Strategy<Value = BranchTrace> {
         branch_trace_with(32, 1..400)
+    }
+
+    /// Arbitrary well-formed [`Dfa`]s with a caller-chosen state-count
+    /// range: uniformly random transitions and outputs, random start
+    /// state. Nothing guarantees reachability, so these machines
+    /// routinely carry unreachable states — exactly what table-lowering
+    /// round-trip tests need to exercise (a compiler that trims or
+    /// renumbers would be caught here).
+    pub fn random_dfa(states: Range<usize>) -> impl Strategy<Value = Dfa> {
+        states.prop_flat_map(|n| {
+            let targets = proptest::collection::vec((0..n as u32, 0..n as u32), n..n + 1);
+            let outputs = proptest::collection::vec(any::<bool>(), n..n + 1);
+            (targets, outputs, 0..n as u32).prop_map(|(targets, outputs, start)| {
+                let transitions = targets.into_iter().map(|(t0, t1)| [t0, t1]).collect();
+                Dfa::from_parts(transitions, outputs, start)
+            })
+        })
+    }
+
+    /// Machines where every state only loops to itself — the predictor
+    /// never moves, so any backend that mixes up state and output
+    /// indexing produces visibly wrong streams.
+    pub fn self_loop_dfa(states: Range<usize>) -> impl Strategy<Value = Dfa> {
+        states.prop_flat_map(|n| {
+            let outputs = proptest::collection::vec(any::<bool>(), n..n + 1);
+            (outputs, 0..n as u32).prop_map(move |(outputs, start)| {
+                let transitions = (0..n as u32).map(|s| [s, s]).collect();
+                Dfa::from_parts(transitions, outputs, start)
+            })
+        })
+    }
+
+    /// Adversarial machines for the compiled-execution suites: a mix of
+    /// unreachable-state-heavy random machines, self-loop-only machines,
+    /// single-state machines, machines sitting exactly on the `u8` table
+    /// boundary (255–256 states), and `u16`-spill machines just past it.
+    pub fn adversarial_dfa() -> impl Strategy<Value = Dfa> {
+        prop_oneof![
+            random_dfa(1..2),
+            random_dfa(2..48),
+            self_loop_dfa(1..32),
+            random_dfa(255..257),
+            random_dfa(257..320),
+        ]
     }
 
     /// As [`branch_trace`], with caller-chosen slot count and length.

@@ -4,6 +4,7 @@
 
 use fsmgen_automata::{Dfa, MoorePredictor};
 use fsmgen_bpred::SaturatingCounter;
+use fsmgen_exec::{BatchEvaluator, CompiledMachine, ExecBackend};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -120,23 +121,41 @@ impl ConfidenceEstimator for SudConfidence {
 ///   deployment-mode ablation).
 #[derive(Debug, Clone)]
 pub struct FsmConfidence {
-    instances: Vec<MoorePredictor>,
+    machine: Arc<Dfa>,
+    /// Lane count: 1 in global mode, table entries in per-entry mode.
+    lanes_len: usize,
     global: bool,
     label: String,
+    lanes: Lanes,
+}
+
+/// The running per-lane state, on whichever backend was selected.
+#[derive(Debug, Clone)]
+enum Lanes {
+    /// Reference walk: one interpreter instance per lane.
+    Interpreted(Vec<MoorePredictor>),
+    /// Fast path: all lanes share one compiled table in SoA layout.
+    Compiled(BatchEvaluator),
 }
 
 impl FsmConfidence {
-    /// One shared machine instance updated on every predicted load.
+    /// One shared machine instance updated on every predicted load, on
+    /// the default backend ([`ExecBackend::Compiled`]).
     #[must_use]
     pub fn global(machine: impl Into<Arc<Dfa>>, label: impl Into<String>) -> Self {
+        let machine = machine.into();
+        let lanes = Self::build_lanes(&machine, 1, ExecBackend::default());
         FsmConfidence {
-            instances: vec![MoorePredictor::new(machine.into())],
+            machine,
+            lanes_len: 1,
             global: true,
             label: label.into(),
+            lanes,
         }
     }
 
-    /// One instance of `machine` per table entry.
+    /// One instance of `machine` per table entry, on the default backend
+    /// ([`ExecBackend::Compiled`]).
     #[must_use]
     pub fn per_entry(
         entries: usize,
@@ -144,13 +163,48 @@ impl FsmConfidence {
         label: impl Into<String>,
     ) -> Self {
         let machine = machine.into();
+        let lanes = Self::build_lanes(&machine, entries, ExecBackend::default());
         FsmConfidence {
-            instances: (0..entries)
-                .map(|_| MoorePredictor::new(Arc::clone(&machine)))
-                .collect(),
+            machine,
+            lanes_len: entries,
             global: false,
             label: label.into(),
+            lanes,
         }
+    }
+
+    /// Rebuilds the lanes on an explicit backend, back in the start
+    /// state — select the backend before running, not mid-trace. The
+    /// backends are differentially tested bit-identical, so this only
+    /// changes wall-time.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.lanes = Self::build_lanes(&self.machine, self.lanes_len, backend);
+        self
+    }
+
+    /// The backend the lanes are running on.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        match self.lanes {
+            Lanes::Interpreted(_) => ExecBackend::Interpreted,
+            Lanes::Compiled(_) => ExecBackend::Compiled,
+        }
+    }
+
+    fn build_lanes(machine: &Arc<Dfa>, count: usize, backend: ExecBackend) -> Lanes {
+        if backend == ExecBackend::Compiled {
+            // Designed confidence machines always fit the table limit;
+            // should one not, fall back to the reference walk.
+            if let Ok(compiled) = CompiledMachine::compile(machine) {
+                return Lanes::Compiled(BatchEvaluator::uniform(&Arc::new(compiled), count));
+            }
+        }
+        Lanes::Interpreted(
+            (0..count)
+                .map(|_| MoorePredictor::new(Arc::clone(machine)))
+                .collect(),
+        )
     }
 
     fn slot_index(&self, slot: usize) -> usize {
@@ -164,18 +218,29 @@ impl FsmConfidence {
     /// Number of states in the shared machine.
     #[must_use]
     pub fn num_states(&self) -> usize {
-        self.instances.first().map_or(0, MoorePredictor::num_states)
+        if self.lanes_len == 0 {
+            0
+        } else {
+            self.machine.num_states()
+        }
     }
 }
 
 impl ConfidenceEstimator for FsmConfidence {
     fn confident(&mut self, slot: usize) -> bool {
-        self.instances[self.slot_index(slot)].predict()
+        let i = self.slot_index(slot);
+        match &self.lanes {
+            Lanes::Interpreted(instances) => instances[i].predict(),
+            Lanes::Compiled(bank) => bank.output(i),
+        }
     }
 
     fn update(&mut self, slot: usize, correct: bool) {
         let i = self.slot_index(slot);
-        self.instances[i].update(correct);
+        match &mut self.lanes {
+            Lanes::Interpreted(instances) => instances[i].update(correct),
+            Lanes::Compiled(bank) => bank.step(i, correct),
+        }
     }
 
     fn describe(&self) -> String {
@@ -240,6 +305,41 @@ mod tests {
         assert!(!fsm.confident(0));
         assert!(!fsm.confident(1), "slot 1 untouched");
         assert_eq!(fsm.describe(), "fsm-test");
+    }
+
+    #[test]
+    fn fsm_confidence_defaults_to_compiled_and_matches_interpreted() {
+        let machine = compile_patterns(&[vec![Some(true), Some(true)]]);
+        let machine = Arc::new(machine);
+        let mut fast = FsmConfidence::per_entry(4, Arc::clone(&machine), "fsm");
+        assert_eq!(fast.backend(), ExecBackend::Compiled);
+        let mut slow =
+            FsmConfidence::per_entry(4, machine, "fsm").with_backend(ExecBackend::Interpreted);
+        assert_eq!(slow.backend(), ExecBackend::Interpreted);
+        // Drive both through an interleaved slot/outcome schedule.
+        for i in 0..200usize {
+            let slot = (i * 7) % 4;
+            let correct = (i * 3) % 5 != 0;
+            assert_eq!(fast.confident(slot), slow.confident(slot), "step {i}");
+            fast.update(slot, correct);
+            slow.update(slot, correct);
+        }
+        for slot in 0..4 {
+            assert_eq!(fast.confident(slot), slow.confident(slot));
+        }
+        assert_eq!(fast.num_states(), slow.num_states());
+    }
+
+    #[test]
+    fn global_mode_shares_one_lane_on_both_backends() {
+        let machine = Arc::new(compile_patterns(&[vec![Some(true)]]));
+        let mut fast = FsmConfidence::global(Arc::clone(&machine), "g");
+        let mut slow = FsmConfidence::global(machine, "g").with_backend(ExecBackend::Interpreted);
+        fast.update(17, true);
+        slow.update(17, true);
+        // Global mode folds every slot onto lane 0.
+        assert!(fast.confident(3));
+        assert_eq!(fast.confident(3), slow.confident(3));
     }
 
     #[test]

@@ -75,6 +75,25 @@ pub fn run_confidence<E: ConfidenceEstimator + ?Sized>(
     stats
 }
 
+/// [`run_confidence`] with a designed FSM estimator on an explicit
+/// execution backend: builds a per-entry [`FsmConfidence`] over
+/// `machine`, runs the trace, and returns the stats. The backends are
+/// bit-identical (differentially tested), so sweeps use this to compare
+/// wall-time while trusting a single accuracy number.
+///
+/// [`FsmConfidence`]: crate::confidence::FsmConfidence
+pub fn run_confidence_fsm(
+    table: &mut TwoDeltaStride,
+    machine: impl Into<std::sync::Arc<fsmgen_automata::Dfa>>,
+    label: &str,
+    backend: fsmgen_exec::ExecBackend,
+    trace: &LoadTrace,
+) -> ConfidenceStats {
+    let mut estimator = crate::confidence::FsmConfidence::per_entry(table.len(), machine, label)
+        .with_backend(backend);
+    run_confidence(table, &mut estimator, trace)
+}
+
 /// Produces the confidence-training trace of §6.3: for every executed load
 /// that received a value prediction, a bit saying whether the prediction
 /// was correct. ("Each time a load was executed, we put into the trace
@@ -173,6 +192,31 @@ mod tests {
         let stats = ConfidenceStats::default();
         assert_eq!(stats.accuracy(), None);
         assert_eq!(stats.coverage(), None);
+    }
+
+    #[test]
+    fn fsm_harness_backends_agree_bit_for_bit() {
+        let machine = fsmgen_automata::compile_patterns(&[vec![Some(true), Some(true)]]);
+        let machine = std::sync::Arc::new(machine);
+        let trace = strided_trace(300);
+        let mut t1 = TwoDeltaStride::new(64);
+        let fast = run_confidence_fsm(
+            &mut t1,
+            std::sync::Arc::clone(&machine),
+            "fsm",
+            fsmgen_exec::ExecBackend::Compiled,
+            &trace,
+        );
+        let mut t2 = TwoDeltaStride::new(64);
+        let slow = run_confidence_fsm(
+            &mut t2,
+            machine,
+            "fsm",
+            fsmgen_exec::ExecBackend::Interpreted,
+            &trace,
+        );
+        assert_eq!(fast, slow);
+        assert!(fast.predictions > 0);
     }
 
     #[test]

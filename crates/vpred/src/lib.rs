@@ -46,7 +46,8 @@ pub use confidence::{
     AlwaysConfident, ConfidenceEstimator, FsmConfidence, SudConfidence, SudConfig,
 };
 pub use harness::{
-    correctness_trace, per_entry_correctness_model, run_confidence, ConfidenceStats,
+    correctness_trace, per_entry_correctness_model, run_confidence, run_confidence_fsm,
+    ConfidenceStats,
 };
 pub use metrics::ConfidenceMetrics;
 pub use predictors::{family_accuracy, Fcm, Hybrid, LastValue, ValuePredictor};
