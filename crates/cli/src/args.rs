@@ -13,6 +13,9 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "ping",
     "stats",
     "shutdown",
+    "once",
+    "json",
+    "strict",
 ];
 
 /// Parsed command-line arguments: flag map plus positionals in order.

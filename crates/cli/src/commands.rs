@@ -63,6 +63,18 @@ USAGE:
           gs, gsm, g721, ijpeg, vortex. Value benchmarks: groff, gcc,
           li, go, perl.
 
+  fsmgen trace export [--format chrome|folded] [--in trace.jsonl]
+                  [--out FILE] [--stage NAME] [--min-us N] [--strict]
+          Convert an obs JSONL trace (from design/farm/serve/confidence
+          --trace-jsonl) into Chrome trace_event JSON — load it at
+          chrome://tracing or ui.perfetto.dev — or folded flamegraph
+          stacks for inferno/speedscope. Streaming: memory stays bounded
+          however large the trace. Corrupt or torn lines are skipped and
+          counted in the stderr report (with --strict they fail the
+          export, exit 3). --stage keeps only spans under the named
+          stage; --min-us drops spans shorter than N microseconds. --in
+          and --out default to stdin/stdout ('-' works too).
+
   fsmgen simulate {--benchmark NAME | --trace-file FILE} [--lenient]
                   [--len N] [--customs K] [--history N]
           Simulate XScale, gshare, LGC, PPM and the customized FSM
@@ -81,10 +93,11 @@ EXIT CODES:
           first, 'x' = don't care, '|' or ',' separated; e.g.
           \"0x1x | 0xx1x\" is Figure 7) into a steady-state machine.
 
-  fsmgen confidence --benchmark NAME [--len N]
+  fsmgen confidence --benchmark NAME [--len N] [--trace-jsonl FILE]
           Run one Figure 2 panel: SUD counter sweep vs cross-trained FSM
           confidence estimators on a value benchmark (groff, gcc, li,
-          go, perl).
+          go, perl). --trace-jsonl streams the panel's design-pipeline
+          spans for 'fsmgen trace export'.
 
   fsmgen headlines [--len N]
           Verify the paper's §6.4/§7.5 headline claims on the synthetic
@@ -165,7 +178,22 @@ EXIT CODES:
           reloadable with 'fsmgen predict'. --batch FILE sends one
           request per line ('HISTORY BITS...', '#' comments allowed)
           over a single connection. --ping, --stats and --shutdown send
-          the corresponding control requests instead.";
+          the corresponding control requests instead. --stats --watch S
+          re-polls every S seconds and prints one rate line per sample
+          (same computation as 'fsmgen top'; --samples N stops after N).
+
+  fsmgen top      HOST:PORT [--interval-ms N] [--timeout-ms N]
+                  [--once] [--json] [--count N]
+          Live dashboard for a running design service: polls the stats
+          endpoint every --interval-ms (default 1000) and shows req/s,
+          cache hit rate, rejection/timeout rates, latency p50/p95/p99
+          with a p95 sparkline, store flush/compaction activity and
+          uptime. Tolerates server restarts mid-watch (counters that
+          rewind re-baseline and the frame is marked). On a TTY this is
+          a full-screen ANSI view; when stdout is redirected it degrades
+          to plain per-sample lines (--count N frames, default one
+          two-sample table). --once prints a single table and exits;
+          --json prints one machine-readable frame instead.";
 
 fn branch_benchmark(name: &str) -> Result<BranchBenchmark, CliError> {
     BranchBenchmark::ALL
@@ -233,10 +261,26 @@ pub fn design(args: &Args) -> Result<(), CliError> {
 
     // Observability: any of the three flags records the pipeline's span
     // and counter events for this design; otherwise the recorder stays on
-    // its disabled fast path.
+    // its disabled fast path. --trace-jsonl streams through a stamped
+    // JSONL sink (ts_us/tid per line, flushed at every root-span close)
+    // so the file is exportable with 'fsmgen trace export' and survives
+    // a crash mid-run.
     let observing = args.has("profile")
         || args.flag("profile-json").is_some()
         || args.flag("trace-jsonl").is_some();
+    let jsonl_sink = match args.flag("trace-jsonl") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
+            Some(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(
+                std::io::BufWriter::new(file),
+            )))
+        }
+        None => None,
+    };
+    let jsonl_guard = jsonl_sink
+        .clone()
+        .map(|sink| fsmgen_obs::install(sink as std::sync::Arc<dyn fsmgen_obs::ObsSink>));
     let (result, events) = if observing {
         fsmgen_obs::profiled_events(|| {
             Designer::new(history)
@@ -255,16 +299,13 @@ pub fn design(args: &Args) -> Result<(), CliError> {
             .design_from_trace(&trace);
         (result, Vec::new())
     };
+    drop(jsonl_guard);
     failpoints::clear();
-    if let Some(path) = args.flag("trace-jsonl") {
-        let mut jsonl = String::new();
-        for event in &events {
-            jsonl.push_str(&event.to_jsonl());
-            jsonl.push('\n');
+    if let Some(sink) = jsonl_sink {
+        sink.flush();
+        if let Some(path) = args.flag("trace-jsonl") {
+            eprintln!("design: trace events written to {path}");
         }
-        std::fs::write(path, jsonl)
-            .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
-        eprintln!("design: trace events written to {path}");
     }
     if let Some(path) = args.flag("profile-json") {
         let profile = fsmgen_obs::PipelineProfile::from_events(&events);
@@ -346,12 +387,16 @@ pub fn design(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `fsmgen trace`: dump a synthetic workload.
+/// `fsmgen trace`: dump a synthetic workload, or — with the `export`
+/// subcommand — convert an obs JSONL trace to a visualization format.
 ///
 /// # Errors
 ///
 /// Returns a usage error for unknown benchmarks or invalid flags.
 pub fn trace(args: &Args) -> Result<(), CliError> {
+    if args.positional().first().map(String::as_str) == Some("export") {
+        return trace_export(args);
+    }
     let name = args
         .flag("benchmark")
         .ok_or_else(|| CliError::Usage("--benchmark is required".into()))?;
@@ -386,6 +431,57 @@ pub fn trace(args: &Args) -> Result<(), CliError> {
             )))
         }
     }
+    Ok(())
+}
+
+/// `fsmgen trace export`: stream an obs JSONL trace into Chrome
+/// `trace_event` JSON (chrome://tracing / Perfetto) or folded
+/// flamegraph stacks (inferno / speedscope).
+///
+/// # Errors
+///
+/// Usage errors for bad flags; a parse error (exit 3) in `--strict`
+/// mode when the input has a corrupt or torn line; otherwise damage is
+/// skipped and counted in the report printed to stderr.
+fn trace_export(args: &Args) -> Result<(), CliError> {
+    use fsmgen_obs::trace::{export, ExportFormat, ExportOptions};
+    let format = match args.flag("format").unwrap_or("chrome") {
+        "chrome" => ExportFormat::Chrome,
+        "folded" => ExportFormat::Folded,
+        other => {
+            return Err(CliError::Usage(format!(
+                "trace export: unknown format {other:?} (chrome|folded)"
+            )))
+        }
+    };
+    let options = ExportOptions {
+        strict: args.has("strict"),
+        stage: args.flag("stage").map(str::to_string),
+        min_us: args.flag_or("min-us", 0u64).map_err(usage)?,
+    };
+    let report = {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut input: Box<dyn std::io::BufRead> = match args.flag("in") {
+            Some("-") | None => Box::new(stdin.lock()),
+            Some(path) => Box::new(std::io::BufReader::new(
+                std::fs::File::open(path)
+                    .map_err(|e| CliError::Other(format!("cannot open {path}: {e}")))?,
+            )),
+        };
+        let mut out: Box<dyn std::io::Write> = match args.flag("out") {
+            Some("-") | None => Box::new(stdout.lock()),
+            Some(path) => Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path)
+                    .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?,
+            )),
+        };
+        export(format, &mut input, &mut out, &options).map_err(|e| match e {
+            fsmgen_obs::ExportError::Corrupt { .. } => CliError::Parse(e.to_string()),
+            fsmgen_obs::ExportError::Io(err) => CliError::Other(format!("trace export: {err}")),
+        })?
+    };
+    eprintln!("trace export: {report}");
     Ok(())
 }
 
@@ -563,7 +659,20 @@ pub fn confidence(args: &Args) -> Result<(), CliError> {
         trace_len: len,
         ..fsmgen_experiments::fig2::Fig2Config::default()
     };
-    let panel = fsmgen_experiments::fig2::run_panel(bench, &config);
+    // --trace-jsonl streams the whole panel's design-pipeline spans
+    // (including farm worker threads) for 'fsmgen trace export'.
+    let panel = match args.flag("trace-jsonl") {
+        Some(path) => {
+            let panel =
+                fsmgen_experiments::profiling::with_trace_jsonl(std::path::Path::new(path), || {
+                    fsmgen_experiments::fig2::run_panel(bench, &config)
+                })
+                .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
+            eprintln!("confidence: trace events written to {path}");
+            panel
+        }
+        None => fsmgen_experiments::fig2::run_panel(bench, &config),
+    };
     print!("{}", fsmgen_experiments::report::fig2_table(&panel));
     Ok(())
 }
@@ -737,14 +846,21 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
     // events (bridged onto the obs schema) and every worker thread's
     // design-pipeline spans into one JSONL file. The pipeline spans need
     // the process-wide sink because jobs run on worker threads.
-    let obs_sink: Option<std::sync::Arc<dyn fsmgen_obs::ObsSink>> = match args.flag("trace-jsonl") {
+    let jsonl_sink: Option<
+        std::sync::Arc<fsmgen_obs::JsonlObsSink<std::io::BufWriter<std::fs::File>>>,
+    > = match args.flag("trace-jsonl") {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
-            Some(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(file)))
+            Some(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(
+                std::io::BufWriter::new(file),
+            )))
         }
         None => None,
     };
+    let obs_sink: Option<std::sync::Arc<dyn fsmgen_obs::ObsSink>> = jsonl_sink
+        .clone()
+        .map(|sink| sink as std::sync::Arc<dyn fsmgen_obs::ObsSink>);
     let mut sinks: Vec<std::sync::Arc<dyn EventSink>> = Vec::new();
     if args.has("verbose") {
         sinks.push(std::sync::Arc::new(StderrSink));
@@ -789,8 +905,9 @@ pub fn farm(args: &Args) -> Result<(), CliError> {
         }
     }
     failpoints::clear_global();
-    if obs_sink.is_some() {
+    if let Some(sink) = &jsonl_sink {
         fsmgen_obs::clear_global();
+        sink.flush();
         if let Some(path) = args.flag("trace-jsonl") {
             eprintln!("farm: trace events written to {path}");
         }
@@ -1029,11 +1146,19 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     if let Some(spec) = args.flag("inject-fault") {
         failpoints::configure_from_spec_global(spec).map_err(usage)?;
     }
-    if let Some(path) = args.flag("trace-jsonl") {
-        let file = std::fs::File::create(path)
-            .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
-        fsmgen_obs::install_global(std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(file)));
-    }
+    let jsonl_sink = match args.flag("trace-jsonl") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Other(format!("cannot create {path}: {e}")))?;
+            let sink =
+                std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(std::io::BufWriter::new(file)));
+            fsmgen_obs::install_global(
+                std::sync::Arc::clone(&sink) as std::sync::Arc<dyn fsmgen_obs::ObsSink>
+            );
+            Some(sink)
+        }
+        None => None,
+    };
     let server = fsmgen_serve::Server::bind(config)
         .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
     println!("listening on {}", server.local_addr());
@@ -1043,6 +1168,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         .run()
         .map_err(|e| CliError::Other(format!("serve: {e}")));
     fsmgen_obs::clear_global();
+    if let Some(sink) = jsonl_sink {
+        sink.flush();
+    }
     result
 }
 
@@ -1079,6 +1207,17 @@ pub fn client(args: &Args) -> Result<(), CliError> {
         }
     }
     if args.has("stats") {
+        // --watch polls on an interval and prints one rate line per
+        // sample, sharing the delta/restart computation with 'fsmgen
+        // top' (crate::top / fsmgen_serve::watch).
+        if let Some(secs) = args.flag_opt::<f64>("watch").map_err(usage)? {
+            if secs.is_nan() || secs <= 0.0 {
+                return Err(CliError::Usage("client: --watch needs seconds > 0".into()));
+            }
+            let samples: u64 = args.flag_or("samples", 0).map_err(usage)?;
+            drop(client);
+            return crate::top::client_watch(addr, Duration::from_secs_f64(secs), samples, timeout);
+        }
         match call(&mut client, &Request::Stats)? {
             Response::Stats(json) => {
                 println!("{json}");

@@ -5,17 +5,23 @@
 //!                 [--format summary|dot|vhdl] [FILE]      design from a 0/1 trace
 //! fsmgen trace    --benchmark NAME [--kind branch|value|bits]
 //!                 [--len N] [--input K]                   dump a synthetic workload
+//! fsmgen trace export --format chrome|folded
+//!                 [--in trace.jsonl] [--out FILE]
+//!                 [--stage NAME] [--min-us N] [--strict]  convert an obs JSONL trace
 //! fsmgen simulate --benchmark NAME [--len N]
 //!                 [--customs K] [--history N]             compare predictors
 //! fsmgen predict  --machine FILE [TRACE]                 replay a saved machine
 //! fsmgen figure   {1|6|7}                                 print a paper figure's FSM
 //! fsmgen serve    [--addr HOST:PORT] [--cache-file FILE]  run the design service
 //! fsmgen client   --addr HOST:PORT [flags] [TRACE]        talk to a running service
+//! fsmgen top      HOST:PORT [--interval-ms N]
+//!                 [--once] [--json] [--count N]           live service dashboard
 //! ```
 
 mod args;
 mod commands;
 mod error;
+mod top;
 
 use error::CliError;
 use std::process::ExitCode;
@@ -46,6 +52,7 @@ fn main() -> ExitCode {
         "cache" => commands::cache(&parsed),
         "serve" => commands::serve(&parsed),
         "client" => commands::client(&parsed),
+        "top" => top::top(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,457 @@
+//! `fsmgen top`: a live, dependency-free dashboard over the design
+//! service's stats endpoint, plus the plain-line watch mode shared with
+//! `fsmgen client --stats --watch`.
+//!
+//! The delta/rate/restart computation lives in `fsmgen_serve::watch`
+//! (one module, two front-ends); this file owns polling, the ANSI TUI
+//! rendering, and the non-TTY degradations: `--once`/`--json` single
+//! shots and `--count N` plain-line frames.
+
+use crate::args::Args;
+use crate::error::CliError;
+use fsmgen_serve::watch::{parse_stats, RateTracker, WatchFrame};
+use fsmgen_serve::{Request, Response, ServeClient};
+use std::io::{IsTerminal, Write};
+use std::time::Duration;
+
+/// Consecutive failed polls after which a watch loop gives up. Long
+/// enough to ride out a server restart at any sane interval.
+const MAX_CONSECUTIVE_FAILURES: u32 = 20;
+
+/// Polls one server's stats endpoint, reconnecting after any error so a
+/// restarted server is picked up transparently.
+pub(crate) struct StatsPoller {
+    addr: String,
+    timeout: Duration,
+    client: Option<ServeClient>,
+}
+
+impl StatsPoller {
+    pub(crate) fn new(addr: &str, timeout: Duration) -> Self {
+        StatsPoller {
+            addr: addr.to_string(),
+            timeout,
+            client: None,
+        }
+    }
+
+    /// One stats round-trip. On any failure the connection is dropped so
+    /// the next call dials fresh (the server may have restarted).
+    pub(crate) fn sample(&mut self) -> Result<fsmgen_serve::StatsSample, String> {
+        if self.client.is_none() {
+            self.client = Some(
+                ServeClient::connect(&self.addr, self.timeout)
+                    .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?,
+            );
+        }
+        let result = match self.client.as_mut() {
+            Some(client) => client.call(&Request::Stats),
+            None => return Err("no connection".into()),
+        };
+        match result {
+            Ok(Response::Stats(json)) => parse_stats(&json),
+            Ok(other) => {
+                self.client = None;
+                Err(format!("unexpected reply: {other:?}"))
+            }
+            Err(e) => {
+                self.client = None;
+                Err(format!("stats request failed: {e}"))
+            }
+        }
+    }
+}
+
+/// `fsmgen top HOST:PORT`.
+///
+/// # Errors
+///
+/// Usage errors for missing address or bad flags; a general error when
+/// the server never becomes reachable.
+pub fn top(args: &Args) -> Result<(), CliError> {
+    let addr = match args.positional().first().map(String::as_str) {
+        Some(addr) => addr.to_string(),
+        None => match args.flag("addr") {
+            Some(addr) => addr.to_string(),
+            None => {
+                return Err(CliError::Usage(
+                    "top: HOST:PORT (positional or --addr) is required".into(),
+                ))
+            }
+        },
+    };
+    let interval = Duration::from_millis(
+        args.flag_or("interval-ms", 1000u64)
+            .map_err(CliError::Usage)?,
+    );
+    let timeout = Duration::from_millis(
+        args.flag_or("timeout-ms", 3000u64)
+            .map_err(CliError::Usage)?,
+    );
+    let count: u64 = args.flag_or("count", 0u64).map_err(CliError::Usage)?;
+    let mut poller = StatsPoller::new(&addr, timeout);
+
+    if args.has("once") || args.has("json") {
+        return run_once(&addr, &mut poller, interval, args.has("json"));
+    }
+    if count > 0 || !std::io::stdout().is_terminal() {
+        // Redirected stdout without --count: one table, like --once.
+        if count == 0 {
+            return run_once(&addr, &mut poller, interval, false);
+        }
+        return run_plain(&mut poller, interval, count);
+    }
+    run_tui(&addr, &mut poller, interval)
+}
+
+/// Plain-line watch shared with `fsmgen client --stats --watch`.
+/// `samples == 0` means until interrupted (or the server stays gone).
+pub(crate) fn client_watch(
+    addr: &str,
+    interval: Duration,
+    samples: u64,
+    timeout: Duration,
+) -> Result<(), CliError> {
+    let mut poller = StatsPoller::new(addr, timeout);
+    run_watch_lines(&mut poller, interval, samples)
+}
+
+fn run_plain(poller: &mut StatsPoller, interval: Duration, count: u64) -> Result<(), CliError> {
+    run_watch_lines(poller, interval, count)
+}
+
+/// The shared plain-mode loop: one line per poll, surviving restarts
+/// and transient connection failures.
+fn run_watch_lines(
+    poller: &mut StatsPoller,
+    interval: Duration,
+    count: u64,
+) -> Result<(), CliError> {
+    let mut tracker = RateTracker::new();
+    let mut emitted = 0u64;
+    let mut successes = 0u64;
+    let mut consecutive_failures = 0u32;
+    loop {
+        match poller.sample() {
+            Ok(sample) => {
+                consecutive_failures = 0;
+                successes += 1;
+                let frame = tracker.observe(sample);
+                println!("{}", watch_line(&frame));
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                println!("unreachable: {e}");
+                if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+                    return Err(CliError::Other(format!(
+                        "server unreachable for {consecutive_failures} consecutive polls"
+                    )));
+                }
+            }
+        }
+        emitted += 1;
+        if count > 0 && emitted >= count {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    if successes == 0 {
+        return Err(CliError::Other("no stats sample succeeded".into()));
+    }
+    Ok(())
+}
+
+/// One plain watch line: rates, hit rate, tail latency, uptime; flags a
+/// detected restart explicitly.
+pub(crate) fn watch_line(frame: &WatchFrame) -> String {
+    let s = &frame.sample;
+    let mut line = format!(
+        "req/s {:>8.1}  hit {:>5.1}%  rej/s {:>6.1}  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  \
+         flush/s {:>5.1}  up {}",
+        frame.req_per_s,
+        frame.hit_rate * 100.0,
+        frame.reject_per_s,
+        s.latency_p50,
+        s.latency_p95,
+        s.latency_p99,
+        frame.flushes_per_s,
+        fmt_uptime(s.uptime_ms),
+    );
+    if frame.restarted {
+        line.push_str("  [restart]");
+    }
+    line
+}
+
+fn fmt_uptime(uptime_ms: Option<u64>) -> String {
+    match uptime_ms {
+        None => "?".into(),
+        Some(ms) => {
+            let secs = ms / 1000;
+            if secs >= 3600 {
+                format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+            } else if secs >= 60 {
+                format!("{}m{:02}s", secs / 60, secs % 60)
+            } else {
+                format!("{}.{}s", secs, (ms % 1000) / 100)
+            }
+        }
+    }
+}
+
+/// `--once` / `--json`: two samples a short beat apart (so rates have a
+/// window), then one table or one JSON object.
+fn run_once(
+    addr: &str,
+    poller: &mut StatsPoller,
+    interval: Duration,
+    json: bool,
+) -> Result<(), CliError> {
+    let mut tracker = RateTracker::new();
+    let first = sample_with_retries(poller)?;
+    tracker.observe(first);
+    std::thread::sleep(interval.min(Duration::from_millis(250)));
+    let second = sample_with_retries(poller)?;
+    let frame = tracker.observe(second);
+    if json {
+        println!("{}", frame_json(addr, &frame));
+    } else {
+        print!("{}", frame_table(addr, &frame));
+    }
+    Ok(())
+}
+
+/// A few dials with backoff: `--once` in scripts/CI shouldn't flake on
+/// a server that is still coming up.
+fn sample_with_retries(poller: &mut StatsPoller) -> Result<fsmgen_serve::StatsSample, CliError> {
+    let mut last_err = String::new();
+    for attempt in 0..5 {
+        match poller.sample() {
+            Ok(sample) => return Ok(sample),
+            Err(e) => {
+                last_err = e;
+                std::thread::sleep(Duration::from_millis(100 * (attempt + 1)));
+            }
+        }
+    }
+    Err(CliError::Other(format!("top: {last_err}")))
+}
+
+/// One machine-readable frame (`"kind": "top_frame"`, schema-versioned
+/// like every other JSON document this workspace emits).
+fn frame_json(addr: &str, frame: &WatchFrame) -> String {
+    let s = &frame.sample;
+    let opt = |v: Option<u64>| v.map_or("null".into(), |v| v.to_string());
+    format!(
+        "{{\"v\": {v}, \"kind\": \"top_frame\", \"addr\": {addr}, \
+         \"req_per_s\": {req:.3}, \"reject_per_s\": {rej:.3}, \
+         \"timeout_per_s\": {to:.3}, \"malformed_per_s\": {mal:.3}, \
+         \"hit_rate\": {hit:.4}, \"window_secs\": {win:.3}, \
+         \"latency_us\": {{\"count\": {lc}, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}, \
+         \"store\": {{\"appends_per_s\": {aps:.3}, \"flushes_per_s\": {fps:.3}, \
+         \"compactions\": {comp}}}, \
+         \"requests_ok\": {ok}, \"conns_accepted\": {conns}, \
+         \"uptime_ms\": {up}, \"seq\": {seq}, \"restarted\": {restarted}}}",
+        v = fsmgen_obs::SCHEMA_VERSION,
+        addr = json_string(addr),
+        req = frame.req_per_s,
+        rej = frame.reject_per_s,
+        to = frame.timeout_per_s,
+        mal = frame.malformed_per_s,
+        hit = frame.hit_rate,
+        win = frame.window_secs,
+        lc = s.latency_count,
+        p50 = s.latency_p50,
+        p95 = s.latency_p95,
+        p99 = s.latency_p99,
+        aps = frame.appends_per_s,
+        fps = frame.flushes_per_s,
+        comp = frame.compactions,
+        ok = s.requests_ok,
+        conns = s.conns_accepted,
+        up = opt(s.uptime_ms),
+        seq = opt(s.seq),
+        restarted = frame.restarted,
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The single-shot (and TUI-body) table.
+fn frame_table(addr: &str, frame: &WatchFrame) -> String {
+    let s = &frame.sample;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fsmgen top — {addr}   up {}   seq {}\n",
+        fmt_uptime(s.uptime_ms),
+        s.seq.map_or("?".into(), |v| v.to_string()),
+    ));
+    if frame.restarted {
+        out.push_str("  ** server restarted — rates re-baselined **\n");
+    }
+    out.push_str(&format!(
+        "  req/s      {:>10.1}    hit rate   {:>9.1}%\n",
+        frame.req_per_s,
+        frame.hit_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "  reject/s   {:>10.1}    timeout/s  {:>10.1}\n",
+        frame.reject_per_s, frame.timeout_per_s
+    ));
+    out.push_str(&format!(
+        "  malformed/s{:>10.1}    conns      {:>10}\n",
+        frame.malformed_per_s, s.conns_accepted
+    ));
+    out.push_str(&format!(
+        "  latency us  p50 {:>8}  p95 {:>8}  p99 {:>8}  ({} req)\n",
+        s.latency_p50, s.latency_p95, s.latency_p99, s.latency_count
+    ));
+    out.push_str(&format!(
+        "  store       appends/s {:>7.1}  flushes/s {:>7.1}  compactions {:>3}\n",
+        frame.appends_per_s, frame.flushes_per_s, frame.compactions
+    ));
+    out
+}
+
+/// Braille-free block sparkline over the p95 history.
+fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| BARS[((v as f64 / max as f64) * 7.0).round() as usize])
+        .collect()
+}
+
+/// The full-screen loop: clear, render, sleep. Exits only on sustained
+/// unreachability; a restart shows a banner for one frame and the watch
+/// continues against the new process.
+fn run_tui(addr: &str, poller: &mut StatsPoller, interval: Duration) -> Result<(), CliError> {
+    let mut tracker = RateTracker::new();
+    let mut p95_history: Vec<u64> = Vec::new();
+    let mut consecutive_failures = 0u32;
+    loop {
+        let body = match poller.sample() {
+            Ok(sample) => {
+                consecutive_failures = 0;
+                let frame = tracker.observe(sample);
+                p95_history.push(frame.sample.latency_p95);
+                let len = p95_history.len();
+                if len > 48 {
+                    p95_history.drain(..len - 48);
+                }
+                format!(
+                    "{}  p95 {}\n\n(interval {:.1}s — ctrl-c to quit)\n",
+                    frame_table(addr, &frame),
+                    sparkline(&p95_history),
+                    interval.as_secs_f64()
+                )
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+                    return Err(CliError::Other(format!(
+                        "server unreachable for {consecutive_failures} consecutive polls"
+                    )));
+                }
+                format!("fsmgen top — {addr}\n\n  unreachable: {e}\n  retrying…\n")
+            }
+        };
+        // \x1b[2J clears, \x1b[H homes the cursor.
+        print!("\x1b[2J\x1b[H{body}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_serve::StatsSample;
+
+    fn frame() -> WatchFrame {
+        WatchFrame {
+            sample: StatsSample {
+                uptime_ms: Some(65_000),
+                seq: Some(7),
+                requests_ok: 42,
+                latency_count: 42,
+                latency_p50: 127,
+                latency_p95: 511,
+                latency_p99: 1023,
+                ..StatsSample::default()
+            },
+            req_per_s: 10.5,
+            hit_rate: 0.75,
+            window_secs: 1.0,
+            ..WatchFrame::default()
+        }
+    }
+
+    #[test]
+    fn watch_line_carries_rates_and_uptime() {
+        let line = watch_line(&frame());
+        assert!(line.contains("req/s"), "{line}");
+        assert!(line.contains("10.5"), "{line}");
+        assert!(line.contains("75.0%"), "{line}");
+        assert!(line.contains("up 1m05s"), "{line}");
+        assert!(!line.contains("[restart]"), "{line}");
+        let mut restarted = frame();
+        restarted.restarted = true;
+        assert!(watch_line(&restarted).contains("[restart]"));
+    }
+
+    #[test]
+    fn frame_json_is_valid_and_kinded() {
+        let text = frame_json("127.0.0.1:9", &frame());
+        let value = fsmgen_serve::json::parse(&text).expect("top frame must be valid JSON");
+        use fsmgen_serve::json::Json;
+        assert_eq!(value.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(value.get("kind").and_then(Json::as_str), Some("top_frame"));
+        assert_eq!(value.get("uptime_ms").and_then(Json::as_u64), Some(65_000));
+        assert_eq!(value.get("restarted").and_then(Json::as_bool), Some(false));
+        assert!(value.get("req_per_s").and_then(Json::as_f64).unwrap() > 10.0);
+        let lat = value.get("latency_us").expect("latency block");
+        assert_eq!(lat.get("p95").and_then(Json::as_u64), Some(511));
+    }
+
+    #[test]
+    fn frame_json_renders_absent_fields_as_null() {
+        let mut old = frame();
+        old.sample.uptime_ms = None;
+        old.sample.seq = None;
+        let text = frame_json("x:1", &old);
+        assert!(text.contains("\"uptime_ms\": null"), "{text}");
+        assert!(fsmgen_serve::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0, 50, 100]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'), "{line}");
+        assert!(line.starts_with('▁'), "{line}");
+    }
+
+    #[test]
+    fn uptime_formats_scale() {
+        assert_eq!(fmt_uptime(None), "?");
+        assert_eq!(fmt_uptime(Some(1500)), "1.5s");
+        assert_eq!(fmt_uptime(Some(65_000)), "1m05s");
+        assert_eq!(fmt_uptime(Some(3_700_000)), "1h01m");
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests for `fsmgen top` and `fsmgen client --stats --watch`
+//! against a real `fsmgen serve` process: the non-TTY degradations
+//! (`--once`, `--json`, `--count`) must print rates and quantiles, and a
+//! watch must survive a SIGKILL + restart of the server mid-flight.
+
+use fsmgen_serve::json::{self, Json};
+use std::io::BufRead;
+use std::process::{Child, Command, Output, Stdio};
+
+const PAPER_TRACE: &str = "0000 1000 1011 1101 1110 1111";
+
+fn fsmgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fsmgen"))
+}
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    /// Spawns `fsmgen serve` on `addr` ("127.0.0.1:0" for an OS port)
+    /// and waits for the listening banner. Retries briefly so a restart
+    /// can rebind the port the previous process just vacated.
+    fn spawn_at(addr: &str) -> ServerProc {
+        let mut last: Option<String> = None;
+        for _ in 0..40 {
+            let mut child = fsmgen()
+                .args(["serve", "--addr", addr])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn fsmgen serve");
+            let stdout = child.stdout.take().expect("stdout");
+            match std::io::BufReader::new(stdout).lines().next() {
+                Some(Ok(banner)) if banner.starts_with("listening on ") => {
+                    let addr = banner["listening on ".len()..].to_string();
+                    return ServerProc { child, addr };
+                }
+                other => {
+                    last = Some(format!("{other:?}"));
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        }
+        panic!("server never came up on {addr}: {last:?}");
+    }
+
+    /// Sends a couple of design requests so the counters are non-zero.
+    fn warm(&self) {
+        for _ in 0..2 {
+            let output = fsmgen()
+                .args(["client", "--addr", &self.addr, "--history", "2"])
+                .arg("/dev/stdin")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .spawn()
+                .and_then(|mut child| {
+                    use std::io::Write as _;
+                    child
+                        .stdin
+                        .take()
+                        .expect("stdin")
+                        .write_all(PAPER_TRACE.as_bytes())?;
+                    child.wait_with_output()
+                })
+                .expect("run fsmgen client");
+            assert!(output.status.success(), "warm design failed: {output:?}");
+        }
+    }
+
+    fn sigkill(mut self) -> String {
+        let addr = self.addr.clone();
+        self.child.kill().expect("SIGKILL server");
+        let _ = self.child.wait();
+        addr
+    }
+
+    fn shutdown(self) {
+        let output = fsmgen()
+            .args(["client", "--addr", &self.addr, "--shutdown"])
+            .output()
+            .expect("run shutdown");
+        assert!(output.status.success(), "{output:?}");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn stdout_text(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn top_once_json_reports_rates_and_quantiles() {
+    let server = ServerProc::spawn_at("127.0.0.1:0");
+    server.warm();
+
+    let output = fsmgen()
+        .args(["top", &server.addr, "--once", "--json"])
+        .output()
+        .expect("run fsmgen top");
+    let text = stdout_text(&output);
+    let value = json::parse(text.trim()).expect("top --json must print valid JSON");
+    assert_eq!(value.get("v").and_then(Json::as_u64), Some(1));
+    assert_eq!(value.get("kind").and_then(Json::as_str), Some("top_frame"));
+    assert_eq!(value.get("restarted").and_then(Json::as_bool), Some(false));
+    assert!(value.get("req_per_s").and_then(Json::as_f64).is_some());
+    assert!(value.get("hit_rate").and_then(Json::as_f64).is_some());
+    assert!(value.get("uptime_ms").and_then(Json::as_u64).is_some());
+    assert!(value.get("seq").and_then(Json::as_u64).is_some());
+    let lat = value.get("latency_us").expect("latency_us block");
+    for key in ["count", "p50", "p95", "p99"] {
+        assert!(lat.get(key).and_then(Json::as_u64).is_some(), "{key}");
+    }
+    // The two warm designs are on the books.
+    assert!(value.get("requests_ok").and_then(Json::as_u64).unwrap() >= 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn top_once_table_degrades_without_a_tty() {
+    let server = ServerProc::spawn_at("127.0.0.1:0");
+    server.warm();
+
+    // stdout is a pipe here, so even without --once this must print one
+    // table and exit rather than entering the ANSI TUI.
+    let output = fsmgen()
+        .args(["top", &server.addr])
+        .output()
+        .expect("run fsmgen top");
+    let text = stdout_text(&output);
+    assert!(text.contains("req/s"), "{text}");
+    assert!(text.contains("p95"), "{text}");
+    assert!(
+        !text.contains("\x1b["),
+        "plain mode must not emit ANSI: {text:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn client_stats_watch_prints_rate_lines() {
+    let server = ServerProc::spawn_at("127.0.0.1:0");
+    server.warm();
+
+    let output = fsmgen()
+        .args([
+            "client",
+            "--addr",
+            &server.addr,
+            "--stats",
+            "--watch",
+            "0.05",
+            "--samples",
+            "3",
+        ])
+        .output()
+        .expect("run client --stats --watch");
+    let text = stdout_text(&output);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines {
+        assert!(line.contains("req/s"), "{line}");
+        assert!(line.contains("p95"), "{line}");
+    }
+
+    server.shutdown();
+}
+
+/// A watch must survive the server being SIGKILL'd and restarted on the
+/// same address: unreachable polls are reported, the first sample from
+/// the new process is flagged as a restart, and the watch exits cleanly.
+#[test]
+#[cfg(unix)]
+fn top_survives_server_restart_mid_watch() {
+    let first = ServerProc::spawn_at("127.0.0.1:0");
+    first.warm();
+    // A couple of stats polls so the old process's seq is ahead of a
+    // fresh process's.
+    for _ in 0..3 {
+        let output = fsmgen()
+            .args(["client", "--addr", &first.addr, "--stats"])
+            .output()
+            .expect("stats poll");
+        assert!(output.status.success());
+    }
+
+    // 14 frames at 250 ms ≈ 3.5 s of watching; piped stdout selects the
+    // plain line-per-frame mode.
+    let top = fsmgen()
+        .args(["top", &first.addr, "--count", "14", "--interval-ms", "250"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fsmgen top");
+
+    // Let it land a couple of good samples, then kill and restart the
+    // server on the very same address.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let addr = first.sigkill();
+    let second = ServerProc::spawn_at(&addr);
+    second.warm();
+
+    let output = top.wait_with_output().expect("top exit");
+    let text = stdout_text(&output);
+    assert!(
+        text.contains("[restart]") || text.contains("unreachable"),
+        "watch never noticed the restart:\n{text}"
+    );
+    // It kept watching the new process after the restart.
+    let rate_lines = text.lines().filter(|l| l.contains("req/s")).count();
+    assert!(rate_lines >= 2, "too few successful frames:\n{text}");
+    assert!(
+        text.lines().last().unwrap_or("").contains("req/s"),
+        "watch did not recover by the final frame:\n{text}"
+    );
+
+    second.shutdown();
+}

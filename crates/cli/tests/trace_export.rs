@@ -1,0 +1,309 @@
+//! Round-trip tests for `fsmgen trace export`: property tests over
+//! synthetic obs-JSONL corpora (every span appears exactly once in both
+//! formats, durations non-negative, corruption skip-and-counts without
+//! panicking) plus end-to-end runs against real `fsmgen design`/`farm`
+//! traces — including a SIGKILL'd farm whose trace must still parse
+//! thanks to the sink's flush-on-root-close discipline.
+
+use fsmgen_obs::trace::{export_chrome, export_folded, ExportOptions};
+use fsmgen_serve::json::{self, Json};
+use fsmgen_testkit::obs_jsonl;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fsmgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fsmgen"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fsmgen-trace-export-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn chrome(input: &str, options: &ExportOptions) -> (String, fsmgen_obs::ExportReport) {
+    let mut out = Vec::new();
+    let report = export_chrome(&mut input.as_bytes(), &mut out, options).expect("chrome export");
+    (String::from_utf8(out).unwrap(), report)
+}
+
+fn folded(input: &str, options: &ExportOptions) -> (String, fsmgen_obs::ExportReport) {
+    let mut out = Vec::new();
+    let report = export_folded(&mut input.as_bytes(), &mut out, options).expect("folded export");
+    (String::from_utf8(out).unwrap(), report)
+}
+
+/// Parses a chrome export and returns its `X` (complete span) events.
+fn x_events(text: &str) -> Vec<Json> {
+    let value = json::parse(text).expect("chrome export must be valid JSON");
+    assert_eq!(
+        value.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    match value.get("traceEvents") {
+        Some(Json::Arr(events)) => events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .cloned()
+            .collect(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every span in the input appears exactly once in both formats,
+    /// with non-negative durations, for stamped and legacy traces alike.
+    #[test]
+    fn round_trip_counts_and_durations(
+        roots in 1usize..6,
+        depth in 0usize..5,
+        tid in 1u64..4,
+        stamped in any::<bool>(),
+    ) {
+        let input = if stamped {
+            obs_jsonl::stamped_trace(roots, depth, tid)
+        } else {
+            obs_jsonl::unstamped_trace(roots, depth)
+        };
+        let expected = obs_jsonl::span_count(roots, depth);
+
+        let (chrome_text, chrome_report) = chrome(&input, &ExportOptions::default());
+        prop_assert_eq!(chrome_report.spans as usize, expected);
+        prop_assert_eq!(chrome_report.corrupt, 0);
+        prop_assert_eq!(chrome_report.unclosed, 0);
+        let spans = x_events(&chrome_text);
+        prop_assert_eq!(spans.len(), expected);
+        for event in &spans {
+            for key in ["pid", "tid", "ts", "dur"] {
+                prop_assert!(
+                    event.get(key).and_then(Json::as_f64).is_some(),
+                    "span event missing {}", key
+                );
+            }
+            prop_assert!(event.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+        }
+
+        let (folded_text, folded_report) = folded(&input, &ExportOptions::default());
+        prop_assert_eq!(folded_report.spans as usize, expected);
+        prop_assert_eq!(folded_text.lines().count(), expected);
+        for line in folded_text.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("folded line shape");
+            prop_assert!(!stack.is_empty());
+            let self_us: i64 = value.parse().expect("folded self time");
+            prop_assert!(self_us >= 0, "negative self time in {}", line);
+        }
+    }
+
+    /// Corrupting any single byte never panics either exporter; the
+    /// damage is skipped and counted, and span counts never exceed the
+    /// intact corpus.
+    #[test]
+    fn corruption_skips_and_counts_never_panics(
+        roots in 1usize..4,
+        depth in 0usize..4,
+        at in 0usize..4096,
+    ) {
+        let intact = obs_jsonl::stamped_trace(roots, depth, 1);
+        let expected = obs_jsonl::span_count(roots, depth);
+        let damaged = obs_jsonl::corrupt_byte(&intact, at % intact.len());
+
+        let (chrome_text, report) = chrome(&damaged, &ExportOptions::default());
+        prop_assert_eq!(report.corrupt, 1, "stray quote must corrupt exactly one line");
+        prop_assert!((report.spans as usize) <= expected);
+        // The output document itself stays well-formed.
+        let _ = x_events(&chrome_text);
+
+        let (_, folded_report) = folded(&damaged, &ExportOptions::default());
+        prop_assert_eq!(folded_report.corrupt, 1);
+
+        // Strict mode refuses the same input.
+        let strict = ExportOptions { strict: true, ..ExportOptions::default() };
+        let mut sink = Vec::new();
+        prop_assert!(export_chrome(&mut damaged.as_bytes(), &mut sink, &strict).is_err());
+    }
+
+    /// Truncating the corpus at any byte never panics; a mid-line cut is
+    /// reported as a torn tail, never as corruption.
+    #[test]
+    fn truncation_is_a_torn_tail(
+        roots in 1usize..4,
+        depth in 0usize..4,
+        at in 1usize..4096,
+    ) {
+        let intact = obs_jsonl::stamped_trace(roots, depth, 1);
+        let cut = obs_jsonl::truncate_at(&intact, at % intact.len());
+        let (chrome_text, report) = chrome(&cut, &ExportOptions::default());
+        prop_assert_eq!(report.corrupt, 0, "a torn tail is not corruption");
+        prop_assert!(report.truncated <= 1);
+        prop_assert!((report.spans as usize) <= obs_jsonl::span_count(roots, depth));
+        let _ = x_events(&chrome_text);
+    }
+}
+
+#[test]
+fn cli_design_trace_exports_both_formats() {
+    let dir = tmp_dir("design");
+    let trace_file = dir.join("bits.txt");
+    std::fs::write(&trace_file, "0000 1000 1011 1101 1110 1111").unwrap();
+    let jsonl = dir.join("design.jsonl");
+
+    let output = fsmgen()
+        .args([
+            "design",
+            "--history",
+            "2",
+            "--trace-jsonl",
+            jsonl.to_str().unwrap(),
+            trace_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run fsmgen design");
+    assert!(output.status.success(), "{output:?}");
+
+    // The written trace is stamped line-by-line.
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(line.starts_with("{\"v\": 1, \"type\": "), "{line}");
+        assert!(line.contains("\"ts_us\": "), "{line}");
+    }
+    let span_ends = text.matches("\"type\": \"span_end\"").count();
+    assert!(span_ends > 0, "design trace has spans");
+
+    // Chrome export via the CLI.
+    let chrome_out = dir.join("design.chrome.json");
+    let output = fsmgen()
+        .args([
+            "trace",
+            "export",
+            "--format",
+            "chrome",
+            "--in",
+            jsonl.to_str().unwrap(),
+            "--out",
+            chrome_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run trace export");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("0 corrupt line(s)"), "{stderr}");
+    let chrome_text = std::fs::read_to_string(&chrome_out).unwrap();
+    assert_eq!(x_events(&chrome_text).len(), span_ends);
+
+    // Folded export via stdout; line count == span_end count.
+    let output = fsmgen()
+        .args([
+            "trace",
+            "export",
+            "--format",
+            "folded",
+            "--in",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run trace export folded");
+    assert!(output.status.success(), "{output:?}");
+    let folded_text = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(folded_text.lines().count(), span_ends);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_trace_export_strict_rejects_corrupt_input_with_exit_3() {
+    let dir = tmp_dir("strict");
+    let jsonl = dir.join("damaged.jsonl");
+    let mut corpus = obs_jsonl::stamped_trace(2, 2, 1);
+    corpus.push_str("this is not json\n");
+    std::fs::write(&jsonl, &corpus).unwrap();
+
+    // Lenient: succeeds, reports the skip on stderr.
+    let output = fsmgen()
+        .args(["trace", "export", "--in", jsonl.to_str().unwrap()])
+        .output()
+        .expect("run trace export");
+    assert!(output.status.success(), "{output:?}");
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("1 corrupt line(s)"),
+        "{output:?}"
+    );
+
+    // Strict: parse error, exit 3.
+    let output = fsmgen()
+        .args([
+            "trace",
+            "export",
+            "--strict",
+            "--in",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run strict trace export");
+    assert_eq!(output.status.code(), Some(3), "{output:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The flush-on-root-close regression: SIGKILL a farm run mid-batch and
+/// the trace written so far must still export — complete root spans
+/// reached the file even though the process never exited cleanly.
+#[test]
+#[cfg(unix)]
+fn sigkilled_farm_trace_still_parses() {
+    let dir = tmp_dir("sigkill");
+    let jsonl = dir.join("farm.jsonl");
+
+    let mut child = fsmgen()
+        .args([
+            "farm",
+            "--benchmarks",
+            "gsm,g721,compress,gs,ijpeg,vortex",
+            "--histories",
+            "2,3,4",
+            "--repeat",
+            "40",
+            "--len",
+            "20000",
+            "--jobs",
+            "2",
+            "--trace-jsonl",
+            jsonl.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fsmgen farm");
+
+    // Wait until at least one complete span has hit the disk.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let content = std::fs::read_to_string(&jsonl).unwrap_or_default();
+        if content.contains("\"type\": \"span_end\"") {
+            break;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("farm exited before producing spans: {status:?}");
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no span_end reached the trace file within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL farm");
+    let _ = child.wait();
+
+    let content = std::fs::read_to_string(&jsonl).unwrap();
+    let (_, report) = chrome(&content, &ExportOptions::default());
+    assert!(report.spans > 0, "killed farm left no exportable spans");
+    assert_eq!(report.corrupt, 0, "flushed lines must be whole: {report:?}");
+    let (_, folded_report) = folded(&content, &ExportOptions::default());
+    assert_eq!(folded_report.spans, report.spans);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

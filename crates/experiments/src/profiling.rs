@@ -21,6 +21,28 @@ pub fn profiled<R>(f: impl FnOnce() -> R) -> (R, PipelineProfile) {
     fsmgen_obs::profiled(f)
 }
 
+/// Runs `f` with a stamped JSONL obs sink installed process-globally,
+/// streaming every span/counter event — including those from farm
+/// worker threads — to `path`. The file is exportable with
+/// `fsmgen trace export`; lines carry `ts_us`/`tid` stamps and the sink
+/// flushes at every root-span close, so even a crashed run leaves a
+/// parseable trace.
+///
+/// # Errors
+///
+/// Returns the I/O error when `path` cannot be created.
+pub fn with_trace_jsonl<R>(path: &std::path::Path, f: impl FnOnce() -> R) -> std::io::Result<R> {
+    let file = std::fs::File::create(path)?;
+    let sink = std::sync::Arc::new(fsmgen_obs::JsonlObsSink::new(std::io::BufWriter::new(file)));
+    fsmgen_obs::install_global(
+        std::sync::Arc::clone(&sink) as std::sync::Arc<dyn fsmgen_obs::ObsSink>
+    );
+    let result = f();
+    fsmgen_obs::clear_global();
+    sink.flush();
+    Ok(result)
+}
+
 /// Serializable summary of the farm batches behind one figure: how much
 /// the design cache helped and how fast the fleet ran. Derived from
 /// [`FarmMetrics`] (which itself is not serde-serializable because the

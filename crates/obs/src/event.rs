@@ -119,6 +119,23 @@ impl ObsEvent {
     }
 }
 
+impl ObsEvent {
+    /// Renders the event as one line of versioned JSON carrying two
+    /// additional trailing fields: `"ts_us"` (microseconds since the
+    /// writing sink's epoch) and `"tid"` (a small process-unique integer
+    /// naming the emitting thread). These are *additive* to schema v1 —
+    /// consumers that predate them ignore unknown fields, and the trace
+    /// exporters fall back to a synthetic clock when they are absent.
+    #[must_use]
+    pub fn to_jsonl_stamped(&self, ts_us: u64, tid: u64) -> String {
+        let mut line = self.to_jsonl();
+        // `to_jsonl` always renders one object ending in '}'.
+        line.truncate(line.len() - 1);
+        line.push_str(&format!(", \"ts_us\": {ts_us}, \"tid\": {tid}}}"));
+        line
+    }
+}
+
 /// Quotes and escapes a string for JSON output.
 pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

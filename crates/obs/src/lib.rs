@@ -27,6 +27,11 @@
 //! schema version ([`SCHEMA_VERSION`]). For tail latency (which
 //! sum-only stage timings hide) there is a lock-free fixed-bucket
 //! [`LatencyHistogram`] with nearest-rank p50/p95/p99 reads.
+//!
+//! JSONL traces written by [`JsonlObsSink`] (which stamps `ts_us`/`tid`
+//! and flushes whenever a thread's root span closes) convert to Chrome
+//! `trace_event` JSON and folded flamegraph stacks through the
+//! streaming exporters in [`trace`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +42,7 @@ mod hist;
 mod profile;
 pub mod recorder;
 mod sink;
+pub mod trace;
 
 pub use event::{ObsEvent, SCHEMA_VERSION};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
@@ -45,4 +51,5 @@ pub use recorder::{
     clear_global, counter, emit, enabled, install, install_global, mark, profiled, profiled_events,
     rung, span, SinkGuard, Span,
 };
-pub use sink::{CollectingObsSink, JsonlObsSink, NullObsSink, ObsSink};
+pub use sink::{current_tid, CollectingObsSink, JsonlObsSink, NullObsSink, ObsSink};
+pub use trace::{ExportError, ExportFormat, ExportOptions, ExportReport};

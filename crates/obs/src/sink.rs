@@ -1,8 +1,27 @@
 //! Sinks: where recorded events go.
 
 use crate::event::ObsEvent;
+use std::collections::HashMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Next thread id handed out by [`current_tid`]. Starts at 1 so traces
+/// never contain a 0 tid (0 reads as "unknown" to downstream tools).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static OBS_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small process-unique integer identifying the calling thread, stable
+/// for the thread's lifetime. Used by [`JsonlObsSink`] to stamp per-line
+/// `"tid"` fields so trace exporters can reconstruct per-thread tracks.
+#[must_use]
+pub fn current_tid() -> u64 {
+    OBS_TID.with(|tid| *tid)
+}
 
 /// Receives every event emitted while the sink is installed.
 ///
@@ -63,27 +82,58 @@ impl ObsSink for CollectingObsSink {
 
 /// Streams each event as one line of versioned JSON to a writer.
 ///
+/// Every line is stamped with `"ts_us"` (microseconds since the sink was
+/// created) and `"tid"` (see [`current_tid`]) so the trace exporters can
+/// lay events out on a real timeline with per-thread tracks.
+///
+/// The sink tracks span nesting depth per thread and flushes the writer
+/// whenever a thread returns to depth zero (a root span closed, or a
+/// point event fired outside any span). That keeps `tail -f` workflows
+/// live and bounds data loss from a killed process to the spans still
+/// open at the instant of death — completed root spans are always on
+/// disk.
+///
 /// Write errors are swallowed: observability must never fail the
 /// pipeline it observes.
 #[derive(Debug)]
 pub struct JsonlObsSink<W: Write + Send> {
-    out: Mutex<W>,
+    inner: Mutex<StampedWriter<W>>,
+    epoch: Instant,
+}
+
+#[derive(Debug)]
+struct StampedWriter<W> {
+    out: W,
+    /// Open-span depth per tid; an entry returning to 0 triggers a flush.
+    depth: HashMap<u64, u64>,
 }
 
 impl<W: Write + Send> JsonlObsSink<W> {
-    /// Wraps a writer.
+    /// Wraps a writer; the stamping epoch is now.
     pub fn new(out: W) -> Self {
         Self {
-            out: Mutex::new(out),
+            inner: Mutex::new(StampedWriter {
+                out,
+                depth: HashMap::new(),
+            }),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Flushes the inner writer (best effort — errors are swallowed,
+    /// matching the sink's write discipline).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = inner.out.flush();
     }
 
     /// Flushes and returns the inner writer.
     pub fn into_inner(self) -> W {
-        let mut out = self
-            .out
+        let inner = self
+            .inner
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
+        let mut out = inner.out;
         let _ = out.flush();
         out
     }
@@ -91,8 +141,24 @@ impl<W: Write + Send> JsonlObsSink<W> {
 
 impl<W: Write + Send> ObsSink for JsonlObsSink<W> {
     fn record(&self, event: &ObsEvent) {
-        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = writeln!(out, "{}", event.to_jsonl());
+        let ts_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match event {
+            ObsEvent::SpanStart { .. } => {
+                *inner.depth.entry(tid).or_insert(0) += 1;
+            }
+            ObsEvent::SpanEnd { .. } => {
+                if let Some(depth) = inner.depth.get_mut(&tid) {
+                    *depth = depth.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+        let _ = writeln!(inner.out, "{}", event.to_jsonl_stamped(ts_us, tid));
+        if inner.depth.get(&tid).copied().unwrap_or(0) == 0 {
+            let _ = inner.out.flush();
+        }
     }
 }
 
@@ -133,5 +199,88 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with("{\"v\": 1")));
+    }
+
+    #[test]
+    fn jsonl_sink_stamps_ts_and_tid() {
+        let sink = JsonlObsSink::new(Vec::new());
+        sink.record(&ObsEvent::SpanStart { name: "nfa", id: 9 });
+        sink.record(&ObsEvent::SpanEnd {
+            name: "nfa",
+            id: 9,
+            wall: std::time::Duration::from_micros(42),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        for line in text.lines() {
+            // Stamps are appended, so the schema-v1 prefix is untouched.
+            assert!(line.starts_with("{\"v\": 1, \"type\": "), "{line}");
+            assert!(line.contains("\"ts_us\": "), "{line}");
+            assert!(line.contains("\"tid\": "), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    /// A writer that counts flushes, for asserting root-close flushing.
+    struct FlushCounter {
+        flushes: std::sync::Arc<AtomicU64>,
+    }
+
+    impl Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_root_span_close() {
+        let flushes = std::sync::Arc::new(AtomicU64::new(0));
+        let sink = JsonlObsSink::new(FlushCounter {
+            flushes: std::sync::Arc::clone(&flushes),
+        });
+        let wall = std::time::Duration::from_micros(1);
+        sink.record(&ObsEvent::SpanStart {
+            name: "design",
+            id: 1,
+        });
+        sink.record(&ObsEvent::SpanStart {
+            name: "minimize",
+            id: 2,
+        });
+        assert_eq!(flushes.load(Ordering::Relaxed), 0, "open spans buffer");
+        sink.record(&ObsEvent::SpanEnd {
+            name: "minimize",
+            id: 2,
+            wall,
+        });
+        assert_eq!(flushes.load(Ordering::Relaxed), 0, "child close buffers");
+        sink.record(&ObsEvent::SpanEnd {
+            name: "design",
+            id: 1,
+            wall,
+        });
+        assert_eq!(flushes.load(Ordering::Relaxed), 1, "root close flushes");
+        sink.record(&ObsEvent::Mark {
+            scope: "farm".into(),
+            name: "job_finished".into(),
+            detail: String::new(),
+        });
+        assert_eq!(
+            flushes.load(Ordering::Relaxed),
+            2,
+            "point events at depth 0 flush"
+        );
+    }
+
+    #[test]
+    fn tids_are_distinct_across_threads() {
+        let here = current_tid();
+        assert!(here > 0);
+        let there = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, current_tid(), "tid is stable per thread");
     }
 }

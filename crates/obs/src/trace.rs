@@ -1,0 +1,1129 @@
+//! Streaming exporters from the obs JSONL stream to visualization
+//! formats: Chrome `trace_event` JSON (chrome://tracing, Perfetto) and
+//! folded flamegraph stacks (inferno, speedscope).
+//!
+//! Both exporters read line-by-line and hold only the per-thread stacks
+//! of *open* spans, so memory stays bounded no matter how large the
+//! input trace is. Malformed input follows the durable store's
+//! skip-and-count discipline: corrupt lines and a torn final line are
+//! skipped and tallied in the [`ExportReport`] by default, or turned
+//! into the first error in `--strict` mode. Exporters never panic on
+//! hostile input.
+//!
+//! ## Timestamps
+//!
+//! Lines written by [`JsonlObsSink`](crate::JsonlObsSink) carry
+//! `"ts_us"` / `"tid"` stamps and are laid out on that real timeline.
+//! Legacy (unstamped) traces still export: a per-thread synthetic clock
+//! advances as spans close, preserving ordering and durations even
+//! though absolute placement is reconstructed.
+//!
+//! ## Event mapping
+//!
+//! | JSONL `type` | Chrome phase | Folded output |
+//! |--------------|--------------|---------------|
+//! | `span_start` | (opens a frame) | (opens a frame) |
+//! | `span_end`   | `X` complete event (`ts`, `dur`) | one `a;b;c self_us` line |
+//! | `counter`    | `C` counter series | — |
+//! | `rung`       | `i` instant (process scope) | — |
+//! | `mark`       | `i` instant (thread scope) | — |
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Per-thread open-span stacks deeper than this are truncated (the
+/// overflowing span is dropped and counted). Real pipelines nest a
+/// handful deep; this is a hostile-input guard, not a working limit.
+const MAX_DEPTH: usize = 512;
+
+/// Output format selector for [`export`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Chrome `trace_event` JSON (`{"displayTimeUnit": "ms", "traceEvents": [...]}`).
+    Chrome,
+    /// Folded flamegraph stacks (`root;child;leaf self_us` lines).
+    Folded,
+}
+
+/// Knobs shared by both exporters.
+#[derive(Debug, Clone, Default)]
+pub struct ExportOptions {
+    /// Fail on the first corrupt or torn line instead of skip-and-count.
+    pub strict: bool,
+    /// Keep only spans whose enclosing stack (including themselves)
+    /// contains this stage name; counters/rungs are kept when attributed
+    /// to it. `None` keeps everything.
+    pub stage: Option<String>,
+    /// Drop spans shorter than this many microseconds (their time still
+    /// attributes to the parent's non-self time).
+    pub min_us: u64,
+}
+
+/// What an export pass saw, in the store's skip-and-count spirit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportReport {
+    /// Input lines consumed (including skipped ones).
+    pub lines: u64,
+    /// Well-formed events decoded.
+    pub events: u64,
+    /// Spans emitted to the output (chrome `X` events / folded lines).
+    pub spans: u64,
+    /// Counter samples emitted (chrome only; folded ignores counters).
+    pub counters: u64,
+    /// Instant events emitted (rungs + marks; chrome only).
+    pub instants: u64,
+    /// Syntactically corrupt lines skipped.
+    pub corrupt: u64,
+    /// Torn final lines (EOF with no trailing newline) skipped.
+    pub truncated: u64,
+    /// Spans still open at EOF (start seen, end missing).
+    pub unclosed: u64,
+    /// Spans dropped by `--stage` / `--min-us` filters.
+    pub filtered: u64,
+    /// Spans dropped by the per-thread depth guard.
+    pub depth_overflow: u64,
+}
+
+impl fmt::Display for ExportReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} line(s), {} event(s), {} span(s) emitted, {} counter sample(s), \
+             {} instant(s), {} corrupt line(s) skipped, {} torn tail(s), \
+             {} unclosed span(s), {} filtered, {} depth-capped",
+            self.lines,
+            self.events,
+            self.spans,
+            self.counters,
+            self.instants,
+            self.corrupt,
+            self.truncated,
+            self.unclosed,
+            self.filtered,
+            self.depth_overflow
+        )
+    }
+}
+
+/// Why an export pass stopped.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Reading the input or writing the output failed.
+    Io(std::io::Error),
+    /// Strict mode hit a corrupt or torn line.
+    Corrupt {
+        /// 1-based input line number.
+        line: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(err) => write!(f, "i/o error: {err}"),
+            ExportError::Corrupt { line, reason } => {
+                write!(f, "corrupt trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(err: std::io::Error) -> Self {
+        ExportError::Io(err)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat-object JSON line parsing (no external deps; the schema is flat).
+// ---------------------------------------------------------------------
+
+/// One decoded JSONL value: the schema only needs these three shapes.
+#[derive(Debug, Clone, PartialEq)]
+enum FieldValue {
+    Str(String),
+    Num(f64),
+    Other,
+}
+
+/// Parses one flat JSON object line into key/value pairs. Nested
+/// objects/arrays are rejected (the obs schema is flat); unknown keys
+/// are kept so additive fields pass through.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, FieldValue)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let bytes = line.as_bytes();
+    let mut fields = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("expected '\"'".into()),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = chars
+                                .next()
+                                .and_then(|(_, c)| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("bad escape".into()),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".into()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                _ => return Err("expected ':'".into()),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek().copied() {
+                Some((_, '"')) => FieldValue::Str(parse_string(&mut chars)?),
+                Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if c == '-'
+                            || c == '+'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c.is_ascii_digit()
+                        {
+                            end = i + c.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| "bad number".to_string())?;
+                    FieldValue::Num(text.parse::<f64>().map_err(|_| "bad number".to_string())?)
+                }
+                Some((_, 't')) | Some((_, 'f')) | Some((_, 'n')) => {
+                    // true / false / null — consume the keyword.
+                    let (word, len) = match chars.peek() {
+                        Some((_, 't')) => ("true", 4),
+                        Some((_, 'f')) => ("false", 5),
+                        _ => ("null", 4),
+                    };
+                    for expected in word.chars().take(len) {
+                        match chars.next() {
+                            Some((_, c)) if c == expected => {}
+                            _ => return Err("bad literal".into()),
+                        }
+                    }
+                    FieldValue::Other
+                }
+                _ => return Err("unsupported value".into()),
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => {}
+                Some((_, '}')) => break,
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(fields)
+}
+
+/// A decoded schema-v1 event plus its optional stamps.
+#[derive(Debug, Clone, PartialEq)]
+struct ParsedLine {
+    kind: ParsedKind,
+    ts_us: Option<u64>,
+    tid: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ParsedKind {
+    SpanStart {
+        name: String,
+    },
+    SpanEnd {
+        name: String,
+        wall_us: u64,
+    },
+    Counter {
+        span: String,
+        name: String,
+        value: u64,
+    },
+    Rung {
+        rung: String,
+        stage: String,
+        reason: String,
+    },
+    Mark {
+        scope: String,
+        name: String,
+        detail: String,
+    },
+}
+
+fn field_str(fields: &[(String, FieldValue)], key: &str) -> Option<String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+}
+
+fn field_num(fields: &[(String, FieldValue)], key: &str) -> Option<f64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Num(n) => Some(*n),
+            _ => None,
+        })
+}
+
+/// Decodes one line; `Ok(None)` for blank lines.
+fn parse_line(line: &str) -> Result<Option<ParsedLine>, String> {
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let fields = parse_flat_object(line)?;
+    let version = field_num(&fields, "v").ok_or("missing \"v\"")?;
+    if version != f64::from(crate::SCHEMA_VERSION) {
+        return Err(format!("unsupported schema version {version}"));
+    }
+    let kind = field_str(&fields, "type").ok_or("missing \"type\"")?;
+    let ts_us = field_num(&fields, "ts_us").map(|n| n.max(0.0) as u64);
+    let tid = field_num(&fields, "tid")
+        .map(|n| n.max(0.0) as u64)
+        .unwrap_or(0);
+    let need = |key: &str| field_str(&fields, key).ok_or_else(|| format!("missing \"{key}\""));
+    let kind = match kind.as_str() {
+        "span_start" => ParsedKind::SpanStart {
+            name: need("name")?,
+        },
+        "span_end" => {
+            let wall_ms = field_num(&fields, "wall_ms").ok_or("missing \"wall_ms\"")?;
+            ParsedKind::SpanEnd {
+                name: need("name")?,
+                wall_us: (wall_ms.max(0.0) * 1e3).round() as u64,
+            }
+        }
+        "counter" => ParsedKind::Counter {
+            span: need("span")?,
+            name: need("name")?,
+            value: field_num(&fields, "value")
+                .ok_or("missing \"value\"")?
+                .max(0.0) as u64,
+        },
+        "rung" => ParsedKind::Rung {
+            rung: need("rung")?,
+            stage: need("stage")?,
+            reason: need("reason")?,
+        },
+        "mark" => ParsedKind::Mark {
+            scope: need("scope")?,
+            name: need("name")?,
+            detail: need("detail")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(Some(ParsedLine { kind, ts_us, tid }))
+}
+
+// ---------------------------------------------------------------------
+// Shared streaming state
+// ---------------------------------------------------------------------
+
+/// One open span on a thread's stack.
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    start_us: u64,
+    /// Wall time already attributed to closed children, for self-time.
+    children_us: u64,
+}
+
+/// Per-thread reconstruction state.
+#[derive(Debug, Default)]
+struct TidState {
+    stack: Vec<Frame>,
+    /// Synthetic clock for unstamped traces: the earliest µs the next
+    /// event on this thread may occupy.
+    cursor_us: u64,
+    /// Open spans beyond [`MAX_DEPTH`] are not stacked; this counts how
+    /// many starts are pending so their ends can be matched and dropped.
+    overflow: u64,
+}
+
+/// Escapes a string for the chrome JSON output.
+fn js(s: &str) -> String {
+    crate::event::json_string(s)
+}
+
+/// Emission backend: chrome events or folded lines.
+trait EmitBackend {
+    fn begin<W: Write>(&mut self, out: &mut W) -> std::io::Result<()>;
+    #[allow(clippy::too_many_arguments)]
+    fn span<W: Write>(
+        &mut self,
+        out: &mut W,
+        stack_names: &[&str],
+        tid: u64,
+        start_us: u64,
+        wall_us: u64,
+        self_us: u64,
+    ) -> std::io::Result<()>;
+    fn counter<W: Write>(
+        &mut self,
+        out: &mut W,
+        span: &str,
+        name: &str,
+        value: u64,
+        ts_us: u64,
+        tid: u64,
+    ) -> std::io::Result<()>;
+    #[allow(clippy::too_many_arguments)]
+    fn instant<W: Write>(
+        &mut self,
+        out: &mut W,
+        name: &str,
+        cat: &str,
+        args_json: &str,
+        process_scope: bool,
+        ts_us: u64,
+        tid: u64,
+    ) -> std::io::Result<()>;
+    fn end<W: Write>(&mut self, out: &mut W) -> std::io::Result<()>;
+}
+
+/// Chrome `trace_event` backend: one JSON document, events streamed into
+/// the `traceEvents` array as they decode.
+#[derive(Debug, Default)]
+struct ChromeBackend {
+    emitted: bool,
+}
+
+impl ChromeBackend {
+    fn sep<W: Write>(&mut self, out: &mut W) -> std::io::Result<()> {
+        if self.emitted {
+            out.write_all(b",\n")?;
+        } else {
+            out.write_all(b"\n")?;
+        }
+        self.emitted = true;
+        Ok(())
+    }
+}
+
+impl EmitBackend for ChromeBackend {
+    fn begin<W: Write>(&mut self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(b"{\"displayTimeUnit\": \"ms\", \"traceEvents\": [")
+    }
+
+    fn span<W: Write>(
+        &mut self,
+        out: &mut W,
+        stack_names: &[&str],
+        tid: u64,
+        start_us: u64,
+        wall_us: u64,
+        self_us: u64,
+    ) -> std::io::Result<()> {
+        self.sep(out)?;
+        let name = stack_names.last().copied().unwrap_or("?");
+        write!(
+            out,
+            "{{\"name\": {}, \"cat\": \"span\", \"ph\": \"X\", \"ts\": {start_us}, \
+             \"dur\": {wall_us}, \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"self_us\": {self_us}}}}}",
+            js(name)
+        )
+    }
+
+    fn counter<W: Write>(
+        &mut self,
+        out: &mut W,
+        span: &str,
+        name: &str,
+        value: u64,
+        ts_us: u64,
+        tid: u64,
+    ) -> std::io::Result<()> {
+        self.sep(out)?;
+        write!(
+            out,
+            "{{\"name\": {}, \"ph\": \"C\", \"ts\": {ts_us}, \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"value\": {value}}}}}",
+            js(&format!("{span}.{name}"))
+        )
+    }
+
+    fn instant<W: Write>(
+        &mut self,
+        out: &mut W,
+        name: &str,
+        cat: &str,
+        args_json: &str,
+        process_scope: bool,
+        ts_us: u64,
+        tid: u64,
+    ) -> std::io::Result<()> {
+        self.sep(out)?;
+        let scope = if process_scope { "p" } else { "t" };
+        write!(
+            out,
+            "{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"{scope}\", \
+             \"ts\": {ts_us}, \"pid\": 1, \"tid\": {tid}, \"args\": {args_json}}}",
+            js(name)
+        )
+    }
+
+    fn end<W: Write>(&mut self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(b"\n]}\n")
+    }
+}
+
+/// Folded flamegraph backend: one `a;b;c self_us` line per closed span.
+/// Repeated stacks are summed by the downstream tool (inferno), so no
+/// aggregation state is needed here — memory stays flat.
+#[derive(Debug, Default)]
+struct FoldedBackend;
+
+impl EmitBackend for FoldedBackend {
+    fn begin<W: Write>(&mut self, _out: &mut W) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn span<W: Write>(
+        &mut self,
+        out: &mut W,
+        stack_names: &[&str],
+        _tid: u64,
+        _start_us: u64,
+        _wall_us: u64,
+        self_us: u64,
+    ) -> std::io::Result<()> {
+        // Semicolons inside stage names would corrupt the stack
+        // separator; stage names are static identifiers, but guard anyway.
+        let mut first = true;
+        for name in stack_names {
+            if !first {
+                out.write_all(b";")?;
+            }
+            first = false;
+            out.write_all(name.replace([';', ' '], "_").as_bytes())?;
+        }
+        writeln!(out, " {self_us}")
+    }
+
+    fn counter<W: Write>(
+        &mut self,
+        _out: &mut W,
+        _span: &str,
+        _name: &str,
+        _value: u64,
+        _ts_us: u64,
+        _tid: u64,
+    ) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn instant<W: Write>(
+        &mut self,
+        _out: &mut W,
+        _name: &str,
+        _cat: &str,
+        _args_json: &str,
+        _process_scope: bool,
+        _ts_us: u64,
+        _tid: u64,
+    ) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn end<W: Write>(&mut self, _out: &mut W) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+fn run_export<B: EmitBackend, R: BufRead, W: Write>(
+    mut backend: B,
+    input: &mut R,
+    out: &mut W,
+    options: &ExportOptions,
+) -> Result<ExportReport, ExportError> {
+    let mut report = ExportReport::default();
+    let mut tids: HashMap<u64, TidState> = HashMap::new();
+    backend.begin(out)?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = input.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        report.lines += 1;
+        let complete = line.ends_with('\n');
+        let parsed = match parse_line(&line) {
+            Ok(None) => continue,
+            Ok(Some(parsed)) => parsed,
+            Err(reason) => {
+                if complete {
+                    report.corrupt += 1;
+                } else {
+                    // EOF mid-line: a torn write, not corruption.
+                    report.truncated += 1;
+                }
+                if options.strict {
+                    return Err(ExportError::Corrupt {
+                        line: report.lines,
+                        reason,
+                    });
+                }
+                continue;
+            }
+        };
+        report.events += 1;
+        let state = tids.entry(parsed.tid).or_default();
+
+        match parsed.kind {
+            ParsedKind::SpanStart { name } => {
+                if state.stack.len() >= MAX_DEPTH {
+                    state.overflow += 1;
+                    report.depth_overflow += 1;
+                    continue;
+                }
+                let start_us = parsed.ts_us.unwrap_or(state.cursor_us);
+                state.cursor_us = state.cursor_us.max(start_us);
+                state.stack.push(Frame {
+                    name,
+                    start_us,
+                    children_us: 0,
+                });
+            }
+            ParsedKind::SpanEnd { name, wall_us } => {
+                if state.overflow > 0 {
+                    state.overflow -= 1;
+                    continue;
+                }
+                // An unmatched end (e.g. the start was in a lost buffer)
+                // synthesizes a frame so the span still appears.
+                let frame = match state.stack.pop() {
+                    Some(frame) if frame.name == name => frame,
+                    Some(other) => {
+                        // Name mismatch: treat the popped frame as
+                        // abandoned (its end was lost) and synthesize.
+                        report.unclosed += 1;
+                        let _ = other;
+                        Frame {
+                            name,
+                            start_us: parsed
+                                .ts_us
+                                .map(|end| end.saturating_sub(wall_us))
+                                .unwrap_or(state.cursor_us),
+                            children_us: 0,
+                        }
+                    }
+                    None => Frame {
+                        name,
+                        start_us: parsed
+                            .ts_us
+                            .map(|end| end.saturating_sub(wall_us))
+                            .unwrap_or(state.cursor_us),
+                        children_us: 0,
+                    },
+                };
+                let end_us = parsed
+                    .ts_us
+                    .unwrap_or_else(|| frame.start_us.saturating_add(wall_us));
+                state.cursor_us = state.cursor_us.max(end_us);
+                if let Some(parent) = state.stack.last_mut() {
+                    parent.children_us = parent.children_us.saturating_add(wall_us);
+                }
+                let self_us = wall_us.saturating_sub(frame.children_us);
+                let mut names: Vec<&str> = state.stack.iter().map(|f| f.name.as_str()).collect();
+                names.push(frame.name.as_str());
+                let keep_stage = options
+                    .stage
+                    .as_deref()
+                    .map(|stage| names.contains(&stage))
+                    .unwrap_or(true);
+                if !keep_stage || wall_us < options.min_us {
+                    report.filtered += 1;
+                } else {
+                    backend.span(out, &names, parsed.tid, frame.start_us, wall_us, self_us)?;
+                    report.spans += 1;
+                }
+            }
+            ParsedKind::Counter { span, name, value } => {
+                let keep = options
+                    .stage
+                    .as_deref()
+                    .map(|stage| span == stage)
+                    .unwrap_or(true);
+                if keep {
+                    let ts = parsed.ts_us.unwrap_or(state.cursor_us);
+                    backend.counter(out, &span, &name, value, ts, parsed.tid)?;
+                    report.counters += 1;
+                }
+            }
+            ParsedKind::Rung {
+                rung,
+                stage,
+                reason,
+            } => {
+                let keep = options
+                    .stage
+                    .as_deref()
+                    .map(|want| stage == want)
+                    .unwrap_or(true);
+                if keep {
+                    let ts = parsed.ts_us.unwrap_or(state.cursor_us);
+                    let args =
+                        format!("{{\"stage\": {}, \"reason\": {}}}", js(&stage), js(&reason));
+                    backend.instant(
+                        out,
+                        &format!("rung: {rung}"),
+                        "rung",
+                        &args,
+                        true,
+                        ts,
+                        parsed.tid,
+                    )?;
+                    report.instants += 1;
+                }
+            }
+            ParsedKind::Mark {
+                scope,
+                name,
+                detail,
+            } => {
+                if options.stage.is_none() {
+                    let ts = parsed.ts_us.unwrap_or(state.cursor_us);
+                    let args = format!("{{\"detail\": {}}}", js(&detail));
+                    backend.instant(
+                        out,
+                        &format!("{scope}/{name}"),
+                        "mark",
+                        &args,
+                        false,
+                        ts,
+                        parsed.tid,
+                    )?;
+                    report.instants += 1;
+                }
+            }
+        }
+    }
+
+    for state in tids.values() {
+        report.unclosed += state.stack.len() as u64 + state.overflow;
+    }
+    backend.end(out)?;
+    out.flush()?;
+    Ok(report)
+}
+
+/// Converts an obs JSONL stream into Chrome `trace_event` JSON.
+///
+/// Streaming: events are written as they decode; memory is bounded by
+/// the deepest open-span stack, not the input size.
+pub fn export_chrome<R: BufRead, W: Write>(
+    input: &mut R,
+    out: &mut W,
+    options: &ExportOptions,
+) -> Result<ExportReport, ExportError> {
+    run_export(ChromeBackend::default(), input, out, options)
+}
+
+/// Converts an obs JSONL stream into folded flamegraph stacks
+/// (`root;child;leaf self_us`, one line per closed span) for inferno /
+/// speedscope. Self time is wall minus closed-children wall, clamped at
+/// zero.
+pub fn export_folded<R: BufRead, W: Write>(
+    input: &mut R,
+    out: &mut W,
+    options: &ExportOptions,
+) -> Result<ExportReport, ExportError> {
+    run_export(FoldedBackend, input, out, options)
+}
+
+/// Format-dispatching convenience wrapper over the two exporters.
+pub fn export<R: BufRead, W: Write>(
+    format: ExportFormat,
+    input: &mut R,
+    out: &mut W,
+    options: &ExportOptions,
+) -> Result<ExportReport, ExportError> {
+    match format {
+        ExportFormat::Chrome => export_chrome(input, out, options),
+        ExportFormat::Folded => export_folded(input, out, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsEvent;
+    use std::time::Duration;
+
+    fn sample_trace() -> String {
+        // design { markov { } minimize { } } + counter + mark, stamped.
+        let mut out = String::new();
+        let events: [(ObsEvent, u64); 7] = [
+            (
+                ObsEvent::SpanStart {
+                    name: "design",
+                    id: 1,
+                },
+                0,
+            ),
+            (
+                ObsEvent::SpanStart {
+                    name: "markov",
+                    id: 2,
+                },
+                10,
+            ),
+            (
+                ObsEvent::Counter {
+                    span: "markov",
+                    name: "observations",
+                    value: 64,
+                },
+                12,
+            ),
+            (
+                ObsEvent::SpanEnd {
+                    name: "markov",
+                    id: 2,
+                    wall: Duration::from_micros(40),
+                },
+                50,
+            ),
+            (
+                ObsEvent::SpanStart {
+                    name: "minimize",
+                    id: 3,
+                },
+                60,
+            ),
+            (
+                ObsEvent::SpanEnd {
+                    name: "minimize",
+                    id: 3,
+                    wall: Duration::from_micros(30),
+                },
+                90,
+            ),
+            (
+                ObsEvent::SpanEnd {
+                    name: "design",
+                    id: 1,
+                    wall: Duration::from_micros(100),
+                },
+                100,
+            ),
+        ];
+        for (event, ts) in &events {
+            out.push_str(&event.to_jsonl_stamped(*ts, 1));
+            out.push('\n');
+        }
+        out.push_str(
+            &ObsEvent::Mark {
+                scope: "farm".into(),
+                name: "job_finished".into(),
+                detail: "job 0".into(),
+            }
+            .to_jsonl_stamped(110, 1),
+        );
+        out.push('\n');
+        out
+    }
+
+    fn chrome(input: &str, options: &ExportOptions) -> (String, ExportReport) {
+        let mut out = Vec::new();
+        let report = export_chrome(&mut input.as_bytes(), &mut out, options).unwrap();
+        (String::from_utf8(out).unwrap(), report)
+    }
+
+    fn folded(input: &str, options: &ExportOptions) -> (String, ExportReport) {
+        let mut out = Vec::new();
+        let report = export_folded(&mut input.as_bytes(), &mut out, options).unwrap();
+        (String::from_utf8(out).unwrap(), report)
+    }
+
+    #[test]
+    fn chrome_emits_every_span_once() {
+        let (text, report) = chrome(&sample_trace(), &ExportOptions::default());
+        assert_eq!(report.spans, 3);
+        assert_eq!(report.counters, 1);
+        assert_eq!(report.instants, 1);
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.unclosed, 0);
+        assert_eq!(text.matches("\"ph\": \"X\"").count(), 3);
+        assert!(text.starts_with("{\"displayTimeUnit\": \"ms\""), "{text}");
+        assert!(text.contains("\"name\": \"markov\""), "{text}");
+        assert!(text.contains("\"ts\": 10, \"dur\": 40"), "{text}");
+        assert!(text.contains("\"markov.observations\""), "{text}");
+    }
+
+    #[test]
+    fn folded_lines_match_span_count_and_self_time() {
+        let (text, report) = folded(&sample_trace(), &ExportOptions::default());
+        assert_eq!(report.spans, 3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.contains(&"design;markov 40"), "{text}");
+        assert!(lines.contains(&"design;minimize 30"), "{text}");
+        // design self = 100 - 40 - 30.
+        assert!(lines.contains(&"design 30"), "{text}");
+        for line in &lines {
+            let value: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= 0, "{line}");
+        }
+    }
+
+    #[test]
+    fn unstamped_traces_reconstruct_a_synthetic_timeline() {
+        let stamped = sample_trace();
+        // Strip the stamps: rebuild from plain to_jsonl lines.
+        let unstamped: String = stamped
+            .lines()
+            .map(|l| {
+                let cut = l.find(", \"ts_us\":").unwrap();
+                format!("{}}}\n", &l[..cut])
+            })
+            .collect();
+        let (text, report) = chrome(&unstamped, &ExportOptions::default());
+        assert_eq!(report.spans, 3);
+        // Synthetic clock: markov occupies [0, 40), minimize [40, 70).
+        assert!(text.contains("\"ts\": 0, \"dur\": 40"), "{text}");
+        assert!(text.contains("\"ts\": 40, \"dur\": 30"), "{text}");
+        let (folded_text, folded_report) = folded(&unstamped, &ExportOptions::default());
+        assert_eq!(folded_report.spans, 3);
+        assert!(folded_text.lines().count() == 3, "{folded_text}");
+    }
+
+    #[test]
+    fn corrupt_lines_skip_and_count() {
+        let mut input = sample_trace();
+        input.insert_str(0, "{\"garbage\": tru\n");
+        input.push_str("not json at all\n");
+        let (_, report) = chrome(&input, &ExportOptions::default());
+        assert_eq!(report.corrupt, 2);
+        assert_eq!(report.spans, 3);
+    }
+
+    #[test]
+    fn torn_tail_counts_as_truncated_not_corrupt() {
+        let mut input = sample_trace();
+        input.push_str("{\"v\": 1, \"type\": \"span_st"); // no newline
+        let (_, report) = chrome(&input, &ExportOptions::default());
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.spans, 3);
+    }
+
+    #[test]
+    fn complete_final_line_without_newline_is_fine() {
+        let input = sample_trace();
+        let trimmed = input.trim_end_matches('\n');
+        let (_, report) = chrome(trimmed, &ExportOptions::default());
+        assert_eq!(report.truncated, 0);
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.spans, 3);
+    }
+
+    #[test]
+    fn strict_mode_errors_on_first_corrupt_line() {
+        let mut input = String::from("junk{{{\n");
+        input.push_str(&sample_trace());
+        let options = ExportOptions {
+            strict: true,
+            ..ExportOptions::default()
+        };
+        let mut out = Vec::new();
+        let err = export_chrome(&mut input.as_bytes(), &mut out, &options).unwrap_err();
+        match err {
+            ExportError::Corrupt { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_filter_keeps_matching_subtrees() {
+        let options = ExportOptions {
+            stage: Some("markov".into()),
+            ..ExportOptions::default()
+        };
+        let (text, report) = folded(&sample_trace(), &options);
+        // Only the markov span's stack contains "markov"; design's own
+        // close and minimize are filtered.
+        assert_eq!(report.spans, 1);
+        assert_eq!(report.filtered, 2);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("design;markov "), "{text}");
+    }
+
+    #[test]
+    fn min_us_filter_drops_short_spans() {
+        let options = ExportOptions {
+            min_us: 50,
+            ..ExportOptions::default()
+        };
+        let (_, report) = chrome(&sample_trace(), &options);
+        // markov (40 µs) and minimize (30 µs) drop; design (100 µs) stays.
+        assert_eq!(report.spans, 1);
+        assert_eq!(report.filtered, 2);
+    }
+
+    #[test]
+    fn unmatched_end_is_synthesized_and_counted() {
+        let line = ObsEvent::SpanEnd {
+            name: "orphan",
+            id: 99,
+            wall: Duration::from_micros(25),
+        }
+        .to_jsonl_stamped(200, 3);
+        let (text, report) = chrome(&format!("{line}\n"), &ExportOptions::default());
+        assert_eq!(report.spans, 1);
+        assert!(text.contains("\"ts\": 175, \"dur\": 25"), "{text}");
+    }
+
+    #[test]
+    fn unclosed_spans_are_reported() {
+        let line = ObsEvent::SpanStart {
+            name: "design",
+            id: 1,
+        }
+        .to_jsonl_stamped(0, 1);
+        let (_, report) = chrome(&format!("{line}\n"), &ExportOptions::default());
+        assert_eq!(report.unclosed, 1);
+        assert_eq!(report.spans, 0);
+    }
+
+    #[test]
+    fn depth_guard_drops_hostile_nesting_without_panicking() {
+        let mut input = String::new();
+        for i in 0..(MAX_DEPTH + 10) {
+            input.push_str(
+                &ObsEvent::SpanStart {
+                    name: "deep",
+                    id: i as u64,
+                }
+                .to_jsonl_stamped(i as u64, 1),
+            );
+            input.push('\n');
+        }
+        for i in (0..(MAX_DEPTH + 10)).rev() {
+            input.push_str(
+                &ObsEvent::SpanEnd {
+                    name: "deep",
+                    id: i as u64,
+                    wall: Duration::from_micros(1),
+                }
+                .to_jsonl_stamped((MAX_DEPTH + 20 + i) as u64, 1),
+            );
+            input.push('\n');
+        }
+        let (_, report) = chrome(&input, &ExportOptions::default());
+        assert_eq!(report.depth_overflow, 10);
+        assert_eq!(report.spans, MAX_DEPTH as u64);
+        assert_eq!(report.unclosed, 0);
+    }
+
+    #[test]
+    fn threads_get_independent_tracks() {
+        let mut input = String::new();
+        for tid in [1u64, 2] {
+            input.push_str(
+                &ObsEvent::SpanStart {
+                    name: "design",
+                    id: tid,
+                }
+                .to_jsonl_stamped(0, tid),
+            );
+            input.push('\n');
+        }
+        for tid in [1u64, 2] {
+            input.push_str(
+                &ObsEvent::SpanEnd {
+                    name: "design",
+                    id: tid,
+                    wall: Duration::from_micros(5),
+                }
+                .to_jsonl_stamped(5, tid),
+            );
+            input.push('\n');
+        }
+        let (text, report) = chrome(&input, &ExportOptions::default());
+        assert_eq!(report.spans, 2);
+        assert!(text.contains("\"tid\": 1"), "{text}");
+        assert!(text.contains("\"tid\": 2"), "{text}");
+    }
+
+    #[test]
+    fn report_display_mentions_corrupt_count() {
+        let report = ExportReport {
+            corrupt: 1,
+            ..ExportReport::default()
+        };
+        assert!(report.to_string().contains("1 corrupt"), "{report}");
+    }
+}

@@ -58,6 +58,7 @@ pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod watch;
 
 pub use client::{ClientError, ServeClient};
 pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
@@ -65,3 +66,4 @@ pub use proto::{
     read_frame, write_frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use watch::{parse_stats, RateTracker, StatsSample, WatchFrame};

@@ -6,12 +6,22 @@
 use fsmgen_farm::{CacheStats, StoreStats};
 use fsmgen_obs::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Atomic counters for the service front-end. One instance is shared by
 /// the accept loop and every connection thread; tests read it through
 /// [`ServeMetrics::snapshot`] to assert observability and monotonicity.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
+    /// When this metrics block (i.e. this server process) came up; feeds
+    /// the `uptime_ms` field that lets pollers detect restarts.
+    started: Instant,
+    /// Render counter behind the `seq` field: bumped on every
+    /// [`to_json`](Self::to_json), so each stats response a poller sees
+    /// carries a strictly increasing value — until the process restarts
+    /// and it rewinds to zero, which is exactly the signal `fsmgen top`
+    /// keys restart detection on.
+    stats_seq: AtomicU64,
     /// Connections accepted into a handler thread.
     pub conns_accepted: AtomicU64,
     /// Connections turned away because the connection limit was reached.
@@ -38,6 +48,27 @@ pub struct ServeMetrics {
     /// response hitting the socket. Feeds the `latency_us` p50/p95/p99
     /// block of the JSON document.
     pub request_latency: LatencyHistogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            started: Instant::now(),
+            stats_seq: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            injected_faults: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            rejected_backpressure: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            malformed_frames: AtomicU64::new(0),
+            oversized_frames: AtomicU64::new(0),
+            pings: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            request_latency: LatencyHistogram::new(),
+        }
+    }
 }
 
 /// A plain-integer copy of [`ServeMetrics`] at one instant, used by the
@@ -114,19 +145,34 @@ impl ServeMetrics {
         }
     }
 
+    /// Milliseconds since this metrics block came up.
+    #[must_use]
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
     /// Renders the metrics as a schema-v1 JSON object
     /// (`"kind": "serve_metrics"`), embedding the farm cache statistics
     /// and the durable store's accounting so one document describes the
     /// whole service. Pass `StoreStats::default()` when no store is
     /// attached — the zeroed block keeps the schema stable.
+    ///
+    /// Each render also emits `uptime_ms` (wall time since process
+    /// start) and a monotone `seq` (bumped per render); both rewind on
+    /// restart, which is how pollers distinguish "counters went
+    /// backwards because the server restarted" from corruption. Clients
+    /// must tolerate their absence (older servers).
     #[must_use]
     pub fn to_json(&self, cache: &CacheStats, store: &StoreStats) -> String {
         let s = self.snapshot();
         let lat = self.request_latency.snapshot();
+        let seq = self.stats_seq.fetch_add(1, Ordering::Relaxed);
         let mut out = String::with_capacity(768);
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {},\n", fsmgen_obs::SCHEMA_VERSION));
         out.push_str("  \"kind\": \"serve_metrics\",\n");
+        out.push_str(&format!("  \"uptime_ms\": {},\n", self.uptime_ms()));
+        out.push_str(&format!("  \"seq\": {seq},\n"));
         out.push_str(&format!("  \"conns_accepted\": {},\n", s.conns_accepted));
         out.push_str(&format!("  \"conns_rejected\": {},\n", s.conns_rejected));
         out.push_str(&format!("  \"injected_faults\": {},\n", s.injected_faults));
@@ -219,6 +265,21 @@ mod tests {
                 .and_then(|c| c.get("hits"))
                 .and_then(json::Json::as_u64),
             Some(5)
+        );
+        assert!(
+            value
+                .get("uptime_ms")
+                .and_then(json::Json::as_u64)
+                .is_some(),
+            "uptime_ms present"
+        );
+        assert_eq!(value.get("seq").and_then(json::Json::as_u64), Some(0));
+        let again = metrics.to_json(&cache, &store);
+        let again = json::parse(&again).expect("second render parses");
+        assert_eq!(
+            again.get("seq").and_then(json::Json::as_u64),
+            Some(1),
+            "seq is monotone across renders"
         );
         let lat = value.get("latency_us").expect("latency_us block");
         assert_eq!(lat.get("count").and_then(json::Json::as_u64), Some(1));

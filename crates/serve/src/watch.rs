@@ -1,0 +1,325 @@
+//! Shared delta/rate computation for stats pollers.
+//!
+//! Both `fsmgen top` and `fsmgen client --stats --watch` poll the serve
+//! `stats` endpoint and turn successive `serve_metrics` documents into
+//! rates (req/s, windowed hit rate, flush activity) and restart-aware
+//! deltas. That computation lives here — in one module — so the two
+//! front-ends cannot drift apart.
+//!
+//! Restart handling: counters in the stats document are monotone for
+//! the lifetime of one server process, but a restarted server rewinds
+//! them all to zero. [`RateTracker`] detects the rewind (via `seq` /
+//! `uptime_ms` when present, or any counter going backwards otherwise),
+//! flags the frame as `restarted`, and re-baselines so the next window
+//! is computed against the new process rather than reporting nonsense
+//! negative rates.
+
+use crate::json::{self, Json};
+use std::time::Instant;
+
+/// One parsed `serve_metrics` document (the payload of a stats
+/// response). All fields are absent-tolerant: a document from an older
+/// server that lacks `uptime_ms`/`seq` parses with those as `None`, and
+/// missing counters read as zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSample {
+    /// `uptime_ms` field, when the server is new enough to send it.
+    pub uptime_ms: Option<u64>,
+    /// `seq` render counter, when present.
+    pub seq: Option<u64>,
+    /// `conns_accepted`.
+    pub conns_accepted: u64,
+    /// `requests_ok`.
+    pub requests_ok: u64,
+    /// `requests_failed`.
+    pub requests_failed: u64,
+    /// `rejected_backpressure`.
+    pub rejected_backpressure: u64,
+    /// `timeouts`.
+    pub timeouts: u64,
+    /// `malformed_frames`.
+    pub malformed_frames: u64,
+    /// `latency_us.count`.
+    pub latency_count: u64,
+    /// `latency_us.p50` (µs).
+    pub latency_p50: u64,
+    /// `latency_us.p95` (µs).
+    pub latency_p95: u64,
+    /// `latency_us.p99` (µs).
+    pub latency_p99: u64,
+    /// `cache.hits + cache.snapshot_hits`.
+    pub cache_hits: u64,
+    /// `cache.misses`.
+    pub cache_misses: u64,
+    /// `store.appends`.
+    pub store_appends: u64,
+    /// `store.flushes`.
+    pub store_flushes: u64,
+    /// `store.compacted`.
+    pub store_compacted: u64,
+}
+
+impl StatsSample {
+    /// True when `self` (a later sample) has rewound relative to
+    /// `earlier` — the restart signal. Prefers `seq`/`uptime_ms`, falls
+    /// back to the request counters for old servers.
+    #[must_use]
+    pub fn is_rewound_from(&self, earlier: &StatsSample) -> bool {
+        if let (Some(now), Some(then)) = (self.seq, earlier.seq) {
+            if now < then {
+                return true;
+            }
+        }
+        if let (Some(now), Some(then)) = (self.uptime_ms, earlier.uptime_ms) {
+            if now < then {
+                return true;
+            }
+        }
+        self.requests_ok < earlier.requests_ok
+            || self.conns_accepted < earlier.conns_accepted
+            || self.latency_count < earlier.latency_count
+    }
+}
+
+/// Parses a `serve_metrics` JSON document into a [`StatsSample`].
+///
+/// # Errors
+/// Returns a description when the text is not JSON or is not a
+/// `serve_metrics` document. Missing individual fields are tolerated.
+pub fn parse_stats(text: &str) -> Result<StatsSample, String> {
+    let value = json::parse(text).map_err(|e| format!("stats payload is not JSON: {e}"))?;
+    match value.get("kind").and_then(Json::as_str) {
+        Some("serve_metrics") => {}
+        other => return Err(format!("unexpected stats kind {other:?}")),
+    }
+    let num = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let nested = |block: &str, key: &str| {
+        value
+            .get(block)
+            .and_then(|b| b.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(StatsSample {
+        uptime_ms: value.get("uptime_ms").and_then(Json::as_u64),
+        seq: value.get("seq").and_then(Json::as_u64),
+        conns_accepted: num("conns_accepted"),
+        requests_ok: num("requests_ok"),
+        requests_failed: num("requests_failed"),
+        rejected_backpressure: num("rejected_backpressure"),
+        timeouts: num("timeouts"),
+        malformed_frames: num("malformed_frames"),
+        latency_count: nested("latency_us", "count"),
+        latency_p50: nested("latency_us", "p50"),
+        latency_p95: nested("latency_us", "p95"),
+        latency_p99: nested("latency_us", "p99"),
+        cache_hits: nested("cache", "hits") + nested("cache", "snapshot_hits"),
+        cache_misses: nested("cache", "misses"),
+        store_appends: nested("store", "appends"),
+        store_flushes: nested("store", "flushes"),
+        store_compacted: nested("store", "compacted"),
+    })
+}
+
+/// One computed frame: the latest sample plus rates over the window
+/// since the previous sample. Rates are zero on the first frame and on
+/// the frame where a restart was detected (no valid window exists).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WatchFrame {
+    /// The sample the frame was computed from.
+    pub sample: StatsSample,
+    /// Seconds covered by the window (0 on first/restart frames).
+    pub window_secs: f64,
+    /// Successful designs per second over the window.
+    pub req_per_s: f64,
+    /// Failed + backpressure-rejected requests per second.
+    pub reject_per_s: f64,
+    /// Timeouts per second.
+    pub timeout_per_s: f64,
+    /// Malformed frames per second.
+    pub malformed_per_s: f64,
+    /// Cache hit rate: windowed when the window saw lookups, lifetime
+    /// otherwise. In `[0, 1]`; 0 when no lookups ever happened.
+    pub hit_rate: f64,
+    /// Store appends per second over the window.
+    pub appends_per_s: f64,
+    /// Store flushes per second over the window.
+    pub flushes_per_s: f64,
+    /// Compactions that happened during the window.
+    pub compactions: u64,
+    /// True when this sample rewound relative to the previous one — the
+    /// server restarted mid-watch. The tracker re-baselined.
+    pub restarted: bool,
+}
+
+/// Computes restart-aware rate frames from successive samples.
+#[derive(Debug, Default)]
+pub struct RateTracker {
+    prev: Option<(StatsSample, Instant)>,
+}
+
+impl RateTracker {
+    /// New tracker with no baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        RateTracker::default()
+    }
+
+    /// Folds in a sample taken now.
+    pub fn observe(&mut self, sample: StatsSample) -> WatchFrame {
+        self.observe_at(sample, Instant::now())
+    }
+
+    /// Folds in a sample taken at `now` (injectable for tests).
+    pub fn observe_at(&mut self, sample: StatsSample, now: Instant) -> WatchFrame {
+        let mut frame = WatchFrame {
+            sample,
+            ..WatchFrame::default()
+        };
+        let lifetime_lookups = sample.cache_hits + sample.cache_misses;
+        if lifetime_lookups > 0 {
+            frame.hit_rate = sample.cache_hits as f64 / lifetime_lookups as f64;
+        }
+        if let Some((prev, prev_at)) = self.prev {
+            if sample.is_rewound_from(&prev) {
+                frame.restarted = true;
+            } else {
+                let dt = now.saturating_duration_since(prev_at).as_secs_f64();
+                if dt > 0.0 {
+                    frame.window_secs = dt;
+                    let delta = |now: u64, then: u64| now.saturating_sub(then) as f64 / dt;
+                    frame.req_per_s = delta(sample.requests_ok, prev.requests_ok);
+                    frame.reject_per_s = delta(
+                        sample.requests_failed + sample.rejected_backpressure,
+                        prev.requests_failed + prev.rejected_backpressure,
+                    );
+                    frame.timeout_per_s = delta(sample.timeouts, prev.timeouts);
+                    frame.malformed_per_s = delta(sample.malformed_frames, prev.malformed_frames);
+                    frame.appends_per_s = delta(sample.store_appends, prev.store_appends);
+                    frame.flushes_per_s = delta(sample.store_flushes, prev.store_flushes);
+                    frame.compactions = sample.store_compacted.saturating_sub(prev.store_compacted);
+                    let hits_d = sample.cache_hits.saturating_sub(prev.cache_hits);
+                    let miss_d = sample.cache_misses.saturating_sub(prev.cache_misses);
+                    if hits_d + miss_d > 0 {
+                        frame.hit_rate = hits_d as f64 / (hits_d + miss_d) as f64;
+                    }
+                }
+            }
+        }
+        self.prev = Some((sample, now));
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn doc(uptime: u64, seq: u64, ok: u64, hits: u64, misses: u64) -> String {
+        format!(
+            "{{\"version\": 1, \"kind\": \"serve_metrics\", \"uptime_ms\": {uptime}, \
+             \"seq\": {seq}, \"conns_accepted\": {ok}, \"requests_ok\": {ok}, \
+             \"requests_failed\": 0, \"rejected_backpressure\": 0, \"timeouts\": 0, \
+             \"malformed_frames\": 0, \
+             \"latency_us\": {{\"count\": {ok}, \"p50\": 127, \"p95\": 511, \"p99\": 1023}}, \
+             \"store\": {{\"appends\": {ok}, \"flushes\": 1, \"compacted\": 0}}, \
+             \"cache\": {{\"hits\": {hits}, \"snapshot_hits\": 0, \"misses\": {misses}}}}}"
+        )
+    }
+
+    #[test]
+    fn parse_extracts_counters_and_quantiles() {
+        let sample = parse_stats(&doc(5000, 3, 40, 30, 10)).unwrap();
+        assert_eq!(sample.uptime_ms, Some(5000));
+        assert_eq!(sample.seq, Some(3));
+        assert_eq!(sample.requests_ok, 40);
+        assert_eq!(sample.latency_p50, 127);
+        assert_eq!(sample.latency_p99, 1023);
+        assert_eq!(sample.cache_hits, 30);
+        assert_eq!(sample.cache_misses, 10);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_uptime_and_seq() {
+        let old = "{\"version\": 1, \"kind\": \"serve_metrics\", \"requests_ok\": 7}";
+        let sample = parse_stats(old).unwrap();
+        assert_eq!(sample.uptime_ms, None);
+        assert_eq!(sample.seq, None);
+        assert_eq!(sample.requests_ok, 7);
+        assert_eq!(sample.latency_p50, 0);
+    }
+
+    #[test]
+    fn parse_rejects_non_stats_documents() {
+        assert!(parse_stats("{\"kind\": \"design_response\"}").is_err());
+        assert!(parse_stats("not json").is_err());
+    }
+
+    #[test]
+    fn rates_come_from_the_window() {
+        let mut tracker = RateTracker::new();
+        let t0 = Instant::now();
+        let first = tracker.observe_at(parse_stats(&doc(1000, 0, 10, 5, 5)).unwrap(), t0);
+        assert_eq!(first.req_per_s, 0.0, "no window on the first frame");
+        assert!(!first.restarted);
+        // Lifetime hit rate is still available on frame one.
+        assert!((first.hit_rate - 0.5).abs() < 1e-9);
+
+        let frame = tracker.observe_at(
+            parse_stats(&doc(3000, 1, 30, 20, 10)).unwrap(),
+            t0 + Duration::from_secs(2),
+        );
+        assert!((frame.window_secs - 2.0).abs() < 1e-9);
+        assert!((frame.req_per_s - 10.0).abs() < 1e-9, "{frame:?}");
+        // Windowed hit rate: Δhits 15 over Δlookups 20.
+        assert!((frame.hit_rate - 0.75).abs() < 1e-9, "{frame:?}");
+        assert!((frame.appends_per_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restart_is_flagged_and_rebaselined() {
+        let mut tracker = RateTracker::new();
+        let t0 = Instant::now();
+        tracker.observe_at(parse_stats(&doc(9000, 5, 100, 50, 50)).unwrap(), t0);
+        // Server restarted: uptime, seq and counters all rewound.
+        let restart = tracker.observe_at(
+            parse_stats(&doc(200, 0, 2, 1, 1)).unwrap(),
+            t0 + Duration::from_secs(1),
+        );
+        assert!(restart.restarted);
+        assert_eq!(restart.req_per_s, 0.0, "no rate across the restart");
+        // The next frame computes against the new process cleanly.
+        let next = tracker.observe_at(
+            parse_stats(&doc(1200, 1, 12, 6, 2)).unwrap(),
+            t0 + Duration::from_secs(2),
+        );
+        assert!(!next.restarted);
+        assert!((next.req_per_s - 10.0).abs() < 1e-9, "{next:?}");
+    }
+
+    #[test]
+    fn restart_detection_falls_back_to_counters_for_old_servers() {
+        let old = |ok: u64| {
+            format!("{{\"version\": 1, \"kind\": \"serve_metrics\", \"requests_ok\": {ok}}}")
+        };
+        let mut tracker = RateTracker::new();
+        let t0 = Instant::now();
+        tracker.observe_at(parse_stats(&old(50)).unwrap(), t0);
+        let frame = tracker.observe_at(parse_stats(&old(3)).unwrap(), t0 + Duration::from_secs(1));
+        assert!(frame.restarted);
+    }
+
+    #[test]
+    fn seq_tie_is_not_a_restart() {
+        // Two polls racing the same render must not flag a restart.
+        let mut tracker = RateTracker::new();
+        let t0 = Instant::now();
+        tracker.observe_at(parse_stats(&doc(1000, 4, 10, 0, 0)).unwrap(), t0);
+        let frame = tracker.observe_at(
+            parse_stats(&doc(1000, 4, 10, 0, 0)).unwrap(),
+            t0 + Duration::from_millis(10),
+        );
+        assert!(!frame.restarted);
+    }
+}

@@ -163,6 +163,128 @@ pub mod strategies {
     }
 }
 
+/// Synthetic obs-JSONL corpora with known span counts, plus corruption
+/// mutators, for exercising the `fsmgen-obs` trace exporters.
+pub mod obs_jsonl {
+    use fsmgen_obs::ObsEvent;
+    use std::time::Duration;
+
+    /// Stage names the synthetic traces cycle through under each root.
+    const STAGES: [&str; 4] = ["markov", "minimize", "dfa", "hopcroft"];
+
+    /// Spans (start/end pairs) in a trace built by [`stamped_trace`] /
+    /// [`unstamped_trace`] with the same shape parameters.
+    #[must_use]
+    pub fn span_count(roots: usize, depth: usize) -> usize {
+        roots * (depth + 1)
+    }
+
+    /// A deterministic stamped trace: `roots` sequential root spans,
+    /// each containing `depth` sequential child spans (names cycling
+    /// through the pipeline stages) with one counter apiece. Timestamps
+    /// are synthetic but self-consistent (children nest inside their
+    /// root's window); every line carries `ts_us`/`tid` stamps.
+    #[must_use]
+    pub fn stamped_trace(roots: usize, depth: usize, tid: u64) -> String {
+        build(roots, depth, |event, ts| {
+            format!("{}\n", event.to_jsonl_stamped(ts, tid))
+        })
+    }
+
+    /// As [`stamped_trace`], but without `ts_us`/`tid` — the legacy line
+    /// format, for exercising synthetic-clock reconstruction.
+    #[must_use]
+    pub fn unstamped_trace(roots: usize, depth: usize) -> String {
+        build(roots, depth, |event, _| format!("{}\n", event.to_jsonl()))
+    }
+
+    fn build(roots: usize, depth: usize, render: impl Fn(&ObsEvent, u64) -> String) -> String {
+        let mut out = String::new();
+        let mut id = 1u64;
+        for root in 0..roots {
+            let t0 = root as u64 * 10_000;
+            out.push_str(&render(&ObsEvent::SpanStart { name: "design", id }, t0));
+            let root_id = id;
+            id += 1;
+            let mut t = t0;
+            for level in 0..depth {
+                let name = STAGES[level % STAGES.len()];
+                let start = t + 10;
+                let end = start + 50;
+                let child_id = id;
+                id += 1;
+                out.push_str(&render(&ObsEvent::SpanStart { name, id: child_id }, start));
+                out.push_str(&render(
+                    &ObsEvent::Counter {
+                        span: name,
+                        name: "items",
+                        value: level as u64 + 1,
+                    },
+                    start + 1,
+                ));
+                out.push_str(&render(
+                    &ObsEvent::SpanEnd {
+                        name,
+                        id: child_id,
+                        wall: Duration::from_micros(50),
+                    },
+                    end,
+                ));
+                t = end;
+            }
+            let close = t + 10;
+            out.push_str(&render(
+                &ObsEvent::SpanEnd {
+                    name: "design",
+                    id: root_id,
+                    wall: Duration::from_micros(close - t0),
+                },
+                close,
+            ));
+        }
+        out
+    }
+
+    /// Replaces a byte at (or just before) `at` with a stray `"`, which
+    /// breaks JSON parsing of the affected line wherever it lands: an
+    /// extra quote either terminates a string early (leaving trailing
+    /// garbage) or appears where a value separator was expected. Bytes
+    /// that are already quotes, escapes or newlines are skipped so the
+    /// damage is guaranteed and stays within one line.
+    #[must_use]
+    pub fn corrupt_byte(text: &str, at: usize) -> String {
+        if text.is_empty() {
+            return String::new();
+        }
+        let mut bytes = text.as_bytes().to_vec();
+        let mut i = at.min(bytes.len() - 1);
+        while i > 0 && matches!(bytes[i], b'\n' | b'"' | b'\\') {
+            i -= 1;
+        }
+        if matches!(bytes[i], b'\n' | b'"' | b'\\') {
+            // Clamped to the start without finding a safe byte; scan
+            // forward instead (every line has plenty of plain bytes).
+            i = bytes
+                .iter()
+                .position(|b| !matches!(b, b'\n' | b'"' | b'\\'))
+                .unwrap_or(0);
+        }
+        bytes[i] = b'"';
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Truncates the text at byte `at` (clamped), producing a torn tail
+    /// with no trailing newline when the cut lands mid-line.
+    #[must_use]
+    pub fn truncate_at(text: &str, at: usize) -> String {
+        let mut cut = at.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text[..cut].to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
