@@ -39,6 +39,7 @@ mod loop_pred;
 mod pipeline;
 mod ppm;
 mod sim;
+mod stream;
 mod tables;
 mod threads;
 mod xscale;
@@ -56,6 +57,7 @@ pub use loop_pred::{LoopAssisted, LoopTermination};
 pub use pipeline::{simulate_cycles, PipelineModel, PipelineStats};
 pub use ppm::Ppm;
 pub use sim::{simulate, BranchPredictor, SimResult};
+pub use stream::{evaluate_stream, StreamAccuracy, StreamPredictor};
 pub use tables::{Bimodal, Gshare, LocalGlobalChooser};
 pub use threads::{simulate_dual_path, DualPathModel, DualPathStats};
 pub use xscale::{XScaleBtb, BTB_ENTRY_BITS};

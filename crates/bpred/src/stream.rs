@@ -1,0 +1,188 @@
+//! Streaming accuracy evaluation over outcome streams.
+//!
+//! The batch simulators in [`crate::sim`] consume a whole
+//! [`fsmgen_traces::BranchTrace`] at once; the scenario engine and the
+//! design service instead see *streams* — one outcome at a time, from a
+//! live regime mix or off the wire — and need accuracy both cumulative
+//! (the duel verdict) and windowed (the collapse signal). This module
+//! gives every single-stream predictor shape one interface
+//! ([`StreamPredictor`]) and one accumulator ([`StreamAccuracy`]):
+//! the interpreted [`MoorePredictor`], its compiled twin
+//! [`CompiledPredictor`] (the differential tests pin these to identical
+//! streams) and the paper's saturating-counter fallback.
+
+use crate::counter::SaturatingCounter;
+use fsmgen_automata::MoorePredictor;
+use fsmgen_exec::CompiledPredictor;
+use fsmgen_obs::WindowedAccuracy;
+
+/// One-outcome-at-a-time prediction: return the prediction for the next
+/// outcome, then absorb the actual outcome.
+pub trait StreamPredictor {
+    /// Predicts the next outcome, then updates on the actual `outcome`.
+    /// Returns the prediction that was made (compare with `outcome` for
+    /// a hit).
+    fn predict_then_update(&mut self, outcome: bool) -> bool;
+}
+
+impl StreamPredictor for SaturatingCounter {
+    fn predict_then_update(&mut self, outcome: bool) -> bool {
+        let prediction = self.predict();
+        self.update(outcome);
+        prediction
+    }
+}
+
+impl StreamPredictor for MoorePredictor {
+    fn predict_then_update(&mut self, outcome: bool) -> bool {
+        // predict_and_update returns *correctness*; we want the
+        // prediction itself.
+        let prediction = self.predict();
+        self.update(outcome);
+        prediction
+    }
+}
+
+impl StreamPredictor for CompiledPredictor {
+    fn predict_then_update(&mut self, outcome: bool) -> bool {
+        let prediction = self.predict();
+        self.update(outcome);
+        prediction
+    }
+}
+
+/// Cumulative + windowed accuracy over one outcome stream.
+#[derive(Debug, Clone)]
+pub struct StreamAccuracy {
+    total: u64,
+    correct: u64,
+    window: WindowedAccuracy,
+}
+
+impl StreamAccuracy {
+    /// An empty accumulator with a `window`-outcome ring for the
+    /// windowed rate.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        StreamAccuracy {
+            total: 0,
+            correct: 0,
+            window: WindowedAccuracy::new(window),
+        }
+    }
+
+    /// Records one prediction outcome.
+    pub fn observe(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.correct += 1;
+        }
+        self.window.record(hit);
+    }
+
+    /// Outcomes observed so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Correct predictions so far.
+    #[must_use]
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Cumulative accuracy (0 when nothing was observed).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Hit rate over the trailing window (`None` while empty).
+    #[must_use]
+    pub fn windowed_rate(&self) -> Option<f64> {
+        self.window.rate()
+    }
+}
+
+/// Drives `predictor` over `outcomes`, returning the accumulated
+/// accuracy (cumulative and over a trailing `window`).
+pub fn evaluate_stream<P: StreamPredictor>(
+    predictor: &mut P,
+    outcomes: impl IntoIterator<Item = bool>,
+    window: usize,
+) -> StreamAccuracy {
+    let mut acc = StreamAccuracy::new(window);
+    for outcome in outcomes {
+        let prediction = predictor.predict_then_update(outcome);
+        acc.observe(prediction == outcome);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen::Designer;
+    use fsmgen_exec::CompiledMachine;
+
+    fn alternating(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 1).collect()
+    }
+
+    #[test]
+    fn counter_streams_like_its_batch_self() {
+        // A 2-bit counter on an all-taken stream converges immediately.
+        let mut counter = SaturatingCounter::two_bit();
+        let acc = evaluate_stream(&mut counter, std::iter::repeat_n(true, 100), 16);
+        assert_eq!(acc.total(), 100);
+        assert!(acc.accuracy() > 0.95, "{}", acc.accuracy());
+        assert_eq!(acc.windowed_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn counter_suffers_on_alternation() {
+        let mut counter = SaturatingCounter::two_bit();
+        let acc = evaluate_stream(&mut counter, alternating(200), 32);
+        assert!(
+            acc.accuracy() < 0.6,
+            "a counter should not track alternation: {}",
+            acc.accuracy()
+        );
+    }
+
+    #[test]
+    fn interpreted_and_compiled_streams_are_identical() {
+        let bits: Vec<bool> = "0000100010111101111011110001"
+            .chars()
+            .map(|c| c == '1')
+            .collect();
+        let design = Designer::new(3)
+            .design_from_trace(&bits.iter().copied().collect())
+            .expect("design");
+        let machine = CompiledMachine::compile(design.fsm()).expect("compile");
+        let mut interpreted = design.predictor();
+        let mut compiled = CompiledPredictor::new(machine);
+        for &bit in &bits {
+            let a = interpreted.predict_then_update(bit);
+            let b = compiled.predict_then_update(bit);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stream_accuracy_counts() {
+        let mut acc = StreamAccuracy::new(2);
+        acc.observe(true);
+        acc.observe(false);
+        acc.observe(false);
+        assert_eq!(acc.total(), 3);
+        assert_eq!(acc.correct(), 1);
+        assert!((acc.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(acc.windowed_rate(), Some(0.0));
+    }
+}

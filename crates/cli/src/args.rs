@@ -16,6 +16,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "once",
     "json",
     "strict",
+    "doublecheck",
+    "redesign",
 ];
 
 /// Parsed command-line arguments: flag map plus positionals in order.

@@ -153,7 +153,9 @@ EXIT CODES:
                   [--retry-after-ms N] [--cache-file FILE]
                   [--flush-every N] [--flush-interval-ms N]
                   [--metrics-json FILE] [--trace-jsonl FILE]
-                  [--inject-fault SPEC]
+                  [--inject-fault SPEC] [--redesign]
+                  [--redesign-window N] [--redesign-threshold X]
+                  [--redesign-hysteresis X] [--redesign-history N]
           Run the TCP design service: length-prefixed JSON requests in,
           designed machines out, all fronted by the same cache-aware
           farm as 'fsmgen farm'. Prints 'listening on HOST:PORT' once
@@ -167,6 +169,39 @@ EXIT CODES:
           requests, compacts the store and writes --metrics-json. The
           wire format is specified in DESIGN.md. --inject-fault arms
           process-wide failpoints, e.g. 'serve-conn=error:1'.
+          --redesign enables the live predictor: clients stream outcome
+          bits ('predict_request' frames), a windowed monitor watches the
+          hit rate, and when it collapses below --redesign-threshold the
+          server redesigns on the fresh window and hot-swaps the machine
+          without dropping in-flight requests. The knob flags imply
+          --redesign.
+
+  fsmgen scenario {run|hunt} [--seed N] [--machine FILE]
+                  [--train-benchmark NAME] [--train-len N] [--history N]
+                  [--backend compiled|interpreted]
+          Seeded adversarial scenario engine: deterministic streams of
+          phase changes, drift, bursts and biased/periodic regimes, all
+          a pure function of one seed, dueling a designed machine
+          against the 2-bit-counter fallback. The machine comes from
+          --machine (a table file, as 'design --format table' writes) or
+          is designed fresh from --train-benchmark (default gsm).
+
+          run   [--plan FILE] [--sample-every N] [--doublecheck]
+                [--emit-plan FILE]
+          Replay one plan (--plan JSON, else seeded from --seed) and
+          print the deterministic JSONL event log: segment entries,
+          periodic samples, final report. --doublecheck runs the plan
+          twice and fails on the first diverging line — the determinism
+          contract. --emit-plan writes the plan JSON for later replay.
+
+          hunt  [--rounds N] [--restarts N] [--max-len N]
+                [--target-gap X] [--out FILE]
+          Mutate plans (seeded hill-climb over segment boundaries, bias
+          knobs and regime mixes) hunting for a stream where the
+          designed machine underperforms the counter; the winning plan
+          is minimized (segments dropped, lengths halved) and printed as
+          a hunt_report JSON, reproducible bit-identically from the
+          printed seed. Exits nonzero when no losing plan was found.
 
   fsmgen client   --addr HOST:PORT [--ping | --stats | --shutdown]
                   [--history N] [--threshold P] [--dont-care F]
@@ -1115,6 +1150,48 @@ pub fn cache(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// Assembles the online-redesign config from the `--redesign*` flags.
+/// Any knob flag implies `--redesign` itself.
+fn redesign_from_flags(args: &Args) -> Result<Option<fsmgen_serve::RedesignConfig>, CliError> {
+    let knobs = [
+        "redesign-window",
+        "redesign-threshold",
+        "redesign-hysteresis",
+        "redesign-history",
+    ];
+    if !args.has("redesign") && !knobs.iter().any(|k| args.has(k)) {
+        return Ok(None);
+    }
+    let defaults = fsmgen_serve::RedesignConfig::default();
+    let rate = |name: &str, default: f64| -> Result<f64, CliError> {
+        let value: f64 = args.flag_or(name, default).map_err(usage)?;
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be a rate in 0..=1, got {value}"
+            )));
+        }
+        Ok(value)
+    };
+    let history: usize = args
+        .flag_or("redesign-history", defaults.history)
+        .map_err(usage)?;
+    if history == 0 || history > fsmgen::MAX_ORDER {
+        return Err(CliError::Usage(format!(
+            "--redesign-history must be in 1..={}, got {history}",
+            fsmgen::MAX_ORDER
+        )));
+    }
+    Ok(Some(fsmgen_serve::RedesignConfig {
+        window: args
+            .flag_or("redesign-window", defaults.window)
+            .map_err(usage)?
+            .max(1),
+        collapse_threshold: rate("redesign-threshold", defaults.collapse_threshold)?,
+        hysteresis: rate("redesign-hysteresis", defaults.hysteresis)?,
+        history,
+    }))
+}
+
 /// `fsmgen serve`: run the TCP design service until a protocol-level
 /// shutdown request arrives.
 ///
@@ -1142,6 +1219,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         flush_interval: Duration::from_millis(
             args.flag_or("flush-interval-ms", 200u64).map_err(usage)?,
         ),
+        redesign: redesign_from_flags(args)?,
     };
     if let Some(spec) = args.flag("inject-fault") {
         failpoints::configure_from_spec_global(spec).map_err(usage)?;
@@ -1172,6 +1250,147 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         sink.flush();
     }
     result
+}
+
+/// The machine a scenario duels against the counter fallback: loaded
+/// from a `--machine` table file, or designed fresh from a benchmark
+/// training trace (`--train-benchmark`/`--train-len`/`--history`).
+fn scenario_machine(args: &Args) -> Result<fsmgen_automata::Dfa, CliError> {
+    if let Some(path) = args.flag("machine") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+        return fsmgen_automata::machine_from_table(&text)
+            .map_err(|e| CliError::Parse(e.to_string()));
+    }
+    let history: usize = args.flag_or("history", 4).map_err(usage)?;
+    if history == 0 || history > fsmgen::MAX_ORDER {
+        return Err(CliError::Usage(format!(
+            "--history must be in 1..={}, got {history}",
+            fsmgen::MAX_ORDER
+        )));
+    }
+    let name = args.flag("train-benchmark").unwrap_or("gsm");
+    let len: usize = args.flag_or("train-len", 20_000).map_err(usage)?;
+    let trace: BitTrace = branch_benchmark(name)?
+        .trace(Input::TRAIN, len)
+        .iter()
+        .map(|e| e.taken)
+        .collect();
+    let design = Designer::new(history)
+        .design_from_trace(&trace)
+        .map_err(|e| CliError::Other(format!("training design failed: {e}")))?;
+    Ok(design.fsm().clone())
+}
+
+fn scenario_backend(args: &Args) -> Result<fsmgen_exec::ExecBackend, CliError> {
+    match args.flag("backend").unwrap_or("compiled") {
+        "compiled" => Ok(fsmgen_exec::ExecBackend::Compiled),
+        "interpreted" => Ok(fsmgen_exec::ExecBackend::Interpreted),
+        other => Err(CliError::Usage(format!(
+            "unknown backend {other:?} (compiled|interpreted)"
+        ))),
+    }
+}
+
+/// `fsmgen scenario {run|hunt}`: the seeded adversarial scenario engine.
+///
+/// `run` replays one plan (from `--seed` or a `--plan` JSON file) and
+/// prints the deterministic event log; `--doublecheck` runs it twice and
+/// fails on any divergence. `hunt` hill-climbs over mutated plans
+/// looking for one where the designed machine loses to the 2-bit
+/// counter fallback, then minimizes and prints it.
+///
+/// # Errors
+///
+/// Usage errors for bad flags; parse errors for bad plan/machine files;
+/// general errors for doublecheck divergence or a hunt that found no
+/// losing plan.
+pub fn scenario(args: &Args) -> Result<(), CliError> {
+    use fsmgen_scenario as scn;
+    let Some(action) = args.positional().first() else {
+        return Err(CliError::Usage(
+            "scenario: expected an action: run or hunt".into(),
+        ));
+    };
+    let machine = scenario_machine(args)?;
+    let backend = scenario_backend(args)?;
+    match action.as_str() {
+        "run" => {
+            let plan = match args.flag("plan") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+                    scn::ScenarioPlan::from_json(&text)
+                        .map_err(|e| CliError::Parse(format!("{path}: {e}")))?
+                }
+                None => scn::ScenarioPlan::from_seed(args.flag_or("seed", 1u64).map_err(usage)?),
+            };
+            let sample_every: u64 = args.flag_or("sample-every", 1024).map_err(usage)?;
+            if let Some(path) = args.flag("emit-plan") {
+                std::fs::write(path, plan.to_json())
+                    .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
+                eprintln!("scenario: plan written to {path}");
+            }
+            let log = if args.has("doublecheck") {
+                scn::doublecheck(&machine, &plan, backend, sample_every.max(1))
+                    .map_err(|e| CliError::Other(format!("doublecheck: {e}")))?
+            } else {
+                scn::run_logged(&machine, &plan, backend, sample_every.max(1))
+                    .map_err(|e| CliError::Other(e.to_string()))?
+                    .rendered()
+            };
+            println!("{log}");
+            Ok(())
+        }
+        "hunt" => {
+            let defaults = scn::HuntConfig::default();
+            let config = scn::HuntConfig {
+                seed: args.flag_or("seed", defaults.seed).map_err(usage)?,
+                rounds: args.flag_or("rounds", defaults.rounds).map_err(usage)?,
+                restarts: args.flag_or("restarts", defaults.restarts).map_err(usage)?,
+                max_total_len: args
+                    .flag_or("max-len", defaults.max_total_len)
+                    .map_err(usage)?,
+                target_gap: args
+                    .flag_or("target-gap", defaults.target_gap)
+                    .map_err(usage)?,
+                backend,
+            };
+            let report =
+                scn::hunt(&machine, &config).map_err(|e| CliError::Other(e.to_string()))?;
+            if let Some(path) = args.flag("out") {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| CliError::Other(format!("cannot write {path}: {e}")))?;
+                eprintln!("scenario: hunt report written to {path}");
+            }
+            println!("{}", report.to_json());
+            eprintln!(
+                "hunt: {} plan(s) evaluated, seed {}: {}",
+                report.evaluated,
+                report.seed,
+                if report.found {
+                    format!(
+                        "found a losing plan ({} segments, {} bits, gap {:.4})",
+                        report.plan.segments.len(),
+                        report.plan.total_len(),
+                        report.report.gap()
+                    )
+                } else {
+                    format!("no losing plan found (best gap {:.4})", report.report.gap())
+                }
+            );
+            if report.found {
+                Ok(())
+            } else {
+                Err(CliError::Other(
+                    "hunt: no plan found where the designed machine loses to the counter".into(),
+                ))
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "scenario: unknown action {other:?} (expected run or hunt)"
+        ))),
+    }
 }
 
 /// `fsmgen client`: one control request, one design request, or a batch

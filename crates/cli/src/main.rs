@@ -13,6 +13,7 @@
 //! fsmgen predict  --machine FILE [TRACE]                 replay a saved machine
 //! fsmgen figure   {1|6|7}                                 print a paper figure's FSM
 //! fsmgen serve    [--addr HOST:PORT] [--cache-file FILE]  run the design service
+//! fsmgen scenario {run|hunt} [--seed N] [--plan FILE]     adversarial scenario engine
 //! fsmgen client   --addr HOST:PORT [flags] [TRACE]        talk to a running service
 //! fsmgen top      HOST:PORT [--interval-ms N]
 //!                 [--once] [--json] [--count N]           live service dashboard
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         "farm" => commands::farm(&parsed),
         "cache" => commands::cache(&parsed),
         "serve" => commands::serve(&parsed),
+        "scenario" => commands::scenario(&parsed),
         "client" => commands::client(&parsed),
         "top" => top::top(&parsed),
         "help" | "--help" | "-h" => {

@@ -78,6 +78,16 @@ impl BatchReport {
             .find(|o| o.id == id)
             .and_then(|o| o.result.as_ref().ok())
     }
+
+    /// The ready-to-run compiled machine for job `id`, if that job
+    /// succeeded and its machine fit the compiled-table limits.
+    #[must_use]
+    pub fn compiled(&self, id: u64) -> Option<&Arc<CompiledMachine>> {
+        self.outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .and_then(|o| o.compiled.as_ref())
+    }
 }
 
 /// The batch design engine (the "farm").
@@ -429,6 +439,40 @@ impl Farm {
             rungs: &rungs,
         });
         BatchReport { outcomes, metrics }
+    }
+
+    /// The online-redesign entry: designs a fresh machine from a window
+    /// of live outcomes and returns the ready-to-swap compiled artifact.
+    ///
+    /// This is a one-job [`Farm::design_batch`], so the content-addressed
+    /// cache, single-flight dedup, durable store and obs events all apply
+    /// — a hot-swap redesign of a window the farm has seen before is a
+    /// cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`FarmError`] (e.g. the window is shorter than
+    /// the history order), or a wrapped [`DesignError::BadConfig`] if the
+    /// designed machine could not be compiled to a dense table.
+    pub fn redesign(
+        &self,
+        id: u64,
+        window: &[bool],
+        designer: Designer,
+    ) -> Result<Arc<CompiledMachine>, FarmError> {
+        let trace: Arc<BitTrace> = Arc::new(window.iter().copied().collect());
+        let report = self.design_batch(vec![DesignJob::from_trace(id, trace, designer)]);
+        let Some(outcome) = report.outcomes.into_iter().next() else {
+            return Err(FarmError::Design(DesignError::BadConfig(
+                "redesign batch produced no outcome".into(),
+            )));
+        };
+        outcome.result?;
+        outcome.compiled.ok_or_else(|| {
+            FarmError::Design(DesignError::BadConfig(
+                "designed machine does not fit the compiled-table limits".into(),
+            ))
+        })
     }
 
     /// Runs one job on the current (worker) thread.

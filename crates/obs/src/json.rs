@@ -1,12 +1,14 @@
-//! A minimal JSON reader for the wire protocol.
+//! A minimal JSON reader shared across the workspace.
 //!
 //! The workspace's vendored `serde` stub has no serializer or
-//! deserializer, and every other crate hand-rolls its JSON *emitters*;
-//! the service additionally needs to *read* JSON off the wire. This is a
-//! small recursive-descent parser for the full JSON grammar with two
+//! deserializer, and every crate hand-rolls its JSON *emitters*; the
+//! design service and the scenario engine additionally need to *read*
+//! JSON (wire frames, scenario plan files). This is a small
+//! recursive-descent parser for the full JSON grammar with two
 //! protocol-motivated limits: a nesting-depth cap (stack safety against
-//! adversarial frames) and numbers parsed as `f64` (every quantity in the
-//! schema fits losslessly).
+//! adversarial input) and numbers parsed as `f64` (every quantity in the
+//! schema fits losslessly). It lives in `fsmgen-obs` — the workspace's
+//! shared bottom layer — so both consumers use the same grammar.
 
 use std::collections::BTreeMap;
 use std::fmt;

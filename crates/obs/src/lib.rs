@@ -39,10 +39,12 @@
 
 mod event;
 mod hist;
+pub mod json;
 mod profile;
 pub mod recorder;
 mod sink;
 pub mod trace;
+mod window;
 
 pub use event::{ObsEvent, SCHEMA_VERSION};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
@@ -53,3 +55,4 @@ pub use recorder::{
 };
 pub use sink::{current_tid, CollectingObsSink, JsonlObsSink, NullObsSink, ObsSink};
 pub use trace::{ExportError, ExportFormat, ExportOptions, ExportReport};
+pub use window::{CollapseEvent, CollapseMonitor, WindowedAccuracy};

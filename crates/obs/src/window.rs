@@ -1,0 +1,270 @@
+//! Windowed hit-rate tracking with collapse detection.
+//!
+//! The paper designs predictors offline against a fixed workload model;
+//! when the served workload drifts away from that model the predictor's
+//! accuracy collapses, and the only way to notice at runtime is a
+//! *windowed* hit rate (a lifetime average hides a regime change behind
+//! thousands of old hits). [`WindowedAccuracy`] keeps the last `window`
+//! hit/miss outcomes in a ring buffer; [`CollapseMonitor`] layers a
+//! threshold with hysteresis on top, so one noisy window cannot trigger
+//! a redesign storm: after a collapse fires the monitor disarms until
+//! the rate recovers past `threshold + hysteresis`.
+//!
+//! Both types are plain single-threaded state — callers that share one
+//! across threads (the design service's predict path) wrap it in their
+//! own mutex, which they need anyway to keep the predictor state and
+//! the window in lockstep.
+
+/// A ring buffer of the last `capacity` hit/miss outcomes.
+#[derive(Debug, Clone)]
+pub struct WindowedAccuracy {
+    ring: Vec<bool>,
+    capacity: usize,
+    next: usize,
+    filled: usize,
+    hits: usize,
+}
+
+impl WindowedAccuracy {
+    /// Creates a window over the last `capacity` outcomes (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        WindowedAccuracy {
+            ring: vec![false; capacity],
+            capacity,
+            next: 0,
+            filled: 0,
+            hits: 0,
+        }
+    }
+
+    /// Records one outcome, evicting the oldest when full.
+    pub fn record(&mut self, hit: bool) {
+        if self.filled == self.capacity {
+            if self.ring[self.next] {
+                self.hits -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.next] = hit;
+        if hit {
+            self.hits += 1;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Outcomes currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// True when nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// True once the window holds `capacity` outcomes.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.filled == self.capacity
+    }
+
+    /// The window size this tracker was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hits currently in the window.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// The hit rate over the current window; `None` while empty.
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        if self.filled == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.filled as f64)
+        }
+    }
+
+    /// Forgets every recorded outcome (e.g. after a predictor swap, so
+    /// the post-swap rate reflects only the new predictor).
+    pub fn reset(&mut self) {
+        self.next = 0;
+        self.filled = 0;
+        self.hits = 0;
+    }
+}
+
+/// What [`CollapseMonitor::record`] observed at one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollapseEvent {
+    /// Nothing notable: window not full, or rate within band.
+    None,
+    /// The windowed rate fell below the threshold while armed; the
+    /// monitor has disarmed itself (no repeat until re-armed).
+    Collapsed,
+    /// The rate recovered past `threshold + hysteresis` and the monitor
+    /// re-armed.
+    Rearmed,
+}
+
+/// A [`WindowedAccuracy`] with a collapse threshold and hysteresis.
+#[derive(Debug, Clone)]
+pub struct CollapseMonitor {
+    window: WindowedAccuracy,
+    threshold: f64,
+    hysteresis: f64,
+    armed: bool,
+}
+
+impl CollapseMonitor {
+    /// A monitor that collapses when the windowed rate (over a full
+    /// `window`-sized ring) drops below `threshold`, and re-arms once
+    /// the rate climbs back past `threshold + hysteresis`.
+    #[must_use]
+    pub fn new(window: usize, threshold: f64, hysteresis: f64) -> Self {
+        CollapseMonitor {
+            window: WindowedAccuracy::new(window),
+            threshold: threshold.clamp(0.0, 1.0),
+            hysteresis: hysteresis.clamp(0.0, 1.0),
+            armed: true,
+        }
+    }
+
+    /// Records one outcome and reports what (if anything) changed.
+    pub fn record(&mut self, hit: bool) -> CollapseEvent {
+        self.window.record(hit);
+        if !self.window.is_full() {
+            return CollapseEvent::None;
+        }
+        let Some(rate) = self.window.rate() else {
+            return CollapseEvent::None;
+        };
+        if self.armed {
+            if rate < self.threshold {
+                self.armed = false;
+                return CollapseEvent::Collapsed;
+            }
+        } else if rate >= (self.threshold + self.hysteresis).min(1.0) {
+            self.armed = true;
+            return CollapseEvent::Rearmed;
+        }
+        CollapseEvent::None
+    }
+
+    /// The current windowed hit rate (`None` while empty).
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        self.window.rate()
+    }
+
+    /// True while a new collapse can fire.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The underlying window.
+    #[must_use]
+    pub fn window(&self) -> &WindowedAccuracy {
+        &self.window
+    }
+
+    /// Clears the window and re-arms (e.g. after a predictor swap).
+    pub fn reset(&mut self) {
+        self.window.reset();
+        self.armed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_tracks_last_n() {
+        let mut w = WindowedAccuracy::new(4);
+        assert_eq!(w.rate(), None);
+        for _ in 0..4 {
+            w.record(true);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.rate(), Some(1.0));
+        // Four misses push the hits out entirely.
+        for _ in 0..4 {
+            w.record(false);
+        }
+        assert_eq!(w.rate(), Some(0.0));
+        w.record(true);
+        assert_eq!(w.rate(), Some(0.25));
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut w = WindowedAccuracy::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.record(true);
+        assert_eq!(w.rate(), Some(1.0));
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut w = WindowedAccuracy::new(3);
+        w.record(true);
+        w.record(false);
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.rate(), None);
+    }
+
+    #[test]
+    fn collapse_fires_once_then_disarms() {
+        let mut m = CollapseMonitor::new(4, 0.6, 0.2);
+        let mut events = Vec::new();
+        for _ in 0..8 {
+            events.push(m.record(false));
+        }
+        let collapses = events
+            .iter()
+            .filter(|e| **e == CollapseEvent::Collapsed)
+            .count();
+        assert_eq!(collapses, 1, "{events:?}");
+        assert!(!m.is_armed());
+    }
+
+    #[test]
+    fn hysteresis_gates_rearm() {
+        let mut m = CollapseMonitor::new(4, 0.5, 0.25);
+        for _ in 0..4 {
+            m.record(false);
+        }
+        assert!(!m.is_armed());
+        // 2/4 = 0.5 >= threshold but < threshold + hysteresis: stays
+        // disarmed.
+        m.record(true);
+        m.record(true);
+        assert!(!m.is_armed());
+        // 3/4 = 0.75 >= 0.75: re-arms.
+        assert_eq!(m.record(true), CollapseEvent::Rearmed);
+        assert!(m.is_armed());
+    }
+
+    #[test]
+    fn no_collapse_before_window_fills() {
+        let mut m = CollapseMonitor::new(8, 0.9, 0.05);
+        for _ in 0..7 {
+            assert_eq!(m.record(false), CollapseEvent::None);
+        }
+        assert_eq!(m.record(false), CollapseEvent::Collapsed);
+    }
+}

@@ -1,0 +1,463 @@
+//! The arbitrageur: a seeded search for scenarios a designed FSM loses.
+//!
+//! A designed predictor is only as good as the training distribution;
+//! the arbitrageur hunts for the distributions where the design bet
+//! fails, scoring each candidate plan by the duel **gap**
+//! (`counter_accuracy - fsm_accuracy`, positive when the designed
+//! machine loses to the 2-bit fallback it is supposed to beat). The
+//! search is a restarted hill-climb over plan space — segment knobs,
+//! boundaries, regime swaps, segment insertion/removal — driven entirely
+//! by one `u64` seed through a local xorshift64* generator, so a found
+//! counterexample reproduces bit-identically from the printed seed. A
+//! winning plan is then greedily minimized (drop segments, halve
+//! lengths) while it keeps losing, yielding the smallest counterexample
+//! the climb can defend.
+
+use crate::engine::{duel, DuelReport, EngineError};
+use crate::plan::{derive_seed, Regime, ScenarioPlan, Segment};
+use fsmgen_automata::Dfa;
+use fsmgen_exec::ExecBackend;
+
+/// Deterministic xorshift64* generator for the hunt (kept separate from
+/// the stream RNG so mutating the search never perturbs generation).
+#[derive(Debug, Clone)]
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        // xorshift64* has a zero fixed point; displace it.
+        Xorshift(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Search budget and environment for [`hunt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HuntConfig {
+    /// Master seed; the whole hunt is a pure function of it (given the
+    /// same machine).
+    pub seed: u64,
+    /// Hill-climb mutations per restart.
+    pub rounds: u32,
+    /// Independent restarts from fresh seeded plans.
+    pub restarts: u32,
+    /// Cap on a candidate plan's total stream length.
+    pub max_total_len: u64,
+    /// Early-exit once a plan with at least this gap is found.
+    pub target_gap: f64,
+    /// Execution backend for the designed machine.
+    pub backend: ExecBackend,
+}
+
+impl Default for HuntConfig {
+    fn default() -> Self {
+        HuntConfig {
+            seed: 1,
+            rounds: 48,
+            restarts: 4,
+            max_total_len: 32_768,
+            target_gap: 0.05,
+            backend: ExecBackend::Compiled,
+        }
+    }
+}
+
+/// Outcome of a hunt: the best (and, when losing, minimized) plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HuntReport {
+    /// The seed the hunt ran from (reproduces everything below).
+    pub seed: u64,
+    /// Plans evaluated (duels run).
+    pub evaluated: u64,
+    /// Whether a losing plan (positive gap) was found.
+    pub found: bool,
+    /// The best plan — minimized when `found`.
+    pub plan: ScenarioPlan,
+    /// Duel outcome on `plan`.
+    pub report: DuelReport,
+}
+
+impl HuntReport {
+    /// Renders the report (with the plan inlined) as one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"v\":{},\"kind\":\"hunt_report\",\"seed\":\"{}\",\"evaluated\":{},\"found\":{},\"fsm_accuracy\":{:?},\"counter_accuracy\":{:?},\"gap\":{:?},\"plan\":{}}}",
+            crate::plan::PLAN_VERSION,
+            self.seed,
+            self.evaluated,
+            self.found,
+            self.report.fsm_accuracy(),
+            self.report.counter_accuracy(),
+            self.report.gap(),
+            self.plan.to_json()
+        )
+    }
+}
+
+fn clamp_total_len(plan: &mut ScenarioPlan, max_total: u64) {
+    let mut total = plan.total_len();
+    while total > max_total && plan.segments.len() > 1 {
+        total -= plan.segments.pop().map_or(0, |s| s.len);
+    }
+    if let [only] = plan.segments.as_mut_slice() {
+        only.len = only.len.min(max_total.max(1));
+    }
+}
+
+fn random_regime(rng: &mut Xorshift) -> Regime {
+    match rng.below(5) {
+        0 => Regime::Biased {
+            taken_prob: rng.unit(),
+        },
+        1 => {
+            let period = 2 + rng.below(6) as usize;
+            Regime::Periodic {
+                pattern: (0..period).map(|_| rng.below(2) == 1).collect(),
+            }
+        }
+        2 => Regime::Correlated {
+            ages: vec![1 + rng.below(4) as u8],
+            invert: rng.below(2) == 1,
+            noise: rng.unit() * 0.2,
+        },
+        3 => Regime::Drift {
+            from: rng.unit(),
+            to: rng.unit(),
+        },
+        _ => Regime::Bursty {
+            calm_prob: 0.8 + rng.unit() * 0.2,
+            storm_prob: rng.unit() * 0.2,
+            burst_len: 16 + rng.below(113),
+        },
+    }
+}
+
+fn nudge_prob(p: &mut f64, rng: &mut Xorshift) {
+    // Mix small steps with occasional jumps to an extreme — the losing
+    // scenarios usually live at the extremes of the bias knobs.
+    *p = match rng.below(4) {
+        0 => 0.0 + rng.unit() * 0.05,
+        1 => 1.0 - rng.unit() * 0.05,
+        _ => (*p + (rng.unit() - 0.5) * 0.3).clamp(0.0, 1.0),
+    };
+}
+
+fn mutate(plan: &mut ScenarioPlan, rng: &mut Xorshift) {
+    let n = plan.segments.len();
+    match rng.below(7) {
+        // Tweak a knob of one segment.
+        0 => {
+            let segment = &mut plan.segments[rng.below(n as u64) as usize];
+            match &mut segment.regime {
+                Regime::Biased { taken_prob } => nudge_prob(taken_prob, rng),
+                Regime::Drift { from, to } => {
+                    if rng.below(2) == 0 {
+                        nudge_prob(from, rng);
+                    } else {
+                        nudge_prob(to, rng);
+                    }
+                }
+                Regime::Bursty {
+                    calm_prob,
+                    storm_prob,
+                    burst_len,
+                } => match rng.below(3) {
+                    0 => nudge_prob(calm_prob, rng),
+                    1 => nudge_prob(storm_prob, rng),
+                    _ => *burst_len = (*burst_len / 2 + rng.below(*burst_len + 16)).max(1),
+                },
+                Regime::Correlated { noise, invert, .. } => {
+                    if rng.below(2) == 0 {
+                        nudge_prob(noise, rng);
+                    } else {
+                        *invert = !*invert;
+                    }
+                }
+                Regime::Periodic { pattern } => {
+                    let i = rng.below(pattern.len() as u64) as usize;
+                    pattern[i] = !pattern[i];
+                }
+            }
+        }
+        // Resize one segment.
+        1 => {
+            let segment = &mut plan.segments[rng.below(n as u64) as usize];
+            segment.len = match rng.below(3) {
+                0 => (segment.len / 2).max(32),
+                1 => segment.len.saturating_mul(2),
+                _ => segment.len + rng.below(1024),
+            };
+        }
+        // Move the boundary between two adjacent segments.
+        2 if n >= 2 => {
+            let i = rng.below(n as u64 - 1) as usize;
+            let shift = rng.below(plan.segments[i].len.max(2) / 2 + 1);
+            if rng.below(2) == 0 && plan.segments[i].len > shift + 32 {
+                plan.segments[i].len -= shift;
+                plan.segments[i + 1].len += shift;
+            } else if plan.segments[i + 1].len > shift + 32 {
+                plan.segments[i + 1].len -= shift;
+                plan.segments[i].len += shift;
+            }
+        }
+        // Replace a segment's regime wholesale.
+        3 => {
+            let i = rng.below(n as u64) as usize;
+            plan.segments[i].regime = random_regime(rng);
+        }
+        // Insert a fresh segment.
+        4 if n < 12 => {
+            let at = rng.below(n as u64 + 1) as usize;
+            plan.segments.insert(
+                at,
+                Segment {
+                    len: 256 + rng.below(2048),
+                    regime: random_regime(rng),
+                },
+            );
+        }
+        // Drop a segment.
+        5 if n > 1 => {
+            let i = rng.below(n as u64) as usize;
+            plan.segments.remove(i);
+        }
+        // Shuffle two segments (regime order matters through history).
+        _ if n >= 2 => {
+            let i = rng.below(n as u64) as usize;
+            let j = rng.below(n as u64) as usize;
+            plan.segments.swap(i, j);
+        }
+        _ => {
+            let segment = &mut plan.segments[0];
+            segment.len += 64;
+        }
+    }
+}
+
+/// Greedily shrinks a losing plan while it keeps losing: drop whole
+/// segments first, then halve segment lengths.
+fn minimize(
+    machine: &Dfa,
+    mut plan: ScenarioPlan,
+    backend: ExecBackend,
+    evaluated: &mut u64,
+) -> Result<(ScenarioPlan, DuelReport), EngineError> {
+    let mut report = duel(machine, &plan, backend)?;
+    *evaluated += 1;
+    loop {
+        let mut improved = false;
+        // Drop segments, earliest first (a shorter plan re-tests fast).
+        let mut i = 0;
+        while plan.segments.len() > 1 && i < plan.segments.len() {
+            let mut candidate = plan.clone();
+            candidate.segments.remove(i);
+            let candidate_report = duel(machine, &candidate, backend)?;
+            *evaluated += 1;
+            if candidate_report.gap() > 0.0 {
+                plan = candidate;
+                report = candidate_report;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Halve lengths while the plan still loses.
+        for i in 0..plan.segments.len() {
+            while plan.segments[i].len >= 64 {
+                let mut candidate = plan.clone();
+                candidate.segments[i].len /= 2;
+                let candidate_report = duel(machine, &candidate, backend)?;
+                *evaluated += 1;
+                if candidate_report.gap() > 0.0 {
+                    plan = candidate;
+                    report = candidate_report;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return Ok((plan, report));
+        }
+    }
+}
+
+/// Hunts for a plan on which `machine` loses to the 2-bit fallback.
+///
+/// The search is deterministic in `(machine, config)`; rerunning with
+/// the reported seed reproduces the identical report.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the machine does not compile.
+pub fn hunt(machine: &Dfa, config: &HuntConfig) -> Result<HuntReport, EngineError> {
+    let mut rng = Xorshift::new(derive_seed(config.seed, 0xa11));
+    let mut evaluated = 0u64;
+    let mut best: Option<(ScenarioPlan, DuelReport)> = None;
+    'restarts: for restart in 0..config.restarts.max(1) {
+        let mut current = ScenarioPlan::from_seed(derive_seed(config.seed, u64::from(restart)));
+        clamp_total_len(&mut current, config.max_total_len);
+        let mut current_report = duel(machine, &current, config.backend)?;
+        evaluated += 1;
+        if best
+            .as_ref()
+            .is_none_or(|(_, r)| current_report.gap() > r.gap())
+        {
+            best = Some((current.clone(), current_report));
+        }
+        for _ in 0..config.rounds {
+            let mut candidate = current.clone();
+            mutate(&mut candidate, &mut rng);
+            clamp_total_len(&mut candidate, config.max_total_len);
+            let candidate_report = duel(machine, &candidate, config.backend)?;
+            evaluated += 1;
+            if candidate_report.gap() > current_report.gap() {
+                current = candidate;
+                current_report = candidate_report;
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, r)| current_report.gap() > r.gap())
+                {
+                    best = Some((current.clone(), current_report));
+                }
+                if current_report.gap() >= config.target_gap {
+                    break 'restarts;
+                }
+            }
+        }
+    }
+    let (mut plan, mut report) = match best {
+        Some(found) => found,
+        // restarts >= 1 always evaluates at least one plan.
+        None => {
+            return Err(EngineError("hunt evaluated no plans".into()));
+        }
+    };
+    let found = report.gap() > 0.0;
+    if found {
+        (plan, report) = minimize(machine, plan, config.backend, &mut evaluated)?;
+    }
+    Ok(HuntReport {
+        seed: config.seed,
+        evaluated,
+        found,
+        plan,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen::Designer;
+    use fsmgen_traces::BitTrace;
+
+    /// A deliberately weak "fig2-style" design: trained on a heavily
+    /// taken-biased trace, it bets on taken and has no adaptation.
+    fn weak_machine() -> Dfa {
+        let mut state = 0x5eedu64;
+        let bits: BitTrace = (0..4000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 100 < 92
+            })
+            .collect();
+        Designer::new(2)
+            .design_from_trace(&bits)
+            .expect("design")
+            .fsm()
+            .clone()
+    }
+
+    #[test]
+    fn hunt_finds_and_minimizes_a_losing_plan() {
+        let machine = weak_machine();
+        let config = HuntConfig {
+            seed: 20010630,
+            max_total_len: 8192,
+            ..HuntConfig::default()
+        };
+        let report = hunt(&machine, &config).expect("hunt");
+        assert!(report.found, "no losing plan found: {:?}", report.report);
+        assert!(report.report.gap() > 0.0);
+        assert!(report.evaluated > 0);
+        // Minimization keeps the loss while shrinking the plan.
+        assert!(report.plan.total_len() <= 8192);
+    }
+
+    #[test]
+    fn hunt_is_deterministic_from_its_seed() {
+        let machine = weak_machine();
+        let config = HuntConfig {
+            seed: 77,
+            rounds: 16,
+            restarts: 2,
+            max_total_len: 4096,
+            ..HuntConfig::default()
+        };
+        let a = hunt(&machine, &config).expect("hunt a");
+        let b = hunt(&machine, &config).expect("hunt b");
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn found_plan_replays_to_the_reported_gap() {
+        let machine = weak_machine();
+        let config = HuntConfig {
+            seed: 20010630,
+            max_total_len: 8192,
+            ..HuntConfig::default()
+        };
+        let report = hunt(&machine, &config).expect("hunt");
+        // Replaying the minimized plan (e.g. after a JSON round-trip)
+        // reproduces the exact duel outcome.
+        let round_tripped = ScenarioPlan::from_json(&report.plan.to_json()).expect("round trip");
+        let replayed = duel(&machine, &round_tripped, config.backend).expect("duel");
+        assert_eq!(replayed, report.report);
+    }
+
+    #[test]
+    fn counter_equivalent_machine_never_loses() {
+        let machine = fsmgen_bpred::two_bit_counter_machine();
+        let config = HuntConfig {
+            seed: 5,
+            rounds: 12,
+            restarts: 2,
+            max_total_len: 4096,
+            ..HuntConfig::default()
+        };
+        let report = hunt(&machine, &config).expect("hunt");
+        assert!(
+            !report.found,
+            "counter cannot lose to itself: {:?}",
+            report.report
+        );
+        assert_eq!(report.report.gap(), 0.0);
+    }
+}

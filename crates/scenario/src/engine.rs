@@ -1,0 +1,404 @@
+//! Stream generation and the FSM-vs-counter duel.
+//!
+//! [`ScenarioStream`] lazily expands a [`ScenarioPlan`] into outcomes:
+//! one [`BehaviorStream`] carries the global history across every
+//! segment (phase changes see the previous regime's history, as a real
+//! pipeline would), while each segment draws noise from its own seed
+//! derived via [`derive_seed`] — so truncating or editing later segments
+//! never perturbs earlier bits. [`duel`] races a designed machine
+//! against the paper's 2-bit saturating-counter fallback over one shared
+//! stream, and [`run_logged`] renders the same race as a deterministic
+//! event log for byte-identical doublecheck comparison.
+
+use crate::plan::{derive_seed, Regime, ScenarioPlan, Segment};
+use fsmgen_automata::{Dfa, MoorePredictor};
+use fsmgen_bpred::{SaturatingCounter, StreamPredictor};
+use fsmgen_exec::{CompiledMachine, CompiledPredictor, ExecBackend};
+use fsmgen_workloads::{BehaviorStream, BranchBehavior};
+use std::fmt;
+use std::sync::Arc;
+
+/// Lazily generates a plan's outcome stream.
+pub struct ScenarioStream<'a> {
+    plan: &'a ScenarioPlan,
+    stream: BehaviorStream,
+    segment: usize,
+    step: u64,
+    entered: bool,
+}
+
+impl<'a> ScenarioStream<'a> {
+    /// A stream positioned before the first outcome of `plan`.
+    #[must_use]
+    pub fn new(plan: &'a ScenarioPlan) -> Self {
+        ScenarioStream {
+            plan,
+            stream: BehaviorStream::new(plan.history, derive_seed(plan.seed, 0)),
+            segment: 0,
+            step: 0,
+            entered: false,
+        }
+    }
+
+    /// Index of the segment the *next* outcome will come from (saturates
+    /// at the segment count once exhausted).
+    #[must_use]
+    pub fn segment_index(&self) -> usize {
+        self.segment
+    }
+
+    fn behavior(regime: &Regime, step: u64, len: u64) -> BranchBehavior {
+        match regime {
+            Regime::Biased { taken_prob } => BranchBehavior::Biased {
+                taken_prob: *taken_prob,
+            },
+            Regime::Periodic { pattern } => BranchBehavior::Periodic {
+                pattern: pattern.clone(),
+            },
+            Regime::Correlated {
+                ages,
+                invert,
+                noise,
+            } => BranchBehavior::GlobalCorrelated {
+                ages: ages.clone(),
+                invert: *invert,
+                noise: *noise,
+            },
+            Regime::Drift { from, to } => {
+                // Linear interpolation across the segment; the final step
+                // sits one increment short of `to`, which the next
+                // segment is free to pick up.
+                let t = if len == 0 {
+                    0.0
+                } else {
+                    step as f64 / len as f64
+                };
+                BranchBehavior::Biased {
+                    taken_prob: from + (to - from) * t,
+                }
+            }
+            Regime::Bursty {
+                calm_prob,
+                storm_prob,
+                burst_len,
+            } => {
+                let storm = (step / (*burst_len).max(1)) % 2 == 1;
+                BranchBehavior::Biased {
+                    taken_prob: if storm { *storm_prob } else { *calm_prob },
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ScenarioStream<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        loop {
+            let segment: &Segment = self.plan.segments.get(self.segment)?;
+            if !self.entered {
+                // Each segment gets its own derived seed; history and
+                // the RNG stream for *earlier* segments are untouched.
+                self.stream
+                    .reseed(derive_seed(self.plan.seed, self.segment as u64 + 1));
+                self.stream.reset_local_step();
+                self.entered = true;
+            }
+            if self.step >= segment.len {
+                self.segment += 1;
+                self.step = 0;
+                self.entered = false;
+                continue;
+            }
+            let behavior = Self::behavior(&segment.regime, self.step, segment.len);
+            self.step += 1;
+            return Some(self.stream.next_outcome(&behavior));
+        }
+    }
+}
+
+/// Materializes the full outcome stream of `plan`.
+#[must_use]
+pub fn generate(plan: &ScenarioPlan) -> Vec<bool> {
+    ScenarioStream::new(plan).collect()
+}
+
+/// Outcome of racing a designed machine against the saturating-counter
+/// fallback over one scenario stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuelReport {
+    /// Outcomes both predictors saw.
+    pub total: u64,
+    /// Designed-FSM hits.
+    pub fsm_correct: u64,
+    /// 2-bit-counter hits.
+    pub counter_correct: u64,
+}
+
+impl DuelReport {
+    /// The designed machine's accuracy.
+    #[must_use]
+    pub fn fsm_accuracy(&self) -> f64 {
+        ratio(self.fsm_correct, self.total)
+    }
+
+    /// The fallback counter's accuracy.
+    #[must_use]
+    pub fn counter_accuracy(&self) -> f64 {
+        ratio(self.counter_correct, self.total)
+    }
+
+    /// `counter_accuracy - fsm_accuracy`: positive means the designed
+    /// machine *loses* to the fallback on this scenario.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.counter_accuracy() - self.fsm_accuracy()
+    }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Engine failures (currently only compilation of oversized machines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError(pub String);
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario engine: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+fn fsm_predictor(
+    machine: &Dfa,
+    backend: ExecBackend,
+) -> Result<Box<dyn StreamPredictor>, EngineError> {
+    match backend {
+        ExecBackend::Interpreted => Ok(Box::new(MoorePredictor::new(Arc::new(machine.clone())))),
+        ExecBackend::Compiled => {
+            let compiled = CompiledMachine::compile(machine)
+                .map_err(|e| EngineError(format!("compile failed: {e}")))?;
+            Ok(Box::new(CompiledPredictor::new(compiled)))
+        }
+    }
+}
+
+/// Races an already-built stream predictor against a fresh 2-bit counter
+/// over `plan`'s stream.
+pub fn duel_with<P: StreamPredictor + ?Sized>(fsm: &mut P, plan: &ScenarioPlan) -> DuelReport {
+    let mut counter = SaturatingCounter::two_bit();
+    let mut report = DuelReport {
+        total: 0,
+        fsm_correct: 0,
+        counter_correct: 0,
+    };
+    for outcome in ScenarioStream::new(plan) {
+        let fsm_prediction = fsm.predict_then_update(outcome);
+        let counter_prediction = counter.predict_then_update(outcome);
+        report.total += 1;
+        report.fsm_correct += u64::from(fsm_prediction == outcome);
+        report.counter_correct += u64::from(counter_prediction == outcome);
+    }
+    report
+}
+
+/// Races `machine` (on the chosen backend) against the fallback counter.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the machine does not compile.
+pub fn duel(
+    machine: &Dfa,
+    plan: &ScenarioPlan,
+    backend: ExecBackend,
+) -> Result<DuelReport, EngineError> {
+    let mut fsm = fsm_predictor(machine, backend)?;
+    Ok(duel_with(fsm.as_mut(), plan))
+}
+
+/// A logged scenario run: the deterministic event lines plus the final
+/// report. Two runs of the same `(plan, machine, backend)` must render
+/// byte-identically — the doublecheck contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// JSONL event lines: one `scenario_segment` per segment entry,
+    /// `scenario_sample` checkpoints, and a final `scenario_report`.
+    pub lines: Vec<String>,
+    /// The duel outcome.
+    pub report: DuelReport,
+}
+
+impl ScenarioRun {
+    /// The full log as one newline-joined document.
+    #[must_use]
+    pub fn rendered(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// Runs the duel while rendering the deterministic event log.
+/// `sample_every` = 0 disables checkpoint lines.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the machine does not compile.
+pub fn run_logged(
+    machine: &Dfa,
+    plan: &ScenarioPlan,
+    backend: ExecBackend,
+    sample_every: u64,
+) -> Result<ScenarioRun, EngineError> {
+    let mut fsm = fsm_predictor(machine, backend)?;
+    let mut counter = SaturatingCounter::two_bit();
+    let mut report = DuelReport {
+        total: 0,
+        fsm_correct: 0,
+        counter_correct: 0,
+    };
+    let mut lines = Vec::new();
+    let mut stream = ScenarioStream::new(plan);
+    let mut last_segment = usize::MAX;
+    while let Some(outcome) = stream.next() {
+        // The stream advances its segment index lazily, so after next()
+        // it still names the segment that produced this outcome.
+        let produced_by = stream.segment_index();
+        if produced_by != last_segment {
+            let segment = &plan.segments[produced_by];
+            lines.push(format!(
+                "{{\"v\":{},\"kind\":\"scenario_segment\",\"index\":{},\"regime\":\"{}\",\"len\":{},\"at\":{}}}",
+                crate::plan::PLAN_VERSION,
+                produced_by,
+                segment.regime.kind(),
+                segment.len,
+                report.total
+            ));
+            last_segment = produced_by;
+        }
+        let fsm_prediction = fsm.predict_then_update(outcome);
+        let counter_prediction = counter.predict_then_update(outcome);
+        report.total += 1;
+        report.fsm_correct += u64::from(fsm_prediction == outcome);
+        report.counter_correct += u64::from(counter_prediction == outcome);
+        if sample_every > 0 && report.total.is_multiple_of(sample_every) {
+            lines.push(format!(
+                "{{\"v\":{},\"kind\":\"scenario_sample\",\"at\":{},\"fsm_hits\":{},\"counter_hits\":{}}}",
+                crate::plan::PLAN_VERSION,
+                report.total,
+                report.fsm_correct,
+                report.counter_correct
+            ));
+        }
+    }
+    lines.push(format!(
+        "{{\"v\":{},\"kind\":\"scenario_report\",\"seed\":\"{}\",\"total\":{},\"fsm_correct\":{},\"counter_correct\":{},\"fsm_accuracy\":{:?},\"counter_accuracy\":{:?},\"gap\":{:?}}}",
+        crate::plan::PLAN_VERSION,
+        plan.seed,
+        report.total,
+        report.fsm_correct,
+        report.counter_correct,
+        report.fsm_accuracy(),
+        report.counter_accuracy(),
+        report.gap()
+    ));
+    Ok(ScenarioRun { lines, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_bpred::two_bit_counter_machine;
+
+    fn biased_plan(p: f64, len: u64) -> ScenarioPlan {
+        ScenarioPlan {
+            seed: 11,
+            history: 4,
+            segments: vec![crate::plan::Segment {
+                len,
+                regime: Regime::Biased { taken_prob: p },
+            }],
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let plan = ScenarioPlan::from_seed(7);
+        assert_eq!(generate(&plan), generate(&plan));
+    }
+
+    #[test]
+    fn truncating_tail_segments_preserves_prefix() {
+        let mut plan = ScenarioPlan::from_seed(7);
+        let full = generate(&plan);
+        let kept: u64 = plan.segments[..plan.segments.len() - 1]
+            .iter()
+            .map(|s| s.len)
+            .sum();
+        plan.segments.pop();
+        let truncated = generate(&plan);
+        assert_eq!(truncated.len() as u64, kept);
+        assert_eq!(&full[..truncated.len()], &truncated[..]);
+    }
+
+    #[test]
+    fn bias_extremes_generate_constant_streams() {
+        assert!(generate(&biased_plan(1.0, 100)).iter().all(|&b| b));
+        assert!(generate(&biased_plan(0.0, 100)).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn counter_machine_duels_to_a_near_tie() {
+        // The 2-bit-counter machine *is* the fallback, so the duel is a
+        // tie on every stream.
+        let machine = two_bit_counter_machine();
+        let plan = ScenarioPlan::from_seed(3);
+        let report = duel(&machine, &plan, ExecBackend::Compiled).expect("duel");
+        assert_eq!(report.fsm_correct, report.counter_correct);
+        assert_eq!(report.gap(), 0.0);
+    }
+
+    #[test]
+    fn backends_agree_exactly() {
+        let machine = two_bit_counter_machine();
+        for seed in 0..8u64 {
+            let plan = ScenarioPlan::from_seed(seed);
+            let compiled = duel(&machine, &plan, ExecBackend::Compiled).expect("compiled");
+            let interpreted = duel(&machine, &plan, ExecBackend::Interpreted).expect("interpreted");
+            assert_eq!(compiled, interpreted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn logged_run_is_byte_identical_across_runs() {
+        let machine = two_bit_counter_machine();
+        let plan = ScenarioPlan::from_seed(5);
+        let a = run_logged(&machine, &plan, ExecBackend::Compiled, 256).expect("run");
+        let b = run_logged(&machine, &plan, ExecBackend::Compiled, 256).expect("run");
+        assert_eq!(a.rendered(), b.rendered());
+        assert_eq!(a.lines.len(), b.lines.len());
+        // One segment line per segment, plus the report.
+        let segment_lines = a
+            .lines
+            .iter()
+            .filter(|l| l.contains("scenario_segment"))
+            .count();
+        assert_eq!(segment_lines, plan.segments.len());
+        assert!(a.lines.last().expect("report").contains("scenario_report"));
+    }
+
+    #[test]
+    fn logged_report_matches_duel() {
+        let machine = two_bit_counter_machine();
+        let plan = ScenarioPlan::from_seed(9);
+        let logged = run_logged(&machine, &plan, ExecBackend::Compiled, 0).expect("run");
+        let plain = duel(&machine, &plan, ExecBackend::Compiled).expect("duel");
+        assert_eq!(logged.report, plain);
+    }
+}

@@ -1,0 +1,132 @@
+//! `fsmgen-scenario`: a seeded adversarial scenario engine.
+//!
+//! The paper designs each predictor FSM from a *profiled* trace and bets
+//! that deployment behaviour matches the profile (§7.3's cross-input
+//! experiments probe exactly this bet). This crate stress-tests the bet
+//! systematically:
+//!
+//! * [`ScenarioPlan`] — a versioned, JSON-serializable recipe composing
+//!   phase changes, gradual drift, bursty aliasing and periodic/biased
+//!   regime mixes over the [`fsmgen_workloads`] behaviour models into an
+//!   arbitrarily long outcome stream. In the turso simulator idiom a
+//!   plan is a pure function of one `u64` seed
+//!   ([`ScenarioPlan::from_seed`]), and generation is deterministic:
+//!   same plan, same bits, byte-identical logs ([`doublecheck`]).
+//! * [`duel`] / [`run_logged`] — race a designed machine against the
+//!   2-bit saturating-counter fallback it must beat, on either
+//!   execution backend (the backends are differentially pinned
+//!   bit-identical).
+//! * [`hunt`] — the arbitrageur: a seeded restarted hill-climb over
+//!   plan space that *hunts* for scenarios where the designed machine
+//!   loses the duel, then minimizes the winning counterexample. Every
+//!   report reproduces bit-identically from its printed seed.
+//!
+//! The serve layer uses the same primitives in reverse: its collapse
+//! monitor watches for a live stream drifting into exactly the losing
+//! scenarios this crate finds, and hot-swaps in a redesign.
+//!
+//! # Example
+//!
+//! ```
+//! use fsmgen_scenario::{doublecheck, duel, HuntConfig, ScenarioPlan};
+//! use fsmgen_bpred::two_bit_counter_machine;
+//! use fsmgen_exec::ExecBackend;
+//!
+//! let plan = ScenarioPlan::from_seed(42);
+//! let machine = two_bit_counter_machine();
+//! let report = duel(&machine, &plan, ExecBackend::Compiled).unwrap();
+//! assert_eq!(report.gap(), 0.0); // the fallback cannot lose to itself
+//! doublecheck(&machine, &plan, ExecBackend::Compiled, 256).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod arbitrageur;
+mod engine;
+mod plan;
+
+pub use arbitrageur::{hunt, HuntConfig, HuntReport};
+pub use engine::{
+    duel, duel_with, generate, run_logged, DuelReport, EngineError, ScenarioRun, ScenarioStream,
+};
+pub use plan::{derive_seed, PlanError, Regime, ScenarioPlan, Segment, PLAN_VERSION};
+
+use fsmgen_automata::Dfa;
+use fsmgen_exec::ExecBackend;
+use std::fmt;
+
+/// A determinism violation caught by [`doublecheck`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoublecheckError {
+    /// Index of the first diverging log line (or the shorter run's
+    /// length when one log is a prefix of the other).
+    pub line: usize,
+    /// The line from the first run (empty when missing).
+    pub first: String,
+    /// The line from the second run (empty when missing).
+    pub second: String,
+}
+
+impl fmt::Display for DoublecheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "doublecheck mismatch at line {}: first={:?} second={:?}",
+            self.line, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for DoublecheckError {}
+
+/// Runs `(machine, plan)` twice and demands byte-identical logs — the
+/// determinism contract everything else (seed repro, hunt replay, CI
+/// artifacts) rests on. Returns the verified rendered log.
+///
+/// # Errors
+///
+/// [`EngineError`] when the machine does not compile; a boxed
+/// [`DoublecheckError`] on the first diverging line.
+pub fn doublecheck(
+    machine: &Dfa,
+    plan: &ScenarioPlan,
+    backend: ExecBackend,
+    sample_every: u64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let first = run_logged(machine, plan, backend, sample_every)?;
+    let second = run_logged(machine, plan, backend, sample_every)?;
+    if first == second {
+        return Ok(first.rendered());
+    }
+    let line = first
+        .lines
+        .iter()
+        .zip(&second.lines)
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| first.lines.len().min(second.lines.len()));
+    Err(Box::new(DoublecheckError {
+        line,
+        first: first.lines.get(line).cloned().unwrap_or_default(),
+        second: second.lines.get(line).cloned().unwrap_or_default(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmgen_bpred::two_bit_counter_machine;
+
+    #[test]
+    fn doublecheck_passes_on_seeded_plans() {
+        let machine = two_bit_counter_machine();
+        for seed in [1u64, 2, 3] {
+            let plan = ScenarioPlan::from_seed(seed);
+            let log = doublecheck(&machine, &plan, ExecBackend::Compiled, 512)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(log.ends_with('}'));
+            assert!(log.contains("scenario_report"));
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Versioned scenario plans: the seed-determined recipe for a stream.
+//!
+//! A [`ScenarioPlan`] is a list of segments, each pairing a length with a
+//! [`Regime`] — the generative behaviour active for that stretch of the
+//! stream. Plans serialize to flat versioned JSON (parsed back with the
+//! shared [`fsmgen_obs::json`] reader) and, in the turso idiom, are a
+//! *pure function of one `u64` seed*: [`ScenarioPlan::from_seed`] expands
+//! a seed into a full plan, so any scenario — including every plan the
+//! arbitrageur visits — reproduces from a single printed integer.
+
+use fsmgen_obs::json::{self, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Schema version of the plan JSON (independent of the obs schema; bump
+/// on incompatible change).
+pub const PLAN_VERSION: u64 = 1;
+
+/// Longest segment [`ScenarioPlan::from_seed`] generates.
+const MAX_GENERATED_SEGMENT: u64 = 4096;
+/// Shortest segment [`ScenarioPlan::from_seed`] generates.
+const MIN_GENERATED_SEGMENT: u64 = 256;
+
+/// The generative behaviour of one scenario segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Regime {
+    /// Independent coin flips with a fixed taken probability.
+    Biased {
+        /// Probability of a `1` outcome.
+        taken_prob: f64,
+    },
+    /// A repeating outcome pattern (period-k aliasing).
+    Periodic {
+        /// The repeating pattern, most significant first.
+        pattern: Vec<bool>,
+    },
+    /// XOR of global-history bits at the given ages, with optional
+    /// inversion and flip noise — the behaviour class designed FSMs are
+    /// built for.
+    Correlated {
+        /// 1-based history ages whose outcomes are XORed.
+        ages: Vec<u8>,
+        /// Invert the correlation.
+        invert: bool,
+        /// Probability each outcome is flipped.
+        noise: f64,
+    },
+    /// Gradual drift: the taken probability moves linearly from `from`
+    /// to `to` across the segment.
+    Drift {
+        /// Taken probability at the segment's first step.
+        from: f64,
+        /// Taken probability approached at the segment's last step.
+        to: f64,
+    },
+    /// Bursty aliasing: the bias alternates between a calm and a storm
+    /// probability every `burst_len` steps.
+    Bursty {
+        /// Taken probability during calm bursts.
+        calm_prob: f64,
+        /// Taken probability during storm bursts.
+        storm_prob: f64,
+        /// Steps per burst before the bias flips.
+        burst_len: u64,
+    },
+}
+
+impl Regime {
+    /// The JSON discriminator for this regime.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Regime::Biased { .. } => "biased",
+            Regime::Periodic { .. } => "periodic",
+            Regime::Correlated { .. } => "correlated",
+            Regime::Drift { .. } => "drift",
+            Regime::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+/// One stretch of a scenario: a regime active for `len` outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Number of outcomes this segment contributes.
+    pub len: u64,
+    /// The active behaviour.
+    pub regime: Regime,
+}
+
+/// A versioned, seeded scenario: everything needed to regenerate the
+/// exact outcome stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPlan {
+    /// Master seed. Segment RNGs derive from it; the same plan JSON with
+    /// the same seed regenerates identical bits.
+    pub seed: u64,
+    /// Global-history length carried across segments.
+    pub history: usize,
+    /// The segments, in stream order.
+    pub segments: Vec<Segment>,
+}
+
+/// Why a plan failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// splitmix64 finalizer — derives stream/segment seeds from the master
+/// seed without correlation between indices.
+#[must_use]
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fmt_f64(v: f64) -> String {
+    // `{:?}` prints the shortest representation that round-trips.
+    format!("{v:?}")
+}
+
+fn pattern_string(pattern: &[bool]) -> String {
+    pattern.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+impl ScenarioPlan {
+    /// Expands a single seed into a full plan: 2–6 segments with random
+    /// regimes, lengths and knobs, all derived from `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xface));
+        let n_segments = rng.random_range(2..=6usize);
+        let history = rng.random_range(2..=6usize);
+        let segments = (0..n_segments)
+            .map(|_| Segment {
+                len: rng.random_range(MIN_GENERATED_SEGMENT..=MAX_GENERATED_SEGMENT),
+                regime: Self::random_regime(&mut rng),
+            })
+            .collect();
+        ScenarioPlan {
+            seed,
+            history,
+            segments,
+        }
+    }
+
+    fn random_regime(rng: &mut StdRng) -> Regime {
+        match rng.random_range(0..5u32) {
+            0 => Regime::Biased {
+                taken_prob: rng.random::<f64>(),
+            },
+            1 => {
+                let period = rng.random_range(2..=8usize);
+                Regime::Periodic {
+                    pattern: (0..period).map(|_| rng.random::<bool>()).collect(),
+                }
+            }
+            2 => {
+                let n_ages = rng.random_range(1..=2usize);
+                Regime::Correlated {
+                    ages: (0..n_ages)
+                        .map(|_| rng.random_range(1..=4u32) as u8)
+                        .collect(),
+                    invert: rng.random::<bool>(),
+                    noise: rng.random::<f64>() * 0.2,
+                }
+            }
+            3 => Regime::Drift {
+                from: rng.random::<f64>(),
+                to: rng.random::<f64>(),
+            },
+            _ => Regime::Bursty {
+                calm_prob: 0.8 + rng.random::<f64>() * 0.2,
+                storm_prob: rng.random::<f64>() * 0.2,
+                burst_len: rng.random_range(16..=128u64),
+            },
+        }
+    }
+
+    /// Total stream length (sum of segment lengths, saturating).
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.segments
+            .iter()
+            .fold(0u64, |a, s| a.saturating_add(s.len))
+    }
+
+    /// Renders the plan as its versioned JSON document.
+    ///
+    /// The seed is emitted as a *string*: JSON numbers travel as `f64`,
+    /// which cannot represent every `u64` seed exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"v\":{PLAN_VERSION},\"kind\":\"scenario_plan\",\"seed\":\"{}\",\"history\":{},\"segments\":[",
+            self.seed, self.history
+        );
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"len\":{},\"regime\":\"{}\"",
+                segment.len,
+                segment.regime.kind()
+            ));
+            match &segment.regime {
+                Regime::Biased { taken_prob } => {
+                    out.push_str(&format!(",\"taken_prob\":{}", fmt_f64(*taken_prob)));
+                }
+                Regime::Periodic { pattern } => {
+                    out.push_str(&format!(
+                        ",\"pattern\":{}",
+                        json::json_string(&pattern_string(pattern))
+                    ));
+                }
+                Regime::Correlated {
+                    ages,
+                    invert,
+                    noise,
+                } => {
+                    let ages_json: Vec<String> = ages.iter().map(u8::to_string).collect();
+                    out.push_str(&format!(
+                        ",\"ages\":[{}],\"invert\":{},\"noise\":{}",
+                        ages_json.join(","),
+                        invert,
+                        fmt_f64(*noise)
+                    ));
+                }
+                Regime::Drift { from, to } => {
+                    out.push_str(&format!(
+                        ",\"from\":{},\"to\":{}",
+                        fmt_f64(*from),
+                        fmt_f64(*to)
+                    ));
+                }
+                Regime::Bursty {
+                    calm_prob,
+                    storm_prob,
+                    burst_len,
+                } => {
+                    out.push_str(&format!(
+                        ",\"calm_prob\":{},\"storm_prob\":{},\"burst_len\":{}",
+                        fmt_f64(*calm_prob),
+                        fmt_f64(*storm_prob),
+                        burst_len
+                    ));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a plan from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, PlanError> {
+        let doc = json::parse(text).map_err(|e| PlanError(e.to_string()))?;
+        let v = doc
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| PlanError("missing v".into()))?;
+        if v != PLAN_VERSION {
+            return Err(PlanError(format!("unsupported plan version {v}")));
+        }
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("scenario_plan") => {}
+            other => return Err(PlanError(format!("bad kind {other:?}"))),
+        }
+        let seed = match doc.get("seed") {
+            // Canonical form: a decimal string (exact for all of u64).
+            Some(Json::Str(s)) => s
+                .parse::<u64>()
+                .map_err(|_| PlanError(format!("bad seed string {s:?}")))?,
+            // Tolerated for hand-written plans with small seeds.
+            Some(n) => n
+                .as_u64()
+                .ok_or_else(|| PlanError("bad seed number".into()))?,
+            None => return Err(PlanError("missing seed".into())),
+        };
+        let history =
+            doc.get("history")
+                .and_then(Json::as_u64)
+                .filter(|&h| (1..=64).contains(&h))
+                .ok_or_else(|| PlanError("history must be 1..=64".into()))? as usize;
+        let segments_json = match doc.get("segments") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err(PlanError("missing segments array".into())),
+        };
+        let mut segments = Vec::with_capacity(segments_json.len());
+        for (i, item) in segments_json.iter().enumerate() {
+            segments
+                .push(parse_segment(item).map_err(|e| PlanError(format!("segment {i}: {}", e.0)))?);
+        }
+        if segments.is_empty() {
+            return Err(PlanError("plan has no segments".into()));
+        }
+        Ok(ScenarioPlan {
+            seed,
+            history,
+            segments,
+        })
+    }
+}
+
+fn require_f64(item: &Json, key: &str) -> Result<f64, PlanError> {
+    item.get(key)
+        .and_then(Json::as_f64)
+        .filter(|p| p.is_finite())
+        .ok_or_else(|| PlanError(format!("missing number {key}")))
+}
+
+fn require_prob(item: &Json, key: &str) -> Result<f64, PlanError> {
+    let p = require_f64(item, key)?;
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(PlanError(format!("{key} must be a probability, got {p}")))
+    }
+}
+
+fn parse_segment(item: &Json) -> Result<Segment, PlanError> {
+    let len = item
+        .get("len")
+        .and_then(Json::as_u64)
+        .filter(|&l| l > 0)
+        .ok_or_else(|| PlanError("len must be a positive integer".into()))?;
+    let regime = match item.get("regime").and_then(Json::as_str) {
+        Some("biased") => Regime::Biased {
+            taken_prob: require_prob(item, "taken_prob")?,
+        },
+        Some("periodic") => {
+            let text = item
+                .get("pattern")
+                .and_then(Json::as_str)
+                .ok_or_else(|| PlanError("missing pattern".into()))?;
+            if text.is_empty() || !text.chars().all(|c| c == '0' || c == '1') {
+                return Err(PlanError(format!(
+                    "pattern must be non-empty 0/1, got {text:?}"
+                )));
+            }
+            Regime::Periodic {
+                pattern: text.chars().map(|c| c == '1').collect(),
+            }
+        }
+        Some("correlated") => {
+            let ages_json = match item.get("ages") {
+                Some(Json::Arr(items)) if !items.is_empty() => items,
+                _ => return Err(PlanError("missing ages array".into())),
+            };
+            let mut ages = Vec::with_capacity(ages_json.len());
+            for a in ages_json {
+                let age = a
+                    .as_u64()
+                    .filter(|&v| (1..=64).contains(&v))
+                    .ok_or_else(|| PlanError("ages must be 1..=64".into()))?;
+                ages.push(age as u8);
+            }
+            Regime::Correlated {
+                ages,
+                invert: item.get("invert").and_then(Json::as_bool).unwrap_or(false),
+                noise: require_prob(item, "noise")?,
+            }
+        }
+        Some("drift") => Regime::Drift {
+            from: require_prob(item, "from")?,
+            to: require_prob(item, "to")?,
+        },
+        Some("bursty") => Regime::Bursty {
+            calm_prob: require_prob(item, "calm_prob")?,
+            storm_prob: require_prob(item, "storm_prob")?,
+            burst_len: item
+                .get("burst_len")
+                .and_then(Json::as_u64)
+                .filter(|&b| b > 0)
+                .ok_or_else(|| PlanError("burst_len must be positive".into()))?,
+        },
+        other => return Err(PlanError(format!("unknown regime {other:?}"))),
+    };
+    Ok(Segment { len, regime })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = ScenarioPlan::from_seed(42);
+        let b = ScenarioPlan::from_seed(42);
+        assert_eq!(a, b);
+        assert_ne!(a, ScenarioPlan::from_seed(43));
+        assert!((2..=6).contains(&a.segments.len()));
+        assert!(a.total_len() >= 2 * MIN_GENERATED_SEGMENT);
+    }
+
+    #[test]
+    fn json_round_trips_generated_plans() {
+        for seed in [0u64, 1, 42, u64::MAX, 0x9e37_79b9_7f4a_7c15] {
+            let plan = ScenarioPlan::from_seed(seed);
+            let text = plan.to_json();
+            let back = ScenarioPlan::from_json(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(plan, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn large_seed_survives_json() {
+        let plan = ScenarioPlan {
+            seed: u64::MAX - 1,
+            history: 4,
+            segments: vec![Segment {
+                len: 10,
+                regime: Regime::Biased { taken_prob: 0.25 },
+            }],
+        };
+        let back = ScenarioPlan::from_json(&plan.to_json()).expect("parse");
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "{}",
+            r#"{"v":1,"kind":"scenario_plan","seed":"1","history":4,"segments":[]}"#,
+            r#"{"v":2,"kind":"scenario_plan","seed":"1","history":4,"segments":[{"len":1,"regime":"biased","taken_prob":0.5}]}"#,
+            r#"{"v":1,"kind":"scenario_plan","seed":"1","history":4,"segments":[{"len":1,"regime":"biased","taken_prob":1.5}]}"#,
+            r#"{"v":1,"kind":"scenario_plan","seed":"1","history":4,"segments":[{"len":1,"regime":"periodic","pattern":"12"}]}"#,
+            r#"{"v":1,"kind":"scenario_plan","seed":"1","history":0,"segments":[{"len":1,"regime":"biased","taken_prob":0.5}]}"#,
+            r#"{"v":1,"kind":"scenario_plan","seed":"x","history":4,"segments":[{"len":1,"regime":"biased","taken_prob":0.5}]}"#,
+            r#"{"v":1,"kind":"scenario_plan","seed":"1","history":4,"segments":[{"len":0,"regime":"biased","taken_prob":0.5}]}"#,
+        ] {
+            assert!(ScenarioPlan::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let base = derive_seed(7, 0);
+        for i in 1..100u64 {
+            assert_ne!(derive_seed(7, i), base);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! surface; this binary exists so the serve crate's own e2e tests can
 //! spawn a real server process.
 
-use fsmgen_serve::{ServeConfig, Server};
+use fsmgen_serve::{RedesignConfig, ServeConfig, Server};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -26,6 +26,11 @@ usage: fsmgen-served [flags]
   --metrics-json PATH     write serve_metrics JSON here on shutdown
   --fail SPEC             arm failpoints process-wide (e.g. serve-conn=error:1)
   --trace-jsonl PATH      append obs events as JSONL
+  --redesign              enable the live predictor with online redesign
+  --redesign-window N     monitoring/training window in outcomes (default 512)
+  --redesign-threshold X  windowed hit rate that counts as collapse (default 0.6)
+  --redesign-hysteresis X extra rate required to re-arm after collapse (default 0.1)
+  --redesign-history N    history order for triggered redesigns (default 3)
 
 prints `listening on HOST:PORT` on stdout once ready; stop it with a
 `shutdown` protocol request.";
@@ -34,16 +39,29 @@ fn parse_flags(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<S
     let mut config = ServeConfig::default();
     let mut fail_spec = None;
     let mut trace_jsonl = None;
+    let mut redesign = RedesignConfig::default();
+    let mut redesign_enabled = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
+        }
+        // Presence-only flags take no value token.
+        if flag == "--redesign" {
+            redesign_enabled = true;
+            continue;
         }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         let parse_usize = |v: &str| -> Result<usize, String> {
             v.parse().map_err(|_| format!("bad {flag}: {v}"))
+        };
+        let parse_f64 = |v: &str| -> Result<f64, String> {
+            match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && (0.0..=1.0).contains(&x) => Ok(x),
+                _ => Err(format!("bad {flag}: {v} (want a rate in 0..=1)")),
+            }
         };
         match flag.as_str() {
             "--addr" => config.addr = value.clone(),
@@ -64,8 +82,36 @@ fn parse_flags(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<S
             "--metrics-json" => config.metrics_json = Some(value.into()),
             "--fail" => fail_spec = Some(value.clone()),
             "--trace-jsonl" => trace_jsonl = Some(value.clone()),
+            // The knob flags imply --redesign: asking to tune the live
+            // predictor is asking for one.
+            "--redesign-window" => {
+                redesign.window = parse_usize(value)?.max(1);
+                redesign_enabled = true;
+            }
+            "--redesign-threshold" => {
+                redesign.collapse_threshold = parse_f64(value)?;
+                redesign_enabled = true;
+            }
+            "--redesign-hysteresis" => {
+                redesign.hysteresis = parse_f64(value)?;
+                redesign_enabled = true;
+            }
+            "--redesign-history" => {
+                let history = parse_usize(value)?;
+                if history == 0 || history > fsmgen::MAX_ORDER {
+                    return Err(format!(
+                        "bad {flag}: {value} (want 1..={})",
+                        fsmgen::MAX_ORDER
+                    ));
+                }
+                redesign.history = history;
+                redesign_enabled = true;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if redesign_enabled {
+        config.redesign = Some(redesign);
     }
     Ok((config, fail_spec, trace_jsonl))
 }

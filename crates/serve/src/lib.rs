@@ -54,14 +54,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
-pub mod json;
 pub mod metrics;
+pub mod predictor;
 pub mod proto;
 pub mod server;
 pub mod watch;
 
+/// The shared JSON reader (re-exported from `fsmgen-obs`, where it moved
+/// so the scenario engine can parse plan files with the same grammar the
+/// wire protocol uses). Existing `fsmgen_serve::json` call sites keep
+/// working unchanged.
+pub mod json {
+    pub use fsmgen_obs::json::{json_string, parse, Json, JsonError};
+}
+
 pub use client::{ClientError, ServeClient};
 pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use predictor::{initial_machine, ChunkOutcome, LivePredictor, RedesignConfig};
 pub use proto::{
     read_frame, write_frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };

@@ -44,6 +44,19 @@ pub struct ServeMetrics {
     pub pings: AtomicU64,
     /// Stats requests answered.
     pub stats_requests: AtomicU64,
+    /// Predict requests answered by the live predictor.
+    pub predict_requests: AtomicU64,
+    /// Outcome bits streamed through the live predictor.
+    pub predict_bits: AtomicU64,
+    /// Bits the live predictor got right.
+    pub predict_hits: AtomicU64,
+    /// Collapse-triggered redesigns started.
+    pub redesigns_triggered: AtomicU64,
+    /// Redesigned machines hot-swapped into the live slot.
+    pub predictor_swaps: AtomicU64,
+    /// Current live-predictor machine generation (gauge, not a counter:
+    /// 0 = boot machine; mirrors the slot so stats pollers see swaps).
+    pub predictor_generation: AtomicU64,
     /// Wall time per well-formed request, from frame decode to the
     /// response hitting the socket. Feeds the `latency_us` p50/p95/p99
     /// block of the JSON document.
@@ -66,6 +79,12 @@ impl Default for ServeMetrics {
             oversized_frames: AtomicU64::new(0),
             pings: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            predict_bits: AtomicU64::new(0),
+            predict_hits: AtomicU64::new(0),
+            redesigns_triggered: AtomicU64::new(0),
+            predictor_swaps: AtomicU64::new(0),
+            predictor_generation: AtomicU64::new(0),
             request_latency: LatencyHistogram::new(),
         }
     }
@@ -97,6 +116,19 @@ pub struct ServeMetricsSnapshot {
     pub pings: u64,
     /// See [`ServeMetrics::stats_requests`].
     pub stats_requests: u64,
+    /// See [`ServeMetrics::predict_requests`].
+    pub predict_requests: u64,
+    /// See [`ServeMetrics::predict_bits`].
+    pub predict_bits: u64,
+    /// See [`ServeMetrics::predict_hits`].
+    pub predict_hits: u64,
+    /// See [`ServeMetrics::redesigns_triggered`].
+    pub redesigns_triggered: u64,
+    /// See [`ServeMetrics::predictor_swaps`].
+    pub predictor_swaps: u64,
+    /// See [`ServeMetrics::predictor_generation`] (a gauge, but it only
+    /// ever increases within one process lifetime).
+    pub predictor_generation: u64,
 }
 
 impl ServeMetricsSnapshot {
@@ -115,6 +147,12 @@ impl ServeMetricsSnapshot {
             && self.oversized_frames >= earlier.oversized_frames
             && self.pings >= earlier.pings
             && self.stats_requests >= earlier.stats_requests
+            && self.predict_requests >= earlier.predict_requests
+            && self.predict_bits >= earlier.predict_bits
+            && self.predict_hits >= earlier.predict_hits
+            && self.redesigns_triggered >= earlier.redesigns_triggered
+            && self.predictor_swaps >= earlier.predictor_swaps
+            && self.predictor_generation >= earlier.predictor_generation
     }
 }
 
@@ -142,6 +180,12 @@ impl ServeMetrics {
             oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
             stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            predict_requests: self.predict_requests.load(Ordering::Relaxed),
+            predict_bits: self.predict_bits.load(Ordering::Relaxed),
+            predict_hits: self.predict_hits.load(Ordering::Relaxed),
+            redesigns_triggered: self.redesigns_triggered.load(Ordering::Relaxed),
+            predictor_swaps: self.predictor_swaps.load(Ordering::Relaxed),
+            predictor_generation: self.predictor_generation.load(Ordering::Relaxed),
         }
     }
 
@@ -193,6 +237,20 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"pings\": {},\n", s.pings));
         out.push_str(&format!("  \"stats_requests\": {},\n", s.stats_requests));
+        out.push_str("  \"predictor\": {\n");
+        out.push_str(&format!(
+            "    \"predict_requests\": {},\n",
+            s.predict_requests
+        ));
+        out.push_str(&format!("    \"predict_bits\": {},\n", s.predict_bits));
+        out.push_str(&format!("    \"predict_hits\": {},\n", s.predict_hits));
+        out.push_str(&format!(
+            "    \"redesigns_triggered\": {},\n",
+            s.redesigns_triggered
+        ));
+        out.push_str(&format!("    \"swaps\": {},\n", s.predictor_swaps));
+        out.push_str(&format!("    \"generation\": {}\n", s.predictor_generation));
+        out.push_str("  },\n");
         out.push_str("  \"latency_us\": {\n");
         out.push_str(&format!("    \"count\": {},\n", lat.count()));
         out.push_str(&format!("    \"p50\": {},\n", lat.quantile_us(0.50)));
@@ -309,6 +367,38 @@ mod tests {
         ] {
             assert_eq!(st.get(key).and_then(json::Json::as_u64), Some(0), "{key}");
         }
+    }
+
+    #[test]
+    fn predictor_block_is_rendered_and_parseable() {
+        let metrics = ServeMetrics::new();
+        metrics.predict_requests.fetch_add(4, Ordering::Relaxed);
+        metrics.predict_bits.fetch_add(1024, Ordering::Relaxed);
+        metrics.predict_hits.fetch_add(800, Ordering::Relaxed);
+        metrics.redesigns_triggered.fetch_add(1, Ordering::Relaxed);
+        metrics.predictor_swaps.fetch_add(1, Ordering::Relaxed);
+        metrics.predictor_generation.store(1, Ordering::Relaxed);
+        let text = metrics.to_json(&CacheStats::default(), &StoreStats::default());
+        let value = json::parse(&text).expect("valid JSON");
+        let p = value.get("predictor").expect("predictor block");
+        assert_eq!(
+            p.get("predict_requests").and_then(json::Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            p.get("predict_bits").and_then(json::Json::as_u64),
+            Some(1024)
+        );
+        assert_eq!(
+            p.get("predict_hits").and_then(json::Json::as_u64),
+            Some(800)
+        );
+        assert_eq!(
+            p.get("redesigns_triggered").and_then(json::Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(p.get("swaps").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(p.get("generation").and_then(json::Json::as_u64), Some(1));
     }
 
     #[test]

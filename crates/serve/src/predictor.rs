@@ -1,0 +1,313 @@
+//! The live predictor: online accuracy monitoring and hot-swap.
+//!
+//! With `--redesign` the server keeps a *live* compiled predictor that
+//! clients stream outcome bits through ([`crate::Request::Predict`]).
+//! A [`CollapseMonitor`] watches the windowed hit rate; when it falls
+//! below the collapse threshold the server triggers a farm redesign on
+//! the fresh window and publishes the new machine through an
+//! atomically-swapped slot. In-flight predict chunks keep running on
+//! the machine they started with and adopt the new generation at their
+//! next chunk boundary — no request is dropped or stalled by a swap.
+//!
+//! The slot is a `RwLock<Arc<CompiledMachine>>` plus a generation
+//! counter: writers (the redesign thread) hold the write lock only to
+//! replace one `Arc`, readers clone it out on adoption, and the
+//! generation number lets chunk responses report exactly which machine
+//! finished serving them.
+
+use fsmgen_automata::Dfa;
+use fsmgen_exec::CompiledMachine;
+use fsmgen_obs::{CollapseEvent, CollapseMonitor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// Online-redesign knobs, carried in
+/// [`ServeConfig`](crate::ServeConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedesignConfig {
+    /// Outcomes in the monitoring window (also the redesign training
+    /// window).
+    pub window: usize,
+    /// Windowed hit rate below which the predictor has collapsed.
+    pub collapse_threshold: f64,
+    /// Extra rate above the threshold required to re-arm after a
+    /// collapse (prevents trigger flapping at the boundary).
+    pub hysteresis: f64,
+    /// History order for the redesign.
+    pub history: usize,
+}
+
+impl Default for RedesignConfig {
+    fn default() -> Self {
+        RedesignConfig {
+            window: 512,
+            collapse_threshold: 0.6,
+            hysteresis: 0.1,
+            history: 3,
+        }
+    }
+}
+
+/// The 2-bit saturating counter as a Moore machine — the fallback-grade
+/// predictor the server boots with before any redesign has run.
+#[must_use]
+pub fn initial_machine() -> Dfa {
+    let transitions: Vec<[u32; 2]> = (0u32..4)
+        .map(|s| [s.saturating_sub(1), (s + 1).min(3)])
+        .collect();
+    Dfa::from_parts(transitions, vec![false, false, true, true], 0)
+}
+
+/// What one predict chunk produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkOutcome {
+    /// Bits in the chunk.
+    pub total: u64,
+    /// Bits the live predictor got right.
+    pub correct: u64,
+    /// Generation of the machine that served the chunk's end.
+    pub generation: u64,
+    /// Whether this chunk adopted a newly swapped machine.
+    pub swapped: bool,
+    /// When a collapse fired in this chunk (and no redesign was already
+    /// running): the window of recent outcomes to redesign from.
+    pub redesign_window: Option<Vec<bool>>,
+}
+
+struct MonitorState {
+    /// The machine this stream is currently walking.
+    machine: Arc<CompiledMachine>,
+    /// Generation of `machine` (lags the slot until adoption).
+    generation: u64,
+    /// Current automaton state.
+    state: u32,
+    /// Windowed hit rate + collapse edge detection.
+    monitor: CollapseMonitor,
+    /// The last `window` outcomes, for the redesign trainer.
+    recent: VecDeque<bool>,
+}
+
+/// The shared live predictor behind the serve predict path.
+pub struct LivePredictor {
+    config: RedesignConfig,
+    /// The published machine; replaced wholesale on swap.
+    slot: RwLock<Arc<CompiledMachine>>,
+    /// Bumped on every swap; chunk responses echo it.
+    generation: AtomicU64,
+    /// True while a redesign is running (at most one at a time).
+    redesigning: AtomicBool,
+    /// Serialized stream state (prediction is inherently sequential).
+    monitor: Mutex<MonitorState>,
+}
+
+impl LivePredictor {
+    /// Boots the live predictor on the 2-bit-counter machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error message if the initial machine cannot
+    /// be compiled (does not happen for [`initial_machine`]).
+    pub fn new(config: RedesignConfig) -> Result<Self, String> {
+        let compiled =
+            Arc::new(CompiledMachine::compile(&initial_machine()).map_err(|e| e.to_string())?);
+        let state = compiled.start();
+        Ok(LivePredictor {
+            slot: RwLock::new(Arc::clone(&compiled)),
+            generation: AtomicU64::new(0),
+            redesigning: AtomicBool::new(false),
+            monitor: Mutex::new(MonitorState {
+                machine: compiled,
+                generation: 0,
+                state,
+                monitor: CollapseMonitor::new(
+                    config.window,
+                    config.collapse_threshold,
+                    config.hysteresis,
+                ),
+                recent: VecDeque::with_capacity(config.window),
+            }),
+            config,
+        })
+    }
+
+    /// The redesign knobs this predictor runs with.
+    #[must_use]
+    pub fn config(&self) -> &RedesignConfig {
+        &self.config
+    }
+
+    /// The current machine generation (0 = boot machine).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Whether a redesign is currently in flight.
+    #[must_use]
+    pub fn redesign_in_flight(&self) -> bool {
+        self.redesigning.load(Ordering::SeqCst)
+    }
+
+    /// Streams one chunk of outcomes through the live predictor.
+    ///
+    /// A newly published machine is adopted at the chunk boundary; when
+    /// the collapse monitor fires (and no redesign is already running)
+    /// the returned [`ChunkOutcome::redesign_window`] carries the
+    /// training window and the caller owns starting the redesign.
+    pub fn feed(&self, outcomes: impl IntoIterator<Item = bool>) -> ChunkOutcome {
+        let mut st = self.monitor.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot_generation = self.generation.load(Ordering::SeqCst);
+        let mut swapped = false;
+        if st.generation != slot_generation {
+            let machine = Arc::clone(&self.slot.read().unwrap_or_else(PoisonError::into_inner));
+            st.state = machine.start();
+            st.machine = machine;
+            st.generation = slot_generation;
+            // The redesign was trained on the drifted regime; judge it
+            // on a fresh window.
+            st.monitor.reset();
+            swapped = true;
+        }
+        let mut total = 0u64;
+        let mut correct = 0u64;
+        let mut redesign_window = None;
+        let window = self.config.window.max(1);
+        for outcome in outcomes {
+            let prediction = st.machine.output(st.state);
+            st.state = st.machine.step(st.state, outcome);
+            let hit = prediction == outcome;
+            total += 1;
+            correct += u64::from(hit);
+            if st.recent.len() == window {
+                st.recent.pop_front();
+            }
+            st.recent.push_back(outcome);
+            if st.monitor.record(hit) == CollapseEvent::Collapsed
+                && redesign_window.is_none()
+                && !self.redesigning.swap(true, Ordering::SeqCst)
+            {
+                redesign_window = Some(st.recent.iter().copied().collect());
+            }
+        }
+        ChunkOutcome {
+            total,
+            correct,
+            generation: st.generation,
+            swapped,
+            redesign_window,
+        }
+    }
+
+    /// Publishes a redesigned machine: future chunks adopt it at their
+    /// next boundary. Clears the redesign-in-flight flag.
+    pub fn install(&self, machine: Arc<CompiledMachine>) -> u64 {
+        let generation = {
+            let mut slot = self.slot.write().unwrap_or_else(PoisonError::into_inner);
+            *slot = machine;
+            // Bump under the write lock so a reader never pairs a new
+            // generation number with the old machine.
+            self.generation.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        self.redesigning.store(false, Ordering::SeqCst);
+        generation
+    }
+
+    /// Abandons an in-flight redesign (design failed); the collapse
+    /// monitor's hysteresis decides when the next trigger may fire.
+    pub fn abort_redesign(&self) {
+        self.redesigning.store(false, Ordering::SeqCst);
+    }
+
+    /// The live windowed hit rate (None until the window fills enough
+    /// to report).
+    #[must_use]
+    pub fn windowed_rate(&self) -> Option<f64> {
+        self.monitor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .monitor
+            .rate()
+    }
+}
+
+impl std::fmt::Debug for LivePredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivePredictor")
+            .field("config", &self.config)
+            .field("generation", &self.generation())
+            .field("redesigning", &self.redesign_in_flight())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor(window: usize) -> LivePredictor {
+        LivePredictor::new(RedesignConfig {
+            window,
+            collapse_threshold: 0.6,
+            hysteresis: 0.1,
+            history: 2,
+        })
+        .expect("boot")
+    }
+
+    #[test]
+    fn counter_boot_machine_tracks_bias() {
+        let live = predictor(64);
+        let outcome = live.feed(std::iter::repeat_n(true, 200));
+        assert_eq!(outcome.total, 200);
+        assert!(outcome.correct >= 197, "{}", outcome.correct);
+        assert_eq!(outcome.generation, 0);
+        assert!(!outcome.swapped);
+        assert!(outcome.redesign_window.is_none());
+    }
+
+    #[test]
+    fn collapse_fires_once_and_carries_the_window() {
+        let live = predictor(32);
+        // Warm up confident, then alternate: the counter collapses.
+        live.feed(std::iter::repeat_n(true, 64));
+        let outcome = live.feed((0..256).map(|i| i % 2 == 0));
+        let window = outcome.redesign_window.expect("collapse should fire");
+        assert_eq!(window.len(), 32);
+        assert!(live.redesign_in_flight());
+        // While the redesign runs, no second trigger fires.
+        let again = live.feed((0..256).map(|i| i % 2 == 0));
+        assert!(again.redesign_window.is_none());
+    }
+
+    #[test]
+    fn install_swaps_at_the_next_chunk_boundary() {
+        let live = predictor(16);
+        live.feed(std::iter::repeat_n(true, 32));
+        // Publish an always-taken machine (state 0, output true).
+        let always = Dfa::from_parts(vec![[0, 0]], vec![true], 0);
+        let compiled = Arc::new(CompiledMachine::compile(&always).expect("compile"));
+        let generation = live.install(compiled);
+        assert_eq!(generation, 1);
+        assert!(!live.redesign_in_flight());
+        let outcome = live.feed(std::iter::repeat_n(true, 10));
+        assert!(outcome.swapped);
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.correct, 10);
+        // Next chunk: no further swap.
+        assert!(!live.feed(std::iter::repeat_n(true, 1)).swapped);
+    }
+
+    #[test]
+    fn abort_reallows_triggers_after_rearm() {
+        let live = predictor(16);
+        live.feed(std::iter::repeat_n(true, 32));
+        let fired = live.feed((0..128).map(|i| i % 2 == 0));
+        assert!(fired.redesign_window.is_some());
+        live.abort_redesign();
+        // Recover (re-arm), then collapse again -> a fresh trigger.
+        live.feed(std::iter::repeat_n(true, 64));
+        let refired = live.feed((0..128).map(|i| i % 2 == 0));
+        assert!(refired.redesign_window.is_some());
+    }
+}

@@ -131,6 +131,14 @@ pub enum Request {
         /// Don't-care fraction (designer default when `None`).
         dont_care: Option<f64>,
     },
+    /// Stream outcome bits through the server's live predictor (only
+    /// answered when the server runs with online redesign enabled).
+    Predict {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+        /// A chunk of 0/1 outcome bits (whitespace ignored).
+        bits: String,
+    },
     /// Liveness probe.
     Ping,
     /// Ask for the server's metrics JSON.
@@ -196,6 +204,15 @@ impl Request {
                     dont_care: float_field("dont_care")?,
                 })
             }
+            "predict_request" => {
+                let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+                let bits = value
+                    .get("bits")
+                    .and_then(Json::as_str)
+                    .ok_or("predict_request needs a \"bits\" string")?
+                    .to_string();
+                Ok(Request::Predict { id, bits })
+            }
             other => Err(format!("unknown request kind {other:?}")),
         }
     }
@@ -227,6 +244,11 @@ impl Request {
                 out.push_str(&format!(", \"trace\": {}}}", json::json_string(trace)));
                 out.into_bytes()
             }
+            Request::Predict { id, bits } => format!(
+                "{{\"v\": {v}, \"kind\": \"predict_request\", \"id\": {id}, \"bits\": {}}}",
+                json::json_string(bits)
+            )
+            .into_bytes(),
         }
     }
 }
@@ -261,6 +283,21 @@ pub enum Response {
         id: u64,
         /// Suggested client backoff, milliseconds.
         retry_after_ms: u64,
+    },
+    /// Reply to [`Request::Predict`]: per-chunk accounting from the
+    /// live predictor.
+    PredictOk {
+        /// Echo of the request id.
+        id: u64,
+        /// Bits in the chunk.
+        total: u64,
+        /// Bits the live predictor got right.
+        correct: u64,
+        /// Generation of the machine that served the *end* of the chunk
+        /// (bumped by every hot swap).
+        generation: u64,
+        /// Whether a hot swap landed while this chunk was streaming.
+        swapped: bool,
     },
     /// Reply to [`Request::Ping`].
     Pong,
@@ -320,6 +357,18 @@ impl Response {
                  \"status\": \"rejected\", \"retry_after_ms\": {retry_after_ms}}}"
             )
             .into_bytes(),
+            Response::PredictOk {
+                id,
+                total,
+                correct,
+                generation,
+                swapped,
+            } => format!(
+                "{{\"v\": {v}, \"kind\": \"predict_response\", \"id\": {id}, \
+                 \"total\": {total}, \"correct\": {correct}, \
+                 \"generation\": {generation}, \"swapped\": {swapped}}}"
+            )
+            .into_bytes(),
         }
     }
 
@@ -340,6 +389,22 @@ impl Response {
         match kind {
             "pong" => Ok(Response::Pong),
             "shutdown_ack" => Ok(Response::ShutdownAck),
+            "predict_response" => Ok(Response::PredictOk {
+                id: value.get("id").and_then(Json::as_u64).unwrap_or(0),
+                total: value
+                    .get("total")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing total")?,
+                correct: value
+                    .get("correct")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing correct")?,
+                generation: value.get("generation").and_then(Json::as_u64).unwrap_or(0),
+                swapped: value
+                    .get("swapped")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            }),
             "stats_response" => {
                 // Keep the metrics as text: it is the last field, so it
                 // runs from after its key to the outer object's final
@@ -460,6 +525,10 @@ mod tests {
                 threshold: Some(0.75),
                 dont_care: None,
             },
+            Request::Predict {
+                id: 43,
+                bits: "0101 1100".into(),
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -486,6 +555,13 @@ mod tests {
             Response::Rejected {
                 id: 9,
                 retry_after_ms: 50,
+            },
+            Response::PredictOk {
+                id: 10,
+                total: 128,
+                correct: 97,
+                generation: 2,
+                swapped: true,
             },
             Response::ProtocolError {
                 error: "bad frame".into(),

@@ -12,6 +12,7 @@
 //! loopback connection.
 
 use crate::metrics::ServeMetrics;
+use crate::predictor::{LivePredictor, RedesignConfig};
 use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
 use fsmgen::{failpoints, Designer, MAX_ORDER};
 use fsmgen_automata::machine_to_table;
@@ -59,6 +60,10 @@ pub struct ServeConfig {
     /// Upper bound on how long an appended design may sit unsynced —
     /// the most an unclean death can lose.
     pub flush_interval: Duration,
+    /// Online redesign: when set, the server keeps a live predictor
+    /// that clients stream outcomes through, monitors its windowed hit
+    /// rate, and hot-swaps in a farm redesign on collapse.
+    pub redesign: Option<RedesignConfig>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             flush_every: 8,
             flush_interval: Duration::from_millis(200),
+            redesign: None,
         }
     }
 }
@@ -89,6 +95,8 @@ struct Shared {
     shutting_down: AtomicBool,
     active_conns: AtomicUsize,
     in_flight: AtomicUsize,
+    /// The hot-swappable live predictor (None without `redesign`).
+    live: Option<LivePredictor>,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks until
@@ -167,6 +175,10 @@ impl Server {
                 obs::mark("serve", "store_open_failed", &err.to_string());
             }
         }
+        let live = match config.redesign {
+            Some(redesign) => Some(LivePredictor::new(redesign).map_err(io::Error::other)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -177,6 +189,7 @@ impl Server {
                 shutting_down: AtomicBool::new(false),
                 active_conns: AtomicUsize::new(0),
                 in_flight: AtomicUsize::new(0),
+                live,
             }),
         })
     }
@@ -327,7 +340,7 @@ fn reject_connection(mut stream: TcpStream, retry_after_ms: u64) {
 /// Serves one connection: a loop of frames until disconnect, error or
 /// shutdown. Never panics on peer input — every failure path is a
 /// structured reply or a clean close, plus a counter.
-fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAddr) {
     shared
         .metrics
         .conns_accepted
@@ -434,6 +447,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, addr: SocketAddr) {
                 threshold,
                 dont_care,
             } => design_response(shared, id, &trace, history, threshold, dont_care),
+            Request::Predict { id, bits } => predict_response(shared, id, &bits),
         };
         let delivered = {
             let _respond_span = obs::span("serve_respond");
@@ -514,6 +528,115 @@ fn design_response(
             }
         }
         Err(err) => fail(err.to_string()),
+    }
+}
+
+/// Streams one chunk of outcome bits through the live predictor and,
+/// when the collapse monitor fires, kicks off a background redesign that
+/// hot-swaps the machine once the farm delivers it.
+fn predict_response(shared: &Arc<Shared>, id: u64, bits: &str) -> Response {
+    let Some(live) = &shared.live else {
+        shared
+            .metrics
+            .requests_failed
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::ProtocolError {
+            error: "predict requires a server started with redesign enabled".into(),
+        };
+    };
+    let mut outcomes = Vec::with_capacity(bits.len());
+    for c in bits.chars() {
+        match c {
+            '0' => outcomes.push(false),
+            '1' => outcomes.push(true),
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                shared
+                    .metrics
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::ProtocolError {
+                    error: format!("predict bits must be 0/1, got {c:?}"),
+                };
+            }
+        }
+    }
+    let chunk = live.feed(outcomes);
+    shared
+        .metrics
+        .predict_requests
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .predict_bits
+        .fetch_add(chunk.total, Ordering::Relaxed);
+    shared
+        .metrics
+        .predict_hits
+        .fetch_add(chunk.correct, Ordering::Relaxed);
+    if chunk.swapped {
+        shared
+            .metrics
+            .predictor_generation
+            .store(chunk.generation, Ordering::Relaxed);
+    }
+    if let Some(window) = chunk.redesign_window {
+        shared
+            .metrics
+            .redesigns_triggered
+            .fetch_add(1, Ordering::Relaxed);
+        obs::mark(
+            "serve",
+            "redesign_triggered",
+            &format!("window={} request={id}", window.len()),
+        );
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || run_redesign(&shared, id, &window));
+    }
+    Response::PredictOk {
+        id,
+        total: chunk.total,
+        correct: chunk.correct,
+        generation: chunk.generation,
+        swapped: chunk.swapped,
+    }
+}
+
+/// The background redesign: trains on the collapse window through the
+/// farm (cache, dedup and durable store all apply) and publishes the
+/// compiled machine into the live slot.
+fn run_redesign(shared: &Shared, id: u64, window: &[bool]) {
+    let Some(live) = &shared.live else { return };
+    let history = live.config().history.clamp(1, MAX_ORDER);
+    let result = {
+        let _redesign_span = obs::span("serve_redesign");
+        shared.farm.redesign(id, window, Designer::new(history))
+    };
+    match result {
+        Ok(compiled) => {
+            let generation = live.install(compiled);
+            shared
+                .metrics
+                .predictor_swaps
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .predictor_generation
+                .store(generation, Ordering::Relaxed);
+            obs::mark(
+                "serve",
+                "predictor_swapped",
+                &format!("generation={generation}"),
+            );
+        }
+        Err(err) => {
+            live.abort_redesign();
+            shared
+                .metrics
+                .requests_failed
+                .fetch_add(1, Ordering::Relaxed);
+            obs::mark("serve", "redesign_failed", &err.to_string());
+        }
     }
 }
 

@@ -1,0 +1,315 @@
+//! Hot-swap drill: a real `fsmgen-served` process with `--redesign`
+//! under a live outcome stream. We induce a predictor collapse
+//! (alternating outcomes starve the boot counter), watch the server
+//! trigger a farm redesign on the fresh window and hot-swap the compiled
+//! machine, and verify the swap drops zero requests (client-side
+//! accounting: every predict frame sent gets its reply) and the windowed
+//! hit rate recovers after the swap. A second drill SIGKILLs the server
+//! mid-redesign and checks the restarted process comes back clean on the
+//! same store and can run the whole collapse→swap cycle again.
+
+use fsmgen_serve::json::{self, Json};
+use fsmgen_serve::{Request, Response, ServeClient};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running server process, killed on drop so a failing assertion never
+/// leaks a listener.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn spawn(extra_args: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fsmgen-served"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn fsmgen-served");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("server prints a banner")
+            .expect("banner is UTF-8");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    fn client(&self) -> ServeClient {
+        ServeClient::connect(&self.addr, Duration::from_secs(10)).expect("connect")
+    }
+
+    /// Unclean death: SIGKILL, no drain, no compaction.
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        let _ = self.child.wait();
+        std::mem::forget(self);
+    }
+
+    /// Protocol-level shutdown, then wait for a clean exit.
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        match client.call(&Request::Shutdown).expect("shutdown call") {
+            Response::ShutdownAck => {}
+            other => panic!("expected shutdown_ack, got {other:?}"),
+        }
+        let status = self.child.wait().expect("server exit");
+        assert!(status.success(), "server exited with {status:?}");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsmgen-swap-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One predict chunk, strictly accounted: the reply must arrive, echo
+/// the id and cover every bit sent. Returns (correct, generation,
+/// swapped).
+fn predict_chunk(client: &mut ServeClient, id: u64, bits: &str) -> (u64, u64, bool) {
+    let sent = bits.chars().filter(|c| !c.is_whitespace()).count() as u64;
+    match client
+        .call(&Request::Predict {
+            id,
+            bits: bits.to_string(),
+        })
+        .expect("predict reply arrives")
+    {
+        Response::PredictOk {
+            id: got,
+            total,
+            correct,
+            generation,
+            swapped,
+        } => {
+            assert_eq!(got, id, "response id echo");
+            assert_eq!(total, sent, "every bit sent must be scored");
+            (correct, generation, swapped)
+        }
+        other => panic!("unexpected predict reply: {other:?}"),
+    }
+}
+
+fn stats(server: &ServerProc) -> Json {
+    let mut client = server.client();
+    match client.call(&Request::Stats).expect("stats call") {
+        Response::Stats(text) => json::parse(&text).expect("stats JSON parses"),
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+fn counter(stats: &Json, block: &str, key: &str) -> u64 {
+    stats
+        .get(block)
+        .and_then(|b| b.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("{block}.{key} in stats"))
+}
+
+const WARMUP: &str = "1111111111111111111111111111111111111111111111111111111111111111";
+const ALTERNATING: &str = "0101010101010101010101010101010101010101010101010101010101010101";
+
+/// Streams chunks until a reply reports `swapped`, with client-side
+/// request/response accounting. Returns (requests sent, post-trigger
+/// chunk count, swap generation).
+fn drive_until_swap(client: &mut ServeClient, start_id: u64, deadline: Duration) -> (u64, u64) {
+    let started = Instant::now();
+    let mut id = start_id;
+    loop {
+        let (_correct, generation, swapped) = predict_chunk(client, id, ALTERNATING);
+        id += 1;
+        if swapped {
+            assert!(generation >= 1, "a swap must bump the generation");
+            return (id, generation);
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "no hot swap after {} chunks in {deadline:?}",
+            id - start_id
+        );
+        // Give the background redesign thread a breath between chunks.
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn induced_collapse_triggers_redesign_and_swap_with_zero_dropped_requests() {
+    let dir = tmp_dir("collapse");
+    let jsonl = dir.join("swap-trace.jsonl");
+    let server = ServerProc::spawn(&[
+        "--redesign",
+        "--redesign-window",
+        "64",
+        "--redesign-threshold",
+        "0.6",
+        "--redesign-history",
+        "3",
+        "--trace-jsonl",
+        jsonl.to_str().unwrap(),
+    ]);
+    let mut client = server.client();
+
+    // Warm up confident: the boot 2-bit counter nails an all-taken
+    // stream, so the collapse monitor arms at a high rate.
+    let mut sent = 0u64;
+    for _ in 0..2 {
+        predict_chunk(&mut client, sent, WARMUP);
+        sent += 1;
+    }
+
+    // Starve it: alternating outcomes collapse the counter. Every chunk
+    // gets a reply (predict_chunk asserts it) — the swap must not drop
+    // or stall a single in-flight request.
+    let (sent, generation) = drive_until_swap(&mut client, sent, Duration::from_secs(60));
+    assert!(generation >= 1);
+
+    // Post-swap: the redesigned machine was trained on the alternating
+    // window, so the windowed hit rate must recover.
+    let mut post_total = 0u64;
+    let mut post_correct = 0u64;
+    let mut id = sent;
+    for _ in 0..4 {
+        let (correct, gen_now, _swapped) = predict_chunk(&mut client, id, ALTERNATING);
+        assert_eq!(gen_now, generation, "no further swap expected");
+        post_total += ALTERNATING.len() as u64;
+        post_correct += correct;
+        id += 1;
+    }
+    let recovered = post_correct as f64 / post_total as f64;
+    assert!(
+        recovered >= 0.85,
+        "post-swap hit rate must recover, got {recovered:.3} ({post_correct}/{post_total})"
+    );
+
+    // Server-side accounting agrees with the client's: every request
+    // counted, the trigger and the swap both happened and are visible in
+    // the metrics' predictor block.
+    let snapshot = stats(&server);
+    assert_eq!(counter(&snapshot, "predictor", "predict_requests"), id);
+    assert!(counter(&snapshot, "predictor", "redesigns_triggered") >= 1);
+    assert!(counter(&snapshot, "predictor", "swaps") >= 1);
+    assert!(counter(&snapshot, "predictor", "generation") >= 1);
+    assert_eq!(
+        counter(&snapshot, "predictor", "predict_bits"),
+        id * WARMUP.len() as u64
+    );
+    server.shutdown();
+
+    // The obs stream carries the lifecycle marks.
+    let trace = std::fs::read_to_string(&jsonl).expect("trace jsonl written");
+    assert!(trace.contains("redesign_triggered"), "{trace}");
+    assert!(trace.contains("predictor_swapped"), "{trace}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn predict_without_redesign_is_a_protocol_error_and_keeps_the_connection() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = server.client();
+    // The client maps a protocol_error reply to ClientError::Rejected.
+    match client.call(&Request::Predict {
+        id: 1,
+        bits: "0101".into(),
+    }) {
+        Err(fsmgen_serve::ClientError::Rejected(error)) => {
+            assert!(error.contains("redesign"), "{error}");
+        }
+        other => panic!("expected a rejected protocol error, got {other:?}"),
+    }
+    // The frame was well-formed, so the connection survives.
+    match client.call(&Request::Ping).expect("ping after error") {
+        Response::Pong => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sigkill_during_redesign_restarts_clean_and_swaps_again() {
+    let dir = tmp_dir("sigkill");
+    let store_file = dir.join("swap-store.fsnap");
+    let store_flag = store_file.to_str().unwrap();
+    let redesign_flags = [
+        "--redesign",
+        "--redesign-window",
+        "64",
+        "--redesign-threshold",
+        "0.6",
+        "--redesign-history",
+        "3",
+        "--cache-file",
+        store_flag,
+        "--flush-every",
+        "1",
+    ];
+
+    // Phase 1: drive the victim into collapse, then SIGKILL it right at
+    // the point where the redesign may still be in flight.
+    let victim = ServerProc::spawn(&redesign_flags);
+    {
+        let mut client = victim.client();
+        let mut sent = 0u64;
+        for _ in 0..2 {
+            predict_chunk(&mut client, sent, WARMUP);
+            sent += 1;
+        }
+        // Push chunks until the server reports the trigger fired, then
+        // kill without waiting for the swap.
+        let started = Instant::now();
+        loop {
+            predict_chunk(&mut client, sent, ALTERNATING);
+            sent += 1;
+            if counter(&stats(&victim), "predictor", "redesigns_triggered") >= 1 {
+                break;
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(60),
+                "collapse never triggered"
+            );
+        }
+    }
+    victim.sigkill();
+
+    // Phase 2: same store, fresh process. The restart must come back
+    // clean (recovered store, live predictor at generation 0) and the
+    // whole collapse→redesign→swap cycle must work again.
+    let survivor = ServerProc::spawn(&redesign_flags);
+    let mut client = survivor.client();
+    let boot = stats(&survivor);
+    assert_eq!(
+        counter(&boot, "predictor", "generation"),
+        0,
+        "a restarted live predictor boots on the fallback machine"
+    );
+    let mut sent = 0u64;
+    for _ in 0..2 {
+        predict_chunk(&mut client, sent, WARMUP);
+        sent += 1;
+    }
+    let (_sent, generation) = drive_until_swap(&mut client, sent, Duration::from_secs(60));
+    assert!(generation >= 1, "the restarted server must swap again");
+    survivor.shutdown();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -77,6 +77,7 @@ pub fn workload_matrix() -> Vec<(&'static str, Arc<BitTrace>)> {
 pub mod strategies {
     use super::{BitTrace, BranchEvent, BranchTrace};
     use fsmgen_automata::Dfa;
+    use fsmgen_scenario::{Regime, ScenarioPlan, Segment};
     use proptest::prelude::*;
     use std::ops::Range;
 
@@ -160,6 +161,58 @@ pub mod strategies {
                 })
                 .collect()
         })
+    }
+
+    /// Arbitrary valid scenario [`Regime`]s covering all five variants,
+    /// with knobs inside the ranges `ScenarioPlan::from_json` accepts
+    /// (probabilities in `0..=1`, non-empty patterns, ages in `1..=64`).
+    pub fn scenario_regime() -> impl Strategy<Value = Regime> {
+        prop_oneof![
+            (0.0..1.0f64).prop_map(|taken_prob| Regime::Biased { taken_prob }),
+            proptest::collection::vec(any::<bool>(), 1..12)
+                .prop_map(|pattern| Regime::Periodic { pattern }),
+            (
+                proptest::collection::vec(1u8..16, 1..4),
+                any::<bool>(),
+                0.0..0.4f64,
+            )
+                .prop_map(|(ages, invert, noise)| Regime::Correlated {
+                    ages,
+                    invert,
+                    noise,
+                }),
+            (0.0..1.0f64, 0.0..1.0f64).prop_map(|(from, to)| Regime::Drift { from, to }),
+            (0.0..1.0f64, 0.0..1.0f64, 1u64..64).prop_map(|(calm_prob, storm_prob, burst_len)| {
+                Regime::Bursty {
+                    calm_prob,
+                    storm_prob,
+                    burst_len,
+                }
+            }),
+        ]
+    }
+
+    /// Arbitrary scenario [`Segment`]s: a valid regime over a short
+    /// length (kept small so whole-plan properties stay fast).
+    pub fn scenario_segment() -> impl Strategy<Value = Segment> {
+        (1u64..600, scenario_regime()).prop_map(|(len, regime)| Segment { len, regime })
+    }
+
+    /// Arbitrary valid [`ScenarioPlan`]s: any seed, history in the
+    /// accepted `1..=64`, and 1–6 segments. Every generated plan passes
+    /// `ScenarioPlan::from_json(plan.to_json())` — the JSON round-trip
+    /// property pins that.
+    pub fn scenario_plan() -> impl Strategy<Value = ScenarioPlan> {
+        (
+            any::<u64>(),
+            1usize..=16,
+            proptest::collection::vec(scenario_segment(), 1..6),
+        )
+            .prop_map(|(seed, history, segments)| ScenarioPlan {
+                seed,
+                history,
+                segments,
+            })
     }
 }
 

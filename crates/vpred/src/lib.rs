@@ -40,6 +40,7 @@ mod harness;
 mod metrics;
 mod predictors;
 mod recovery;
+mod stream;
 mod stride;
 
 pub use confidence::{
@@ -52,4 +53,5 @@ pub use harness::{
 pub use metrics::ConfidenceMetrics;
 pub use predictors::{family_accuracy, Fcm, Hybrid, LastValue, ValuePredictor};
 pub use recovery::RecoveryModel;
+pub use stream::ConfidenceStreamEval;
 pub use stride::{TwoDeltaStride, ValuePrediction};

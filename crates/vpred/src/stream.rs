@@ -1,0 +1,161 @@
+//! Streaming evaluation of confidence estimators.
+//!
+//! The batch [`crate::harness`] replays a whole load trace and reports
+//! final speedup; the online-redesign loop instead needs to watch a
+//! confidence estimator *while it runs* — the same windowed view the
+//! serve-side collapse monitor uses for branch predictors. This module
+//! drives any [`ConfidenceEstimator`] one predicted load at a time and
+//! maintains trailing windows of **coverage** (how often the estimator
+//! says "confident") and **precision** (how often a confident call was
+//! right — the quantity §6 trades against pipeline flushes).
+
+use crate::confidence::ConfidenceEstimator;
+use fsmgen_obs::WindowedAccuracy;
+
+/// Trailing-window coverage/precision accounting for a confidence
+/// estimator driven over a live correctness stream.
+#[derive(Debug, Clone)]
+pub struct ConfidenceStreamEval {
+    coverage: WindowedAccuracy,
+    precision: WindowedAccuracy,
+    total: u64,
+    confident: u64,
+    confident_correct: u64,
+}
+
+impl ConfidenceStreamEval {
+    /// An empty evaluator whose windows hold `window` observations.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        ConfidenceStreamEval {
+            coverage: WindowedAccuracy::new(window),
+            precision: WindowedAccuracy::new(window),
+            total: 0,
+            confident: 0,
+            confident_correct: 0,
+        }
+    }
+
+    /// Queries `estimator` for `slot`, records the verdict against
+    /// whether the value prediction was actually `correct`, and updates
+    /// the estimator. Returns the confidence verdict.
+    pub fn observe<E: ConfidenceEstimator + ?Sized>(
+        &mut self,
+        estimator: &mut E,
+        slot: usize,
+        correct: bool,
+    ) -> bool {
+        let confident = estimator.confident(slot);
+        self.total += 1;
+        self.coverage.record(confident);
+        if confident {
+            self.confident += 1;
+            if correct {
+                self.confident_correct += 1;
+            }
+            self.precision.record(correct);
+        }
+        estimator.update(slot, correct);
+        confident
+    }
+
+    /// Loads observed so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of recent loads the estimator trusted (`None` while the
+    /// window is empty).
+    #[must_use]
+    pub fn windowed_coverage(&self) -> Option<f64> {
+        self.coverage.rate()
+    }
+
+    /// Fraction of recent *confident* calls that were correct (`None`
+    /// until a confident call lands in the window).
+    #[must_use]
+    pub fn windowed_precision(&self) -> Option<f64> {
+        self.precision.rate()
+    }
+
+    /// Cumulative coverage over the whole stream.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.confident as f64 / self.total as f64
+        }
+    }
+
+    /// Cumulative precision over the whole stream (0 with no confident
+    /// calls).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.confident == 0 {
+            0.0
+        } else {
+            self.confident_correct as f64 / self.confident as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::{AlwaysConfident, SudConfidence, SudConfig};
+
+    #[test]
+    fn always_confident_has_full_coverage() {
+        let mut eval = ConfidenceStreamEval::new(8);
+        let mut est = AlwaysConfident;
+        for i in 0..20 {
+            eval.observe(&mut est, 0, i % 2 == 0);
+        }
+        assert_eq!(eval.total(), 20);
+        assert!((eval.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(eval.windowed_coverage(), Some(1.0));
+        assert!((eval.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sud_precision_beats_its_coverage_on_streaky_loads() {
+        // A bursty stream: long correct runs separated by short wrong
+        // runs. The counter withholds confidence during the wrong runs,
+        // so precision should exceed raw stream accuracy.
+        let cfg = SudConfig {
+            max: 10,
+            penalty: u32::MAX,
+            threshold_pct: 80,
+        };
+        let mut est = SudConfidence::new(1, cfg);
+        let mut eval = ConfidenceStreamEval::new(32);
+        let mut raw_correct = 0u32;
+        let mut n = 0u32;
+        for cycle in 0..30 {
+            for step in 0..20 {
+                let correct = !(cycle % 3 == 2 && step < 4);
+                eval.observe(&mut est, 0, correct);
+                raw_correct += u32::from(correct);
+                n += 1;
+            }
+        }
+        let raw = f64::from(raw_correct) / f64::from(n);
+        assert!(
+            eval.precision() > raw,
+            "precision {} should beat raw accuracy {}",
+            eval.precision(),
+            raw
+        );
+        assert!(eval.coverage() > 0.1 && eval.coverage() < 1.0);
+    }
+
+    #[test]
+    fn windows_start_empty() {
+        let eval = ConfidenceStreamEval::new(4);
+        assert_eq!(eval.windowed_coverage(), None);
+        assert_eq!(eval.windowed_precision(), None);
+        assert_eq!(eval.total(), 0);
+    }
+}

@@ -94,6 +94,75 @@ impl BranchBehavior {
     }
 }
 
+/// A stateful outcome generator over [`BranchBehavior`]s: one global
+/// history register, one seeded RNG and a local step counter, advanced
+/// one outcome at a time.
+///
+/// [`Program::execute`](crate::Program::execute) drives many static
+/// branches through one shared history; this is the single-branch
+/// streaming counterpart the scenario engine composes into arbitrarily
+/// long regime mixes. Every outcome both *consumes* the history (for
+/// correlated behaviours) and *feeds* it, so phase changes interact the
+/// way they do in a real pipeline: the first correlated outcomes after a
+/// regime switch see the previous regime's history.
+///
+/// Determinism: two streams built with the same `(history_len, seed)`
+/// and driven with the same behaviour sequence produce identical bits.
+#[derive(Debug, Clone)]
+pub struct BehaviorStream {
+    global: HistoryRegister,
+    rng: StdRng,
+    local_step: u64,
+}
+
+impl BehaviorStream {
+    /// A fresh stream with an empty `history_len`-bit global history.
+    #[must_use]
+    pub fn new(history_len: usize, seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        BehaviorStream {
+            global: HistoryRegister::new(history_len.max(1)),
+            rng: StdRng::seed_from_u64(seed),
+            local_step: 0,
+        }
+    }
+
+    /// Replaces the RNG (keeping history and the local step), so each
+    /// scenario segment can carry its own derived seed while the global
+    /// history persists across the phase change.
+    pub fn reseed(&mut self, seed: u64) {
+        use rand::SeedableRng as _;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Resets the local step counter (periodic/loop behaviours restart
+    /// their pattern at a segment boundary).
+    pub fn reset_local_step(&mut self) {
+        self.local_step = 0;
+    }
+
+    /// Generates the next outcome under `behavior` and feeds it back
+    /// into the global history.
+    pub fn next_outcome(&mut self, behavior: &BranchBehavior) -> bool {
+        let outcome = behavior.outcome(&self.global, self.local_step, &mut self.rng);
+        self.global.push(outcome);
+        self.local_step += 1;
+        outcome
+    }
+
+    /// The global history register (most recent outcome in bit 0).
+    #[must_use]
+    pub fn history(&self) -> &HistoryRegister {
+        &self.global
+    }
+
+    /// This stream's local step counter.
+    #[must_use]
+    pub fn local_step(&self) -> u64 {
+        self.local_step
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +237,38 @@ mod tests {
         };
         let outs: Vec<bool> = (0..6).map(|s| b.outcome(&g, s, &mut r)).collect();
         assert_eq!(outs, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn behavior_stream_is_deterministic_and_feeds_history() {
+        let behavior = BranchBehavior::Biased { taken_prob: 0.5 };
+        let mut a = BehaviorStream::new(4, 99);
+        let mut b = BehaviorStream::new(4, 99);
+        let bits_a: Vec<bool> = (0..64).map(|_| a.next_outcome(&behavior)).collect();
+        let bits_b: Vec<bool> = (0..64).map(|_| b.next_outcome(&behavior)).collect();
+        assert_eq!(bits_a, bits_b);
+        assert_eq!(a.local_step(), 64);
+        // The last outcome is age-1 in the history.
+        assert_eq!(a.history().outcome(0), Some(bits_a[63]));
+    }
+
+    #[test]
+    fn behavior_stream_history_survives_reseed() {
+        let correlated = BranchBehavior::GlobalCorrelated {
+            ages: vec![1],
+            invert: false,
+            noise: 0.0,
+        };
+        let mut s = BehaviorStream::new(4, 1);
+        let first = s.next_outcome(&BranchBehavior::Periodic {
+            pattern: vec![true],
+        });
+        assert!(first);
+        s.reseed(2);
+        s.reset_local_step();
+        // Correlated-on-age-1 must still see the pre-reseed outcome.
+        assert!(s.next_outcome(&correlated));
+        assert_eq!(s.local_step(), 1);
     }
 
     #[test]

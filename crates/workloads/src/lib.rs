@@ -33,7 +33,7 @@ mod program;
 pub mod simpoint;
 mod values;
 
-pub use behavior::BranchBehavior;
+pub use behavior::{BehaviorStream, BranchBehavior};
 pub use branch_suites::{BranchBenchmark, Input};
 pub use program::{Program, StaticBranch, Stmt};
 pub use values::{LoadBehavior, ValueBenchmark};
