@@ -147,7 +147,8 @@ EXIT CODES:
           'gc' and 'compact' migrate a legacy snapshot to the log
           format.
 
-  fsmgen serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+  fsmgen serve    [--addr HOST:PORT] [--shards N] [--workers N]
+                  [--cache-capacity N]
                   [--max-connections N] [--queue-limit N]
                   [--read-timeout-ms N] [--max-frame-bytes N]
                   [--retry-after-ms N] [--cache-file FILE]
@@ -169,6 +170,13 @@ EXIT CODES:
           requests, compacts the store and writes --metrics-json. The
           wire format is specified in DESIGN.md. --inject-fault arms
           process-wide failpoints, e.g. 'serve-conn=error:1'.
+          --shards N runs the sharded event-driven architecture: N
+          non-blocking event-loop threads, connections dealt round-robin,
+          the design cache partitioned per shard by trace fingerprint
+          (one shared durable log), pipelined frames answered in request
+          order. 0 (the default) keeps the thread-per-connection
+          architecture. Both speak JSON v1 and, negotiated per
+          connection by an 'FSMB' preamble, the compact binary v2 codec.
           --redesign enables the live predictor: clients stream outcome
           bits ('predict_request' frames), a windowed monitor watches the
           hit rate, and when it collapses below --redesign-threshold the
@@ -206,7 +214,7 @@ EXIT CODES:
   fsmgen client   --addr HOST:PORT [--ping | --stats | --shutdown]
                   [--history N] [--threshold P] [--dont-care F]
                   [--format summary|table] [--batch FILE]
-                  [--timeout-ms N] [TRACE_FILE]
+                  [--codec json|binary] [--timeout-ms N] [TRACE_FILE]
           Talk to a running design service. Default: send one design
           request (trace from TRACE_FILE or stdin, as for 'design') and
           print the result; --format table prints the machine table,
@@ -216,6 +224,25 @@ EXIT CODES:
           the corresponding control requests instead. --stats --watch S
           re-polls every S seconds and prints one rate line per sample
           (same computation as 'fsmgen top'; --samples N stops after N).
+          --codec binary speaks the compact binary v2 wire codec
+          (negotiated by preamble; the payloads are byte-identical to
+          JSON v1, just framed smaller).
+
+  fsmgen loadgen  --addr HOST:PORT [--connections N] [--requests N]
+                  [--pipeline N] [--seed N] [--codec json|binary]
+                  [--workers N] [--distinct-traces N] [--history N]
+                  [--rate R] [--deadline-ms N] [--json]
+          Drive a seeded client swarm at a running design service:
+          --connections pipelined connections multiplexed across
+          --workers threads, each issuing --requests requests drawn from
+          a design-heavy mix over a --distinct-traces trace pool.
+          Closed-loop by default (each connection keeps --pipeline
+          requests in flight); --rate R switches to open-loop injection
+          at R req/s across the swarm. The workload is a pure function
+          of --seed. Prints a human summary plus the loadgen_report
+          JSON (--json prints only the JSON), with sustained req/s and
+          p50/p95/p99 latency. Exits nonzero if any connection failed
+          to connect, aborted, or saw a failed response.
 
   fsmgen top      HOST:PORT [--interval-ms N] [--timeout-ms N]
                   [--once] [--json] [--count N]
@@ -1202,6 +1229,7 @@ fn redesign_from_flags(args: &Args) -> Result<Option<fsmgen_serve::RedesignConfi
 pub fn serve(args: &Args) -> Result<(), CliError> {
     let config = fsmgen_serve::ServeConfig {
         addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
+        shards: args.flag_or("shards", 0usize).map_err(usage)?,
         workers: args.flag_or("workers", 1usize).map_err(usage)?,
         cache_capacity: args.flag_or("cache-capacity", 1024usize).map_err(usage)?,
         max_connections: args.flag_or("max-connections", 64usize).map_err(usage)?,
@@ -1393,6 +1421,112 @@ pub fn scenario(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// The `--codec` flag, shared by `fsmgen client` and `fsmgen loadgen`:
+/// JSON v1 by default, the compact binary v2 codec on request.
+fn parse_codec(args: &Args) -> Result<fsmgen_serve::Codec, CliError> {
+    fsmgen_serve::Codec::parse(args.flag("codec").unwrap_or("json")).map_err(CliError::Usage)
+}
+
+/// `fsmgen loadgen`: a seeded pipelined client swarm against a running
+/// design service, reporting sustained throughput and latency
+/// percentiles.
+///
+/// # Errors
+///
+/// Usage errors for bad flags; a general error (exit 1) when any
+/// connection failed to connect, aborted, or saw a failed response —
+/// so CI smoke jobs can gate on the exit code alone.
+pub fn loadgen(args: &Args) -> Result<(), CliError> {
+    let Some(addr) = args.flag("addr") else {
+        return Err(CliError::Usage(
+            "loadgen: --addr HOST:PORT is required".into(),
+        ));
+    };
+    let defaults = fsmgen_serve::LoadgenConfig::default();
+    let rate = match args.flag_opt::<f64>("rate").map_err(usage)? {
+        Some(r) if r.is_finite() && r > 0.0 => Some(r),
+        Some(r) => {
+            return Err(CliError::Usage(format!(
+                "loadgen: --rate must be a positive req/s rate, got {r}"
+            )))
+        }
+        None => None,
+    };
+    let config = fsmgen_serve::LoadgenConfig {
+        addr: addr.to_string(),
+        connections: args
+            .flag_or("connections", defaults.connections)
+            .map_err(usage)?,
+        requests_per_conn: args
+            .flag_or("requests", defaults.requests_per_conn)
+            .map_err(usage)?,
+        pipeline: args
+            .flag_or("pipeline", defaults.pipeline)
+            .map_err(usage)?
+            .max(1),
+        seed: args.flag_or("seed", defaults.seed).map_err(usage)?,
+        codec: parse_codec(args)?,
+        workers: args
+            .flag_or("workers", defaults.workers)
+            .map_err(usage)?
+            .max(1),
+        distinct_traces: args
+            .flag_or("distinct-traces", defaults.distinct_traces)
+            .map_err(usage)?
+            .max(1),
+        history: args.flag_or("history", defaults.history).map_err(usage)?,
+        rate,
+        deadline: Duration::from_millis(args.flag_or("deadline-ms", 60_000u64).map_err(usage)?),
+        ..defaults
+    };
+    let report = fsmgen_serve::run_loadgen(&config);
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "swarm: {} connections x {} requests, pipeline {}, {} worker thread(s), {}",
+            config.connections,
+            config.requests_per_conn,
+            config.pipeline,
+            config.workers,
+            match config.rate {
+                Some(r) => format!("open loop at {r} req/s"),
+                None => "closed loop".to_string(),
+            }
+        );
+        println!(
+            "completed: {}/{} conns  sent {}  ok {}  failed {}  aborted {}",
+            report.completed_conns,
+            config.connections,
+            report.requests_sent,
+            report.responses_ok,
+            report.responses_failed,
+            report.aborted
+        );
+        println!(
+            "sustained: {:.0} req/s over {:.2}s   latency p50 {}us  p95 {}us  p99 {}us",
+            report.req_per_sec,
+            report.wall.as_secs_f64(),
+            report.p50_us,
+            report.p95_us,
+            report.p99_us
+        );
+        println!("{}", report.to_json());
+    }
+    let clean = report.connect_errors == 0
+        && report.aborted == 0
+        && report.responses_failed == 0
+        && report.completed_conns == config.connections;
+    if clean {
+        Ok(())
+    } else {
+        Err(CliError::Other(format!(
+            "loadgen: {} connect error(s), {} aborted, {} failed response(s)",
+            report.connect_errors, report.aborted, report.responses_failed
+        )))
+    }
+}
+
 /// `fsmgen client`: one control request, one design request, or a batch
 /// of design requests over a single connection.
 ///
@@ -1408,7 +1542,8 @@ pub fn client(args: &Args) -> Result<(), CliError> {
         ));
     };
     let timeout = Duration::from_millis(args.flag_or("timeout-ms", 10_000u64).map_err(usage)?);
-    let mut client = ServeClient::connect(addr, timeout)
+    let codec = parse_codec(args)?;
+    let mut client = ServeClient::connect_with(addr, timeout, codec)
         .map_err(|e| CliError::Other(format!("cannot connect to {addr}: {e}")))?;
     let call = |client: &mut ServeClient, request: &Request| {
         client

@@ -12,9 +12,12 @@
 //!                 [--customs K] [--history N]             compare predictors
 //! fsmgen predict  --machine FILE [TRACE]                 replay a saved machine
 //! fsmgen figure   {1|6|7}                                 print a paper figure's FSM
-//! fsmgen serve    [--addr HOST:PORT] [--cache-file FILE]  run the design service
+//! fsmgen serve    [--addr HOST:PORT] [--shards N]
+//!                 [--cache-file FILE]                      run the design service
 //! fsmgen scenario {run|hunt} [--seed N] [--plan FILE]     adversarial scenario engine
 //! fsmgen client   --addr HOST:PORT [flags] [TRACE]        talk to a running service
+//! fsmgen loadgen  --addr HOST:PORT [--connections N]
+//!                 [--pipeline N] [--codec json|binary]     seeded client-swarm loadgen
 //! fsmgen top      HOST:PORT [--interval-ms N]
 //!                 [--once] [--json] [--count N]           live service dashboard
 //! ```
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(&parsed),
         "scenario" => commands::scenario(&parsed),
         "client" => commands::client(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "top" => top::top(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

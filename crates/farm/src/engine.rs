@@ -9,7 +9,7 @@ use crate::metrics::FarmMetrics;
 use crate::pool;
 use crate::snapshot::SnapshotError;
 use crate::store::{
-    CompactPolicy, CompactReport, DesignStore, StoreConfig, StoreError, StoreStats,
+    CompactPolicy, CompactReport, DesignStore, StoreConfig, StoreError, StoreRecord, StoreStats,
 };
 use fsmgen::{failpoints, Design, DesignBudget, DesignError, Designer, SweepPoint};
 use fsmgen_exec::CompiledMachine;
@@ -141,8 +141,23 @@ struct CacheState {
     /// batch's metrics so warm-start provenance shows up in reports.
     snapshot_load: SnapshotLoadReport,
     /// The durable log-structured store, when one is attached: every
-    /// computed design is appended at its cache-publish point.
-    store: Option<DesignStore>,
+    /// computed design is appended at its cache-publish point. The handle
+    /// is shared so several farms (the shards of a
+    /// [`ShardedFarm`](crate::ShardedFarm)) can append to ONE log while
+    /// keeping independent in-memory cache front-ends.
+    store: Option<SharedStore>,
+}
+
+/// A durable store handle shareable across farms: one log, many
+/// in-memory front-ends. Lock ordering is always `Farm::state` →
+/// store (publish path) or store alone (flush/compact/stats), so
+/// shards never deadlock on the shared log.
+pub type SharedStore = Arc<Mutex<DesignStore>>;
+
+/// Locks a shared store handle, riding through poisoning like the
+/// farm's own state lock does.
+pub(crate) fn lock_shared_store(store: &SharedStore) -> std::sync::MutexGuard<'_, DesignStore> {
+    store.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// What the coordinated cache lookup decided for a job.
@@ -290,17 +305,7 @@ impl Farm {
         let _span = obs::span("store_recover");
         let (store, records) = DesignStore::open(path, config)?;
         let stats = store.stats();
-        {
-            let mut state = self.lock_state();
-            for rec in &records {
-                state
-                    .cache
-                    .insert_warm(rec.fingerprint, rec.verify, Arc::clone(&rec.design));
-            }
-            state.snapshot_load.loaded += records.len();
-            state.snapshot_load.skipped += stats.skipped as usize;
-            state.store = Some(store);
-        }
+        self.adopt_store(Arc::new(Mutex::new(store)), records, stats.skipped as usize);
         obs::counter("store_recover", "recovered", stats.recovered);
         obs::counter("store_recover", "migrated", stats.migrated);
         obs::counter("store_recover", "skipped", stats.skipped);
@@ -315,6 +320,33 @@ impl Farm {
         Ok(stats)
     }
 
+    /// Adopts an already-open (possibly shared) store handle,
+    /// warm-starting this farm's cache from `records` — the shard-level
+    /// building block behind [`Farm::attach_store`] and
+    /// [`ShardedFarm::attach_store`](crate::ShardedFarm::attach_store):
+    /// a sharded deployment opens the log once, partitions the recovered
+    /// records by fingerprint and hands every shard the same handle.
+    ///
+    /// `skipped` is the recovery-time corrupt-record count attributed to
+    /// this farm's warm-start accounting.
+    pub fn adopt_store(&self, store: SharedStore, records: Vec<StoreRecord>, skipped: usize) {
+        let mut state = self.lock_state();
+        state.snapshot_load.loaded += records.len();
+        state.snapshot_load.skipped += skipped;
+        for rec in records {
+            state
+                .cache
+                .insert_warm(rec.fingerprint, rec.verify, rec.design);
+        }
+        state.store = Some(store);
+    }
+
+    /// The shared handle to the attached store, if any.
+    #[must_use]
+    pub fn store_handle(&self) -> Option<SharedStore> {
+        self.lock_state().store.clone()
+    }
+
     /// Forces the attached store's unflushed appends to disk. A no-op
     /// without an attached store.
     ///
@@ -322,9 +354,9 @@ impl Farm {
     ///
     /// Returns [`StoreError::Io`] when the fsync fails.
     pub fn flush_store(&self) -> Result<(), StoreError> {
-        let mut state = self.lock_state();
-        match state.store.as_mut() {
-            Some(store) => store.flush(),
+        let store = self.lock_state().store.clone();
+        match store {
+            Some(store) => lock_shared_store(&store).flush(),
             None => Ok(()),
         }
     }
@@ -343,11 +375,11 @@ impl Farm {
         &self,
         policy: &CompactPolicy,
     ) -> Result<Option<CompactReport>, StoreError> {
+        let Some(store) = self.lock_state().store.clone() else {
+            return Ok(None);
+        };
         let (report, path) = {
-            let mut state = self.lock_state();
-            let Some(store) = state.store.as_mut() else {
-                return Ok(None);
-            };
+            let mut store = lock_shared_store(&store);
             let _span = obs::span("store_compact");
             let report = store.compact(policy)?;
             (report, store.path().display().to_string())
@@ -365,7 +397,8 @@ impl Farm {
     /// The attached store's cumulative durability counters, if any.
     #[must_use]
     pub fn store_stats(&self) -> Option<StoreStats> {
-        self.lock_state().store.as_ref().map(DesignStore::stats)
+        let store = self.lock_state().store.clone();
+        store.map(|store| lock_shared_store(&store).stats())
     }
 
     /// Designs every job in the batch, concurrently, and returns outcomes
@@ -420,7 +453,7 @@ impl Farm {
                 state
                     .store
                     .as_ref()
-                    .map(DesignStore::stats)
+                    .map(|s| lock_shared_store(s).stats())
                     .unwrap_or_default(),
             )
         };
@@ -616,9 +649,9 @@ impl Farm {
                 cache.insert_verified(fp, verify, Arc::clone(design));
                 // Share the compile-at-insert artifact with this outcome.
                 compiled = cache.compiled_of(fp);
-                if let Some(store) = store.as_mut() {
+                if let Some(store) = store.as_ref() {
                     let _span = obs::span("store_append");
-                    match store.append(fp, verify, design) {
+                    match lock_shared_store(store).append(fp, verify, design) {
                         Ok(()) => obs::counter("store_append", "records", 1),
                         Err(err) => obs::mark("farm", "store_append_failed", &err.to_string()),
                     }

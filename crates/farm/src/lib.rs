@@ -34,7 +34,11 @@
 //!   serving, with crash recovery that truncates torn tails, one-time
 //!   migration of legacy snapshot files, generation-stamped records and
 //!   online compaction ([`DesignStore::compact`]) under size and
-//!   generation-TTL policies.
+//!   generation-TTL policies;
+//! - a **sharded cache front-end** ([`ShardedFarm`]): N farms behind one
+//!   fingerprint-routed facade (`fingerprint % shards`), killing the
+//!   single cache lock for high-fanout serving while every shard appends
+//!   to the same durable log.
 //!
 //! [`snapshot format`]: encode_snapshot
 //!
@@ -77,11 +81,14 @@ mod fnv;
 mod job;
 mod metrics;
 mod pool;
+mod sharded;
 mod snapshot;
 mod store;
 
 pub use cache::{CacheStats, DesignCache, SnapshotLoadReport};
-pub use engine::{sweep_histories_parallel, BatchReport, Farm, FarmConfig, JobOutcome};
+pub use engine::{
+    sweep_histories_parallel, BatchReport, Farm, FarmConfig, JobOutcome, SharedStore,
+};
 pub use error::FarmError;
 pub use events::{
     to_obs_event, CollectingSink, EventSink, FarmEvent, NullSink, ObsBridgeSink, StderrSink,
@@ -89,6 +96,7 @@ pub use events::{
 pub use fnv::Fnv1a;
 pub use job::{DesignJob, JobInput};
 pub use metrics::FarmMetrics;
+pub use sharded::ShardedFarm;
 pub use snapshot::{
     decode_design, decode_snapshot, encode_design, encode_snapshot, read_snapshot_file,
     write_snapshot_file, DecodedSnapshot, SnapshotError, SnapshotRecord, SNAPSHOT_MAGIC,

@@ -1,0 +1,426 @@
+//! The sharded cache front-end: N independent [`Farm`]s behind one
+//! fingerprint-routed facade, sharing ONE durable log.
+//!
+//! A single [`Farm`] serializes every cache lookup through one monitor
+//! lock — fine for batch work, a bottleneck for a high-fanout design
+//! service. [`ShardedFarm`] kills that lock by partitioning the
+//! content-addressed cache across `shards` farms: a job is routed to
+//! shard `fingerprint % shards`, so identical jobs always land on the
+//! same shard (single-flight dedup keeps working) while distinct jobs
+//! on different shards never contend.
+//!
+//! Durability stays centralized: [`ShardedFarm::attach_store`] opens the
+//! log-structured [`DesignStore`](crate::DesignStore) once, partitions
+//! the recovered records into the shard caches by the same routing rule,
+//! and hands every shard the same [`SharedStore`] handle — one log on
+//! disk, N in-memory front-ends. Appends from different shards
+//! interleave in the log; recovery re-partitions them, so the shard
+//! count may change between runs without losing designs.
+
+use crate::cache::CacheStats;
+use crate::engine::{lock_shared_store, Farm, FarmConfig, JobOutcome, SharedStore};
+use crate::error::FarmError;
+use crate::job::DesignJob;
+use crate::store::{
+    CompactPolicy, CompactReport, DesignStore, StoreConfig, StoreError, StoreRecord, StoreStats,
+};
+use fsmgen::{DesignError, Designer};
+use fsmgen_exec::CompiledMachine;
+use fsmgen_obs as obs;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// N fingerprint-partitioned [`Farm`]s sharing one durable log.
+///
+/// # Examples
+///
+/// ```
+/// use fsmgen::Designer;
+/// use fsmgen_farm::{DesignJob, FarmConfig, ShardedFarm};
+/// use fsmgen_traces::BitTrace;
+/// use std::sync::Arc;
+///
+/// let trace: Arc<BitTrace> = Arc::new("0000 1000 1011 1101 1110 1111".parse().unwrap());
+/// let farm = ShardedFarm::new(4, FarmConfig { workers: 1, cache_capacity: 64 });
+/// let first = farm.design(DesignJob::from_trace(0, Arc::clone(&trace), Designer::new(2)));
+/// let again = farm.design(DesignJob::from_trace(1, trace, Designer::new(2)));
+/// assert!(first.result.is_ok());
+/// assert!(again.cache_hit); // same fingerprint → same shard → cache hit
+/// assert_eq!(farm.cache_stats().hits, 1);
+/// ```
+pub struct ShardedFarm {
+    shards: Vec<Farm>,
+    /// The shared log handle, kept here so flush/compact/stats go
+    /// straight to the store without bouncing through a shard.
+    store: Mutex<Option<SharedStore>>,
+}
+
+impl std::fmt::Debug for ShardedFarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFarm")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedFarm {
+    /// Creates `shards` farms (at least one), splitting `config`'s cache
+    /// capacity evenly across them (rounded up, so the total bound is
+    /// never below the requested capacity). Capacity 0 disables caching
+    /// on every shard, exactly like a single farm.
+    #[must_use]
+    pub fn new(shards: usize, config: FarmConfig) -> Self {
+        let n = shards.max(1);
+        let per_shard = FarmConfig {
+            workers: config.workers,
+            cache_capacity: if config.cache_capacity == 0 {
+                0
+            } else {
+                config.cache_capacity.div_ceil(n)
+            },
+        };
+        ShardedFarm {
+            shards: (0..n).map(|_| Farm::new(per_shard)).collect(),
+            store: Mutex::new(None),
+        }
+    }
+
+    /// How many shards this farm routes across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing rule: which shard serves fingerprint `fp`.
+    #[must_use]
+    pub fn shard_of_fingerprint(&self, fp: u64) -> usize {
+        (fp % self.shards.len() as u64) as usize
+    }
+
+    /// Which shard `job` routes to. Uncacheable jobs (deadline budgets
+    /// disable the fingerprint) spread by id so they still balance.
+    #[must_use]
+    pub fn route(&self, job: &DesignJob) -> usize {
+        match job.fingerprint() {
+            Some(fp) => self.shard_of_fingerprint(fp),
+            None => (job.id % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// Direct access to one shard (for per-shard accounting and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= shard_count()`.
+    #[must_use]
+    pub fn shard(&self, idx: usize) -> &Farm {
+        &self.shards[idx]
+    }
+
+    /// Designs one job on its routed shard. The shard's cache,
+    /// single-flight dedup, durable append and failpoints all apply
+    /// exactly as on a single farm.
+    #[must_use]
+    pub fn design(&self, job: DesignJob) -> JobOutcome {
+        let id = job.id;
+        let shard = self.route(&job);
+        let report = self.shards[shard].design_batch(vec![job]);
+        report.outcomes.into_iter().next().unwrap_or(JobOutcome {
+            id,
+            result: Err(FarmError::Design(DesignError::BadConfig(
+                "shard batch produced no outcome".into(),
+            ))),
+            cache_hit: false,
+            compiled: None,
+            wall: std::time::Duration::ZERO,
+        })
+    }
+
+    /// The online-redesign entry, routed like any design job: see
+    /// [`Farm::redesign`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Farm::redesign`].
+    pub fn redesign(
+        &self,
+        id: u64,
+        window: &[bool],
+        designer: Designer,
+    ) -> Result<Arc<CompiledMachine>, FarmError> {
+        let trace: Arc<fsmgen_traces::BitTrace> = Arc::new(window.iter().copied().collect());
+        let job = DesignJob::from_trace(id, trace, designer);
+        let shard = self.route(&job);
+        let outcome = {
+            let report = self.shards[shard].design_batch(vec![job]);
+            report.outcomes.into_iter().next()
+        };
+        let Some(outcome) = outcome else {
+            return Err(FarmError::Design(DesignError::BadConfig(
+                "redesign batch produced no outcome".into(),
+            )));
+        };
+        outcome.result?;
+        outcome.compiled.ok_or_else(|| {
+            FarmError::Design(DesignError::BadConfig(
+                "designed machine does not fit the compiled-table limits".into(),
+            ))
+        })
+    }
+
+    /// Attaches ONE durable store shared by every shard: opens the log at
+    /// `path` (crash recovery, legacy migration and torn-tail truncation
+    /// as [`Farm::attach_store`]), partitions the recovered records into
+    /// the shard caches by `fingerprint % shards`, and hands each shard
+    /// the same handle so all publishes append to the same log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the file cannot serve as a store at
+    /// all; no store is attached on error.
+    pub fn attach_store(&self, path: &Path, config: StoreConfig) -> Result<StoreStats, StoreError> {
+        let _span = obs::span("store_recover");
+        let (store, records) = DesignStore::open(path, config)?;
+        let stats = store.stats();
+        let shared: SharedStore = Arc::new(Mutex::new(store));
+        let mut buckets: Vec<Vec<StoreRecord>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for rec in records {
+            buckets[self.shard_of_fingerprint(rec.fingerprint)].push(rec);
+        }
+        for (i, (shard, bucket)) in self.shards.iter().zip(buckets).enumerate() {
+            // Recovery-time skips are whole-log accounting; attribute
+            // them to shard 0 so they are counted exactly once.
+            let skipped = if i == 0 { stats.skipped as usize } else { 0 };
+            shard.adopt_store(Arc::clone(&shared), bucket, skipped);
+        }
+        *self.lock_store() = Some(shared);
+        obs::counter("store_recover", "recovered", stats.recovered);
+        obs::counter("store_recover", "migrated", stats.migrated);
+        obs::counter("store_recover", "skipped", stats.skipped);
+        obs::counter("store_recover", "truncated", stats.truncated);
+        Ok(stats)
+    }
+
+    fn lock_store(&self) -> std::sync::MutexGuard<'_, Option<SharedStore>> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Forces the shared store's unflushed appends to disk. A no-op
+    /// without an attached store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the fsync fails.
+    pub fn flush_store(&self) -> Result<(), StoreError> {
+        let store = self.lock_store().clone();
+        match store {
+            Some(store) => lock_shared_store(&store).flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Compacts the shared store online (see [`Farm::compact_store`]).
+    /// Shards keep serving out of their caches during the rewrite; only
+    /// concurrent appends block on the store lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the rewrite fails.
+    pub fn compact_store(
+        &self,
+        policy: &CompactPolicy,
+    ) -> Result<Option<CompactReport>, StoreError> {
+        let Some(store) = self.lock_store().clone() else {
+            return Ok(None);
+        };
+        let _span = obs::span("store_compact");
+        let report = lock_shared_store(&store).compact(policy)?;
+        obs::counter("store_compact", "kept", report.kept as u64);
+        obs::counter("store_compact", "dropped", report.dropped as u64);
+        Ok(Some(report))
+    }
+
+    /// The shared store's cumulative durability counters, if attached.
+    #[must_use]
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        let store = self.lock_store().clone();
+        store.map(|store| lock_shared_store(&store).stats())
+    }
+
+    /// Cache accounting summed across every shard — the totals a
+    /// single-farm deployment would have reported.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for stats in self.per_shard_cache_stats() {
+            total.hits += stats.hits;
+            total.snapshot_hits += stats.snapshot_hits;
+            total.misses += stats.misses;
+            total.insertions += stats.insertions;
+            total.evictions += stats.evictions;
+            total.stale += stats.stale;
+            total.compiled += stats.compiled;
+        }
+        total
+    }
+
+    /// Per-shard cache accounting, indexed by shard.
+    #[must_use]
+    pub fn per_shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Farm::cache_stats).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use fsmgen_traces::BitTrace;
+
+    fn trace_of(pattern: &str) -> Arc<BitTrace> {
+        Arc::new(pattern.parse().unwrap())
+    }
+
+    fn distinct_traces(n: usize) -> Vec<Arc<BitTrace>> {
+        // Distinct periodic patterns → distinct fingerprints.
+        (0..n)
+            .map(|i| {
+                let block = format!("{:06b}", (i * 7 + 9) % 64);
+                trace_of(&block.repeat(8))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_fingerprint_mod_shards_and_deterministic() {
+        let farm = ShardedFarm::new(
+            4,
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 64,
+            },
+        );
+        for (i, trace) in distinct_traces(16).into_iter().enumerate() {
+            let job = DesignJob::from_trace(i as u64, trace, Designer::new(2));
+            let fp = job.fingerprint().unwrap();
+            assert_eq!(farm.route(&job), (fp % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn identical_jobs_hit_the_same_shard_cache() {
+        let farm = ShardedFarm::new(
+            4,
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 64,
+            },
+        );
+        let trace = trace_of("0000 1000 1011 1101 1110 1111");
+        let a = farm.design(DesignJob::from_trace(
+            0,
+            Arc::clone(&trace),
+            Designer::new(2),
+        ));
+        let b = farm.design(DesignJob::from_trace(1, trace, Designer::new(2)));
+        assert!(a.result.is_ok());
+        assert!(b.cache_hit, "same fingerprint must hit its shard's cache");
+        let totals = farm.cache_stats();
+        assert_eq!((totals.hits, totals.misses), (1, 1));
+        // Exactly one shard saw the traffic.
+        let active = farm
+            .per_shard_cache_stats()
+            .iter()
+            .filter(|s| s.hits + s.misses > 0)
+            .count();
+        assert_eq!(active, 1);
+    }
+
+    #[test]
+    fn shard_results_match_single_farm_bit_for_bit() {
+        let single = Farm::new(FarmConfig {
+            workers: 1,
+            cache_capacity: 64,
+        });
+        let sharded = ShardedFarm::new(
+            4,
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 64,
+            },
+        );
+        for (i, trace) in distinct_traces(12).into_iter().enumerate() {
+            let job = || DesignJob::from_trace(i as u64, Arc::clone(&trace), Designer::new(3));
+            let a = single.design_batch(vec![job()]);
+            let b = sharded.design(job());
+            assert_eq!(
+                **a.design(i as u64).unwrap(),
+                **b.result.as_ref().unwrap(),
+                "shard routing must not change the designed machine"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_store_recovers_across_shard_counts() {
+        let dir = std::env::temp_dir().join(format!("fsmgen-shardstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("designs.flog");
+        let _ = std::fs::remove_file(&path);
+        let config = StoreConfig {
+            flush_every: 1,
+            ..StoreConfig::default()
+        };
+
+        // Write through 4 shards: every shard appends to the ONE log.
+        let farm4 = ShardedFarm::new(
+            4,
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 64,
+            },
+        );
+        farm4.attach_store(&path, config).unwrap();
+        let traces = distinct_traces(8);
+        let mut designs = Vec::new();
+        for (i, trace) in traces.iter().enumerate() {
+            let out = farm4.design(DesignJob::from_trace(
+                i as u64,
+                Arc::clone(trace),
+                Designer::new(2),
+            ));
+            designs.push(Arc::clone(out.result.as_ref().unwrap()));
+        }
+        assert_eq!(farm4.store_stats().unwrap().appends, 8);
+        drop(farm4);
+
+        // Recover into a DIFFERENT shard count: records re-partition.
+        let farm2 = ShardedFarm::new(
+            2,
+            FarmConfig {
+                workers: 1,
+                cache_capacity: 64,
+            },
+        );
+        let stats = farm2.attach_store(&path, config).unwrap();
+        assert_eq!(stats.recovered, 8);
+        for (i, trace) in traces.iter().enumerate() {
+            let out = farm2.design(DesignJob::from_trace(
+                i as u64,
+                Arc::clone(trace),
+                Designer::new(2),
+            ));
+            assert!(out.cache_hit, "recovered record must serve job {i}");
+            assert_eq!(**out.result.as_ref().unwrap(), *designs[i]);
+        }
+        // Compaction through the facade still works.
+        let report = farm2
+            .compact_store(&CompactPolicy::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(report.kept, 8);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

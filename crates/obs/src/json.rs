@@ -72,6 +72,15 @@ impl Json {
         }
     }
 
+    /// This value as an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// This value as a bool.
     #[must_use]
     pub fn as_bool(&self) -> Option<bool> {

@@ -13,6 +13,8 @@ usage: fsmgen-served [flags]
 
   --addr HOST:PORT        bind address (default 127.0.0.1:0; port 0 = OS pick)
   --workers N             farm worker threads (default 1)
+  --shards N              event-loop shards; 0 = threaded architecture
+                          (default 0)
   --cache-capacity N      design-cache bound in designs (default 1024)
   --max-connections N     concurrent connection bound (default 64)
   --queue-limit N         in-flight design bound before backpressure (default 256)
@@ -66,6 +68,7 @@ fn parse_flags(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<S
         match flag.as_str() {
             "--addr" => config.addr = value.clone(),
             "--workers" => config.workers = parse_usize(value)?,
+            "--shards" => config.shards = parse_usize(value)?,
             "--cache-capacity" => config.cache_capacity = parse_usize(value)?,
             "--max-connections" => config.max_connections = parse_usize(value)?,
             "--queue-limit" => config.queue_limit = parse_usize(value)?,

@@ -1,7 +1,7 @@
 //! A small blocking client for the design service — the counterpart the
 //! CLI's `fsmgen client` command and the e2e tests are built on.
 
-use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use crate::proto::{self, Codec, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
@@ -101,25 +101,52 @@ impl From<io::Error> for ClientError {
 pub struct ServeClient {
     stream: TcpStream,
     max_frame: usize,
+    codec: Codec,
     rng: BackoffRng,
 }
 
 impl ServeClient {
     /// Connects to `addr` (e.g. `127.0.0.1:7450`) with a read/write
-    /// timeout applied to every exchange.
+    /// timeout applied to every exchange, speaking JSON v1.
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str, timeout: Duration) -> Result<ServeClient, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, timeout, Codec::JsonV1)
+    }
+
+    /// Connects speaking `codec`. Binary v2 announces itself by sending
+    /// the `FSMB` preamble before the first frame; JSON v1 sends nothing
+    /// extra (the default the server assumes).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_with(
+        addr: &str,
+        timeout: Duration,
+        codec: Codec,
+    ) -> Result<ServeClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
+        if codec == Codec::BinaryV2 {
+            use std::io::Write as _;
+            stream.write_all(&proto::binary_preamble())?;
+        }
         Ok(ServeClient {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            codec,
             rng: BackoffRng::new(jitter_seed()),
         })
+    }
+
+    /// The codec this connection negotiated at connect time.
+    #[must_use]
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Sends one request and reads one response.
@@ -129,7 +156,7 @@ impl ServeClient {
     /// I/O failures, undecodable replies, or a server-side
     /// `protocol_error` (mapped to [`ClientError::Rejected`]).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        proto::write_frame(&mut self.stream, &request.encode())?;
+        proto::write_frame(&mut self.stream, &request.encode_with(self.codec))?;
         let payload = match proto::read_frame(&mut self.stream, self.max_frame) {
             Ok(payload) => payload,
             Err(ProtoError::Io(e)) => return Err(ClientError::Io(e)),
@@ -138,7 +165,8 @@ impl ServeClient {
             }
             Err(other) => return Err(ClientError::Protocol(other.to_string())),
         };
-        let response = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        let response =
+            Response::decode_with(self.codec, &payload).map_err(ClientError::Protocol)?;
         if let Response::ProtocolError { error } = &response {
             return Err(ClientError::Rejected(error.clone()));
         }

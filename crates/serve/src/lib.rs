@@ -54,10 +54,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod loadgen;
 pub mod metrics;
 pub mod predictor;
 pub mod proto;
 pub mod server;
+mod shard;
 pub mod watch;
 
 /// The shared JSON reader (re-exported from `fsmgen-obs`, where it moved
@@ -69,10 +71,12 @@ pub mod json {
 }
 
 pub use client::{ClientError, ServeClient};
-pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig, TrafficMix};
+pub use metrics::{ServeMetrics, ServeMetricsSnapshot, ShardMetrics};
 pub use predictor::{initial_machine, ChunkOutcome, LivePredictor, RedesignConfig};
 pub use proto::{
-    read_frame, write_frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    read_frame, write_frame, Codec, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use watch::{parse_stats, RateTracker, StatsSample, WatchFrame};

@@ -1,0 +1,570 @@
+//! A seeded load generator for the design service: a swarm of pipelined
+//! client connections driven from a few multiplexing threads, so a
+//! single process can sustain a thousand concurrent connections without
+//! a thousand threads.
+//!
+//! Traffic is deterministic for a seed: each connection derives its own
+//! xorshift stream from `seed ^ connection-index`, draws its request
+//! sequence from the configured [`TrafficMix`], and picks its traces
+//! from a bounded pool (so cache hit rates are controllable). Timing is
+//! of course not deterministic — the *workload* is, which is what the
+//! tests replay.
+//!
+//! Two injection disciplines:
+//!
+//! - **closed loop** (`rate: None`): every connection keeps up to
+//!   `pipeline` requests outstanding, writing the next as soon as a
+//!   response frees a slot — the throughput-probing mode the bench uses;
+//! - **open loop** (`rate: Some(r)`): requests are injected at `r`
+//!   requests/second across the swarm regardless of response progress,
+//!   the mode that surfaces queueing collapse.
+
+use crate::proto::{self, Codec, Request, Response};
+use fsmgen_obs::LatencyHistogram;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the swarm's requests split across message kinds, as integer
+/// weights (a weight of zero disables the kind).
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficMix {
+    /// Weight of `design` requests.
+    pub design: u32,
+    /// Weight of `predict` requests (needs a server with redesign
+    /// enabled; against a plain server these count as failures).
+    pub predict: u32,
+    /// Weight of `stats` requests.
+    pub stats: u32,
+    /// Weight of `ping` requests.
+    pub ping: u32,
+}
+
+impl Default for TrafficMix {
+    /// A design-heavy service mix with a trickle of stats polling.
+    fn default() -> Self {
+        TrafficMix {
+            design: 8,
+            predict: 0,
+            stats: 1,
+            ping: 1,
+        }
+    }
+}
+
+impl TrafficMix {
+    fn total(&self) -> u32 {
+        self.design + self.predict + self.stats + self.ping
+    }
+}
+
+/// Everything that shapes one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7450`.
+    pub addr: String,
+    /// Concurrent connections in the swarm.
+    pub connections: usize,
+    /// Requests each connection issues before closing.
+    pub requests_per_conn: usize,
+    /// Outstanding requests a connection keeps in flight (closed loop).
+    /// `1` degenerates to strict request/response ping-pong.
+    pub pipeline: usize,
+    /// The determinism root: per-connection streams derive from it.
+    pub seed: u64,
+    /// Wire codec for every connection.
+    pub codec: Codec,
+    /// Multiplexing driver threads the connections spread across.
+    pub workers: usize,
+    /// Request-kind weights.
+    pub mix: TrafficMix,
+    /// Size of the distinct-trace pool design requests draw from —
+    /// smaller pools mean higher server cache hit rates.
+    pub distinct_traces: usize,
+    /// History depth for design requests.
+    pub history: usize,
+    /// Open-loop injection rate in requests/second across the whole
+    /// swarm; `None` runs closed-loop.
+    pub rate: Option<f64>,
+    /// Whole-run deadline: connections still working past it are
+    /// abandoned and counted in `LoadReport::aborted`.
+    pub deadline: Duration,
+}
+
+impl Default for LoadgenConfig {
+    /// A modest smoke-scale swarm against loopback.
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7450".into(),
+            connections: 64,
+            requests_per_conn: 32,
+            pipeline: 8,
+            seed: 0xF5E7,
+            codec: Codec::JsonV1,
+            workers: 4,
+            mix: TrafficMix::default(),
+            distinct_traces: 32,
+            history: 2,
+            rate: None,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections that completed their full request budget.
+    pub completed_conns: usize,
+    /// Connections that failed to connect.
+    pub connect_errors: usize,
+    /// Connections abandoned at the deadline or on I/O errors.
+    pub aborted: usize,
+    /// Requests written to sockets.
+    pub requests_sent: u64,
+    /// OK responses (`pong`, `stats`, `design_ok`, `predict_ok`).
+    pub responses_ok: u64,
+    /// Structured failures (`design_error`, `rejected`,
+    /// `protocol_error`) — the connection keeps going.
+    pub responses_failed: u64,
+    /// Wall-clock for the whole swarm.
+    pub wall: Duration,
+    /// Completed responses (ok + failed) per second of wall-clock.
+    pub req_per_sec: f64,
+    /// Response-latency percentiles, microseconds (send → response).
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// A stable JSON rendering (the shape `fsmgen loadgen` prints and
+    /// CI's jq checks consume).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completed_conns\": {}, \"connect_errors\": {}, \"aborted\": {}, ",
+                "\"requests_sent\": {}, \"responses_ok\": {}, \"responses_failed\": {}, ",
+                "\"wall_ms\": {:.3}, \"req_per_sec\": {:.1}, ",
+                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}"
+            ),
+            self.completed_conns,
+            self.connect_errors,
+            self.aborted,
+            self.requests_sent,
+            self.responses_ok,
+            self.responses_failed,
+            self.wall.as_secs_f64() * 1e3,
+            self.req_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+        )
+    }
+}
+
+/// The same dependency-free xorshift64* the client's backoff uses.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// The `i`-th trace of the pool: a periodic bit pattern long enough to
+/// design from, distinct per index (distinct fingerprints server-side).
+#[must_use]
+pub fn pool_trace(index: usize) -> String {
+    let block = format!("{:06b}", (index * 7 + 9) % 64);
+    let mut out = String::with_capacity(6 * 8);
+    for _ in 0..8 {
+        out.push_str(&block);
+    }
+    out
+}
+
+/// Draws the next request for connection `conn` from its seeded stream.
+fn next_request(rng: &mut Xorshift, config: &LoadgenConfig, conn: usize, k: usize) -> Request {
+    let id = (conn as u64) << 20 | k as u64;
+    let mix = config.mix;
+    let total = mix.total().max(1);
+    let mut draw = rng.below(u64::from(total)) as u32;
+    if draw < mix.design {
+        let trace = pool_trace(rng.below(config.distinct_traces.max(1) as u64) as usize);
+        return Request::Design {
+            id,
+            trace,
+            history: config.history.max(1),
+            threshold: None,
+            dont_care: None,
+        };
+    }
+    draw -= mix.design;
+    if draw < mix.predict {
+        let mut bits = String::with_capacity(32);
+        for _ in 0..32 {
+            bits.push(if rng.below(2) == 1 { '1' } else { '0' });
+        }
+        return Request::Predict { id, bits };
+    }
+    draw -= mix.predict;
+    if draw < mix.stats {
+        return Request::Stats;
+    }
+    Request::Ping
+}
+
+/// One swarm connection, multiplexed non-blockingly by a driver thread.
+struct SwarmConn {
+    stream: TcpStream,
+    rng: Xorshift,
+    index: usize,
+    /// Requests generated so far (== next request ordinal).
+    issued: usize,
+    /// Responses fully received so far.
+    answered: usize,
+    /// Send instants of in-flight requests, FIFO (responses come back
+    /// in request order — the pipelining contract).
+    in_flight: VecDeque<Instant>,
+    outbuf: Vec<u8>,
+    sent: usize,
+    inbuf: Vec<u8>,
+    start: usize,
+    /// Open loop only: when the next request may be injected.
+    next_injection: Instant,
+    dead: bool,
+}
+
+/// Shared tallies across driver threads.
+#[derive(Default)]
+struct Tallies {
+    requests_sent: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_failed: AtomicU64,
+    aborted: AtomicU64,
+    completed: AtomicU64,
+}
+
+fn classify(response: &Response) -> bool {
+    matches!(
+        response,
+        Response::Pong
+            | Response::Stats(_)
+            | Response::ShutdownAck
+            | Response::DesignOk { .. }
+            | Response::PredictOk { .. }
+    )
+}
+
+/// Drives one connection for one sweep. Returns true when it made
+/// progress (moved bytes or finished).
+fn sweep_conn(
+    conn: &mut SwarmConn,
+    config: &LoadgenConfig,
+    tallies: &Tallies,
+    latency: &LatencyHistogram,
+    injection_gap: Option<Duration>,
+    now: Instant,
+) -> bool {
+    let mut progress = false;
+    // Inject new requests while the window (and, open-loop, the clock)
+    // allows.
+    while conn.issued < config.requests_per_conn
+        && conn.in_flight.len() < config.pipeline.max(1)
+        && injection_gap.is_none_or(|_| now >= conn.next_injection)
+    {
+        let request = next_request(&mut conn.rng, config, conn.index, conn.issued);
+        let payload = request.encode_with(config.codec);
+        let len: u32 = payload.len().try_into().unwrap_or(u32::MAX);
+        conn.outbuf.extend_from_slice(&len.to_be_bytes());
+        conn.outbuf.extend_from_slice(&payload);
+        conn.issued += 1;
+        conn.in_flight.push_back(Instant::now());
+        tallies.requests_sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(gap) = injection_gap {
+            conn.next_injection = conn.next_injection.max(now) + gap;
+        }
+        progress = true;
+    }
+    // Flush.
+    while conn.sent < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.sent..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.sent += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.sent == conn.outbuf.len() && conn.sent > 0 {
+        conn.outbuf.clear();
+        conn.sent = 0;
+    }
+    // Read.
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    // Parse complete response frames.
+    loop {
+        let head = &conn.inbuf[conn.start..];
+        if head.len() < 4 {
+            break;
+        }
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&head[..4]);
+        let advertised = u32::from_be_bytes(prefix) as usize;
+        if head.len() < 4 + advertised {
+            break;
+        }
+        let payload = head[4..4 + advertised].to_vec();
+        conn.start += 4 + advertised;
+        if let Some(sent_at) = conn.in_flight.pop_front() {
+            latency.record(sent_at.elapsed());
+        }
+        conn.answered += 1;
+        match Response::decode_with(config.codec, &payload) {
+            Ok(response) if classify(&response) => {
+                tallies.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) | Err(_) => {
+                tallies.responses_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        progress = true;
+    }
+    if conn.start == conn.inbuf.len() && conn.start > 0 {
+        conn.inbuf.clear();
+        conn.start = 0;
+    }
+    if conn.answered >= config.requests_per_conn {
+        tallies.completed.fetch_add(1, Ordering::Relaxed);
+        conn.dead = true;
+        progress = true;
+    }
+    progress
+}
+
+/// Runs the swarm to completion (or the deadline) and reports.
+///
+/// Connections that cannot be established are counted, not fatal: a
+/// server at its `max_connections` bound turns the surplus away and the
+/// report shows exactly how many.
+#[must_use]
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
+    let started = Instant::now();
+    let tallies = Arc::new(Tallies::default());
+    let latency = Arc::new(LatencyHistogram::new());
+    let connect_errors = Arc::new(AtomicU64::new(0));
+    let workers = config.workers.clamp(1, config.connections.max(1));
+    // Open loop: one global rate split evenly across connections.
+    let injection_gap = config.rate.map(|r| {
+        let per_conn = (r / config.connections.max(1) as f64).max(1e-3);
+        Duration::from_secs_f64(1.0 / per_conn)
+    });
+    let mut threads = Vec::new();
+    for worker in 0..workers {
+        let config = config.clone();
+        let tallies = Arc::clone(&tallies);
+        let latency = Arc::clone(&latency);
+        let connect_errors = Arc::clone(&connect_errors);
+        threads.push(std::thread::spawn(move || {
+            // This worker owns connections worker, worker+W, worker+2W, …
+            let mut conns: Vec<SwarmConn> = Vec::new();
+            let mut index = worker;
+            while index < config.connections {
+                match TcpStream::connect(&config.addr) {
+                    Ok(stream) => {
+                        let mut preamble_ok = true;
+                        if config.codec == Codec::BinaryV2 {
+                            preamble_ok = stream
+                                .set_nodelay(true)
+                                .and_then(|()| (&stream).write_all(&proto::binary_preamble()))
+                                .is_ok();
+                        }
+                        if preamble_ok && stream.set_nonblocking(true).is_ok() {
+                            conns.push(SwarmConn {
+                                stream,
+                                rng: Xorshift::new(config.seed ^ (index as u64) << 1),
+                                index,
+                                issued: 0,
+                                answered: 0,
+                                in_flight: VecDeque::new(),
+                                outbuf: Vec::new(),
+                                sent: 0,
+                                inbuf: Vec::new(),
+                                start: 0,
+                                next_injection: Instant::now(),
+                                dead: false,
+                            });
+                        } else {
+                            connect_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        connect_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                index += workers;
+            }
+            let deadline = started + config.deadline;
+            while !conns.is_empty() {
+                let now = Instant::now();
+                if now > deadline {
+                    tallies
+                        .aborted
+                        .fetch_add(conns.len() as u64, Ordering::Relaxed);
+                    break;
+                }
+                let mut progress = false;
+                let mut i = 0;
+                while i < conns.len() {
+                    let done = {
+                        let conn = &mut conns[i];
+                        progress |=
+                            sweep_conn(conn, &config, &tallies, &latency, injection_gap, now);
+                        conn.dead
+                    };
+                    if done {
+                        // An unfinished dead connection is an abort.
+                        if conns[i].answered < config.requests_per_conn {
+                            tallies.aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        conns.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !progress {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }));
+    }
+    for thread in threads {
+        let _joined = thread.join();
+    }
+    let wall = started.elapsed();
+    let answered = tallies.responses_ok.load(Ordering::Relaxed)
+        + tallies.responses_failed.load(Ordering::Relaxed);
+    LoadReport {
+        completed_conns: tallies.completed.load(Ordering::Relaxed) as usize,
+        connect_errors: connect_errors.load(Ordering::Relaxed) as usize,
+        aborted: tallies.aborted.load(Ordering::Relaxed) as usize,
+        requests_sent: tallies.requests_sent.load(Ordering::Relaxed),
+        responses_ok: tallies.responses_ok.load(Ordering::Relaxed),
+        responses_failed: tallies.responses_failed.load(Ordering::Relaxed),
+        wall,
+        req_per_sec: answered as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: latency.quantile_us(0.50),
+        p95_us: latency.quantile_us(0.95),
+        p99_us: latency.quantile_us(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_streams_are_deterministic_per_seed() {
+        let config = LoadgenConfig::default();
+        let a: Vec<Request> = {
+            let mut rng = Xorshift::new(config.seed ^ 42 << 1);
+            (0..32)
+                .map(|k| next_request(&mut rng, &config, 42, k))
+                .collect()
+        };
+        let b: Vec<Request> = {
+            let mut rng = Xorshift::new(config.seed ^ 42 << 1);
+            (0..32)
+                .map(|k| next_request(&mut rng, &config, 42, k))
+                .collect()
+        };
+        assert_eq!(a, b, "same seed must replay the same request stream");
+        let c: Vec<Request> = {
+            let mut rng = Xorshift::new((config.seed + 1) ^ 42 << 1);
+            (0..32)
+                .map(|k| next_request(&mut rng, &config, 42, k))
+                .collect()
+        };
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn pool_traces_are_distinct_and_parseable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            let trace = pool_trace(i);
+            let parsed: fsmgen_traces::BitTrace = trace.parse().unwrap();
+            assert!(parsed.len() >= 16);
+            seen.insert(trace);
+        }
+        assert!(seen.len() >= 16, "pool must offer real variety");
+    }
+
+    #[test]
+    fn mix_weights_shape_the_stream() {
+        let config = LoadgenConfig {
+            mix: TrafficMix {
+                design: 0,
+                predict: 0,
+                stats: 0,
+                ping: 1,
+            },
+            ..LoadgenConfig::default()
+        };
+        let mut rng = Xorshift::new(7);
+        for k in 0..16 {
+            assert_eq!(next_request(&mut rng, &config, 0, k), Request::Ping);
+        }
+    }
+}

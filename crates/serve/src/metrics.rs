@@ -61,6 +61,25 @@ pub struct ServeMetrics {
     /// response hitting the socket. Feeds the `latency_us` p50/p95/p99
     /// block of the JSON document.
     pub request_latency: LatencyHistogram,
+    /// Per-shard counters (event-driven mode); empty in threaded mode.
+    /// Each shard's counters sum into the totals above — `shards[i]`
+    /// only ever splits traffic, never double-counts it.
+    pub shards: Vec<ShardMetrics>,
+}
+
+/// Counters for one event-loop shard. Every field is also counted into
+/// the global [`ServeMetrics`] totals; this block records *which shard*
+/// carried the traffic, so load balance is observable.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Connections registered to this shard's event loop.
+    pub conns: AtomicU64,
+    /// Well-formed frames this shard answered (any request kind).
+    pub frames: AtomicU64,
+    /// Design requests answered OK on this shard.
+    pub requests_ok: AtomicU64,
+    /// Design requests answered with an error on this shard.
+    pub requests_failed: AtomicU64,
 }
 
 impl Default for ServeMetrics {
@@ -86,6 +105,7 @@ impl Default for ServeMetrics {
             predictor_swaps: AtomicU64::new(0),
             predictor_generation: AtomicU64::new(0),
             request_latency: LatencyHistogram::new(),
+            shards: Vec::new(),
         }
     }
 }
@@ -163,6 +183,22 @@ impl ServeMetrics {
         Self::default()
     }
 
+    /// Creates a zeroed metrics block with `shards` per-shard counter
+    /// groups (0 for the threaded single-lock server).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        ServeMetrics {
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// The counters for shard `idx`, when it exists.
+    #[must_use]
+    pub fn shard(&self, idx: usize) -> Option<&ShardMetrics> {
+        self.shards.get(idx)
+    }
+
     /// Takes a consistent-enough point-in-time copy (each counter is read
     /// atomically; the set is not a single atomic snapshot, which is fine
     /// for monotonicity checks).
@@ -237,6 +273,25 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"pings\": {},\n", s.pings));
         out.push_str(&format!("  \"stats_requests\": {},\n", s.stats_requests));
+        out.push_str("  \"shards\": [");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"shard\": {i}, \"conns\": {}, \"frames\": {}, \
+                 \"requests_ok\": {}, \"requests_failed\": {}}}",
+                shard.conns.load(Ordering::Relaxed),
+                shard.frames.load(Ordering::Relaxed),
+                shard.requests_ok.load(Ordering::Relaxed),
+                shard.requests_failed.load(Ordering::Relaxed),
+            ));
+        }
+        if self.shards.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
         out.push_str("  \"predictor\": {\n");
         out.push_str(&format!(
             "    \"predict_requests\": {},\n",
@@ -399,6 +454,41 @@ mod tests {
         );
         assert_eq!(p.get("swaps").and_then(json::Json::as_u64), Some(1));
         assert_eq!(p.get("generation").and_then(json::Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn shards_block_renders_and_sums() {
+        let metrics = ServeMetrics::with_shards(3);
+        for (i, shard) in metrics.shards.iter().enumerate() {
+            shard.conns.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            shard
+                .frames
+                .fetch_add(10 * (i as u64 + 1), Ordering::Relaxed);
+            shard.requests_ok.fetch_add(i as u64, Ordering::Relaxed);
+        }
+        let text = metrics.to_json(&CacheStats::default(), &StoreStats::default());
+        let value = json::parse(&text).expect("valid JSON with shards");
+        let shards = value.get("shards").and_then(json::Json::as_array).unwrap();
+        assert_eq!(shards.len(), 3);
+        let conns: u64 = shards
+            .iter()
+            .map(|s| s.get("conns").and_then(json::Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(conns, 1 + 2 + 3);
+        assert_eq!(
+            shards[2].get("frames").and_then(json::Json::as_u64),
+            Some(30)
+        );
+        // Threaded mode renders an empty array and still parses.
+        let threaded = ServeMetrics::new().to_json(&CacheStats::default(), &StoreStats::default());
+        let value = json::parse(&threaded).expect("valid JSON without shards");
+        assert_eq!(
+            value
+                .get("shards")
+                .and_then(json::Json::as_array)
+                .map(Vec::len),
+            Some(0)
+        );
     }
 
     #[test]

@@ -1,14 +1,27 @@
-//! The wire protocol: length-prefixed JSON frames and the typed
-//! request/response vocabulary.
+//! The wire protocol: length-prefixed frames, two codecs (JSON v1 and
+//! compact binary v2) and the typed request/response vocabulary.
 //!
 //! Every message on the wire is one *frame*: a 4-byte big-endian payload
-//! length followed by that many bytes of UTF-8 JSON. Each payload is a
-//! single JSON object carrying the shared schema conventions of the
-//! obs/farm JSON (versioned via a `"v"` field equal to
-//! [`fsmgen_obs::SCHEMA_VERSION`], discriminated via `"kind"`). Frames
-//! larger than the receiver's configured bound are rejected *before* the
-//! payload is read, so an adversarial length prefix can never force an
-//! allocation.
+//! length followed by that many payload bytes. Frames larger than the
+//! receiver's configured bound are rejected *before* the payload is
+//! read, so an adversarial length prefix can never force an allocation.
+//!
+//! The payload is one of two codecs, negotiated per connection:
+//!
+//! - **JSON v1** (the default): a single JSON object carrying the shared
+//!   schema conventions of the obs/farm JSON (versioned via a `"v"`
+//!   field equal to [`fsmgen_obs::SCHEMA_VERSION`], discriminated via
+//!   `"kind"`).
+//! - **Binary v2**: the same message set in a compact tagged layout — a
+//!   one-byte message tag, big-endian fixed-width integers and
+//!   `u32`-length-prefixed UTF-8 strings (see [`Codec`]). A client opts
+//!   in by sending the 8-byte preamble [`binary_preamble`] (`FSMB` magic
+//!   followed by the protocol version) as its very first bytes. The magic read as
+//!   a JSON length prefix would advertise a ~1.18 GB frame — far beyond
+//!   any sane frame bound — so the two codecs can never be confused.
+//!
+//! Both codecs carry identical semantics: the differential harness pins
+//! byte-identical design payloads whichever codec carried the request.
 
 use crate::json::{self, Json};
 use std::fmt;
@@ -21,6 +34,60 @@ pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 /// The protocol's schema version — the same stamp the obs/farm JSON
 /// carries, because the messages share that schema's conventions.
 pub const PROTOCOL_VERSION: u32 = fsmgen_obs::SCHEMA_VERSION;
+
+/// The magic a client sends first to negotiate binary framing v2.
+pub const BINARY_MAGIC: [u8; 4] = *b"FSMB";
+
+/// Length of the binary-negotiation preamble: magic + version.
+pub const BINARY_PREAMBLE_LEN: usize = 8;
+
+/// The 8-byte preamble a binary-v2 client sends before its first frame:
+/// [`BINARY_MAGIC`] followed by the big-endian [`PROTOCOL_VERSION`].
+#[must_use]
+pub fn binary_preamble() -> [u8; BINARY_PREAMBLE_LEN] {
+    let mut out = [0u8; BINARY_PREAMBLE_LEN];
+    out[..4].copy_from_slice(&BINARY_MAGIC);
+    out[4..].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    out
+}
+
+/// Which payload codec a connection speaks. Negotiated once, at the
+/// first bytes of the connection; every subsequent frame on that
+/// connection uses the same codec in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Length-prefixed JSON objects (protocol v1, the default).
+    #[default]
+    JsonV1,
+    /// Length-prefixed compact tagged binary (protocol v2).
+    BinaryV2,
+}
+
+impl Codec {
+    /// A stable name for reports and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::JsonV1 => "json-v1",
+            Codec::BinaryV2 => "binary-v2",
+        }
+    }
+
+    /// Parses a CLI spelling (`v1`/`json` vs `v2`/`binary`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized spelling.
+    pub fn parse(text: &str) -> Result<Codec, String> {
+        match text {
+            "v1" | "json" | "json-v1" => Ok(Codec::JsonV1),
+            "v2" | "binary" | "binary-v2" => Ok(Codec::BinaryV2),
+            other => Err(format!(
+                "unknown codec {other:?} (expected v1|json or v2|binary)"
+            )),
+        }
+    }
+}
 
 /// Why a frame could not be read or understood.
 #[derive(Debug)]
@@ -79,18 +146,47 @@ impl ProtoError {
 ///
 /// See [`ProtoError`]; timeouts surface as `Io` with a timeout kind.
 pub fn read_frame(stream: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
-    let mut len_bytes = [0u8; 4];
-    match stream.read(&mut len_bytes) {
+    let prefix = read_prefix(stream)?;
+    read_frame_after_prefix(stream, prefix, max_frame)
+}
+
+/// Reads the 4-byte frame length prefix (or the first 4 bytes of a
+/// binary-negotiation preamble — the caller sniffs which). EOF before
+/// any byte is [`ProtoError::Disconnected`]; a partial prefix is
+/// mid-frame and must complete or fail.
+///
+/// # Errors
+///
+/// See [`ProtoError`].
+pub fn read_prefix(stream: &mut impl Read) -> Result<[u8; 4], ProtoError> {
+    let mut prefix = [0u8; 4];
+    match stream.read(&mut prefix) {
         Ok(0) => return Err(ProtoError::Disconnected),
         Ok(n) => {
             // A partial length prefix is mid-frame: finish it or fail.
             stream
-                .read_exact(&mut len_bytes[n..])
+                .read_exact(&mut prefix[n..])
                 .map_err(ProtoError::Io)?;
         }
         Err(e) => return Err(ProtoError::Io(e)),
     }
-    let advertised = u32::from_be_bytes(len_bytes) as usize;
+    Ok(prefix)
+}
+
+/// Finishes reading a frame whose 4-byte length prefix was already
+/// consumed (the codec-sniffing path): validates the bound, then reads
+/// the payload.
+///
+/// # Errors
+///
+/// See [`ProtoError`]; [`ProtoError::Oversized`] is returned without
+/// consuming the advertised payload.
+pub fn read_frame_after_prefix(
+    stream: &mut impl Read,
+    prefix: [u8; 4],
+    max_frame: usize,
+) -> Result<Vec<u8>, ProtoError> {
+    let advertised = u32::from_be_bytes(prefix) as usize;
     if advertised > max_frame {
         return Err(ProtoError::Oversized {
             advertised,
@@ -468,6 +564,349 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------
+// Binary codec v2: one tag byte, big-endian fixed-width integers,
+// u32-length-prefixed UTF-8 strings. Floats travel as raw IEEE-754 bits
+// so binary round trips are exact. Decoding is a bounds-checked cursor
+// that can never panic: any truncation, bad tag, bad UTF-8 or trailing
+// garbage is a typed `Err`, which the server answers with
+// `protocol_error` and a close.
+
+mod tag {
+    pub const PING: u8 = 0x01;
+    pub const STATS: u8 = 0x02;
+    pub const SHUTDOWN: u8 = 0x03;
+    pub const DESIGN: u8 = 0x10;
+    pub const PREDICT: u8 = 0x11;
+    pub const PONG: u8 = 0x81;
+    pub const SHUTDOWN_ACK: u8 = 0x82;
+    pub const STATS_RESPONSE: u8 = 0x83;
+    pub const DESIGN_OK: u8 = 0x84;
+    pub const DESIGN_ERROR: u8 = 0x85;
+    pub const REJECTED: u8 = 0x86;
+    pub const PREDICT_OK: u8 = 0x87;
+    pub const PROTOCOL_ERROR: u8 = 0x88;
+}
+
+/// Bit flags for optional design-request fields.
+const DESIGN_HAS_THRESHOLD: u8 = 0b01;
+const DESIGN_HAS_DONT_CARE: u8 = 0b10;
+
+fn put_str(out: &mut Vec<u8>, text: &str) {
+    out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+    out.extend_from_slice(text.as_bytes());
+}
+
+/// A never-panicking binary payload cursor.
+struct BinReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BinReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("binary payload truncated at byte {}", self.at))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bool byte must be 0 or 1, got {other}")),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|e| format!("string is not UTF-8: {e}"))
+    }
+
+    /// Rejects trailing garbage: a valid message consumes its payload
+    /// exactly.
+    fn finish(self) -> Result<(), String> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.at
+            ))
+        }
+    }
+}
+
+impl Request {
+    /// Renders the request as a frame payload in the given codec.
+    #[must_use]
+    pub fn encode_with(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::JsonV1 => self.encode(),
+            Codec::BinaryV2 => self.encode_binary(),
+        }
+    }
+
+    /// Parses a request payload in the given codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason; never panics on adversarial
+    /// bytes.
+    pub fn decode_with(codec: Codec, payload: &[u8]) -> Result<Request, String> {
+        match codec {
+            Codec::JsonV1 => Request::decode(payload),
+            Codec::BinaryV2 => Request::decode_binary(payload),
+        }
+    }
+
+    fn encode_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(tag::PING),
+            Request::Stats => out.push(tag::STATS),
+            Request::Shutdown => out.push(tag::SHUTDOWN),
+            Request::Design {
+                id,
+                trace,
+                history,
+                threshold,
+                dont_care,
+            } => {
+                out.push(tag::DESIGN);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&(*history as u64).to_be_bytes());
+                let mut flags = 0u8;
+                if threshold.is_some() {
+                    flags |= DESIGN_HAS_THRESHOLD;
+                }
+                if dont_care.is_some() {
+                    flags |= DESIGN_HAS_DONT_CARE;
+                }
+                out.push(flags);
+                if let Some(t) = threshold {
+                    out.extend_from_slice(&t.to_bits().to_be_bytes());
+                }
+                if let Some(d) = dont_care {
+                    out.extend_from_slice(&d.to_bits().to_be_bytes());
+                }
+                put_str(&mut out, trace);
+            }
+            Request::Predict { id, bits } => {
+                out.push(tag::PREDICT);
+                out.extend_from_slice(&id.to_be_bytes());
+                put_str(&mut out, bits);
+            }
+        }
+        out
+    }
+
+    fn decode_binary(payload: &[u8]) -> Result<Request, String> {
+        let mut r = BinReader::new(payload);
+        let request = match r.u8().map_err(|_| "empty binary payload".to_string())? {
+            tag::PING => Request::Ping,
+            tag::STATS => Request::Stats,
+            tag::SHUTDOWN => Request::Shutdown,
+            tag::DESIGN => {
+                let id = r.u64()?;
+                let history = usize::try_from(r.u64()?).map_err(|_| "history out of range")?;
+                let flags = r.u8()?;
+                if flags & !(DESIGN_HAS_THRESHOLD | DESIGN_HAS_DONT_CARE) != 0 {
+                    return Err(format!("unknown design flags {flags:#04x}"));
+                }
+                let threshold = if flags & DESIGN_HAS_THRESHOLD != 0 {
+                    Some(r.f64()?)
+                } else {
+                    None
+                };
+                let dont_care = if flags & DESIGN_HAS_DONT_CARE != 0 {
+                    Some(r.f64()?)
+                } else {
+                    None
+                };
+                let trace = r.str()?;
+                Request::Design {
+                    id,
+                    trace,
+                    history,
+                    threshold,
+                    dont_care,
+                }
+            }
+            tag::PREDICT => {
+                let id = r.u64()?;
+                let bits = r.str()?;
+                Request::Predict { id, bits }
+            }
+            other => return Err(format!("unknown binary request tag {other:#04x}")),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Renders the response as a frame payload in the given codec.
+    #[must_use]
+    pub fn encode_with(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::JsonV1 => self.encode(),
+            Codec::BinaryV2 => self.encode_binary(),
+        }
+    }
+
+    /// Parses a response payload in the given codec (the client half).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason; never panics on adversarial
+    /// bytes.
+    pub fn decode_with(codec: Codec, payload: &[u8]) -> Result<Response, String> {
+        match codec {
+            Codec::JsonV1 => Response::decode(payload),
+            Codec::BinaryV2 => Response::decode_binary(payload),
+        }
+    }
+
+    fn encode_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(tag::PONG),
+            Response::ShutdownAck => out.push(tag::SHUTDOWN_ACK),
+            Response::Stats(json_text) => {
+                out.push(tag::STATS_RESPONSE);
+                put_str(&mut out, json_text);
+            }
+            Response::ProtocolError { error } => {
+                out.push(tag::PROTOCOL_ERROR);
+                put_str(&mut out, error);
+            }
+            Response::DesignOk {
+                id,
+                states,
+                cache_hit,
+                wall_ms,
+                machine,
+            } => {
+                out.push(tag::DESIGN_OK);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&(*states as u64).to_be_bytes());
+                out.push(u8::from(*cache_hit));
+                out.extend_from_slice(&wall_ms.to_bits().to_be_bytes());
+                put_str(&mut out, machine);
+            }
+            Response::DesignError { id, error } => {
+                out.push(tag::DESIGN_ERROR);
+                out.extend_from_slice(&id.to_be_bytes());
+                put_str(&mut out, error);
+            }
+            Response::Rejected { id, retry_after_ms } => {
+                out.push(tag::REJECTED);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&retry_after_ms.to_be_bytes());
+            }
+            Response::PredictOk {
+                id,
+                total,
+                correct,
+                generation,
+                swapped,
+            } => {
+                out.push(tag::PREDICT_OK);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&total.to_be_bytes());
+                out.extend_from_slice(&correct.to_be_bytes());
+                out.extend_from_slice(&generation.to_be_bytes());
+                out.push(u8::from(*swapped));
+            }
+        }
+        out
+    }
+
+    fn decode_binary(payload: &[u8]) -> Result<Response, String> {
+        let mut r = BinReader::new(payload);
+        let response = match r.u8().map_err(|_| "empty binary payload".to_string())? {
+            tag::PONG => Response::Pong,
+            tag::SHUTDOWN_ACK => Response::ShutdownAck,
+            tag::STATS_RESPONSE => Response::Stats(r.str()?),
+            tag::PROTOCOL_ERROR => Response::ProtocolError { error: r.str()? },
+            tag::DESIGN_OK => {
+                let id = r.u64()?;
+                let states = usize::try_from(r.u64()?).map_err(|_| "states out of range")?;
+                let cache_hit = r.bool()?;
+                let wall_ms = r.f64()?;
+                let machine = r.str()?;
+                Response::DesignOk {
+                    id,
+                    states,
+                    cache_hit,
+                    wall_ms,
+                    machine,
+                }
+            }
+            tag::DESIGN_ERROR => {
+                let id = r.u64()?;
+                let error = r.str()?;
+                Response::DesignError { id, error }
+            }
+            tag::REJECTED => {
+                let id = r.u64()?;
+                let retry_after_ms = r.u64()?;
+                Response::Rejected { id, retry_after_ms }
+            }
+            tag::PREDICT_OK => {
+                let id = r.u64()?;
+                let total = r.u64()?;
+                let correct = r.u64()?;
+                let generation = r.u64()?;
+                let swapped = r.bool()?;
+                Response::PredictOk {
+                    id,
+                    total,
+                    correct,
+                    generation,
+                    swapped,
+                }
+            }
+            other => return Err(format!("unknown binary response tag {other:#04x}")),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +1030,171 @@ mod tests {
                 .unwrap_err()
                 .contains("trace")
         );
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Design {
+                id: 42,
+                trace: "0000 1000 1011".into(),
+                history: 3,
+                threshold: Some(0.75),
+                dont_care: None,
+            },
+            Request::Design {
+                id: u64::MAX,
+                trace: String::new(),
+                history: 0,
+                threshold: None,
+                dont_care: Some(0.125),
+            },
+            Request::Predict {
+                id: 43,
+                bits: "0101 1100".into(),
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::ShutdownAck,
+            Response::Stats("{\"x\": 1}".into()),
+            Response::DesignOk {
+                id: 7,
+                states: 3,
+                cache_hit: true,
+                wall_ms: 1.25,
+                machine: "start 0\n0 1 2 0\n".into(),
+            },
+            Response::DesignError {
+                id: 8,
+                error: "trace too short".into(),
+            },
+            Response::Rejected {
+                id: 9,
+                retry_after_ms: 50,
+            },
+            Response::PredictOk {
+                id: 10,
+                total: 128,
+                correct: 97,
+                generation: 2,
+                swapped: true,
+            },
+            Response::ProtocolError {
+                error: "bad frame".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_messages_round_trip_exactly() {
+        for request in sample_requests() {
+            let payload = request.encode_with(Codec::BinaryV2);
+            let decoded = Request::decode_with(Codec::BinaryV2, &payload).unwrap();
+            assert_eq!(decoded, request);
+        }
+        for response in sample_responses() {
+            let payload = response.encode_with(Codec::BinaryV2);
+            let decoded = Response::decode_with(Codec::BinaryV2, &payload).unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_truncation_at_every_length() {
+        // Chopping a valid payload anywhere must be a typed error (or,
+        // for a prefix that happens to be a complete shorter message,
+        // a decode that is not the original) — never a panic.
+        for request in sample_requests() {
+            let payload = request.encode_with(Codec::BinaryV2);
+            for cut in 0..payload.len() {
+                let _ = Request::decode_with(Codec::BinaryV2, &payload[..cut]);
+            }
+            // Trailing garbage is always rejected.
+            let mut padded = payload.clone();
+            padded.push(0);
+            assert!(Request::decode_with(Codec::BinaryV2, &padded).is_err());
+        }
+        for response in sample_responses() {
+            let payload = response.encode_with(Codec::BinaryV2);
+            for cut in 0..payload.len() {
+                let _ = Response::decode_with(Codec::BinaryV2, &payload[..cut]);
+            }
+            let mut padded = payload.clone();
+            padded.push(0);
+            assert!(Response::decode_with(Codec::BinaryV2, &padded).is_err());
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_bad_tags_lengths_and_bools() {
+        assert!(Request::decode_with(Codec::BinaryV2, &[])
+            .unwrap_err()
+            .contains("empty"));
+        assert!(Request::decode_with(Codec::BinaryV2, &[0x7f])
+            .unwrap_err()
+            .contains("unknown binary request tag"));
+        assert!(Response::decode_with(Codec::BinaryV2, &[0x01])
+            .unwrap_err()
+            .contains("unknown binary response tag"));
+        // A string length far beyond the payload is truncation, not an
+        // allocation.
+        let mut huge = vec![tag::PROTOCOL_ERROR];
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Response::decode_with(Codec::BinaryV2, &huge)
+            .unwrap_err()
+            .contains("truncated"));
+        // Non-UTF-8 strings are rejected.
+        let mut bad_utf8 = vec![tag::PROTOCOL_ERROR];
+        bad_utf8.extend_from_slice(&2u32.to_be_bytes());
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        assert!(Response::decode_with(Codec::BinaryV2, &bad_utf8)
+            .unwrap_err()
+            .contains("UTF-8"));
+        // Bool bytes other than 0/1 are rejected (PredictOk.swapped).
+        let response = Response::PredictOk {
+            id: 1,
+            total: 2,
+            correct: 1,
+            generation: 0,
+            swapped: false,
+        };
+        let mut payload = response.encode_with(Codec::BinaryV2);
+        let last = payload.len() - 1;
+        payload[last] = 2;
+        assert!(Response::decode_with(Codec::BinaryV2, &payload)
+            .unwrap_err()
+            .contains("bool"));
+    }
+
+    #[test]
+    fn binary_preamble_is_unmistakable_for_a_frame() {
+        let preamble = binary_preamble();
+        assert_eq!(&preamble[..4], b"FSMB");
+        assert_eq!(preamble.len(), BINARY_PREAMBLE_LEN);
+        // Read as a JSON length prefix, the magic advertises a frame far
+        // beyond any configured bound — the sniff is unambiguous.
+        let as_len = u32::from_be_bytes(BINARY_MAGIC) as usize;
+        assert!(as_len > DEFAULT_MAX_FRAME * 100);
+        assert_eq!(
+            u32::from_be_bytes([preamble[4], preamble[5], preamble[6], preamble[7]]),
+            PROTOCOL_VERSION
+        );
+    }
+
+    #[test]
+    fn codec_parse_spellings() {
+        assert_eq!(Codec::parse("v1").unwrap(), Codec::JsonV1);
+        assert_eq!(Codec::parse("json").unwrap(), Codec::JsonV1);
+        assert_eq!(Codec::parse("v2").unwrap(), Codec::BinaryV2);
+        assert_eq!(Codec::parse("binary").unwrap(), Codec::BinaryV2);
+        assert!(Codec::parse("v3").is_err());
+        assert_eq!(Codec::BinaryV2.name(), "binary-v2");
     }
 
     #[test]

@@ -1,9 +1,24 @@
-//! The TCP design server: a threaded accept loop fronting a shared
-//! [`Farm`], with bounded concurrency, per-request read timeouts,
-//! backpressure, graceful drain on shutdown and a durable append-only
-//! design store: every cache insert is appended (and periodically
-//! fsync'd) while serving, so an unclean death loses at most one flush
-//! interval of designs; a graceful drain compacts the log in place.
+//! The TCP design server, in two interchangeable architectures over the
+//! same protocol and farm:
+//!
+//! - **Threaded** (`shards = 0`): the original thread-per-connection
+//!   accept loop — one blocking handler thread per peer. Kept as the
+//!   bench baseline and for the lowest-latency single-client paths.
+//! - **Sharded event-driven** (`shards >= 1`): N shard threads, each a
+//!   non-blocking poll loop multiplexing many connections. The accept
+//!   loop only dispatches sockets round-robin; each shard reads as many
+//!   *pipelined* frames as a connection has sent, answers them in
+//!   request order, and batches the writes. Design requests route to a
+//!   fingerprint-partitioned [`ShardedFarm`], so the old single cache
+//!   lock disappears while the durable store stays ONE log.
+//!
+//! Both architectures share bounded concurrency, per-connection
+//! progress deadlines (the slow-loris guard), backpressure, codec
+//! negotiation (JSON v1 / binary v2), graceful drain on shutdown and
+//! the durable append-only design store: every cache insert is appended
+//! (and periodically fsync'd) while serving, so an unclean death loses
+//! at most one flush interval of designs; a graceful drain compacts the
+//! log in place.
 //!
 //! The process has no dependency-free way to trap signals, so graceful
 //! shutdown is driven two equivalent ways: a [`Request::Shutdown`]
@@ -13,17 +28,18 @@
 
 use crate::metrics::ServeMetrics;
 use crate::predictor::{LivePredictor, RedesignConfig};
-use crate::proto::{self, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use crate::proto::{self, Codec, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use crate::shard;
 use fsmgen::{failpoints, Designer, MAX_ORDER};
 use fsmgen_automata::machine_to_table;
-use fsmgen_farm::{CompactPolicy, DesignJob, Farm, FarmConfig, StoreConfig};
+use fsmgen_farm::{CompactPolicy, DesignJob, FarmConfig, ShardedFarm, StoreConfig};
 use fsmgen_obs as obs;
 use fsmgen_traces::BitTrace;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Everything that shapes a running server.
@@ -64,6 +80,11 @@ pub struct ServeConfig {
     /// that clients stream outcomes through, monitors its windowed hit
     /// rate, and hot-swaps in a farm redesign on collapse.
     pub redesign: Option<RedesignConfig>,
+    /// Event-loop shards. `0` runs the threaded thread-per-connection
+    /// architecture (the baseline); `N >= 1` runs N non-blocking shard
+    /// event loops with pipelined connections and a design cache
+    /// partitioned by `fingerprint % N`.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,20 +104,24 @@ impl Default for ServeConfig {
             flush_every: 8,
             flush_interval: Duration::from_millis(200),
             redesign: None,
+            shards: 0,
         }
     }
 }
 
-/// State shared between the accept loop, connection threads and handles.
-struct Shared {
-    config: ServeConfig,
-    farm: Farm,
-    metrics: ServeMetrics,
-    shutting_down: AtomicBool,
-    active_conns: AtomicUsize,
-    in_flight: AtomicUsize,
+/// State shared between the accept loop, connection handlers (threads
+/// or shard event loops) and handles.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    /// Always a sharded farm: the threaded architecture runs it with a
+    /// single shard, which is exactly the old one-lock behaviour.
+    pub(crate) farm: ShardedFarm,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) active_conns: AtomicUsize,
+    pub(crate) in_flight: AtomicUsize,
     /// The hot-swappable live predictor (None without `redesign`).
-    live: Option<LivePredictor>,
+    pub(crate) live: Option<LivePredictor>,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks until
@@ -129,7 +154,7 @@ impl ServerHandle {
     }
 }
 
-fn signal_shutdown(shared: &Shared, addr: SocketAddr) {
+pub(crate) fn signal_shutdown(shared: &Shared, addr: SocketAddr) {
     if !shared.shutting_down.swap(true, Ordering::SeqCst) {
         // Unblock the accept loop. A failed nudge is fine: the loop also
         // notices the flag on its next natural wakeup.
@@ -139,7 +164,7 @@ fn signal_shutdown(shared: &Shared, addr: SocketAddr) {
 
 /// Decrements a counter when dropped, so connection accounting survives
 /// every early return.
-struct CountGuard<'a>(&'a AtomicUsize);
+pub(crate) struct CountGuard<'a>(pub(crate) &'a AtomicUsize);
 
 impl Drop for CountGuard<'_> {
     fn drop(&mut self) {
@@ -162,10 +187,15 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let farm = Farm::new(FarmConfig {
-            workers: config.workers.max(1),
-            cache_capacity: config.cache_capacity,
-        });
+        // The threaded architecture (shards = 0) runs a 1-shard farm —
+        // identical semantics to the old single Farm, one cache lock.
+        let farm = ShardedFarm::new(
+            config.shards.max(1),
+            FarmConfig {
+                workers: config.workers.max(1),
+                cache_capacity: config.cache_capacity,
+            },
+        );
         if let Some(path) = &config.cache_file {
             let store_config = StoreConfig {
                 flush_every: config.flush_every,
@@ -179,13 +209,14 @@ impl Server {
             Some(redesign) => Some(LivePredictor::new(redesign).map_err(io::Error::other)?),
             None => None,
         };
+        let metrics = ServeMetrics::with_shards(config.shards);
         Ok(Server {
             listener,
             local_addr,
             shared: Arc::new(Shared {
                 config,
                 farm,
-                metrics: ServeMetrics::new(),
+                metrics,
                 shutting_down: AtomicBool::new(false),
                 active_conns: AtomicUsize::new(0),
                 in_flight: AtomicUsize::new(0),
@@ -236,6 +267,19 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || flusher_loop(&shared))
         });
+        // Event-driven mode: spawn the shard loops, keep their senders.
+        let mut shard_txs: Vec<mpsc::Sender<TcpStream>> = Vec::new();
+        let mut shard_threads = Vec::new();
+        for index in 0..self.shared.config.shards {
+            let (tx, rx) = mpsc::channel();
+            shard_txs.push(tx);
+            let shared = Arc::clone(&self.shared);
+            let addr = self.local_addr;
+            shard_threads.push(std::thread::spawn(move || {
+                shard::run_shard(&shared, index, &rx, addr);
+            }));
+        }
+        let mut next_shard = 0usize;
         loop {
             let (stream, _peer) = match self.listener.accept() {
                 Ok(pair) => pair,
@@ -256,14 +300,30 @@ impl Server {
                 reject_connection(stream, self.shared.config.retry_after_ms);
                 continue;
             }
-            let shared = Arc::clone(&self.shared);
-            let addr = self.local_addr;
-            std::thread::spawn(move || {
-                let _guard = CountGuard(&shared.active_conns);
-                handle_connection(&shared, stream, addr);
-            });
+            if shard_txs.is_empty() {
+                // Threaded architecture: one handler thread per peer.
+                let shared = Arc::clone(&self.shared);
+                let addr = self.local_addr;
+                std::thread::spawn(move || {
+                    let _guard = CountGuard(&shared.active_conns);
+                    handle_connection(&shared, stream, addr);
+                });
+            } else {
+                // Event-driven architecture: hand the socket to a shard
+                // round-robin. A closed channel means the shard died;
+                // the connection is dropped and un-counted.
+                let target = next_shard % shard_txs.len();
+                next_shard = next_shard.wrapping_add(1);
+                if shard_txs[target].send(stream).is_err() {
+                    self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
         }
         self.drain();
+        drop(shard_txs);
+        for thread in shard_threads {
+            let _joined = thread.join();
+        }
         if let Some(flusher) = flusher {
             let _joined = flusher.join();
         }
@@ -337,6 +397,87 @@ fn reject_connection(mut stream: TcpStream, retry_after_ms: u64) {
     let _ignored = proto::write_frame(&mut stream, &payload);
 }
 
+/// Reads the next frame, transparently negotiating the codec on the
+/// very first bytes of the connection: a `FSMB` preamble switches the
+/// connection to binary v2, anything else is a JSON v1 length prefix.
+/// A preamble with the wrong version surfaces as
+/// [`ProtoError::Malformed`].
+fn read_negotiated_frame(
+    stream: &mut TcpStream,
+    codec: &mut Option<Codec>,
+    max_frame: usize,
+) -> Result<Vec<u8>, ProtoError> {
+    if codec.is_some() {
+        return proto::read_frame(stream, max_frame);
+    }
+    let prefix = proto::read_prefix(stream)?;
+    if prefix == proto::BINARY_MAGIC {
+        let mut version_bytes = [0u8; 4];
+        stream
+            .read_exact(&mut version_bytes)
+            .map_err(ProtoError::Io)?;
+        let version = u32::from_be_bytes(version_bytes);
+        if version != proto::PROTOCOL_VERSION {
+            // Reply in the codec the client asked for: it clearly
+            // speaks binary, just the wrong revision of it.
+            *codec = Some(Codec::BinaryV2);
+            return Err(ProtoError::Malformed(format!(
+                "unsupported binary protocol version {version} (this server speaks {})",
+                proto::PROTOCOL_VERSION
+            )));
+        }
+        *codec = Some(Codec::BinaryV2);
+        proto::read_frame(stream, max_frame)
+    } else {
+        *codec = Some(Codec::JsonV1);
+        proto::read_frame_after_prefix(stream, prefix, max_frame)
+    }
+}
+
+/// What to do with a connection after answering one request.
+pub(crate) enum Handled {
+    /// Send the response, keep serving.
+    Reply(Response),
+    /// Send the ack, then initiate server shutdown and close.
+    Shutdown,
+}
+
+/// Answers one decoded request — the dispatch shared by the threaded
+/// handler and the shard event loops. `shard` indexes the per-shard
+/// metrics block in event-driven mode.
+pub(crate) fn handle_request(
+    shared: &Arc<Shared>,
+    shard: Option<usize>,
+    request: Request,
+) -> Handled {
+    if let Some(metrics) = shard.and_then(|s| shared.metrics.shard(s)) {
+        metrics.frames.fetch_add(1, Ordering::Relaxed);
+    }
+    let response = match request {
+        Request::Ping => {
+            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+            Response::Pong
+        }
+        Request::Stats => {
+            shared
+                .metrics
+                .stats_requests
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Stats(metrics_json(shared))
+        }
+        Request::Shutdown => return Handled::Shutdown,
+        Request::Design {
+            id,
+            trace,
+            history,
+            threshold,
+            dont_care,
+        } => design_response(shared, shard, id, &trace, history, threshold, dont_care),
+        Request::Predict { id, bits } => predict_response(shared, id, &bits),
+    };
+    Handled::Reply(response)
+}
+
 /// Serves one connection: a loop of frames until disconnect, error or
 /// shutdown. Never panics on peer input — every failure path is a
 /// structured reply or a clean close, plus a counter.
@@ -363,11 +504,17 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
     {
         return;
     }
+    // The connection's codec: negotiated on the first bytes, then fixed.
+    let mut negotiated: Option<Codec> = None;
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let payload = match proto::read_frame(&mut stream, shared.config.max_frame_bytes) {
+        let payload = match read_negotiated_frame(
+            &mut stream,
+            &mut negotiated,
+            shared.config.max_frame_bytes,
+        ) {
             Ok(payload) => payload,
             Err(ProtoError::Disconnected) => return,
             Err(ProtoError::Oversized { advertised, limit }) => {
@@ -380,6 +527,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
                 // is out of sync: reply then close.
                 send(
                     &mut stream,
+                    negotiated.unwrap_or_default(),
                     &Response::ProtocolError {
                         error: format!(
                             "frame of {advertised} bytes exceeds the {limit}-byte limit"
@@ -393,19 +541,35 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
                 obs::counter("serve", "read_timeout", 1);
                 send(
                     &mut stream,
+                    negotiated.unwrap_or_default(),
                     &Response::ProtocolError {
                         error: "read timed out".into(),
                     },
                 );
                 return;
             }
-            Err(ProtoError::Io(_) | ProtoError::Malformed(_)) => return,
+            Err(ProtoError::Malformed(reason)) => {
+                // A bad negotiation preamble: reply then close.
+                shared
+                    .metrics
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve", "malformed_frame", 1);
+                send(
+                    &mut stream,
+                    negotiated.unwrap_or_default(),
+                    &Response::ProtocolError { error: reason },
+                );
+                return;
+            }
+            Err(ProtoError::Io(_)) => return,
         };
+        let codec = negotiated.unwrap_or_default();
         let _request_span = obs::span("serve_request");
         let request_started = Instant::now();
         let request = {
             let _parse_span = obs::span("serve_parse");
-            Request::decode(&payload)
+            Request::decode_with(codec, &payload)
         };
         let request = match request {
             Ok(request) => request,
@@ -417,41 +581,27 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
                 obs::counter("serve", "malformed_frame", 1);
                 // The frame itself was well-delimited, so the stream is
                 // still in sync: reply and keep serving.
-                if !send(&mut stream, &Response::ProtocolError { error: reason }) {
+                if !send(
+                    &mut stream,
+                    codec,
+                    &Response::ProtocolError { error: reason },
+                ) {
                     return;
                 }
                 continue;
             }
         };
-        let response = match request {
-            Request::Ping => {
-                shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
-                Response::Pong
-            }
-            Request::Stats => {
-                shared
-                    .metrics
-                    .stats_requests
-                    .fetch_add(1, Ordering::Relaxed);
-                Response::Stats(metrics_json(shared))
-            }
-            Request::Shutdown => {
-                send(&mut stream, &Response::ShutdownAck);
+        let response = match handle_request(shared, None, request) {
+            Handled::Reply(response) => response,
+            Handled::Shutdown => {
+                send(&mut stream, codec, &Response::ShutdownAck);
                 signal_shutdown(shared, addr);
                 return;
             }
-            Request::Design {
-                id,
-                trace,
-                history,
-                threshold,
-                dont_care,
-            } => design_response(shared, id, &trace, history, threshold, dont_care),
-            Request::Predict { id, bits } => predict_response(shared, id, &bits),
         };
         let delivered = {
             let _respond_span = obs::span("serve_respond");
-            send(&mut stream, &response)
+            send(&mut stream, codec, &response)
         };
         shared
             .metrics
@@ -464,8 +614,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
 }
 
 /// Runs one design request through the farm, honouring backpressure.
-fn design_response(
+pub(crate) fn design_response(
     shared: &Shared,
+    shard: Option<usize>,
     id: u64,
     trace_text: &str,
     history: usize,
@@ -490,6 +641,9 @@ fn design_response(
             .metrics
             .requests_failed
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = shard.and_then(|s| shared.metrics.shard(s)) {
+            metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+        }
         obs::counter("serve", "request_failed", 1);
         Response::DesignError { id, error }
     };
@@ -508,16 +662,16 @@ fn design_response(
         designer = designer.dont_care_fraction(d);
     }
     let job = DesignJob::from_trace(id, Arc::new(trace), designer);
-    let report = {
+    let outcome = {
         let _design_span = obs::span("serve_design");
-        shared.farm.design_batch(vec![job])
-    };
-    let Some(outcome) = report.outcomes.first() else {
-        return fail("farm returned no outcome".into());
+        shared.farm.design(job)
     };
     match &outcome.result {
         Ok(design) => {
             shared.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = shard.and_then(|s| shared.metrics.shard(s)) {
+                metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            }
             obs::counter("serve", "request_ok", 1);
             Response::DesignOk {
                 id,
@@ -640,9 +794,10 @@ fn run_redesign(shared: &Shared, id: u64, window: &[bool]) {
     }
 }
 
-/// Writes one response frame; false when the peer is gone.
-fn send(stream: &mut TcpStream, response: &Response) -> bool {
-    let payload = response.encode();
+/// Writes one response frame in the connection's codec; false when the
+/// peer is gone.
+fn send(stream: &mut TcpStream, codec: Codec, response: &Response) -> bool {
+    let payload = response.encode_with(codec);
     if proto::write_frame(stream, &payload).is_err() {
         return false;
     }

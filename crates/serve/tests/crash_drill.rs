@@ -167,7 +167,20 @@ fn counter(stats: &Json, block: &str, key: &str) -> u64 {
 
 #[test]
 fn sigkilled_server_recovers_truncates_torn_tail_and_serves_identical_designs() {
-    let dir = tmp_dir("sigkill");
+    sigkill_drill("sigkill", &[]);
+}
+
+/// The same unclean-death drill against the sharded event-driven
+/// architecture: shards share ONE durable log, and recovery must
+/// re-partition it so a different shard count still serves everything
+/// warm and byte-identical.
+#[test]
+fn sigkilled_sharded_server_recovers_from_the_shared_log() {
+    sigkill_drill("sigkill-sharded", &["--shards", "4"]);
+}
+
+fn sigkill_drill(tag: &str, arch_flags: &[&str]) {
+    let dir = tmp_dir(tag);
     let store_file = dir.join("crash-store.fsnap");
     let store_flag = store_file.to_str().unwrap();
     let matrix = matrix_with_expected_tables();
@@ -175,7 +188,9 @@ fn sigkilled_server_recovers_truncates_torn_tail_and_serves_identical_designs() 
     // Phase 1: a server syncing every append (so the kill loses nothing)
     // serves the whole matrix, then dies by SIGKILL — no drain, no
     // compaction, no graceful anything.
-    let victim = ServerProc::spawn(&["--cache-file", store_flag, "--flush-every", "1"]);
+    let mut victim_flags = vec!["--cache-file", store_flag, "--flush-every", "1"];
+    victim_flags.extend_from_slice(arch_flags);
+    let victim = ServerProc::spawn(&victim_flags);
     drive(&victim, &matrix, false);
     let victim_stats = stats(&victim);
     assert!(
@@ -200,7 +215,9 @@ fn sigkilled_server_recovers_truncates_torn_tail_and_serves_identical_designs() 
     // Phase 2: restart on the same store. Recovery must truncate the
     // torn tail (counted, not fatal) and serve every matrix job from the
     // recovered cache, byte-identical to the uninterrupted reference.
-    let survivor = ServerProc::spawn(&["--cache-file", store_flag]);
+    let mut survivor_flags = vec!["--cache-file", store_flag];
+    survivor_flags.extend_from_slice(arch_flags);
+    let survivor = ServerProc::spawn(&survivor_flags);
     drive(&survivor, &matrix, true);
     let survivor_stats = stats(&survivor);
     assert!(
@@ -223,6 +240,10 @@ fn sigkilled_server_recovers_truncates_torn_tail_and_serves_identical_designs() 
     survivor.shutdown();
 
     // The graceful exit compacted: a third boot still serves everything.
+    // Deliberately spawned WITHOUT the architecture flags: the sharded
+    // variant's log, written by 4 shards, must recover into the
+    // single-shard threaded server too (the shard count is not part of
+    // the on-disk format).
     let third = ServerProc::spawn(&["--cache-file", store_flag]);
     drive(&third, &matrix, true);
     let third_stats = stats(&third);

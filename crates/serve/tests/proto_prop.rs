@@ -7,8 +7,8 @@
 
 use fsmgen_obs::{CollectingObsSink, ObsEvent};
 use fsmgen_serve::{
-    write_frame, Request, Response, ServeClient, ServeConfig, ServeMetricsSnapshot, Server,
-    ServerHandle,
+    proto, write_frame, Codec, Request, Response, ServeClient, ServeConfig, ServeMetricsSnapshot,
+    Server, ServerHandle,
 };
 use proptest::prelude::*;
 use std::io::{Read, Write};
@@ -48,9 +48,16 @@ impl Fixture {
     }
 
     fn quick() -> Fixture {
+        Fixture::quick_with(0)
+    }
+
+    /// `shards = 0` fuzzes the threaded architecture, `>= 1` the
+    /// event-driven one — every hostile scenario runs against both.
+    fn quick_with(shards: usize) -> Fixture {
         Fixture::start(ServeConfig {
             read_timeout: Duration::from_millis(300),
             max_frame_bytes: 4096,
+            shards,
             ..ServeConfig::default()
         })
     }
@@ -432,4 +439,220 @@ fn shutdown_drains_and_double_shutdown_is_safe() {
     fixture.stop();
     assert!(handle.is_shutting_down());
     handle.shutdown(); // idempotent
+}
+
+// ---------------------------------------------------------------------
+// Binary framing v2: the same hostile battery, ported to the compact
+// codec, against BOTH architectures (threaded and 2-shard event loop).
+// Every scenario must end in a `protocol_error` reply or a clean close
+// — never a panic, never a wedge.
+// ---------------------------------------------------------------------
+
+/// Writes the v2 preamble then `frames`, reads until close or quiet.
+fn binary_session(fixture: &Fixture, frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = fixture.raw_conn();
+    stream
+        .write_all(&proto::binary_preamble())
+        .expect("preamble");
+    for payload in frames {
+        let _ = write_frame(&mut stream, payload);
+    }
+    let _ = stream.flush();
+    drain(&mut stream)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary bytes after a valid v2 preamble never wedge either
+    /// architecture.
+    #[test]
+    fn binary_arbitrary_bytes_never_wedge_the_server(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        shards in 0usize..3,
+    ) {
+        let _serial = lock();
+        let fixture = Fixture::quick_with(shards);
+        {
+            let mut stream = fixture.raw_conn();
+            let _ = stream.write_all(&proto::binary_preamble());
+            let _ = stream.write_all(&garbage);
+            let _ = stream.flush();
+            let _ = drain(&mut stream);
+        }
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+
+    /// Bit-flipped binary frames: either the flip kept the request
+    /// decodable, or the server replies `protocol_error` — always
+    /// accounted, never a panic.
+    #[test]
+    fn binary_bit_flipped_frames_get_structured_errors(
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+        shards in 0usize..3,
+    ) {
+        let _serial = lock();
+        let fixture = Fixture::quick_with(shards);
+        let before = fixture.metrics();
+        let mut payload = Request::Design {
+            id: 3,
+            trace: "0000 1000 1011".into(),
+            history: 2,
+            threshold: None,
+            dont_care: None,
+        }
+        .encode_with(Codec::BinaryV2);
+        let index = flip_byte % payload.len();
+        payload[index] ^= 1 << flip_bit;
+        let reply = binary_session(&fixture, &[payload]);
+        prop_assert!(!reply.is_empty(), "server must reply or serve, not hang");
+        let after = fixture.metrics();
+        prop_assert!(after.is_monotone_since(&before));
+        let answered = (after.requests_ok + after.requests_failed + after.malformed_frames)
+            > (before.requests_ok + before.requests_failed + before.malformed_frames);
+        prop_assert!(answered, "flipped binary frame fell through unaccounted");
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+
+    /// Truncated binary frames (prefix promises more than arrives) end
+    /// in a timeout reply and a clean close on both architectures.
+    #[test]
+    fn binary_truncated_frames_disconnect_cleanly(
+        cut in 1usize..12,
+        shards in 0usize..3,
+    ) {
+        let _serial = lock();
+        let fixture = Fixture::quick_with(shards);
+        let payload = Request::Ping.encode_with(Codec::BinaryV2);
+        let mut wire = proto::binary_preamble().to_vec();
+        let frame_at = wire.len();
+        write_frame(&mut wire, &payload).expect("frame");
+        // Cut into the frame, never into the preamble.
+        wire.truncate((wire.len() - cut).max(frame_at + 1));
+        {
+            let mut stream = fixture.raw_conn();
+            stream.write_all(&wire).expect("write");
+            let _ = drain(&mut stream);
+        }
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+}
+
+#[test]
+fn binary_oversized_prefix_is_rejected_and_counted_on_both_architectures() {
+    let _serial = lock();
+    for shards in [0usize, 2] {
+        let fixture = Fixture::quick_with(shards);
+        let before = fixture.metrics();
+        let reply = {
+            let mut stream = fixture.raw_conn();
+            stream
+                .write_all(&proto::binary_preamble())
+                .expect("preamble");
+            stream
+                .write_all(&(16u32 << 20).to_be_bytes())
+                .expect("write prefix");
+            drain(&mut stream)
+        };
+        let after = fixture.metrics();
+        assert_eq!(
+            after.oversized_frames,
+            before.oversized_frames + 1,
+            "oversized binary frame must be counted (shards={shards})"
+        );
+        // The reply is a binary protocol_error frame: tag + error text.
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.contains("exceeds"),
+            "want a structured reply, got {text:?} (shards={shards})"
+        );
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+}
+
+#[test]
+fn wrong_preamble_version_is_a_structured_error_then_close() {
+    let _serial = lock();
+    for shards in [0usize, 2] {
+        let fixture = Fixture::quick_with(shards);
+        let reply = {
+            let mut stream = fixture.raw_conn();
+            let mut preamble = proto::binary_preamble();
+            preamble[7] ^= 0xFF; // break the version, keep the magic
+            stream.write_all(&preamble).expect("preamble");
+            drain(&mut stream)
+        };
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.contains("version"),
+            "want a version error, got {text:?} (shards={shards})"
+        );
+        assert!(fixture.metrics().malformed_frames >= 1);
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
+}
+
+#[test]
+fn codec_switch_mid_connection_never_panics() {
+    let _serial = lock();
+    for shards in [0usize, 2] {
+        let fixture = Fixture::quick_with(shards);
+
+        // JSON first, then the binary magic: the connection is already
+        // v1, so `FSMB` reads as a ~1.2 GB length prefix — an oversized
+        // frame, answered and closed, never a panic.
+        {
+            let mut stream = fixture.raw_conn();
+            write_frame(&mut stream, &Request::Ping.encode()).expect("json ping");
+            let pong = fsmgen_serve::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME)
+                .expect("pong frame");
+            assert!(matches!(Response::decode(&pong), Ok(Response::Pong)));
+            // Just the magic: the version half would sit unread in the
+            // socket when the server closes, and the kernel's RST could
+            // race away the structured reply we want to observe.
+            stream
+                .write_all(&proto::BINARY_MAGIC)
+                .expect("late preamble");
+            let reply = drain(&mut stream);
+            let text = String::from_utf8_lossy(&reply);
+            assert!(
+                text.contains("exceeds"),
+                "late codec switch must be an oversized-frame error, got {text:?}"
+            );
+        }
+
+        // Binary first, then a JSON payload: the frame is well-delimited
+        // but undecodable as v2 — a protocol_error that KEEPS the
+        // connection, proven by a binary ping afterwards.
+        {
+            let mut stream = fixture.raw_conn();
+            stream
+                .write_all(&proto::binary_preamble())
+                .expect("preamble");
+            write_frame(&mut stream, &Request::Ping.encode()).expect("json-in-binary");
+            let err_frame = fsmgen_serve::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME)
+                .expect("error frame");
+            assert!(matches!(
+                Response::decode_with(Codec::BinaryV2, &err_frame),
+                Ok(Response::ProtocolError { .. })
+            ));
+            write_frame(&mut stream, &Request::Ping.encode_with(Codec::BinaryV2))
+                .expect("binary ping");
+            let pong = fsmgen_serve::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME)
+                .expect("pong frame");
+            assert!(matches!(
+                Response::decode_with(Codec::BinaryV2, &pong),
+                Ok(Response::Pong)
+            ));
+        }
+
+        fixture.assert_still_serving();
+        fixture.stop();
+    }
 }

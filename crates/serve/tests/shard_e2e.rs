@@ -1,0 +1,287 @@
+//! Sharded-server e2e battery: with `--shards 4`, concurrent clients
+//! whose jobs map across every shard must get machines byte-identical
+//! to the threaded single-lock server AND to a local `fsmgen` design;
+//! the per-shard counter blocks in `serve_metrics` must sum to the
+//! global totals and stay monotone; and the binary v2 codec must serve
+//! payload-identical designs to JSON v1 (the differential harness
+//! refereeing the two codecs).
+
+use fsmgen::Designer;
+use fsmgen_automata::machine_to_table;
+use fsmgen_serve::json::{self, Json};
+use fsmgen_serve::{Codec, Request, Response, ServeClient, ServeConfig, Server, ServerHandle};
+use fsmgen_testkit::{workload_matrix, HISTORIES};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+
+/// An in-process server on a run thread, torn down via the handle.
+struct Fixture {
+    server: Arc<Server>,
+    handle: ServerHandle,
+    addr: String,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Fixture {
+    fn start(shards: usize) -> Fixture {
+        let server = Arc::new(
+            Server::bind(ServeConfig {
+                shards,
+                workers: 1,
+                max_connections: 256,
+                ..ServeConfig::default()
+            })
+            .expect("bind"),
+        );
+        let handle = server.handle();
+        let addr = server.local_addr().to_string();
+        let runner = Arc::clone(&server);
+        let thread = std::thread::spawn(move || runner.run());
+        Fixture {
+            server,
+            handle,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> ServeClient {
+        ServeClient::connect(&self.addr, Duration::from_secs(10)).expect("connect")
+    }
+
+    fn client_with(&self, codec: Codec) -> ServeClient {
+        ServeClient::connect_with(&self.addr, Duration::from_secs(10), codec).expect("connect")
+    }
+
+    fn stats(&self) -> Json {
+        json::parse(&self.server.metrics_json()).expect("metrics JSON parses")
+    }
+
+    fn stop(mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .expect("server thread joins")
+                .expect("server exits clean");
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The canonical matrix as (request, locally designed table) pairs.
+fn matrix_with_expected_tables() -> Vec<(Request, String)> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for (_name, trace) in workload_matrix() {
+        for history in HISTORIES {
+            let design = Designer::new(history)
+                .design_from_trace(&trace)
+                .expect("local design succeeds");
+            out.push((
+                Request::Design {
+                    id,
+                    trace: trace.iter().map(|b| if b { '1' } else { '0' }).collect(),
+                    history,
+                    threshold: None,
+                    dont_care: None,
+                },
+                machine_to_table(design.fsm()),
+            ));
+            id += 1;
+        }
+    }
+    out
+}
+
+fn design_machine(client: &mut ServeClient, request: &Request) -> String {
+    match client.design_with_retry(request, 20).expect("design") {
+        Response::DesignOk { id, machine, .. } => {
+            let Request::Design { id: want, .. } = request else {
+                unreachable!()
+            };
+            assert_eq!(id, *want, "response id echo");
+            machine
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+fn shard_entries(stats: &Json) -> Vec<&Json> {
+    stats
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("stats carries a shards array")
+        .iter()
+        .collect()
+}
+
+fn shard_sum(stats: &Json, key: &str) -> u64 {
+    shard_entries(stats)
+        .iter()
+        .map(|entry| {
+            entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .expect("shard counter")
+        })
+        .sum()
+}
+
+fn service_counter(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("{key} in stats"))
+}
+
+#[test]
+fn four_shard_server_matches_single_shard_and_local_designs() {
+    let sharded = Fixture::start(4);
+    let threaded = Fixture::start(0);
+    let matrix = Arc::new(matrix_with_expected_tables());
+
+    // Concurrent clients walk the matrix with offsets, so shards see
+    // colliding and disjoint jobs at once.
+    let mut handles = Vec::new();
+    for worker in 0..CLIENTS {
+        let matrix = Arc::clone(&matrix);
+        let addr = sharded.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr, Duration::from_secs(10)).expect("connect");
+            for step in 0..matrix.len() {
+                let (request, expected) = &matrix[(step + worker * 3) % matrix.len()];
+                let machine = design_machine(&mut client, request);
+                assert_eq!(
+                    &machine, expected,
+                    "sharded machine differs from the local reference"
+                );
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // The threaded baseline serves the identical bytes.
+    let mut client = threaded.client();
+    for (request, expected) in matrix.iter() {
+        let machine = design_machine(&mut client, request);
+        assert_eq!(
+            &machine, expected,
+            "threaded and sharded architectures must agree"
+        );
+    }
+
+    // Per-shard counters exist (4 entries), sum to the totals, and the
+    // work actually spread beyond one shard.
+    let stats = sharded.stats();
+    assert_eq!(shard_entries(&stats).len(), 4);
+    assert_eq!(
+        shard_sum(&stats, "conns"),
+        service_counter(&stats, "conns_accepted"),
+        "shard conns must sum to the accepted total"
+    );
+    assert_eq!(
+        shard_sum(&stats, "requests_ok"),
+        service_counter(&stats, "requests_ok"),
+        "shard requests_ok must sum to the total"
+    );
+    assert_eq!(
+        shard_sum(&stats, "requests_failed"),
+        service_counter(&stats, "requests_failed"),
+    );
+    let active_shards = shard_entries(&stats)
+        .iter()
+        .filter(|e| e.get("frames").and_then(Json::as_u64).unwrap_or(0) > 0)
+        .count();
+    assert!(
+        active_shards >= 2,
+        "round-robin dispatch must exercise multiple shards, got {active_shards}"
+    );
+    // The threaded server reports no shard blocks.
+    assert!(shard_entries(&threaded.stats()).is_empty());
+
+    sharded.stop();
+    threaded.stop();
+}
+
+#[test]
+fn per_shard_counters_stay_monotone_across_waves() {
+    let fixture = Fixture::start(4);
+    let matrix = matrix_with_expected_tables();
+    let mut previous: Vec<(u64, u64, u64)> = vec![(0, 0, 0); 4];
+    for wave in 0..3 {
+        let mut client = fixture.client();
+        for (request, _expected) in matrix.iter().take(6) {
+            let _machine = design_machine(&mut client, request);
+        }
+        drop(client);
+        let stats = fixture.stats();
+        let entries = shard_entries(&stats);
+        assert_eq!(entries.len(), 4);
+        for (i, entry) in entries.iter().enumerate() {
+            let now = (
+                entry.get("conns").and_then(Json::as_u64).unwrap(),
+                entry.get("frames").and_then(Json::as_u64).unwrap(),
+                entry.get("requests_ok").and_then(Json::as_u64).unwrap(),
+            );
+            assert!(
+                now.0 >= previous[i].0 && now.1 >= previous[i].1 && now.2 >= previous[i].2,
+                "wave {wave}: shard {i} counters went backwards: {:?} -> {now:?}",
+                previous[i]
+            );
+            previous[i] = now;
+        }
+        assert_eq!(
+            shard_sum(&stats, "requests_ok"),
+            service_counter(&stats, "requests_ok"),
+            "wave {wave}: shard sums must keep matching the totals"
+        );
+    }
+    fixture.stop();
+}
+
+#[test]
+fn binary_v2_and_json_v1_serve_byte_identical_designs() {
+    // Referee both architectures: codec choice must never change the
+    // designed machine, sharded or threaded.
+    for shards in [0usize, 2] {
+        let fixture = Fixture::start(shards);
+        let mut v1 = fixture.client_with(Codec::JsonV1);
+        let mut v2 = fixture.client_with(Codec::BinaryV2);
+        assert_eq!(v2.codec(), Codec::BinaryV2);
+        for (request, expected) in matrix_with_expected_tables().iter().take(12) {
+            let from_v1 = design_machine(&mut v1, request);
+            let from_v2 = design_machine(&mut v2, request);
+            assert_eq!(
+                from_v1, from_v2,
+                "codecs must serve identical machines (shards={shards})"
+            );
+            assert_eq!(&from_v1, expected, "and both must match the local design");
+        }
+        // Stats and ping flow over v2 as well.
+        match v2.call(&Request::Ping).expect("binary ping") {
+            Response::Pong => {}
+            other => panic!("expected pong, got {other:?}"),
+        }
+        match v2.call(&Request::Stats).expect("binary stats") {
+            Response::Stats(text) => {
+                let stats = json::parse(&text).expect("stats parses");
+                assert!(service_counter(&stats, "requests_ok") >= 12);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        fixture.stop();
+    }
+}

@@ -154,9 +154,21 @@ fn drive_until_swap(client: &mut ServeClient, start_id: u64, deadline: Duration)
 
 #[test]
 fn induced_collapse_triggers_redesign_and_swap_with_zero_dropped_requests() {
-    let dir = tmp_dir("collapse");
+    collapse_drill("collapse", &[]);
+}
+
+/// The same collapse→redesign→hot-swap cycle against the sharded
+/// event-driven server: predict frames stream through a shard's event
+/// loop, and the swap must still drop zero in-flight requests.
+#[test]
+fn induced_collapse_swaps_cleanly_on_the_sharded_server() {
+    collapse_drill("collapse-sharded", &["--shards", "2"]);
+}
+
+fn collapse_drill(tag: &str, arch_flags: &[&str]) {
+    let dir = tmp_dir(tag);
     let jsonl = dir.join("swap-trace.jsonl");
-    let server = ServerProc::spawn(&[
+    let mut flags = vec![
         "--redesign",
         "--redesign-window",
         "64",
@@ -166,7 +178,9 @@ fn induced_collapse_triggers_redesign_and_swap_with_zero_dropped_requests() {
         "3",
         "--trace-jsonl",
         jsonl.to_str().unwrap(),
-    ]);
+    ];
+    flags.extend_from_slice(arch_flags);
+    let server = ServerProc::spawn(&flags);
     let mut client = server.client();
 
     // Warm up confident: the boot 2-bit counter nails an all-taken
